@@ -1,0 +1,106 @@
+//! Criterion benches for end-to-end consensus executions: EIG broadcast
+//! cost, synchronous Exact BVC / ALGO, and asynchronous Relaxed Verified
+//! Averaging — message-count scaling is what the paper's bounds trade
+//! against.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rbvc_core::problem::{Agreement, Validity};
+use rbvc_core::rules::DecisionRule;
+use rbvc_core::runner::{run_async, run_sync, AsyncSpec, SchedulerSpec, SyncSpec};
+use rbvc_core::sync_protocols::ByzantineStrategy;
+use rbvc_core::verified_avg::DeltaMode;
+use rbvc_linalg::{Norm, Tol, VecD};
+
+fn inputs(rng: &mut StdRng, n: usize, d: usize) -> Vec<VecD> {
+    (0..n)
+        .map(|_| VecD((0..d).map(|_| rng.gen_range(-1.0..1.0)).collect()))
+        .collect()
+}
+
+fn bench_sync_exact_bvc(c: &mut Criterion) {
+    let tol = Tol::default();
+    let mut group = c.benchmark_group("sync_exact_bvc");
+    group.sample_size(20);
+    for (n, f, d) in [(4usize, 1usize, 2usize), (5, 1, 3), (7, 2, 2)] {
+        let mut rng = StdRng::seed_from_u64((n + d) as u64);
+        let ins = inputs(&mut rng, n, d);
+        let spec = SyncSpec {
+            n,
+            f,
+            d,
+            rule: DecisionRule::GammaPoint,
+            inputs: ins,
+            adversaries: vec![(n - 1, ByzantineStrategy::Silent)],
+            agreement: Agreement::Exact,
+            validity: Validity::Exact,
+        };
+        group.bench_function(format!("n{n}_f{f}_d{d}"), |b| {
+            b.iter(|| run_sync(std::hint::black_box(&spec), tol));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sync_algo(c: &mut Criterion) {
+    let tol = Tol::default();
+    let mut group = c.benchmark_group("sync_algo_min_delta");
+    group.sample_size(20);
+    for d in [3usize, 4, 5] {
+        let n = d + 1;
+        let mut rng = StdRng::seed_from_u64(50 + d as u64);
+        let ins = inputs(&mut rng, n, d);
+        let spec = SyncSpec {
+            n,
+            f: 1,
+            d,
+            rule: DecisionRule::MinDeltaPoint(Norm::L2),
+            inputs: ins.clone(),
+            adversaries: vec![(n - 1, ByzantineStrategy::FollowProtocol(ins[n - 1].clone()))],
+            agreement: Agreement::Exact,
+            validity: Validity::InputDependentDeltaP {
+                kappa: 1.0 / (n as f64 - 2.0),
+                norm: Norm::L2,
+            },
+        };
+        group.bench_function(format!("n{n}_d{d}"), |b| {
+            b.iter(|| run_sync(std::hint::black_box(&spec), tol));
+        });
+    }
+    group.finish();
+}
+
+fn bench_async_verified_averaging(c: &mut Criterion) {
+    let tol = Tol::default();
+    let mut group = c.benchmark_group("async_relaxed_verified_averaging");
+    group.sample_size(10);
+    for rounds in [5usize, 15] {
+        let (n, f, d) = (4, 1, 3);
+        let mut rng = StdRng::seed_from_u64(rounds as u64);
+        let ins = inputs(&mut rng, n, d);
+        let spec = AsyncSpec {
+            n,
+            f,
+            mode: DeltaMode::MinDelta(Norm::L2),
+            rounds,
+            inputs: ins,
+            adversaries: vec![],
+            scheduler: SchedulerSpec::Random(9),
+            max_steps: 4_000_000,
+            agreement: Agreement::Epsilon(f64::INFINITY),
+            validity: Validity::Exact,
+        };
+        group.bench_function(format!("rounds{rounds}"), |b| {
+            b.iter(|| run_async(std::hint::black_box(&spec), tol));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sync_exact_bvc,
+    bench_sync_algo,
+    bench_async_verified_averaging
+);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion benches for the δ* solver across its computation paths:
+//! closed form (Lemma 13), LP-exact L∞, and the bisection/POCS general
+//! path — the cost profile behind Table 1's regeneration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rbvc_geometry::minmax::{delta_star, MinMaxOptions};
+use rbvc_linalg::{Norm, Tol, VecD};
+
+fn points(rng: &mut StdRng, n: usize, d: usize) -> Vec<VecD> {
+    (0..n)
+        .map(|_| VecD((0..d).map(|_| rng.gen_range(-2.0..2.0)).collect()))
+        .collect()
+}
+
+fn bench_closed_form_path(c: &mut Criterion) {
+    // f = 1, n = d + 1: the Lemma 13 fast path.
+    let tol = Tol::default();
+    let mut group = c.benchmark_group("delta_star_closed_form");
+    for d in [3usize, 5, 8] {
+        let mut rng = StdRng::seed_from_u64(d as u64);
+        let pts = points(&mut rng, d + 1, d);
+        group.bench_function(format!("d{d}"), |b| {
+            b.iter(|| {
+                delta_star(
+                    std::hint::black_box(&pts),
+                    1,
+                    Norm::L2,
+                    tol,
+                    MinMaxOptions::default(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_linf_lp_path(c: &mut Criterion) {
+    let tol = Tol::default();
+    let mut group = c.benchmark_group("delta_star_linf_lp");
+    for d in [3usize, 5] {
+        let mut rng = StdRng::seed_from_u64(100 + d as u64);
+        let pts = points(&mut rng, d + 1, d);
+        group.bench_function(format!("d{d}"), |b| {
+            b.iter(|| {
+                delta_star(
+                    std::hint::black_box(&pts),
+                    1,
+                    Norm::LInf,
+                    tol,
+                    MinMaxOptions::default(),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_pocs_path(c: &mut Criterion) {
+    // f = 2, n = (d+1)f: the Theorem 12 regime — bisection + POCS.
+    let tol = Tol::default();
+    let mut group = c.benchmark_group("delta_star_pocs_f2");
+    group.sample_size(10);
+    let d = 3;
+    let mut rng = StdRng::seed_from_u64(7);
+    let pts = points(&mut rng, (d + 1) * 2, d);
+    group.bench_function("n8_f2_d3", |b| {
+        b.iter(|| {
+            delta_star(
+                std::hint::black_box(&pts),
+                2,
+                Norm::L2,
+                tol,
+                MinMaxOptions::default(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_closed_form_path,
+    bench_linf_lp_path,
+    bench_pocs_path
+);
+criterion_main!(benches);

@@ -1,0 +1,100 @@
+//! Criterion benches for the geometric substrate: LP hull membership,
+//! Wolfe projection, inradius closed form, Γ feasibility, min-δ LP.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rbvc_geometry::{gamma_point, min_delta_polyhedral, ConvexHull, Simplex};
+use rbvc_linalg::{Norm, Tol, VecD};
+
+fn points(rng: &mut StdRng, n: usize, d: usize) -> Vec<VecD> {
+    (0..n)
+        .map(|_| VecD((0..d).map(|_| rng.gen_range(-2.0..2.0)).collect()))
+        .collect()
+}
+
+fn bench_hull_membership(c: &mut Criterion) {
+    let tol = Tol::default();
+    let mut group = c.benchmark_group("hull_membership_lp");
+    for d in [2usize, 4, 8] {
+        let mut rng = StdRng::seed_from_u64(d as u64);
+        let pts = points(&mut rng, 2 * d, d);
+        let hull = ConvexHull::new(pts);
+        let q = VecD::zeros(d);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| hull.contains(std::hint::black_box(&q), tol));
+        });
+    }
+    group.finish();
+}
+
+fn bench_wolfe_projection(c: &mut Criterion) {
+    let tol = Tol::default();
+    let mut group = c.benchmark_group("wolfe_projection");
+    for d in [2usize, 4, 8] {
+        let mut rng = StdRng::seed_from_u64(10 + d as u64);
+        let pts = points(&mut rng, 2 * d, d);
+        let hull = ConvexHull::new(pts);
+        let q = VecD((0..d).map(|i| 3.0 + i as f64).collect());
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| hull.distance(std::hint::black_box(&q), Norm::L2, tol));
+        });
+    }
+    group.finish();
+}
+
+fn bench_inradius(c: &mut Criterion) {
+    let tol = Tol::default();
+    let mut group = c.benchmark_group("simplex_inradius_closed_form");
+    for d in [3usize, 6, 10] {
+        let mut rng = StdRng::seed_from_u64(20 + d as u64);
+        let pts = loop {
+            let cand = points(&mut rng, d + 1, d);
+            if Simplex::new(cand.clone(), tol).is_some() {
+                break cand;
+            }
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| {
+                Simplex::new(std::hint::black_box(pts.clone()), tol).map(|s| s.inradius())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_gamma_feasibility(c: &mut Criterion) {
+    let tol = Tol::default();
+    let mut group = c.benchmark_group("gamma_point_lp");
+    for (n, f, d) in [(4usize, 1usize, 2usize), (5, 1, 3), (8, 2, 3)] {
+        let mut rng = StdRng::seed_from_u64((n * 100 + d) as u64);
+        let pts = points(&mut rng, n, d);
+        let label = format!("n{n}_f{f}_d{d}");
+        group.bench_function(&label, |b| {
+            b.iter(|| gamma_point(std::hint::black_box(&pts), f, tol));
+        });
+    }
+    group.finish();
+}
+
+fn bench_min_delta_lp(c: &mut Criterion) {
+    let tol = Tol::default();
+    let mut group = c.benchmark_group("min_delta_linf_lp");
+    for d in [3usize, 4, 5] {
+        let mut rng = StdRng::seed_from_u64(40 + d as u64);
+        let pts = points(&mut rng, d + 1, d);
+        group.bench_with_input(BenchmarkId::from_parameter(d), &d, |b, _| {
+            b.iter(|| min_delta_polyhedral(std::hint::black_box(&pts), 1, Norm::LInf, tol));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hull_membership,
+    bench_wolfe_projection,
+    bench_inradius,
+    bench_gamma_feasibility,
+    bench_min_delta_lp
+);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benches for the rayon-parallel Monte-Carlo sweep (the E1
+//! workload) — serial vs parallel δ* evaluation over a batch of instances,
+//! and the parallel per-subset max-distance primitive.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use rayon::prelude::*;
+use rbvc_geometry::minmax::{delta_star, max_distance, MinMaxOptions};
+use rbvc_geometry::subset_hulls;
+use rbvc_linalg::{Norm, Tol, VecD};
+
+fn batch(seed: u64, count: usize, n: usize, d: usize) -> Vec<Vec<VecD>> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|_| {
+            (0..n)
+                .map(|_| VecD((0..d).map(|_| rng.gen_range(-2.0..2.0)).collect()))
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_sweep_serial_vs_parallel(c: &mut Criterion) {
+    let tol = Tol::default();
+    let instances = batch(1, 64, 4, 3);
+    let mut group = c.benchmark_group("mc_sweep_delta_star_64x");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| {
+            instances
+                .iter()
+                .map(|pts| delta_star(pts, 1, Norm::L2, tol, MinMaxOptions::default()).delta)
+                .sum::<f64>()
+        });
+    });
+    group.bench_function("rayon", |b| {
+        b.iter(|| {
+            instances
+                .par_iter()
+                .map(|pts| delta_star(pts, 1, Norm::L2, tol, MinMaxOptions::default()).delta)
+                .sum::<f64>()
+        });
+    });
+    group.finish();
+}
+
+fn bench_max_distance_parallel(c: &mut Criterion) {
+    let tol = Tol::default();
+    let mut rng = StdRng::seed_from_u64(3);
+    let pts: Vec<VecD> = (0..10)
+        .map(|_| VecD((0..4).map(|_| rng.gen_range(-2.0..2.0)).collect()))
+        .collect();
+    let hulls = subset_hulls(&pts, 2); // C(10,2) = 45 hulls
+    let x = VecD::zeros(4);
+    let mut group = c.benchmark_group("max_distance_45_hulls");
+    group.bench_function("serial", |b| {
+        b.iter(|| max_distance(&hulls, std::hint::black_box(&x), tol, false));
+    });
+    group.bench_function("rayon", |b| {
+        b.iter(|| max_distance(&hulls, std::hint::black_box(&x), tol, true));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep_serial_vs_parallel, bench_max_distance_parallel);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Run the complete experiment suite (E1–E14) at EXPERIMENTS.md scale and
+//! print every table — the one-command reproduction entry point.
+//!
+//! Usage: `exp_all [--quick]` (`--quick` cuts trial counts ~4x)
+
+use std::process::Command;
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (t_big, t_mid, t_small) = if quick { (25, 8, 3) } else { (100, 25, 10) };
+    let bins: Vec<(&str, Vec<String>)> = vec![
+        ("exp_table1", vec![t_big.to_string(), "2024".into(), "--p-sweep".into()]),
+        ("exp_figure1", vec!["3".into()]),
+        ("exp_thm3", vec!["6".into()]),
+        ("exp_thm4", vec!["5".into()]),
+        ("exp_thm5", vec!["6".into()]),
+        ("exp_thm6", vec!["5".into()]),
+        ("exp_lemmas", vec![t_big.to_string(), "7".into()]),
+        ("exp_tverberg", vec![t_mid.to_string(), "3".into()]),
+        ("exp_async_delta", vec![t_small.to_string(), "5".into()]),
+        ("exp_convergence", vec!["8".into()]),
+        (
+            "exp_conjectures",
+            vec!["2".into(), if quick { "40".into() } else { "120".into() }, "1".into()],
+        ),
+        ("exp_broadcast", vec!["5".into()]),
+    ];
+    // Resolve sibling binaries from our own path so `cargo run --bin
+    // exp_all` works in any profile directory.
+    let me = std::env::current_exe().expect("own path");
+    let dir = me.parent().expect("bin dir");
+    for (bin, args) in bins {
+        println!("\n################ {bin} {} ################", args.join(" "));
+        let status = Command::new(dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} exited with {status}");
+    }
+    println!("\nAll experiments completed.");
+}

@@ -1,0 +1,45 @@
+//! E11 — Theorem 15 / Conjecture 4: input-dependent δ below the
+//! asynchronous `(d+2)f + 1` bound.
+//!
+//! Usage: `exp_async_delta [trials] [seed]`
+
+use rbvc_bench::experiments::asynchrony::async_delta_sweep;
+use rbvc_bench::report::{fnum, print_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(10);
+    let seed: u64 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(5);
+    println!(
+        "E11 — Relaxed Verified Averaging at 3f+1 ≤ n ≤ (d+2)f (baseline \
+         impossible there): ε-agreement + (δ,2)-validity with \
+         δ ≤ κ(n−f,f,d,2)·max-edge(E₊) (Theorem 15)."
+    );
+    let rows: Vec<Vec<String>> = async_delta_sweep(trials, seed)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.f.to_string(),
+                r.d.to_string(),
+                format!("{}/{}", r.ok, r.trials),
+                fnum(r.max_ratio),
+                r.bound_violations.to_string(),
+                fnum(r.max_disagreement),
+            ]
+        })
+        .collect();
+    print_table(
+        "Theorem 15 (asynchronous input-dependent δ)",
+        &[
+            "n",
+            "f",
+            "d",
+            "runs ok",
+            "max δ/bound",
+            "bound violations",
+            "max disagreement",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,42 @@
+//! E15 — broadcast-substrate ablation (EIG vs Dolev–Strong).
+//!
+//! Usage: `exp_broadcast [seed]`
+
+use rbvc_bench::experiments::broadcast_ablation::ablation_sweep;
+use rbvc_bench::report::{fnum, print_table};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
+    println!(
+        "E15 — Step-1 substrate ablation: identical decisions, very \
+         different message complexity (EIG O(n^(f+1)) vs Dolev–Strong \
+         O(n³f))."
+    );
+    let rows: Vec<Vec<String>> = ablation_sweep(seed)
+        .into_iter()
+        .map(|r| {
+            vec![
+                r.n.to_string(),
+                r.f.to_string(),
+                r.d.to_string(),
+                r.eig_messages.to_string(),
+                r.eig_items.to_string(),
+                r.ds_messages.to_string(),
+                r.ds_items.to_string(),
+                fnum(r.eig_items as f64 / r.ds_items as f64),
+                r.decisions_match.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "EIG vs Dolev–Strong",
+        &[
+            "n", "f", "d", "EIG envs", "EIG items", "DS envs", "DS items",
+            "items EIG/DS", "decisions match",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,48 @@
+//! E2 — Figure 1 (Lemma 10): the three-scenario ring construction showing
+//! input-dependent (δ,p)-consensus impossible for `n ≤ 3f`.
+//!
+//! Usage: `exp_figure1 [d]`
+
+use rbvc_bench::experiments::counterex::figure1_demo;
+use rbvc_bench::report::print_table;
+
+fn main() {
+    let d: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(3);
+    println!(
+        "E2 — Lemma 10 / Figure 1 at n = 3, f = 1, d = {d}: any candidate \
+         algorithm must break a condition in some scenario."
+    );
+    println!(
+        "Candidate under test: one flooding round, decide the δ*₂-point of \
+         the three received values.\n"
+    );
+    let rows = figure1_demo(d);
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.to_string(),
+                format!("{}", r.out_a),
+                format!("{}", r.out_b),
+                if r.violated.is_empty() {
+                    "—".to_string()
+                } else {
+                    r.violated.to_string()
+                },
+            ]
+        })
+        .collect();
+    print_table(
+        "Figure 1 scenarios",
+        &["scenario", "output A", "output B", "violated condition"],
+        &table,
+    );
+    let broken = rows.iter().filter(|r| !r.violated.is_empty()).count();
+    println!(
+        "\nscenarios with a violated condition: {broken} (Lemma 10 predicts ≥ 1 \
+         for every algorithm; n ≥ 3f+1 = 4 removes the contradiction)"
+    );
+}

@@ -1,0 +1,43 @@
+//! Machine-readable experiment records: run the core experiment suite
+//! in-process at configurable scale and emit one JSON document — for
+//! downstream tooling, CI regression tracking, and plotting.
+//!
+//! Usage: `exp_json [trials] [seed] > results.json`
+
+use rbvc_bench::experiments::asynchrony::{async_delta_sweep, convergence_series};
+use rbvc_bench::experiments::broadcast_ablation::ablation_sweep;
+use rbvc_bench::experiments::conjecture_hunt::hunt_sweep;
+use rbvc_bench::experiments::counterex::{theorem3_row, theorem4_row, theorem5_row, theorem6_row};
+use rbvc_bench::experiments::lemmas::lemma_sweep;
+use rbvc_bench::experiments::table1::{p_sweep, table1_l2};
+use rbvc_bench::experiments::tverberg::tverberg_sweep;
+use serde_json::json;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(25);
+    let seed: u64 = args.get(2).and_then(|a| a.parse().ok()).unwrap_or(2024);
+
+    let tightness = |rows: Vec<rbvc_bench::experiments::counterex::TightnessRow>| {
+        serde_json::to_value(rows).expect("serializable rows")
+    };
+
+    let doc = json!({
+        "paper": "Relaxed Byzantine Vector Consensus (Xiang & Vaidya, SPAA 2016 / arXiv:1601.08067)",
+        "trials": trials,
+        "seed": seed,
+        "e1_table1_l2": table1_l2(trials, seed),
+        "e12_p_sweep": p_sweep(trials, seed),
+        "e3_theorem3": tightness((3..=5).map(theorem3_row).collect()),
+        "e4_theorem4": tightness((3..=4).map(theorem4_row).collect()),
+        "e5_theorem5": tightness((2..=5).map(|d| theorem5_row(d, 0.25)).collect()),
+        "e6_theorem6": tightness((2..=4).map(|d| theorem6_row(d, 0.25, 0.05)).collect()),
+        "e7_9_lemmas": lemma_sweep(trials, seed + 7),
+        "e10_tverberg": tverberg_sweep(trials.min(15), seed + 3),
+        "e11_async_delta": async_delta_sweep(trials.min(8), seed + 5),
+        "e13_convergence": convergence_series(4, 1, 3, &[2, 4, 8, 16], seed + 8),
+        "e14_conjecture_hunt": hunt_sweep(1, 30, seed + 1),
+        "e15_broadcast_ablation": ablation_sweep(seed + 5),
+    });
+    println!("{}", serde_json::to_string_pretty(&doc).expect("valid JSON"));
+}

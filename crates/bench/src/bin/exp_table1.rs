@@ -1,0 +1,69 @@
+//! E1 / E12 — regenerate Table 1 (input-dependent δ* upper bounds) and the
+//! Theorem 14 p-sweep.
+//!
+//! Usage: `exp_table1 [trials] [seed] [--p-sweep]`
+
+use rbvc_bench::experiments::table1::{p_sweep, table1_l2, Table1Row};
+use rbvc_bench::report::{fnum, print_table};
+use rbvc_core::bounds::BoundSource;
+
+fn source_label(s: BoundSource) -> &'static str {
+    match s {
+        BoundSource::Theorem9 => "Thm 9  (f=1, n=d+1)",
+        BoundSource::Theorem12 => "Thm 12 (f>=2, n=(d+1)f)",
+        BoundSource::Theorem14 => "Thm 14 (p-scaled)",
+        BoundSource::Theorem15 => "Thm 15 (async)",
+        BoundSource::Conjecture1 => "Conj 1 (3f+1<=n<(d+1)f)",
+    }
+}
+
+fn rows_to_table(rows: &[Table1Row]) -> Vec<Vec<String>> {
+    rows.iter()
+        .map(|r| {
+            vec![
+                source_label(r.source).to_string(),
+                r.f.to_string(),
+                r.n.to_string(),
+                r.d.to_string(),
+                format!("{:?}", r.norm),
+                r.trials.to_string(),
+                fnum(r.mean_delta),
+                fnum(r.mean_bound),
+                fnum(r.max_ratio),
+                r.violations.to_string(),
+            ]
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let trials: usize = args
+        .iter()
+        .skip(1)
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(100);
+    let seed: u64 = args
+        .iter()
+        .skip(2)
+        .find_map(|a| a.parse().ok())
+        .unwrap_or(2024);
+    let do_p_sweep = args.iter().any(|a| a == "--p-sweep");
+
+    let headers = [
+        "bound", "f", "n", "d", "norm", "trials", "mean δ*", "mean bound", "max ratio",
+        "violations",
+    ];
+
+    println!("E1 — Table 1 (L2, input-dependent δ*): δ* must stay strictly below the bound.");
+    let rows = table1_l2(trials, seed);
+    print_table("Table 1 (measured)", &headers, &rows_to_table(&rows));
+    let total_violations: usize = rows.iter().map(|r| r.violations).sum();
+    println!("total violations: {total_violations} (expected 0)\n");
+
+    if do_p_sweep {
+        println!("E12 — Theorem 14 p-sweep (f=1, n=5, d=4): bound scales by d^(1/2-1/p).");
+        let rows = p_sweep(trials, seed);
+        print_table("Theorem 14 p-sweep (measured)", &headers, &rows_to_table(&rows));
+    }
+}

@@ -1,0 +1,172 @@
+//! E15 (extension) — broadcast-substrate ablation: EIG (unauthenticated,
+//! `O(n^{f+1})` messages) vs Dolev–Strong (authenticated, `O(n³f)`).
+//!
+//! The paper's ALGO delegates Step 1 to "any Byzantine broadcast
+//! algorithm"; the substrate choice does not change the decision (both
+//! deliver the identical multiset `S`) but changes the cost dramatically.
+//! This experiment runs the same consensus instance over both substrates
+//! and reports message counts, rounds, and decision agreement.
+
+use rbvc_core::rules::DecisionRule;
+use rbvc_core::sync_ds::{make_ds_node, SyncBvcDs};
+use rbvc_core::sync_protocols::{make_node, SyncBvc};
+use rbvc_linalg::{Tol, VecD};
+use rbvc_sim::config::SystemConfig;
+use rbvc_sim::sync::{RoundEngine, SyncNode};
+
+use crate::workloads::{random_points, rng};
+
+/// One ablation row.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct AblationRow {
+    /// Processes.
+    pub n: usize,
+    /// Fault bound.
+    pub f: usize,
+    /// Dimension.
+    pub d: usize,
+    /// Point-to-point envelopes sent by the EIG substrate.
+    pub eig_messages: u64,
+    /// Total relayed payload items (label/value pairs) under EIG — the
+    /// quantity with the `O(n^{f+1})` blow-up.
+    pub eig_items: u64,
+    /// Envelopes sent by the Dolev–Strong substrate.
+    pub ds_messages: u64,
+    /// Total relayed signature chains under Dolev–Strong (`O(n³f)`).
+    pub ds_items: u64,
+    /// Both substrates produced the identical decision.
+    pub decisions_match: bool,
+}
+
+/// Run one configuration over both substrates (all-honest run: message
+/// complexity of the common case; adversarial equivalence is covered by
+/// unit tests). Both envelope counts (engine trace) and payload-item
+/// counts (protocol-level, where the asymptotic gap lives) are recorded.
+#[must_use]
+pub fn run_config(n: usize, f: usize, d: usize, seed: u64) -> AblationRow {
+    let tol = Tol::default();
+    let inputs = random_points(&mut rng(seed), n, d, 2.0);
+    let rule = DecisionRule::GammaPoint;
+
+    let config = SystemConfig::new(n, f);
+    let eig_nodes: Vec<SyncNode<SyncBvc>> = (0..n)
+        .map(|i| make_node(i, n, f, d, Some(inputs[i].clone()), None, rule, tol))
+        .collect();
+    let mut eig_engine = RoundEngine::new(config.clone(), eig_nodes);
+    let eig_out = eig_engine.run(f + 2);
+    let eig_items = count_eig_items(n, f, &inputs);
+
+    let ds_nodes: Vec<SyncNode<SyncBvcDs>> = (0..n)
+        .map(|i| make_ds_node(i, n, f, d, Some(inputs[i].clone()), None, rule, tol))
+        .collect();
+    let mut ds_engine = RoundEngine::new(config, ds_nodes);
+    let ds_out = ds_engine.run(f + 2);
+    let ds_items = count_ds_items(n, f, &inputs);
+
+    let decisions_match = match (&eig_out.decisions[0], &ds_out.decisions[0]) {
+        (Some(a), Some(b)) => a.approx_eq(b, Tol(1e-9)),
+        _ => false,
+    };
+    AblationRow {
+        n,
+        f,
+        d,
+        eig_messages: eig_out.trace.messages_sent,
+        eig_items,
+        ds_messages: ds_out.trace.messages_sent,
+        ds_items,
+        decisions_match,
+    }
+}
+
+/// Replay an all-honest broadcast layer and count payload items on the wire.
+fn count_eig_items(n: usize, f: usize, inputs: &[VecD]) -> u64 {
+    use rbvc_sim::eig::ParallelEig;
+    use rbvc_sim::sync::SyncProtocol;
+    let d = inputs[0].dim();
+    let mut nodes: Vec<ParallelEig<VecD>> = (0..n)
+        .map(|i| ParallelEig::new(i, n, f, inputs[i].clone(), VecD::zeros(d)))
+        .collect();
+    let mut items = 0u64;
+    for round in 0..=f {
+        let mut inboxes: Vec<Vec<(usize, _)>> = vec![Vec::new(); n];
+        for (src, node) in nodes.iter_mut().enumerate() {
+            for (dst, msg) in node.round_messages(round) {
+                items += msg
+                    .iter()
+                    .map(|(_, batch)| batch.len() as u64)
+                    .sum::<u64>();
+                inboxes[dst].push((src, msg));
+            }
+        }
+        for (dst, inbox) in inboxes.into_iter().enumerate() {
+            nodes[dst].receive(round, &inbox);
+        }
+    }
+    items
+}
+
+/// Replay an all-honest Dolev–Strong layer and count signature chains.
+fn count_ds_items(n: usize, f: usize, inputs: &[VecD]) -> u64 {
+    use rbvc_sim::dolev_strong::ParallelDolevStrong;
+    use rbvc_sim::sync::SyncProtocol;
+    let d = inputs[0].dim();
+    let mut nodes: Vec<ParallelDolevStrong<VecD>> = (0..n)
+        .map(|i| ParallelDolevStrong::new(i, n, f, inputs[i].clone(), VecD::zeros(d)))
+        .collect();
+    let mut items = 0u64;
+    for round in 0..=f {
+        let mut inboxes: Vec<Vec<(usize, _)>> = vec![Vec::new(); n];
+        for (src, node) in nodes.iter_mut().enumerate() {
+            for (dst, msg) in node.round_messages(round) {
+                items += msg
+                    .iter()
+                    .map(|(_, batch)| batch.len() as u64)
+                    .sum::<u64>();
+                inboxes[dst].push((src, msg));
+            }
+        }
+        for (dst, inbox) in inboxes.into_iter().enumerate() {
+            nodes[dst].receive(round, &inbox);
+        }
+    }
+    items
+}
+
+/// Standard sweep over (n, f): the EIG blow-up appears at f = 2+.
+#[must_use]
+pub fn ablation_sweep(seed: u64) -> Vec<AblationRow> {
+    vec![
+        run_config(4, 1, 2, seed),
+        run_config(5, 1, 2, seed + 1),
+        run_config(7, 2, 2, seed + 2),
+        run_config(10, 3, 2, seed + 3),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substrates_agree_and_ds_wins_at_f2() {
+        let row = run_config(7, 2, 2, 5);
+        assert!(row.decisions_match, "{row:?}");
+        assert!(
+            row.ds_items < row.eig_items,
+            "DS items should beat EIG at f = 2: {row:?}"
+        );
+    }
+
+    #[test]
+    fn eig_blowup_grows_with_f() {
+        let r1 = run_config(4, 1, 2, 9);
+        let r3 = run_config(10, 3, 2, 9);
+        let ratio1 = r1.eig_items as f64 / r1.ds_items as f64;
+        let ratio3 = r3.eig_items as f64 / r3.ds_items as f64;
+        assert!(
+            ratio3 > ratio1,
+            "exponential vs polynomial gap must widen: {ratio1} vs {ratio3}"
+        );
+    }
+}

@@ -1,0 +1,19 @@
+//! Experiment implementations (one module per paper artifact group).
+//!
+//! | module | experiments | paper artifact |
+//! |--------|-------------|----------------|
+//! | [`table1`] | E1, E12 | Table 1 (δ* upper bounds), Theorem 14 p-sweep |
+//! | [`lemmas`] | E7–E9 | Lemmas 12–15 closed forms |
+//! | [`counterex`] | E2–E6 | Figure 1 and the Theorem 3–6 constructions |
+//! | [`broadcast_ablation`] | E15 | EIG vs Dolev–Strong substrate ablation |
+//! | [`conjecture_hunt`] | E14 | adversarial stress-search of Conjectures 1–2 |
+//! | [`tverberg`] | E10 | Section 8 (Tverberg tightness under relaxed hulls) |
+//! | [`asynchrony`] | E11, E13 | Theorem 15 / Conjecture 4, ε-convergence |
+
+pub mod asynchrony;
+pub mod broadcast_ablation;
+pub mod conjecture_hunt;
+pub mod counterex;
+pub mod lemmas;
+pub mod table1;
+pub mod tverberg;

@@ -1,0 +1,339 @@
+//! Every process-count bound and δ bound stated by the paper, as executable
+//! functions. These are what the experiment harness compares measurements
+//! against, and what `runner` uses to size systems.
+//!
+//! Process-count bounds (tight, necessary and sufficient):
+//!
+//! | problem                              | synchronous            | asynchronous      |
+//! |--------------------------------------|------------------------|-------------------|
+//! | Exact / Approximate BVC (Thm 1, 2)   | max(3f+1, (d+1)f+1)    | (d+2)f + 1        |
+//! | k-relaxed, k = 1                     | 3f + 1                 | 3f + 1            |
+//! | k-relaxed, 2 ≤ k ≤ d−1 (Thm 3, 4)    | (d+1)f + 1             | (d+2)f + 1        |
+//! | k-relaxed, k = d                     | max(3f+1, (d+1)f+1)    | (d+2)f + 1        |
+//! | (δ,p), constant 0 < δ < ∞ (Thm 5, 6) | max(3f+1, (d+1)f+1)    | (d+2)f + 1        |
+//! | (δ,p), input-dependent δ (Lemma 10)  | 3f + 1                 | 3f + 1            |
+//!
+//! Input-dependent δ bounds (Table 1 and Theorems 9, 12, 14, 15;
+//! Conjectures 1–4) are exposed as `kappa_*` factors multiplying
+//! `max_{e ∈ E₊} ‖e‖_p`.
+
+use rbvc_linalg::Norm;
+
+/// Minimum `n` for Exact BVC in a synchronous system (Theorem 1).
+///
+/// ```
+/// use rbvc_core::bounds::exact_bvc_min_n;
+/// assert_eq!(exact_bvc_min_n(1, 1), 4); // scalar: 3f + 1
+/// assert_eq!(exact_bvc_min_n(1, 5), 7); // vector: (d+1)f + 1
+/// ```
+#[must_use]
+pub fn exact_bvc_min_n(f: usize, d: usize) -> usize {
+    if f == 0 {
+        return 2; // the paper assumes n ≥ 2 throughout
+    }
+    (3 * f + 1).max((d + 1) * f + 1)
+}
+
+/// Minimum `n` for Approximate BVC in an asynchronous system (Theorem 2).
+#[must_use]
+pub fn approx_bvc_min_n(f: usize, d: usize) -> usize {
+    if f == 0 {
+        return 2;
+    }
+    (d + 2) * f + 1
+}
+
+/// Minimum `n` for k-Relaxed Exact BVC, synchronous (§5.3, Theorem 3).
+///
+/// # Panics
+/// Panics unless `1 ≤ k ≤ d`.
+#[must_use]
+pub fn k_relaxed_exact_min_n(f: usize, d: usize, k: usize) -> usize {
+    assert!(k >= 1 && k <= d, "k-relaxed requires 1 <= k <= d");
+    if f == 0 {
+        return 2;
+    }
+    if k == 1 {
+        3 * f + 1
+    } else if k == d {
+        exact_bvc_min_n(f, d)
+    } else {
+        (d + 1) * f + 1
+    }
+}
+
+/// Minimum `n` for k-Relaxed Approximate BVC, asynchronous (§6.2, Theorem 4).
+///
+/// # Panics
+/// Panics unless `1 ≤ k ≤ d`.
+#[must_use]
+pub fn k_relaxed_approx_min_n(f: usize, d: usize, k: usize) -> usize {
+    assert!(k >= 1 && k <= d, "k-relaxed requires 1 <= k <= d");
+    if f == 0 {
+        return 2;
+    }
+    if k == 1 {
+        3 * f + 1
+    } else {
+        (d + 2) * f + 1
+    }
+}
+
+/// Minimum `n` for (δ,p)-Relaxed Exact BVC with constant `0 < δ < ∞`,
+/// synchronous (Theorem 5). Identical to Theorem 1 — the relaxation does
+/// not help.
+#[must_use]
+pub fn delta_p_exact_min_n(f: usize, d: usize) -> usize {
+    exact_bvc_min_n(f, d)
+}
+
+/// Minimum `n` for (δ,p)-Relaxed Approximate BVC with constant `0 < δ < ∞`,
+/// asynchronous (Theorem 6).
+#[must_use]
+pub fn delta_p_approx_min_n(f: usize, d: usize) -> usize {
+    approx_bvc_min_n(f, d)
+}
+
+/// Minimum `n` for input-dependent (δ,p)-relaxed consensus (Lemma 10:
+/// impossible for `n ≤ 3f`).
+#[must_use]
+pub fn input_dependent_min_n(f: usize) -> usize {
+    if f == 0 {
+        2
+    } else {
+        3 * f + 1
+    }
+}
+
+/// The κ factor of Theorem 9's *second* bound and Theorem 12 / Conjecture 1
+/// (Table 1), for the L2 norm:
+///
+/// * `f = 1`, `n = d + 1` (more generally `n ≤ d + 1`): Theorem 9 gives
+///   `δ* < max-edge / (n − 2)` — κ = 1/(n−2);
+/// * `f ≥ 2`, `n = (d + 1) f`: Theorem 12 gives κ = 1/(d−1);
+/// * `3f + 1 ≤ n < (d + 1) f`: Conjecture 1 gives κ = 1/(⌊n/f⌋ − 2).
+///
+/// Returns `None` outside the regime the paper covers (e.g. `n > (d+1)f`,
+/// where δ* = 0 anyway by Tverberg, or `n ≤ 3f`, where the problem is
+/// unsolvable).
+#[must_use]
+pub fn kappa_l2(n: usize, f: usize, d: usize) -> Option<KappaBound> {
+    if f == 0 || d < 3 {
+        return None;
+    }
+    // Theorem 9 (with Case II projection) covers every f = 1 multiset of
+    // 3 ≤ n ≤ d+1 points: δ* < max-edge/(n−2). The n ≥ 3f+1 floor is a
+    // *solvability* requirement of the broadcast, not of this geometric
+    // bound — Theorem 15 evaluates the bound at n−f, which may equal 3f.
+    if f == 1 && n >= 3 && n <= d + 1 {
+        return Some(KappaBound {
+            kappa: 1.0 / (n as f64 - 2.0),
+            source: BoundSource::Theorem9,
+        });
+    }
+    if n <= 3 * f {
+        return None;
+    }
+    if f >= 2 && n == (d + 1) * f {
+        return Some(KappaBound {
+            kappa: 1.0 / (d as f64 - 1.0),
+            source: BoundSource::Theorem12,
+        });
+    }
+    if n > 3 * f && n < (d + 1) * f {
+        return Some(KappaBound {
+            kappa: 1.0 / ((n / f) as f64 - 2.0),
+            source: BoundSource::Conjecture1,
+        });
+    }
+    None
+}
+
+/// The additional min-edge bound of Theorem 9 (f = 1 only):
+/// `δ* < min-edge(E₊) / 2`.
+#[must_use]
+pub fn theorem9_min_edge_factor() -> f64 {
+    0.5
+}
+
+/// κ for general `p ≥ 2` (Theorem 14 / Conjecture 3): the L2 κ scaled by
+/// `d^(1/2 − 1/p)`, now multiplying `max-edge` measured in the Lp norm.
+#[must_use]
+pub fn kappa_lp(n: usize, f: usize, d: usize, norm: Norm) -> Option<KappaBound> {
+    let p = norm.p();
+    assert!(p >= 2.0, "Theorem 14 covers p >= 2");
+    let base = kappa_l2(n, f, d)?;
+    let inv_p = if p.is_infinite() { 0.0 } else { 1.0 / p };
+    Some(KappaBound {
+        kappa: (d as f64).powf(0.5 - inv_p) * base.kappa,
+        source: BoundSource::Theorem14,
+    })
+}
+
+/// κ for the asynchronous case (Theorem 15): the synchronous κ evaluated at
+/// `n − f` processes (the algorithm works with the `≥ n − f` values the
+/// round-0 reliable broadcast yields). Conjecture 4 gives the closed form
+/// `d^(1/2−1/p) / (⌊n/f⌋ − 3)`.
+#[must_use]
+pub fn kappa_async(n: usize, f: usize, d: usize, norm: Norm) -> Option<KappaBound> {
+    if f == 0 || n < 3 * f + 1 {
+        return None;
+    }
+    let inner = if norm == Norm::L2 {
+        kappa_l2(n - f, f, d)
+    } else {
+        kappa_lp(n - f, f, d, norm)
+    }?;
+    Some(KappaBound {
+        kappa: inner.kappa,
+        source: BoundSource::Theorem15,
+    })
+}
+
+/// A κ bound together with which result produced it (theorem vs conjecture
+/// — experiments report the two separately).
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct KappaBound {
+    /// δ ≤ κ · max-edge.
+    pub kappa: f64,
+    /// Provenance.
+    pub source: BoundSource,
+}
+
+/// Which paper statement a bound comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum BoundSource {
+    /// Theorem 9 (f = 1, n = d+1).
+    Theorem9,
+    /// Theorem 12 (f ≥ 2, n = (d+1)f).
+    Theorem12,
+    /// Theorem 14 (general p scaling).
+    Theorem14,
+    /// Theorem 15 (asynchronous reduction).
+    Theorem15,
+    /// Conjecture 1 (3f+1 ≤ n < (d+1)f).
+    Conjecture1,
+}
+
+impl BoundSource {
+    /// True when the bound is a proven theorem (vs a conjecture).
+    #[must_use]
+    pub fn is_proven(self) -> bool {
+        !matches!(self, BoundSource::Conjecture1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_bound_values() {
+        // d = 1 scalar: 3f+1 dominates; high d: (d+1)f+1 dominates.
+        assert_eq!(exact_bvc_min_n(1, 1), 4);
+        assert_eq!(exact_bvc_min_n(1, 2), 4);
+        assert_eq!(exact_bvc_min_n(1, 3), 5);
+        assert_eq!(exact_bvc_min_n(2, 5), 13);
+    }
+
+    #[test]
+    fn theorem2_bound_values() {
+        assert_eq!(approx_bvc_min_n(1, 1), 4);
+        assert_eq!(approx_bvc_min_n(1, 3), 6);
+        assert_eq!(approx_bvc_min_n(2, 4), 13);
+    }
+
+    #[test]
+    fn k_relaxed_bounds_match_paper_table() {
+        let (f, d) = (1, 5);
+        assert_eq!(k_relaxed_exact_min_n(f, d, 1), 4); // scalar reduction
+        for k in 2..d {
+            assert_eq!(k_relaxed_exact_min_n(f, d, k), 7); // (d+1)f+1
+        }
+        assert_eq!(k_relaxed_exact_min_n(f, d, d), 7); // = exact bound
+        assert_eq!(k_relaxed_approx_min_n(f, d, 1), 4);
+        for k in 2..=d {
+            assert_eq!(k_relaxed_approx_min_n(f, d, k), 8); // (d+2)f+1
+        }
+    }
+
+    #[test]
+    fn constant_delta_bounds_equal_unrelaxed() {
+        for f in 1..4 {
+            for d in 1..7 {
+                assert_eq!(delta_p_exact_min_n(f, d), exact_bvc_min_n(f, d));
+                assert_eq!(delta_p_approx_min_n(f, d), approx_bvc_min_n(f, d));
+            }
+        }
+    }
+
+    #[test]
+    fn kappa_table1_f1_row() {
+        // f = 1, n = d + 1, d ≥ 3: κ = 1/(n−2) = 1/(d−1).
+        let b = kappa_l2(4, 1, 3).expect("covered");
+        assert_eq!(b.source, BoundSource::Theorem9);
+        assert!((b.kappa - 0.5).abs() < 1e-12);
+        let b = kappa_l2(6, 1, 5).expect("covered");
+        assert!((b.kappa - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_table1_f2_row() {
+        // f = 2, n = (d+1)f = 8, d = 3: κ = 1/(d−1) = 1/2.
+        let b = kappa_l2(8, 2, 3).expect("covered");
+        assert_eq!(b.source, BoundSource::Theorem12);
+        assert!((b.kappa - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_conjecture_row() {
+        // f = 2, d = 5, n = 9 (3f+1 ≤ 9 < 12 = (d+1)f): ⌊9/2⌋−2 = 2.
+        let b = kappa_l2(9, 2, 5).expect("covered");
+        assert_eq!(b.source, BoundSource::Conjecture1);
+        assert!(!b.source.is_proven());
+        assert!((b.kappa - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_outside_regime_is_none() {
+        assert!(kappa_l2(6, 2, 3).is_none()); // n ≤ 3f with f ≥ 2
+        assert!(kappa_l2(9, 1, 3).is_none()); // n > (d+1)f: δ*=0 regime
+        assert!(kappa_l2(4, 1, 2).is_none()); // d < 3
+    }
+
+    #[test]
+    fn kappa_f1_geometric_bound_extends_to_three_points() {
+        // Used by Theorem 15 at n − f = 3: κ = 1/(3 − 2) = 1.
+        let b = kappa_l2(3, 1, 3).expect("geometric bound applies");
+        assert_eq!(b.source, BoundSource::Theorem9);
+        assert!((b.kappa - 1.0).abs() < 1e-12);
+        // And across the Case II range 3 ≤ n ≤ d+1 for larger d.
+        let b = kappa_l2(4, 1, 6).expect("Case II projection");
+        assert!((b.kappa - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_lp_scales_by_holder_factor() {
+        let d = 4;
+        let base = kappa_l2(5, 1, d).unwrap().kappa;
+        let linf = kappa_lp(5, 1, d, Norm::LInf).unwrap().kappa;
+        assert!((linf - base * 2.0).abs() < 1e-12, "d^(1/2) = 2 at d = 4");
+        let l4 = kappa_lp(5, 1, d, Norm::lp(4.0)).unwrap().kappa;
+        assert!((l4 - base * (4.0_f64).powf(0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_async_shifts_n_by_f() {
+        // Theorem 15: κ'(n) = κ(n − f). n = 5, f = 1, d = 3 → κ(4,1,3) = 1/2.
+        let b = kappa_async(5, 1, 3, Norm::L2).expect("covered");
+        assert_eq!(b.source, BoundSource::Theorem15);
+        assert!((b.kappa - 0.5).abs() < 1e-12);
+        assert!(kappa_async(3, 1, 3, Norm::L2).is_none());
+    }
+
+    #[test]
+    fn input_dependent_floor_is_3f_plus_1() {
+        assert_eq!(input_dependent_min_n(1), 4);
+        assert_eq!(input_dependent_min_n(3), 10);
+    }
+}

@@ -1,0 +1,245 @@
+//! Convex hull consensus in dimension 2 (the Tseng–Vaidya [15, 16] problem
+//! the paper's §10 machinery descends from): non-faulty processes agree on
+//! an identical *convex polytope* that is contained in the convex hull of
+//! the non-faulty inputs — the largest such set any algorithm can
+//! guarantee being `Γ(S)`.
+//!
+//! Synchronous construction (mirrors Exact BVC): Byzantine-broadcast all
+//! inputs → identical multiset `S` everywhere → output the exact polygon
+//! `Γ(S) = ⋂_{|T|=n−f} H(T)`, materialized by convex clipping
+//! ([`rbvc_geometry::clip2d`]). Point consensus is recovered by picking
+//! any deterministic point of the output (e.g. its centroid), which is how
+//! this module's tests tie back to the paper's Exact BVC.
+
+use rbvc_geometry::clip2d::{gamma_polygon, polygon_area};
+use rbvc_geometry::hull::ConvexHull;
+use rbvc_geometry::oracle2d::polygon_contains;
+use rbvc_linalg::{Tol, VecD};
+use rbvc_sim::config::ProcessId;
+use rbvc_sim::eig::{ParallelEig, ParallelEigMsg};
+use rbvc_sim::sync::SyncProtocol;
+
+/// The hull-consensus protocol for one process (d = 2).
+pub struct HullConsensus {
+    eig: ParallelEig<VecD>,
+    f: usize,
+    decided: Option<Vec<VecD>>,
+}
+
+impl HullConsensus {
+    /// Build the protocol instance for process `id` with a 2-D `input`.
+    ///
+    /// # Panics
+    /// Panics unless the input is 2-dimensional.
+    #[must_use]
+    pub fn new(id: ProcessId, n: usize, f: usize, input: VecD) -> Self {
+        assert_eq!(input.dim(), 2, "hull consensus is materialized in 2-D");
+        HullConsensus {
+            eig: ParallelEig::new(id, n, f, input, VecD::zeros(2)),
+            f,
+            decided: None,
+        }
+    }
+
+    /// The decided polygon (counterclockwise vertices; empty when `Γ(S)`
+    /// is empty, which cannot happen at `n ≥ 3f + 1` by Tverberg).
+    #[must_use]
+    pub fn polygon(&self) -> Option<&[VecD]> {
+        self.decided.as_deref()
+    }
+}
+
+impl SyncProtocol for HullConsensus {
+    type Msg = ParallelEigMsg<VecD>;
+    type Output = Vec<VecD>;
+
+    fn round_messages(&mut self, round: usize) -> Vec<(ProcessId, Self::Msg)> {
+        self.eig.round_messages(round)
+    }
+
+    fn receive(&mut self, round: usize, inbox: &[(ProcessId, Self::Msg)]) {
+        self.eig.receive(round, inbox);
+        if self.decided.is_none() {
+            if let Some(s) = self.eig.output() {
+                self.decided = Some(gamma_polygon(&s, self.f));
+            }
+        }
+    }
+
+    fn output(&self) -> Option<Vec<VecD>> {
+        self.decided.clone()
+    }
+}
+
+/// Validity check for hull consensus: the output polygon is contained in
+/// the hull of the non-faulty inputs (every vertex is a member).
+#[must_use]
+pub fn hull_output_valid(correct_inputs: &[VecD], output: &[VecD], tol: Tol) -> bool {
+    let hull = ConvexHull::new(correct_inputs.to_vec());
+    output.iter().all(|v| hull.contains(v, tol))
+}
+
+/// Agreement check: two polygons are identical (same vertices up to
+/// rotation of the cyclic order).
+#[must_use]
+pub fn polygons_equal(a: &[VecD], b: &[VecD], tol: Tol) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    if a.is_empty() {
+        return true;
+    }
+    // Find b's vertex matching a[0], then compare cyclically.
+    (0..b.len()).any(|shift| {
+        (0..a.len()).all(|i| a[i].approx_eq(&b[(i + shift) % b.len()], tol))
+    })
+}
+
+/// Containment check used in the optimality test: every point of polygon
+/// `inner` lies in polygon `outer`.
+#[must_use]
+pub fn polygon_subset(inner: &[VecD], outer: &[VecD], tol: Tol) -> bool {
+    inner.iter().all(|v| polygon_contains(outer, v, tol))
+}
+
+/// Convenience: the area of the decided set (0 when degenerate).
+#[must_use]
+pub fn decided_area(output: &[VecD]) -> f64 {
+    polygon_area(output)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use rbvc_sim::config::SystemConfig;
+    use rbvc_sim::eig::TwoFacedSender;
+    use rbvc_sim::sync::{RoundEngine, SyncNode};
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    fn run(
+        n: usize,
+        f: usize,
+        inputs: &[VecD],
+        two_faced: Option<usize>,
+    ) -> (SystemConfig, Vec<Option<Vec<VecD>>>) {
+        let faulty: Vec<usize> = two_faced.into_iter().collect();
+        let config = SystemConfig::new(n, f).with_faulty(faulty.clone());
+        let nodes: Vec<SyncNode<HullConsensus>> = (0..n)
+            .map(|i| {
+                if faulty.contains(&i) {
+                    SyncNode::Byzantine(Box::new(TwoFacedSender::new(
+                        i,
+                        n,
+                        f,
+                        (0..n)
+                            .map(|j| VecD::from_slice(&[j as f64 * 9.0, -9.0]))
+                            .collect(),
+                        VecD::zeros(2),
+                    )))
+                } else {
+                    SyncNode::Honest(HullConsensus::new(i, n, f, inputs[i].clone()))
+                }
+            })
+            .collect();
+        let mut engine = RoundEngine::new(config.clone(), nodes);
+        let out = engine.run(f + 2);
+        (config, out.decisions)
+    }
+
+    #[test]
+    fn agreement_and_validity_with_equivocator() {
+        let n = 5; // (d+1)f + 1 = 4 ≤ 5 — Γ nonempty guaranteed
+        let mut rng = StdRng::seed_from_u64(3);
+        let inputs: Vec<VecD> = (0..n)
+            .map(|_| VecD::from_slice(&[rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0)]))
+            .collect();
+        let (config, decisions) = run(n, 1, &inputs, Some(4));
+        let correct = config.correct_ids();
+        let reference = decisions[correct[0]].clone().unwrap();
+        assert!(!reference.is_empty(), "Γ must be nonempty at n = 5, f = 1");
+        for &i in &correct[1..] {
+            assert!(
+                polygons_equal(&reference, decisions[i].as_ref().unwrap(), Tol(1e-9)),
+                "hull agreement violated at process {i}"
+            );
+        }
+        let correct_inputs: Vec<VecD> =
+            correct.iter().map(|&i| inputs[i].clone()).collect();
+        assert!(
+            hull_output_valid(&correct_inputs, &reference, Tol(1e-6)),
+            "hull validity violated"
+        );
+    }
+
+    #[test]
+    fn output_contains_every_exact_bvc_decision() {
+        // The Γ polygon contains the Γ point any Exact BVC run decides —
+        // hull consensus subsumes point consensus.
+        let n = 4;
+        let inputs = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[2.0, 0.0]),
+            VecD::from_slice(&[0.0, 2.0]),
+            VecD::from_slice(&[2.0, 2.0]),
+        ];
+        let (_, decisions) = run(n, 1, &inputs, None);
+        let polygon = decisions[0].clone().unwrap();
+        let point = rbvc_geometry::gamma_point(&inputs, 1, t()).expect("nonempty");
+        assert!(polygon_contains(&polygon, &point, Tol(1e-6)));
+    }
+
+    #[test]
+    fn identical_inputs_decide_single_point() {
+        let n = 4;
+        let common = VecD::from_slice(&[1.0, -1.0]);
+        let inputs = vec![common.clone(); n];
+        let (_, decisions) = run(n, 1, &inputs, None);
+        let polygon = decisions[0].clone().unwrap();
+        assert!(decided_area(&polygon) < 1e-12);
+        assert!(polygon.iter().all(|v| v.approx_eq(&common, Tol(1e-9))));
+    }
+
+    #[test]
+    fn polygons_equal_handles_rotation() {
+        let a = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.0]),
+            VecD::from_slice(&[0.0, 1.0]),
+        ];
+        let b = vec![a[1].clone(), a[2].clone(), a[0].clone()];
+        assert!(polygons_equal(&a, &b, t()));
+        let c = vec![a[0].clone(), a[2].clone(), a[1].clone()]; // reversed order
+        assert!(!polygons_equal(&a, &c, t()));
+    }
+
+    #[test]
+    fn more_processes_decide_larger_hull() {
+        // With extra processes (same fault bound), Γ grows: less is cut.
+        let base = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[2.0, 0.0]),
+            VecD::from_slice(&[0.0, 2.0]),
+            VecD::from_slice(&[2.0, 2.0]),
+        ];
+        let (_, d4) = run(4, 1, &base, None);
+        let mut more = base.clone();
+        more.push(VecD::from_slice(&[1.0, 1.0]));
+        let (_, d5) = run(5, 1, &more, None);
+        let a4 = decided_area(d4[0].as_ref().unwrap());
+        let a5 = decided_area(d5[0].as_ref().unwrap());
+        assert!(
+            a5 >= a4 - 1e-9,
+            "adding a central input must not shrink Γ: {a4} vs {a5}"
+        );
+        // And the 4-process polygon is contained in the 5-process one.
+        assert!(polygon_subset(
+            d4[0].as_ref().unwrap(),
+            d5[0].as_ref().unwrap(),
+            Tol(1e-6)
+        ));
+    }
+}

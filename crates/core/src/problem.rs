@@ -1,0 +1,355 @@
+//! Problem statements and machine-checkable validity conditions.
+//!
+//! The paper defines six consensus problems (Definitions 7, 8, 10, 11 plus
+//! the original exact/approximate BVC of §4), all sharing Agreement /
+//! Validity / Termination structure and differing in the validity set:
+//!
+//! | problem            | output must lie in                       |
+//! |--------------------|------------------------------------------|
+//! | Exact BVC          | `H(N)`                                   |
+//! | k-Relaxed BVC      | `H_k(N)`                                 |
+//! | (δ,p)-Relaxed BVC  | `H_(δ,p)(N)`                             |
+//!
+//! where `N` is the multiset of inputs at *non-faulty* processes. This
+//! module turns each condition into an executable checker over a finished
+//! execution, so every experiment reports a machine-verified verdict.
+
+use rbvc_geometry::{ConvexHull, DeltaPHull, KRelaxedHull};
+use rbvc_linalg::{Norm, Tol, VecD};
+use serde::{Deserialize, Serialize};
+
+/// Which validity set constrains the decision (relative to the non-faulty
+/// inputs `N`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Validity {
+    /// `H(N)` — the original BVC validity (§4).
+    Exact,
+    /// `H_k(N)` — Definition 7/8.
+    KRelaxed(usize),
+    /// `H_(δ,p)(N)` with a *constant* δ — Definition 10/11.
+    DeltaP {
+        /// Relaxation radius.
+        delta: f64,
+        /// Norm parameter p.
+        norm: Norm,
+    },
+    /// `H_(δ,p)(N)` with input-dependent δ ≤ κ · max-edge(N) (paper §9):
+    /// the checker computes the bound from the non-faulty inputs.
+    InputDependentDeltaP {
+        /// The constant κ(n, f, d, p) from Table 1 / the conjectures.
+        kappa: f64,
+        /// Norm parameter p.
+        norm: Norm,
+    },
+}
+
+/// Agreement flavour: exact (identical outputs) or ε-agreement
+/// (coordinatewise within ε, Definitions 8/11).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Agreement {
+    /// All non-faulty outputs identical (within numerical tolerance).
+    Exact,
+    /// Coordinatewise (L∞) difference at most ε between any two outputs.
+    Epsilon(f64),
+}
+
+/// Verdict of checking one execution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Verdict {
+    /// Agreement condition satisfied.
+    pub agreement: bool,
+    /// Validity condition satisfied for every non-faulty output.
+    pub validity: bool,
+    /// Every non-faulty process decided.
+    pub termination: bool,
+    /// Worst coordinatewise disagreement observed between two outputs.
+    pub max_disagreement: f64,
+    /// Worst validity excess observed (distance beyond the validity set; 0
+    /// when validity holds exactly).
+    pub max_validity_excess: f64,
+}
+
+impl Verdict {
+    /// All three conditions hold.
+    #[must_use]
+    pub fn ok(&self) -> bool {
+        self.agreement && self.validity && self.termination
+    }
+}
+
+/// Check a finished execution.
+///
+/// * `correct_inputs` — the multiset `N` of inputs at non-faulty processes;
+/// * `outputs` — decisions of non-faulty processes (`None` = undecided);
+/// * `agreement` / `validity` — the conditions of the problem being run.
+#[must_use]
+pub fn check_execution(
+    correct_inputs: &[VecD],
+    outputs: &[Option<VecD>],
+    agreement: Agreement,
+    validity: &Validity,
+    tol: Tol,
+) -> Verdict {
+    let decided: Vec<&VecD> = outputs.iter().flatten().collect();
+    let termination = decided.len() == outputs.len() && !outputs.is_empty();
+
+    // Agreement.
+    let mut max_disagreement = 0.0_f64;
+    for (i, a) in decided.iter().enumerate() {
+        for b in &decided[i + 1..] {
+            max_disagreement = max_disagreement.max(a.dist(b, Norm::LInf));
+        }
+    }
+    let agreement_ok = match agreement {
+        Agreement::Exact => {
+            let scale = decided.iter().fold(1.0_f64, |m, v| m.max(v.max_abs()));
+            max_disagreement <= tol.scaled(scale).value() * 10.0
+        }
+        Agreement::Epsilon(eps) => max_disagreement <= eps,
+    };
+
+    // Validity.
+    let (validity_ok, max_excess) = check_validity(correct_inputs, &decided, validity, tol);
+
+    Verdict {
+        agreement: agreement_ok,
+        validity: validity_ok,
+        termination,
+        max_disagreement,
+        max_validity_excess: max_excess,
+    }
+}
+
+/// Validity check plus the worst observed excess beyond the validity set.
+fn check_validity(
+    correct_inputs: &[VecD],
+    decided: &[&VecD],
+    validity: &Validity,
+    tol: Tol,
+) -> (bool, f64) {
+    if decided.is_empty() {
+        return (true, 0.0);
+    }
+    match validity {
+        Validity::Exact => {
+            let hull = ConvexHull::new(correct_inputs.to_vec());
+            let mut ok = true;
+            let mut excess = 0.0_f64;
+            for out in decided {
+                if !hull.contains(out, tol) {
+                    ok = false;
+                }
+                excess = excess.max(hull.distance(out, Norm::L2, tol));
+            }
+            if ok {
+                excess = 0.0;
+            }
+            (ok, excess)
+        }
+        Validity::KRelaxed(k) => {
+            let hk = KRelaxedHull::new(correct_inputs.to_vec(), *k);
+            let mut ok = true;
+            for out in decided {
+                if !hk.contains(out, tol) {
+                    ok = false;
+                }
+            }
+            (ok, 0.0)
+        }
+        Validity::DeltaP { delta, norm } => {
+            let h = DeltaPHull::new(correct_inputs.to_vec(), *delta, *norm);
+            let mut ok = true;
+            let mut excess = 0.0_f64;
+            for out in decided {
+                excess = excess.max(h.excess(out, tol));
+                if !h.contains(out, tol) {
+                    ok = false;
+                }
+            }
+            (ok, excess)
+        }
+        Validity::InputDependentDeltaP { kappa, norm } => {
+            let max_edge = rbvc_geometry::pairwise_edges_norm(correct_inputs, *norm)
+                .into_iter()
+                .fold(0.0_f64, f64::max);
+            let delta = kappa * max_edge;
+            let h = DeltaPHull::new(correct_inputs.to_vec(), delta, *norm);
+            let mut ok = true;
+            let mut excess = 0.0_f64;
+            for out in decided {
+                excess = excess.max(h.excess(out, tol));
+                if !h.contains(out, tol) {
+                    ok = false;
+                }
+            }
+            (ok, excess)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    fn inputs() -> Vec<VecD> {
+        vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[2.0, 0.0]),
+            VecD::from_slice(&[0.0, 2.0]),
+        ]
+    }
+
+    #[test]
+    fn exact_valid_agreeing_execution_passes() {
+        let out = Some(VecD::from_slice(&[0.5, 0.5]));
+        let v = check_execution(
+            &inputs(),
+            &[out.clone(), out.clone(), out],
+            Agreement::Exact,
+            &Validity::Exact,
+            t(),
+        );
+        assert!(v.ok());
+        assert_eq!(v.max_validity_excess, 0.0);
+    }
+
+    #[test]
+    fn disagreement_fails_exact_agreement() {
+        let v = check_execution(
+            &inputs(),
+            &[
+                Some(VecD::from_slice(&[0.5, 0.5])),
+                Some(VecD::from_slice(&[0.6, 0.5])),
+            ],
+            Agreement::Exact,
+            &Validity::Exact,
+            t(),
+        );
+        assert!(!v.agreement);
+        assert!((v.max_disagreement - 0.1).abs() < 1e-12);
+        assert!(v.validity);
+    }
+
+    #[test]
+    fn epsilon_agreement_tolerates_small_gaps() {
+        let v = check_execution(
+            &inputs(),
+            &[
+                Some(VecD::from_slice(&[0.5, 0.5])),
+                Some(VecD::from_slice(&[0.6, 0.5])),
+            ],
+            Agreement::Epsilon(0.15),
+            &Validity::Exact,
+            t(),
+        );
+        assert!(v.agreement);
+    }
+
+    #[test]
+    fn outside_hull_fails_exact_validity() {
+        let v = check_execution(
+            &inputs(),
+            &[Some(VecD::from_slice(&[3.0, 3.0]))],
+            Agreement::Exact,
+            &Validity::Exact,
+            t(),
+        );
+        assert!(!v.validity);
+        assert!(v.max_validity_excess > 1.0);
+    }
+
+    #[test]
+    fn k_relaxed_validity_is_weaker() {
+        // (2, 2) is outside H(N) but inside H_1(N) (the bounding box).
+        let out = Some(VecD::from_slice(&[2.0, 2.0]));
+        let exact = check_execution(
+            &inputs(),
+            std::slice::from_ref(&out),
+            Agreement::Exact,
+            &Validity::Exact,
+            t(),
+        );
+        assert!(!exact.validity);
+        let relaxed = check_execution(
+            &inputs(),
+            &[out],
+            Agreement::Exact,
+            &Validity::KRelaxed(1),
+            t(),
+        );
+        assert!(relaxed.validity);
+    }
+
+    #[test]
+    fn delta_p_validity_measures_excess() {
+        let out = Some(VecD::from_slice(&[2.0, 2.0])); // dist₂ to hull = √2
+        let near = check_execution(
+            &inputs(),
+            std::slice::from_ref(&out),
+            Agreement::Exact,
+            &Validity::DeltaP {
+                delta: 1.5,
+                norm: Norm::L2,
+            },
+            t(),
+        );
+        assert!(near.validity);
+        let far = check_execution(
+            &inputs(),
+            &[out],
+            Agreement::Exact,
+            &Validity::DeltaP {
+                delta: 1.0,
+                norm: Norm::L2,
+            },
+            t(),
+        );
+        assert!(!far.validity);
+        assert!((far.max_validity_excess - (2.0_f64.sqrt() - 1.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn input_dependent_delta_uses_max_edge() {
+        // max edge of `inputs` (L2) = 2√2; κ = 0.5 → δ = √2: point at
+        // distance √2 passes, farther fails.
+        let ok = check_execution(
+            &inputs(),
+            &[Some(VecD::from_slice(&[2.0, 2.0]))],
+            Agreement::Exact,
+            &Validity::InputDependentDeltaP {
+                kappa: 0.5,
+                norm: Norm::L2,
+            },
+            t(),
+        );
+        assert!(ok.validity);
+        let bad = check_execution(
+            &inputs(),
+            &[Some(VecD::from_slice(&[3.0, 3.0]))],
+            Agreement::Exact,
+            &Validity::InputDependentDeltaP {
+                kappa: 0.5,
+                norm: Norm::L2,
+            },
+            t(),
+        );
+        assert!(!bad.validity);
+    }
+
+    #[test]
+    fn undecided_process_fails_termination() {
+        let v = check_execution(
+            &inputs(),
+            &[Some(VecD::from_slice(&[0.5, 0.5])), None],
+            Agreement::Exact,
+            &Validity::Exact,
+            t(),
+        );
+        assert!(!v.termination);
+        assert!(!v.ok());
+    }
+}

@@ -1,0 +1,799 @@
+//! (Relaxed) Verified Averaging — the paper's asynchronous algorithm (§10),
+//! built on Bracha reliable broadcast.
+//!
+//! Structure (following Tseng–Vaidya [15] with the paper's modified round-0
+//! function `H_(δ,p)(V, 0)`, Definition 12):
+//!
+//! * **Round 0** — every process reliably broadcasts its input. Upon
+//!   verifying `≥ n − f` round-0 states `X`, a process computes
+//!   `hull := ⋂_{C ⊆ X, |C| = |X|−f} H_(δ,p)(C)` for the smallest workable
+//!   `δ` and deterministically picks a point (`δ = 0` recovers Verified
+//!   Averaging and needs `n ≥ (d+2)f+1`; input-dependent `δ = δ*(X)` is the
+//!   paper's relaxation and needs only `n ≥ 3f+1`).
+//! * **Rounds t ≥ 1** — each process reliably broadcasts its state
+//!   *together with the multiset it averaged* (the witness); receivers
+//!   **verify** the state by recomputing the arithmetic against their own
+//!   reliably-delivered record, so a Byzantine process cannot inject a
+//!   value that is not a correct application of the averaging rule.
+//!   Progress to round `t + 1` happens upon `n − f` *verified* round-`t`
+//!   states; the new value is their average.
+//! * **Decision** — after `R` rounds, output the current value.
+//!   ε-agreement follows from the geometric contraction of averaging over
+//!   overlapping verified sets (factor ≈ `2f / (n − f)` per round);
+//!   validity follows because every verified round-1 value lies in
+//!   `H_(δ,p)`(correct inputs) and averaging preserves membership in that
+//!   convex set.
+
+use std::collections::HashMap;
+
+use rbvc_geometry::minmax::{delta_star, MinMaxOptions};
+use rbvc_geometry::gamma_point;
+use rbvc_linalg::{Norm, Tol, VecD};
+use rbvc_sim::asynch::{AsyncAdversary, AsyncProtocol};
+use rbvc_sim::bracha::{BrachaInstance, BrachaMsg};
+use rbvc_sim::config::ProcessId;
+
+/// Identifies one reliable-broadcast instance: (origin process, round).
+pub type RoundTag = (ProcessId, usize);
+
+/// The payload a process reliably broadcasts each round.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundState {
+    /// Current value of the origin process at this round.
+    pub value: VecD,
+    /// For rounds `t ≥ 1`: the exact (ordered) multiset of round-`t−1`
+    /// states averaged to produce `value`. Empty for round 0.
+    pub witness: Vec<(ProcessId, VecD)>,
+}
+
+/// Wire message: a Bracha message of one tagged instance.
+pub type VaMsg = (RoundTag, BrachaMsg<RoundState>);
+
+/// Round-0 combining rule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DeltaMode {
+    /// δ = 0 (original Verified Averaging): a point of `Γ(X)`; requires
+    /// `n ≥ (d+2)f + 1` so that `|X| ≥ (d+1)f + 1` makes `Γ(X)` nonempty.
+    Zero,
+    /// Input-dependent δ (the paper's relaxation): `δ*(X)` and its witness
+    /// point; works for any `n ≥ 3f + 1`.
+    MinDelta(Norm),
+}
+
+/// The protocol instance for one process.
+pub struct VerifiedAveraging {
+    id: ProcessId,
+    n: usize,
+    f: usize,
+    total_rounds: usize,
+    mode: DeltaMode,
+    tol: Tol,
+    input: VecD,
+
+    rb: HashMap<RoundTag, BrachaInstance<RoundState>>,
+    delivered: HashMap<RoundTag, RoundState>,
+    /// Tags verified OK, with their values, grouped by round.
+    verified: HashMap<usize, Vec<(ProcessId, VecD)>>,
+    /// Delivered but not yet verifiable (waiting on witness deliveries).
+    pending: Vec<RoundTag>,
+    /// Tags that failed verification permanently.
+    rejected: Vec<RoundTag>,
+
+    /// Highest round whose state this process has broadcast.
+    my_round: usize,
+    decided: Option<VecD>,
+    /// δ used by this process's own round-0 combining (experiment metric).
+    round0_delta: Option<f64>,
+}
+
+impl VerifiedAveraging {
+    /// Build the protocol for process `id` with the given `input`; the
+    /// process decides after `total_rounds` averaging rounds.
+    #[must_use]
+    pub fn new(
+        id: ProcessId,
+        n: usize,
+        f: usize,
+        input: VecD,
+        mode: DeltaMode,
+        total_rounds: usize,
+        tol: Tol,
+    ) -> Self {
+        assert!(n > 3 * f, "verified averaging requires n >= 3f + 1");
+        assert!(total_rounds >= 1, "need at least one averaging round");
+        VerifiedAveraging {
+            id,
+            n,
+            f,
+            total_rounds,
+            mode,
+            tol,
+            input,
+            rb: HashMap::new(),
+            delivered: HashMap::new(),
+            verified: HashMap::new(),
+            pending: Vec::new(),
+            rejected: Vec::new(),
+            my_round: 0,
+            decided: None,
+            round0_delta: None,
+        }
+    }
+
+    /// The δ this process's round-0 combining step needed (`Some(0.0)` for
+    /// `DeltaMode::Zero` runs that succeeded).
+    #[must_use]
+    pub fn round0_delta(&self) -> Option<f64> {
+        self.round0_delta
+    }
+
+    fn instance(&mut self, tag: RoundTag) -> &mut BrachaInstance<RoundState> {
+        let (n, f) = (self.n, self.f);
+        self.rb
+            .entry(tag)
+            .or_insert_with(|| BrachaInstance::new(n, f))
+    }
+
+    /// Broadcast `state` as this process's round-`round` message.
+    fn broadcast_state(
+        &mut self,
+        round: usize,
+        state: RoundState,
+        out: &mut Vec<(ProcessId, VaMsg)>,
+    ) {
+        let tag = (self.id, round);
+        let actions = self.instance(tag).start(state);
+        for m in actions.broadcast {
+            for dst in 0..self.n {
+                out.push((dst, (tag, m.clone())));
+            }
+        }
+    }
+
+    /// Apply the round-0 combining rule to an ordered multiset of values.
+    fn combine_round0(&self, values: &[VecD]) -> (VecD, f64) {
+        match self.mode {
+            DeltaMode::Zero => {
+                let point = gamma_point(values, self.f, self.tol).expect(
+                    "Γ(X) empty in DeltaMode::Zero: run needs n >= (d+2)f + 1",
+                );
+                (point, 0.0)
+            }
+            DeltaMode::MinDelta(norm) => {
+                let ds = delta_star(values, self.f, norm, self.tol, MinMaxOptions::default());
+                (ds.witness, ds.delta)
+            }
+        }
+    }
+
+    /// Average of an ordered multiset (the `t ≥ 1` rule of Definition 12).
+    fn combine_average(values: &[VecD]) -> VecD {
+        let mut acc = VecD::zeros(values[0].dim());
+        for v in values {
+            acc += v.clone();
+        }
+        acc.scale(1.0 / values.len() as f64)
+    }
+
+    /// Attempt to verify a delivered state. Returns:
+    /// `Some(true)` verified, `Some(false)` rejected, `None` undecidable yet.
+    fn try_verify(&self, tag: RoundTag, state: &RoundState) -> Option<bool> {
+        let (_, round) = tag;
+        if round == 0 {
+            // Inputs are unconstrained: any round-0 value verifies.
+            return Some(true);
+        }
+        // Witness sanity: enough entries, distinct origins.
+        if state.witness.len() < self.n - self.f {
+            return Some(false);
+        }
+        let mut seen = Vec::new();
+        for (k, _) in &state.witness {
+            if seen.contains(k) || *k >= self.n {
+                return Some(false);
+            }
+            seen.push(*k);
+        }
+        // Every witness entry must match a *verified* round-(t−1) state.
+        let prev = self.verified.get(&(round - 1));
+        for (k, v) in &state.witness {
+            let known = prev.and_then(|list| list.iter().find(|(pid, _)| pid == k));
+            match known {
+                Some((_, value)) => {
+                    if !value.approx_eq(v, self.verify_tol()) {
+                        // The claimed witness value contradicts the
+                        // reliably-broadcast record: certain rejection.
+                        return Some(false);
+                    }
+                }
+                None => {
+                    // Not verified (yet). If it was delivered with a
+                    // different value, reject; otherwise wait.
+                    if let Some(delivered) = self.delivered.get(&(*k, round - 1)) {
+                        if !delivered.value.approx_eq(v, self.verify_tol()) {
+                            return Some(false);
+                        }
+                    }
+                    return None;
+                }
+            }
+        }
+        // Recompute the arithmetic.
+        let values: Vec<VecD> = state.witness.iter().map(|(_, v)| v.clone()).collect();
+        let expected = if round == 1 {
+            self.combine_round0(&values).0
+        } else {
+            Self::combine_average(&values)
+        };
+        Some(expected.approx_eq(&state.value, self.verify_tol()))
+    }
+
+    fn verify_tol(&self) -> Tol {
+        // Receivers recompute the *same deterministic function* on the same
+        // ordered inputs, so only representation noise needs absorbing.
+        Tol(self.tol.value().max(1e-9) * 100.0)
+    }
+
+    /// Process a newly delivered state plus any pending ones that become
+    /// verifiable; drive round progression.
+    fn handle_delivery(&mut self, tag: RoundTag, state: RoundState, out: &mut Vec<(ProcessId, VaMsg)>) {
+        self.delivered.insert(tag, state);
+        self.pending.push(tag);
+        // Fixpoint: verification of one state can unblock others.
+        loop {
+            let mut progressed = false;
+            let mut i = 0;
+            while i < self.pending.len() {
+                let t = self.pending[i];
+                let s = self.delivered.get(&t).expect("pending implies delivered").clone();
+                match self.try_verify(t, &s) {
+                    Some(true) => {
+                        self.pending.swap_remove(i);
+                        self.verified
+                            .entry(t.1)
+                            .or_default()
+                            .push((t.0, s.value.clone()));
+                        progressed = true;
+                    }
+                    Some(false) => {
+                        self.pending.swap_remove(i);
+                        self.rejected.push(t);
+                        progressed = true;
+                    }
+                    None => {
+                        i += 1;
+                    }
+                }
+            }
+            let advanced = self.try_advance(out);
+            if !progressed && !advanced {
+                break;
+            }
+        }
+    }
+
+    /// Advance to the next round if enough verified states are in. Returns
+    /// true if the process moved.
+    fn try_advance(&mut self, out: &mut Vec<(ProcessId, VaMsg)>) -> bool {
+        if self.decided.is_some() {
+            return false;
+        }
+        let t = self.my_round;
+        let Some(list) = self.verified.get(&t) else {
+            return false;
+        };
+        if list.len() < self.n - self.f {
+            return false;
+        }
+        let witness: Vec<(ProcessId, VecD)> = list.clone();
+        let values: Vec<VecD> = witness.iter().map(|(_, v)| v.clone()).collect();
+        let next_value = if t == 0 {
+            let (v, delta) = self.combine_round0(&values);
+            self.round0_delta = Some(delta);
+            v
+        } else {
+            Self::combine_average(&values)
+        };
+        self.my_round = t + 1;
+        if self.my_round >= self.total_rounds {
+            self.decided = Some(next_value);
+        } else {
+            self.broadcast_state(
+                self.my_round,
+                RoundState {
+                    value: next_value,
+                    witness,
+                },
+                out,
+            );
+        }
+        true
+    }
+}
+
+impl AsyncProtocol for VerifiedAveraging {
+    type Msg = VaMsg;
+    type Output = VecD;
+
+    fn on_start(&mut self) -> Vec<(ProcessId, VaMsg)> {
+        let mut out = Vec::new();
+        let input = self.input.clone();
+        self.broadcast_state(
+            0,
+            RoundState {
+                value: input,
+                witness: Vec::new(),
+            },
+            &mut out,
+        );
+        out
+    }
+
+    fn on_message(&mut self, from: ProcessId, msg: VaMsg) -> Vec<(ProcessId, VaMsg)> {
+        let (tag, bmsg) = msg;
+        // Bound rounds to keep a Byzantine flood from allocating unboundedly.
+        if tag.1 > self.total_rounds || tag.0 >= self.n {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let actions = self.instance(tag).on_message(from, tag.0, bmsg);
+        for m in actions.broadcast {
+            for dst in 0..self.n {
+                out.push((dst, (tag, m.clone())));
+            }
+        }
+        if let Some(state) = actions.delivered {
+            self.handle_delivery(tag, state, &mut out);
+        }
+        out
+    }
+
+    fn output(&self) -> Option<VecD> {
+        self.decided.clone()
+    }
+}
+
+/// Byzantine strategy that runs the protocol faithfully with a chosen input
+/// (arbitrary inputs are within Byzantine power and stress validity).
+pub struct HonestFacade(pub VerifiedAveraging);
+
+impl AsyncAdversary<VaMsg> for HonestFacade {
+    fn on_start(&mut self) -> Vec<(ProcessId, VaMsg)> {
+        self.0.on_start()
+    }
+    fn on_message(&mut self, from: ProcessId, msg: VaMsg) -> Vec<(ProcessId, VaMsg)> {
+        self.0.on_message(from, msg)
+    }
+}
+
+/// Byzantine strategy: attempts a split-brain on its own round-0 broadcast,
+/// sending `Init(a)` to the first half of processes and `Init(b)` to the
+/// rest. Bracha RB must prevent correct processes from delivering
+/// different values.
+pub struct SplitBrainInput {
+    inner: VerifiedAveraging,
+    alt: VecD,
+}
+
+impl SplitBrainInput {
+    /// `primary` goes to low ids, `alt` to high ids.
+    #[must_use]
+    #[allow(clippy::too_many_arguments)] // flat spec mirrors the runner structs
+    pub fn new(
+        id: ProcessId,
+        n: usize,
+        f: usize,
+        primary: VecD,
+        alt: VecD,
+        mode: DeltaMode,
+        total_rounds: usize,
+        tol: Tol,
+    ) -> Self {
+        SplitBrainInput {
+            inner: VerifiedAveraging::new(id, n, f, primary, mode, total_rounds, tol),
+            alt,
+        }
+    }
+}
+
+impl AsyncAdversary<VaMsg> for SplitBrainInput {
+    fn on_start(&mut self) -> Vec<(ProcessId, VaMsg)> {
+        let n = self.inner.n;
+        let mut sends = self.inner.on_start();
+        for (dst, (tag, m)) in &mut sends {
+            if *dst >= n / 2 && tag.1 == 0 {
+                if let BrachaMsg::Init(state) = m {
+                    state.value = self.alt.clone();
+                }
+            }
+        }
+        sends
+    }
+    fn on_message(&mut self, from: ProcessId, msg: VaMsg) -> Vec<(ProcessId, VaMsg)> {
+        self.inner.on_message(from, msg)
+    }
+}
+
+/// Byzantine strategy: participates via the honest machinery but corrupts
+/// the *value* of its own round-`t ≥ 1` states (keeping the witness), so
+/// its states must fail verification at every correct process.
+pub struct CorruptAverage {
+    inner: VerifiedAveraging,
+    offset: VecD,
+}
+
+impl CorruptAverage {
+    /// Adds `offset` to each of its own averaged values.
+    #[must_use]
+    pub fn new(inner: VerifiedAveraging, offset: VecD) -> Self {
+        CorruptAverage { inner, offset }
+    }
+
+    fn corrupt(&self, sends: &mut [(ProcessId, VaMsg)]) {
+        let id = self.inner.id;
+        for (_, (tag, m)) in sends.iter_mut() {
+            if tag.0 == id && tag.1 >= 1 {
+                if let BrachaMsg::Init(state) = m {
+                    state.value = &state.value + &self.offset;
+                }
+            }
+        }
+    }
+}
+
+impl AsyncAdversary<VaMsg> for CorruptAverage {
+    fn on_start(&mut self) -> Vec<(ProcessId, VaMsg)> {
+        let mut sends = self.inner.on_start();
+        self.corrupt(&mut sends);
+        sends
+    }
+    fn on_message(&mut self, from: ProcessId, msg: VaMsg) -> Vec<(ProcessId, VaMsg)> {
+        let mut sends = self.inner.on_message(from, msg);
+        self.corrupt(&mut sends);
+        sends
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rbvc_sim::asynch::{
+        AsyncEngine, AsyncNode, FifoScheduler, RandomScheduler, SilentAsyncAdversary,
+        TargetedDelayScheduler,
+    };
+    use rbvc_sim::config::SystemConfig;
+
+    use crate::problem::{check_execution, Agreement, Validity};
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    struct Setup {
+        n: usize,
+        f: usize,
+        inputs: Vec<VecD>,
+        mode: DeltaMode,
+        rounds: usize,
+    }
+
+    enum Byz {
+        Silent,
+        HonestInput(VecD),
+        SplitBrain(VecD, VecD),
+        Corrupt(VecD, VecD), // (input, offset)
+    }
+
+    fn build(
+        setup: &Setup,
+        byz: Vec<(usize, Byz)>,
+    ) -> (SystemConfig, AsyncEngine<VerifiedAveraging>) {
+        let faulty: Vec<usize> = byz.iter().map(|(i, _)| *i).collect();
+        let config = SystemConfig::new(setup.n, setup.f).with_faulty(faulty);
+        let nodes: Vec<AsyncNode<VerifiedAveraging>> = (0..setup.n)
+            .map(|i| {
+                match byz.iter().find(|(j, _)| *j == i).map(|(_, b)| b) {
+                    None => AsyncNode::Honest(VerifiedAveraging::new(
+                        i,
+                        setup.n,
+                        setup.f,
+                        setup.inputs[i].clone(),
+                        setup.mode,
+                        setup.rounds,
+                        t(),
+                    )),
+                    Some(Byz::Silent) => {
+                        AsyncNode::Byzantine(Box::new(SilentAsyncAdversary))
+                    }
+                    Some(Byz::HonestInput(v)) => {
+                        AsyncNode::Byzantine(Box::new(HonestFacade(VerifiedAveraging::new(
+                            i,
+                            setup.n,
+                            setup.f,
+                            v.clone(),
+                            setup.mode,
+                            setup.rounds,
+                            t(),
+                        ))))
+                    }
+                    Some(Byz::SplitBrain(a, b)) => AsyncNode::Byzantine(Box::new(
+                        SplitBrainInput::new(
+                            i,
+                            setup.n,
+                            setup.f,
+                            a.clone(),
+                            b.clone(),
+                            setup.mode,
+                            setup.rounds,
+                            t(),
+                        ),
+                    )),
+                    Some(Byz::Corrupt(input, offset)) => {
+                        AsyncNode::Byzantine(Box::new(CorruptAverage::new(
+                            VerifiedAveraging::new(
+                                i,
+                                setup.n,
+                                setup.f,
+                                input.clone(),
+                                setup.mode,
+                                setup.rounds,
+                                t(),
+                            ),
+                            offset.clone(),
+                        )))
+                    }
+                }
+            })
+            .collect();
+        (config.clone(), AsyncEngine::new(config, nodes))
+    }
+
+    fn correct_outputs(
+        config: &SystemConfig,
+        decisions: &[Option<VecD>],
+    ) -> Vec<Option<VecD>> {
+        config
+            .correct_ids()
+            .into_iter()
+            .map(|i| decisions[i].clone())
+            .collect()
+    }
+
+    #[test]
+    fn baseline_approximate_bvc_at_theorem2_bound() {
+        // d = 2, f = 1, n = (d+2)f+1 = 5, DeltaMode::Zero.
+        let inputs: Vec<VecD> = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.0]),
+            VecD::from_slice(&[0.0, 1.0]),
+            VecD::from_slice(&[1.0, 1.0]),
+            VecD::from_slice(&[0.5, 0.5]),
+        ];
+        let setup = Setup {
+            n: 5,
+            f: 1,
+            inputs: inputs.clone(),
+            mode: DeltaMode::Zero,
+            rounds: 25,
+        };
+        let (config, mut engine) =
+            build(&setup, vec![(4, Byz::HonestInput(VecD::from_slice(&[9.0, -9.0])))]);
+        let out = engine.run(&mut RandomScheduler::new(42), 2_000_000);
+        assert!(out.all_decided, "liveness failed");
+        let correct_inputs: Vec<VecD> = config
+            .correct_ids()
+            .into_iter()
+            .map(|i| inputs[i].clone())
+            .collect();
+        let v = check_execution(
+            &correct_inputs,
+            &correct_outputs(&config, &out.decisions),
+            Agreement::Epsilon(1e-4),
+            &Validity::Exact,
+            t(),
+        );
+        assert!(v.ok(), "approximate BVC failed: {v:?}");
+    }
+
+    #[test]
+    fn relaxed_averaging_below_theorem2_bound() {
+        // The paper's point: d = 3, f = 1, n = 4 < (d+2)f+1 = 6 — baseline
+        // impossible, but MinDelta mode achieves (δ,2)-relaxed validity
+        // with δ ≤ κ(n−f, f, d, 2)·max-edge (Theorem 15).
+        let inputs: Vec<VecD> = vec![
+            VecD::from_slice(&[0.0, 0.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.1, -0.2]),
+            VecD::from_slice(&[0.2, 1.0, 0.3]),
+            VecD::from_slice(&[-0.3, 0.4, 1.0]),
+        ];
+        let setup = Setup {
+            n: 4,
+            f: 1,
+            inputs: inputs.clone(),
+            mode: DeltaMode::MinDelta(Norm::L2),
+            rounds: 30,
+        };
+        let (config, mut engine) = build(
+            &setup,
+            vec![(1, Byz::HonestInput(VecD::from_slice(&[5.0, 5.0, 5.0])))],
+        );
+        let out = engine.run(&mut RandomScheduler::new(7), 2_000_000);
+        assert!(out.all_decided, "liveness failed below the exact bound");
+        let correct_inputs: Vec<VecD> = config
+            .correct_ids()
+            .into_iter()
+            .map(|i| inputs[i].clone())
+            .collect();
+        // κ from Theorem 15 with a safety factor for the asynchronous
+        // mixture of round-0 views (different X sets, then averaging).
+        let kappa = crate::bounds::kappa_async(4, 1, 3, Norm::L2)
+            .expect("regime covered")
+            .kappa;
+        let v = check_execution(
+            &correct_inputs,
+            &correct_outputs(&config, &out.decisions),
+            Agreement::Epsilon(1e-3),
+            &Validity::InputDependentDeltaP {
+                kappa,
+                norm: Norm::L2,
+            },
+            t(),
+        );
+        assert!(v.ok(), "relaxed verified averaging failed: {v:?}");
+    }
+
+    #[test]
+    fn split_brain_broadcaster_cannot_diverge_correct_processes() {
+        let inputs: Vec<VecD> = (0..5)
+            .map(|i| VecD::from_slice(&[i as f64, 0.0]))
+            .collect();
+        let setup = Setup {
+            n: 5,
+            f: 1,
+            inputs,
+            mode: DeltaMode::Zero,
+            rounds: 20,
+        };
+        let (config, mut engine) = build(
+            &setup,
+            vec![(
+                2,
+                Byz::SplitBrain(
+                    VecD::from_slice(&[100.0, 100.0]),
+                    VecD::from_slice(&[-100.0, -100.0]),
+                ),
+            )],
+        );
+        let out = engine.run(&mut RandomScheduler::new(3), 2_000_000);
+        assert!(out.all_decided);
+        let outputs = correct_outputs(&config, &out.decisions);
+        let decided: Vec<&VecD> = outputs.iter().flatten().collect();
+        for a in &decided {
+            for b in &decided {
+                assert!(
+                    a.dist(b, Norm::LInf) < 1e-3,
+                    "split-brain broke ε-agreement: {a} vs {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_average_is_rejected_and_liveness_survives() {
+        let inputs: Vec<VecD> = (0..5)
+            .map(|i| VecD::from_slice(&[i as f64, 1.0]))
+            .collect();
+        let setup = Setup {
+            n: 5,
+            f: 1,
+            inputs: inputs.clone(),
+            mode: DeltaMode::Zero,
+            rounds: 20,
+        };
+        let (config, mut engine) = build(
+            &setup,
+            vec![(
+                0,
+                Byz::Corrupt(
+                    VecD::from_slice(&[2.0, 1.0]),
+                    VecD::from_slice(&[1000.0, 1000.0]),
+                ),
+            )],
+        );
+        let out = engine.run(&mut RandomScheduler::new(9), 2_000_000);
+        assert!(out.all_decided, "corrupt averages must not block progress");
+        let correct_inputs: Vec<VecD> = config
+            .correct_ids()
+            .into_iter()
+            .map(|i| inputs[i].clone())
+            .collect();
+        let v = check_execution(
+            &correct_inputs,
+            &correct_outputs(&config, &out.decisions),
+            Agreement::Epsilon(1e-3),
+            &Validity::Exact,
+            t(),
+        );
+        assert!(
+            v.ok(),
+            "corrupt averaged values leaked into decisions: {v:?}"
+        );
+    }
+
+    #[test]
+    fn silent_fault_does_not_block() {
+        let inputs: Vec<VecD> = (0..5)
+            .map(|i| VecD::from_slice(&[(i * i) as f64 / 4.0, i as f64]))
+            .collect();
+        let setup = Setup {
+            n: 5,
+            f: 1,
+            inputs,
+            mode: DeltaMode::Zero,
+            rounds: 15,
+        };
+        let (_, mut engine) = build(&setup, vec![(3, Byz::Silent)]);
+        let out = engine.run(&mut FifoScheduler, 2_000_000);
+        assert!(out.all_decided);
+    }
+
+    #[test]
+    fn targeted_delay_scheduler_preserves_epsilon_agreement() {
+        let inputs: Vec<VecD> = (0..5)
+            .map(|i| VecD::from_slice(&[i as f64, -(i as f64)]))
+            .collect();
+        let setup = Setup {
+            n: 5,
+            f: 1,
+            inputs,
+            mode: DeltaMode::Zero,
+            rounds: 20,
+        };
+        let (config, mut engine) = build(&setup, vec![(4, Byz::Silent)]);
+        let mut sched = TargetedDelayScheduler::new(vec![0], 100, 5);
+        let out = engine.run(&mut sched, 4_000_000);
+        assert!(out.all_decided);
+        let outputs = correct_outputs(&config, &out.decisions);
+        let decided: Vec<&VecD> = outputs.iter().flatten().collect();
+        for a in &decided {
+            for b in &decided {
+                assert!(a.dist(b, Norm::LInf) < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn epsilon_agreement_tightens_with_rounds() {
+        // Contraction: more rounds → strictly smaller disagreement.
+        let inputs: Vec<VecD> = (0..4)
+            .map(|i| VecD::from_slice(&[(3 * i) as f64, (i * i) as f64]))
+            .collect();
+        let disagreement = |rounds: usize| -> f64 {
+            let setup = Setup {
+                n: 4,
+                f: 1,
+                inputs: inputs.clone(),
+                mode: DeltaMode::MinDelta(Norm::L2),
+                rounds,
+            };
+            let (config, mut engine) = build(&setup, vec![]);
+            let out = engine.run(&mut RandomScheduler::new(11), 4_000_000);
+            assert!(out.all_decided);
+            let outputs = correct_outputs(&config, &out.decisions);
+            let decided: Vec<&VecD> = outputs.iter().flatten().collect();
+            let mut worst = 0.0_f64;
+            for a in &decided {
+                for b in &decided {
+                    worst = worst.max(a.dist(b, Norm::LInf));
+                }
+            }
+            worst
+        };
+        let d5 = disagreement(5);
+        let d15 = disagreement(15);
+        assert!(
+            d15 < d5 / 4.0 || d15 < 1e-9,
+            "averaging failed to contract: 5 rounds → {d5}, 15 rounds → {d15}"
+        );
+    }
+}

@@ -1,0 +1,290 @@
+//! Convex polygon intersection (Sutherland–Hodgman clipping) and the exact
+//! 2-D materialization of `Γ(Y) = ⋂_{|T|=|Y|−f} H(T)`.
+//!
+//! The LP machinery answers *point* queries against `Γ(Y)`; for the convex
+//! hull consensus lineage (Tseng–Vaidya [15, 16], which §10 of the paper
+//! builds on) the *whole set* is the output. In dimension 2 the set is a
+//! convex polygon computable exactly by repeated clipping — and it doubles
+//! as yet another independent oracle for the LP answers.
+
+use rbvc_linalg::{Tol, VecD};
+
+use crate::oracle2d::{cross, monotone_chain, polygon_contains};
+
+/// Clip a convex polygon (counterclockwise vertex list) against the closed
+/// half-plane to the *left* of directed edge `a → b` (inclusive). Returns
+/// the clipped polygon's vertices (counterclockwise; may be empty).
+#[must_use]
+pub fn clip_by_halfplane(polygon: &[VecD], a: &VecD, b: &VecD) -> Vec<VecD> {
+    if polygon.is_empty() {
+        return Vec::new();
+    }
+    let inside = |p: &VecD| cross(a, b, p) >= -1e-12;
+    let mut out = Vec::with_capacity(polygon.len() + 1);
+    for i in 0..polygon.len() {
+        let cur = &polygon[i];
+        let next = &polygon[(i + 1) % polygon.len()];
+        let cur_in = inside(cur);
+        let next_in = inside(next);
+        if cur_in {
+            out.push(cur.clone());
+        }
+        if cur_in != next_in {
+            // Edge crosses the boundary line: add the intersection point.
+            let denom = cross(a, b, next) - cross(a, b, cur);
+            if denom.abs() > 1e-15 {
+                let t = -cross(a, b, cur) / denom;
+                out.push(cur.lerp(next, t.clamp(0.0, 1.0)));
+            }
+        }
+    }
+    out
+}
+
+/// Intersection of two convex polygons (both counterclockwise). The result
+/// may be empty, a point/segment (degenerate), or a polygon.
+#[must_use]
+pub fn intersect_convex(p: &[VecD], q: &[VecD]) -> Vec<VecD> {
+    match q.len() {
+        0 => Vec::new(),
+        1 => {
+            // Point ∩ polygon.
+            if polygon_contains(p, &q[0], Tol(1e-9)) {
+                vec![q[0].clone()]
+            } else {
+                Vec::new()
+            }
+        }
+        2 => clip_segment(p, &q[0], &q[1]),
+        _ => {
+            let mut out = p.to_vec();
+            for i in 0..q.len() {
+                let a = &q[i];
+                let b = &q[(i + 1) % q.len()];
+                out = clip_by_halfplane(&out, a, b);
+                if out.is_empty() {
+                    return out;
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Clip segment `[a, b]` to a convex polygon; returns 0, 1, or 2 points.
+fn clip_segment(polygon: &[VecD], a: &VecD, b: &VecD) -> Vec<VecD> {
+    if polygon.len() < 3 {
+        // Degenerate "polygon": fall back to endpoint membership.
+        return [a, b]
+            .iter()
+            .filter(|p| polygon_contains(polygon, p, Tol(1e-9)))
+            .map(|p| (*p).clone())
+            .collect();
+    }
+    let mut t0 = 0.0_f64;
+    let mut t1 = 1.0_f64;
+    let dir = b - a;
+    for i in 0..polygon.len() {
+        let e0 = &polygon[i];
+        let e1 = &polygon[(i + 1) % polygon.len()];
+        // Half-plane: cross(e0, e1, p) >= 0. Parametrize p = a + t·dir.
+        let f_a = cross(e0, e1, a);
+        let f_b = cross(e0, e1, b);
+        let df = f_b - f_a;
+        if df.abs() < 1e-15 {
+            if f_a < -1e-12 {
+                return Vec::new(); // entirely outside this edge
+            }
+            continue;
+        }
+        let t_cross = -f_a / df;
+        if df > 0.0 {
+            t0 = t0.max(t_cross);
+        } else {
+            t1 = t1.min(t_cross);
+        }
+        if t0 > t1 + 1e-12 {
+            return Vec::new();
+        }
+    }
+    let p0 = a.axpy(t0, &dir);
+    let p1 = a.axpy(t1, &dir);
+    if p0.approx_eq(&p1, Tol(1e-12)) {
+        vec![p0]
+    } else {
+        vec![p0, p1]
+    }
+}
+
+/// Exact 2-D materialization of `Γ(Y)` as a convex polygon (vertex list,
+/// counterclockwise; empty when the intersection is empty; may be a point
+/// or segment in degenerate cases).
+///
+/// # Panics
+/// Panics unless the points are 2-dimensional and `f < |points|`.
+#[must_use]
+pub fn gamma_polygon(points: &[VecD], f: usize) -> Vec<VecD> {
+    assert!(!points.is_empty() && points[0].dim() == 2, "gamma_polygon is 2-D only");
+    assert!(f < points.len(), "need f < n");
+    let subsets = crate::combinatorics::combinations(points.len(), points.len() - f);
+    let mut acc: Option<Vec<VecD>> = None;
+    for subset in subsets {
+        let members: Vec<VecD> = subset.iter().map(|&i| points[i].clone()).collect();
+        let hull = monotone_chain(&members);
+        acc = Some(match acc {
+            None => hull,
+            Some(cur) => {
+                // Keep the polygon operand with ≥ 3 vertices on the left
+                // when possible (clipping degenerates gracefully otherwise).
+                if cur.len() >= 3 {
+                    intersect_convex(&cur, &hull)
+                } else {
+                    intersect_convex(&hull, &cur)
+                }
+            }
+        });
+        if acc.as_ref().is_some_and(Vec::is_empty) {
+            return Vec::new();
+        }
+    }
+    acc.unwrap_or_default()
+}
+
+/// Area of a convex polygon (shoelace; 0 for degenerate).
+#[must_use]
+pub fn polygon_area(polygon: &[VecD]) -> f64 {
+    if polygon.len() < 3 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for i in 0..polygon.len() {
+        let a = &polygon[i];
+        let b = &polygon[(i + 1) % polygon.len()];
+        acc += a[0] * b[1] - b[0] * a[1];
+    }
+    acc.abs() / 2.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    use crate::gamma::gamma_point;
+
+    fn square(cx: f64, cy: f64, half: f64) -> Vec<VecD> {
+        vec![
+            VecD::from_slice(&[cx - half, cy - half]),
+            VecD::from_slice(&[cx + half, cy - half]),
+            VecD::from_slice(&[cx + half, cy + half]),
+            VecD::from_slice(&[cx - half, cy + half]),
+        ]
+    }
+
+    #[test]
+    fn overlapping_squares_intersect_to_square() {
+        let a = square(0.0, 0.0, 1.0);
+        let b = square(1.0, 1.0, 1.0);
+        let inter = intersect_convex(&a, &b);
+        assert!((polygon_area(&inter) - 1.0).abs() < 1e-9, "unit overlap square");
+    }
+
+    #[test]
+    fn disjoint_squares_intersect_empty() {
+        let a = square(0.0, 0.0, 1.0);
+        let b = square(5.0, 5.0, 1.0);
+        assert!(intersect_convex(&a, &b).is_empty());
+    }
+
+    #[test]
+    fn nested_squares_give_inner() {
+        let outer = square(0.0, 0.0, 2.0);
+        let inner = square(0.0, 0.0, 0.5);
+        let inter = intersect_convex(&outer, &inner);
+        assert!((polygon_area(&inter) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn triangle_clip_halfplane() {
+        let tri = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[2.0, 0.0]),
+            VecD::from_slice(&[0.0, 2.0]),
+        ];
+        // Clip by the half-plane x ≤ 1 (left of the upward line x = 1).
+        let a = VecD::from_slice(&[1.0, 0.0]);
+        let b = VecD::from_slice(&[1.0, 1.0]);
+        let clipped = clip_by_halfplane(&tri, &a, &b);
+        // Area of the triangle left of x = 1: total 2 − right piece 0.5.
+        assert!((polygon_area(&clipped) - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_polygon_empty_below_tverberg_bound() {
+        let tri = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.0]),
+            VecD::from_slice(&[0.0, 1.0]),
+        ];
+        assert!(gamma_polygon(&tri, 1).is_empty());
+    }
+
+    #[test]
+    fn gamma_polygon_agrees_with_lp_on_emptiness() {
+        let mut rng = StdRng::seed_from_u64(44);
+        for trial in 0..60 {
+            let n = rng.gen_range(3..7);
+            let pts: Vec<VecD> = (0..n)
+                .map(|_| {
+                    VecD::from_slice(&[rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0)])
+                })
+                .collect();
+            let poly = gamma_polygon(&pts, 1);
+            let lp = gamma_point(&pts, 1, Tol::default());
+            assert_eq!(
+                !poly.is_empty(),
+                lp.is_some(),
+                "trial {trial}: polygon vs LP emptiness disagree on {pts:?}"
+            );
+            // The LP witness must lie in (or on) the polygon.
+            if let Some(x) = lp {
+                if poly.len() >= 3 {
+                    assert!(
+                        polygon_contains(&poly, &x, Tol(1e-6)),
+                        "trial {trial}: LP witness outside Γ polygon"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gamma_polygon_shrinks_with_more_faults() {
+        // Monotonicity: Γ with larger f intersects more hulls → smaller.
+        let mut rng = StdRng::seed_from_u64(45);
+        for _ in 0..20 {
+            let pts: Vec<VecD> = (0..7)
+                .map(|_| {
+                    VecD::from_slice(&[rng.gen_range(-2.0..2.0), rng.gen_range(-2.0..2.0)])
+                })
+                .collect();
+            let a0 = polygon_area(&gamma_polygon(&pts, 0));
+            let a1 = polygon_area(&gamma_polygon(&pts, 1));
+            let a2 = polygon_area(&gamma_polygon(&pts, 2));
+            assert!(a1 <= a0 + 1e-9, "Γ(f=1) larger than Γ(f=0)");
+            assert!(a2 <= a1 + 1e-9, "Γ(f=2) larger than Γ(f=1)");
+        }
+    }
+
+    #[test]
+    fn polygon_area_of_known_shapes() {
+        assert!((polygon_area(&square(0.0, 0.0, 1.0)) - 4.0).abs() < 1e-12);
+        let tri = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[3.0, 0.0]),
+            VecD::from_slice(&[0.0, 4.0]),
+        ];
+        assert!((polygon_area(&tri) - 6.0).abs() < 1e-12);
+        assert_eq!(polygon_area(&tri[..2]), 0.0);
+    }
+}

@@ -1,0 +1,214 @@
+//! Combinatorial enumeration: k-subsets and set partitions.
+//!
+//! The paper quantifies over
+//! * all size-`k` index subsets `D_k` of the coordinate set (Definition 2),
+//! * all size-`(n−f)` subsets `T ⊆ Y` of the input multiset (the `Γ`
+//!   operator of §3), and
+//! * all partitions of a point multiset into `f + 1` non-empty blocks
+//!   (Tverberg's theorem, §8).
+//!
+//! These enumerations are exponential by nature; the paper's regimes keep
+//! `n ≤ ~16` and `f ≤ 3`, where exhaustive enumeration is the honest tool.
+
+/// All size-`k` subsets of `{0, 1, …, n-1}` in lexicographic order.
+///
+/// Returns an empty list when `k > n`; the single empty subset when `k == 0`.
+#[must_use]
+pub fn combinations(n: usize, k: usize) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    if k > n {
+        return out;
+    }
+    let mut idx: Vec<usize> = (0..k).collect();
+    loop {
+        out.push(idx.clone());
+        // Advance to the next combination.
+        let mut i = k;
+        loop {
+            if i == 0 {
+                return out;
+            }
+            i -= 1;
+            if idx[i] != i + n - k {
+                break;
+            }
+            if i == 0 {
+                return out;
+            }
+        }
+        idx[i] += 1;
+        for j in i + 1..k {
+            idx[j] = idx[j - 1] + 1;
+        }
+    }
+}
+
+/// Binomial coefficient with saturation (usize).
+#[must_use]
+pub fn binomial(n: usize, k: usize) -> usize {
+    if k > n {
+        return 0;
+    }
+    let k = k.min(n - k);
+    let mut acc: usize = 1;
+    for i in 0..k {
+        acc = acc.saturating_mul(n - i) / (i + 1);
+    }
+    acc
+}
+
+/// All partitions of `{0, …, n-1}` into exactly `blocks` non-empty blocks,
+/// enumerated via restricted-growth strings. Each partition is returned as a
+/// list of blocks, each block a sorted list of element indices.
+///
+/// The count is the Stirling number of the second kind `S(n, blocks)`.
+#[must_use]
+pub fn set_partitions(n: usize, blocks: usize) -> Vec<Vec<Vec<usize>>> {
+    let mut out = Vec::new();
+    if blocks == 0 || blocks > n {
+        return out;
+    }
+    // Restricted growth string: rgs[0] = 0, rgs[i] <= max(rgs[..i]) + 1.
+    let mut rgs = vec![0usize; n];
+    enumerate_rgs(&mut rgs, 1, 0, n, blocks, &mut out);
+    out
+}
+
+fn enumerate_rgs(
+    rgs: &mut Vec<usize>,
+    pos: usize,
+    max_so_far: usize,
+    n: usize,
+    blocks: usize,
+    out: &mut Vec<Vec<Vec<usize>>>,
+) {
+    if pos == n {
+        if max_so_far + 1 == blocks {
+            let mut partition: Vec<Vec<usize>> = vec![Vec::new(); blocks];
+            for (elem, &b) in rgs.iter().enumerate() {
+                partition[b].push(elem);
+            }
+            out.push(partition);
+        }
+        return;
+    }
+    // Prune: remaining positions must be able to reach `blocks` labels.
+    let remaining = n - pos;
+    if max_so_far + 1 + remaining < blocks {
+        return;
+    }
+    let cap = (max_so_far + 1).min(blocks - 1);
+    for label in 0..=cap {
+        rgs[pos] = label;
+        let new_max = max_so_far.max(label);
+        enumerate_rgs(rgs, pos + 1, new_max, n, blocks, out);
+    }
+}
+
+/// Stirling number of the second kind `S(n, k)` (saturating usize), used to
+/// sanity-check partition enumeration sizes before embarking on them.
+#[must_use]
+pub fn stirling2(n: usize, k: usize) -> usize {
+    if k == 0 {
+        return usize::from(n == 0);
+    }
+    if k > n {
+        return 0;
+    }
+    // S(n, k) = k S(n-1, k) + S(n-1, k-1)
+    let mut row = vec![0usize; k + 1];
+    row[0] = 1; // S(0,0)
+    for _ in 1..=n {
+        let mut next = vec![0usize; k + 1];
+        for j in 1..=k {
+            next[j] = j
+                .saturating_mul(row[j])
+                .saturating_add(row[j - 1]);
+        }
+        row = next;
+    }
+    row[k]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn combinations_counts_match_binomial() {
+        for n in 0..9 {
+            for k in 0..=n + 1 {
+                assert_eq!(
+                    combinations(n, k).len(),
+                    binomial(n, k),
+                    "C({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn combinations_are_sorted_and_unique() {
+        let cs = combinations(6, 3);
+        for c in &cs {
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+        }
+        let mut seen = cs.clone();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), cs.len());
+    }
+
+    #[test]
+    fn combinations_edge_cases() {
+        assert_eq!(combinations(5, 0), vec![Vec::<usize>::new()]);
+        assert_eq!(combinations(3, 3), vec![vec![0, 1, 2]]);
+        assert!(combinations(2, 3).is_empty());
+    }
+
+    #[test]
+    fn binomial_small_table() {
+        assert_eq!(binomial(5, 2), 10);
+        assert_eq!(binomial(10, 5), 252);
+        assert_eq!(binomial(4, 0), 1);
+        assert_eq!(binomial(4, 5), 0);
+    }
+
+    #[test]
+    fn partitions_counts_match_stirling() {
+        for n in 1..8 {
+            for k in 1..=n {
+                assert_eq!(
+                    set_partitions(n, k).len(),
+                    stirling2(n, k),
+                    "S({n},{k})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stirling_small_table() {
+        assert_eq!(stirling2(4, 2), 7);
+        assert_eq!(stirling2(5, 3), 25);
+        assert_eq!(stirling2(6, 2), 31);
+        assert_eq!(stirling2(3, 3), 1);
+        assert_eq!(stirling2(0, 0), 1);
+    }
+
+    #[test]
+    fn partition_blocks_cover_exactly_once() {
+        for partition in set_partitions(6, 3) {
+            let mut all: Vec<usize> = partition.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, vec![0, 1, 2, 3, 4, 5]);
+            assert!(partition.iter().all(|b| !b.is_empty()));
+        }
+    }
+
+    #[test]
+    fn partitions_of_pair() {
+        let ps = set_partitions(2, 2);
+        assert_eq!(ps, vec![vec![vec![0], vec![1]]]);
+    }
+}

@@ -1,0 +1,441 @@
+//! The `Γ` operator of the paper (§3) and its (δ,p)-relaxed variant:
+//!
+//! ```text
+//! Γ(Y)        = ⋂_{T ⊆ Y, |T| = |Y|−f}  H(T)
+//! Γ_(δ,p)(S)  = ⋂_{T ⊆ S, |T| = |S|−f}  H_(δ,p)(T)
+//! ```
+//!
+//! `Γ(Y)` is where Exact BVC picks its output (nonempty iff `|Y| ≥ (d+1)f+1`
+//! by Tverberg's theorem, §8); `Γ_(δ,p)(S)` is where ALGO (§9) picks its
+//! output once `δ = δ*(S)` makes it nonempty.
+//!
+//! Everything here is **LP-exact**: emptiness of an intersection of hulls
+//! (or of L1/L∞-fattened hulls) is a single linear feasibility problem, so
+//! the impossibility constructions of Theorems 3–6 get genuine certificates
+//! rather than sampled evidence. Euclidean (L2) fattening is not an LP; the
+//! L2 solver lives in [`crate::minmax`].
+
+use rbvc_linalg::{Norm, Tol, VecD};
+
+use crate::combinatorics::combinations;
+use crate::hull::ConvexHull;
+use crate::lp::{LpBuilder, LpOutcome};
+
+/// All `(n−f)`-subsets of `points`, as index lists (the `T ⊆ Y` family).
+///
+/// # Panics
+/// Panics if `f >= points.len()` (the paper requires `|Y| ≥ f`; an empty `T`
+/// family would make `Γ` vacuous).
+#[must_use]
+pub fn gamma_subsets(n: usize, f: usize) -> Vec<Vec<usize>> {
+    assert!(f < n, "gamma_subsets requires f < n");
+    combinations(n, n - f)
+}
+
+/// The hulls `H(T)` for every `(n−f)`-subset `T`.
+#[must_use]
+pub fn subset_hulls(points: &[VecD], f: usize) -> Vec<ConvexHull> {
+    gamma_subsets(points.len(), f)
+        .into_iter()
+        .map(|idx| ConvexHull::from_indices(points, &idx))
+        .collect()
+}
+
+/// Find a point in `Γ(Y)` (δ = 0), or `None` if the intersection is empty.
+/// Exact LP feasibility.
+#[must_use]
+pub fn gamma_point(points: &[VecD], f: usize, tol: Tol) -> Option<VecD> {
+    gamma_delta_point(points, f, 0.0, Norm::LInf, tol)
+}
+
+/// Find a point in `Γ_(δ,p)(S)` for `p ∈ {1, ∞}` (and, via δ = 0 where all
+/// norms coincide, the exact `Γ`). Returns a witness point or `None`.
+///
+/// # Panics
+/// Panics for `Norm::L2`/general `Lp` with `delta > 0` — those fattenings
+/// are not polyhedral; use [`crate::minmax`].
+#[must_use]
+pub fn gamma_delta_point(
+    points: &[VecD],
+    f: usize,
+    delta: f64,
+    norm: Norm,
+    tol: Tol,
+) -> Option<VecD> {
+    assert!(delta >= 0.0, "gamma_delta_point: negative delta");
+    if delta > 0.0 {
+        assert!(
+            matches!(norm, Norm::L1 | Norm::LInf),
+            "gamma_delta_point is LP-exact only for L1/LInf fattening"
+        );
+    }
+    let n = points.len();
+    let d = points[0].dim();
+    let subsets = gamma_subsets(n, f);
+
+    let mut lp = LpBuilder::new();
+    let x = lp.free_vars(d);
+    for subset in &subsets {
+        add_fattened_membership_rows(&mut lp, &x, points, subset, delta, norm);
+    }
+    lp.minimize(vec![]);
+    match lp.solve(tol) {
+        LpOutcome::Optimal { x: sol, .. } => {
+            Some(VecD((0..d).map(|i| sol[i]).collect()))
+        }
+        _ => None,
+    }
+}
+
+/// The smallest `δ` for which `Γ_(δ,p)(S)` is nonempty, **exactly**, for
+/// `p ∈ {1, ∞}` — a single LP with δ as a variable. Returns `(δ*, witness)`.
+#[must_use]
+pub fn min_delta_polyhedral(
+    points: &[VecD],
+    f: usize,
+    norm: Norm,
+    tol: Tol,
+) -> (f64, VecD) {
+    assert!(
+        matches!(norm, Norm::L1 | Norm::LInf),
+        "min_delta_polyhedral: only L1/LInf are LP-exact"
+    );
+    let n = points.len();
+    let d = points[0].dim();
+    let subsets = gamma_subsets(n, f);
+
+    let mut lp = LpBuilder::new();
+    let x = lp.free_vars(d);
+    let delta = lp.nonneg();
+    for subset in &subsets {
+        let m = subset.len();
+        let lam = lp.nonneg_vars(m);
+        lp.eq(lam.iter().map(|&v| (v, 1.0)).collect(), 1.0);
+        match norm {
+            Norm::LInf => {
+                for i in 0..d {
+                    // |Σ λ_j p_j[i] − x_i| ≤ δ
+                    let mut up: Vec<_> = lam
+                        .iter()
+                        .zip(subset)
+                        .map(|(&v, &j)| (v, points[j][i]))
+                        .collect();
+                    up.push((x[i], -1.0));
+                    up.push((delta, -1.0));
+                    lp.le(up, 0.0);
+                    let mut dn: Vec<_> = lam
+                        .iter()
+                        .zip(subset)
+                        .map(|(&v, &j)| (v, -points[j][i]))
+                        .collect();
+                    dn.push((x[i], 1.0));
+                    dn.push((delta, -1.0));
+                    lp.le(dn, 0.0);
+                }
+            }
+            Norm::L1 => {
+                let ts = lp.nonneg_vars(d);
+                for i in 0..d {
+                    let mut up: Vec<_> = lam
+                        .iter()
+                        .zip(subset)
+                        .map(|(&v, &j)| (v, points[j][i]))
+                        .collect();
+                    up.push((x[i], -1.0));
+                    up.push((ts[i], -1.0));
+                    lp.le(up, 0.0);
+                    let mut dn: Vec<_> = lam
+                        .iter()
+                        .zip(subset)
+                        .map(|(&v, &j)| (v, -points[j][i]))
+                        .collect();
+                    dn.push((x[i], 1.0));
+                    dn.push((ts[i], -1.0));
+                    lp.le(dn, 0.0);
+                }
+                let mut sum: Vec<_> = ts.iter().map(|&v| (v, 1.0)).collect();
+                sum.push((delta, -1.0));
+                lp.le(sum, 0.0);
+            }
+            _ => unreachable!(),
+        }
+    }
+    lp.minimize(vec![(delta, 1.0)]);
+    match lp.solve(tol) {
+        LpOutcome::Optimal { x: sol, value } => {
+            let witness = VecD((0..d).map(|i| sol[i]).collect());
+            (value.max(0.0), witness)
+        }
+        other => panic!("min_delta LP must be feasible and bounded, got {other:?}"),
+    }
+}
+
+/// Add rows stating `x ∈ H_(δ,norm)({points[j] : j ∈ subset})`.
+fn add_fattened_membership_rows(
+    lp: &mut LpBuilder,
+    x: &[crate::lp::VarId],
+    points: &[VecD],
+    subset: &[usize],
+    delta: f64,
+    norm: Norm,
+) {
+    let d = points[0].dim();
+    let m = subset.len();
+    let lam = lp.nonneg_vars(m);
+    lp.eq(lam.iter().map(|&v| (v, 1.0)).collect(), 1.0);
+    if delta == 0.0 {
+        for i in 0..d {
+            // Σ λ_j p_j[i] − x_i = 0
+            let mut row: Vec<_> = lam
+                .iter()
+                .zip(subset)
+                .map(|(&v, &j)| (v, points[j][i]))
+                .collect();
+            row.push((x[i], -1.0));
+            lp.eq(row, 0.0);
+        }
+        return;
+    }
+    match norm {
+        Norm::LInf => {
+            for i in 0..d {
+                let mut up: Vec<_> = lam
+                    .iter()
+                    .zip(subset)
+                    .map(|(&v, &j)| (v, points[j][i]))
+                    .collect();
+                up.push((x[i], -1.0));
+                lp.le(up, delta);
+                let mut dn: Vec<_> = lam
+                    .iter()
+                    .zip(subset)
+                    .map(|(&v, &j)| (v, -points[j][i]))
+                    .collect();
+                dn.push((x[i], 1.0));
+                lp.le(dn, delta);
+            }
+        }
+        Norm::L1 => {
+            let ts = lp.nonneg_vars(d);
+            for i in 0..d {
+                let mut up: Vec<_> = lam
+                    .iter()
+                    .zip(subset)
+                    .map(|(&v, &j)| (v, points[j][i]))
+                    .collect();
+                up.push((x[i], -1.0));
+                up.push((ts[i], -1.0));
+                lp.le(up, 0.0);
+                let mut dn: Vec<_> = lam
+                    .iter()
+                    .zip(subset)
+                    .map(|(&v, &j)| (v, -points[j][i]))
+                    .collect();
+                dn.push((x[i], 1.0));
+                dn.push((ts[i], -1.0));
+                lp.le(dn, 0.0);
+            }
+            lp.le(ts.iter().map(|&v| (v, 1.0)).collect(), delta);
+        }
+        _ => unreachable!("polyhedral fattening only"),
+    }
+}
+
+/// Check that a candidate point lies in `Γ(Y)` by verifying membership in
+/// every subset hull — an independent certificate for `gamma_point` output.
+#[must_use]
+pub fn verify_gamma_membership(points: &[VecD], f: usize, x: &VecD, tol: Tol) -> bool {
+    subset_hulls(points, f)
+        .iter()
+        .all(|h| h.contains(x, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    #[test]
+    fn gamma_of_simplex_with_f1_is_empty_in_2d_with_3_points() {
+        // 3 affinely independent points, f = 1, d = 2: the three edges
+        // (2-subsets) intersect pairwise but not all three — Γ is empty
+        // (n = 3 < (d+1)f + 1 = 4, Tverberg tightness).
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.0]),
+            VecD::from_slice(&[0.0, 1.0]),
+        ];
+        assert!(gamma_point(&pts, 1, t()).is_none());
+    }
+
+    #[test]
+    fn gamma_nonempty_at_tverberg_bound_2d() {
+        // n = 4 = (d+1)f + 1 points in R², f = 1: Γ(Y) nonempty for any
+        // points (Tverberg). Try several configurations.
+        let configs = vec![
+            vec![
+                VecD::from_slice(&[0.0, 0.0]),
+                VecD::from_slice(&[1.0, 0.0]),
+                VecD::from_slice(&[0.0, 1.0]),
+                VecD::from_slice(&[1.0, 1.0]),
+            ],
+            vec![
+                VecD::from_slice(&[0.0, 0.0]),
+                VecD::from_slice(&[2.0, 0.0]),
+                VecD::from_slice(&[1.0, 2.0]),
+                VecD::from_slice(&[1.0, 0.5]), // interior point
+            ],
+        ];
+        for pts in configs {
+            let x = gamma_point(&pts, 1, t()).expect("Tverberg guarantees nonempty");
+            assert!(verify_gamma_membership(&pts, 1, &x, Tol(1e-7)));
+        }
+    }
+
+    #[test]
+    fn gamma_with_f0_is_full_hull() {
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.0]),
+            VecD::from_slice(&[0.0, 1.0]),
+        ];
+        let x = gamma_point(&pts, 0, t()).expect("f=0 never empty");
+        assert!(ConvexHull::new(pts).contains(&x, Tol(1e-7)));
+    }
+
+    #[test]
+    fn random_tverberg_bound_never_empty() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        for _ in 0..30 {
+            let d = rng.gen_range(1..4);
+            let f = 1;
+            let n = (d + 1) * f + 1;
+            let pts: Vec<VecD> = (0..n)
+                .map(|_| VecD((0..d).map(|_| rng.gen_range(-3.0..3.0)).collect()))
+                .collect();
+            let x = gamma_point(&pts, f, t());
+            assert!(
+                x.is_some(),
+                "Γ empty at the Tverberg bound (d={d}, n={n})"
+            );
+            assert!(verify_gamma_membership(&pts, f, &x.unwrap(), Tol(1e-6)));
+        }
+    }
+
+    #[test]
+    fn fattening_rescues_empty_intersection() {
+        // The empty triangle-edge intersection becomes nonempty once δ is
+        // at least the triangle's "inradius" in the relevant norm.
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.0]),
+            VecD::from_slice(&[0.0, 1.0]),
+        ];
+        assert!(gamma_delta_point(&pts, 1, 0.0, Norm::LInf, t()).is_none());
+        let x = gamma_delta_point(&pts, 1, 0.5, Norm::LInf, t())
+            .expect("generous fattening must succeed");
+        // Witness must be within 0.5 (L∞) of each edge.
+        for h in subset_hulls(&pts, 1) {
+            assert!(h.distance(&x, Norm::LInf, t()) <= 0.5 + 1e-7);
+        }
+    }
+
+    #[test]
+    fn min_delta_linf_matches_manual_triangle() {
+        // Equilateral-ish right triangle: δ*_∞ is where the three fattened
+        // edges first meet. Verify optimality: feasible at δ*, infeasible
+        // at δ* − margin.
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.0]),
+            VecD::from_slice(&[0.0, 1.0]),
+        ];
+        let (dstar, witness) = min_delta_polyhedral(&pts, 1, Norm::LInf, t());
+        assert!(dstar > 0.0);
+        assert!(gamma_delta_point(&pts, 1, dstar + 1e-7, Norm::LInf, t()).is_some());
+        assert!(gamma_delta_point(&pts, 1, (dstar - 1e-4).max(0.0), Norm::LInf, t()).is_none());
+        for h in subset_hulls(&pts, 1) {
+            assert!(h.distance(&witness, Norm::LInf, t()) <= dstar + 1e-7);
+        }
+    }
+
+    #[test]
+    fn min_delta_l1_dominates_linf() {
+        // dist_∞ ≤ dist_1 pointwise ⇒ δ*_∞ ≤ δ*_1.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+        for _ in 0..15 {
+            let d = rng.gen_range(2..4);
+            let n = d + 1;
+            let pts: Vec<VecD> = (0..n)
+                .map(|_| VecD((0..d).map(|_| rng.gen_range(-2.0..2.0)).collect()))
+                .collect();
+            let (dinf, _) = min_delta_polyhedral(&pts, 1, Norm::LInf, t());
+            let (d1, _) = min_delta_polyhedral(&pts, 1, Norm::L1, t());
+            assert!(dinf <= d1 + 1e-7, "δ*_∞={dinf} > δ*_1={d1}");
+        }
+    }
+
+    #[test]
+    fn min_delta_zero_when_points_coincide_enough() {
+        // n − f copies of the same point: every subset contains it, δ* = 0.
+        let pts = vec![
+            VecD::from_slice(&[1.0, 1.0]),
+            VecD::from_slice(&[1.0, 1.0]),
+            VecD::from_slice(&[1.0, 1.0]),
+            VecD::from_slice(&[5.0, -2.0]),
+        ];
+        let (dstar, witness) = min_delta_polyhedral(&pts, 1, Norm::LInf, t());
+        assert!(dstar < 1e-8);
+        assert!(witness.approx_eq(&VecD::from_slice(&[1.0, 1.0]), Tol(1e-6)));
+    }
+
+    #[test]
+    fn min_delta_regression_d6_degenerate_pivoting() {
+        // This 7-point d=6 instance made an earlier simplex implementation
+        // cycle through degenerate pivots and falsely report phase-1
+        // infeasibility. Pin it.
+        let raw: [[f64; 6]; 7] = [
+            [-1.9926467879218395, -1.018830515268208, 0.0865520394726742,
+             0.6666200572047849, -0.46054527758580033, 0.9936746309611548],
+            [0.7383782664431395, -0.4675594007699173, 1.4345918592029934,
+             0.4449456962845737, 1.8269963482191862, 0.3000879175664162],
+            [-1.4644375367699078, 0.7440846640285583, 0.6432540496468704,
+             -0.18624979290685673, 1.017719171433149, -0.009270883761989701],
+            [0.35352788430728754, 0.16517513171347264, -1.345591467251829,
+             0.48238125700056056, 1.1874532212210092, -1.4759746486232794],
+            [0.19571503974800653, -1.0711701426213178, 0.1168381203247062,
+             0.9932008302168818, 0.6779432694082868, 0.6022455638358402],
+            [-1.6825151094920656, 1.369908028679136, -0.6414498268726838,
+             0.4421313540849763, 1.337158424273384, 1.4765611347562242],
+            [1.6971986618667527, -0.6259600470281361, 1.507246207514207,
+             -1.9401434085894609, -1.6187708260083191, -0.10064799704223493],
+        ];
+        let pts: Vec<VecD> = raw.iter().map(|r| VecD::from_slice(r)).collect();
+        let (dstar, witness) = min_delta_polyhedral(&pts, 1, Norm::LInf, t());
+        assert!(dstar > 0.0 && dstar < 1.0, "plausible δ*, got {dstar}");
+        // Certificate: the witness is within δ* (L∞) of every subset hull.
+        for h in subset_hulls(&pts, 1) {
+            assert!(h.distance(&witness, Norm::LInf, t()) <= dstar + 1e-6);
+        }
+        // And δ* − margin is infeasible (optimality certificate).
+        assert!(
+            gamma_delta_point(&pts, 1, (dstar - 1e-4).max(0.0), Norm::LInf, t()).is_none()
+        );
+    }
+
+    #[test]
+    fn gamma_subsets_counts() {
+        assert_eq!(gamma_subsets(5, 1).len(), 5);
+        assert_eq!(gamma_subsets(6, 2).len(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "f < n")]
+    fn gamma_subsets_rejects_f_ge_n() {
+        let _ = gamma_subsets(3, 3);
+    }
+}

@@ -1,0 +1,317 @@
+//! Wolfe's nearest-point-in-polytope algorithm (Euclidean projection onto a
+//! convex hull).
+//!
+//! Given generators `p₁ … p_m` and a query `q`, computes
+//! `argmin_{x ∈ H({pᵢ})} ||x − q||₂` by Philip Wolfe's 1976 active-set
+//! ("corral") method, which terminates finitely on exact arithmetic and is
+//! the standard exact tool at these sizes. The result feeds every Euclidean
+//! distance in the paper: `dist(p, H(T))` in the δ* definition (§9.2),
+//! hull-projection steps of the POCS solver, and the (δ,2)-relaxed hull
+//! membership test.
+
+use rbvc_linalg::{Mat, Tol, VecD};
+
+/// Maximum outer iterations: Wolfe terminates finitely in exact arithmetic;
+/// the cap is a float-robustness safety net only.
+const MAX_OUTER: usize = 10_000;
+
+/// Euclidean projection of `q` onto `H(points)`.
+///
+/// Returns `(projection, distance)`.
+///
+/// # Panics
+/// Panics if `points` is empty or dimensions are inconsistent.
+#[must_use]
+pub fn nearest_point_in_hull(points: &[VecD], q: &VecD, tol: Tol) -> (VecD, f64) {
+    let (x, _w) = nearest_point_with_weights(points, q, tol);
+    let dist = x.dist2(q);
+    (x, dist)
+}
+
+/// As [`nearest_point_in_hull`], additionally returning the convex weights
+/// of the projection over the generators.
+#[must_use]
+pub fn nearest_point_with_weights(
+    points: &[VecD],
+    q: &VecD,
+    tol: Tol,
+) -> (VecD, Vec<f64>) {
+    assert!(!points.is_empty(), "nearest_point: empty generator set");
+    let d = q.dim();
+    assert!(
+        points.iter().all(|p| p.dim() == d),
+        "nearest_point: dimension mismatch"
+    );
+    let m = points.len();
+
+    // Work translated: z_i = p_i − q; seek the min-norm point of H({z_i}).
+    let z: Vec<VecD> = points.iter().map(|p| p - q).collect();
+    let scale_sq = z
+        .iter()
+        .map(VecD::norm2_sq)
+        .fold(1.0_f64, f64::max);
+    let stop_tol = tol.scaled(scale_sq).value();
+    let weight_eps = 1e-12;
+
+    // Initial corral: the single closest generator.
+    let mut start = 0;
+    for (i, zi) in z.iter().enumerate() {
+        if zi.norm2_sq() < z[start].norm2_sq() {
+            start = i;
+        }
+    }
+    let mut corral: Vec<usize> = vec![start];
+    let mut lambda: Vec<f64> = vec![1.0];
+    let mut x = z[start].clone();
+
+    for _ in 0..MAX_OUTER {
+        // Optimality: x is the min-norm point iff <x, z_j> ≥ ||x||² for all j.
+        let xx = x.norm2_sq();
+        let mut best_j = 0;
+        let mut best_val = f64::INFINITY;
+        for (j, zj) in z.iter().enumerate() {
+            let v = x.dot(zj);
+            if v < best_val {
+                best_val = v;
+                best_j = j;
+            }
+        }
+        if best_val >= xx - stop_tol {
+            break;
+        }
+        if corral.contains(&best_j) {
+            // Numerically stalled: the improving vertex is already active.
+            break;
+        }
+        corral.push(best_j);
+        lambda.push(0.0);
+
+        // Inner loop: move to the affine minimizer over the corral,
+        // shrinking the corral when weights leave the simplex.
+        loop {
+            let alpha = match affine_min_weights(&z, &corral) {
+                Some(a) => a,
+                None => {
+                    // Degenerate corral: drop the most recently added point.
+                    corral.pop();
+                    lambda.pop();
+                    break;
+                }
+            };
+            if alpha.iter().all(|&a| a > weight_eps) {
+                lambda = alpha;
+                break;
+            }
+            // Line search from λ toward α up to the simplex boundary.
+            let mut theta = 1.0_f64;
+            for (l, a) in lambda.iter().zip(&alpha) {
+                if *a <= weight_eps && *l > *a {
+                    theta = theta.min(*l / (*l - *a));
+                }
+            }
+            for (l, a) in lambda.iter_mut().zip(&alpha) {
+                *l = (1.0 - theta) * *l + theta * *a;
+            }
+            // Remove at least one vanished point.
+            let mut removed = false;
+            let mut k = 0;
+            while k < corral.len() {
+                if lambda[k] <= weight_eps {
+                    corral.remove(k);
+                    lambda.remove(k);
+                    removed = true;
+                } else {
+                    k += 1;
+                }
+            }
+            if !removed {
+                // Float guard: force-remove the smallest weight.
+                let (kmin, _) = lambda
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                    .expect("corral nonempty");
+                corral.remove(kmin);
+                lambda.remove(kmin);
+            }
+            // Renormalize against drift.
+            let s: f64 = lambda.iter().sum();
+            if s > 0.0 {
+                for l in &mut lambda {
+                    *l /= s;
+                }
+            }
+            if corral.len() <= 1 {
+                lambda = vec![1.0];
+                break;
+            }
+        }
+        // Recompute x from the corral.
+        x = VecD::zeros(d);
+        for (&i, &l) in corral.iter().zip(&lambda) {
+            x = x.axpy(l, &z[i]);
+        }
+    }
+
+    let mut weights = vec![0.0; m];
+    for (&i, &l) in corral.iter().zip(&lambda) {
+        weights[i] += l;
+    }
+    let projection = &x + q;
+    (projection, weights)
+}
+
+/// Solve `min ||Σ αᵢ z_{cᵢ}||²  s.t.  Σ αᵢ = 1` (α unrestricted in sign) via
+/// the bordered Gram system. Returns `None` if the system is singular.
+fn affine_min_weights(z: &[VecD], corral: &[usize]) -> Option<Vec<f64>> {
+    let k = corral.len();
+    if k == 1 {
+        return Some(vec![1.0]);
+    }
+    // System:  [ 0  1ᵀ ] [ μ ]   [ 1 ]
+    //          [ 1  G  ] [ α ] = [ 0 ]
+    let mut sys = Mat::zeros(k + 1, k + 1);
+    for i in 0..k {
+        sys[(0, i + 1)] = 1.0;
+        sys[(i + 1, 0)] = 1.0;
+        for j in i..k {
+            let g = z[corral[i]].dot(&z[corral[j]]);
+            sys[(i + 1, j + 1)] = g;
+            sys[(j + 1, i + 1)] = g;
+        }
+    }
+    let mut rhs = VecD::zeros(k + 1);
+    rhs[0] = 1.0;
+    let sol = sys.solve(&rhs, Tol(1e-13))?;
+    Some(sol.as_slice()[1..].to_vec())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use rbvc_linalg::Norm;
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    #[test]
+    fn projection_onto_single_point() {
+        let pts = vec![VecD::from_slice(&[1.0, 2.0])];
+        let (proj, dist) = nearest_point_in_hull(&pts, &VecD::zeros(2), t());
+        assert!(proj.approx_eq(&pts[0], Tol(1e-10)));
+        assert!((dist - 5.0_f64.sqrt()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn projection_onto_segment_midrange() {
+        let pts = vec![VecD::from_slice(&[0.0, 0.0]), VecD::from_slice(&[2.0, 0.0])];
+        let q = VecD::from_slice(&[1.0, 1.0]);
+        let (proj, dist) = nearest_point_in_hull(&pts, &q, t());
+        assert!(proj.approx_eq(&VecD::from_slice(&[1.0, 0.0]), Tol(1e-8)));
+        assert!((dist - 1.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn projection_onto_segment_endpoint() {
+        let pts = vec![VecD::from_slice(&[0.0, 0.0]), VecD::from_slice(&[2.0, 0.0])];
+        let q = VecD::from_slice(&[3.0, 1.0]);
+        let (proj, dist) = nearest_point_in_hull(&pts, &q, t());
+        assert!(proj.approx_eq(&VecD::from_slice(&[2.0, 0.0]), Tol(1e-8)));
+        assert!((dist - 2.0_f64.sqrt()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn interior_point_projects_to_itself() {
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[2.0, 0.0]),
+            VecD::from_slice(&[0.0, 2.0]),
+        ];
+        let q = VecD::from_slice(&[0.5, 0.5]);
+        let (proj, dist) = nearest_point_in_hull(&pts, &q, t());
+        assert!(dist < 1e-8, "interior distance should vanish, got {dist}");
+        assert!(proj.approx_eq(&q, Tol(1e-6)));
+    }
+
+    #[test]
+    fn weights_are_convex_and_reconstruct_projection() {
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.0]),
+            VecD::from_slice(&[0.0, 1.0]),
+        ];
+        let q = VecD::from_slice(&[2.0, 2.0]);
+        let (proj, w) = nearest_point_with_weights(&pts, &q, t());
+        assert!((w.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(w.iter().all(|&x| x >= -1e-12));
+        assert!(VecD::combination(&pts, &w).approx_eq(&proj, Tol(1e-8)));
+    }
+
+    #[test]
+    fn duplicated_generators_are_fine() {
+        let pts = vec![
+            VecD::from_slice(&[1.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.0]),
+            VecD::from_slice(&[0.0, 1.0]),
+        ];
+        let (_, dist) = nearest_point_in_hull(&pts, &VecD::zeros(2), t());
+        // Distance from origin to segment x + y = 1.
+        assert!((dist - 1.0 / 2.0_f64.sqrt()).abs() < 1e-8);
+    }
+
+    /// The variational characterization of the projection: x* is the nearest
+    /// point iff <q − x*, p_j − x*> ≤ 0 for every generator. This is a
+    /// *certificate of optimality* checked on random instances.
+    #[test]
+    fn random_projections_satisfy_optimality_certificate() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(99);
+        for trial in 0..300 {
+            let d = rng.gen_range(1..7);
+            let m = rng.gen_range(1..9);
+            let pts: Vec<VecD> = (0..m)
+                .map(|_| VecD((0..d).map(|_| rng.gen_range(-4.0..4.0)).collect()))
+                .collect();
+            let q = VecD((0..d).map(|_| rng.gen_range(-6.0..6.0)).collect());
+            let (x, dist) = nearest_point_in_hull(&pts, &q, t());
+            // Certificate: for each generator, moving toward it cannot help.
+            let qm = &q - &x;
+            for p in &pts {
+                let dir = p - &x;
+                assert!(
+                    qm.dot(&dir) <= 1e-6,
+                    "trial {trial}: optimality violated by {}",
+                    qm.dot(&dir)
+                );
+            }
+            // Distance consistency.
+            assert!((x.dist2(&q) - dist).abs() < 1e-9);
+            // Projection must be inside the hull (LP cross-check).
+            assert!(
+                crate::lp::convex_combination_weights(&pts, &x, Tol(1e-6)).is_some(),
+                "trial {trial}: projection escaped the hull"
+            );
+        }
+    }
+
+    #[test]
+    fn matches_linf_l1_bracketing_on_random_instances() {
+        // dist_∞ ≤ dist_2 ≤ dist_1 for the same point/hull pair.
+        let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            let d = rng.gen_range(2..5);
+            let m = rng.gen_range(2..6);
+            let pts: Vec<VecD> = (0..m)
+                .map(|_| VecD((0..d).map(|_| rng.gen_range(-2.0..2.0)).collect()))
+                .collect();
+            let q = VecD((0..d).map(|_| rng.gen_range(-4.0..4.0)).collect());
+            let hull = crate::hull::ConvexHull::new(pts);
+            let d1 = hull.distance(&q, Norm::L1, t());
+            let d2 = hull.distance(&q, Norm::L2, t());
+            let dinf = hull.distance(&q, Norm::LInf, t());
+            assert!(dinf <= d2 + 1e-6);
+            assert!(d2 <= d1 + 1e-6);
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! Independent 2-D geometric oracles used to cross-check the LP/Wolfe
+//! machinery: Andrew's monotone-chain convex hull, exact polygon
+//! membership/distance, and closed-form Radon points.
+//!
+//! Everything in the main pipeline is answered through the simplex LP
+//! solver and Wolfe's algorithm; these classic computational-geometry
+//! routines compute the same predicates *by a completely different method*
+//! in dimension 2, so agreement between the two is a strong correctness
+//! signal (exercised by this module's tests and the property suite).
+
+use rbvc_linalg::{Mat, Tol, VecD};
+
+fn as2(p: &VecD) -> (f64, f64) {
+    assert_eq!(p.dim(), 2, "oracle2d handles d = 2 only");
+    (p[0], p[1])
+}
+
+/// Twice the signed area of triangle `(a, b, c)` (> 0 for counterclockwise).
+#[must_use]
+pub fn cross(a: &VecD, b: &VecD, c: &VecD) -> f64 {
+    let (ax, ay) = as2(a);
+    let (bx, by) = as2(b);
+    let (cx, cy) = as2(c);
+    (bx - ax) * (cy - ay) - (by - ay) * (cx - ax)
+}
+
+/// Andrew's monotone-chain convex hull. Returns hull vertices in
+/// counterclockwise order (collinear boundary points dropped). For fewer
+/// than 3 distinct points, returns the distinct points.
+#[must_use]
+pub fn monotone_chain(points: &[VecD]) -> Vec<VecD> {
+    let mut pts: Vec<(f64, f64)> = points.iter().map(as2).collect();
+    pts.sort_by(|a, b| a.partial_cmp(b).expect("finite coordinates"));
+    pts.dedup();
+    let n = pts.len();
+    if n <= 2 {
+        return pts
+            .into_iter()
+            .map(|(x, y)| VecD::from_slice(&[x, y]))
+            .collect();
+    }
+    let mut hull: Vec<(f64, f64)> = Vec::with_capacity(2 * n);
+    // Lower hull.
+    for &p in &pts {
+        while hull.len() >= 2 {
+            let (ox, oy) = hull[hull.len() - 2];
+            let (ax, ay) = hull[hull.len() - 1];
+            if (ax - ox) * (p.1 - oy) - (ay - oy) * (p.0 - ox) <= 0.0 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(p);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &p in pts.iter().rev() {
+        while hull.len() >= lower_len {
+            let (ox, oy) = hull[hull.len() - 2];
+            let (ax, ay) = hull[hull.len() - 1];
+            if (ax - ox) * (p.1 - oy) - (ay - oy) * (p.0 - ox) <= 0.0 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(p);
+    }
+    hull.pop(); // last point repeats the first
+    hull.into_iter()
+        .map(|(x, y)| VecD::from_slice(&[x, y]))
+        .collect()
+}
+
+/// Point-in-convex-polygon test (polygon counterclockwise, closed). Points
+/// on the boundary count as inside (within `tol`).
+#[must_use]
+pub fn polygon_contains(hull: &[VecD], q: &VecD, tol: Tol) -> bool {
+    match hull.len() {
+        0 => false,
+        1 => hull[0].approx_eq(q, tol),
+        2 => segment_distance(&hull[0], &hull[1], q) <= tol.value().max(1e-12),
+        _ => {
+            let scale = hull.iter().fold(1.0_f64, |m, p| m.max(p.max_abs()));
+            let eps = tol.scaled(scale * scale).value();
+            (0..hull.len()).all(|i| {
+                let j = (i + 1) % hull.len();
+                cross(&hull[i], &hull[j], q) >= -eps
+            })
+        }
+    }
+}
+
+/// Euclidean distance from `q` to segment `[a, b]`.
+#[must_use]
+pub fn segment_distance(a: &VecD, b: &VecD, q: &VecD) -> f64 {
+    let ab = b - a;
+    let denom = ab.norm2_sq();
+    if denom <= f64::EPSILON {
+        return q.dist2(a);
+    }
+    let t = ((q - a).dot(&ab) / denom).clamp(0.0, 1.0);
+    q.dist2(&a.axpy(t, &ab))
+}
+
+/// Euclidean distance from `q` to a convex polygon (0 if inside).
+#[must_use]
+pub fn polygon_distance(hull: &[VecD], q: &VecD, tol: Tol) -> f64 {
+    match hull.len() {
+        0 => f64::INFINITY,
+        1 => q.dist2(&hull[0]),
+        2 => segment_distance(&hull[0], &hull[1], q),
+        _ => {
+            if polygon_contains(hull, q, tol) {
+                return 0.0;
+            }
+            (0..hull.len())
+                .map(|i| segment_distance(&hull[i], &hull[(i + 1) % hull.len()], q))
+                .fold(f64::INFINITY, f64::min)
+        }
+    }
+}
+
+/// Closed-form Radon partition of `d + 2` points in `R^d`: a partition into
+/// two blocks whose hulls intersect, with the common (Radon) point.
+///
+/// Solves `Σ αᵢ pᵢ = 0, Σ αᵢ = 0, α ≠ 0` and splits by sign. Returns
+/// `None` when the affine-dependence system is numerically degenerate
+/// (e.g. repeated points making the nullspace higher-dimensional).
+#[must_use]
+pub fn radon_point(points: &[VecD], tol: Tol) -> Option<(Vec<usize>, Vec<usize>, VecD)> {
+    let d = points[0].dim();
+    let n = points.len();
+    assert_eq!(n, d + 2, "Radon's theorem needs exactly d + 2 points");
+    // Solve the (d+1) × (d+2) homogeneous system: fix α_{d+1} = 1 and solve
+    // for the rest; if singular, fix α_{d+1} = 0, α_d = 1, etc.
+    for fixed in (0..n).rev() {
+        let mut a = Mat::zeros(d + 1, n - 1);
+        let mut rhs = VecD::zeros(d + 1);
+        let cols: Vec<usize> = (0..n).filter(|&j| j != fixed).collect();
+        for (cidx, &j) in cols.iter().enumerate() {
+            for i in 0..d {
+                a[(i, cidx)] = points[j][i];
+            }
+            a[(d, cidx)] = 1.0;
+        }
+        for i in 0..d {
+            rhs[i] = -points[fixed][i];
+        }
+        rhs[d] = -1.0;
+        // a is (d+1) × (d+1): solvable iff the remaining points are
+        // affinely independent.
+        if a.ncols() != d + 1 {
+            continue;
+        }
+        if let Some(sol) = a.solve(&rhs, tol) {
+            let mut alpha = vec![0.0; n];
+            alpha[fixed] = 1.0;
+            for (cidx, &j) in cols.iter().enumerate() {
+                alpha[j] = sol[cidx];
+            }
+            let pos: Vec<usize> = (0..n).filter(|&j| alpha[j] > tol.value()).collect();
+            let neg: Vec<usize> = (0..n).filter(|&j| alpha[j] < -tol.value()).collect();
+            if pos.is_empty() || neg.is_empty() {
+                continue;
+            }
+            let pos_sum: f64 = pos.iter().map(|&j| alpha[j]).sum();
+            let mut point = VecD::zeros(d);
+            for &j in &pos {
+                point = point.axpy(alpha[j] / pos_sum, &points[j]);
+            }
+            return Some((pos, neg, point));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use rbvc_linalg::Norm;
+
+    use crate::hull::ConvexHull;
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    fn random_pts(rng: &mut StdRng, n: usize) -> Vec<VecD> {
+        (0..n)
+            .map(|_| VecD::from_slice(&[rng.gen_range(-3.0..3.0), rng.gen_range(-3.0..3.0)]))
+            .collect()
+    }
+
+    #[test]
+    fn hull_of_square_with_interior_points() {
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.0]),
+            VecD::from_slice(&[1.0, 1.0]),
+            VecD::from_slice(&[0.0, 1.0]),
+            VecD::from_slice(&[0.5, 0.5]),
+            VecD::from_slice(&[0.25, 0.75]),
+        ];
+        let hull = monotone_chain(&pts);
+        assert_eq!(hull.len(), 4, "square has 4 hull vertices");
+    }
+
+    #[test]
+    fn hull_of_collinear_points_is_segment() {
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[1.0, 1.0]),
+            VecD::from_slice(&[2.0, 2.0]),
+        ];
+        let hull = monotone_chain(&pts);
+        assert_eq!(hull.len(), 2, "collinear points hull to a segment");
+    }
+
+    #[test]
+    fn polygon_membership_matches_lp_membership() {
+        let mut rng = StdRng::seed_from_u64(31);
+        for _ in 0..60 {
+            let pts = random_pts(&mut rng, 7);
+            let lp_hull = ConvexHull::new(pts.clone());
+            let polygon = monotone_chain(&pts);
+            for _ in 0..10 {
+                let q =
+                    VecD::from_slice(&[rng.gen_range(-4.0..4.0), rng.gen_range(-4.0..4.0)]);
+                let lp_in = lp_hull.contains(&q, t());
+                let oracle_in = polygon_contains(&polygon, &q, Tol(1e-7));
+                // Allow disagreement only within a hair of the boundary.
+                if lp_in != oracle_in {
+                    let dist = polygon_distance(&polygon, &q, t());
+                    assert!(
+                        dist < 1e-6,
+                        "LP ({lp_in}) vs oracle ({oracle_in}) disagree away from boundary: {q}, dist {dist}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn polygon_distance_matches_wolfe_distance() {
+        let mut rng = StdRng::seed_from_u64(32);
+        for _ in 0..60 {
+            let pts = random_pts(&mut rng, 6);
+            let lp_hull = ConvexHull::new(pts.clone());
+            let polygon = monotone_chain(&pts);
+            let q = VecD::from_slice(&[rng.gen_range(-5.0..5.0), rng.gen_range(-5.0..5.0)]);
+            let wolfe = lp_hull.distance(&q, Norm::L2, t());
+            let oracle = polygon_distance(&polygon, &q, t());
+            assert!(
+                (wolfe - oracle).abs() < 1e-7,
+                "Wolfe {wolfe} vs polygon oracle {oracle} at {q}"
+            );
+        }
+    }
+
+    #[test]
+    fn segment_distance_cases() {
+        let a = VecD::from_slice(&[0.0, 0.0]);
+        let b = VecD::from_slice(&[2.0, 0.0]);
+        assert!((segment_distance(&a, &b, &VecD::from_slice(&[1.0, 1.0])) - 1.0).abs() < 1e-12);
+        assert!(
+            (segment_distance(&a, &b, &VecD::from_slice(&[3.0, 0.0])) - 1.0).abs() < 1e-12
+        );
+        assert!(segment_distance(&a, &b, &VecD::from_slice(&[1.5, 0.0])) < 1e-12);
+        // Degenerate segment.
+        assert!(
+            (segment_distance(&a, &a, &VecD::from_slice(&[0.0, 2.0])) - 2.0).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn radon_point_of_square() {
+        // 4 points in R²: the two diagonals cross at (0.5, 0.5).
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[1.0, 1.0]),
+            VecD::from_slice(&[1.0, 0.0]),
+            VecD::from_slice(&[0.0, 1.0]),
+        ];
+        let (pos, neg, point) = radon_point(&pts, t()).expect("square has a Radon point");
+        assert!(point.approx_eq(&VecD::from_slice(&[0.5, 0.5]), Tol(1e-9)));
+        assert_eq!(pos.len() + neg.len(), 4);
+    }
+
+    #[test]
+    fn radon_point_is_in_both_block_hulls() {
+        let mut rng = StdRng::seed_from_u64(33);
+        for _ in 0..40 {
+            let pts = random_pts(&mut rng, 4);
+            let Some((pos, neg, point)) = radon_point(&pts, t()) else {
+                continue; // degenerate draw
+            };
+            let hull_pos = ConvexHull::from_indices(&pts, &pos);
+            let hull_neg = ConvexHull::from_indices(&pts, &neg);
+            assert!(hull_pos.contains(&point, Tol(1e-6)), "Radon point outside + block");
+            assert!(hull_neg.contains(&point, Tol(1e-6)), "Radon point outside − block");
+        }
+    }
+
+    #[test]
+    fn radon_agrees_with_tverberg_search_f1() {
+        // The exhaustive f = 1 Tverberg search must succeed exactly when the
+        // closed-form Radon computation does.
+        let mut rng = StdRng::seed_from_u64(34);
+        for _ in 0..25 {
+            let pts = random_pts(&mut rng, 4);
+            let radon = radon_point(&pts, t());
+            let tverberg = crate::tverberg::find_tverberg_partition(&pts, 1, t());
+            assert_eq!(
+                radon.is_some(),
+                tverberg.is_some(),
+                "Radon and Tverberg search disagree on {pts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn radon_in_3d() {
+        // 5 points in R³.
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.0, 0.0]),
+            VecD::from_slice(&[0.0, 1.0, 0.0]),
+            VecD::from_slice(&[0.0, 0.0, 1.0]),
+            VecD::from_slice(&[0.3, 0.3, 0.3]),
+        ];
+        let (pos, neg, point) = radon_point(&pts, t()).expect("generic 5 points in R³");
+        let hull_pos = ConvexHull::from_indices(&pts, &pos);
+        let hull_neg = ConvexHull::from_indices(&pts, &neg);
+        assert!(hull_pos.contains(&point, Tol(1e-6)));
+        assert!(hull_neg.contains(&point, Tol(1e-6)));
+    }
+}

@@ -1,0 +1,307 @@
+//! Tverberg machinery (paper §8).
+//!
+//! Tverberg's theorem: every multiset of at least `(d+1)f + 1` points in
+//! `R^d` admits a partition into `f + 1` non-empty blocks whose convex hulls
+//! share a point. The bound is tight: below it there are configurations
+//! (e.g. points in strongly general position) where *every* partition has an
+//! empty intersection. The paper observes (§8) that both statements survive
+//! when `H` is replaced by `H_k` or `H_(δ,p)` — which this module lets the
+//! experiment harness verify empirically with LP certificates.
+
+use rbvc_linalg::{Tol, VecD};
+
+use crate::combinatorics::set_partitions;
+use crate::hull::ConvexHull;
+use crate::lp::{LpBuilder, LpOutcome};
+
+/// A Tverberg partition together with a common point of the block hulls.
+#[derive(Debug, Clone)]
+pub struct TverbergPartition {
+    /// Blocks as index lists into the original point multiset.
+    pub blocks: Vec<Vec<usize>>,
+    /// A point in the intersection of the block hulls.
+    pub point: VecD,
+}
+
+/// Does the intersection `⋂ H(block)` admit a common point? Exact LP
+/// feasibility; returns a witness.
+#[must_use]
+pub fn blocks_intersection_point(
+    points: &[VecD],
+    blocks: &[Vec<usize>],
+    tol: Tol,
+) -> Option<VecD> {
+    let d = points[0].dim();
+    let mut lp = LpBuilder::new();
+    let x = lp.free_vars(d);
+    for block in blocks {
+        let lam = lp.nonneg_vars(block.len());
+        lp.eq(lam.iter().map(|&v| (v, 1.0)).collect(), 1.0);
+        for i in 0..d {
+            let mut row: Vec<_> = lam
+                .iter()
+                .zip(block)
+                .map(|(&v, &j)| (v, points[j][i]))
+                .collect();
+            row.push((x[i], -1.0));
+            lp.eq(row, 0.0);
+        }
+    }
+    lp.minimize(vec![]);
+    match lp.solve(tol) {
+        LpOutcome::Optimal { x: sol, .. } => Some(VecD((0..d).map(|i| sol[i]).collect())),
+        _ => None,
+    }
+}
+
+/// Search all partitions of the points into `f + 1` non-empty blocks for a
+/// Tverberg partition. Exhaustive (fine for `n ≲ 12`); returns the first
+/// partition found, or `None` if every partition has empty intersection.
+#[must_use]
+pub fn find_tverberg_partition(points: &[VecD], f: usize, tol: Tol) -> Option<TverbergPartition> {
+    let n = points.len();
+    for blocks in set_partitions(n, f + 1) {
+        if let Some(point) = blocks_intersection_point(points, &blocks, tol) {
+            return Some(TverbergPartition { blocks, point });
+        }
+    }
+    None
+}
+
+/// Check that *no* partition into `f + 1` blocks has intersecting hulls
+/// (the tightness side of Tverberg's theorem for `n ≤ (d+1)f`).
+#[must_use]
+pub fn all_partitions_empty(points: &[VecD], f: usize, tol: Tol) -> bool {
+    find_tverberg_partition(points, f, tol).is_none()
+}
+
+/// Does `⋂_l H_k(block_l)` admit a common point (Tverberg with the
+/// k-relaxed hull, paper §8)? Exact LP feasibility: one projected-membership
+/// block per `(block, D ∈ D_k)` pair.
+#[must_use]
+pub fn blocks_k_relaxed_intersection_point(
+    points: &[VecD],
+    blocks: &[Vec<usize>],
+    k: usize,
+    tol: Tol,
+) -> Option<VecD> {
+    let d = points[0].dim();
+    let mut lp = LpBuilder::new();
+    let x = lp.free_vars(d);
+    for block in blocks {
+        for proj in crate::projection::all_projections(d, k) {
+            let lam = lp.nonneg_vars(block.len());
+            lp.eq(lam.iter().map(|&v| (v, 1.0)).collect(), 1.0);
+            for &c in proj.indices() {
+                let mut row: Vec<_> = lam
+                    .iter()
+                    .zip(block)
+                    .map(|(&v, &j)| (v, points[j][c]))
+                    .collect();
+                row.push((x[c], -1.0));
+                lp.eq(row, 0.0);
+            }
+        }
+    }
+    lp.minimize(vec![]);
+    match lp.solve(tol) {
+        LpOutcome::Optimal { x: sol, .. } => Some(VecD((0..d).map(|i| sol[i]).collect())),
+        _ => None,
+    }
+}
+
+/// Does `⋂_l H_(δ,∞)(block_l)` admit a common point (Tverberg with the
+/// (δ,p)-relaxed hull, paper §8)? Exact LP feasibility for the L∞ fattening.
+#[must_use]
+pub fn blocks_fattened_intersection_point(
+    points: &[VecD],
+    blocks: &[Vec<usize>],
+    delta: f64,
+    tol: Tol,
+) -> Option<VecD> {
+    let d = points[0].dim();
+    let mut lp = LpBuilder::new();
+    let x = lp.free_vars(d);
+    for block in blocks {
+        let lam = lp.nonneg_vars(block.len());
+        lp.eq(lam.iter().map(|&v| (v, 1.0)).collect(), 1.0);
+        for c in 0..d {
+            let mut up: Vec<_> = lam
+                .iter()
+                .zip(block)
+                .map(|(&v, &j)| (v, points[j][c]))
+                .collect();
+            up.push((x[c], -1.0));
+            lp.le(up, delta);
+            let mut dn: Vec<_> = lam
+                .iter()
+                .zip(block)
+                .map(|(&v, &j)| (v, -points[j][c]))
+                .collect();
+            dn.push((x[c], 1.0));
+            lp.le(dn, delta);
+        }
+    }
+    lp.minimize(vec![]);
+    match lp.solve(tol) {
+        LpOutcome::Optimal { x: sol, .. } => Some(VecD((0..d).map(|i| sol[i]).collect())),
+        _ => None,
+    }
+}
+
+/// Points on the moment curve `t ↦ (t, t², …, t^d)` at parameters
+/// `1, 2, …, n` — a classic general-position configuration used for
+/// tightness witnesses.
+#[must_use]
+pub fn moment_curve_points(n: usize, d: usize) -> Vec<VecD> {
+    (1..=n)
+        .map(|i| {
+            let t = i as f64;
+            VecD((1..=d).map(|k| t.powi(k as i32)).collect())
+        })
+        .collect()
+}
+
+/// Verify a Tverberg point: the witness must lie in the hull of every block.
+#[must_use]
+pub fn verify_tverberg(points: &[VecD], tp: &TverbergPartition, tol: Tol) -> bool {
+    tp.blocks.iter().all(|block| {
+        ConvexHull::from_indices(points, block).contains(&tp.point, tol)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    #[test]
+    fn radon_partition_of_four_points_in_plane() {
+        // f = 1 (Radon): 4 points in R² always split into two blocks with
+        // intersecting hulls.
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[2.0, 0.0]),
+            VecD::from_slice(&[0.0, 2.0]),
+            VecD::from_slice(&[2.0, 2.0]),
+        ];
+        let tp = find_tverberg_partition(&pts, 1, t()).expect("Radon partition exists");
+        assert!(verify_tverberg(&pts, &tp, Tol(1e-7)));
+        assert_eq!(tp.blocks.len(), 2);
+    }
+
+    #[test]
+    fn triangle_has_no_radon_partition() {
+        // 3 = (d+1)f points in R², affinely independent: tight case, every
+        // 2-partition has disjoint hulls.
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.0]),
+            VecD::from_slice(&[0.0, 1.0]),
+        ];
+        assert!(all_partitions_empty(&pts, 1, t()));
+    }
+
+    #[test]
+    fn random_points_at_bound_always_partition() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(13);
+        for _ in 0..20 {
+            let d = rng.gen_range(1..4);
+            let f = rng.gen_range(1..3);
+            let n = (d + 1) * f + 1;
+            if n > 9 {
+                continue; // keep partition enumeration snappy in tests
+            }
+            let pts: Vec<VecD> = (0..n)
+                .map(|_| VecD((0..d).map(|_| rng.gen_range(-3.0..3.0)).collect()))
+                .collect();
+            let tp = find_tverberg_partition(&pts, f, t())
+                .expect("Tverberg guarantees a partition at n = (d+1)f + 1");
+            assert!(verify_tverberg(&pts, &tp, Tol(1e-6)));
+            assert_eq!(tp.blocks.len(), f + 1);
+        }
+    }
+
+    #[test]
+    fn moment_curve_is_tight_below_bound() {
+        // n = (d+1)f moment-curve points: every partition empty (strong
+        // general position); checked for small cases.
+        for (d, f) in [(2, 1), (3, 1), (2, 2)] {
+            let n = (d + 1) * f;
+            let pts = moment_curve_points(n, d);
+            assert!(
+                all_partitions_empty(&pts, f, t()),
+                "tightness failed at d={d}, f={f}"
+            );
+        }
+    }
+
+    #[test]
+    fn moment_curve_points_shape() {
+        let pts = moment_curve_points(3, 2);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[1], VecD::from_slice(&[2.0, 4.0]));
+        assert_eq!(pts[2], VecD::from_slice(&[3.0, 9.0]));
+    }
+
+    #[test]
+    fn intersection_point_respects_blocks() {
+        // Segment crossing: blocks {0,1} and {2,3} cross at (1,1).
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[2.0, 2.0]),
+            VecD::from_slice(&[0.0, 2.0]),
+            VecD::from_slice(&[2.0, 0.0]),
+        ];
+        let blocks = vec![vec![0, 1], vec![2, 3]];
+        let x = blocks_intersection_point(&pts, &blocks, t()).expect("segments cross");
+        assert!(x.approx_eq(&VecD::from_slice(&[1.0, 1.0]), Tol(1e-7)));
+    }
+
+    #[test]
+    fn k_relaxed_intersection_is_weaker_than_exact() {
+        // Triangle vertices, 2-partition: exact hulls disjoint, but the
+        // 1-relaxed hulls (bounding boxes) of {v0} and {v1, v2} do overlap.
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.0]),
+            VecD::from_slice(&[0.0, 1.0]),
+        ];
+        let blocks = vec![vec![0], vec![1, 2]];
+        assert!(blocks_intersection_point(&pts, &blocks, t()).is_none());
+        assert!(
+            blocks_k_relaxed_intersection_point(&pts, &blocks, 1, t()).is_some(),
+            "bounding boxes of a vertex and the opposite edge intersect"
+        );
+        // k = d recovers the exact statement.
+        assert!(blocks_k_relaxed_intersection_point(&pts, &blocks, 2, t()).is_none());
+    }
+
+    #[test]
+    fn fattened_intersection_appears_at_large_delta() {
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.0]),
+            VecD::from_slice(&[0.0, 1.0]),
+        ];
+        let blocks = vec![vec![0], vec![1, 2]];
+        assert!(blocks_fattened_intersection_point(&pts, &blocks, 0.0, t()).is_none());
+        assert!(blocks_fattened_intersection_point(&pts, &blocks, 0.5, t()).is_some());
+    }
+
+    #[test]
+    fn disjoint_blocks_report_empty() {
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.0]),
+            VecD::from_slice(&[5.0, 5.0]),
+            VecD::from_slice(&[6.0, 5.0]),
+        ];
+        let blocks = vec![vec![0, 1], vec![2, 3]];
+        assert!(blocks_intersection_point(&pts, &blocks, t()).is_none());
+    }
+}

@@ -1,0 +1,247 @@
+//! Affine-geometry helpers: affine independence, affine bases, and
+//! distance-preserving projection onto the affine span of a point set.
+//!
+//! The paper uses these in two places:
+//! * Theorem 8: when the `n − 1` difference vectors `aᵢ − aₙ` are *not*
+//!   linearly independent, the points live in a lower-dimensional subspace
+//!   and `(0, 2)`-consensus is achievable.
+//! * Theorem 9 Case II: when `4 ≤ n < d + 1`, project the `n` points onto
+//!   the `(n−1)`-dimensional affine span *preserving pairwise distances*
+//!   and reuse the simplex analysis there.
+
+use crate::matrix::Mat;
+use crate::tolerance::Tol;
+use crate::vector::VecD;
+
+/// True iff the points are affinely independent (their difference vectors
+/// relative to the last point are linearly independent).
+///
+/// `d + 2` or more points in `R^d` are never affinely independent.
+#[must_use]
+pub fn affinely_independent(points: &[VecD], tol: Tol) -> bool {
+    if points.is_empty() {
+        return false;
+    }
+    if points.len() == 1 {
+        return true;
+    }
+    let d = points[0].dim();
+    if points.len() > d + 1 {
+        return false;
+    }
+    let last = &points[points.len() - 1];
+    let diffs: Vec<VecD> = points[..points.len() - 1]
+        .iter()
+        .map(|p| p - last)
+        .collect();
+    let m = Mat::from_cols(&diffs);
+    m.rank(tol) == diffs.len()
+}
+
+/// Dimension of the affine span of the points (0 for a single point).
+#[must_use]
+pub fn affine_dim(points: &[VecD], tol: Tol) -> usize {
+    if points.len() <= 1 {
+        return 0;
+    }
+    let last = &points[points.len() - 1];
+    let diffs: Vec<VecD> = points[..points.len() - 1]
+        .iter()
+        .map(|p| p - last)
+        .collect();
+    Mat::from_cols(&diffs).rank(tol)
+}
+
+/// An orthonormal basis (as rows of a matrix) for the *linear* span of the
+/// given vectors, computed by modified Gram–Schmidt. Vectors that are
+/// (numerically) in the span of earlier ones are dropped.
+#[must_use]
+pub fn orthonormal_basis(vectors: &[VecD], tol: Tol) -> Vec<VecD> {
+    let mut basis: Vec<VecD> = Vec::new();
+    let scale = vectors.iter().fold(1.0_f64, |m, v| m.max(v.max_abs()));
+    let drop_tol = tol.scaled(scale).value().max(1e-12);
+    for v in vectors {
+        let mut w = v.clone();
+        // Two passes of MGS for numerical robustness.
+        for _ in 0..2 {
+            for b in &basis {
+                let c = w.dot(b);
+                w = w.axpy(-c, b);
+            }
+        }
+        let n = w.norm2();
+        if n > drop_tol {
+            basis.push(w.scale(1.0 / n));
+        }
+    }
+    basis
+}
+
+/// A distance-preserving map from the affine span of `points` to `R^m`,
+/// where `m` is the affine dimension of the span.
+///
+/// Constructed as: translate by `-origin` (the last point), then express in
+/// an orthonormal basis of the span. Pairwise Euclidean distances among the
+/// projected points equal those among the originals, exactly as required by
+/// Theorem 8 / Theorem 9 Case II of the paper.
+#[derive(Debug, Clone)]
+pub struct IsometricProjection {
+    origin: VecD,
+    basis: Vec<VecD>,
+}
+
+impl IsometricProjection {
+    /// Build the projection for the affine span of `points`.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty.
+    #[must_use]
+    pub fn span_of(points: &[VecD], tol: Tol) -> Self {
+        assert!(!points.is_empty(), "IsometricProjection of empty set");
+        let origin = points[points.len() - 1].clone();
+        let diffs: Vec<VecD> = points[..points.len() - 1]
+            .iter()
+            .map(|p| p - &origin)
+            .collect();
+        let basis = orthonormal_basis(&diffs, tol);
+        IsometricProjection { origin, basis }
+    }
+
+    /// Target dimension `m` (affine dimension of the span).
+    #[must_use]
+    pub fn target_dim(&self) -> usize {
+        self.basis.len()
+    }
+
+    /// Project a point of the span (or any point: its span component) down
+    /// to `R^m` coordinates.
+    #[must_use]
+    pub fn project(&self, p: &VecD) -> VecD {
+        let diff = p - &self.origin;
+        VecD(self.basis.iter().map(|b| diff.dot(b)).collect())
+    }
+
+    /// Lift `R^m` coordinates back to the original space.
+    #[must_use]
+    pub fn lift(&self, q: &VecD) -> VecD {
+        assert_eq!(q.dim(), self.basis.len(), "lift: dimension mismatch");
+        let mut p = self.origin.clone();
+        for (c, b) in q.as_slice().iter().zip(&self.basis) {
+            p = p.axpy(*c, b);
+        }
+        p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    #[test]
+    fn simplex_vertices_are_affinely_independent() {
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.0]),
+            VecD::from_slice(&[0.0, 1.0]),
+        ];
+        assert!(affinely_independent(&pts, t()));
+        assert_eq!(affine_dim(&pts, t()), 2);
+    }
+
+    #[test]
+    fn collinear_points_are_dependent() {
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[1.0, 1.0]),
+            VecD::from_slice(&[2.0, 2.0]),
+        ];
+        assert!(!affinely_independent(&pts, t()));
+        assert_eq!(affine_dim(&pts, t()), 1);
+    }
+
+    #[test]
+    fn too_many_points_cannot_be_independent() {
+        let pts: Vec<VecD> = (0..4)
+            .map(|i| VecD::from_slice(&[i as f64, (i * i) as f64]))
+            .collect();
+        assert!(!affinely_independent(&pts, t()));
+    }
+
+    #[test]
+    fn single_point_is_independent_dim_zero() {
+        let pts = vec![VecD::from_slice(&[3.0, 4.0])];
+        assert!(affinely_independent(&pts, t()));
+        assert_eq!(affine_dim(&pts, t()), 0);
+    }
+
+    #[test]
+    fn orthonormal_basis_is_orthonormal() {
+        let vs = vec![
+            VecD::from_slice(&[1.0, 1.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.0, 1.0]),
+            VecD::from_slice(&[2.0, 1.0, 1.0]), // dependent on the first two
+        ];
+        let b = orthonormal_basis(&vs, t());
+        assert_eq!(b.len(), 2, "dependent vector must be dropped");
+        for (i, u) in b.iter().enumerate() {
+            assert!((u.norm2() - 1.0).abs() < 1e-10);
+            for v in &b[i + 1..] {
+                assert!(u.dot(v).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn isometric_projection_preserves_pairwise_distances() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let d = rng.gen_range(3..8);
+            let n = rng.gen_range(2..=d); // n points spanning < d dims
+            let pts: Vec<VecD> = (0..n)
+                .map(|_| VecD((0..d).map(|_| rng.gen_range(-5.0..5.0)).collect()))
+                .collect();
+            let proj = IsometricProjection::span_of(&pts, t());
+            let q: Vec<VecD> = pts.iter().map(|p| proj.project(p)).collect();
+            for i in 0..n {
+                for j in i + 1..n {
+                    let orig = pts[i].dist2(&pts[j]);
+                    let new = q[i].dist2(&q[j]);
+                    assert!(
+                        (orig - new).abs() < 1e-8,
+                        "distance not preserved: {orig} vs {new}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lift_inverts_project_on_span_points() {
+        let pts = vec![
+            VecD::from_slice(&[1.0, 2.0, 3.0]),
+            VecD::from_slice(&[4.0, 5.0, 6.0]),
+            VecD::from_slice(&[0.0, 1.0, -1.0]),
+        ];
+        let proj = IsometricProjection::span_of(&pts, t());
+        for p in &pts {
+            let back = proj.lift(&proj.project(p));
+            assert!(back.approx_eq(p, Tol(1e-9)), "{back} != {p}");
+        }
+    }
+
+    #[test]
+    fn projection_target_dim_matches_affine_dim() {
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.0, 0.0]),
+            VecD::from_slice(&[0.0, 1.0, 0.0]),
+        ];
+        let proj = IsometricProjection::span_of(&pts, t());
+        assert_eq!(proj.target_dim(), affine_dim(&pts, t()));
+    }
+}

@@ -1,0 +1,164 @@
+//! Cayley–Menger determinants: simplex volumes from pairwise distances.
+//!
+//! Used as an independent oracle in the geometry test suite: the inradius of
+//! a simplex satisfies `r = d · V / Σᵢ Aᵢ` where `V` is the simplex volume
+//! and `Aᵢ` the facet volumes — cross-checked against the paper's Lemma 12
+//! closed form `r = 1 / Σ ||bᵢ||`.
+
+use crate::matrix::Mat;
+use crate::vector::VecD;
+
+/// Squared-distance Cayley–Menger determinant of `m + 1` points.
+///
+/// For points `p₀..p_m`, the Cayley–Menger matrix is the `(m+2) × (m+2)`
+/// bordered matrix of squared pairwise distances.
+#[must_use]
+pub fn cayley_menger_det(points: &[VecD]) -> f64 {
+    let m = points.len();
+    assert!(m >= 1, "cayley_menger_det needs at least one point");
+    let n = m + 1;
+    let mut cm = Mat::zeros(n, n);
+    for j in 1..n {
+        cm[(0, j)] = 1.0;
+        cm[(j, 0)] = 1.0;
+    }
+    for i in 0..m {
+        for j in 0..m {
+            let d = points[i].dist2(&points[j]);
+            cm[(i + 1, j + 1)] = d * d;
+        }
+    }
+    cm.determinant()
+}
+
+/// Volume of the `(m-1)`-simplex spanned by `m` points (its
+/// `(m-1)`-dimensional Lebesgue measure within its affine span).
+///
+/// Uses `V² = (−1)^m / (2^{m-1} ((m-1)!)²) · CM(points)` for `m` points.
+/// Returns 0 for degenerate (affinely dependent) point sets.
+#[must_use]
+pub fn simplex_volume(points: &[VecD]) -> f64 {
+    let m = points.len();
+    if m == 1 {
+        return 1.0; // 0-dimensional measure of a point, by convention
+    }
+    let k = m - 1; // simplex dimension
+    let cm = cayley_menger_det(points);
+    let sign = if m.is_multiple_of(2) { 1.0 } else { -1.0 };
+    let factorial_k: f64 = (1..=k).map(|i| i as f64).product();
+    let v2 = sign * cm / (2.0_f64.powi(k as i32) * factorial_k * factorial_k);
+    if v2 <= 0.0 {
+        0.0
+    } else {
+        v2.sqrt()
+    }
+}
+
+/// Inradius of a full-dimensional simplex (`d+1` points in `R^d`) via the
+/// volume identity `r = d · V / Σ facet volumes`. Returns 0 for degenerate
+/// simplices.
+#[must_use]
+pub fn inradius_by_volumes(vertices: &[VecD]) -> f64 {
+    let m = vertices.len();
+    assert!(m >= 2, "inradius needs at least 2 vertices");
+    let d = m - 1;
+    let vol = simplex_volume(vertices);
+    if vol == 0.0 {
+        return 0.0;
+    }
+    let mut facet_sum = 0.0;
+    for skip in 0..m {
+        let facet: Vec<VecD> = vertices
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != skip)
+            .map(|(_, p)| p.clone())
+            .collect();
+        facet_sum += simplex_volume(&facet);
+    }
+    d as f64 * vol / facet_sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn segment_length_is_volume() {
+        let pts = vec![VecD::from_slice(&[0.0, 0.0]), VecD::from_slice(&[3.0, 4.0])];
+        assert!((simplex_volume(&pts) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_right_triangle_area() {
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.0]),
+            VecD::from_slice(&[0.0, 1.0]),
+        ];
+        assert!((simplex_volume(&pts) - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unit_tetrahedron_volume() {
+        let pts = vec![
+            VecD::zeros(3),
+            VecD::scaled_basis(3, 0, 1.0),
+            VecD::scaled_basis(3, 1, 1.0),
+            VecD::scaled_basis(3, 2, 1.0),
+        ];
+        assert!((simplex_volume(&pts) - 1.0 / 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_simplex_has_zero_volume() {
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[1.0, 1.0]),
+            VecD::from_slice(&[2.0, 2.0]),
+        ];
+        assert_eq!(simplex_volume(&pts), 0.0);
+    }
+
+    #[test]
+    fn volume_is_translation_and_rotation_invariant() {
+        // Distances determine the CM determinant, so shifting must not matter.
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[2.0, 0.0]),
+            VecD::from_slice(&[0.0, 2.0]),
+        ];
+        let shifted: Vec<VecD> = pts
+            .iter()
+            .map(|p| p + &VecD::from_slice(&[10.0, -7.0]))
+            .collect();
+        assert!((simplex_volume(&pts) - simplex_volume(&shifted)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inradius_of_345_triangle() {
+        // r = (a + b − c)/2 = 1 for the 3-4-5 right triangle.
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[3.0, 0.0]),
+            VecD::from_slice(&[0.0, 4.0]),
+        ];
+        assert!((inradius_by_volumes(&pts) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inradius_of_regular_tetrahedron() {
+        // Regular tetrahedron with edge a: r = a / (2 sqrt(6)).
+        let a = 2.0_f64;
+        let pts = vec![
+            VecD::from_slice(&[1.0, 1.0, 1.0]),
+            VecD::from_slice(&[1.0, -1.0, -1.0]),
+            VecD::from_slice(&[-1.0, 1.0, -1.0]),
+            VecD::from_slice(&[-1.0, -1.0, 1.0]),
+        ];
+        let edge = pts[0].dist2(&pts[1]);
+        assert!((edge - a * 2.0_f64.sqrt()).abs() < 1e-12);
+        let expected = edge / (2.0 * 6.0_f64.sqrt());
+        assert!((inradius_by_volumes(&pts) - expected).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,189 @@
+//! The Lp norm family used throughout the paper.
+//!
+//! The paper's `(δ, p)`-relaxed hulls measure distance with an Lp norm
+//! (`p ≥ 1`, including `p = ∞`). [`Norm`] encodes the norm choice; the
+//! Hölder comparison constants of Theorem 13 live in
+//! [`holder_upper_constant`] / [`norm_le`].
+
+use serde::{Deserialize, Serialize};
+
+/// A choice of Lp norm, `p ≥ 1`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Norm {
+    /// L1 norm: sum of absolute values.
+    L1,
+    /// L2 (Euclidean) norm.
+    L2,
+    /// L∞ norm: maximum absolute value.
+    LInf,
+    /// General Lp norm for finite `p ≥ 1`.
+    Lp(f64),
+}
+
+impl Norm {
+    /// Construct from a finite `p ≥ 1`, normalising `1` and `2` to the
+    /// dedicated variants.
+    ///
+    /// # Panics
+    /// Panics if `p < 1` or `p` is not finite (use [`Norm::LInf`] for ∞).
+    #[must_use]
+    pub fn lp(p: f64) -> Norm {
+        assert!(p.is_finite() && p >= 1.0, "Lp norm requires finite p >= 1");
+        if (p - 1.0).abs() < 1e-12 {
+            Norm::L1
+        } else if (p - 2.0).abs() < 1e-12 {
+            Norm::L2
+        } else {
+            Norm::Lp(p)
+        }
+    }
+
+    /// The exponent `p`, with `∞` mapped to `f64::INFINITY`.
+    #[must_use]
+    pub fn p(self) -> f64 {
+        match self {
+            Norm::L1 => 1.0,
+            Norm::L2 => 2.0,
+            Norm::LInf => f64::INFINITY,
+            Norm::Lp(p) => p,
+        }
+    }
+
+    /// Norm of a slice.
+    #[must_use]
+    pub fn of(self, xs: &[f64]) -> f64 {
+        self.of_iter(xs.iter().copied())
+    }
+
+    /// Norm of an iterator of coordinates.
+    pub fn of_iter<I: IntoIterator<Item = f64>>(self, xs: I) -> f64 {
+        match self {
+            Norm::L1 => xs.into_iter().map(f64::abs).sum(),
+            Norm::L2 => xs.into_iter().map(|x| x * x).sum::<f64>().sqrt(),
+            Norm::LInf => xs.into_iter().fold(0.0_f64, |m, x| m.max(x.abs())),
+            Norm::Lp(p) => xs
+                .into_iter()
+                .map(|x| x.abs().powf(p))
+                .sum::<f64>()
+                .powf(1.0 / p),
+        }
+    }
+}
+
+/// Hölder comparison (Theorem 13 in the paper): for `1 ≤ r ≤ p` and
+/// `x ∈ R^d`,
+///
+/// ```text
+/// ||x||_p  ≤  ||x||_r  ≤  d^(1/r − 1/p) ||x||_p .
+/// ```
+///
+/// Returns the constant `d^(1/r − 1/p)` bounding `||x||_r / ||x||_p`.
+/// For `p = ∞`, `1/p = 0`.
+///
+/// # Panics
+/// Panics unless `1 ≤ r ≤ p`.
+#[must_use]
+pub fn holder_upper_constant(d: usize, r: Norm, p: Norm) -> f64 {
+    let (rp, pp) = (r.p(), p.p());
+    assert!(rp >= 1.0 && rp <= pp, "holder constant requires 1 <= r <= p");
+    let inv_p = if pp.is_infinite() { 0.0 } else { 1.0 / pp };
+    (d as f64).powf(1.0 / rp - inv_p)
+}
+
+/// `||x||_p ≤ ||x||_r` whenever `r ≤ p` (norm monotonicity, used in the
+/// necessity arguments of Theorems 5 and 6). Returns true iff that ordering
+/// applies to the pair `(r, p)`.
+#[must_use]
+pub fn norm_le(p_larger_exponent: Norm, r_smaller_exponent: Norm) -> bool {
+    r_smaller_exponent.p() <= p_larger_exponent.p()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lp_constructor_normalises() {
+        assert_eq!(Norm::lp(1.0), Norm::L1);
+        assert_eq!(Norm::lp(2.0), Norm::L2);
+        match Norm::lp(3.0) {
+            Norm::Lp(p) => assert!((p - 3.0).abs() < 1e-12),
+            other => panic!("expected Lp(3), got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite p >= 1")]
+    fn lp_rejects_p_below_one() {
+        let _ = Norm::lp(0.5);
+    }
+
+    #[test]
+    fn norms_of_simple_vector() {
+        let x = [1.0, -2.0, 2.0];
+        assert_eq!(Norm::L1.of(&x), 5.0);
+        assert_eq!(Norm::L2.of(&x), 3.0);
+        assert_eq!(Norm::LInf.of(&x), 2.0);
+        let l3 = Norm::lp(3.0).of(&x);
+        assert!((l3 - (1.0_f64 + 8.0 + 8.0).powf(1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_monotone_in_p() {
+        // ||x||_p is non-increasing in p.
+        let x = [0.3, -1.7, 0.9, 2.2];
+        let ps = [1.0, 1.5, 2.0, 3.0, 10.0];
+        let mut prev = f64::INFINITY;
+        for &p in &ps {
+            let v = Norm::lp(p).of(&x);
+            assert!(v <= prev + 1e-12, "norm not monotone at p={p}");
+            prev = v;
+        }
+        assert!(Norm::LInf.of(&x) <= prev + 1e-12);
+    }
+
+    #[test]
+    fn holder_bound_is_attained_by_ones_vector() {
+        // For x = 1^d, ||x||_r = d^{1/r}, ||x||_p = d^{1/p}; ratio = constant.
+        let d = 7;
+        let x = vec![1.0; d];
+        for (r, p) in [
+            (Norm::L1, Norm::L2),
+            (Norm::L2, Norm::LInf),
+            (Norm::L1, Norm::LInf),
+            (Norm::lp(1.5), Norm::lp(4.0)),
+        ] {
+            let c = holder_upper_constant(d, r, p);
+            let ratio = r.of(&x) / p.of(&x);
+            assert!(
+                (c - ratio).abs() < 1e-10,
+                "constant {c} vs attained ratio {ratio}"
+            );
+        }
+    }
+
+    #[test]
+    fn holder_bounds_random_vectors() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let d = rng.gen_range(1..9);
+            let x: Vec<f64> = (0..d).map(|_| rng.gen_range(-5.0..5.0)).collect();
+            let r = Norm::lp(rng.gen_range(1.0..3.0));
+            let p = Norm::lp(r.p() + rng.gen_range(0.0..3.0));
+            let (nr, np) = (r.of(&x), p.of(&x));
+            assert!(np <= nr + 1e-9, "||x||_p <= ||x||_r violated");
+            assert!(
+                nr <= holder_upper_constant(d, r, p) * np + 1e-9,
+                "upper Hölder bound violated"
+            );
+        }
+    }
+
+    #[test]
+    fn norm_le_orders_exponents() {
+        assert!(norm_le(Norm::LInf, Norm::L2));
+        assert!(norm_le(Norm::L2, Norm::L1));
+        assert!(!norm_le(Norm::L1, Norm::L2));
+    }
+}

@@ -1,0 +1,255 @@
+//! Householder QR factorization.
+//!
+//! The affine-geometry layer builds orthonormal bases with modified
+//! Gram–Schmidt ([`crate::affine::orthonormal_basis`]); Householder QR is
+//! the numerically harder-to-break alternative, used as a cross-check
+//! oracle in tests and available for callers that face ill-conditioned
+//! spans. Also provides a least-squares solver (`min ‖Ax − b‖₂` via QR),
+//! which backs the Wolfe corral solves on near-degenerate corrals.
+
+use crate::matrix::Mat;
+use crate::tolerance::Tol;
+use crate::vector::VecD;
+
+/// Compact QR factorization of an `m × n` matrix (`m ≥ n`): `A = Q R` with
+/// `Q` `m × n` orthonormal columns and `R` `n × n` upper triangular.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Orthonormal factor (`m × n`).
+    pub q: Mat,
+    /// Upper-triangular factor (`n × n`).
+    pub r: Mat,
+    /// Numerical rank estimate from the diagonal of `R`.
+    pub rank: usize,
+}
+
+/// Compute the compact Householder QR of `a` (`m × n`, `m ≥ n`).
+///
+/// # Panics
+/// Panics if `m < n`.
+#[must_use]
+pub fn householder_qr(a: &Mat, tol: Tol) -> Qr {
+    let m = a.nrows();
+    let n = a.ncols();
+    assert!(m >= n, "householder_qr requires m >= n (got {m} x {n})");
+
+    // Work on a full copy; accumulate the reflectors applied to identity.
+    let mut r_full = a.clone();
+    // Q starts as the m × m identity; we apply reflectors on the right
+    // (Q = H_1 H_2 … H_n) by applying them to each column.
+    let mut q_full = Mat::identity(m);
+
+    for k in 0..n {
+        // Householder vector for column k below the diagonal.
+        let mut norm_x = 0.0;
+        for i in k..m {
+            norm_x += r_full[(i, k)] * r_full[(i, k)];
+        }
+        let norm_x = norm_x.sqrt();
+        if norm_x <= tol.value().max(1e-300) {
+            continue; // column already (numerically) zero below diagonal
+        }
+        let alpha = if r_full[(k, k)] >= 0.0 { -norm_x } else { norm_x };
+        let mut v = vec![0.0; m];
+        for i in k..m {
+            v[i] = r_full[(i, k)];
+        }
+        v[k] -= alpha;
+        let v_norm_sq: f64 = v.iter().map(|x| x * x).sum();
+        if v_norm_sq <= 1e-300 {
+            continue;
+        }
+        // Apply H = I − 2 v vᵀ / (vᵀ v) to R (left) and accumulate into Q.
+        for j in k..n {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i] * r_full[(i, j)];
+            }
+            let scale = 2.0 * dot / v_norm_sq;
+            for i in k..m {
+                r_full[(i, j)] -= scale * v[i];
+            }
+        }
+        for j in 0..m {
+            let mut dot = 0.0;
+            for i in k..m {
+                dot += v[i] * q_full[(j, i)];
+            }
+            let scale = 2.0 * dot / v_norm_sq;
+            for i in k..m {
+                q_full[(j, i)] -= scale * v[i];
+            }
+        }
+    }
+
+    // Extract compact factors.
+    let mut q = Mat::zeros(m, n);
+    let mut r = Mat::zeros(n, n);
+    for i in 0..m {
+        for j in 0..n {
+            q[(i, j)] = q_full[(i, j)];
+        }
+    }
+    for i in 0..n {
+        for j in i..n {
+            r[(i, j)] = r_full[(i, j)];
+        }
+    }
+    let scale = a.max_abs().max(1.0);
+    let rank = (0..n)
+        .filter(|&i| r[(i, i)].abs() > tol.scaled(scale).value())
+        .count();
+    Qr { q, r, rank }
+}
+
+/// Least-squares solve `min ‖A x − b‖₂` via QR (`A` full column rank).
+/// Returns `None` when `A` is numerically rank-deficient.
+#[must_use]
+pub fn least_squares(a: &Mat, b: &VecD, tol: Tol) -> Option<VecD> {
+    let n = a.ncols();
+    let qr = householder_qr(a, tol);
+    if qr.rank < n {
+        return None;
+    }
+    // x = R⁻¹ Qᵀ b (back substitution).
+    let qtb = qr.q.transpose().matvec(b);
+    let mut x = VecD::zeros(n);
+    for i in (0..n).rev() {
+        let mut s = qtb[i];
+        for j in i + 1..n {
+            s -= qr.r[(i, j)] * x[j];
+        }
+        x[i] = s / qr.r[(i, i)];
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn t() -> Tol {
+        Tol::default()
+    }
+
+    fn random_mat(rng: &mut StdRng, m: usize, n: usize) -> Mat {
+        Mat::from_rows(
+            &(0..m)
+                .map(|_| (0..n).map(|_| rng.gen_range(-3.0..3.0)).collect())
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    #[test]
+    fn qr_reconstructs_a() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..40 {
+            let n = rng.gen_range(1..6);
+            let m = n + rng.gen_range(0..4);
+            let a = random_mat(&mut rng, m, n);
+            let qr = householder_qr(&a, t());
+            let recon = qr.q.matmul(&qr.r);
+            assert!(recon.approx_eq(&a, Tol(1e-9)), "QR != A");
+        }
+    }
+
+    #[test]
+    fn q_has_orthonormal_columns() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..5);
+            let m = n + rng.gen_range(0..4);
+            let a = random_mat(&mut rng, m, n);
+            let qr = householder_qr(&a, t());
+            let gram = qr.q.gram();
+            assert!(
+                gram.approx_eq(&Mat::identity(n), Tol(1e-9)),
+                "QᵀQ != I"
+            );
+        }
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = random_mat(&mut rng, 5, 4);
+        let qr = householder_qr(&a, t());
+        for i in 0..4 {
+            for j in 0..i {
+                assert!(qr.r[(i, j)].abs() < 1e-12, "R not triangular at ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_detects_deficiency() {
+        // Third column = sum of first two.
+        let a = Mat::from_cols(&[
+            VecD::from_slice(&[1.0, 0.0, 2.0]),
+            VecD::from_slice(&[0.0, 1.0, 1.0]),
+            VecD::from_slice(&[1.0, 1.0, 3.0]),
+        ]);
+        let qr = householder_qr(&a, t());
+        assert_eq!(qr.rank, 2);
+        assert_eq!(qr.rank, a.rank(t()), "QR rank agrees with elimination rank");
+    }
+
+    #[test]
+    fn least_squares_matches_normal_equations() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..30 {
+            let n = rng.gen_range(1..4);
+            let m = n + rng.gen_range(1..4);
+            let a = random_mat(&mut rng, m, n);
+            let b = VecD((0..m).map(|_| rng.gen_range(-2.0..2.0)).collect());
+            let Some(x) = least_squares(&a, &b, t()) else {
+                continue; // rank-deficient draw
+            };
+            // Residual must be orthogonal to the column space: Aᵀ(Ax−b)=0.
+            let residual = &a.matvec(&x) - &b;
+            let atr = a.transpose().matvec(&residual);
+            assert!(
+                atr.max_abs() < 1e-7,
+                "normal equations violated: {atr}"
+            );
+        }
+    }
+
+    #[test]
+    fn least_squares_exact_on_square_systems() {
+        let a = Mat::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]);
+        let x_true = VecD::from_slice(&[1.0, -2.0]);
+        let b = a.matvec(&x_true);
+        let x = least_squares(&a, &b, t()).expect("nonsingular");
+        assert!(x.approx_eq(&x_true, Tol(1e-9)));
+    }
+
+    #[test]
+    fn qr_basis_agrees_with_gram_schmidt_span() {
+        // The Q columns span the same subspace as the MGS basis: project
+        // each MGS basis vector onto Q's span and back — identity.
+        use crate::affine::orthonormal_basis;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..20 {
+            let d = rng.gen_range(2..6);
+            let k = rng.gen_range(1..=d);
+            let vs: Vec<VecD> = (0..k)
+                .map(|_| VecD((0..d).map(|_| rng.gen_range(-2.0..2.0)).collect()))
+                .collect();
+            let mgs = orthonormal_basis(&vs, t());
+            let a = Mat::from_cols(&vs);
+            let qr = householder_qr(&a, t());
+            assert_eq!(qr.rank, mgs.len(), "rank disagreement");
+            for u in &mgs {
+                // Projection onto span(Q): Q (Qᵀ u) restricted to rank cols.
+                let qtu = qr.q.transpose().matvec(u);
+                let back = qr.q.matvec(&qtu);
+                assert!(
+                    back.approx_eq(u, Tol(1e-8)),
+                    "MGS vector escapes the QR span"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Shared numerical-tolerance policy.
+//!
+//! All geometric predicates in the workspace funnel through a [`Tol`] so that
+//! the tolerance used to decide "is this point inside the hull" is consistent
+//! with the tolerance used to decide "is this LP feasible". Tolerances are
+//! *absolute* but every caller is expected to scale them by the magnitude of
+//! its data via [`Tol::scaled`].
+
+/// Default absolute tolerance for geometric predicates on O(1)-magnitude data.
+pub const DEFAULT_TOL: f64 = 1e-9;
+
+/// A numerical tolerance with helpers for the comparisons the geometry layer
+/// needs. `Tol` is deliberately tiny and `Copy`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tol(pub f64);
+
+impl Default for Tol {
+    fn default() -> Self {
+        Tol(DEFAULT_TOL)
+    }
+}
+
+impl Tol {
+    /// A tolerance suitable for data of the given magnitude: `tol * max(1, scale)`.
+    #[must_use]
+    pub fn scaled(self, scale: f64) -> Tol {
+        Tol(self.0 * scale.abs().max(1.0))
+    }
+
+    /// `a` and `b` are equal within tolerance.
+    #[must_use]
+    pub fn eq(self, a: f64, b: f64) -> bool {
+        (a - b).abs() <= self.0
+    }
+
+    /// `a <= b` within tolerance (i.e. `a - b <= tol`).
+    #[must_use]
+    pub fn le(self, a: f64, b: f64) -> bool {
+        a - b <= self.0
+    }
+
+    /// `a >= b` within tolerance.
+    #[must_use]
+    pub fn ge(self, a: f64, b: f64) -> bool {
+        b - a <= self.0
+    }
+
+    /// `a` is zero within tolerance.
+    #[must_use]
+    pub fn is_zero(self, a: f64) -> bool {
+        a.abs() <= self.0
+    }
+
+    /// Strictly positive beyond tolerance.
+    #[must_use]
+    pub fn is_pos(self, a: f64) -> bool {
+        a > self.0
+    }
+
+    /// Strictly negative beyond tolerance.
+    #[must_use]
+    pub fn is_neg(self, a: f64) -> bool {
+        a < -self.0
+    }
+
+    /// The raw tolerance value.
+    #[must_use]
+    pub fn value(self) -> f64 {
+        self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_documented_constant() {
+        assert_eq!(Tol::default().value(), DEFAULT_TOL);
+    }
+
+    #[test]
+    fn eq_within_tolerance() {
+        let t = Tol(1e-6);
+        assert!(t.eq(1.0, 1.0 + 5e-7));
+        assert!(!t.eq(1.0, 1.0 + 5e-6));
+    }
+
+    #[test]
+    fn le_ge_are_tolerant() {
+        let t = Tol(1e-6);
+        assert!(t.le(1.0 + 5e-7, 1.0));
+        assert!(t.ge(1.0 - 5e-7, 1.0));
+        assert!(!t.le(1.0 + 1e-5, 1.0));
+    }
+
+    #[test]
+    fn sign_predicates_exclude_noise() {
+        let t = Tol(1e-6);
+        assert!(!t.is_pos(5e-7));
+        assert!(t.is_pos(2e-6));
+        assert!(!t.is_neg(-5e-7));
+        assert!(t.is_neg(-2e-6));
+        assert!(t.is_zero(-5e-7));
+    }
+
+    #[test]
+    fn scaled_grows_with_magnitude_only_above_one() {
+        let t = Tol(1e-9);
+        assert_eq!(t.scaled(0.5).value(), 1e-9);
+        assert!((t.scaled(100.0).value() - 1e-7).abs() < 1e-20);
+    }
+}

@@ -1,0 +1,350 @@
+//! [`VecD`]: the `d`-dimensional real column vector used for process inputs,
+//! decision values, and all geometric computation.
+//!
+//! The paper (§3) views inputs both as column vectors and as points in
+//! `R^d`; `VecD` is that object. Coordinates are indexed `0..d` here
+//! (the paper indexes `1..=d`).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::norms::Norm;
+use crate::tolerance::Tol;
+
+/// A `d`-dimensional real vector / point in `R^d`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VecD(pub Vec<f64>);
+
+impl VecD {
+    /// Create from raw coordinates.
+    #[must_use]
+    pub fn new(coords: Vec<f64>) -> Self {
+        VecD(coords)
+    }
+
+    /// Create from a slice.
+    #[must_use]
+    pub fn from_slice(coords: &[f64]) -> Self {
+        VecD(coords.to_vec())
+    }
+
+    /// The all-zero vector `0^d` (used in the Lemma 10 scenarios).
+    #[must_use]
+    pub fn zeros(d: usize) -> Self {
+        VecD(vec![0.0; d])
+    }
+
+    /// The all-one vector `1^d` (used in the Lemma 10 scenarios).
+    #[must_use]
+    pub fn ones(d: usize) -> Self {
+        VecD(vec![1.0; d])
+    }
+
+    /// The `i`-th standard basis vector scaled by `x` in dimension `d`.
+    #[must_use]
+    pub fn scaled_basis(d: usize, i: usize, x: f64) -> Self {
+        let mut v = vec![0.0; d];
+        v[i] = x;
+        VecD(v)
+    }
+
+    /// Dimension `d` of the vector.
+    #[must_use]
+    pub fn dim(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Coordinates as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.0
+    }
+
+    /// Dot product `<self, other>`.
+    ///
+    /// # Panics
+    /// Panics if the dimensions differ.
+    #[must_use]
+    pub fn dot(&self, other: &VecD) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "dot: dimension mismatch");
+        self.0.iter().zip(&other.0).map(|(a, b)| a * b).sum()
+    }
+
+    /// Squared Euclidean norm.
+    #[must_use]
+    pub fn norm2_sq(&self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Lp norm of the vector, `p` given as a [`Norm`].
+    #[must_use]
+    pub fn norm(&self, p: Norm) -> f64 {
+        p.of(&self.0)
+    }
+
+    /// Euclidean (L2) norm.
+    #[must_use]
+    pub fn norm2(&self) -> f64 {
+        self.norm2_sq().sqrt()
+    }
+
+    /// Distance `||self - other||_p`.
+    #[must_use]
+    pub fn dist(&self, other: &VecD, p: Norm) -> f64 {
+        assert_eq!(self.dim(), other.dim(), "dist: dimension mismatch");
+        p.of_iter(self.0.iter().zip(&other.0).map(|(a, b)| a - b))
+    }
+
+    /// Euclidean distance.
+    #[must_use]
+    pub fn dist2(&self, other: &VecD) -> f64 {
+        self.dist(other, Norm::L2)
+    }
+
+    /// Scale by a scalar.
+    #[must_use]
+    pub fn scale(&self, s: f64) -> VecD {
+        VecD(self.0.iter().map(|x| x * s).collect())
+    }
+
+    /// `self + s * other` (axpy).
+    #[must_use]
+    pub fn axpy(&self, s: f64, other: &VecD) -> VecD {
+        assert_eq!(self.dim(), other.dim(), "axpy: dimension mismatch");
+        VecD(
+            self.0
+                .iter()
+                .zip(&other.0)
+                .map(|(a, b)| a + s * b)
+                .collect(),
+        )
+    }
+
+    /// Convex combination `(1 - t) * self + t * other`, `t ∈ [0, 1]` not enforced.
+    #[must_use]
+    pub fn lerp(&self, other: &VecD, t: f64) -> VecD {
+        self.scale(1.0 - t) + other.scale(t)
+    }
+
+    /// Componentwise approximate equality.
+    #[must_use]
+    pub fn approx_eq(&self, other: &VecD, tol: Tol) -> bool {
+        self.dim() == other.dim()
+            && self
+                .0
+                .iter()
+                .zip(&other.0)
+                .all(|(a, b)| tol.eq(*a, *b))
+    }
+
+    /// Centroid (arithmetic mean) of a set of points.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty or dimensions differ.
+    #[must_use]
+    pub fn centroid(points: &[VecD]) -> VecD {
+        assert!(!points.is_empty(), "centroid of empty set");
+        let d = points[0].dim();
+        let mut acc = VecD::zeros(d);
+        for p in points {
+            acc += p.clone();
+        }
+        acc.scale(1.0 / points.len() as f64)
+    }
+
+    /// Convex combination `Σ w_i p_i`. Weights are not checked to sum to 1.
+    #[must_use]
+    pub fn combination(points: &[VecD], weights: &[f64]) -> VecD {
+        assert_eq!(points.len(), weights.len(), "combination: length mismatch");
+        assert!(!points.is_empty(), "combination of empty set");
+        let mut acc = VecD::zeros(points[0].dim());
+        for (p, &w) in points.iter().zip(weights) {
+            acc = acc.axpy(w, p);
+        }
+        acc
+    }
+
+    /// Largest absolute coordinate (∞-norm), convenient for scaling tolerances.
+    #[must_use]
+    pub fn max_abs(&self) -> f64 {
+        self.0.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+    }
+
+    /// True iff every coordinate is finite.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.0.iter().all(|x| x.is_finite())
+    }
+}
+
+impl Index<usize> for VecD {
+    type Output = f64;
+    fn index(&self, i: usize) -> &f64 {
+        &self.0[i]
+    }
+}
+
+impl IndexMut<usize> for VecD {
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.0[i]
+    }
+}
+
+impl Add for VecD {
+    type Output = VecD;
+    fn add(self, rhs: VecD) -> VecD {
+        self.axpy(1.0, &rhs)
+    }
+}
+
+impl<'a> Add<&'a VecD> for &'a VecD {
+    type Output = VecD;
+    fn add(self, rhs: &VecD) -> VecD {
+        self.axpy(1.0, rhs)
+    }
+}
+
+impl Sub for VecD {
+    type Output = VecD;
+    fn sub(self, rhs: VecD) -> VecD {
+        self.axpy(-1.0, &rhs)
+    }
+}
+
+impl<'a> Sub<&'a VecD> for &'a VecD {
+    type Output = VecD;
+    fn sub(self, rhs: &VecD) -> VecD {
+        self.axpy(-1.0, rhs)
+    }
+}
+
+impl AddAssign for VecD {
+    fn add_assign(&mut self, rhs: VecD) {
+        assert_eq!(self.dim(), rhs.dim(), "+=: dimension mismatch");
+        for (a, b) in self.0.iter_mut().zip(&rhs.0) {
+            *a += b;
+        }
+    }
+}
+
+impl SubAssign for VecD {
+    fn sub_assign(&mut self, rhs: VecD) {
+        assert_eq!(self.dim(), rhs.dim(), "-=: dimension mismatch");
+        for (a, b) in self.0.iter_mut().zip(&rhs.0) {
+            *a -= b;
+        }
+    }
+}
+
+impl Mul<f64> for VecD {
+    type Output = VecD;
+    fn mul(self, s: f64) -> VecD {
+        self.scale(s)
+    }
+}
+
+impl Neg for VecD {
+    type Output = VecD;
+    fn neg(self) -> VecD {
+        self.scale(-1.0)
+    }
+}
+
+impl fmt::Display for VecD {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, x) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.6}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_ones_basis() {
+        assert_eq!(VecD::zeros(3).as_slice(), &[0.0, 0.0, 0.0]);
+        assert_eq!(VecD::ones(2).as_slice(), &[1.0, 1.0]);
+        assert_eq!(VecD::scaled_basis(3, 1, 5.0).as_slice(), &[0.0, 5.0, 0.0]);
+    }
+
+    #[test]
+    fn dot_and_norms() {
+        let a = VecD::from_slice(&[3.0, 4.0]);
+        assert_eq!(a.dot(&a), 25.0);
+        assert_eq!(a.norm2(), 5.0);
+        assert_eq!(a.norm(Norm::L1), 7.0);
+        assert_eq!(a.norm(Norm::LInf), 4.0);
+    }
+
+    #[test]
+    fn distance_by_norm() {
+        let a = VecD::from_slice(&[1.0, 1.0]);
+        let b = VecD::from_slice(&[4.0, 5.0]);
+        assert_eq!(a.dist2(&b), 5.0);
+        assert_eq!(a.dist(&b, Norm::L1), 7.0);
+        assert_eq!(a.dist(&b, Norm::LInf), 4.0);
+    }
+
+    #[test]
+    fn arithmetic_ops() {
+        let a = VecD::from_slice(&[1.0, 2.0]);
+        let b = VecD::from_slice(&[10.0, 20.0]);
+        assert_eq!((a.clone() + b.clone()).as_slice(), &[11.0, 22.0]);
+        assert_eq!((b.clone() - a.clone()).as_slice(), &[9.0, 18.0]);
+        assert_eq!((a.clone() * 3.0).as_slice(), &[3.0, 6.0]);
+        assert_eq!((-a.clone()).as_slice(), &[-1.0, -2.0]);
+        let mut c = a.clone();
+        c += b.clone();
+        assert_eq!(c.as_slice(), &[11.0, 22.0]);
+        c -= b;
+        assert!(c.approx_eq(&a, Tol::default()));
+    }
+
+    #[test]
+    fn lerp_interpolates_endpoints() {
+        let a = VecD::from_slice(&[0.0, 0.0]);
+        let b = VecD::from_slice(&[2.0, 4.0]);
+        assert!(a.lerp(&b, 0.0).approx_eq(&a, Tol::default()));
+        assert!(a.lerp(&b, 1.0).approx_eq(&b, Tol::default()));
+        assert_eq!(a.lerp(&b, 0.5).as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn centroid_and_combination() {
+        let pts = vec![
+            VecD::from_slice(&[0.0, 0.0]),
+            VecD::from_slice(&[2.0, 0.0]),
+            VecD::from_slice(&[0.0, 2.0]),
+        ];
+        let c = VecD::centroid(&pts);
+        assert!(c.approx_eq(
+            &VecD::from_slice(&[2.0 / 3.0, 2.0 / 3.0]),
+            Tol::default()
+        ));
+        let w = VecD::combination(&pts, &[0.5, 0.25, 0.25]);
+        assert!(w.approx_eq(&VecD::from_slice(&[0.5, 0.5]), Tol::default()));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn dot_rejects_mismatched_dims() {
+        let _ = VecD::zeros(2).dot(&VecD::zeros(3));
+    }
+
+    #[test]
+    fn max_abs_and_finite() {
+        let v = VecD::from_slice(&[-3.0, 2.0]);
+        assert_eq!(v.max_abs(), 3.0);
+        assert!(v.is_finite());
+        assert!(!VecD::from_slice(&[f64::NAN]).is_finite());
+    }
+}

@@ -1,0 +1,284 @@
+//! Bracha's asynchronous reliable broadcast (init / echo / ready).
+//!
+//! The paper's asynchronous algorithm (§10, Relaxed Verified Averaging)
+//! inherits reliable broadcast from Bracha [4]: with `n ≥ 3f + 1`,
+//!
+//! * if the broadcaster is correct, every correct process delivers its
+//!   value (validity);
+//! * if any correct process delivers `v`, every correct process delivers
+//!   `v` (totality + consistency) — a Byzantine broadcaster cannot make two
+//!   correct processes deliver different values.
+//!
+//! Thresholds used (the classic ones): echo on first INIT; ready on
+//! `⌈(n+f+1)/2⌉` matching ECHOs or `f+1` matching READYs; deliver on
+//! `2f+1` matching READYs.
+//!
+//! [`BrachaInstance`] is a pure state machine keyed by one `(broadcaster,
+//! tag)` pair; protocols embed as many instances as they need (Verified
+//! Averaging uses one per process per round).
+
+use crate::config::ProcessId;
+
+/// Wire message of one reliable-broadcast instance.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BrachaMsg<V> {
+    /// Broadcaster's initial proposal.
+    Init(V),
+    /// Witness echo.
+    Echo(V),
+    /// Delivery vote.
+    Ready(V),
+}
+
+/// Per-instance state machine. `V` must support exact equality (honest
+/// processes relay bit-exact copies).
+#[derive(Debug, Clone)]
+pub struct BrachaInstance<V> {
+    n: usize,
+    f: usize,
+    sent_echo: bool,
+    sent_ready: bool,
+    delivered: Option<V>,
+    /// (value, distinct echo senders)
+    echoes: Vec<(V, Vec<ProcessId>)>,
+    /// (value, distinct ready senders)
+    readies: Vec<(V, Vec<ProcessId>)>,
+    // (the `Tallies` alias is defined below `record`)
+}
+
+/// Actions the caller must perform after feeding an event.
+#[derive(Debug, Clone, Default)]
+pub struct BrachaActions<V> {
+    /// Messages to broadcast to every process (including self).
+    pub broadcast: Vec<BrachaMsg<V>>,
+    /// Value delivered by this event, if any (at most once per instance).
+    pub delivered: Option<V>,
+}
+
+impl<V: Clone + PartialEq> BrachaInstance<V> {
+    /// New instance for a system of `n` processes, up to `f` Byzantine.
+    ///
+    /// # Panics
+    /// Panics unless `n ≥ 3f + 1` (Bracha's requirement).
+    #[must_use]
+    pub fn new(n: usize, f: usize) -> Self {
+        assert!(n > 3 * f, "Bracha RB requires n >= 3f + 1");
+        BrachaInstance {
+            n,
+            f,
+            sent_echo: false,
+            sent_ready: false,
+            delivered: None,
+            echoes: Vec::new(),
+            readies: Vec::new(),
+        }
+    }
+
+    /// Echo quorum `⌈(n + f + 1) / 2⌉`.
+    #[must_use]
+    pub fn echo_quorum(&self) -> usize {
+        (self.n + self.f + 1).div_ceil(2)
+    }
+
+    /// Start the broadcast as the broadcaster: emits INIT.
+    #[must_use]
+    pub fn start(&mut self, value: V) -> BrachaActions<V> {
+        BrachaActions {
+            broadcast: vec![BrachaMsg::Init(value)],
+            delivered: None,
+        }
+    }
+
+    /// Feed a received message; returns the actions to take.
+    #[must_use]
+    pub fn on_message(
+        &mut self,
+        from: ProcessId,
+        broadcaster: ProcessId,
+        msg: BrachaMsg<V>,
+    ) -> BrachaActions<V> {
+        let mut actions = BrachaActions {
+            broadcast: Vec::new(),
+            delivered: None,
+        };
+        match msg {
+            BrachaMsg::Init(v) => {
+                // Only the broadcaster's own INIT counts.
+                if from == broadcaster && !self.sent_echo {
+                    self.sent_echo = true;
+                    actions.broadcast.push(BrachaMsg::Echo(v));
+                }
+            }
+            BrachaMsg::Echo(v) => {
+                let count = record(&mut self.echoes, &v, from);
+                if count >= self.echo_quorum() && !self.sent_ready {
+                    self.sent_ready = true;
+                    actions.broadcast.push(BrachaMsg::Ready(v));
+                }
+            }
+            BrachaMsg::Ready(v) => {
+                let count = record(&mut self.readies, &v, from);
+                if count > self.f && !self.sent_ready {
+                    self.sent_ready = true;
+                    actions.broadcast.push(BrachaMsg::Ready(v.clone()));
+                }
+                if count > 2 * self.f && self.delivered.is_none() {
+                    self.delivered = Some(v.clone());
+                    actions.delivered = Some(v);
+                }
+            }
+        }
+        actions
+    }
+
+    /// The delivered value, if any.
+    #[must_use]
+    pub fn delivered(&self) -> Option<&V> {
+        self.delivered.as_ref()
+    }
+}
+
+/// Vote tallies: one entry per distinct value, with its distinct senders.
+type Tallies<V> = Vec<(V, Vec<ProcessId>)>;
+
+/// Record `sender` as having voted for `value`; return the updated count of
+/// distinct senders for that value.
+fn record<V: Clone + PartialEq>(
+    tallies: &mut Tallies<V>,
+    value: &V,
+    sender: ProcessId,
+) -> usize {
+    if let Some((_, senders)) = tallies.iter_mut().find(|(v, _)| v == value) {
+        if !senders.contains(&sender) {
+            senders.push(sender);
+        }
+        return senders.len();
+    }
+    tallies.push((value.clone(), vec![sender]));
+    1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drive a full broadcast among honest processes "by hand": a tiny
+    /// synchronous interpretation sufficient for state-machine unit tests.
+    /// (End-to-end asynchronous runs live in the consensus-layer tests.)
+    fn run_honest_broadcast(n: usize, f: usize, value: i64) -> Vec<Option<i64>> {
+        let broadcaster: ProcessId = 0;
+        let mut instances: Vec<BrachaInstance<i64>> =
+            (0..n).map(|_| BrachaInstance::new(n, f)).collect();
+        let mut inflight: Vec<(ProcessId, ProcessId, BrachaMsg<i64>)> = Vec::new();
+
+        let start = instances[broadcaster].start(value);
+        for m in start.broadcast {
+            for dst in 0..n {
+                inflight.push((broadcaster, dst, m.clone()));
+            }
+        }
+        let mut delivered: Vec<Option<i64>> = vec![None; n];
+        while let Some((src, dst, msg)) = inflight.pop() {
+            let actions = instances[dst].on_message(src, broadcaster, msg);
+            if let Some(v) = actions.delivered {
+                delivered[dst] = Some(v);
+            }
+            for m in actions.broadcast {
+                for to in 0..n {
+                    inflight.push((dst, to, m.clone()));
+                }
+            }
+        }
+        delivered
+    }
+
+    #[test]
+    fn honest_broadcast_delivers_everywhere() {
+        for (n, f) in [(4, 1), (7, 2), (10, 3)] {
+            let delivered = run_honest_broadcast(n, f, 42);
+            for (i, d) in delivered.iter().enumerate() {
+                assert_eq!(*d, Some(42), "process {i} failed to deliver (n={n},f={f})");
+            }
+        }
+    }
+
+    #[test]
+    fn echo_quorum_values() {
+        let inst = BrachaInstance::<i64>::new(4, 1);
+        assert_eq!(inst.echo_quorum(), 3);
+        let inst = BrachaInstance::<i64>::new(7, 2);
+        assert_eq!(inst.echo_quorum(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 3f + 1")]
+    fn rejects_insufficient_n() {
+        let _ = BrachaInstance::<i64>::new(3, 1);
+    }
+
+    #[test]
+    fn init_from_non_broadcaster_is_ignored() {
+        let mut inst = BrachaInstance::new(4, 1);
+        let a = inst.on_message(2, 0, BrachaMsg::Init(5));
+        assert!(a.broadcast.is_empty(), "forged INIT must not trigger an echo");
+        let a = inst.on_message(0, 0, BrachaMsg::Init(5));
+        assert_eq!(a.broadcast, vec![BrachaMsg::Echo(5)]);
+    }
+
+    #[test]
+    fn echo_threshold_triggers_single_ready() {
+        let mut inst = BrachaInstance::new(4, 1);
+        assert!(inst.on_message(0, 0, BrachaMsg::Echo(9)).broadcast.is_empty());
+        assert!(inst.on_message(1, 0, BrachaMsg::Echo(9)).broadcast.is_empty());
+        let a = inst.on_message(2, 0, BrachaMsg::Echo(9));
+        assert_eq!(a.broadcast, vec![BrachaMsg::Ready(9)]);
+        // Further echoes do not re-trigger.
+        let a = inst.on_message(3, 0, BrachaMsg::Echo(9));
+        assert!(a.broadcast.is_empty());
+    }
+
+    #[test]
+    fn duplicate_senders_do_not_inflate_tallies() {
+        let mut inst = BrachaInstance::new(4, 1);
+        for _ in 0..10 {
+            let a = inst.on_message(1, 0, BrachaMsg::Echo(7));
+            assert!(a.broadcast.is_empty(), "one sender cannot reach quorum alone");
+        }
+    }
+
+    #[test]
+    fn ready_amplification_from_f_plus_one() {
+        // f+1 READYs make a process send READY even without echo quorum.
+        let mut inst = BrachaInstance::new(4, 1);
+        assert!(inst.on_message(1, 0, BrachaMsg::Ready(3)).broadcast.is_empty());
+        let a = inst.on_message(2, 0, BrachaMsg::Ready(3));
+        assert_eq!(a.broadcast, vec![BrachaMsg::Ready(3)]);
+    }
+
+    #[test]
+    fn delivery_needs_two_f_plus_one_readies() {
+        let mut inst = BrachaInstance::new(4, 1);
+        let _ = inst.on_message(1, 0, BrachaMsg::Ready(3));
+        let _ = inst.on_message(2, 0, BrachaMsg::Ready(3));
+        assert!(inst.delivered().is_none());
+        let a = inst.on_message(3, 0, BrachaMsg::Ready(3));
+        assert_eq!(a.delivered, Some(3));
+        assert_eq!(inst.delivered(), Some(&3));
+        // Delivery happens at most once.
+        let a = inst.on_message(0, 0, BrachaMsg::Ready(3));
+        assert!(a.delivered.is_none());
+    }
+
+    #[test]
+    fn split_echoes_cannot_produce_two_readies() {
+        // A two-faced broadcaster splits echoes between values 1 and 2:
+        // with n = 4, f = 1 the echo quorum is 3, so at most one value can
+        // reach it (2 + 2 split never does).
+        let mut inst = BrachaInstance::new(4, 1);
+        let _ = inst.on_message(0, 0, BrachaMsg::Echo(1));
+        let _ = inst.on_message(1, 0, BrachaMsg::Echo(1));
+        let _ = inst.on_message(2, 0, BrachaMsg::Echo(2));
+        let a = inst.on_message(3, 0, BrachaMsg::Echo(2));
+        assert!(a.broadcast.is_empty(), "neither split side may reach quorum");
+    }
+}

@@ -1,0 +1,132 @@
+//! System configuration: the `(n, f)` pair and the fault set.
+//!
+//! The paper's model (§3): a complete network of `n ≥ 2` processes, up to
+//! `f` of them Byzantine. Which processes are faulty is fixed per execution
+//! but unknown to the protocol — [`SystemConfig`] carries both the public
+//! parameters and (for the harness only) the ground-truth fault set.
+
+use serde::{Deserialize, Serialize};
+
+/// Process identifier: `0 .. n`.
+pub type ProcessId = usize;
+
+/// Public parameters plus the harness-side ground truth of which processes
+/// are faulty. Protocol code must only read `n` and `f`; validity checkers
+/// and experiment reports read `faulty`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Total number of processes.
+    pub n: usize,
+    /// Maximum number of Byzantine processes tolerated.
+    pub f: usize,
+    /// Ground-truth fault set (sorted, distinct, `|faulty| ≤ f`).
+    pub faulty: Vec<ProcessId>,
+}
+
+impl SystemConfig {
+    /// Fault-free system of `n` processes tolerating up to `f` faults.
+    ///
+    /// # Panics
+    /// Panics if `n < 2` (consensus is trivial for `n = 1` per the paper)
+    /// or `f >= n`.
+    #[must_use]
+    pub fn new(n: usize, f: usize) -> Self {
+        assert!(n >= 2, "the paper assumes n >= 2");
+        assert!(f < n, "need f < n");
+        SystemConfig {
+            n,
+            f,
+            faulty: Vec::new(),
+        }
+    }
+
+    /// Declare the actual fault set for this execution.
+    ///
+    /// # Panics
+    /// Panics if more than `f` processes are marked, ids repeat, or an id is
+    /// out of range.
+    #[must_use]
+    pub fn with_faulty(mut self, mut faulty: Vec<ProcessId>) -> Self {
+        faulty.sort_unstable();
+        assert!(
+            faulty.windows(2).all(|w| w[0] < w[1]),
+            "fault set has duplicates"
+        );
+        assert!(faulty.len() <= self.f, "more faults than f");
+        assert!(faulty.iter().all(|&p| p < self.n), "fault id out of range");
+        self.faulty = faulty;
+        self
+    }
+
+    /// Is process `p` Byzantine in this execution?
+    #[must_use]
+    pub fn is_faulty(&self, p: ProcessId) -> bool {
+        self.faulty.binary_search(&p).is_ok()
+    }
+
+    /// The non-faulty process ids, in order.
+    #[must_use]
+    pub fn correct_ids(&self) -> Vec<ProcessId> {
+        (0..self.n).filter(|&p| !self.is_faulty(p)).collect()
+    }
+
+    /// Number of non-faulty processes.
+    #[must_use]
+    pub fn num_correct(&self) -> usize {
+        self.n - self.faulty.len()
+    }
+
+    /// `n ≥ 3f + 1` — the Byzantine-broadcast prerequisite (and the overall
+    /// floor established by Lemma 10 for input-dependent (δ,p)-consensus).
+    #[must_use]
+    pub fn satisfies_broadcast_bound(&self) -> bool {
+        self.n > 3 * self.f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_construction() {
+        let c = SystemConfig::new(4, 1).with_faulty(vec![2]);
+        assert!(c.is_faulty(2));
+        assert!(!c.is_faulty(0));
+        assert_eq!(c.correct_ids(), vec![0, 1, 3]);
+        assert_eq!(c.num_correct(), 3);
+        assert!(c.satisfies_broadcast_bound());
+    }
+
+    #[test]
+    fn broadcast_bound_check() {
+        assert!(!SystemConfig::new(3, 1).satisfies_broadcast_bound());
+        assert!(SystemConfig::new(4, 1).satisfies_broadcast_bound());
+        assert!(!SystemConfig::new(6, 2).satisfies_broadcast_bound());
+        assert!(SystemConfig::new(7, 2).satisfies_broadcast_bound());
+    }
+
+    #[test]
+    #[should_panic(expected = "more faults than f")]
+    fn rejects_too_many_faults() {
+        let _ = SystemConfig::new(4, 1).with_faulty(vec![0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicates")]
+    fn rejects_duplicate_faults() {
+        let _ = SystemConfig::new(5, 2).with_faulty(vec![1, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n >= 2")]
+    fn rejects_trivial_system() {
+        let _ = SystemConfig::new(1, 0);
+    }
+
+    #[test]
+    fn fewer_actual_faults_than_f_is_fine() {
+        let c = SystemConfig::new(7, 2).with_faulty(vec![3]);
+        assert_eq!(c.num_correct(), 6);
+    }
+}

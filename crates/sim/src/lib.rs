@@ -1,0 +1,39 @@
+#![warn(missing_docs)]
+
+//! # rbvc-sim
+//!
+//! Message-passing substrates for Byzantine consensus over a complete
+//! network of `n` processes, up to `f` of them Byzantine — the system model
+//! of the paper (§3): reliable channels between every pair of processes,
+//! synchronous (lockstep rounds) or asynchronous (eventual delivery under an
+//! adversarial scheduler).
+//!
+//! * [`config`] — system configuration `(n, f)` and fault-set bookkeeping.
+//! * [`sync`] — deterministic lockstep round engine with pluggable Byzantine
+//!   adversaries (equivocation is per-recipient message control).
+//! * [`dolev_strong`] — Dolev–Strong authenticated Byzantine broadcast
+//!   (simulated signatures), the polynomial-message alternative substrate.
+//! * [`eig`] — Exponential Information Gathering Byzantine broadcast
+//!   (`f + 1` rounds, `n ≥ 3f + 1`), the "Byzantine broadcast … such as
+//!   [12]" that Step 1 of ALGO calls for.
+//! * [`asynch`] — event-driven asynchronous engine with seeded/adversarial
+//!   schedulers guaranteeing eventual delivery.
+//! * [`bracha`] — Bracha's reliable broadcast (init/echo/ready), the
+//!   asynchronous substrate of (Relaxed) Verified Averaging.
+//! * [`threads`] — a crossbeam-channel threaded runtime running one OS
+//!   thread per process, for exercising the protocols under real
+//!   concurrency rather than deterministic simulation.
+//! * [`trace`] — execution statistics (message/round counts).
+
+pub mod asynch;
+pub mod bracha;
+pub mod config;
+pub mod dolev_strong;
+pub mod eig;
+pub mod fuzz;
+pub mod sync;
+pub mod threads;
+pub mod trace;
+
+pub use config::{ProcessId, SystemConfig};
+pub use sync::{RoundEngine, SyncAdversary, SyncNode, SyncProtocol};

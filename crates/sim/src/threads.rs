@@ -1,0 +1,266 @@
+//! Threaded runtime: one OS thread per process, crossbeam channels as the
+//! reliable point-to-point links of the paper's complete network.
+//!
+//! The deterministic engines in [`crate::sync`] / [`crate::asynch`] are the
+//! primary experiment substrate; this runtime exists to demonstrate the same
+//! protocol objects running under *real* concurrency — nondeterministic OS
+//! scheduling standing in for the asynchronous adversary. Decisions are
+//! collected in a `parking_lot`-protected table; a decided process keeps
+//! serving messages until global shutdown so that laggards can still reach
+//! their quorums (exactly the behaviour asynchronous BFT protocols need).
+
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::asynch::{AsyncAdversary, AsyncProtocol};
+use crate::config::{ProcessId, SystemConfig};
+
+/// A node for the threaded runtime (Byzantine boxes must be `Send`).
+pub enum ThreadedNode<P: AsyncProtocol> {
+    /// Follows the protocol.
+    Honest(P),
+    /// Arbitrary (but `Send`) behaviour.
+    Byzantine(Box<dyn AsyncAdversary<P::Msg> + Send>),
+}
+
+/// Result of a threaded run.
+#[derive(Debug, Clone)]
+pub struct ThreadedOutcome<O> {
+    /// Decisions by process id (`None` = Byzantine or undecided at timeout).
+    pub decisions: Vec<Option<O>>,
+    /// True iff all honest processes decided before the timeout.
+    pub all_decided: bool,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+}
+
+/// Run the protocol with one OS thread per process until every honest
+/// process decides or `timeout` elapses.
+///
+/// # Panics
+/// Panics on node-count or fault-placement mismatch with `config`.
+pub fn run_threaded<P>(
+    config: &SystemConfig,
+    nodes: Vec<ThreadedNode<P>>,
+    timeout: Duration,
+) -> ThreadedOutcome<P::Output>
+where
+    P: AsyncProtocol + Send + 'static,
+    P::Msg: Send + 'static,
+    P::Output: Send + Clone + 'static,
+{
+    let n = config.n;
+    assert_eq!(nodes.len(), n, "one node per process required");
+    for (i, node) in nodes.iter().enumerate() {
+        let is_byz = matches!(node, ThreadedNode::Byzantine(_));
+        assert_eq!(
+            is_byz,
+            config.is_faulty(i),
+            "node {i} placement disagrees with fault set"
+        );
+    }
+    let honest_count = nodes
+        .iter()
+        .filter(|nd| matches!(nd, ThreadedNode::Honest(_)))
+        .count();
+
+    // Mesh of channels: txs[dst] delivers to process dst.
+    let mut txs: Vec<Sender<(ProcessId, P::Msg)>> = Vec::with_capacity(n);
+    let mut rxs: Vec<Receiver<(ProcessId, P::Msg)>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    let decisions: Arc<Mutex<Vec<Option<P::Output>>>> = Arc::new(Mutex::new(vec![None; n]));
+    let decided_count = Arc::new(AtomicUsize::new(0));
+    let shutdown = Arc::new(AtomicBool::new(false));
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(n);
+    for (id, node) in nodes.into_iter().enumerate() {
+        let rx = rxs.remove(0);
+        let txs = txs.clone();
+        let decisions = Arc::clone(&decisions);
+        let decided_count = Arc::clone(&decided_count);
+        let shutdown = Arc::clone(&shutdown);
+        handles.push(thread::spawn(move || {
+            let route = |sends: Vec<(ProcessId, P::Msg)>| {
+                for (dst, msg) in sends {
+                    // A receiver may already have shut down; that's fine.
+                    let _ = txs[dst].send((id, msg));
+                }
+            };
+            let mut node = node;
+            let mut recorded = false;
+            match &mut node {
+                ThreadedNode::Honest(p) => route(p.on_start()),
+                ThreadedNode::Byzantine(a) => route(a.on_start()),
+            }
+            while !shutdown.load(Ordering::Relaxed) {
+                match rx.recv_timeout(Duration::from_millis(5)) {
+                    Ok((from, msg)) => match &mut node {
+                        ThreadedNode::Honest(p) => {
+                            route(p.on_message(from, msg));
+                            if !recorded {
+                                if let Some(out) = p.output() {
+                                    decisions.lock()[id] = Some(out);
+                                    decided_count.fetch_add(1, Ordering::SeqCst);
+                                    recorded = true;
+                                }
+                            }
+                        }
+                        ThreadedNode::Byzantine(a) => route(a.on_message(from, msg)),
+                    },
+                    Err(_) => {
+                        // Timeout tick: re-check shutdown; also catch
+                        // protocols that decide at start (no messages).
+                        if !recorded {
+                            if let ThreadedNode::Honest(p) = &node {
+                                if let Some(out) = p.output() {
+                                    decisions.lock()[id] = Some(out);
+                                    decided_count.fetch_add(1, Ordering::SeqCst);
+                                    recorded = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }));
+    }
+    drop(txs);
+
+    // Coordinator: wait for all honest decisions or timeout.
+    let all_decided = loop {
+        if decided_count.load(Ordering::SeqCst) >= honest_count {
+            break true;
+        }
+        if start.elapsed() > timeout {
+            break false;
+        }
+        thread::sleep(Duration::from_millis(2));
+    };
+    shutdown.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+    let decisions = decisions.lock().clone();
+    ThreadedOutcome {
+        decisions,
+        all_decided,
+        elapsed: start.elapsed(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asynch::SilentAsyncAdversary;
+
+    /// Echo-sum protocol: broadcast input, decide on sum of first `quorum`
+    /// distinct senders (same as the async engine test, now on threads).
+    struct QuorumSum {
+        n: usize,
+        quorum: usize,
+        input: i64,
+        seen: Vec<(ProcessId, i64)>,
+        decided: Option<i64>,
+    }
+
+    impl AsyncProtocol for QuorumSum {
+        type Msg = i64;
+        type Output = i64;
+
+        fn on_start(&mut self) -> Vec<(ProcessId, i64)> {
+            (0..self.n).map(|d| (d, self.input)).collect()
+        }
+
+        fn on_message(&mut self, from: ProcessId, msg: i64) -> Vec<(ProcessId, i64)> {
+            if !self.seen.iter().any(|(s, _)| *s == from) {
+                self.seen.push((from, msg));
+                if self.decided.is_none() && self.seen.len() >= self.quorum {
+                    self.decided = Some(self.seen.iter().map(|(_, v)| v).sum());
+                }
+            }
+            Vec::new()
+        }
+
+        fn output(&self) -> Option<i64> {
+            self.decided
+        }
+    }
+
+    #[test]
+    fn threaded_all_honest_decides() {
+        let n = 4;
+        let config = SystemConfig::new(n, 1);
+        let nodes = (0..n)
+            .map(|i| {
+                ThreadedNode::Honest(QuorumSum {
+                    n,
+                    quorum: n,
+                    input: i as i64,
+                    seen: Vec::new(),
+                    decided: None,
+                })
+            })
+            .collect();
+        let out = run_threaded(&config, nodes, Duration::from_secs(10));
+        assert!(out.all_decided, "threads must reach decisions");
+        for d in out.decisions {
+            assert_eq!(d, Some(6));
+        }
+    }
+
+    #[test]
+    fn threaded_tolerates_silent_byzantine() {
+        let n = 4;
+        let config = SystemConfig::new(n, 1).with_faulty(vec![3]);
+        let mut nodes: Vec<ThreadedNode<QuorumSum>> = (0..3)
+            .map(|i| {
+                ThreadedNode::Honest(QuorumSum {
+                    n,
+                    quorum: 3,
+                    input: 10 + i as i64,
+                    seen: Vec::new(),
+                    decided: None,
+                })
+            })
+            .collect();
+        nodes.push(ThreadedNode::Byzantine(Box::new(SilentAsyncAdversary)));
+        let out = run_threaded(&config, nodes, Duration::from_secs(10));
+        assert!(out.all_decided);
+        for i in 0..3 {
+            assert_eq!(out.decisions[i], Some(33), "quorum of the three honest");
+        }
+        assert!(out.decisions[3].is_none());
+    }
+
+    #[test]
+    fn threaded_timeout_reports_undecided() {
+        // Quorum of n with a silent fault can never decide; the runtime must
+        // time out gracefully.
+        let n = 4;
+        let config = SystemConfig::new(n, 1).with_faulty(vec![0]);
+        let mut nodes: Vec<ThreadedNode<QuorumSum>> =
+            vec![ThreadedNode::Byzantine(Box::new(SilentAsyncAdversary))];
+        for i in 1..n {
+            nodes.push(ThreadedNode::Honest(QuorumSum {
+                n,
+                quorum: n,
+                input: i as i64,
+                seen: Vec::new(),
+                decided: None,
+            }));
+        }
+        let out = run_threaded(&config, nodes, Duration::from_millis(200));
+        assert!(!out.all_decided);
+    }
+}

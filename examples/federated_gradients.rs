@@ -1,0 +1,80 @@
+//! Byzantine-robust gradient agreement in an asynchronous cluster —
+//! Relaxed Verified Averaging (paper §10) below the `(d+2)f + 1` bound.
+//!
+//! Scenario: four asynchronous workers hold 3-dimensional gradient
+//! estimates; one worker is Byzantine. Ordinary approximate Byzantine
+//! vector consensus needs `n ≥ (d+2)f + 1 = 6` workers; with only four,
+//! the relaxed algorithm still drives all correct workers to ε-agreement
+//! on a descent direction within distance `δ ≤ κ(n−f,f,d,2)·max-edge` of
+//! the hull of the honest gradients (Theorem 15) — close enough for SGD,
+//! whose noise floor dwarfs δ.
+//!
+//! ```sh
+//! cargo run --example federated_gradients
+//! ```
+
+use rbvc_core::bounds::kappa_async;
+use rbvc_core::problem::{Agreement, Validity};
+use rbvc_core::runner::{run_async, AsyncByzantine, AsyncSpec, SchedulerSpec};
+use rbvc_core::verified_avg::DeltaMode;
+use rbvc_geometry::pairwise_edges;
+use rbvc_linalg::{Norm, Tol, VecD};
+
+fn main() {
+    let (n, f, d) = (4, 1, 3);
+    assert!(n < (d + 2) * f + 1, "below the asynchronous exact bound on purpose");
+
+    // Honest workers' gradient estimates (mini-batch noise around a common
+    // descent direction); worker 1 is Byzantine and pushes a poisoned one.
+    let honest = [
+        VecD::from_slice(&[-0.82, 0.41, 0.10]),
+        VecD::from_slice(&[-0.78, 0.45, 0.05]),
+        VecD::from_slice(&[-0.85, 0.38, 0.12]),
+    ];
+    let poisoned = VecD::from_slice(&[5.0, -5.0, 5.0]);
+    let inputs = vec![
+        honest[0].clone(),
+        poisoned.clone(),
+        honest[1].clone(),
+        honest[2].clone(),
+    ];
+
+    let kappa = kappa_async(n, f, d, Norm::L2).expect("Theorem 15 regime").kappa;
+    let spec = AsyncSpec {
+        n,
+        f,
+        mode: DeltaMode::MinDelta(Norm::L2),
+        rounds: 30,
+        inputs,
+        adversaries: vec![(1, AsyncByzantine::HonestInput(poisoned))],
+        scheduler: SchedulerSpec::TargetedDelay {
+            victims: vec![0], // the adversary also slows worker 0's links
+            max_delay: 200,
+            seed: 42,
+        },
+        max_steps: 6_000_000,
+        agreement: Agreement::Epsilon(1e-3),
+        validity: Validity::InputDependentDeltaP {
+            kappa,
+            norm: Norm::L2,
+        },
+    };
+
+    let report = run_async(&spec, Tol::default());
+    println!("agreed gradients of the three honest workers:");
+    for dec in report.decisions.iter().flatten() {
+        println!("  {dec}");
+    }
+    let delta = report.delta_used.unwrap_or(0.0);
+    let max_edge = pairwise_edges(&honest).into_iter().fold(0.0_f64, f64::max);
+    println!("\nround-0 δ* used:              {delta:.6}");
+    println!("Theorem 15 bound κ·max-edge:  {:.6}", kappa * max_edge);
+    println!("max disagreement (L∞):        {:.2e}", report.verdict.max_disagreement);
+    println!("messages delivered:           {}", report.trace.messages_delivered);
+    assert!(report.verdict.ok(), "{:?}", report.verdict);
+    println!(
+        "\n4 asynchronous workers reached ε-agreement on a clean descent \
+         direction under 1 poisoner and targeted delays — exact agreement \
+         would have required 6 workers."
+    );
+}

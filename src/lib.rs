@@ -1,0 +1,53 @@
+#![warn(missing_docs)]
+
+//! # relaxed-bvc
+//!
+//! Relaxed Byzantine vector consensus — a full implementation of Xiang &
+//! Vaidya, *Relaxed Byzantine Vector Consensus* (SPAA 2016 brief
+//! announcement; arXiv:1601.08067), with every substrate built from
+//! scratch: dense linear algebra, an LP solver and convex-hull calculus,
+//! synchronous/asynchronous Byzantine message-passing simulators, EIG
+//! Byzantine broadcast, Bracha reliable broadcast, and the paper's
+//! algorithms on top.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! * [`linalg`] — vectors, norms, matrices, simplex volume formulas;
+//! * [`geometry`] — hulls, relaxed hulls, `Γ` intersections, the δ* solver,
+//!   Tverberg machinery;
+//! * [`sim`] — the network substrates and broadcast protocols;
+//! * [`consensus`] — problems, bounds, decision rules, the synchronous
+//!   broadcast-then-decide protocols (Exact BVC, k-relaxed, ALGO) and the
+//!   asynchronous (Relaxed) Verified Averaging, plus the executable
+//!   impossibility constructions.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use relaxed_bvc::consensus::problem::{Agreement, Validity};
+//! use relaxed_bvc::consensus::rules::DecisionRule;
+//! use relaxed_bvc::consensus::runner::{run_sync, SyncSpec};
+//! use relaxed_bvc::consensus::sync_protocols::ByzantineStrategy;
+//! use relaxed_bvc::linalg::{Tol, VecD};
+//!
+//! let spec = SyncSpec {
+//!     n: 4, f: 1, d: 2,
+//!     rule: DecisionRule::GammaPoint,
+//!     inputs: vec![
+//!         VecD::from_slice(&[0.0, 0.0]),
+//!         VecD::from_slice(&[2.0, 0.0]),
+//!         VecD::from_slice(&[0.0, 2.0]),
+//!         VecD::zeros(2),
+//!     ],
+//!     adversaries: vec![(3, ByzantineStrategy::Silent)],
+//!     agreement: Agreement::Exact,
+//!     validity: Validity::Exact,
+//! };
+//! let report = run_sync(&spec, Tol::default());
+//! assert!(report.verdict.ok());
+//! ```
+
+pub use rbvc_core as consensus;
+pub use rbvc_geometry as geometry;
+pub use rbvc_linalg as linalg;
+pub use rbvc_sim as sim;

@@ -1,0 +1,202 @@
+//! Integration tests exercising the protocols exactly AT their tight
+//! bounds (the sufficiency side of Theorems 1–6) and the graceful-failure
+//! behaviour just below them where the model permits running at all.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use relaxed_bvc::consensus::bounds;
+use relaxed_bvc::consensus::problem::{Agreement, Validity};
+use relaxed_bvc::consensus::rules::DecisionRule;
+use relaxed_bvc::consensus::runner::{
+    run_async, run_sync, AsyncByzantine, AsyncSpec, SchedulerSpec, SyncSpec,
+};
+use relaxed_bvc::consensus::sync_protocols::ByzantineStrategy;
+use relaxed_bvc::consensus::verified_avg::DeltaMode;
+use relaxed_bvc::linalg::{Norm, Tol, VecD};
+
+fn tol() -> Tol {
+    Tol::default()
+}
+
+fn random_inputs(seed: u64, n: usize, d: usize) -> Vec<VecD> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| VecD((0..d).map(|_| rng.gen_range(-2.0..2.0)).collect()))
+        .collect()
+}
+
+#[test]
+fn theorem1_sufficiency_at_exact_bound() {
+    // Exact BVC succeeds at n = max(3f+1, (d+1)f+1) for several (f, d).
+    for (f, d) in [(1usize, 2usize), (1, 3), (2, 2)] {
+        let n = bounds::exact_bvc_min_n(f, d);
+        let inputs = random_inputs((f * 10 + d) as u64, n, d);
+        let adversaries: Vec<(usize, ByzantineStrategy)> = (0..f)
+            .map(|k| {
+                (
+                    n - 1 - k,
+                    ByzantineStrategy::TwoFaced(
+                        (0..n).map(|j| VecD(vec![(j + k) as f64 * 5.0; d])).collect(),
+                    ),
+                )
+            })
+            .collect();
+        let spec = SyncSpec {
+            n,
+            f,
+            d,
+            rule: DecisionRule::GammaPoint,
+            inputs,
+            adversaries,
+            agreement: Agreement::Exact,
+            validity: Validity::Exact,
+        };
+        let report = run_sync(&spec, tol());
+        assert!(
+            report.verdict.ok(),
+            "Theorem 1 sufficiency failed at f={f}, d={d}, n={n}: {:?}",
+            report.verdict
+        );
+    }
+}
+
+#[test]
+fn theorem2_sufficiency_at_approx_bound() {
+    for (f, d) in [(1usize, 2usize), (1, 3)] {
+        let n = bounds::approx_bvc_min_n(f, d);
+        let inputs = random_inputs((f * 20 + d) as u64, n, d);
+        let spec = AsyncSpec {
+            n,
+            f,
+            mode: DeltaMode::Zero,
+            rounds: 25,
+            inputs,
+            adversaries: vec![(n - 1, AsyncByzantine::HonestInput(VecD(vec![8.0; d])))],
+            scheduler: SchedulerSpec::Random(3),
+            max_steps: 8_000_000,
+            agreement: Agreement::Epsilon(1e-3),
+            validity: Validity::Exact,
+        };
+        let report = run_async(&spec, tol());
+        assert!(
+            report.verdict.ok(),
+            "Theorem 2 sufficiency failed at f={f}, d={d}, n={n}: {:?}",
+            report.verdict
+        );
+    }
+}
+
+#[test]
+fn k1_bound_sufficiency() {
+    // 1-relaxed consensus at exactly n = 3f + 1 in a dimension where the
+    // vector bound would demand far more.
+    let (f, d) = (1usize, 6usize);
+    let n = bounds::k_relaxed_exact_min_n(f, d, 1);
+    assert_eq!(n, 4);
+    let inputs = random_inputs(9, n, d);
+    let spec = SyncSpec {
+        n,
+        f,
+        d,
+        rule: DecisionRule::CoordinateTrimmedMidpoint,
+        inputs,
+        adversaries: vec![(1, ByzantineStrategy::Silent)],
+        agreement: Agreement::Exact,
+        validity: Validity::KRelaxed(1),
+    };
+    let report = run_sync(&spec, tol());
+    assert!(report.verdict.ok(), "{:?}", report.verdict);
+}
+
+#[test]
+fn input_dependent_sufficiency_fills_the_gap() {
+    // For every n in (3f+1 ..= d+1) with f = 1, ALGO works where exact BVC
+    // cannot — the full gap the paper's relaxation opens.
+    let f = 1usize;
+    let d = 6usize;
+    for n in 4..=d + 1 {
+        assert!(n < bounds::exact_bvc_min_n(f, d), "inside the gap");
+        let inputs = random_inputs(n as u64 * 3, n, d);
+        let spec = SyncSpec {
+            n,
+            f,
+            d,
+            rule: DecisionRule::MinDeltaPoint(Norm::L2),
+            inputs: inputs.clone(),
+            adversaries: vec![(0, ByzantineStrategy::FollowProtocol(inputs[0].clone()))],
+            agreement: Agreement::Exact,
+            validity: Validity::InputDependentDeltaP {
+                kappa: 1.0 / (n as f64 - 2.0), // Theorem 9 (Case II for n < d+1)
+                norm: Norm::L2,
+            },
+        };
+        let report = run_sync(&spec, tol());
+        assert!(
+            report.verdict.ok(),
+            "ALGO failed at n = {n} (gap regime): {:?}",
+            report.verdict
+        );
+    }
+}
+
+#[test]
+fn delta_used_shrinks_when_extra_processes_appear() {
+    // Adding processes beyond the Tverberg bound drives δ* to zero: the
+    // relaxation is only paid when the process count actually falls short.
+    let (f, d) = (1usize, 3usize);
+    let mut rng = StdRng::seed_from_u64(8);
+    let correct_cloud: Vec<VecD> = (0..6)
+        .map(|_| VecD((0..d).map(|_| rng.gen_range(-1.0..1.0)).collect()))
+        .collect();
+    let mut deltas = Vec::new();
+    for n in [4usize, 6] {
+        let mut inputs: Vec<VecD> = correct_cloud[..n - 1].to_vec();
+        inputs.push(VecD(vec![5.0; d]));
+        let spec = SyncSpec {
+            n,
+            f,
+            d,
+            rule: DecisionRule::MinDeltaPoint(Norm::L2),
+            inputs: inputs.clone(),
+            adversaries: vec![(
+                n - 1,
+                ByzantineStrategy::FollowProtocol(inputs[n - 1].clone()),
+            )],
+            agreement: Agreement::Exact,
+            validity: Validity::InputDependentDeltaP {
+                kappa: 1.0,
+                norm: Norm::L2,
+            },
+        };
+        let report = run_sync(&spec, tol());
+        assert!(report.verdict.ok(), "n = {n}: {:?}", report.verdict);
+        deltas.push(report.delta_used.unwrap());
+    }
+    assert!(deltas[0] > 0.0, "n = d+1 requires a positive δ*");
+    assert_eq!(deltas[1], 0.0, "n = (d+1)f+2 > Tverberg bound ⇒ δ* = 0");
+}
+
+#[test]
+fn message_complexity_grows_with_f() {
+    // EIG is exponential in f — the price of unauthenticated broadcast;
+    // record the growth so regressions are caught.
+    let d = 2usize;
+    let mut msgs = Vec::new();
+    for f in [0usize, 1, 2] {
+        let n = bounds::exact_bvc_min_n(f.max(1), d).max(3 * f + 1);
+        let inputs = random_inputs(f as u64, n, d);
+        let spec = SyncSpec {
+            n,
+            f,
+            d,
+            rule: DecisionRule::GammaPoint,
+            inputs,
+            adversaries: vec![],
+            agreement: Agreement::Exact,
+            validity: Validity::Exact,
+        };
+        let report = run_sync(&spec, tol());
+        assert!(report.verdict.ok());
+        msgs.push(report.trace.messages_sent);
+    }
+    assert!(msgs[0] < msgs[1] && msgs[1] < msgs[2], "EIG growth: {msgs:?}");
+}

@@ -1,0 +1,211 @@
+//! Cross-crate integration tests: asynchronous (Relaxed) Verified
+//! Averaging end-to-end under adversarial schedulers and Byzantine
+//! strategies.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use relaxed_bvc::consensus::bounds::kappa_async;
+use relaxed_bvc::consensus::problem::{Agreement, Validity};
+use relaxed_bvc::consensus::runner::{
+    run_async, AsyncByzantine, AsyncSpec, SchedulerSpec,
+};
+use relaxed_bvc::consensus::verified_avg::DeltaMode;
+use relaxed_bvc::linalg::{Norm, Tol, VecD};
+
+fn tol() -> Tol {
+    Tol::default()
+}
+
+fn random_inputs(seed: u64, n: usize, d: usize) -> Vec<VecD> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| VecD((0..d).map(|_| rng.gen_range(-1.0..1.0)).collect()))
+        .collect()
+}
+
+fn base_spec(n: usize, f: usize, d: usize, seed: u64) -> AsyncSpec {
+    AsyncSpec {
+        n,
+        f,
+        mode: DeltaMode::MinDelta(Norm::L2),
+        rounds: 25,
+        inputs: random_inputs(seed, n, d),
+        adversaries: vec![],
+        scheduler: SchedulerSpec::Random(seed),
+        max_steps: 6_000_000,
+        agreement: Agreement::Epsilon(1e-3),
+        validity: Validity::InputDependentDeltaP {
+            // Outside the Theorem 15 regime (d < 3 or n − f below the f ≥ 2
+            // theorem rows) fall back to the coarse κ = 1 containment; tests
+            // that need the tight bound stay inside the regime.
+            kappa: kappa_async(n, f, d, Norm::L2).map_or(1.0, |k| k.kappa),
+            norm: Norm::L2,
+        },
+    }
+}
+
+#[test]
+fn relaxed_averaging_across_schedulers() {
+    let (n, f, d) = (4, 1, 3);
+    let schedulers = vec![
+        SchedulerSpec::Fifo,
+        SchedulerSpec::Random(11),
+        SchedulerSpec::Random(12),
+        SchedulerSpec::TargetedDelay {
+            victims: vec![0],
+            max_delay: 150,
+            seed: 1,
+        },
+        SchedulerSpec::TargetedDelay {
+            victims: vec![1, 2],
+            max_delay: 80,
+            seed: 2,
+        },
+    ];
+    for (k, scheduler) in schedulers.into_iter().enumerate() {
+        let mut spec = base_spec(n, f, d, 5);
+        spec.adversaries = vec![(3, AsyncByzantine::HonestInput(VecD(vec![4.0; d])))];
+        spec.scheduler = scheduler;
+        let report = run_async(&spec, tol());
+        assert!(
+            report.verdict.ok(),
+            "scheduler #{k} broke the run: {:?}",
+            report.verdict
+        );
+    }
+}
+
+#[test]
+fn partial_synchrony_gst_schedules() {
+    // Protocols built for full asynchrony must run under partial synchrony
+    // too; convergence uses fewer scheduler steps when GST comes earlier.
+    let (n, f, d) = (4, 1, 3);
+    let mut steps = Vec::new();
+    for gst in [20_000u64, 200] {
+        let mut spec = base_spec(n, f, d, 71);
+        spec.adversaries = vec![(3, AsyncByzantine::HonestInput(VecD(vec![3.0; d])))];
+        spec.scheduler = SchedulerSpec::Gst {
+            gst,
+            pre_gst_max_delay: 120,
+            seed: 4,
+        };
+        let report = run_async(&spec, tol());
+        assert!(report.verdict.ok(), "GST = {gst}: {:?}", report.verdict);
+        steps.push(report.trace.rounds);
+    }
+    // Step counts are dominated by total message volume; early GST must
+    // not make the run meaningfully slower (allow scheduling noise).
+    assert!(
+        (steps[1] as f64) <= (steps[0] as f64) * 1.1,
+        "earlier stabilization slowed the run: {steps:?}"
+    );
+}
+
+#[test]
+fn every_async_adversary_is_survived() {
+    let (n, f, d) = (5, 1, 3);
+    let adversaries = vec![
+        AsyncByzantine::Silent,
+        AsyncByzantine::HonestInput(VecD(vec![7.0; d])),
+        AsyncByzantine::SplitBrain {
+            primary: VecD(vec![10.0; d]),
+            alt: VecD(vec![-10.0; d]),
+        },
+        AsyncByzantine::CorruptAverage {
+            input: VecD(vec![0.5; d]),
+            offset: VecD(vec![1e4; d]),
+        },
+    ];
+    for (k, adv) in adversaries.into_iter().enumerate() {
+        let mut spec = base_spec(n, f, d, 21 + k as u64);
+        spec.adversaries = vec![(2, adv)];
+        let report = run_async(&spec, tol());
+        assert!(
+            report.verdict.ok(),
+            "async adversary #{k} broke the run: {:?}",
+            report.verdict
+        );
+    }
+}
+
+#[test]
+fn baseline_zero_delta_at_the_bound() {
+    // DeltaMode::Zero at n = (d+2)f + 1 — the Theorem 2 sufficiency regime.
+    let (n, f, d) = (5, 1, 2);
+    let mut spec = base_spec(n, f, d, 31);
+    spec.mode = DeltaMode::Zero;
+    spec.validity = Validity::Exact;
+    spec.adversaries = vec![(4, AsyncByzantine::HonestInput(VecD(vec![5.0; d])))];
+    let report = run_async(&spec, tol());
+    assert!(report.verdict.ok(), "{:?}", report.verdict);
+    assert_eq!(report.delta_used, Some(0.0), "δ = 0 mode must not relax");
+}
+
+#[test]
+fn epsilon_agreement_for_multiple_epsilons() {
+    // The same protocol with more rounds satisfies tighter ε — Definition
+    // 11's "for any pre-defined ε" quantifier, realized by round count.
+    let (n, f, d) = (4, 1, 3);
+    for (rounds, eps) in [(10usize, 1e-1), (20, 1e-3), (35, 1e-6)] {
+        let mut spec = base_spec(n, f, d, 47);
+        spec.rounds = rounds;
+        spec.agreement = Agreement::Epsilon(eps);
+        let report = run_async(&spec, tol());
+        assert!(
+            report.verdict.ok(),
+            "rounds = {rounds}, ε = {eps}: {:?}",
+            report.verdict
+        );
+    }
+}
+
+#[test]
+fn f2_seven_processes_asynchronous() {
+    // f = 2, n = 3f + 1 = 7, d = 3 — well below (d+2)f + 1 = 11.
+    let (n, f, d) = (7, 2, 3);
+    let mut spec = base_spec(n, f, d, 53);
+    spec.adversaries = vec![
+        (1, AsyncByzantine::Silent),
+        (
+            4,
+            AsyncByzantine::SplitBrain {
+                primary: VecD(vec![20.0; d]),
+                alt: VecD(vec![-20.0; d]),
+            },
+        ),
+    ];
+    // κ for f = 2 at n − f = 5 < (d+1)f = 8 processes is only conjectural;
+    // check the proven coarse containment instead (δ bounded by max-edge).
+    spec.validity = Validity::InputDependentDeltaP {
+        kappa: 1.0,
+        norm: Norm::L2,
+    };
+    let report = run_async(&spec, tol());
+    assert!(report.verdict.ok(), "{:?}", report.verdict);
+}
+
+#[test]
+fn decisions_are_schedule_dependent_but_always_valid() {
+    // Different schedules may change the decided point (asynchrony!) but
+    // never its validity.
+    let (n, f, d) = (4, 1, 3);
+    let mut first: Option<VecD> = None;
+    let mut saw_difference = false;
+    for seed in 0..4 {
+        let mut spec = base_spec(n, f, d, 60);
+        spec.scheduler = SchedulerSpec::Random(seed);
+        let report = run_async(&spec, tol());
+        assert!(report.verdict.ok(), "seed {seed}: {:?}", report.verdict);
+        let dec = report.decisions[0].clone().expect("decided");
+        match &first {
+            None => first = Some(dec),
+            Some(prev) => {
+                if !dec.approx_eq(prev, Tol(1e-9)) {
+                    saw_difference = true;
+                }
+            }
+        }
+    }
+    // (Not asserting saw_difference == true — some input sets are schedule
+    // insensitive — but record it so the test documents the behaviour.)
+    let _ = saw_difference;
+}

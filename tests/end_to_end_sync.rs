@@ -1,0 +1,229 @@
+//! Cross-crate integration tests: synchronous consensus end-to-end, over
+//! the EIG broadcast substrate, against the full Byzantine strategy
+//! catalogue, checked by the validity machinery.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use relaxed_bvc::consensus::problem::{Agreement, Validity};
+use relaxed_bvc::consensus::rules::DecisionRule;
+use relaxed_bvc::consensus::runner::{run_sync, SyncSpec};
+use relaxed_bvc::consensus::sync_protocols::ByzantineStrategy;
+use relaxed_bvc::linalg::{Norm, Tol, VecD};
+
+fn tol() -> Tol {
+    Tol::default()
+}
+
+fn random_inputs(seed: u64, n: usize, d: usize) -> Vec<VecD> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| VecD((0..d).map(|_| rng.gen_range(-2.0..2.0)).collect()))
+        .collect()
+}
+
+#[test]
+fn exact_bvc_with_every_adversary_type() {
+    let (n, f, d) = (5, 1, 3); // n = (d+1)f + 1 (Theorem 1 bound)
+    let inputs = random_inputs(1, n, d);
+    let strategies = vec![
+        ByzantineStrategy::Silent,
+        ByzantineStrategy::TwoFaced(
+            (0..n)
+                .map(|j| VecD(vec![j as f64 * 10.0 - 20.0; d]))
+                .collect(),
+        ),
+        ByzantineStrategy::LyingRelay {
+            input: VecD(vec![100.0; d]),
+            corrupt: VecD(vec![-100.0; d]),
+        },
+        ByzantineStrategy::FollowProtocol(VecD(vec![3.0; d])),
+    ];
+    for (k, strategy) in strategies.into_iter().enumerate() {
+        let spec = SyncSpec {
+            n,
+            f,
+            d,
+            rule: DecisionRule::GammaPoint,
+            inputs: inputs.clone(),
+            adversaries: vec![(4, strategy)],
+            agreement: Agreement::Exact,
+            validity: Validity::Exact,
+        };
+        let report = run_sync(&spec, tol());
+        assert!(
+            report.verdict.ok(),
+            "adversary #{k} broke Exact BVC: {:?}",
+            report.verdict
+        );
+    }
+}
+
+#[test]
+fn exact_bvc_with_two_colluding_faults() {
+    let (n, f, d) = (7, 2, 2); // n = max(3f+1, (d+1)f+1) = 7
+    let inputs = random_inputs(2, n, d);
+    let spec = SyncSpec {
+        n,
+        f,
+        d,
+        rule: DecisionRule::GammaPoint,
+        inputs,
+        adversaries: vec![
+            (
+                1,
+                ByzantineStrategy::TwoFaced(
+                    (0..n).map(|j| VecD(vec![j as f64; d])).collect(),
+                ),
+            ),
+            (
+                5,
+                ByzantineStrategy::LyingRelay {
+                    input: VecD(vec![-50.0; d]),
+                    corrupt: VecD(vec![50.0; d]),
+                },
+            ),
+        ],
+        agreement: Agreement::Exact,
+        validity: Validity::Exact,
+    };
+    let report = run_sync(&spec, tol());
+    assert!(report.verdict.ok(), "{:?}", report.verdict);
+}
+
+#[test]
+fn k_relaxed_validity_holds_for_all_k() {
+    // The GammaPoint decision satisfies H(N) ⊆ H_k(N) for every k, so the
+    // same run passes every k-relaxed validity check.
+    let (n, f, d) = (5, 1, 3);
+    let inputs = random_inputs(3, n, d);
+    for k in 1..=d {
+        let spec = SyncSpec {
+            n,
+            f,
+            d,
+            rule: DecisionRule::GammaPoint,
+            inputs: inputs.clone(),
+            adversaries: vec![(0, ByzantineStrategy::Silent)],
+            agreement: Agreement::Exact,
+            validity: Validity::KRelaxed(k),
+        };
+        let report = run_sync(&spec, tol());
+        assert!(report.verdict.ok(), "k = {k}: {:?}", report.verdict);
+    }
+}
+
+#[test]
+fn algo_below_exact_bound_sweeps_dimensions() {
+    // f = 1, n = d + 1 < (d+1)f + 1 for d ≥ 3: ALGO achieves the Theorem 9
+    // input-dependent δ validity where exact consensus is impossible.
+    for d in 3..=5 {
+        let n = d + 1;
+        let inputs = random_inputs(10 + d as u64, n, d);
+        let spec = SyncSpec {
+            n,
+            f: 1,
+            d,
+            rule: DecisionRule::MinDeltaPoint(Norm::L2),
+            inputs: inputs.clone(),
+            adversaries: vec![(
+                n - 1,
+                ByzantineStrategy::FollowProtocol(inputs[n - 1].clone()),
+            )],
+            agreement: Agreement::Exact,
+            validity: Validity::InputDependentDeltaP {
+                kappa: 1.0 / (n as f64 - 2.0),
+                norm: Norm::L2,
+            },
+        };
+        let report = run_sync(&spec, tol());
+        assert!(report.verdict.ok(), "d = {d}: {:?}", report.verdict);
+        let delta = report.delta_used.expect("ALGO reports δ*");
+        assert!(delta >= 0.0 && delta.is_finite());
+    }
+}
+
+#[test]
+fn algo_with_linf_norm() {
+    let (n, f, d) = (4, 1, 3);
+    let inputs = random_inputs(42, n, d);
+    let spec = SyncSpec {
+        n,
+        f,
+        d,
+        rule: DecisionRule::MinDeltaPoint(Norm::LInf),
+        inputs: inputs.clone(),
+        adversaries: vec![(2, ByzantineStrategy::FollowProtocol(inputs[2].clone()))],
+        agreement: Agreement::Exact,
+        // Theorem 14: κ_∞ = d^(1/2) κ₂ against L∞ edges.
+        validity: Validity::InputDependentDeltaP {
+            kappa: (d as f64).sqrt() / (n as f64 - 2.0),
+            norm: Norm::LInf,
+        },
+    };
+    let report = run_sync(&spec, tol());
+    assert!(report.verdict.ok(), "{:?}", report.verdict);
+}
+
+#[test]
+fn coordinate_rule_scales_to_high_dimension() {
+    // d = 8, f = 2, n = 3f + 1 = 7 ≪ (d+1)f + 1 = 19.
+    let (n, f, d) = (7, 2, 8);
+    let inputs = random_inputs(77, n, d);
+    let spec = SyncSpec {
+        n,
+        f,
+        d,
+        rule: DecisionRule::CoordinateTrimmedMidpoint,
+        inputs,
+        adversaries: vec![
+            (0, ByzantineStrategy::Silent),
+            (
+                3,
+                ByzantineStrategy::TwoFaced(
+                    (0..n).map(|j| VecD(vec![-(j as f64); d])).collect(),
+                ),
+            ),
+        ],
+        agreement: Agreement::Exact,
+        validity: Validity::KRelaxed(1),
+    };
+    let report = run_sync(&spec, tol());
+    assert!(report.verdict.ok(), "{:?}", report.verdict);
+}
+
+#[test]
+fn identical_honest_inputs_force_that_output() {
+    // When all honest inputs coincide, every validity notion collapses to
+    // "output the common input" — even for ALGO (max-edge = 0 ⇒ δ = 0).
+    let (n, f, d) = (4, 1, 3);
+    let common = VecD::from_slice(&[1.5, -0.5, 2.0]);
+    let inputs = vec![common.clone(), common.clone(), common.clone(), VecD::zeros(d)];
+    for rule in [
+        DecisionRule::GammaPoint,
+        DecisionRule::CoordinateTrimmedMidpoint,
+        DecisionRule::MinDeltaPoint(Norm::L2),
+    ] {
+        let spec = SyncSpec {
+            n,
+            f,
+            d,
+            rule,
+            inputs: inputs.clone(),
+            adversaries: vec![(
+                3,
+                ByzantineStrategy::TwoFaced(
+                    (0..n).map(|j| VecD(vec![9.0 + j as f64; d])).collect(),
+                ),
+            )],
+            agreement: Agreement::Exact,
+            validity: Validity::Exact,
+        };
+        let report = run_sync(&spec, tol());
+        assert!(report.verdict.ok(), "rule {rule:?}: {:?}", report.verdict);
+        for dec in report.decisions.iter().flatten() {
+            assert!(
+                dec.approx_eq(&common, Tol(1e-6)),
+                "rule {rule:?} output {dec} != common input {common}"
+            );
+        }
+    }
+}

@@ -1,0 +1,258 @@
+//! Failure-injection integration tests: the consensus protocols against
+//! crash faults, partial-crash-mid-broadcast, duplicate/reorder wrappers
+//! and seeded random-message fuzzers. Byzantine guarantees are universally
+//! quantified, so safety must survive every one of these behaviours.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use relaxed_bvc::consensus::problem::{check_execution, Agreement, Validity};
+use relaxed_bvc::consensus::rules::DecisionRule;
+use relaxed_bvc::consensus::sync_protocols::SyncBvc;
+use relaxed_bvc::consensus::verified_avg::{DeltaMode, VaMsg, VerifiedAveraging};
+use relaxed_bvc::linalg::{Norm, Tol, VecD};
+use relaxed_bvc::sim::asynch::{AsyncEngine, AsyncNode, RandomScheduler};
+use relaxed_bvc::sim::config::SystemConfig;
+use relaxed_bvc::sim::eig::ParallelEig;
+use relaxed_bvc::sim::fuzz::{
+    AsyncFuzzAdversary, CrashAdversary, DuplicatingAdversary, FuzzAdversary,
+    PartialCrashAdversary,
+};
+use relaxed_bvc::sim::sync::{RoundEngine, SyncNode};
+
+fn tol() -> Tol {
+    Tol::default()
+}
+
+fn random_inputs(seed: u64, n: usize, d: usize) -> Vec<VecD> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| VecD((0..d).map(|_| rng.gen_range(-1.0..1.0)).collect()))
+        .collect()
+}
+
+fn honest_sync(i: usize, n: usize, f: usize, d: usize, input: VecD) -> SyncNode<SyncBvc> {
+    SyncNode::Honest(SyncBvc::new(
+        i,
+        n,
+        f,
+        d,
+        input,
+        DecisionRule::GammaPoint,
+        tol(),
+    ))
+}
+
+fn check_sync_outcome(
+    config: &SystemConfig,
+    inputs: &[VecD],
+    decisions: &[Option<VecD>],
+    validity: &Validity,
+) {
+    let correct_inputs: Vec<VecD> = config
+        .correct_ids()
+        .into_iter()
+        .map(|i| inputs[i].clone())
+        .collect();
+    let correct_decisions: Vec<Option<VecD>> = config
+        .correct_ids()
+        .into_iter()
+        .map(|i| decisions[i].clone())
+        .collect();
+    let v = check_execution(
+        &correct_inputs,
+        &correct_decisions,
+        Agreement::Exact,
+        validity,
+        tol(),
+    );
+    assert!(v.ok(), "{v:?}");
+}
+
+#[test]
+fn sync_bvc_survives_crash_at_every_round() {
+    let (n, f, d) = (4usize, 1usize, 2usize);
+    let inputs = random_inputs(1, n, d);
+    for crash_round in 0..=f + 1 {
+        let config = SystemConfig::new(n, f).with_faulty(vec![2]);
+        let nodes: Vec<SyncNode<SyncBvc>> = (0..n)
+            .map(|i| {
+                if i == 2 {
+                    SyncNode::Byzantine(Box::new(CrashAdversary::new(
+                        ParallelEig::new(i, n, f, inputs[i].clone(), VecD::zeros(d)),
+                        crash_round,
+                    )))
+                } else {
+                    honest_sync(i, n, f, d, inputs[i].clone())
+                }
+            })
+            .collect();
+        let out = RoundEngine::new(config.clone(), nodes).run(f + 2);
+        check_sync_outcome(&config, &inputs, &out.decisions, &Validity::Exact);
+    }
+}
+
+#[test]
+fn sync_bvc_survives_partial_crash_every_prefix() {
+    // The crash-during-broadcast matrix: crash in round 0 after sending to
+    // only k of the n destinations, for every k.
+    let (n, f, d) = (4usize, 1usize, 2usize);
+    let inputs = random_inputs(2, n, d);
+    for prefix in 0..n {
+        let config = SystemConfig::new(n, f).with_faulty(vec![0]);
+        let nodes: Vec<SyncNode<SyncBvc>> = (0..n)
+            .map(|i| {
+                if i == 0 {
+                    SyncNode::Byzantine(Box::new(PartialCrashAdversary::new(
+                        ParallelEig::new(i, n, f, inputs[i].clone(), VecD::zeros(d)),
+                        0,
+                        prefix,
+                    )))
+                } else {
+                    honest_sync(i, n, f, d, inputs[i].clone())
+                }
+            })
+            .collect();
+        let out = RoundEngine::new(config.clone(), nodes).run(f + 2);
+        check_sync_outcome(&config, &inputs, &out.decisions, &Validity::Exact);
+    }
+}
+
+#[test]
+fn sync_bvc_survives_message_fuzzing_across_seeds() {
+    let (n, f, d) = (4usize, 1usize, 2usize);
+    let inputs = random_inputs(3, n, d);
+    for seed in 0..8u64 {
+        let config = SystemConfig::new(n, f).with_faulty(vec![1]);
+        let nodes: Vec<SyncNode<SyncBvc>> = (0..n)
+            .map(|i| {
+                if i == 1 {
+                    // Well-formed-looking EIG batches with random labels and
+                    // random vector payloads.
+                    let generator = Box::new(move |rng: &mut StdRng, round: usize| {
+                        (0..rng.gen_range(1..4))
+                            .map(|_| {
+                                let sender = rng.gen_range(0..n);
+                                let mut label = vec![sender];
+                                while label.len() < round + 1 {
+                                    label.push(rng.gen_range(0..n));
+                                }
+                                let payload =
+                                    VecD((0..d).map(|_| rng.gen_range(-9.0..9.0)).collect());
+                                (sender, vec![(label, payload)])
+                            })
+                            .collect()
+                    });
+                    SyncNode::Byzantine(Box::new(FuzzAdversary::new(seed, n, 5, generator)))
+                } else {
+                    honest_sync(i, n, f, d, inputs[i].clone())
+                }
+            })
+            .collect();
+        let out = RoundEngine::new(config.clone(), nodes).run(f + 2);
+        check_sync_outcome(&config, &inputs, &out.decisions, &Validity::Exact);
+    }
+}
+
+#[test]
+fn verified_averaging_survives_async_fuzzing() {
+    let (n, f, d) = (4usize, 1usize, 3usize);
+    let inputs = random_inputs(4, n, d);
+    for seed in 0..4u64 {
+        let config = SystemConfig::new(n, f).with_faulty(vec![3]);
+        let nodes: Vec<AsyncNode<VerifiedAveraging>> = (0..n)
+            .map(|i| {
+                if i == 3 {
+                    // Random Bracha messages for random tags.
+                    let generator = Box::new(move |rng: &mut StdRng| -> VaMsg {
+                        let tag = (rng.gen_range(0..n), rng.gen_range(0..6usize));
+                        let state = relaxed_bvc::consensus::verified_avg::RoundState {
+                            value: VecD((0..d).map(|_| rng.gen_range(-9.0..9.0)).collect()),
+                            witness: Vec::new(),
+                        };
+                        let msg = match rng.gen_range(0..3) {
+                            0 => relaxed_bvc::sim::bracha::BrachaMsg::Init(state),
+                            1 => relaxed_bvc::sim::bracha::BrachaMsg::Echo(state),
+                            _ => relaxed_bvc::sim::bracha::BrachaMsg::Ready(state),
+                        };
+                        (tag, msg)
+                    });
+                    AsyncNode::Byzantine(Box::new(AsyncFuzzAdversary::new(seed, n, 3, generator)))
+                } else {
+                    AsyncNode::Honest(VerifiedAveraging::new(
+                        i,
+                        n,
+                        f,
+                        inputs[i].clone(),
+                        DeltaMode::MinDelta(Norm::L2),
+                        15,
+                        tol(),
+                    ))
+                }
+            })
+            .collect();
+        let mut engine = AsyncEngine::new(config.clone(), nodes);
+        let out = engine.run(&mut RandomScheduler::new(seed + 50), 4_000_000);
+        assert!(out.all_decided, "fuzz seed {seed} blocked liveness");
+        let correct_inputs: Vec<VecD> = config
+            .correct_ids()
+            .into_iter()
+            .map(|i| inputs[i].clone())
+            .collect();
+        let decisions: Vec<Option<VecD>> = config
+            .correct_ids()
+            .into_iter()
+            .map(|i| out.decisions[i].clone())
+            .collect();
+        let v = check_execution(
+            &correct_inputs,
+            &decisions,
+            Agreement::Epsilon(1e-3),
+            &Validity::InputDependentDeltaP {
+                kappa: 1.0,
+                norm: Norm::L2,
+            },
+            tol(),
+        );
+        assert!(v.ok(), "fuzz seed {seed}: {v:?}");
+    }
+}
+
+#[test]
+fn verified_averaging_survives_duplication_and_reordering() {
+    let (n, f, d) = (4usize, 1usize, 3usize);
+    let inputs = random_inputs(5, n, d);
+    let config = SystemConfig::new(n, f).with_faulty(vec![0]);
+    let nodes: Vec<AsyncNode<VerifiedAveraging>> = (0..n)
+        .map(|i| {
+            let proto = VerifiedAveraging::new(
+                i,
+                n,
+                f,
+                inputs[i].clone(),
+                DeltaMode::MinDelta(Norm::L2),
+                15,
+                tol(),
+            );
+            if i == 0 {
+                AsyncNode::Byzantine(Box::new(DuplicatingAdversary::new(proto, 77)))
+            } else {
+                AsyncNode::Honest(proto)
+            }
+        })
+        .collect();
+    let mut engine = AsyncEngine::new(config.clone(), nodes);
+    let out = engine.run(&mut RandomScheduler::new(9), 4_000_000);
+    assert!(out.all_decided, "duplication blocked liveness");
+    let decided: Vec<&VecD> = config
+        .correct_ids()
+        .into_iter()
+        .filter_map(|i| out.decisions[i].as_ref())
+        .collect();
+    for a in &decided {
+        for b in &decided {
+            assert!(
+                a.dist(b, Norm::LInf) < 1e-3,
+                "duplication broke ε-agreement"
+            );
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! Cross-oracle property tests: the LP/Wolfe pipeline versus the
+//! independent 2-D computational-geometry oracles and the closed-form
+//! Radon construction. Two implementations of the same predicate by
+//! unrelated methods agreeing over random inputs is the strongest
+//! correctness evidence available without formal proof.
+
+use proptest::prelude::*;
+use relaxed_bvc::geometry::oracle2d::{
+    monotone_chain, polygon_contains, polygon_distance, radon_point,
+};
+use relaxed_bvc::geometry::tverberg::find_tverberg_partition;
+use relaxed_bvc::geometry::{gamma_point, ConvexHull};
+use relaxed_bvc::linalg::{Norm, Tol, VecD};
+
+fn tol() -> Tol {
+    Tol::default()
+}
+
+fn point2() -> impl Strategy<Value = VecD> {
+    prop::collection::vec(-3.0f64..3.0, 2).prop_map(VecD::new)
+}
+
+fn points2(n: usize) -> impl Strategy<Value = Vec<VecD>> {
+    prop::collection::vec(point2(), n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// LP membership and the monotone-chain polygon test agree away from
+    /// the boundary.
+    #[test]
+    fn membership_oracles_agree(pts in points2(6), q in point2()) {
+        let lp = ConvexHull::new(pts.clone());
+        let polygon = monotone_chain(&pts);
+        let lp_in = lp.contains(&q, tol());
+        let poly_in = polygon_contains(&polygon, &q, Tol(1e-7));
+        if lp_in != poly_in {
+            let boundary_dist = polygon_distance(&polygon, &q, tol());
+            prop_assert!(
+                boundary_dist < 1e-6,
+                "oracles disagree {lp_in} vs {poly_in} at distance {boundary_dist}"
+            );
+        }
+    }
+
+    /// Wolfe distance equals polygon distance in 2D.
+    #[test]
+    fn distance_oracles_agree(pts in points2(5), q in point2()) {
+        let lp = ConvexHull::new(pts.clone());
+        let polygon = monotone_chain(&pts);
+        let wolfe = lp.distance(&q, Norm::L2, tol());
+        let poly = polygon_distance(&polygon, &q, tol());
+        prop_assert!((wolfe - poly).abs() < 1e-7, "Wolfe {wolfe} vs polygon {poly}");
+    }
+
+    /// The closed-form Radon point agrees with the exhaustive LP Tverberg
+    /// search for f = 1 on d + 2 points, and the two witnesses certify the
+    /// same fact.
+    #[test]
+    fn radon_matches_tverberg(pts in points2(4)) {
+        let radon = radon_point(&pts, tol());
+        let tv = find_tverberg_partition(&pts, 1, tol());
+        prop_assert_eq!(radon.is_some(), tv.is_some());
+        if let Some((pos, neg, point)) = radon {
+            let hp = ConvexHull::from_indices(&pts, &pos);
+            let hn = ConvexHull::from_indices(&pts, &neg);
+            prop_assert!(hp.contains(&point, Tol(1e-6)));
+            prop_assert!(hn.contains(&point, Tol(1e-6)));
+        }
+    }
+
+    /// Γ(Y) for f = 1 on d + 2 = 4 points in R² is nonempty iff ... always
+    /// (n = 4 = (d+1)f + 1 is the Tverberg bound), and its witness lies in
+    /// the polygon of every 3-subset — verified with the 2-D oracle, not
+    /// the LP that produced it.
+    #[test]
+    fn gamma_witness_verified_by_polygon_oracle(pts in points2(4)) {
+        let x = gamma_point(&pts, 1, tol());
+        prop_assert!(x.is_some());
+        let x = x.unwrap();
+        for skip in 0..4 {
+            let subset: Vec<VecD> = pts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| *i != skip)
+                .map(|(_, p)| p.clone())
+                .collect();
+            let polygon = monotone_chain(&subset);
+            let inside = polygon_contains(&polygon, &x, Tol(1e-6));
+            let dist = polygon_distance(&polygon, &x, tol());
+            prop_assert!(
+                inside || dist < 1e-6,
+                "Γ witness escapes subset {skip} by {dist}"
+            );
+        }
+    }
+
+    /// Hull vertices reported by the LP vertex scan match the monotone
+    /// chain's vertex set (as point sets, within tolerance).
+    #[test]
+    fn vertex_sets_agree(pts in points2(6)) {
+        let lp = ConvexHull::new(pts.clone());
+        let lp_vertices: Vec<VecD> = lp
+            .vertex_indices(tol())
+            .into_iter()
+            .map(|i| pts[i].clone())
+            .collect();
+        let chain = monotone_chain(&pts);
+        // Every chain vertex appears among the LP vertices...
+        for v in &chain {
+            prop_assert!(
+                lp_vertices.iter().any(|u| u.approx_eq(v, Tol(1e-9))),
+                "chain vertex {v} missing from LP vertex scan"
+            );
+        }
+        // ...and LP vertices not in the chain must be duplicates/collinear
+        // (the chain drops them); they still lie on the polygon boundary.
+        for u in &lp_vertices {
+            let dist = polygon_distance(&chain, u, tol());
+            prop_assert!(dist < 1e-7, "LP vertex {u} off the hull boundary");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! Integration tests pinning the paper's constructions end-to-end: the
+//! necessity certificates AND the matching sufficiency runs, per theorem.
+
+use relaxed_bvc::consensus::counterexamples::{
+    figure1, psi_k_point, theorem3_inputs, theorem3_psi_empty, theorem4_separation,
+    theorem5_contradiction,
+};
+use relaxed_bvc::consensus::bounds;
+use relaxed_bvc::geometry::tverberg::{all_partitions_empty, moment_curve_points};
+use relaxed_bvc::linalg::{Norm, Tol, VecD};
+
+fn tol() -> Tol {
+    Tol::default()
+}
+
+#[test]
+fn theorem3_necessity_across_dimensions() {
+    for d in 3..=6 {
+        assert!(
+            theorem3_psi_empty(d, tol()),
+            "Theorem 3 construction failed at d = {d}"
+        );
+    }
+}
+
+#[test]
+fn theorem3_k_sweep_larger_k_also_infeasible() {
+    // Lemma 2: a necessary condition for k is necessary for k+1 — the same
+    // matrix must be infeasible for every 2 ≤ k ≤ d−1 (and for k = d).
+    let d = 4;
+    let inputs = theorem3_inputs(d, 1.0, 0.5);
+    for k in 2..=d {
+        assert!(
+            psi_k_point(&inputs, 1, k, tol()).is_none(),
+            "Ψ_k nonempty at k = {k}"
+        );
+    }
+}
+
+#[test]
+fn theorem3_k1_is_feasible() {
+    // k = 1 is the scalar reduction; the 1-relaxed Ψ (bounding boxes) of
+    // the same matrix is NOT empty — exactly why the k = 1 bound is 3f+1.
+    let d = 4;
+    let inputs = theorem3_inputs(d, 1.0, 0.5);
+    assert!(
+        psi_k_point(&inputs, 1, 1, tol()).is_some(),
+        "1-relaxed Ψ must be feasible for the Theorem 3 matrix"
+    );
+}
+
+#[test]
+fn theorem4_separation_scales_with_epsilon() {
+    for (d, eps) in [(3, 0.05), (3, 0.2), (4, 0.1)] {
+        let sep = theorem4_separation(d, 1.0, eps, tol()).expect("nonempty Ψ sets");
+        assert!(
+            sep >= 2.0 * eps - 1e-6,
+            "d = {d}, ε = {eps}: separation {sep} < 2ε"
+        );
+    }
+}
+
+#[test]
+fn theorem5_threshold_behaviour() {
+    // The contradiction appears exactly in the x > 2dδ regime.
+    let d = 3;
+    let delta = 0.5;
+    assert!(theorem5_contradiction(d, delta, tol()));
+    // Below the threshold the intersection is nonempty: x = 2δ keeps every
+    // coordinate reachable within δ of each (n−1)-subset hull.
+    let small_inputs: Vec<VecD> = {
+        let mut cols: Vec<VecD> = (0..d)
+            .map(|i| VecD::scaled_basis(d, i, 2.0 * delta))
+            .collect();
+        cols.push(VecD::zeros(d));
+        cols
+    };
+    assert!(
+        relaxed_bvc::geometry::gamma::gamma_delta_point(
+            &small_inputs,
+            1,
+            delta,
+            Norm::LInf,
+            tol()
+        )
+        .is_some(),
+        "x = 2δ must be feasible"
+    );
+}
+
+#[test]
+fn figure1_analysis_is_contradictory() {
+    let d = 4;
+    let forced = figure1::forced_outcome(figure1::Scenario::BothZero, d);
+    assert_eq!(forced.required, Some(VecD::zeros(d)));
+    let (a, b) = figure1::contradiction(d);
+    assert_eq!(a, VecD::zeros(d));
+    assert_eq!(b, VecD::ones(d));
+}
+
+#[test]
+fn bound_table_is_internally_consistent() {
+    // The k-relaxed bounds interpolate between the scalar and vector cases
+    // and are monotone in k only at the k = 1 → 2 step (Theorem 3: flat
+    // after that).
+    for f in 1..3 {
+        for d in 3..7 {
+            let k1 = bounds::k_relaxed_exact_min_n(f, d, 1);
+            let k2 = bounds::k_relaxed_exact_min_n(f, d, 2);
+            let kd = bounds::k_relaxed_exact_min_n(f, d, d);
+            assert!(k1 <= k2, "k = 1 must not need more processes than k = 2");
+            assert_eq!(k2, kd, "Theorem 3: the bound is flat for 2 ≤ k ≤ d");
+            assert_eq!(k2, bounds::exact_bvc_min_n(f, d));
+            // Asynchronous bounds dominate synchronous ones.
+            assert!(bounds::k_relaxed_approx_min_n(f, d, 2) >= k2);
+        }
+    }
+}
+
+#[test]
+fn tverberg_bound_tightness_both_sides() {
+    // n = (d+1)f + 1: moment-curve points DO partition.
+    let (d, f) = (3, 1);
+    let at_bound = moment_curve_points((d + 1) * f + 1, d);
+    assert!(
+        relaxed_bvc::geometry::tverberg::find_tverberg_partition(&at_bound, f, tol())
+            .is_some(),
+        "Tverberg must hold at the bound"
+    );
+    // n = (d+1)f: they do not.
+    let below = moment_curve_points((d + 1) * f, d);
+    assert!(all_partitions_empty(&below, f, tol()));
+}
+
+#[test]
+fn input_dependent_bounds_beat_constant_delta_bounds() {
+    // The headline comparison of the paper: for d ≥ 3 and f = 1, the
+    // input-dependent relaxation needs 3f+1 = 4 processes where constant-δ
+    // needs (d+1)f+1.
+    for d in 3..8 {
+        let constant = bounds::delta_p_exact_min_n(1, d);
+        let input_dep = bounds::input_dependent_min_n(1);
+        assert!(
+            input_dep < constant,
+            "relaxation must reduce the bound at d = {d}"
+        );
+        assert_eq!(input_dep, 4);
+        assert_eq!(constant, d + 2);
+    }
+}

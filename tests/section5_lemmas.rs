@@ -1,0 +1,216 @@
+//! Section 5 of the paper, statement by statement: the §5.3 equivalences
+//! and every §5.4 containment lemma (Lemmas 1–9), as executable property
+//! checks over random geometry and over the validity checkers themselves.
+
+use rand::{rngs::StdRng, Rng, SeedableRng};
+use relaxed_bvc::consensus::problem::{check_execution, Agreement, Validity};
+use relaxed_bvc::geometry::{ConvexHull, DeltaPHull, KRelaxedHull};
+use relaxed_bvc::linalg::{Norm, Tol, VecD};
+
+fn tol() -> Tol {
+    Tol::default()
+}
+
+fn random_points(rng: &mut StdRng, n: usize, d: usize, range: f64) -> Vec<VecD> {
+    (0..n)
+        .map(|_| VecD((0..d).map(|_| rng.gen_range(-range..range)).collect()))
+        .collect()
+}
+
+/// §5.3: `H_d(S) = H(S)` — d-relaxed consensus is the original problem.
+#[test]
+fn k_equals_d_recovers_exact_hull() {
+    let mut rng = StdRng::seed_from_u64(1);
+    for _ in 0..40 {
+        let d = rng.gen_range(2..5);
+        let n = rng.gen_range(3..7);
+        let pts = random_points(&mut rng, n, d, 2.0);
+        let hd = KRelaxedHull::new(pts.clone(), d);
+        let h = ConvexHull::new(pts);
+        for _ in 0..15 {
+            let q = VecD((0..d).map(|_| rng.gen_range(-3.0..3.0)).collect());
+            assert_eq!(
+                hd.contains(&q, tol()),
+                h.contains(&q, tol()),
+                "H_d ≠ H at {q}"
+            );
+        }
+    }
+}
+
+/// §5.3: `H_(0,p)(S) = H(S)` for every p.
+#[test]
+fn delta_zero_recovers_exact_hull_for_every_norm() {
+    let mut rng = StdRng::seed_from_u64(2);
+    for norm in [Norm::L1, Norm::L2, Norm::LInf, Norm::lp(3.0)] {
+        let pts = random_points(&mut rng, 5, 3, 2.0);
+        let h0 = DeltaPHull::new(pts.clone(), 0.0, norm);
+        let h = ConvexHull::new(pts);
+        for _ in 0..20 {
+            let q = VecD((0..3).map(|_| rng.gen_range(-3.0..3.0)).collect());
+            // Exclude razor-edge cases where the approximate general-p
+            // distance could flip a boundary call.
+            let dist = h.distance(&q, Norm::L2, tol());
+            if dist > 1e-4 || dist == 0.0 {
+                assert_eq!(
+                    h0.contains(&q, tol()),
+                    h.contains(&q, tol()),
+                    "H_(0,{norm:?}) ≠ H at {q}"
+                );
+            }
+        }
+    }
+}
+
+/// §5.3: δ = ∞ makes validity vacuous — any fixed output passes.
+#[test]
+fn delta_infinite_is_vacuous() {
+    let inputs = vec![VecD::from_slice(&[5.0, 5.0]), VecD::from_slice(&[6.0, 5.0])];
+    let far = VecD::zeros(2);
+    let v = check_execution(
+        &inputs,
+        &[Some(far.clone()), Some(far)],
+        Agreement::Exact,
+        &Validity::DeltaP {
+            delta: f64::INFINITY,
+            norm: Norm::L2,
+        },
+        tol(),
+    );
+    assert!(v.validity, "infinite δ must accept anything");
+}
+
+/// Lemma 1: `H_i(S) ⊆ H_j(S)` for `d ≥ i ≥ j ≥ 1` — full sweep.
+#[test]
+fn lemma1_containment_chain() {
+    let mut rng = StdRng::seed_from_u64(3);
+    for _ in 0..25 {
+        let d = rng.gen_range(2..6);
+        let n = rng.gen_range(3..6);
+        let pts = random_points(&mut rng, n, d, 2.0);
+        let hulls: Vec<KRelaxedHull> =
+            (1..=d).map(|k| KRelaxedHull::new(pts.clone(), k)).collect();
+        for _ in 0..20 {
+            let q = VecD((0..d).map(|_| rng.gen_range(-3.0..3.0)).collect());
+            let membership: Vec<bool> =
+                hulls.iter().map(|h| h.contains(&q, tol())).collect();
+            // Membership must be monotone decreasing in k.
+            for k in 1..d {
+                assert!(
+                    !membership[k] || membership[k - 1],
+                    "Lemma 1 violated between k={} and k={} at {q}",
+                    k,
+                    k + 1
+                );
+            }
+        }
+    }
+}
+
+/// Lemmas 2–5 (consensus-level form): an output satisfying (k+1)-relaxed
+/// validity satisfies k-relaxed validity — sufficiency transfers downward,
+/// necessity upward.
+#[test]
+fn lemmas_2_to_5_validity_transfer() {
+    let mut rng = StdRng::seed_from_u64(4);
+    for _ in 0..25 {
+        let d = 4;
+        let inputs = random_points(&mut rng, 5, d, 2.0);
+        let q = VecD((0..d).map(|_| rng.gen_range(-2.5..2.5)).collect());
+        let outputs = vec![Some(q.clone())];
+        let mut valid_at: Vec<bool> = Vec::new();
+        for k in 1..=d {
+            let v = check_execution(
+                &inputs,
+                &outputs,
+                Agreement::Exact,
+                &Validity::KRelaxed(k),
+                tol(),
+            );
+            valid_at.push(v.validity);
+        }
+        for k in 1..d {
+            assert!(
+                !valid_at[k] || valid_at[k - 1],
+                "validity at k+1={} must imply validity at k={}",
+                k + 1,
+                k
+            );
+        }
+    }
+}
+
+/// Lemmas 6–9 (consensus-level form): an output satisfying (δ',p)-relaxed
+/// validity satisfies (δ,p)-relaxed validity for δ ≥ δ'.
+#[test]
+fn lemmas_6_to_9_delta_transfer() {
+    let mut rng = StdRng::seed_from_u64(5);
+    let deltas = [0.0, 0.1, 0.3, 0.8, 2.0];
+    for norm in [Norm::L1, Norm::L2, Norm::LInf] {
+        for _ in 0..15 {
+            let inputs = random_points(&mut rng, 4, 3, 1.5);
+            let q = VecD((0..3).map(|_| rng.gen_range(-3.0..3.0)).collect());
+            let outputs = vec![Some(q.clone())];
+            let valid_at: Vec<bool> = deltas
+                .iter()
+                .map(|&delta| {
+                    check_execution(
+                        &inputs,
+                        &outputs,
+                        Agreement::Exact,
+                        &Validity::DeltaP { delta, norm },
+                        tol(),
+                    )
+                    .validity
+                })
+                .collect();
+            for i in 0..deltas.len() - 1 {
+                assert!(
+                    !valid_at[i] || valid_at[i + 1],
+                    "δ-monotonicity violated at {norm:?} between δ={} and δ={}",
+                    deltas[i],
+                    deltas[i + 1]
+                );
+            }
+        }
+    }
+}
+
+/// §5.3: both relaxed hulls contain the exact hull, so any solution of the
+/// original BVC problem also solves the relaxed versions.
+#[test]
+fn exact_solutions_solve_relaxed_problems() {
+    let mut rng = StdRng::seed_from_u64(6);
+    for _ in 0..20 {
+        let d = 3;
+        let inputs = random_points(&mut rng, 5, d, 2.0);
+        // An exact-valid output: a random convex combination.
+        let mut w: Vec<f64> = (0..inputs.len()).map(|_| rng.gen_range(0.1..1.0)).collect();
+        let s: f64 = w.iter().sum();
+        for wi in &mut w {
+            *wi /= s;
+        }
+        let q = VecD::combination(&inputs, &w);
+        let outputs = vec![Some(q)];
+        for validity in [
+            Validity::Exact,
+            Validity::KRelaxed(1),
+            Validity::KRelaxed(2),
+            Validity::KRelaxed(3),
+            Validity::DeltaP {
+                delta: 0.25,
+                norm: Norm::L2,
+            },
+            Validity::InputDependentDeltaP {
+                kappa: 0.5,
+                norm: Norm::L2,
+            },
+        ] {
+            let v = check_execution(&inputs, &outputs, Agreement::Exact, &validity, tol());
+            assert!(
+                v.validity,
+                "exact-valid output rejected by relaxed validity {validity:?}"
+            );
+        }
+    }
+}
