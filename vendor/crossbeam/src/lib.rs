@@ -1,0 +1,74 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Only the `channel` module surface used by the threaded runtime is
+//! provided, implemented as a thin facade over `std::sync::mpsc` (which,
+//! since Rust 1.72, *is* the crossbeam channel implementation upstreamed
+//! into std). Semantics relied upon by `crates/sim/src/threads.rs` —
+//! unbounded buffering, `Sender: Clone + Send + Sync`, `recv_timeout` —
+//! are preserved.
+
+pub mod channel {
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvTimeoutError, SendError, TryRecvError};
+
+    /// Unbounded MPSC sender handle.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    /// Unbounded MPSC receiver handle.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        pub fn recv(&self) -> Result<T, mpsc::RecvError> {
+            self.0.recv()
+        }
+
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            self.0.recv_timeout(timeout)
+        }
+
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv()
+        }
+    }
+
+    /// Create an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(tx), Receiver(rx))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn send_recv_roundtrip() {
+            let (tx, rx) = unbounded();
+            tx.send(5u32).unwrap();
+            assert_eq!(rx.recv().unwrap(), 5);
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Timeout)
+            ));
+            drop(tx);
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_millis(1)),
+                Err(RecvTimeoutError::Disconnected)
+            ));
+        }
+    }
+}

@@ -1,0 +1,210 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so the workspace vendors
+//! the *small* slice of the rand 0.8 API it actually uses: a seedable,
+//! deterministic `StdRng` plus `Rng::{gen_range, gen_bool}` over primitive
+//! integer/float ranges. The generator is xoshiro256++ seeded through
+//! SplitMix64 — high-quality, fast, and bit-identical across platforms,
+//! which is all the simulators need (statistical quality for fuzzing, and
+//! reproducibility for seeded experiments). It is **not** the upstream
+//! implementation: streams differ from real `rand`, but every consumer in
+//! this repo only relies on determinism per seed, not on specific streams.
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Construction of a generator from a small seed.
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed (SplitMix64 state expansion).
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling helpers, auto-implemented for every `RngCore`.
+pub trait Rng: RngCore {
+    /// Uniform sample from a (half-open or inclusive) primitive range.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to [0, 1]).
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        debug_assert!((0.0..=1.0).contains(&p), "gen_bool p out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Map a random word to a uniform f64 in [0, 1) using the top 53 bits.
+#[inline]
+fn unit_f64(word: u64) -> f64 {
+    (word >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Primitive types `gen_range` can sample uniformly.
+///
+/// The `half-open`/`inclusive` split mirrors real rand's `SampleUniform`;
+/// keeping a *blanket* `SampleRange` impl over `T: SampleUniform` (rather
+/// than one impl per concrete range type) is what lets integer-literal
+/// ranges like `0..4` unify with a `usize` use site during inference.
+pub trait SampleUniform: Sized + PartialOrd {
+    fn sample_half_open<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+    fn sample_inclusive<R: RngCore + ?Sized>(lo: Self, hi: Self, rng: &mut R) -> Self;
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo < hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128;
+                (lo as i128 + ((rng.next_u64() as u128) % span) as i128) as $t
+            }
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + ((rng.next_u64() as u128) % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample_half_open<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo < hi, "gen_range: empty range");
+                lo + unit_f64(rng.next_u64()) as $t * (hi - lo)
+            }
+            #[inline]
+            fn sample_inclusive<R: RngCore + ?Sized>(lo: $t, hi: $t, rng: &mut R) -> $t {
+                assert!(lo <= hi, "gen_range: empty inclusive range");
+                lo + unit_f64(rng.next_u64()) as $t * (hi - lo)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// Range types `Rng::gen_range` can sample from.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for core::ops::Range<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for core::ops::RangeInclusive<T> {
+    #[inline]
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_inclusive(*self.start(), *self.end(), rng)
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic xoshiro256++ generator (stand-in for rand's `StdRng`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // SplitMix64 state expansion, as recommended by the xoshiro
+            // authors, so that nearby seeds yield uncorrelated streams.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            let s = [next(), next(), next(), next()];
+            StdRng { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        #[inline]
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0]
+                .wrapping_add(s[3])
+                .rotate_left(23)
+                .wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1_000_000usize), b.gen_range(0..1_000_000usize));
+            let (x, y): (f64, f64) = (a.gen_range(-1.0..1.0), b.gen_range(-1.0..1.0));
+            assert!(x == y);
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..7);
+            assert!((3..7).contains(&x));
+            let y: i64 = rng.gen_range(-100..100);
+            assert!((-100..100).contains(&y));
+            let z = rng.gen_range(0..=4usize);
+            assert!(z <= 4);
+            let w = rng.gen_range(-2.5f64..2.5);
+            assert!((-2.5..2.5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -1,0 +1,151 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! `par_iter()` / `into_par_iter()` return a [`ParIter`] wrapper around the
+//! corresponding *sequential* std iterator. `ParIter` implements
+//! `Iterator`, so ordinary adapter chains (`.map().sum()`, `.collect()`,
+//! `.max_by(…)`) type-check and produce identical results — just without
+//! work-stealing parallelism — while inherent methods cover the few places
+//! where rayon's signatures differ from std's (`reduce` takes an identity
+//! closure). Callers that treat rayon purely as a speedup (the Monte-Carlo
+//! sweeps and per-subset distance evaluations here) keep exact semantics;
+//! wall-clock scaling returns when the real crate is swapped back in.
+
+/// Sequential stand-in for a rayon parallel iterator.
+pub struct ParIter<I>(pub I);
+
+impl<I: Iterator> Iterator for ParIter<I> {
+    type Item = I::Item;
+
+    fn next(&mut self) -> Option<I::Item> {
+        self.0.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.0.size_hint()
+    }
+}
+
+/// Inherent adapters shadow the `Iterator` ones so the chain stays a
+/// `ParIter` and rayon-specific consumers remain reachable.
+impl<I: Iterator> ParIter<I> {
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    pub fn filter_map<U, F: FnMut(I::Item) -> Option<U>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Rayon-style reduce: folds from `identity()` (returned verbatim for
+    /// an empty iterator), unlike `Iterator::reduce`.
+    pub fn reduce<ID, OP>(self, identity: ID, op: OP) -> I::Item
+    where
+        ID: Fn() -> I::Item,
+        OP: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+}
+
+pub mod prelude {
+    use super::ParIter;
+
+    /// Owned parallel-iterator entry point (`into_par_iter`).
+    pub trait IntoParallelIterator: IntoIterator + Sized {
+        fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    impl<I: IntoIterator + Sized> IntoParallelIterator for I {}
+
+    /// Borrowed parallel-iterator entry point (`par_iter`).
+    pub trait IntoParallelRefIterator<'data> {
+        type Iter: Iterator;
+
+        fn par_iter(&'data self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+    where
+        &'data C: IntoIterator,
+    {
+        type Iter = <&'data C as IntoIterator>::IntoIter;
+
+        fn par_iter(&'data self) -> ParIter<Self::Iter> {
+            ParIter(self.into_iter())
+        }
+    }
+
+    /// Borrowed mutable parallel-iterator entry point (`par_iter_mut`).
+    pub trait IntoParallelRefMutIterator<'data> {
+        type Iter: Iterator;
+
+        fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter>;
+    }
+
+    impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+    where
+        &'data mut C: IntoIterator,
+    {
+        type Iter = <&'data mut C as IntoIterator>::IntoIter;
+
+        fn par_iter_mut(&'data mut self) -> ParIter<Self::Iter> {
+            ParIter(self.into_iter())
+        }
+    }
+}
+
+/// Sequential stand-in for `rayon::join`: runs both closures in order.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA,
+    B: FnOnce() -> RB,
+{
+    (a(), b())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_serial() {
+        let xs = vec![1, 2, 3, 4];
+        let serial: i32 = xs.iter().map(|x| x * x).sum();
+        let par: i32 = xs.par_iter().map(|x| x * x).sum();
+        assert_eq!(serial, par);
+        let owned: Vec<i32> = xs.into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(owned, vec![2, 3, 4, 5]);
+        let range: usize = (0..10usize).into_par_iter().sum();
+        assert_eq!(range, 45);
+    }
+
+    #[test]
+    fn reduce_uses_rayon_signature() {
+        let xs = vec![3.0f64, 9.0, 1.0];
+        let max = xs
+            .par_iter()
+            .enumerate()
+            .map(|(i, x)| (*x, i))
+            .reduce(|| (f64::NEG_INFINITY, 0), |a, b| if a.0 >= b.0 { a } else { b });
+        assert_eq!(max, (9.0, 1));
+        let empty: Vec<f64> = vec![];
+        let red = empty
+            .par_iter()
+            .map(|x| (*x, 0usize))
+            .reduce(|| (f64::NEG_INFINITY, 0), |a, b| if a.0 >= b.0 { a } else { b });
+        assert_eq!(red.1, 0);
+    }
+}

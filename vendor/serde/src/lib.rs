@@ -1,0 +1,260 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! Real serde is a zero-copy visitor framework; this workspace only ever
+//! *emits* JSON documents (experiment records via `serde_json`), so the
+//! stand-in collapses the model to a single owned [`Value`] tree:
+//! `Serialize` means "render yourself as a `Value`". The derive macros
+//! (re-exported from the companion `serde_derive` proc-macro crate) follow
+//! serde's default encoding — structs as objects, newtype structs
+//! transparently, enums externally tagged — so the JSON shape matches what
+//! the real crate would have produced for these types. `Deserialize` is
+//! accepted (types derive it) but is a no-op: nothing in the workspace
+//! parses JSON back in.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON-like document tree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Insertion-ordered object (serde_json with `preserve_order`).
+    Object(Vec<(String, Value)>),
+}
+
+/// Render `self` as a [`Value`] tree.
+pub trait Serialize {
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+ser_int!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+ser_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Float(*self as f64)
+            }
+        }
+    )*};
+}
+ser_float!(f32, f64);
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value(), self.2.to_value()])
+    }
+}
+
+impl Value {
+    /// Compact single-line JSON rendering.
+    pub fn render(&self, out: &mut String) {
+        self.render_indented(out, usize::MAX, 0);
+    }
+
+    /// Pretty rendering with two-space indentation (serde_json style).
+    /// `indent == usize::MAX` selects compact mode.
+    pub fn render_indented(&self, out: &mut String, indent: usize, depth: usize) {
+        let pretty = indent != usize::MAX;
+        let pad = |out: &mut String, d: usize| {
+            if pretty {
+                out.push('\n');
+                for _ in 0..d * indent {
+                    out.push(' ');
+                }
+            }
+        };
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::Int(i) => out.push_str(&i.to_string()),
+            Value::UInt(u) => out.push_str(&u.to_string()),
+            Value::Float(f) => {
+                // JSON has no NaN/Inf; serde_json refuses them, we emit null.
+                if f.is_finite() {
+                    out.push_str(&format!("{f:?}"));
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Value::Str(s) => escape_json_str(s, out),
+            Value::Array(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, depth + 1);
+                    item.render_indented(out, indent, depth + 1);
+                }
+                pad(out, depth);
+                out.push(']');
+            }
+            Value::Object(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    pad(out, depth + 1);
+                    escape_json_str(key, out);
+                    out.push(':');
+                    if pretty {
+                        out.push(' ');
+                    }
+                    value.render_indented(out, indent, depth + 1);
+                }
+                pad(out, depth);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn escape_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_render() {
+        let v = Value::Array(vec![
+            1usize.to_value(),
+            (-2i32).to_value(),
+            1.5f64.to_value(),
+            true.to_value(),
+            "a\"b".to_value(),
+            Option::<u8>::None.to_value(),
+        ]);
+        let mut s = String::new();
+        v.render(&mut s);
+        assert_eq!(s, r#"[1,-2,1.5,true,"a\"b",null]"#);
+    }
+
+    #[test]
+    fn float_formatting_keeps_decimal_point() {
+        let mut s = String::new();
+        Value::Float(1.0).render(&mut s);
+        assert_eq!(s, "1.0");
+        s.clear();
+        Value::Float(f64::NAN).render(&mut s);
+        assert_eq!(s, "null");
+    }
+}

@@ -1,0 +1,308 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real crate leans on `syn`/`quote`; neither is available offline, so
+//! this derive parses the item declaration directly from the
+//! `proc_macro::TokenStream`. It supports exactly what the workspace
+//! derives on: non-generic structs (named, tuple, unit) and enums whose
+//! variants are unit, tuple, or struct-like. Encoding follows serde's
+//! defaults — named structs become objects, one-field tuple structs are
+//! transparent newtypes, enums are externally tagged. Anything outside
+//! that envelope (generics, unions) panics at expansion time with a clear
+//! message rather than silently mis-serializing.
+//!
+//! `Deserialize` expands to nothing: the workspace only writes JSON.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Object(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(::std::vec![{}])", entries.join(", "))
+        }
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Enum(variants) => {
+            let name = &item.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| enum_arm(name, v))
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        name = item.name,
+    );
+    out.parse().expect("serde stub derive: generated impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+fn enum_arm(name: &str, variant: &Variant) -> String {
+    let v = &variant.name;
+    match &variant.shape {
+        VariantShape::Unit => format!(
+            "{name}::{v} => ::serde::Value::Str(::std::string::String::from(\"{v}\")),"
+        ),
+        VariantShape::Tuple(1) => format!(
+            "{name}::{v}(f0) => ::serde::Value::Object(::std::vec![(\
+                ::std::string::String::from(\"{v}\"), \
+                ::serde::Serialize::to_value(f0))]),"
+        ),
+        VariantShape::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+            let vals: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(f{i})"))
+                .collect();
+            format!(
+                "{name}::{v}({binds}) => ::serde::Value::Object(::std::vec![(\
+                    ::std::string::String::from(\"{v}\"), \
+                    ::serde::Value::Array(::std::vec![{vals}]))]),",
+                binds = binds.join(", "),
+                vals = vals.join(", "),
+            )
+        }
+        VariantShape::Named(fields) => {
+            let binds = fields.join(", ");
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{v} {{ {binds} }} => ::serde::Value::Object(::std::vec![(\
+                    ::std::string::String::from(\"{v}\"), \
+                    ::serde::Value::Object(::std::vec![{entries}]))]),",
+                entries = entries.join(", "),
+            )
+        }
+    }
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut iter = input.into_iter().peekable();
+    // Skip attributes, visibility, doc comments until the item keyword.
+    let kind = loop {
+        match iter.next() {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+                if s == "union" {
+                    panic!("serde stub derive: unions are unsupported");
+                }
+                // `pub`, `pub(crate)` paren group handled by the catch-all.
+            }
+            Some(_) => {}
+            None => panic!("serde stub derive: no struct/enum found"),
+        }
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde stub derive: expected item name, got {other:?}"),
+    };
+    match iter.next() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            panic!("serde stub derive: generic type `{name}` is unsupported")
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            if kind == "struct" {
+                Item {
+                    name,
+                    shape: Shape::NamedStruct(named_fields(g.stream())),
+                }
+            } else {
+                Item {
+                    name,
+                    shape: Shape::Enum(enum_variants(g.stream())),
+                }
+            }
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Item {
+            name,
+            shape: Shape::TupleStruct(count_tuple_fields(g.stream())),
+        },
+        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item {
+            name,
+            shape: Shape::UnitStruct,
+        },
+        other => panic!("serde stub derive: unexpected token after `{name}`: {other:?}"),
+    }
+}
+
+/// Extract field names from a named-field body. A field name is the ident
+/// immediately preceding a lone `:` at angle-bracket depth zero (the `::`
+/// of type paths arrives as a Joint-then-Alone punct pair and is skipped,
+/// and commas inside generic arguments sit at depth > 0).
+fn named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut angle: usize = 0;
+    let mut in_type = false;
+    let mut last_ident: Option<String> = None;
+    let mut joint_colon = false;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                let was_joint_colon = joint_colon;
+                joint_colon = c == ':' && p.spacing() == Spacing::Joint;
+                match c {
+                    '<' => angle += 1,
+                    '>' => angle = angle.saturating_sub(1),
+                    ',' if angle == 0 => {
+                        in_type = false;
+                        last_ident = None;
+                    }
+                    ':' if !in_type
+                        && !was_joint_colon
+                        && p.spacing() == Spacing::Alone
+                        && angle == 0 =>
+                    {
+                        if let Some(f) = last_ident.take() {
+                            fields.push(f);
+                            in_type = true;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            TokenTree::Ident(id) => {
+                joint_colon = false;
+                if !in_type {
+                    let s = id.to_string();
+                    if s != "pub" {
+                        last_ident = Some(s);
+                    }
+                }
+            }
+            _ => {
+                joint_colon = false;
+            }
+        }
+    }
+    fields
+}
+
+/// Count comma-separated fields in a tuple-struct body (angle-aware).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0;
+    let mut saw_any = false;
+    let mut angle: usize = 0;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle = angle.saturating_sub(1),
+                ',' if angle == 0 => count += 1,
+                _ => saw_any = true,
+            },
+            _ => saw_any = true,
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn enum_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut current: Option<Variant> = None;
+    let mut skipping_discriminant = false;
+    let mut angle: usize = 0;
+    let mut prev_hash = false;
+    for tt in body {
+        let was_hash = prev_hash;
+        prev_hash = matches!(&tt, TokenTree::Punct(p) if p.as_char() == '#');
+        match tt {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle += 1,
+                '>' => angle = angle.saturating_sub(1),
+                ',' if angle == 0 => {
+                    if let Some(v) = current.take() {
+                        variants.push(v);
+                    }
+                    skipping_discriminant = false;
+                }
+                '=' if current.is_some() => skipping_discriminant = true,
+                _ => {}
+            },
+            TokenTree::Ident(id) if current.is_none() && !skipping_discriminant => {
+                current = Some(Variant {
+                    name: id.to_string(),
+                    shape: VariantShape::Unit,
+                });
+            }
+            TokenTree::Group(g) if !skipping_discriminant && !was_hash => {
+                if let Some(v) = current.as_mut() {
+                    match g.delimiter() {
+                        Delimiter::Parenthesis => {
+                            v.shape = VariantShape::Tuple(count_tuple_fields(g.stream()));
+                        }
+                        Delimiter::Brace => {
+                            v.shape = VariantShape::Named(named_fields(g.stream()));
+                        }
+                        _ => {}
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    if let Some(v) = current.take() {
+        variants.push(v);
+    }
+    variants
+}

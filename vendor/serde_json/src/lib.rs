@@ -1,0 +1,109 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Serialization-only: renders the serde stub's [`Value`] tree as JSON
+//! text. Provides `to_value`, `to_string`, `to_string_pretty`, and a
+//! `json!` macro covering object/array/literal composition with embedded
+//! Rust expressions — the surface `exp_json` and the experiment records
+//! use. There is no parser; nothing in the workspace reads JSON back.
+
+use std::fmt;
+
+pub use serde::Value;
+use serde::Serialize;
+
+/// Serialization error. The stub renderer is total (non-finite floats
+/// become `null`), so this is never actually produced — it exists so call
+/// sites written against real serde_json's fallible API compile unchanged.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("JSON serialization error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convert any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Compact single-line JSON.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().render(&mut out);
+    Ok(out)
+}
+
+/// Pretty JSON with two-space indentation.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    value.to_value().render_indented(&mut out, 2, 0);
+    Ok(out)
+}
+
+/// Build a [`Value`] from a JSON-shaped literal with embedded expressions.
+///
+/// Object values and array elements are ordinary Rust expressions (any
+/// `T: Serialize`); nest documents with an inner `json!({...})` call
+/// rather than a bare `{...}` literal.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:expr),* $(,)? ]) => {
+        $crate::Value::Array(::std::vec![
+            $( $crate::to_value($elem).expect("json! element must serialize") ),*
+        ])
+    };
+    ({ $($key:tt : $value:expr),* $(,)? }) => {
+        $crate::Value::Object(::std::vec![
+            $( ($crate::json_key!($key),
+                $crate::to_value($value).expect("json! value must serialize")) ),*
+        ])
+    };
+    ($other:expr) => {
+        $crate::to_value($other).expect("json! value must serialize")
+    };
+}
+
+/// Internal helper for `json!` object keys (string literals or idents).
+#[macro_export]
+macro_rules! json_key {
+    ($key:literal) => {
+        ::std::string::String::from($key)
+    };
+    ($key:ident) => {
+        ::std::string::String::from(stringify!($key))
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_builds_nested_docs() {
+        let xs = vec![1u32, 2, 3];
+        let doc = json!({
+            "name": "chaos",
+            "count": xs.len(),
+            "rows": xs,
+            "nested": json!({ "ok": true, "nothing": json!(null) }),
+            "list": json!([1, "two", 3.0]),
+        });
+        let text = to_string(&doc).unwrap();
+        assert_eq!(
+            text,
+            r#"{"name":"chaos","count":3,"rows":[1,2,3],"nested":{"ok":true,"nothing":null},"list":[1,"two",3.0]}"#
+        );
+    }
+
+    #[test]
+    fn pretty_rendering_is_indented() {
+        let doc = json!({ "a": [1, 2] });
+        let text = to_string_pretty(&doc).unwrap();
+        assert_eq!(text, "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+    }
+}
