@@ -1,0 +1,81 @@
+//! E16 — chaos campaign: Verified Averaging over drop/dup/delay/reorder/
+//! partition faults with [`rbvc_sim::net::ReliableLink`] retransmission and
+//! an online safety monitor.
+//!
+//! Usage: `exp_chaos [--smoke] [seeds_per_cell] [seed]`
+//!
+//! The default campaign runs 14 seeds per cell × 15 cells = 210 runs; the
+//! acceptance bar is zero monitor violations and full decision coverage in
+//! every recoverable cell. `--smoke` shrinks to 2 seeds per cell for CI.
+//! Exits nonzero if any safety violation is observed.
+
+use rbvc_bench::experiments::chaos::{campaign, ChaosRow};
+use rbvc_bench::report::{fnum, print_table};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let positional: Vec<&String> = args.iter().skip(1).filter(|a| *a != "--smoke").collect();
+    let seeds_per_cell: usize = positional
+        .first()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(if smoke { 2 } else { 14 });
+    let seed: u64 = positional.get(1).and_then(|a| a.parse().ok()).unwrap_or(2016);
+    println!(
+        "E16 — chaos campaign: Verified Averaging (n = 4, f = 1, d = 3, \
+         MinDelta/L2) over an unreliable network, reliable-channel semantics \
+         restored by sequence-numbered ack/retransmit links; an online \
+         monitor checks ε-agreement and box validity on every decision."
+    );
+    println!(
+        "{} seeds per cell from base seed {seed}{}",
+        seeds_per_cell,
+        if smoke { " (smoke)" } else { "" }
+    );
+    let rows = campaign(seeds_per_cell, seed);
+    let total_runs: usize = rows.iter().map(|r| r.runs).sum();
+    let total_violations: usize = rows.iter().map(|r| r.violations).sum();
+    let total_decided: usize = rows.iter().map(|r| r.decided).sum();
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r: &ChaosRow| {
+            vec![
+                r.shape.to_string(),
+                fnum(r.drop),
+                format!("{}/{}", r.decided, r.runs),
+                r.violations.to_string(),
+                fnum(r.mean_steps),
+                fnum(r.mean_overhead),
+                r.lost.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "E16 (chaos campaign: fault shape × drop rate)",
+        &[
+            "shape",
+            "drop",
+            "decided",
+            "violations",
+            "mean steps",
+            "msg overhead",
+            "msgs lost",
+        ],
+        &table,
+    );
+    println!(
+        "total: {total_runs} runs, {total_decided} fully decided, \
+         {total_violations} safety violations"
+    );
+    if total_violations > 0 {
+        eprintln!("FAIL: the online safety monitor fired");
+        std::process::exit(1);
+    }
+    if total_decided < total_runs {
+        eprintln!(
+            "note: {} run(s) hit the step budget before all processes \
+             decided",
+            total_runs - total_decided
+        );
+    }
+}

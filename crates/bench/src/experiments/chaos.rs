@@ -1,0 +1,336 @@
+//! E16 — the chaos campaign: (Relaxed) Verified Averaging on an unreliable
+//! network.
+//!
+//! The paper's model assumes reliable channels; this experiment drops,
+//! duplicates, delays, reorders and partitions them instead, restores
+//! reliable-channel semantics with [`ReliableLink`] retransmission, and has
+//! an online [`SafetyMonitor`] watch every decision as it happens. The
+//! campaign sweeps fault shape × drop probability over many seeds and
+//! reports, per cell: how many runs still decided, how many safety alerts
+//! fired (the acceptance bar is zero), mean steps to completion, and the
+//! message overhead relative to a fault-free baseline of the same run.
+
+use rbvc_core::bounds::kappa_async;
+use rbvc_core::verified_avg::{DeltaMode, HonestFacade, VerifiedAveraging};
+use rbvc_linalg::{Norm, Tol, VecD};
+use rbvc_sim::asynch::{AsyncEngine, AsyncNode, RandomScheduler};
+use rbvc_sim::config::SystemConfig;
+use rbvc_sim::monitor::SafetyMonitor;
+use rbvc_sim::net::{
+    LinkFault, NetworkFaults, Partition, PartitionMode, ReliableLink, ReliableLinkAdversary,
+};
+
+use crate::workloads::{self, rng};
+
+/// Campaign system size: the paper's headline asynchronous regime,
+/// `n = 3f + 1` with one Byzantine process, below the `(d+2)f + 1` bound.
+const N: usize = 4;
+const F: usize = 1;
+const D: usize = 3;
+/// Averaging rounds: enough contraction that honest decisions are far
+/// tighter than the agreement threshold the monitor enforces.
+const ROUNDS: usize = 12;
+/// Step budget per run; chaos runs idle-step through delays, so this is
+/// deliberately generous.
+const MAX_STEPS: u64 = 4_000_000;
+
+/// The fault shapes of the campaign grid (each swept over drop rates).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultShape {
+    /// Loss only (the `drop = 0` cell is the fault-free control).
+    Clean,
+    /// Loss + 20% duplication.
+    Duplicate,
+    /// Loss + uniform extra delay of up to 8 steps per message.
+    Delay,
+    /// Loss + 30% reorder penalty.
+    Reorder,
+    /// Loss + a partition isolating process 0 for steps 100..1200, healing
+    /// afterwards; recovery relies on retransmission.
+    Partition,
+}
+
+impl FaultShape {
+    /// All shapes, in campaign order.
+    pub const ALL: [FaultShape; 5] = [
+        FaultShape::Clean,
+        FaultShape::Duplicate,
+        FaultShape::Delay,
+        FaultShape::Reorder,
+        FaultShape::Partition,
+    ];
+
+    /// Short label for reports.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultShape::Clean => "drop-only",
+            FaultShape::Duplicate => "drop+dup",
+            FaultShape::Delay => "drop+delay",
+            FaultShape::Reorder => "drop+reorder",
+            FaultShape::Partition => "drop+partition",
+        }
+    }
+
+    fn faults(self, drop: f64, seed: u64) -> NetworkFaults {
+        let mut link = LinkFault::lossy(drop);
+        match self {
+            FaultShape::Clean => {}
+            FaultShape::Duplicate => link.dup_prob = 0.2,
+            FaultShape::Delay => link.max_extra_delay = 8,
+            FaultShape::Reorder => link.reorder_prob = 0.3,
+            FaultShape::Partition => {}
+        }
+        let plan = NetworkFaults::new(seed, link);
+        match self {
+            FaultShape::Partition => plan.with_partition(Partition {
+                side_a: vec![0],
+                start: 100,
+                heal: 1200,
+                mode: PartitionMode::Drop,
+            }),
+            _ => plan,
+        }
+    }
+}
+
+/// Outcome of one seeded chaos run (plus its fault-free baseline twin).
+#[derive(Debug, Clone)]
+pub struct ChaosRun {
+    /// Every honest process decided.
+    pub decided: bool,
+    /// Scheduler steps of the chaos run.
+    pub steps: u64,
+    /// Messages sent in the chaos run (protocol + acks + retransmissions).
+    pub messages: u64,
+    /// Messages sent by the fault-free baseline of the same seed.
+    pub baseline_messages: u64,
+    /// Safety alerts raised by the online monitor (acceptance bar: 0).
+    pub violations: usize,
+    /// Messages lost to link drops and partition cuts.
+    pub lost: u64,
+}
+
+fn build_engine(
+    inputs: &[VecD],
+    faulty_ids: &[usize],
+) -> AsyncEngine<ReliableLink<VerifiedAveraging>> {
+    let tol = Tol::default();
+    let config = SystemConfig::new(N, F).with_faulty(faulty_ids.to_vec());
+    let nodes: Vec<AsyncNode<ReliableLink<VerifiedAveraging>>> = (0..N)
+        .map(|i| {
+            let proto = VerifiedAveraging::new(
+                i,
+                N,
+                F,
+                inputs[i].clone(),
+                DeltaMode::MinDelta(Norm::L2),
+                ROUNDS,
+                tol,
+            );
+            if faulty_ids.contains(&i) {
+                // The adversary runs the protocol faithfully on an
+                // adversarially chosen input — the strongest strategy
+                // against validity — speaking the link layer natively.
+                AsyncNode::Byzantine(Box::new(ReliableLinkAdversary::new(
+                    HonestFacade(proto),
+                    N,
+                )))
+            } else {
+                AsyncNode::Honest(ReliableLink::with_defaults(proto, N))
+            }
+        })
+        .collect();
+    AsyncEngine::new(config, nodes)
+}
+
+/// Build the online monitor for a run: ε-agreement in L∞ between every
+/// decided pair, and validity as membership of the honest-input bounding
+/// box inflated by the Theorem 15 slack `κ·max-edge` (Byzantine inputs
+/// legitimately pull decisions up to δ* outside the honest hull).
+fn build_monitor(
+    inputs: &[VecD],
+    faulty_ids: &[usize],
+) -> SafetyMonitor<VecD> {
+    let honest: Vec<VecD> = (0..N)
+        .filter(|i| !faulty_ids.contains(i))
+        .map(|i| inputs[i].clone())
+        .collect();
+    let kappa = kappa_async(N, F, D, Norm::L2)
+        .expect("campaign regime is covered by Theorem 15")
+        .kappa;
+    let slack = kappa * workloads::max_edge(inputs) + 0.05;
+    let eps = 0.2;
+    let mut lo = vec![f64::INFINITY; D];
+    let mut hi = vec![f64::NEG_INFINITY; D];
+    for v in &honest {
+        for (c, x) in v.as_slice().iter().enumerate() {
+            lo[c] = lo[c].min(*x);
+            hi[c] = hi[c].max(*x);
+        }
+    }
+    SafetyMonitor::new(
+        N,
+        move |a: &VecD, b: &VecD| {
+            let dist = a.dist(b, Norm::LInf);
+            (dist > eps).then(|| format!("decisions {dist:.4} apart in L∞ (ε = {eps})"))
+        },
+        move |_pid, v: &VecD| {
+            for (c, x) in v.as_slice().iter().enumerate() {
+                if !x.is_finite() {
+                    return Some(format!("non-finite component {c}"));
+                }
+                if *x < lo[c] - slack || *x > hi[c] + slack {
+                    return Some(format!(
+                        "component {c} = {x:.4} outside [{:.4}, {:.4}]",
+                        lo[c] - slack,
+                        hi[c] + slack
+                    ));
+                }
+            }
+            None
+        },
+    )
+}
+
+/// Execute one seeded cell run: a fault-free baseline followed by the chaos
+/// run proper, both over identical inputs and scheduler seeds.
+#[must_use]
+pub fn run_one(shape: FaultShape, drop: f64, seed: u64) -> ChaosRun {
+    let mut r = rng(seed);
+    let honest = workloads::random_points(&mut r, N - F, D, 1.0);
+    let byz = workloads::random_points(&mut r, F, D, 3.0);
+    let (inputs, faulty_ids) = workloads::assemble_inputs(&honest, &byz);
+
+    // Baseline: same protocol stack, perfectly reliable network.
+    let mut baseline_engine = build_engine(&inputs, &faulty_ids);
+    let mut baseline_faults = NetworkFaults::reliable();
+    let baseline = baseline_engine.run_chaos(
+        &mut RandomScheduler::new(seed.wrapping_mul(31).wrapping_add(7)),
+        MAX_STEPS,
+        &mut baseline_faults,
+        None,
+    );
+    debug_assert!(baseline.all_decided, "baseline must decide (seed {seed})");
+
+    // Chaos run with the online monitor watching every decision.
+    let mut engine = build_engine(&inputs, &faulty_ids);
+    let mut faults = shape.faults(drop, seed.wrapping_mul(0x9e37_79b9).wrapping_add(1));
+    let mut monitor = build_monitor(&inputs, &faulty_ids);
+    let out = engine.run_chaos(
+        &mut RandomScheduler::new(seed.wrapping_mul(31).wrapping_add(7)),
+        MAX_STEPS,
+        &mut faults,
+        Some(&mut monitor),
+    );
+    ChaosRun {
+        decided: out.all_decided,
+        steps: out.steps,
+        messages: out.trace.messages_sent,
+        baseline_messages: baseline.trace.messages_sent,
+        violations: monitor.alerts().len(),
+        lost: faults.stats.total_lost(),
+    }
+}
+
+/// One aggregated campaign cell: a fault shape at a drop rate over many
+/// seeds.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ChaosRow {
+    /// Fault shape label.
+    pub shape: &'static str,
+    /// Link drop probability.
+    pub drop: f64,
+    /// Seeded runs executed.
+    pub runs: usize,
+    /// Runs in which every honest process decided.
+    pub decided: usize,
+    /// Total monitor alerts across the cell (acceptance bar: 0).
+    pub violations: usize,
+    /// Mean scheduler steps over decided runs.
+    pub mean_steps: f64,
+    /// Mean message overhead vs the fault-free baseline (1.0 = parity).
+    pub mean_overhead: f64,
+    /// Total messages lost to drops and partition cuts across the cell.
+    pub lost: u64,
+}
+
+/// Drop probabilities of the campaign grid.
+pub const DROPS: [f64; 3] = [0.0, 0.1, 0.3];
+
+/// Run the full campaign: every shape × drop cell over `seeds_per_cell`
+/// seeds starting at `base_seed`. `5 shapes × 3 drops × seeds` runs total
+/// (the acceptance campaign uses `seeds_per_cell = 14` → 210 runs).
+#[must_use]
+pub fn campaign(seeds_per_cell: usize, base_seed: u64) -> Vec<ChaosRow> {
+    let mut rows = Vec::new();
+    let mut next_seed = base_seed;
+    for shape in FaultShape::ALL {
+        for drop in DROPS {
+            let mut row = ChaosRow {
+                shape: shape.label(),
+                drop,
+                runs: seeds_per_cell,
+                decided: 0,
+                violations: 0,
+                mean_steps: 0.0,
+                mean_overhead: 0.0,
+                lost: 0,
+            };
+            let mut steps_sum = 0.0;
+            let mut overhead_sum = 0.0;
+            for _ in 0..seeds_per_cell {
+                let run = run_one(shape, drop, next_seed);
+                next_seed += 1;
+                if run.decided {
+                    row.decided += 1;
+                    steps_sum += run.steps as f64;
+                }
+                row.violations += run.violations;
+                row.lost += run.lost;
+                overhead_sum += run.messages as f64 / run.baseline_messages.max(1) as f64;
+            }
+            if row.decided > 0 {
+                row.mean_steps = steps_sum / row.decided as f64;
+            }
+            row.mean_overhead = overhead_sum / seeds_per_cell as f64;
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heavy_loss_cell_decides_cleanly() {
+        let run = run_one(FaultShape::Clean, 0.3, 5);
+        assert!(run.decided, "retransmission must restore liveness");
+        assert_eq!(run.violations, 0, "monitor must stay clean");
+        assert!(run.lost > 0, "a 30% drop rate must actually lose messages");
+        // Note: chaos runs can send *fewer* messages than the baseline —
+        // dropped deliveries never trigger Bracha echo/ready amplification —
+        // so overhead is reported, not asserted, here.
+        assert!(run.messages > 0 && run.baseline_messages > 0);
+    }
+
+    #[test]
+    fn partition_then_heal_recovers() {
+        let run = run_one(FaultShape::Partition, 0.1, 6);
+        assert!(run.decided, "the isolated process must catch up after heal");
+        assert_eq!(run.violations, 0);
+        assert!(run.lost > 0, "the partition must sever real traffic");
+    }
+
+    #[test]
+    fn runs_are_seed_deterministic() {
+        let a = run_one(FaultShape::Reorder, 0.1, 9);
+        let b = run_one(FaultShape::Reorder, 0.1, 9);
+        assert_eq!(a.steps, b.steps);
+        assert_eq!(a.messages, b.messages);
+        assert_eq!(a.lost, b.lost);
+        assert_eq!(a.decided, b.decided);
+    }
+}

@@ -9,9 +9,11 @@
 //! | [`conjecture_hunt`] | E14 | adversarial stress-search of Conjectures 1–2 |
 //! | [`tverberg`] | E10 | Section 8 (Tverberg tightness under relaxed hulls) |
 //! | [`asynchrony`] | E11, E13 | Theorem 15 / Conjecture 4, ε-convergence |
+//! | [`chaos`] | E16 | unreliable-network campaign (robustness, not a paper artifact) |
 
 pub mod asynchrony;
 pub mod broadcast_ablation;
+pub mod chaos;
 pub mod conjecture_hunt;
 pub mod counterex;
 pub mod lemmas;

@@ -22,9 +22,12 @@
 //! * [`counterexamples`] — the impossibility matrices of Theorems 3–6 and
 //!   the Figure 1 (Lemma 10) scenario analysis, with LP certificates.
 //! * [`runner`] — one-call experiment orchestration.
+//! * [`error`] — typed protocol/runner errors; malformed input degrades one
+//!   node instead of panicking the run.
 
 pub mod bounds;
 pub mod counterexamples;
+pub mod error;
 pub mod hull_consensus;
 pub mod problem;
 pub mod rules;
@@ -34,6 +37,7 @@ pub mod sync_protocols;
 pub mod verified_avg;
 
 pub use bounds::{exact_bvc_min_n, approx_bvc_min_n, kappa_l2, kappa_lp, kappa_async};
+pub use error::ProtocolError;
 pub use problem::{check_execution, Agreement, Validity, Verdict};
 pub use rules::DecisionRule;
 pub use sync_protocols::{ByzantineStrategy, SyncBvc};

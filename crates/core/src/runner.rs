@@ -3,7 +3,9 @@
 //! The experiment harness and the examples want a single entry point:
 //! "run this consensus problem with these inputs, this adversary, this
 //! schedule; give me the decisions, the verdict and the δ actually used".
-//! [`run_sync`] and [`run_async`] are those entry points.
+//! [`run_sync`] and [`run_async`] are those entry points; their fallible
+//! twins [`try_run_sync`] and [`try_run_async`] report malformed
+//! specifications as [`ProtocolError::InvalidSpec`] instead of panicking.
 
 use rbvc_linalg::{Tol, VecD};
 use rbvc_sim::asynch::{
@@ -15,6 +17,7 @@ use rbvc_sim::sync::{RoundEngine, SyncNode};
 use rbvc_sim::trace::ExecutionTrace;
 use serde::{Deserialize, Serialize};
 
+use crate::error::ProtocolError;
 use crate::problem::{check_execution, Agreement, Validity, Verdict};
 use crate::rules::DecisionRule;
 use crate::sync_protocols::{make_node, ByzantineStrategy, SyncBvc};
@@ -56,11 +59,60 @@ pub struct RunReport {
     pub trace: ExecutionTrace,
 }
 
+/// Shared structural validation for both run flavours.
+fn validate_common(
+    n: usize,
+    f: usize,
+    d: usize,
+    inputs: &[VecD],
+    adversary_ids: &[ProcessId],
+) -> Result<(), ProtocolError> {
+    let invalid = |reason: String| Err(ProtocolError::InvalidSpec { reason });
+    if n == 0 {
+        return invalid("n must be positive".into());
+    }
+    if inputs.len() != n {
+        return invalid(format!("{} inputs for n = {n} processes", inputs.len()));
+    }
+    if adversary_ids.len() > f {
+        return invalid(format!(
+            "{} adversaries placed but f = {f}",
+            adversary_ids.len()
+        ));
+    }
+    let mut seen: Vec<ProcessId> = Vec::new();
+    for &i in adversary_ids {
+        if i >= n {
+            return invalid(format!("adversary id {i} out of range (n = {n})"));
+        }
+        if seen.contains(&i) {
+            return invalid(format!("adversary id {i} placed twice"));
+        }
+        seen.push(i);
+    }
+    for (i, v) in inputs.iter().enumerate() {
+        if v.dim() != d {
+            return invalid(format!(
+                "input {i} has dimension {}, expected {d}",
+                v.dim()
+            ));
+        }
+        if !v.as_slice().iter().all(|x| x.is_finite()) {
+            return invalid(format!("input {i} has a non-finite component"));
+        }
+    }
+    Ok(())
+}
+
 /// Execute a synchronous broadcast-then-decide run and check it.
-#[must_use]
-pub fn run_sync(spec: &SyncSpec, tol: Tol) -> RunReport {
-    assert_eq!(spec.inputs.len(), spec.n, "one input per process");
+///
+/// # Errors
+/// Returns [`ProtocolError::InvalidSpec`] on inconsistent specifications
+/// (wrong input count, out-of-range or duplicated adversary ids, dimension
+/// mismatches, non-finite inputs) instead of panicking mid-run.
+pub fn try_run_sync(spec: &SyncSpec, tol: Tol) -> Result<RunReport, ProtocolError> {
     let faulty: Vec<ProcessId> = spec.adversaries.iter().map(|(i, _)| *i).collect();
+    validate_common(spec.n, spec.f, spec.d, &spec.inputs, &faulty)?;
     let config = SystemConfig::new(spec.n, spec.f).with_faulty(faulty);
     let nodes: Vec<SyncNode<SyncBvc>> = (0..spec.n)
         .map(|i| {
@@ -102,11 +154,26 @@ pub fn run_sync(spec: &SyncSpec, tol: Tol) -> RunReport {
             }
         }
     }
-    RunReport {
+    Ok(RunReport {
         decisions,
         verdict,
         delta_used,
         trace: out.trace,
+    })
+}
+
+/// Execute a synchronous run, panicking on malformed specifications.
+///
+/// Thin wrapper over [`try_run_sync`] for callers that construct specs
+/// programmatically and treat a bad spec as a bug.
+///
+/// # Panics
+/// Panics if the spec fails [`try_run_sync`] validation.
+#[must_use]
+pub fn run_sync(spec: &SyncSpec, tol: Tol) -> RunReport {
+    match try_run_sync(spec, tol) {
+        Ok(report) => report,
+        Err(e) => panic!("run_sync: {e}"),
     }
 }
 
@@ -205,10 +272,28 @@ pub struct AsyncSpec {
 }
 
 /// Execute an asynchronous Verified-Averaging run and check it.
-#[must_use]
-pub fn run_async(spec: &AsyncSpec, tol: Tol) -> RunReport {
-    assert_eq!(spec.inputs.len(), spec.n, "one input per process");
+///
+/// # Errors
+/// Returns [`ProtocolError::InvalidSpec`] on inconsistent specifications
+/// (wrong input count, `n ≤ 3f`, zero rounds, out-of-range adversary ids,
+/// dimension mismatches, non-finite inputs) instead of panicking mid-run.
+pub fn try_run_async(spec: &AsyncSpec, tol: Tol) -> Result<RunReport, ProtocolError> {
     let faulty: Vec<ProcessId> = spec.adversaries.iter().map(|(i, _)| *i).collect();
+    let d = spec.inputs.first().map_or(0, VecD::dim);
+    validate_common(spec.n, spec.f, d, &spec.inputs, &faulty)?;
+    if spec.n <= 3 * spec.f {
+        return Err(ProtocolError::InvalidSpec {
+            reason: format!(
+                "verified averaging requires n >= 3f + 1 (got n = {}, f = {})",
+                spec.n, spec.f
+            ),
+        });
+    }
+    if spec.rounds == 0 {
+        return Err(ProtocolError::InvalidSpec {
+            reason: "need at least one averaging round".into(),
+        });
+    }
     let config = SystemConfig::new(spec.n, spec.f).with_faulty(faulty);
     let nodes: Vec<AsyncNode<VerifiedAveraging>> = (0..spec.n)
         .map(|i| {
@@ -290,11 +375,26 @@ pub fn run_async(spec: &AsyncSpec, tol: Tol) -> RunReport {
             }
         }
     }
-    RunReport {
+    Ok(RunReport {
         decisions,
         verdict,
         delta_used,
         trace: out.trace,
+    })
+}
+
+/// Execute an asynchronous run, panicking on malformed specifications.
+///
+/// Thin wrapper over [`try_run_async`] for callers that construct specs
+/// programmatically and treat a bad spec as a bug.
+///
+/// # Panics
+/// Panics if the spec fails [`try_run_async`] validation.
+#[must_use]
+pub fn run_async(spec: &AsyncSpec, tol: Tol) -> RunReport {
+    match try_run_async(spec, tol) {
+        Ok(report) => report,
+        Err(e) => panic!("run_async: {e}"),
     }
 }
 
@@ -383,5 +483,75 @@ mod tests {
         let report = run_async(&spec, t());
         assert!(report.verdict.ok(), "{:?}", report.verdict);
         assert!(report.delta_used.is_some());
+    }
+
+    #[test]
+    fn malformed_specs_are_reported_not_panicked() {
+        let good = AsyncSpec {
+            n: 4,
+            f: 1,
+            mode: DeltaMode::MinDelta(Norm::L2),
+            rounds: 5,
+            inputs: (0..4).map(|i| VecD::from_slice(&[i as f64])).collect(),
+            adversaries: vec![],
+            scheduler: SchedulerSpec::Fifo,
+            max_steps: 1_000_000,
+            agreement: Agreement::Epsilon(1e-3),
+            validity: Validity::InputDependentDeltaP {
+                kappa: 1.0,
+                norm: Norm::L2,
+            },
+        };
+        assert!(try_run_async(&good, t()).is_ok());
+
+        let mut bad = good.clone();
+        bad.inputs.pop();
+        assert!(matches!(
+            try_run_async(&bad, t()),
+            Err(ProtocolError::InvalidSpec { .. })
+        ));
+
+        let mut bad = good.clone();
+        bad.inputs[2] = VecD::from_slice(&[f64::INFINITY]);
+        assert!(matches!(
+            try_run_async(&bad, t()),
+            Err(ProtocolError::InvalidSpec { .. })
+        ));
+
+        let mut bad = good.clone();
+        bad.adversaries = vec![(9, AsyncByzantine::Silent)];
+        assert!(matches!(
+            try_run_async(&bad, t()),
+            Err(ProtocolError::InvalidSpec { .. })
+        ));
+
+        let mut bad = good.clone();
+        bad.f = 2; // n = 4 <= 3f = 6
+        assert!(matches!(
+            try_run_async(&bad, t()),
+            Err(ProtocolError::InvalidSpec { .. })
+        ));
+
+        let mut bad = good.clone();
+        bad.rounds = 0;
+        assert!(matches!(
+            try_run_async(&bad, t()),
+            Err(ProtocolError::InvalidSpec { .. })
+        ));
+
+        let bad_sync = SyncSpec {
+            n: 4,
+            f: 1,
+            d: 2,
+            rule: DecisionRule::GammaPoint,
+            inputs: vec![VecD::zeros(2); 3], // 3 inputs for 4 processes
+            adversaries: vec![],
+            agreement: Agreement::Exact,
+            validity: Validity::Exact,
+        };
+        assert!(matches!(
+            try_run_sync(&bad_sync, t()),
+            Err(ProtocolError::InvalidSpec { .. })
+        ));
     }
 }

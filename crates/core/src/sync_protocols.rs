@@ -13,7 +13,7 @@
 
 use rbvc_linalg::{Tol, VecD};
 use rbvc_sim::config::ProcessId;
-use rbvc_sim::eig::{LyingRelay, ParallelEig, ParallelEigMsg, TwoFacedSender};
+use rbvc_sim::eig::{EigMsg, LyingRelay, ParallelEig, ParallelEigMsg, TwoFacedSender};
 use rbvc_sim::sync::{SilentAdversary, SyncAdversary, SyncNode, SyncProtocol};
 
 use crate::rules::{Decision, DecisionRule};
@@ -22,7 +22,9 @@ use crate::rules::{Decision, DecisionRule};
 pub struct SyncBvc {
     eig: ParallelEig<VecD>,
     rule: DecisionRule,
+    n: usize,
     f: usize,
+    d: usize,
     tol: Tol,
     decision: Option<Decision>,
 }
@@ -47,10 +49,18 @@ impl SyncBvc {
         SyncBvc {
             eig: ParallelEig::new(id, n, f, input, VecD::zeros(d)),
             rule,
+            n,
             f,
+            d,
             tol,
             decision: None,
         }
+    }
+
+    /// True iff `v` is a well-formed payload for this run: the right
+    /// dimension and every component finite.
+    fn value_ok(&self, v: &VecD) -> bool {
+        v.dim() == self.d && v.as_slice().iter().all(|x| x.is_finite())
     }
 
     /// The full decision record (value + δ used), once decided.
@@ -75,7 +85,30 @@ impl SyncProtocol for SyncBvc {
     }
 
     fn receive(&mut self, round: usize, inbox: &[(ProcessId, Self::Msg)]) {
-        self.eig.receive(round, inbox);
+        // Receive-boundary sanitization: the EIG layer is payload-agnostic,
+        // so ghost senders, ghost instance origins and values that are not
+        // finite `d`-vectors are dropped here, before they can poison the
+        // shared multiset or panic a decision rule downstream.
+        let sane: Vec<(ProcessId, Self::Msg)> = inbox
+            .iter()
+            .filter(|(from, _)| *from < self.n)
+            .map(|(from, msg)| {
+                let msg: Self::Msg = msg
+                    .iter()
+                    .filter(|(origin, _)| *origin < self.n)
+                    .map(|(origin, batch)| {
+                        let batch: EigMsg<VecD> = batch
+                            .iter()
+                            .filter(|(_, v)| self.value_ok(v))
+                            .cloned()
+                            .collect();
+                        (*origin, batch)
+                    })
+                    .collect();
+                (*from, msg)
+            })
+            .collect();
+        self.eig.receive(round, &sane);
         if self.decision.is_none() {
             if let Some(s) = self.eig.output() {
                 self.decision = Some(self.rule.decide(&s, self.f, self.tol));
@@ -355,6 +388,42 @@ mod tests {
             t(),
         );
         assert!(v.ok());
+    }
+
+    #[test]
+    fn non_finite_payloads_cannot_poison_the_run() {
+        // A lying relay that injects NaN/∞ vectors: the receive boundary
+        // must drop them (they would otherwise defeat every trimming rule,
+        // since NaN comparisons are all false) and the run must still
+        // satisfy exact agreement + validity.
+        let (n, f, d) = (5, 1, 2);
+        let inputs: Vec<VecD> = (0..n)
+            .map(|i| VecD::from_slice(&[i as f64, 1.0]))
+            .collect();
+        let byz = vec![(
+            4,
+            ByzantineStrategy::LyingRelay {
+                input: VecD::from_slice(&[2.0, 1.0]),
+                corrupt: VecD::from_slice(&[f64::NAN, f64::INFINITY]),
+            },
+        )];
+        let (decisions, correct) = run(n, f, d, &inputs, &byz, DecisionRule::GammaPoint);
+        let correct_decisions: Vec<Option<VecD>> =
+            (0..4).map(|i| decisions[i].clone()).collect();
+        for dec in correct_decisions.iter().flatten() {
+            assert!(
+                dec.as_slice().iter().all(|x| x.is_finite()),
+                "a NaN leaked into a decision: {dec}"
+            );
+        }
+        let v = check_execution(
+            &correct,
+            &correct_decisions,
+            Agreement::Exact,
+            &Validity::Exact,
+            t(),
+        );
+        assert!(v.ok(), "NaN-flooding relay broke the protocol: {v:?}");
     }
 
     #[test]

@@ -26,6 +26,7 @@
 
 use std::collections::HashMap;
 
+use crate::error::ProtocolError;
 use rbvc_geometry::minmax::{delta_star, MinMaxOptions};
 use rbvc_geometry::gamma_point;
 use rbvc_linalg::{Norm, Tol, VecD};
@@ -84,6 +85,9 @@ pub struct VerifiedAveraging {
     decided: Option<VecD>,
     /// δ used by this process's own round-0 combining (experiment metric).
     round0_delta: Option<f64>,
+    /// Most recent combining failure; the node stays undecided instead of
+    /// panicking the whole run, and clears this if a later attempt succeeds.
+    last_error: Option<ProtocolError>,
 }
 
 impl VerifiedAveraging {
@@ -117,6 +121,7 @@ impl VerifiedAveraging {
             my_round: 0,
             decided: None,
             round0_delta: None,
+            last_error: None,
         }
     }
 
@@ -125,6 +130,13 @@ impl VerifiedAveraging {
     #[must_use]
     pub fn round0_delta(&self) -> Option<f64> {
         self.round0_delta
+    }
+
+    /// The most recent combining error, if the node is degraded (e.g. Γ(X)
+    /// came up empty under `DeltaMode::Zero`). `None` for healthy nodes.
+    #[must_use]
+    pub fn last_error(&self) -> Option<&ProtocolError> {
+        self.last_error.as_ref()
     }
 
     fn instance(&mut self, tag: RoundTag) -> &mut BrachaInstance<RoundState> {
@@ -151,17 +163,21 @@ impl VerifiedAveraging {
     }
 
     /// Apply the round-0 combining rule to an ordered multiset of values.
-    fn combine_round0(&self, values: &[VecD]) -> (VecD, f64) {
+    ///
+    /// Fails (instead of panicking) when `Γ(X)` is empty in
+    /// `DeltaMode::Zero` — which Byzantine inputs can provoke whenever the
+    /// run violates `n ≥ (d+2)f + 1`.
+    fn combine_round0(&self, values: &[VecD]) -> Result<(VecD, f64), ProtocolError> {
         match self.mode {
-            DeltaMode::Zero => {
-                let point = gamma_point(values, self.f, self.tol).expect(
-                    "Γ(X) empty in DeltaMode::Zero: run needs n >= (d+2)f + 1",
-                );
-                (point, 0.0)
-            }
+            DeltaMode::Zero => gamma_point(values, self.f, self.tol)
+                .map(|point| (point, 0.0))
+                .ok_or(ProtocolError::EmptyIntersection {
+                    round: 0,
+                    mode: "Γ(X) in DeltaMode::Zero",
+                }),
             DeltaMode::MinDelta(norm) => {
                 let ds = delta_star(values, self.f, norm, self.tol, MinMaxOptions::default());
-                (ds.witness, ds.delta)
+                Ok((ds.witness, ds.delta))
             }
         }
     }
@@ -221,11 +237,45 @@ impl VerifiedAveraging {
         // Recompute the arithmetic.
         let values: Vec<VecD> = state.witness.iter().map(|(_, v)| v.clone()).collect();
         let expected = if round == 1 {
-            self.combine_round0(&values).0
+            match self.combine_round0(&values) {
+                Ok((v, _)) => v,
+                // A witness set whose combination is undefined cannot back
+                // an honest state: certain rejection, never a panic.
+                Err(_) => return Some(false),
+            }
         } else {
             Self::combine_average(&values)
         };
         Some(expected.approx_eq(&state.value, self.verify_tol()))
+    }
+
+    /// Receive-boundary payload validation: dimension match against our own
+    /// input, finite components everywhere, and a sane witness set. A
+    /// payload failing this never reaches the Bracha instance, so a single
+    /// poisoned message costs its sender influence — nothing else.
+    fn payload_ok(&self, state: &RoundState) -> Result<(), &'static str> {
+        let d = self.input.dim();
+        if state.value.dim() != d {
+            return Err("value dimension mismatch");
+        }
+        if !state.value.as_slice().iter().all(|x| x.is_finite()) {
+            return Err("non-finite value component");
+        }
+        if state.witness.len() > self.n {
+            return Err("witness larger than the process set");
+        }
+        for (pid, v) in &state.witness {
+            if *pid >= self.n {
+                return Err("out-of-range witness id");
+            }
+            if v.dim() != d {
+                return Err("witness dimension mismatch");
+            }
+            if !v.as_slice().iter().all(|x| x.is_finite()) {
+                return Err("non-finite witness component");
+            }
+        }
+        Ok(())
     }
 
     fn verify_tol(&self) -> Tol {
@@ -288,9 +338,20 @@ impl VerifiedAveraging {
         let witness: Vec<(ProcessId, VecD)> = list.clone();
         let values: Vec<VecD> = witness.iter().map(|(_, v)| v.clone()).collect();
         let next_value = if t == 0 {
-            let (v, delta) = self.combine_round0(&values);
-            self.round0_delta = Some(delta);
-            v
+            match self.combine_round0(&values) {
+                Ok((v, delta)) => {
+                    self.round0_delta = Some(delta);
+                    self.last_error = None;
+                    v
+                }
+                Err(e) => {
+                    // Degrade this one node: it stays undecided (and may
+                    // retry as more verified states arrive) instead of
+                    // tearing down the whole run.
+                    self.last_error = Some(e);
+                    return false;
+                }
+            }
         } else {
             Self::combine_average(&values)
         };
@@ -331,8 +392,17 @@ impl AsyncProtocol for VerifiedAveraging {
 
     fn on_message(&mut self, from: ProcessId, msg: VaMsg) -> Vec<(ProcessId, VaMsg)> {
         let (tag, bmsg) = msg;
-        // Bound rounds to keep a Byzantine flood from allocating unboundedly.
-        if tag.1 > self.total_rounds || tag.0 >= self.n {
+        // Bound rounds to keep a Byzantine flood from allocating unboundedly;
+        // reject ghost senders and ghost origins outright.
+        if from >= self.n || tag.1 > self.total_rounds || tag.0 >= self.n {
+            return Vec::new();
+        }
+        // Receive-boundary payload validation before the broadcast substrate
+        // ever sees the message.
+        let payload = match &bmsg {
+            BrachaMsg::Init(s) | BrachaMsg::Echo(s) | BrachaMsg::Ready(s) => s,
+        };
+        if self.payload_ok(payload).is_err() {
             return Vec::new();
         }
         let mut out = Vec::new();
@@ -795,5 +865,108 @@ mod tests {
             d15 < d5 / 4.0 || d15 < 1e-9,
             "averaging failed to contract: 5 rounds → {d5}, 15 rounds → {d15}"
         );
+    }
+
+    #[test]
+    fn malformed_payloads_are_dropped_at_the_receive_boundary() {
+        // NaN components, wrong dimension, ghost witness ids, ghost senders:
+        // each must be discarded without panicking or polluting state, and
+        // the node must still decide with the honest majority afterwards.
+        let inputs: Vec<VecD> = (0..4)
+            .map(|i| VecD::from_slice(&[i as f64, 1.0]))
+            .collect();
+        let setup = Setup {
+            n: 4,
+            f: 1,
+            inputs: inputs.clone(),
+            mode: DeltaMode::MinDelta(Norm::L2),
+            rounds: 5,
+        };
+        let mut node = VerifiedAveraging::new(0, 4, 1, inputs[0].clone(), setup.mode, 5, t());
+        let _ = node.on_start();
+        let poison = |state: RoundState| ((3usize, 0usize), BrachaMsg::Init(state));
+        // Non-finite component.
+        let r = node.on_message(
+            3,
+            poison(RoundState {
+                value: VecD::from_slice(&[f64::NAN, 0.0]),
+                witness: vec![],
+            }),
+        );
+        assert!(r.is_empty(), "NaN payload must be dropped silently");
+        // Dimension mismatch.
+        let r = node.on_message(
+            3,
+            poison(RoundState {
+                value: VecD::from_slice(&[1.0, 2.0, 3.0]),
+                witness: vec![],
+            }),
+        );
+        assert!(r.is_empty(), "wrong-dimension payload must be dropped");
+        // Out-of-range witness id.
+        let r = node.on_message(
+            3,
+            poison(RoundState {
+                value: VecD::from_slice(&[1.0, 1.0]),
+                witness: vec![(99, VecD::from_slice(&[1.0, 1.0]))],
+            }),
+        );
+        assert!(r.is_empty(), "ghost-witness payload must be dropped");
+        // Ghost sender id.
+        let r = node.on_message(
+            42,
+            poison(RoundState {
+                value: VecD::from_slice(&[1.0, 1.0]),
+                witness: vec![],
+            }),
+        );
+        assert!(r.is_empty(), "ghost-sender message must be dropped");
+        // Nothing reached the broadcast substrate or the delivered record.
+        assert!(node.delivered.is_empty());
+        assert!(node.last_error().is_none());
+        // The node is not wedged: a full run with the same shape decides.
+        let (_, mut engine) = build(&setup, vec![]);
+        let out = engine.run(&mut FifoScheduler, 2_000_000);
+        assert!(out.all_decided);
+    }
+
+    #[test]
+    fn empty_gamma_degrades_node_instead_of_panicking() {
+        // d = 3, f = 1, n = 4 < (d+2)f + 1 = 6 with DeltaMode::Zero: Γ(X)
+        // over |X| = 3 values is empty whenever the values are affinely
+        // independent. The old code panicked; now every node must stay
+        // undecided and report the error.
+        let inputs: Vec<VecD> = vec![
+            VecD::from_slice(&[0.0, 0.0, 0.0]),
+            VecD::from_slice(&[1.0, 0.0, 0.0]),
+            VecD::from_slice(&[0.0, 1.0, 0.0]),
+            VecD::from_slice(&[0.0, 0.0, 1.0]),
+        ];
+        let setup = Setup {
+            n: 4,
+            f: 1,
+            inputs,
+            mode: DeltaMode::Zero,
+            rounds: 3,
+        };
+        let (_, mut engine) = build(&setup, vec![]);
+        let out = engine.run(&mut FifoScheduler, 2_000_000);
+        assert!(
+            !out.all_decided,
+            "Γ(X) cannot be nonempty below the Theorem 2 bound"
+        );
+        assert!(out.decisions.iter().all(|d| d.is_none()));
+        let errs = engine
+            .nodes()
+            .iter()
+            .filter(|node| match node {
+                AsyncNode::Honest(p) => matches!(
+                    p.last_error(),
+                    Some(ProtocolError::EmptyIntersection { .. })
+                ),
+                AsyncNode::Byzantine(_) => false,
+            })
+            .count();
+        assert!(errs > 0, "degraded nodes must report EmptyIntersection");
     }
 }

@@ -11,7 +11,18 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{ProcessId, SystemConfig};
+use crate::monitor::SafetyMonitor;
+use crate::net::NetworkFaults;
 use crate::trace::ExecutionTrace;
+
+/// Steps between [`AsyncProtocol::on_tick`] rounds in chaos runs.
+pub const TICK_INTERVAL: u64 = 16;
+
+/// Consecutive idle (nothing deliverable, nothing pending) steps after which
+/// a chaos run is declared dead. Chosen to exceed the largest
+/// [`crate::net::ReliableLink`] backoff cap times [`TICK_INTERVAL`], so a
+/// live retransmission loop is never mistaken for a dead network.
+pub const MAX_IDLE_TICKS: u64 = 4096;
 
 /// An honest asynchronous protocol: reacts to message deliveries.
 pub trait AsyncProtocol {
@@ -25,6 +36,15 @@ pub trait AsyncProtocol {
 
     /// React to a delivered message; return new sends.
     fn on_message(&mut self, from: ProcessId, msg: Self::Msg) -> Vec<(ProcessId, Self::Msg)>;
+
+    /// Timer callback: chaos runs ([`AsyncEngine::run_chaos`] and the
+    /// threaded chaos runtime) invoke this periodically so protocols can
+    /// drive retransmission and other timeouts. Purely delivery-driven
+    /// protocols keep the default no-op; [`crate::net::ReliableLink`]
+    /// overrides it to retransmit unacked messages.
+    fn on_tick(&mut self) -> Vec<(ProcessId, Self::Msg)> {
+        Vec::new()
+    }
 
     /// The decision, once reached. A decided process may keep participating
     /// (required by ε-agreement protocols that help laggards converge).
@@ -209,6 +229,33 @@ struct Envelope<M> {
     dst: ProcessId,
     msg: M,
     born: u64,
+    /// Earliest step at which the network makes this envelope deliverable
+    /// (equals `born` on reliable links; later under injected delay).
+    available_from: u64,
+}
+
+/// Route one protocol send through the fault layer: each surviving copy
+/// becomes an envelope available at `now + delay`. Counted once as sent
+/// regardless of duplication (copies are network artifacts, not sends).
+fn route_send<M: Clone>(
+    pending: &mut Vec<Envelope<M>>,
+    trace: &mut ExecutionTrace,
+    faults: &mut NetworkFaults,
+    src: ProcessId,
+    dst: ProcessId,
+    msg: M,
+    now: u64,
+) {
+    trace.record_message();
+    for delay in faults.route(src, dst, now) {
+        pending.push(Envelope {
+            src,
+            dst,
+            msg: msg.clone(),
+            born: now,
+            available_from: now + delay,
+        });
+    }
 }
 
 /// Outcome of an asynchronous execution.
@@ -255,6 +302,13 @@ impl<P: AsyncProtocol> AsyncEngine<P> {
         }
     }
 
+    /// Read access to the per-process nodes, for post-run inspection (e.g.
+    /// harvesting per-node degradation errors or protocol metrics).
+    #[must_use]
+    pub fn nodes(&self) -> &[AsyncNode<P>] {
+        &self.nodes
+    }
+
     /// Run under `scheduler` for at most `max_steps` deliveries.
     pub fn run(&mut self, scheduler: &mut dyn Scheduler, max_steps: u64) -> AsyncOutcome<P::Output> {
         let n = self.config.n;
@@ -276,6 +330,7 @@ impl<P: AsyncProtocol> AsyncEngine<P> {
                     dst,
                     msg,
                     born: now,
+                    available_from: now,
                 });
             }
         }
@@ -314,7 +369,154 @@ impl<P: AsyncProtocol> AsyncEngine<P> {
                     dst,
                     msg,
                     born: now,
+                    available_from: now,
                 });
+            }
+            all_decided = self.all_honest_decided();
+        }
+
+        let decisions = self
+            .nodes
+            .iter()
+            .map(|node| match node {
+                AsyncNode::Honest(p) => p.output(),
+                AsyncNode::Byzantine(_) => None,
+            })
+            .collect();
+        AsyncOutcome {
+            decisions,
+            steps: now,
+            trace,
+            all_decided,
+        }
+    }
+
+    /// Run under `scheduler` with link faults injected by `faults`, for at
+    /// most `max_steps` engine steps.
+    ///
+    /// Differences from [`AsyncEngine::run`]:
+    ///
+    /// * every send is routed through [`NetworkFaults::route`], which may
+    ///   drop it, duplicate it, or delay its availability;
+    /// * the engine clock advances every step even when nothing is
+    ///   deliverable yet (idle time in front of a delayed/held envelope);
+    /// * [`AsyncProtocol::on_tick`] fires on every honest node once per
+    ///   [`TICK_INTERVAL`] steps, driving retransmission timers;
+    /// * if `monitor` is given, every fresh decision is fed to it the step
+    ///   it appears, so violations are flagged online;
+    /// * the run ends early if traffic dies out completely (no pending
+    ///   envelopes and [`MAX_IDLE_TICKS`] consecutive unproductive steps) —
+    ///   the signature of un-recovered message loss.
+    ///
+    /// With `NetworkFaults::reliable()` this reproduces `run` exactly
+    /// (same delivery sequence, no extra RNG draws).
+    pub fn run_chaos(
+        &mut self,
+        scheduler: &mut dyn Scheduler,
+        max_steps: u64,
+        faults: &mut NetworkFaults,
+        mut monitor: Option<&mut SafetyMonitor<P::Output>>,
+    ) -> AsyncOutcome<P::Output>
+    where
+        P::Output: PartialEq,
+    {
+        let n = self.config.n;
+        let mut pending: Vec<Envelope<P::Msg>> = Vec::new();
+        let mut trace = ExecutionTrace::default();
+        let mut now: u64 = 0;
+        let mut reported = vec![false; n];
+
+        for (src, node) in self.nodes.iter_mut().enumerate() {
+            let sends = match node {
+                AsyncNode::Honest(p) => p.on_start(),
+                AsyncNode::Byzantine(a) => a.on_start(),
+            };
+            for (dst, msg) in sends {
+                assert!(dst < n, "message to nonexistent process {dst}");
+                route_send(&mut pending, &mut trace, faults, src, dst, msg, now);
+            }
+        }
+
+        let mut all_decided = self.all_honest_decided();
+        let mut idle_steps: u64 = 0;
+        while now < max_steps && !all_decided {
+            // Timer phase: drive retransmission/timeout logic.
+            if now.is_multiple_of(TICK_INTERVAL) {
+                for src in 0..n {
+                    let sends = match &mut self.nodes[src] {
+                        AsyncNode::Honest(p) => p.on_tick(),
+                        AsyncNode::Byzantine(_) => Vec::new(),
+                    };
+                    for (dst, msg) in sends {
+                        assert!(dst < n, "message to nonexistent process {dst}");
+                        route_send(&mut pending, &mut trace, faults, src, dst, msg, now);
+                    }
+                }
+            }
+
+            // Delivery phase: the scheduler chooses among *available*
+            // envelopes only; delayed ones stay invisible until due.
+            let available: Vec<usize> = pending
+                .iter()
+                .enumerate()
+                .filter(|(_, e)| e.available_from <= now)
+                .map(|(i, _)| i)
+                .collect();
+            if available.is_empty() {
+                idle_steps += 1;
+                if pending.is_empty() && idle_steps > MAX_IDLE_TICKS {
+                    break; // traffic died out; loss was never recovered
+                }
+                now += 1;
+                continue;
+            }
+            idle_steps = 0;
+
+            let metas: Vec<EnvelopeMeta> = available
+                .iter()
+                .map(|&i| {
+                    let e = &pending[i];
+                    EnvelopeMeta {
+                        src: e.src,
+                        dst: e.dst,
+                        age: now - e.born,
+                    }
+                })
+                .collect();
+            let overdue = metas.iter().position(|m| m.age >= self.age_cap);
+            let picked = overdue.unwrap_or_else(|| {
+                let picked = scheduler.pick(&metas);
+                assert!(picked < metas.len(), "scheduler picked out of range");
+                picked
+            });
+            let env = pending.swap_remove(available[picked]);
+            trace.record_delivery();
+            trace.record_round();
+            now += 1;
+
+            let sends = match &mut self.nodes[env.dst] {
+                AsyncNode::Honest(p) => p.on_message(env.src, env.msg),
+                AsyncNode::Byzantine(a) => a.on_message(env.src, env.msg),
+            };
+            for (dst, msg) in sends {
+                assert!(dst < n, "message to nonexistent process {dst}");
+                route_send(&mut pending, &mut trace, faults, env.dst, dst, msg, now);
+            }
+
+            // Online safety check: feed fresh decisions to the monitor the
+            // step they appear.
+            if let Some(mon) = monitor.as_deref_mut() {
+                for (id, node) in self.nodes.iter().enumerate() {
+                    if reported[id] {
+                        continue;
+                    }
+                    if let AsyncNode::Honest(p) = node {
+                        if let Some(out) = p.output() {
+                            reported[id] = true;
+                            mon.observe(id, &out);
+                        }
+                    }
+                }
             }
             all_decided = self.all_honest_decided();
         }
@@ -511,5 +713,102 @@ mod tests {
         let mut engine = build(4, 1, vec![2], 4); // will stall
         let out = engine.run(&mut FifoScheduler, 17);
         assert!(out.steps <= 17);
+    }
+
+    #[test]
+    fn chaos_with_reliable_network_matches_plain_run() {
+        let plain = build(4, 1, vec![], 4).run(&mut FifoScheduler, 10_000);
+        let mut engine = build(4, 1, vec![], 4);
+        let mut faults = NetworkFaults::reliable();
+        let out = engine.run_chaos(&mut FifoScheduler, 10_000, &mut faults, None);
+        assert!(out.all_decided);
+        assert_eq!(out.decisions, plain.decisions);
+        assert_eq!(faults.stats.total_lost(), 0);
+    }
+
+    fn build_reliable_link(
+        n: usize,
+        quorum: usize,
+    ) -> AsyncEngine<crate::net::ReliableLink<QuorumSum>> {
+        let config = SystemConfig::new(n, 0);
+        let nodes = (0..n)
+            .map(|i| {
+                AsyncNode::Honest(crate::net::ReliableLink::with_defaults(
+                    QuorumSum::new(i, n, quorum, i as i64),
+                    n,
+                ))
+            })
+            .collect();
+        AsyncEngine::new(config, nodes)
+    }
+
+    #[test]
+    fn reliable_link_restores_liveness_under_heavy_loss() {
+        // Raw QuorumSum waiting for all n values dies under 30% loss; the
+        // ReliableLink wrapper re-earns the reliable-channel guarantee, so
+        // every process must still decide the full sum — and the online
+        // monitor must stay clean.
+        let expected: i64 = (0..4).sum();
+        for seed in 0..5u64 {
+            let fault = crate::net::LinkFault {
+                drop_prob: 0.3,
+                dup_prob: 0.2,
+                max_extra_delay: 5,
+                reorder_prob: 0.1,
+            };
+            let mut faults = NetworkFaults::new(seed, fault);
+            let mut monitor = SafetyMonitor::agreement_only(4, |a: &i64, b: &i64| {
+                (a != b).then(|| format!("{a} != {b}"))
+            });
+            let mut engine = build_reliable_link(4, 4);
+            let out = engine.run_chaos(
+                &mut RandomScheduler::new(seed * 13 + 1),
+                500_000,
+                &mut faults,
+                Some(&mut monitor),
+            );
+            assert!(out.all_decided, "seed {seed}: loss not recovered");
+            assert!(
+                faults.stats.dropped > 0,
+                "seed {seed}: chaos plan injected no loss — test is vacuous"
+            );
+            for d in &out.decisions {
+                assert_eq!(*d, Some(expected), "seed {seed}");
+            }
+            assert!(monitor.clean(), "seed {seed}: {:?}", monitor.alerts());
+        }
+    }
+
+    #[test]
+    fn retransmission_recovers_from_partition_then_heal() {
+        let expected: i64 = (0..4).sum();
+        let mut faults = NetworkFaults::new(3, crate::net::LinkFault::reliable())
+            .with_partition(crate::net::Partition {
+                side_a: vec![0, 1],
+                start: 0,
+                heal: 2_000,
+                mode: crate::net::PartitionMode::Drop,
+            });
+        let mut engine = build_reliable_link(4, 4);
+        let out = engine.run_chaos(&mut FifoScheduler, 500_000, &mut faults, None);
+        assert!(
+            out.all_decided,
+            "cross-partition messages must be retransmitted after heal"
+        );
+        assert!(faults.stats.partition_dropped > 0, "partition never severed");
+        for d in &out.decisions {
+            assert_eq!(*d, Some(expected));
+        }
+    }
+
+    #[test]
+    fn unrecovered_total_loss_terminates_early() {
+        // 100% loss and no retransmission: the run must detect that traffic
+        // died and stop well before max_steps.
+        let mut engine = build(4, 1, vec![], 4);
+        let mut faults = NetworkFaults::new(1, crate::net::LinkFault::lossy(1.0));
+        let out = engine.run_chaos(&mut FifoScheduler, 100_000_000, &mut faults, None);
+        assert!(!out.all_decided);
+        assert!(out.steps < 100_000, "dead network should end early");
     }
 }

@@ -101,6 +101,12 @@ impl<V: Clone + PartialEq> BrachaInstance<V> {
             broadcast: Vec::new(),
             delivered: None,
         };
+        // Receive-boundary hardening: a message claiming an out-of-range
+        // sender or broadcaster id is malformed by construction (no such
+        // process exists) and must not touch the tallies.
+        if from >= self.n || broadcaster >= self.n {
+            return actions;
+        }
         match msg {
             BrachaMsg::Init(v) => {
                 // Only the broadcaster's own INIT counts.
@@ -143,16 +149,27 @@ type Tallies<V> = Vec<(V, Vec<ProcessId>)>;
 
 /// Record `sender` as having voted for `value`; return the updated count of
 /// distinct senders for that value.
+///
+/// One vote per sender, across *all* values: an honest process sends at
+/// most one ECHO and one READY per instance, so only equivocators are
+/// affected — and crediting an equivocator's first value only weakens it.
+/// The side effect is a hard memory bound: the tally holds at most one
+/// entry per process, so a Byzantine value-flood (a fresh value in every
+/// message) cannot grow state without bound.
 fn record<V: Clone + PartialEq>(
     tallies: &mut Tallies<V>,
     value: &V,
     sender: ProcessId,
 ) -> usize {
+    let already_voted = tallies.iter().any(|(_, senders)| senders.contains(&sender));
     if let Some((_, senders)) = tallies.iter_mut().find(|(v, _)| v == value) {
-        if !senders.contains(&sender) {
+        if !already_voted {
             senders.push(sender);
         }
         return senders.len();
+    }
+    if already_voted {
+        return 0;
     }
     tallies.push((value.clone(), vec![sender]));
     1
@@ -267,6 +284,47 @@ mod tests {
         // Delivery happens at most once.
         let a = inst.on_message(0, 0, BrachaMsg::Ready(3));
         assert!(a.delivered.is_none());
+    }
+
+    #[test]
+    fn out_of_range_sender_is_rejected() {
+        let mut inst = BrachaInstance::new(4, 1);
+        for bogus in [4usize, 7, usize::MAX] {
+            let a = inst.on_message(bogus, 0, BrachaMsg::Echo(9));
+            assert!(a.broadcast.is_empty());
+        }
+        assert!(inst.echoes.is_empty(), "malformed senders must not tally");
+        let a = inst.on_message(0, 9, BrachaMsg::Init(9));
+        assert!(a.broadcast.is_empty(), "out-of-range broadcaster rejected");
+    }
+
+    #[test]
+    fn value_flood_from_one_sender_is_memory_bounded() {
+        // A Byzantine sender spraying a fresh value per message used to
+        // allocate a tally entry each time; now only its first vote lands.
+        let mut inst = BrachaInstance::new(4, 1);
+        for v in 0..1000i64 {
+            let _ = inst.on_message(1, 0, BrachaMsg::Echo(v));
+        }
+        assert_eq!(inst.echoes.len(), 1, "one entry per sender, ever");
+        // The flood must not have poisoned quorum progress for the honest
+        // value: three *other* senders still reach the echo quorum.
+        let _ = inst.on_message(0, 0, BrachaMsg::Echo(7));
+        let _ = inst.on_message(2, 0, BrachaMsg::Echo(7));
+        let a = inst.on_message(3, 0, BrachaMsg::Echo(7));
+        assert_eq!(a.broadcast, vec![BrachaMsg::Ready(7)]);
+    }
+
+    #[test]
+    fn equivocating_sender_gets_only_first_vote() {
+        let mut inst = BrachaInstance::new(4, 1);
+        let _ = inst.on_message(1, 0, BrachaMsg::Ready(1));
+        let _ = inst.on_message(1, 0, BrachaMsg::Ready(2));
+        let _ = inst.on_message(2, 0, BrachaMsg::Ready(2));
+        // Sender 1's vote for 2 was discarded (it voted 1 first), so value
+        // 2 has a single distinct voter — below the f+1 amplification bar.
+        let a = inst.on_message(2, 0, BrachaMsg::Ready(2));
+        assert!(a.broadcast.is_empty());
     }
 
     #[test]

@@ -224,14 +224,23 @@ impl<V: Clone + PartialEq> SyncProtocol for DolevStrong<V> {
             return;
         }
         for (from, chains) in inbox {
+            if *from >= self.n {
+                continue; // no such process: malformed wire sender
+            }
             for chain in chains {
+                // Receive-boundary hardening: every signer must be a real
+                // process id. A "ghost" signer (id ≥ n) would otherwise
+                // count toward the chain length, letting an adversary
+                // fabricate arbitrarily long chains without n distinct
+                // compromised processes.
+                let ids_ok = chain.sigs.iter().all(|s| s.signer < self.n);
                 // The last signature must belong to the wire sender (except
                 // round 0, where the chain has only the sender's signature).
                 let last_ok = chain
                     .sigs
                     .last()
                     .is_some_and(|s| s.signer == *from);
-                if last_ok && chain.valid(self.sender, round) {
+                if ids_ok && last_ok && chain.valid(self.sender, round) {
                     self.extract(chain);
                 }
             }
@@ -574,6 +583,37 @@ mod tests {
         assert!(ok.valid(0, 1));
         // Wrong round (length mismatch) fails.
         assert!(!ok.valid(0, 0));
+    }
+
+    #[test]
+    fn ghost_signers_are_rejected_at_receive() {
+        // A chain padded with a signature from a nonexistent process id
+        // must not be extracted, even though it is internally consistent.
+        let (n, f) = (4, 1);
+        let mut inst = DolevStrong::new(Authenticator::new(1), n, f, 0, None, i64::MIN);
+        let ghost = SignedChain {
+            value: 5,
+            sigs: vec![
+                Signature { signer: 0, payload: 5 },
+                Signature { signer: 99, payload: 5 },
+            ],
+        };
+        assert!(ghost.valid(0, 1), "chain is internally consistent");
+        inst.receive(1, &[(3, vec![ghost.clone()])]);
+        assert!(inst.extracted.is_empty(), "ghost signer must be rejected");
+        // Out-of-range wire sender: whole message ignored.
+        let fine = SignedChain {
+            value: 5,
+            sigs: vec![
+                Signature { signer: 0, payload: 5 },
+                Signature { signer: 3, payload: 5 },
+            ],
+        };
+        inst.receive(1, &[(42, vec![fine.clone()])]);
+        assert!(inst.extracted.is_empty());
+        // The equivalent well-formed chain is extracted.
+        inst.receive(1, &[(3, vec![fine])]);
+        assert_eq!(inst.extracted, vec![5]);
     }
 
     #[test]

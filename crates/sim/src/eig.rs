@@ -107,9 +107,12 @@ impl<V: Clone + PartialEq> EigInstance<V> {
     }
 
     /// Absorb a batch received in `round` from process `from`, storing only
-    /// well-formed items: correct level, distinct ids, rooted at the sender,
-    /// last id equal to the wire sender, first writer wins.
+    /// well-formed items: correct level, ids in range, distinct ids, rooted
+    /// at the sender, last id equal to the wire sender, first writer wins.
     pub fn receive_batch(&mut self, round: usize, from: ProcessId, batch: &EigMsg<V>) {
+        if from >= self.n {
+            return; // no such process: the whole batch is malformed
+        }
         for (label, value) in batch {
             if label.len() != round + 1 {
                 continue;
@@ -118,6 +121,11 @@ impl<V: Clone + PartialEq> EigInstance<V> {
                 continue;
             }
             if *label.last().expect("nonempty label") != from {
+                continue;
+            }
+            // Out-of-range ids would be stored, then *relayed* by honest
+            // processes in the next round — a Byzantine label-flood vector.
+            if label.iter().any(|&id| id >= self.n) {
                 continue;
             }
             if !distinct(label) {
@@ -540,5 +548,21 @@ mod tests {
         // Duplicate labels keep the first value.
         inst.receive_batch(0, 2, &vec![(vec![2], 42)]);
         assert_eq!(inst.tree.get(&vec![2]), Some(&9));
+    }
+
+    #[test]
+    fn out_of_range_ids_are_rejected() {
+        let mut inst = EigInstance::<i64>::new(0, 4, 1, 2, None, -1);
+        // Wire sender out of range: whole batch dropped.
+        inst.receive_batch(0, 99, &vec![(vec![2], 9)]);
+        assert!(inst.tree.is_empty());
+        // Label with a middle id >= n: would be stored and relayed.
+        inst.receive_batch(1, 3, &vec![(vec![2, 3], 9), (vec![2, 3], 9)]);
+        let mut inst2 = EigInstance::<i64>::new(0, 4, 1, 2, None, -1);
+        inst2.receive_batch(1, 3, &vec![(vec![2, 3], 9)]);
+        assert_eq!(inst.tree, inst2.tree, "well-formed parts still land");
+        let mut inst3 = EigInstance::<i64>::new(0, 4, 1, 2, None, -1);
+        inst3.receive_batch(2, 3, &vec![(vec![2, 77, 3], 9)]);
+        assert!(inst3.tree.is_empty(), "ghost id 77 must not enter the tree");
     }
 }

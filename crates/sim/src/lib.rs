@@ -23,6 +23,11 @@
 //! * [`threads`] — a crossbeam-channel threaded runtime running one OS
 //!   thread per process, for exercising the protocols under real
 //!   concurrency rather than deterministic simulation.
+//! * [`net`] — link-level fault injection (seeded drop/dup/delay/reorder,
+//!   timed partitions) and the [`net::ReliableLink`] ack/retransmit wrapper
+//!   that restores the paper's reliable-channel model over a lossy link.
+//! * [`monitor`] — online safety monitor flagging agreement/validity
+//!   violations the moment a decision event occurs.
 //! * [`trace`] — execution statistics (message/round counts).
 
 pub mod asynch;
@@ -31,6 +36,8 @@ pub mod config;
 pub mod dolev_strong;
 pub mod eig;
 pub mod fuzz;
+pub mod monitor;
+pub mod net;
 pub mod sync;
 pub mod threads;
 pub mod trace;

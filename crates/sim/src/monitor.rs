@@ -1,0 +1,325 @@
+//! Online safety monitor: incremental detection of agreement/validity
+//! violations the moment a decision event occurs.
+//!
+//! The repo's existing checkers (`rbvc_core::problem`) validate a *finished*
+//! run. Under chaos injection that is too late — a violated decision may be
+//! followed by millions of steps of noise before the run ends, and a
+//! crashed/timed-out run never reaches the offline checker at all. The
+//! [`SafetyMonitor`] instead ingests `(process, decision)` events as they
+//! happen and raises a [`SafetyAlert`] immediately when
+//!
+//! * two decided processes disagree (pairwise *agreement* predicate), or
+//! * a single decision violates the *validity* predicate, or
+//! * a process decides twice with different values (protocol bug).
+//!
+//! The monitor lives in the `sim` crate and therefore cannot depend on the
+//! geometry of any particular protocol; both predicates are injected as
+//! closures. For ε-agreement on vectors the caller supplies a coordinatewise
+//! |·|∞ comparison; for exact agreement, equality; for validity, e.g. a
+//! convex-hull or range containment check against the honest inputs.
+
+use crate::config::ProcessId;
+
+/// What kind of safety property a [`SafetyAlert`] reports broken.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlertKind {
+    /// Two decided processes violate the pairwise agreement predicate.
+    Agreement {
+        /// The earlier-decided process.
+        a: ProcessId,
+        /// The later-decided process.
+        b: ProcessId,
+    },
+    /// A decision violates the validity predicate on its own.
+    Validity {
+        /// The deciding process.
+        process: ProcessId,
+    },
+    /// A process emitted two *different* decisions (exactly-once violated).
+    DuplicateDecision {
+        /// The deciding process.
+        process: ProcessId,
+    },
+}
+
+/// One violation event, raised at the step it became observable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SafetyAlert {
+    /// Which property broke and between whom.
+    pub kind: AlertKind,
+    /// Monitor-local event index at which the violation surfaced
+    /// (the `observe` call count, so alerts order totally).
+    pub at_event: u64,
+    /// Human-readable detail from the violated predicate.
+    pub detail: String,
+}
+
+/// Incremental safety monitor over decision events.
+///
+/// `agreement(a, b)` returns `Some(detail)` iff decisions `a` and `b` are in
+/// conflict; `validity(p, v)` returns `Some(detail)` iff `v` is an invalid
+/// decision for process `p`. Both must be pure: the monitor may invoke them
+/// in any order and assumes symmetric agreement.
+pub struct SafetyMonitor<O> {
+    decisions: Vec<Option<O>>,
+    #[allow(clippy::type_complexity)]
+    agreement: Box<dyn FnMut(&O, &O) -> Option<String>>,
+    #[allow(clippy::type_complexity)]
+    validity: Box<dyn FnMut(ProcessId, &O) -> Option<String>>,
+    alerts: Vec<SafetyAlert>,
+    events: u64,
+}
+
+impl<O: Clone + PartialEq> SafetyMonitor<O> {
+    /// Build a monitor for `n` processes with the given predicates.
+    #[must_use]
+    pub fn new(
+        n: usize,
+        agreement: impl FnMut(&O, &O) -> Option<String> + 'static,
+        validity: impl FnMut(ProcessId, &O) -> Option<String> + 'static,
+    ) -> Self {
+        SafetyMonitor {
+            decisions: vec![None; n],
+            agreement: Box::new(agreement),
+            validity: Box::new(validity),
+            alerts: Vec::new(),
+            events: 0,
+        }
+    }
+
+    /// Monitor that only checks agreement (validity vacuously true).
+    #[must_use]
+    pub fn agreement_only(
+        n: usize,
+        agreement: impl FnMut(&O, &O) -> Option<String> + 'static,
+    ) -> Self {
+        SafetyMonitor::new(n, agreement, |_, _| None)
+    }
+
+    /// Ingest one decision event; returns the alerts *this event* raised
+    /// (also retained in [`SafetyMonitor::alerts`]).
+    pub fn observe(&mut self, process: ProcessId, decision: &O) -> Vec<SafetyAlert> {
+        self.events += 1;
+        let at_event = self.events;
+        let mut new_alerts = Vec::new();
+
+        if process >= self.decisions.len() {
+            new_alerts.push(SafetyAlert {
+                kind: AlertKind::Validity { process },
+                at_event,
+                detail: format!(
+                    "decision from out-of-range process id {process} (n = {})",
+                    self.decisions.len()
+                ),
+            });
+            self.alerts.extend(new_alerts.iter().cloned());
+            return new_alerts;
+        }
+
+        match &self.decisions[process] {
+            Some(prev) if prev != decision => {
+                new_alerts.push(SafetyAlert {
+                    kind: AlertKind::DuplicateDecision { process },
+                    at_event,
+                    detail: format!("process {process} re-decided with a different value"),
+                });
+            }
+            Some(_) => {
+                // Benign duplicate report of the same decision: engines may
+                // surface a decision more than once; nothing new to check.
+                return Vec::new();
+            }
+            None => {}
+        }
+
+        if let Some(detail) = (self.validity)(process, decision) {
+            new_alerts.push(SafetyAlert {
+                kind: AlertKind::Validity { process },
+                at_event,
+                detail,
+            });
+        }
+
+        for (other, slot) in self.decisions.iter().enumerate() {
+            if other == process {
+                continue;
+            }
+            if let Some(prev) = slot {
+                if let Some(detail) = (self.agreement)(prev, decision) {
+                    new_alerts.push(SafetyAlert {
+                        kind: AlertKind::Agreement {
+                            a: other,
+                            b: process,
+                        },
+                        at_event,
+                        detail,
+                    });
+                }
+            }
+        }
+
+        self.decisions[process] = Some(decision.clone());
+        self.alerts.extend(new_alerts.iter().cloned());
+        new_alerts
+    }
+
+    /// All alerts raised so far, in observation order.
+    #[must_use]
+    pub fn alerts(&self) -> &[SafetyAlert] {
+        &self.alerts
+    }
+
+    /// True iff no violation has been observed.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.alerts.is_empty()
+    }
+
+    /// Number of processes that have decided.
+    #[must_use]
+    pub fn decided_count(&self) -> usize {
+        self.decisions.iter().filter(|d| d.is_some()).count()
+    }
+}
+
+/// ε-agreement predicate for `Vec<f64>` decisions: flags pairs whose
+/// coordinatewise distance exceeds `eps` (or whose dimensions differ).
+pub fn epsilon_agreement(eps: f64) -> impl FnMut(&Vec<f64>, &Vec<f64>) -> Option<String> {
+    move |a: &Vec<f64>, b: &Vec<f64>| {
+        if a.len() != b.len() {
+            return Some(format!(
+                "decision dimensions differ: {} vs {}",
+                a.len(),
+                b.len()
+            ));
+        }
+        let gap = a
+            .iter()
+            .zip(b)
+            .map(|(x, y)| (x - y).abs())
+            .fold(0.0f64, f64::max);
+        if gap > eps {
+            Some(format!("coordinatewise disagreement {gap:.3e} > ε = {eps:.3e}"))
+        } else {
+            None
+        }
+    }
+}
+
+/// Box-validity predicate for `Vec<f64>` decisions: every coordinate must
+/// lie inside the (slightly inflated) bounding box of the honest inputs —
+/// a cheap necessary condition for convex-hull validity.
+pub fn box_validity(
+    honest_inputs: &[Vec<f64>],
+    slack: f64,
+) -> impl FnMut(ProcessId, &Vec<f64>) -> Option<String> {
+    let d = honest_inputs.first().map_or(0, Vec::len);
+    let mut lo = vec![f64::INFINITY; d];
+    let mut hi = vec![f64::NEG_INFINITY; d];
+    for x in honest_inputs {
+        for (k, &v) in x.iter().enumerate() {
+            lo[k] = lo[k].min(v);
+            hi[k] = hi[k].max(v);
+        }
+    }
+    move |p: ProcessId, v: &Vec<f64>| {
+        if v.len() != d {
+            return Some(format!(
+                "process {p}: decision dimension {} != input dimension {d}",
+                v.len()
+            ));
+        }
+        for (k, &x) in v.iter().enumerate() {
+            if !x.is_finite() {
+                return Some(format!("process {p}: non-finite coordinate {k}"));
+            }
+            if x < lo[k] - slack || x > hi[k] + slack {
+                return Some(format!(
+                    "process {p}: coordinate {k} = {x:.6} outside honest box \
+                     [{:.6}, {:.6}] (+{slack:.1e} slack)",
+                    lo[k], hi[k]
+                ));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_run_raises_nothing() {
+        let mut m = SafetyMonitor::new(
+            3,
+            |a: &i64, b: &i64| (a != b).then(|| format!("{a} != {b}")),
+            |_, v: &i64| (*v < 0).then(|| "negative".to_string()),
+        );
+        assert!(m.observe(0, &7).is_empty());
+        assert!(m.observe(2, &7).is_empty());
+        assert!(m.observe(1, &7).is_empty());
+        assert!(m.clean());
+        assert_eq!(m.decided_count(), 3);
+    }
+
+    /// The negative test required by the chaos-layer acceptance criteria:
+    /// the monitor must *fire*, at the exact event, when conflicting
+    /// decisions are injected.
+    #[test]
+    fn fires_immediately_on_conflicting_decisions() {
+        let mut m = SafetyMonitor::agreement_only(4, |a: &i64, b: &i64| {
+            (a != b).then(|| format!("{a} != {b}"))
+        });
+        assert!(m.observe(0, &1).is_empty(), "first decision cannot conflict");
+        let alerts = m.observe(3, &2);
+        assert_eq!(alerts.len(), 1, "conflict must be flagged at once");
+        assert_eq!(alerts[0].kind, AlertKind::Agreement { a: 0, b: 3 });
+        assert_eq!(alerts[0].at_event, 2, "flagged at the violating event");
+        assert!(!m.clean());
+        // A third decision conflicting with both raises two pairwise alerts.
+        let alerts = m.observe(1, &9);
+        assert_eq!(alerts.len(), 2);
+    }
+
+    #[test]
+    fn fires_on_invalid_decision_and_duplicate() {
+        let mut m = SafetyMonitor::new(
+            2,
+            |_: &i64, _: &i64| None,
+            |p, v: &i64| (*v < 0).then(|| format!("process {p}: negative decision {v}")),
+        );
+        let alerts = m.observe(0, &-5);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::Validity { process: 0 });
+
+        let mut m = SafetyMonitor::agreement_only(2, |_: &i64, _: &i64| None);
+        assert!(m.observe(0, &1).is_empty());
+        assert!(m.observe(0, &1).is_empty(), "same re-report is benign");
+        let alerts = m.observe(0, &2);
+        assert_eq!(alerts[0].kind, AlertKind::DuplicateDecision { process: 0 });
+    }
+
+    #[test]
+    fn out_of_range_process_is_flagged_not_panicked() {
+        let mut m = SafetyMonitor::agreement_only(2, |_: &i64, _: &i64| None);
+        let alerts = m.observe(7, &1);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::Validity { process: 7 });
+    }
+
+    #[test]
+    fn epsilon_agreement_and_box_validity_helpers() {
+        let mut agree = epsilon_agreement(0.1);
+        assert!(agree(&vec![1.0, 2.0], &vec![1.05, 2.0]).is_none());
+        assert!(agree(&vec![1.0, 2.0], &vec![1.3, 2.0]).is_some());
+        assert!(agree(&vec![1.0], &vec![1.0, 0.0]).is_some());
+
+        let inputs = vec![vec![0.0, 0.0], vec![1.0, 2.0]];
+        let mut valid = box_validity(&inputs, 1e-9);
+        assert!(valid(0, &vec![0.5, 1.0]).is_none());
+        assert!(valid(0, &vec![0.5, 2.5]).is_some(), "outside the box");
+        assert!(valid(0, &vec![f64::NAN, 0.0]).is_some(), "non-finite");
+        assert!(valid(0, &vec![0.5]).is_some(), "dimension mismatch");
+    }
+}

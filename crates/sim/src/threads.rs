@@ -9,7 +9,7 @@
 //! serving messages until global shutdown so that laggards can still reach
 //! their quorums (exactly the behaviour asynchronous BFT protocols need).
 
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread;
 use std::time::{Duration, Instant};
@@ -19,6 +19,9 @@ use parking_lot::Mutex;
 
 use crate::asynch::{AsyncAdversary, AsyncProtocol};
 use crate::config::{ProcessId, SystemConfig};
+use crate::monitor::SafetyMonitor;
+use crate::net::{NetStats, NetworkFaults};
+use crate::trace::ExecutionTrace;
 
 /// A node for the threaded runtime (Byzantine boxes must be `Send`).
 pub enum ThreadedNode<P: AsyncProtocol> {
@@ -35,6 +38,12 @@ pub struct ThreadedOutcome<O> {
     pub decisions: Vec<Option<O>>,
     /// True iff all honest processes decided before the timeout.
     pub all_decided: bool,
+    /// Honest processes still undecided when the run ended — empty on
+    /// success, the degradation report on timeout.
+    pub undecided: Vec<ProcessId>,
+    /// Message statistics (`rounds` is not meaningful on threads and
+    /// stays 0).
+    pub trace: ExecutionTrace,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
 }
@@ -81,6 +90,8 @@ where
     let decisions: Arc<Mutex<Vec<Option<P::Output>>>> = Arc::new(Mutex::new(vec![None; n]));
     let decided_count = Arc::new(AtomicUsize::new(0));
     let shutdown = Arc::new(AtomicBool::new(false));
+    let sent = Arc::new(AtomicU64::new(0));
+    let delivered = Arc::new(AtomicU64::new(0));
 
     let start = Instant::now();
     let mut handles = Vec::with_capacity(n);
@@ -90,9 +101,12 @@ where
         let decisions = Arc::clone(&decisions);
         let decided_count = Arc::clone(&decided_count);
         let shutdown = Arc::clone(&shutdown);
+        let sent = Arc::clone(&sent);
+        let delivered = Arc::clone(&delivered);
         handles.push(thread::spawn(move || {
             let route = |sends: Vec<(ProcessId, P::Msg)>| {
                 for (dst, msg) in sends {
+                    sent.fetch_add(1, Ordering::Relaxed);
                     // A receiver may already have shut down; that's fine.
                     let _ = txs[dst].send((id, msg));
                 }
@@ -105,19 +119,22 @@ where
             }
             while !shutdown.load(Ordering::Relaxed) {
                 match rx.recv_timeout(Duration::from_millis(5)) {
-                    Ok((from, msg)) => match &mut node {
-                        ThreadedNode::Honest(p) => {
-                            route(p.on_message(from, msg));
-                            if !recorded {
-                                if let Some(out) = p.output() {
-                                    decisions.lock()[id] = Some(out);
-                                    decided_count.fetch_add(1, Ordering::SeqCst);
-                                    recorded = true;
+                    Ok((from, msg)) => {
+                        delivered.fetch_add(1, Ordering::Relaxed);
+                        match &mut node {
+                            ThreadedNode::Honest(p) => {
+                                route(p.on_message(from, msg));
+                                if !recorded {
+                                    if let Some(out) = p.output() {
+                                        decisions.lock()[id] = Some(out);
+                                        decided_count.fetch_add(1, Ordering::SeqCst);
+                                        recorded = true;
+                                    }
                                 }
                             }
+                            ThreadedNode::Byzantine(a) => route(a.on_message(from, msg)),
                         }
-                        ThreadedNode::Byzantine(a) => route(a.on_message(from, msg)),
-                    },
+                    }
                     Err(_) => {
                         // Timeout tick: re-check shutdown; also catch
                         // protocols that decide at start (no messages).
@@ -133,6 +150,9 @@ where
                     }
                 }
             }
+            // Clean drain: empty the inbox so peers never block and channel
+            // memory is released before the thread exits.
+            while rx.try_recv().is_ok() {}
         }));
     }
     drop(txs);
@@ -152,11 +172,250 @@ where
         let _ = h.join();
     }
     let decisions = decisions.lock().clone();
+    let undecided = (0..n)
+        .filter(|&i| !config.is_faulty(i) && decisions[i].is_none())
+        .collect();
+    let trace = ExecutionTrace {
+        messages_sent: sent.load(Ordering::Relaxed),
+        rounds: 0,
+        messages_delivered: delivered.load(Ordering::Relaxed),
+    };
     ThreadedOutcome {
         decisions,
         all_decided,
+        undecided,
+        trace,
         elapsed: start.elapsed(),
     }
+}
+
+/// How often each thread fires [`AsyncProtocol::on_tick`] in the chaos
+/// runtime, driving retransmission timers in wall-clock time.
+const THREAD_TICK_EVERY: Duration = Duration::from_millis(5);
+
+/// Run the protocol on one OS thread per process with link faults injected
+/// on the send path.
+///
+/// Each outbound message is routed through `faults` (shared behind a
+/// mutex so drop/dup/delay decisions stay globally seeded); logical time
+/// is milliseconds since the run started, so [`crate::net::Partition`]
+/// windows are wall-clock windows here. Delayed copies sit in the sending
+/// thread's outbox until due. Honest nodes get an
+/// [`AsyncProtocol::on_tick`] call every [`THREAD_TICK_EVERY`] so a
+/// [`crate::net::ReliableLink`] wrapper can retransmit.
+///
+/// If `monitor` is given, the coordinator feeds it every fresh decision as
+/// it is recorded, flagging safety violations while the run is still in
+/// flight. Returns the outcome plus the fault layer's [`NetStats`].
+///
+/// # Panics
+/// Panics on node-count or fault-placement mismatch with `config`.
+pub fn run_threaded_chaos<P>(
+    config: &SystemConfig,
+    nodes: Vec<ThreadedNode<P>>,
+    timeout: Duration,
+    faults: NetworkFaults,
+    mut monitor: Option<&mut SafetyMonitor<P::Output>>,
+) -> (ThreadedOutcome<P::Output>, NetStats)
+where
+    P: AsyncProtocol + Send + 'static,
+    P::Msg: Send + 'static,
+    P::Output: Send + Clone + PartialEq + 'static,
+{
+    let n = config.n;
+    assert_eq!(nodes.len(), n, "one node per process required");
+    for (i, node) in nodes.iter().enumerate() {
+        let is_byz = matches!(node, ThreadedNode::Byzantine(_));
+        assert_eq!(
+            is_byz,
+            config.is_faulty(i),
+            "node {i} placement disagrees with fault set"
+        );
+    }
+    let honest_count = nodes
+        .iter()
+        .filter(|nd| matches!(nd, ThreadedNode::Honest(_)))
+        .count();
+
+    let mut txs: Vec<Sender<(ProcessId, P::Msg)>> = Vec::with_capacity(n);
+    let mut rxs: Vec<Receiver<(ProcessId, P::Msg)>> = Vec::with_capacity(n);
+    for _ in 0..n {
+        let (tx, rx) = unbounded();
+        txs.push(tx);
+        rxs.push(rx);
+    }
+
+    let decisions: Arc<Mutex<Vec<Option<P::Output>>>> = Arc::new(Mutex::new(vec![None; n]));
+    let decided_count = Arc::new(AtomicUsize::new(0));
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let sent = Arc::new(AtomicU64::new(0));
+    let delivered = Arc::new(AtomicU64::new(0));
+    let faults = Arc::new(Mutex::new(faults));
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(n);
+    for (id, node) in nodes.into_iter().enumerate() {
+        let rx = rxs.remove(0);
+        let txs = txs.clone();
+        let decisions = Arc::clone(&decisions);
+        let decided_count = Arc::clone(&decided_count);
+        let shutdown = Arc::clone(&shutdown);
+        let sent = Arc::clone(&sent);
+        let delivered = Arc::clone(&delivered);
+        let faults = Arc::clone(&faults);
+        handles.push(thread::spawn(move || {
+            // Delayed copies waiting for their delivery instant.
+            let mut outbox: Vec<(Instant, ProcessId, P::Msg)> = Vec::new();
+            let send_all = |sends: Vec<(ProcessId, P::Msg)>,
+                               outbox: &mut Vec<(Instant, ProcessId, P::Msg)>| {
+                let now_ms = start.elapsed().as_millis() as u64;
+                for (dst, msg) in sends {
+                    sent.fetch_add(1, Ordering::Relaxed);
+                    let delays = faults.lock().route(id, dst, now_ms);
+                    for delay in delays {
+                        if delay == 0 {
+                            let _ = txs[dst].send((id, msg.clone()));
+                        } else {
+                            outbox.push((
+                                Instant::now() + Duration::from_millis(delay),
+                                dst,
+                                msg.clone(),
+                            ));
+                        }
+                    }
+                }
+            };
+            let flush = |outbox: &mut Vec<(Instant, ProcessId, P::Msg)>,
+                         txs: &[Sender<(ProcessId, P::Msg)>]| {
+                let now = Instant::now();
+                let mut i = 0;
+                while i < outbox.len() {
+                    if outbox[i].0 <= now {
+                        let (_, dst, msg) = outbox.swap_remove(i);
+                        let _ = txs[dst].send((id, msg));
+                    } else {
+                        i += 1;
+                    }
+                }
+            };
+
+            let mut node = node;
+            let mut recorded = false;
+            let mut last_tick = Instant::now();
+            match &mut node {
+                ThreadedNode::Honest(p) => {
+                    let sends = p.on_start();
+                    send_all(sends, &mut outbox);
+                }
+                ThreadedNode::Byzantine(a) => {
+                    let sends = a.on_start();
+                    send_all(sends, &mut outbox);
+                }
+            }
+            while !shutdown.load(Ordering::Relaxed) {
+                flush(&mut outbox, &txs);
+                if last_tick.elapsed() >= THREAD_TICK_EVERY {
+                    last_tick = Instant::now();
+                    if let ThreadedNode::Honest(p) = &mut node {
+                        let sends = p.on_tick();
+                        send_all(sends, &mut outbox);
+                    }
+                }
+                match rx.recv_timeout(Duration::from_millis(2)) {
+                    Ok((from, msg)) => {
+                        delivered.fetch_add(1, Ordering::Relaxed);
+                        match &mut node {
+                            ThreadedNode::Honest(p) => {
+                                let sends = p.on_message(from, msg);
+                                send_all(sends, &mut outbox);
+                                if !recorded {
+                                    if let Some(out) = p.output() {
+                                        decisions.lock()[id] = Some(out);
+                                        decided_count.fetch_add(1, Ordering::SeqCst);
+                                        recorded = true;
+                                    }
+                                }
+                            }
+                            ThreadedNode::Byzantine(a) => {
+                                let sends = a.on_message(from, msg);
+                                send_all(sends, &mut outbox);
+                            }
+                        }
+                    }
+                    Err(_) => {
+                        if !recorded {
+                            if let ThreadedNode::Honest(p) = &node {
+                                if let Some(out) = p.output() {
+                                    decisions.lock()[id] = Some(out);
+                                    decided_count.fetch_add(1, Ordering::SeqCst);
+                                    recorded = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            while rx.try_recv().is_ok() {}
+        }));
+    }
+    drop(txs);
+
+    // Coordinator: wait for decisions, feeding fresh ones to the monitor.
+    let mut reported = vec![false; n];
+    let all_decided = loop {
+        if let Some(mon) = monitor.as_deref_mut() {
+            let table = decisions.lock();
+            for (id, slot) in table.iter().enumerate() {
+                if reported[id] {
+                    continue;
+                }
+                if let Some(out) = slot {
+                    reported[id] = true;
+                    mon.observe(id, out);
+                }
+            }
+        }
+        if decided_count.load(Ordering::SeqCst) >= honest_count {
+            break true;
+        }
+        if start.elapsed() > timeout {
+            break false;
+        }
+        thread::sleep(Duration::from_millis(2));
+    };
+    shutdown.store(true, Ordering::Relaxed);
+    for h in handles {
+        let _ = h.join();
+    }
+    // Final monitor sweep: decisions recorded between the last poll and
+    // shutdown must still be checked.
+    let decisions = decisions.lock().clone();
+    if let Some(mon) = monitor {
+        for (id, slot) in decisions.iter().enumerate() {
+            if !reported[id] {
+                if let Some(out) = slot {
+                    mon.observe(id, out);
+                }
+            }
+        }
+    }
+    let undecided = (0..n)
+        .filter(|&i| !config.is_faulty(i) && decisions[i].is_none())
+        .collect();
+    let trace = ExecutionTrace {
+        messages_sent: sent.load(Ordering::Relaxed),
+        rounds: 0,
+        messages_delivered: delivered.load(Ordering::Relaxed),
+    };
+    let net = faults.lock().stats;
+    let outcome = ThreadedOutcome {
+        decisions,
+        all_decided,
+        undecided,
+        trace,
+        elapsed: start.elapsed(),
+    };
+    (outcome, net)
 }
 
 #[cfg(test)]
@@ -262,5 +521,81 @@ mod tests {
         }
         let out = run_threaded(&config, nodes, Duration::from_millis(200));
         assert!(!out.all_decided);
+        assert_eq!(
+            out.undecided,
+            vec![1, 2, 3],
+            "every honest process must be reported undecided"
+        );
+        assert!(
+            out.trace.messages_sent >= 12,
+            "three honest broadcasts of 4 must be counted: {:?}",
+            out.trace
+        );
+    }
+
+    #[test]
+    fn threaded_success_reports_no_undecided_and_counts_messages() {
+        let n = 4;
+        let config = SystemConfig::new(n, 1);
+        let nodes = (0..n)
+            .map(|i| {
+                ThreadedNode::Honest(QuorumSum {
+                    n,
+                    quorum: n,
+                    input: i as i64,
+                    seen: Vec::new(),
+                    decided: None,
+                })
+            })
+            .collect();
+        let out = run_threaded(&config, nodes, Duration::from_secs(10));
+        assert!(out.all_decided);
+        assert!(out.undecided.is_empty());
+        assert_eq!(out.trace.messages_sent, 16, "4 broadcasts of 4, no echoes");
+        assert!(out.trace.messages_delivered <= out.trace.messages_sent);
+    }
+
+    #[test]
+    fn threaded_chaos_with_reliable_link_survives_loss() {
+        use crate::net::{LinkFault, ReliableLink};
+
+        let n = 4;
+        let config = SystemConfig::new(n, 0);
+        let nodes: Vec<ThreadedNode<ReliableLink<QuorumSum>>> = (0..n)
+            .map(|i| {
+                ThreadedNode::Honest(ReliableLink::with_defaults(
+                    QuorumSum {
+                        n,
+                        quorum: n,
+                        input: i as i64,
+                        seen: Vec::new(),
+                        decided: None,
+                    },
+                    n,
+                ))
+            })
+            .collect();
+        let fault = LinkFault {
+            drop_prob: 0.25,
+            dup_prob: 0.1,
+            max_extra_delay: 10, // milliseconds on this runtime
+            reorder_prob: 0.1,
+        };
+        let mut monitor = SafetyMonitor::agreement_only(n, |a: &i64, b: &i64| {
+            (a != b).then(|| format!("{a} != {b}"))
+        });
+        let (out, net) = run_threaded_chaos(
+            &config,
+            nodes,
+            Duration::from_secs(20),
+            NetworkFaults::new(42, fault),
+            Some(&mut monitor),
+        );
+        assert!(out.all_decided, "retransmission must recover the loss");
+        assert!(net.dropped > 0, "chaos plan injected no loss — test vacuous");
+        for d in &out.decisions {
+            assert_eq!(*d, Some(6));
+        }
+        assert!(monitor.clean(), "{:?}", monitor.alerts());
     }
 }
