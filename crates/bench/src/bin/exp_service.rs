@@ -1,0 +1,146 @@
+//! E17 — consensus-service load generator: a loopback TCP mesh running
+//! hundreds of concurrent SyncBvc / Verified-Averaging instances through
+//! `rbvc-transport`, with online per-instance safety monitoring.
+//!
+//! Usage: `exp_service [--smoke] [instances] [seed]`
+//!
+//! The default profile is a 7-node mesh (SyncBvc at `f = 2`) under 210
+//! concurrent instances; `--smoke` shrinks to a 4-node, 12-instance mesh
+//! for CI. Both modes first prove cross-transport identity (TCP decisions
+//! == in-process decisions on the same seed), then run the TCP load
+//! profile, print the table, and write `BENCH_service.json`. Exits nonzero
+//! on any safety violation, undecided instance, transport/service error,
+//! or identity mismatch.
+
+use rbvc_bench::experiments::service::{
+    cross_transport_identity, run_service, ServiceConfig, ServiceOutcome, TransportKind,
+};
+use rbvc_bench::report::{fnum, print_table};
+use serde_json::json;
+
+fn row(out: &ServiceOutcome) -> Vec<String> {
+    vec![
+        out.transport.to_string(),
+        format!("{}", out.n),
+        format!(
+            "{}/{} ({} bvc + {} va)",
+            out.decided,
+            out.instances,
+            out.bvc_instances,
+            out.instances - out.bvc_instances
+        ),
+        fnum(out.decided_per_sec),
+        fnum(out.p50_ms),
+        fnum(out.p99_ms),
+        format!("{}", out.bytes_sent),
+        out.monitor_violations.to_string(),
+        out.errors.to_string(),
+    ]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let positional: Vec<&String> = args.iter().skip(1).filter(|a| *a != "--smoke").collect();
+    let instances: usize = positional
+        .first()
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(if smoke { 12 } else { 210 });
+    let seed: u64 = positional.get(1).and_then(|a| a.parse().ok()).unwrap_or(2016);
+    let cfg = if smoke {
+        let mut c = ServiceConfig::smoke(seed);
+        c.instances = instances;
+        c
+    } else {
+        ServiceConfig::load(instances, seed)
+    };
+    println!(
+        "E17 — service load generator: {}-node loopback TCP mesh, {} concurrent \
+         instances (every 3rd SyncBvc at f = {}, rest Verified Averaging at \
+         f = 0), online per-instance safety monitor (ε-agreement + box \
+         validity), seed {seed}{}",
+        cfg.n,
+        cfg.instances,
+        cfg.f_bvc,
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // Identity gate: the transport must not influence decisions. Runs at a
+    // small scale so the check stays cheap even in the full profile.
+    let mut id_cfg = ServiceConfig::smoke(seed ^ 0x5eed);
+    id_cfg.instances = 6;
+    let (identical, id_tcp, id_inproc) = cross_transport_identity(&id_cfg);
+    println!(
+        "identity check (n = {}, {} instances): tcp {} in-process",
+        id_cfg.n,
+        id_cfg.instances,
+        if identical { "==" } else { "!=" }
+    );
+
+    // The load profile itself, over real sockets.
+    let out = run_service(&cfg, TransportKind::Tcp);
+    print_table(
+        "E17 (service load generator)",
+        &[
+            "transport",
+            "n",
+            "decided",
+            "decided/s",
+            "p50 ms",
+            "p99 ms",
+            "bytes sent",
+            "violations",
+            "errors",
+        ],
+        &[row(&id_tcp), row(&id_inproc), row(&out)],
+    );
+
+    let doc = json!({
+        "experiment": "E17 service load generator",
+        "transport": "tcp-loopback",
+        "seed": seed,
+        "smoke": smoke,
+        "n": out.n,
+        "f_bvc": cfg.f_bvc,
+        "dimension": cfg.d,
+        "va_rounds": cfg.va_rounds,
+        "instances": out.instances,
+        "bvc_instances": out.bvc_instances,
+        "va_instances": out.instances - out.bvc_instances,
+        "decided": out.decided,
+        "wall_secs": out.wall_secs,
+        "decided_per_sec": out.decided_per_sec,
+        "latency_ms": json!({ "p50": out.p50_ms, "p99": out.p99_ms, "max": out.max_ms }),
+        "bytes_on_wire": json!({ "sent": out.bytes_sent, "received": out.bytes_received }),
+        "monitor_violations": out.monitor_violations,
+        "service_errors": out.errors,
+        "cross_transport_identical": identical,
+    });
+    let rendered = serde_json::to_string_pretty(&doc).expect("valid JSON");
+    std::fs::write("BENCH_service.json", &rendered).expect("write BENCH_service.json");
+    println!("wrote BENCH_service.json");
+
+    let mut failed = false;
+    if !identical {
+        eprintln!("FAIL: TCP and in-process decisions diverged on one seed");
+        failed = true;
+    }
+    if out.monitor_violations > 0 {
+        eprintln!("FAIL: the online safety monitor fired {} time(s)", out.monitor_violations);
+        failed = true;
+    }
+    if out.decided < out.instances {
+        eprintln!(
+            "FAIL: only {}/{} instances fully decided within the poll budget",
+            out.decided, out.instances
+        );
+        failed = true;
+    }
+    if out.errors > 0 {
+        eprintln!("FAIL: {} transport/service error(s) on a clean loopback mesh", out.errors);
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -10,6 +10,7 @@
 //! | [`tverberg`] | E10 | Section 8 (Tverberg tightness under relaxed hulls) |
 //! | [`asynchrony`] | E11, E13 | Theorem 15 / Conjecture 4, ε-convergence |
 //! | [`chaos`] | E16 | unreliable-network campaign (robustness, not a paper artifact) |
+//! | [`service`] | E17 | multi-instance service load generation over real sockets (systems artifact) |
 
 pub mod asynchrony;
 pub mod broadcast_ablation;
@@ -17,5 +18,6 @@ pub mod chaos;
 pub mod conjecture_hunt;
 pub mod counterex;
 pub mod lemmas;
+pub mod service;
 pub mod table1;
 pub mod tverberg;

@@ -1,0 +1,389 @@
+//! E17 — consensus-service load generation: hundreds of concurrent
+//! SyncBvc / Verified-Averaging instances multiplexed over one transport
+//! mesh (`rbvc-transport`), with an online per-instance safety monitor.
+//!
+//! Each process of the mesh runs one [`ConsensusService`] on its own OS
+//! thread; the coordinator thread ingests decision events over a channel,
+//! feeds them to a [`ServiceMonitor`] *while the mesh is still running*,
+//! and times each instance from service start to its last (n-th) decision.
+//! The same harness runs over loopback TCP and the in-process transport,
+//! which is what the cross-transport identity check exploits: both must
+//! decide bit-identically on one seed.
+
+use std::collections::BTreeMap;
+use std::sync::{mpsc, Arc, Barrier};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rbvc_core::verified_avg::{DeltaMode, VerifiedAveraging};
+use rbvc_core::{DecisionRule, SyncBvc};
+use rbvc_linalg::{Norm, Tol, VecD};
+use rbvc_sim::monitor::{box_validity, epsilon_agreement, SafetyMonitor, ServiceMonitor};
+use rbvc_transport::service::{ConsensusService, InstanceProto};
+use rbvc_transport::transport::{in_proc_mesh, Transport};
+use rbvc_transport::{tcp_mesh_loopback, Lockstep};
+
+use crate::workloads::{max_edge, random_points, rng};
+
+/// Which transport carries the mesh.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Real sockets over loopback TCP.
+    Tcp,
+    /// The in-process channel transport.
+    InProc,
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TransportKind::Tcp => write!(f, "tcp"),
+            TransportKind::InProc => write!(f, "in-proc"),
+        }
+    }
+}
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Mesh size (number of processes / endpoints).
+    pub n: usize,
+    /// Fault tolerance of the SyncBvc instances (`n ≥ 3f + 1` required);
+    /// the Verified-Averaging instances run at `f = 0` (wait-for-all), the
+    /// regime whose decisions are delivery-order independent.
+    pub f_bvc: usize,
+    /// Vector dimension.
+    pub d: usize,
+    /// Total concurrent instances (every 3rd is SyncBvc, the rest VA).
+    pub instances: usize,
+    /// Averaging rounds per VA instance.
+    pub va_rounds: usize,
+    /// Workload seed (inputs are a pure function of `seed` and the
+    /// instance index).
+    pub seed: u64,
+    /// Receive-wait per service poll.
+    pub poll_timeout: Duration,
+    /// Poll budget per node before the run is declared stuck.
+    pub max_polls: usize,
+}
+
+impl ServiceConfig {
+    /// The full load profile from the issue: a 7-node mesh (so the SyncBvc
+    /// instances run at `f = 2`) under `instances` concurrent instances.
+    #[must_use]
+    pub fn load(instances: usize, seed: u64) -> Self {
+        ServiceConfig {
+            n: 7,
+            f_bvc: 2,
+            d: 2,
+            instances,
+            va_rounds: 3,
+            seed,
+            poll_timeout: Duration::from_millis(1),
+            max_polls: 600_000,
+        }
+    }
+
+    /// A CI-sized profile: 4 nodes, `f = 1`, few instances.
+    #[must_use]
+    pub fn smoke(seed: u64) -> Self {
+        ServiceConfig {
+            n: 4,
+            f_bvc: 1,
+            d: 2,
+            instances: 12,
+            va_rounds: 2,
+            seed,
+            poll_timeout: Duration::from_millis(1),
+            max_polls: 200_000,
+        }
+    }
+
+    /// Number of SyncBvc instances in the mix (every 3rd slot).
+    #[must_use]
+    pub fn bvc_instances(&self) -> usize {
+        self.instances.div_ceil(3)
+    }
+
+    /// Seeded inputs for instance slot `k` (1 vector per process) — the
+    /// same on every node and every transport.
+    #[must_use]
+    pub fn inputs_for(&self, k: usize) -> Vec<VecD> {
+        let mut r = rng(self.seed.wrapping_mul(0x9e37_79b9).wrapping_add(k as u64));
+        random_points(&mut r, self.n, self.d, 5.0)
+    }
+}
+
+/// One node's contribution to the outcome, returned from its thread.
+struct NodeReport {
+    decisions: BTreeMap<u64, VecD>,
+    bytes_sent: u64,
+    bytes_received: u64,
+    errors: u64,
+}
+
+/// Aggregated result of one mesh run.
+#[derive(Debug, Clone)]
+pub struct ServiceOutcome {
+    /// Transport that carried the run.
+    pub transport: TransportKind,
+    /// Mesh size.
+    pub n: usize,
+    /// Instances registered per node.
+    pub instances: usize,
+    /// SyncBvc share of the mix.
+    pub bvc_instances: usize,
+    /// Instances decided by **all** `n` nodes.
+    pub decided: usize,
+    /// Wall-clock duration from service start to the last decision.
+    pub wall_secs: f64,
+    /// Fully decided instances per second of wall clock.
+    pub decided_per_sec: f64,
+    /// Median decision latency (start → last node's decision), ms.
+    pub p50_ms: f64,
+    /// 99th-percentile decision latency, ms.
+    pub p99_ms: f64,
+    /// Worst decision latency, ms.
+    pub max_ms: f64,
+    /// Bytes put on the wire, summed over all endpoints.
+    pub bytes_sent: u64,
+    /// Bytes received off the wire, summed over all endpoints.
+    pub bytes_received: u64,
+    /// Online safety-monitor violations (must be 0).
+    pub monitor_violations: usize,
+    /// Service + transport degradation events, summed over nodes
+    /// (must be 0 on a clean loopback run).
+    pub errors: u64,
+    /// Per-node decided values, keyed by instance id — for identity checks.
+    pub decisions: Vec<BTreeMap<u64, VecD>>,
+}
+
+/// Build instance slot `k` for process `id`: every 3rd slot is a SyncBvc
+/// under the lockstep synchronizer, the rest are Verified Averaging.
+fn build_instance(cfg: &ServiceConfig, k: usize, id: usize, input: VecD) -> InstanceProto {
+    if k % 3 == 0 {
+        InstanceProto::Bvc(
+            Lockstep::new(
+                SyncBvc::new(
+                    id,
+                    cfg.n,
+                    cfg.f_bvc,
+                    cfg.d,
+                    input,
+                    DecisionRule::MinDeltaPoint(Norm::L2),
+                    Tol::default(),
+                ),
+                cfg.n,
+                cfg.f_bvc + 1,
+            )
+            // All-honest mesh: the crash-tolerance timeout must never fire
+            // (a partial-inbox advance would diverge across transports).
+            .with_timeout_ticks(u32::MAX),
+        )
+    } else {
+        InstanceProto::Va(VerifiedAveraging::new(
+            id,
+            cfg.n,
+            0,
+            input,
+            DeltaMode::MinDelta(Norm::L2),
+            cfg.va_rounds,
+            Tol::default(),
+        ))
+    }
+}
+
+/// A decision event crossing from a node thread to the coordinator.
+struct Event {
+    instance: u64,
+    process: usize,
+    value: Vec<f64>,
+    latency: Duration,
+}
+
+/// Run one full mesh: spawn `n` service threads over the given endpoints,
+/// monitor decisions online, and aggregate.
+fn run_mesh<T: Transport + 'static>(
+    cfg: &ServiceConfig,
+    transport: TransportKind,
+    endpoints: Vec<T>,
+) -> ServiceOutcome {
+    let all_inputs: Vec<Vec<VecD>> = (0..cfg.instances).map(|k| cfg.inputs_for(k)).collect();
+    let (tx, rx) = mpsc::channel::<Event>();
+    // Endpoints stay open until the whole mesh is done: a node that decides
+    // early and drops its socket would reset links its slower peers are
+    // still draining (spurious teardown errors, possibly lost frames).
+    let done = Arc::new(Barrier::new(cfg.n));
+    let start = Instant::now();
+
+    let handles: Vec<thread::JoinHandle<NodeReport>> = endpoints
+        .into_iter()
+        .enumerate()
+        .map(|(id, ep)| {
+            let tx = tx.clone();
+            let cfg = cfg.clone();
+            let all_inputs = all_inputs.clone();
+            let done = Arc::clone(&done);
+            thread::spawn(move || {
+                let mut svc = ConsensusService::new(ep);
+                for (k, inputs) in all_inputs.iter().enumerate() {
+                    svc.add_instance(k as u64 + 1, build_instance(&cfg, k, id, inputs[id].clone()))
+                        .expect("unique instance ids");
+                }
+                svc.start().expect("service start");
+                for _ in 0..cfg.max_polls {
+                    if svc.all_decided() {
+                        break;
+                    }
+                    for ev in svc.poll(cfg.poll_timeout) {
+                        let _ = tx.send(Event {
+                            instance: ev.instance,
+                            process: ev.process,
+                            value: ev.value.as_slice().to_vec(),
+                            latency: start.elapsed(),
+                        });
+                    }
+                }
+                // Snapshot before the barrier: peers closing their sockets
+                // afterwards must not count against this node.
+                let report = NodeReport {
+                    decisions: (0..cfg.instances as u64)
+                        .filter_map(|k| svc.decision(k + 1).map(|v| (k + 1, v)))
+                        .collect(),
+                    bytes_sent: svc.transport().bytes_sent(),
+                    bytes_received: svc.transport().bytes_received(),
+                    errors: svc.errors().total() + svc.transport().errors().total(),
+                };
+                done.wait();
+                report
+            })
+        })
+        .collect();
+    drop(tx); // the channel closes when the last node thread exits
+
+    // Online safety monitoring: one SafetyMonitor per instance, built on
+    // that instance's first decision with its own inputs (box validity is
+    // per-instance; the slack bounds how far a relaxed decision may leave
+    // the input box: δ* ≤ max pairwise input distance).
+    let cfg_mon = cfg.clone();
+    let mut monitor: ServiceMonitor<Vec<f64>> = ServiceMonitor::new(move |inst| {
+        let inputs: Vec<Vec<f64>> = cfg_mon
+            .inputs_for(inst as usize - 1)
+            .iter()
+            .map(|v| v.as_slice().to_vec())
+            .collect();
+        let slack = max_edge(&cfg_mon.inputs_for(inst as usize - 1));
+        SafetyMonitor::new(cfg_mon.n, epsilon_agreement(1e-9), box_validity(&inputs, slack))
+    });
+
+    // (instance → nodes decided so far, latest latency); an instance counts
+    // as fully decided once all n nodes reported it.
+    let mut progress: BTreeMap<u64, (usize, Duration)> = BTreeMap::new();
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut last_decision_at = Duration::ZERO;
+    while let Ok(ev) = rx.recv() {
+        monitor.observe(ev.instance, ev.process, &ev.value);
+        let entry = progress.entry(ev.instance).or_insert((0, Duration::ZERO));
+        entry.0 += 1;
+        entry.1 = entry.1.max(ev.latency);
+        if entry.0 == cfg.n {
+            latencies.push(entry.1.as_secs_f64() * 1e3);
+            last_decision_at = last_decision_at.max(entry.1);
+        }
+    }
+
+    let reports: Vec<NodeReport> = handles
+        .into_iter()
+        .map(|h| h.join().expect("node thread"))
+        .collect();
+    let decided = progress.values().filter(|(c, _)| *c == cfg.n).count();
+    let wall_secs = if decided > 0 {
+        last_decision_at.as_secs_f64()
+    } else {
+        start.elapsed().as_secs_f64()
+    };
+    latencies.sort_by(f64::total_cmp);
+    ServiceOutcome {
+        transport,
+        n: cfg.n,
+        instances: cfg.instances,
+        bvc_instances: cfg.bvc_instances(),
+        decided,
+        wall_secs,
+        decided_per_sec: if wall_secs > 0.0 { decided as f64 / wall_secs } else { 0.0 },
+        p50_ms: percentile(&latencies, 50.0),
+        p99_ms: percentile(&latencies, 99.0),
+        max_ms: latencies.last().copied().unwrap_or(f64::NAN),
+        bytes_sent: reports.iter().map(|r| r.bytes_sent).sum(),
+        bytes_received: reports.iter().map(|r| r.bytes_received).sum(),
+        monitor_violations: monitor.violation_count(),
+        errors: reports.iter().map(|r| r.errors).sum(),
+        decisions: reports.into_iter().map(|r| r.decisions).collect(),
+    }
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (NaN if empty).
+#[must_use]
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p / 100.0).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Run the load generator over the chosen transport.
+///
+/// # Panics
+/// On transport construction failure (e.g. loopback sockets unavailable) or
+/// a node thread panicking.
+#[must_use]
+pub fn run_service(cfg: &ServiceConfig, kind: TransportKind) -> ServiceOutcome {
+    match kind {
+        TransportKind::Tcp => {
+            let eps = tcp_mesh_loopback(cfg.n).expect("loopback TCP mesh");
+            run_mesh(cfg, kind, eps)
+        }
+        TransportKind::InProc => run_mesh(cfg, kind, in_proc_mesh(cfg.n)),
+    }
+}
+
+/// Cross-transport identity check: the same seed must decide bit-identically
+/// over TCP and in-process. Returns the two outcomes plus the verdict.
+#[must_use]
+pub fn cross_transport_identity(cfg: &ServiceConfig) -> (bool, ServiceOutcome, ServiceOutcome) {
+    let tcp = run_service(cfg, TransportKind::Tcp);
+    let inproc = run_service(cfg, TransportKind::InProc);
+    let identical = tcp.decisions == inproc.decisions
+        && tcp.decided == cfg.instances
+        && inproc.decided == cfg.instances;
+    (identical, tcp, inproc)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The smoke profile decides everything over the in-process transport
+    /// with a clean monitor — the same path `exp_service --smoke` takes.
+    #[test]
+    fn smoke_profile_decides_cleanly_in_process() {
+        let cfg = ServiceConfig::smoke(11);
+        let out = run_service(&cfg, TransportKind::InProc);
+        assert_eq!(out.decided, cfg.instances, "all instances fully decided");
+        assert_eq!(out.monitor_violations, 0);
+        assert_eq!(out.errors, 0);
+        assert!(out.p50_ms <= out.p99_ms || out.instances < 2);
+        for node in &out.decisions[1..] {
+            assert_eq!(node, &out.decisions[0], "mesh-wide identical decisions");
+        }
+    }
+
+    #[test]
+    fn percentile_is_nearest_rank() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((percentile(&xs, 50.0) - 3.0).abs() < 1e-12);
+        assert!((percentile(&xs, 99.0) - 4.0).abs() < 1e-12);
+        assert!(percentile(&[], 50.0).is_nan());
+    }
+}

@@ -1,85 +1,13 @@
-//! Typed protocol errors.
+//! Typed protocol errors — re-exported from `rbvc-sim`.
 //!
-//! Malformed input — a Byzantine payload with NaN components, a witness set
-//! referencing ghost processes, a run specification that cannot possibly
-//! satisfy the paper's bounds — used to `panic!` deep inside the protocol
-//! state machines.  That is the wrong failure domain: a poisoned message
-//! should degrade the *one node* that received it (it stays undecided and the
-//! run records why), while an impossible experiment specification should be
-//! reported to the caller as an `Err`, not a crash.
+//! [`ProtocolError`] historically lived here; it moved down into
+//! `rbvc_sim::error` so the message-passing substrates (`rbvc_sim::net`,
+//! `rbvc_sim::threads`) and the socket transport (`rbvc-transport`) can
+//! degrade through the same typed error without a dependency cycle.  This
+//! module re-exports it so every existing `rbvc_core::ProtocolError` /
+//! `crate::error::ProtocolError` call site keeps compiling unchanged.
 //!
-//! [`ProtocolError`] is the single error currency for both cases.
+//! See `rbvc_sim::error` for the degrade-don't-panic contract every receive
+//! boundary follows.
 
-use rbvc_sim::ProcessId;
-use std::fmt;
-
-/// Everything that can go wrong inside a protocol node or an experiment
-/// runner without being a bug in this crate.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum ProtocolError {
-    /// The experiment specification is internally inconsistent (wrong number
-    /// of inputs, zero processes, mismatched dimensions, ...).
-    InvalidSpec {
-        /// Human-readable description of the inconsistency.
-        reason: String,
-    },
-    /// A safe-area intersection (Γ(X) in `DeltaMode::Zero`) came up empty.
-    ///
-    /// With `n < (d+2)f + 1` this is expected — the paper's Theorem 2 bound
-    /// is violated — but it can also be provoked at runtime by Byzantine
-    /// values, so it must not panic.
-    EmptyIntersection {
-        /// Protocol round in which the combination step failed.
-        round: usize,
-        /// Description of the combining mode that failed.
-        mode: &'static str,
-    },
-    /// A received payload failed receive-boundary validation (non-finite
-    /// components, dimension mismatch, out-of-range process ids, oversized
-    /// witness sets).  The message is discarded; only the sender's influence
-    /// is lost.
-    MalformedPayload {
-        /// Claimed sender of the offending message.
-        from: ProcessId,
-        /// What exactly was malformed.
-        reason: String,
-    },
-}
-
-impl fmt::Display for ProtocolError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            ProtocolError::InvalidSpec { reason } => {
-                write!(f, "invalid experiment specification: {reason}")
-            }
-            ProtocolError::EmptyIntersection { round, mode } => {
-                write!(
-                    f,
-                    "empty intersection in round {round} ({mode}); \
-                     the n >= (d+2)f + 1 bound is likely violated"
-                )
-            }
-            ProtocolError::MalformedPayload { from, reason } => {
-                write!(f, "malformed payload from process {from}: {reason}")
-            }
-        }
-    }
-}
-
-impl std::error::Error for ProtocolError {}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn display_is_informative() {
-        let e = ProtocolError::EmptyIntersection { round: 0, mode: "gamma" };
-        assert!(e.to_string().contains("round 0"));
-        let e = ProtocolError::MalformedPayload { from: 7, reason: "NaN component".into() };
-        assert!(e.to_string().contains("process 7"));
-        assert!(e.to_string().contains("NaN"));
-        let e = ProtocolError::InvalidSpec { reason: "n == 0".into() };
-        assert!(e.to_string().contains("n == 0"));
-    }
-}
+pub use rbvc_sim::error::{ErrorLog, ProtocolError};

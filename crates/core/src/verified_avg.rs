@@ -335,7 +335,15 @@ impl VerifiedAveraging {
         if list.len() < self.n - self.f {
             return false;
         }
-        let witness: Vec<(ProcessId, VecD)> = list.clone();
+        let mut witness: Vec<(ProcessId, VecD)> = list.clone();
+        // Canonicalize the combining order by origin id: float summation is
+        // order-sensitive, and verification order is delivery-dependent, so
+        // without this two transports (or two runs) computing over the same
+        // verified multiset could differ in the last bits. With f = 0 (the
+        // wait-for-all regime) this makes decisions bit-identical across
+        // transports; verifiers recompute over the witness as broadcast, so
+        // the sorted order is self-consistent end to end.
+        witness.sort_by_key(|(pid, _)| *pid);
         let values: Vec<VecD> = witness.iter().map(|(_, v)| v.clone()).collect();
         let next_value = if t == 0 {
             match self.combine_round0(&values) {

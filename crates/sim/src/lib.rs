@@ -27,7 +27,10 @@
 //!   timed partitions) and the [`net::ReliableLink`] ack/retransmit wrapper
 //!   that restores the paper's reliable-channel model over a lossy link.
 //! * [`monitor`] — online safety monitor flagging agreement/validity
-//!   violations the moment a decision event occurs.
+//!   violations the moment a decision event occurs, per run or per service
+//!   instance.
+//! * [`error`] — [`ProtocolError`], the workspace-wide typed error currency,
+//!   and the degrade-don't-panic contract for receive boundaries.
 //! * [`trace`] — execution statistics (message/round counts).
 
 pub mod asynch;
@@ -35,6 +38,7 @@ pub mod bracha;
 pub mod config;
 pub mod dolev_strong;
 pub mod eig;
+pub mod error;
 pub mod fuzz;
 pub mod monitor;
 pub mod net;
@@ -43,4 +47,5 @@ pub mod threads;
 pub mod trace;
 
 pub use config::{ProcessId, SystemConfig};
+pub use error::{ErrorLog, ProtocolError};
 pub use sync::{RoundEngine, SyncAdversary, SyncNode, SyncProtocol};

@@ -18,7 +18,12 @@
 //! |·|∞ comparison; for exact agreement, equality; for validity, e.g. a
 //! convex-hull or range containment check against the honest inputs.
 
+use std::collections::BTreeMap;
+
 use crate::config::ProcessId;
+
+/// Identifier of one consensus instance inside a multi-instance service.
+pub type InstanceId = u64;
 
 /// What kind of safety property a [`SafetyAlert`] reports broken.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -182,6 +187,82 @@ impl<O: Clone + PartialEq> SafetyMonitor<O> {
     }
 }
 
+/// Safety monitoring for a *multi-instance* consensus service: decision
+/// events are tagged with an [`InstanceId`] and demultiplexed into one
+/// [`SafetyMonitor`] per instance, created on first observation by the
+/// injected factory (different instances may have different inputs and
+/// hence different validity predicates).
+///
+/// This is what the service layer subscribes to: agreement and validity are
+/// per-instance properties, so a single flat monitor would raise bogus
+/// cross-instance agreement alerts the moment two instances legitimately
+/// decide different values.
+pub struct ServiceMonitor<O> {
+    #[allow(clippy::type_complexity)]
+    factory: Box<dyn FnMut(InstanceId) -> SafetyMonitor<O> + Send>,
+    monitors: BTreeMap<InstanceId, SafetyMonitor<O>>,
+}
+
+impl<O: Clone + PartialEq> ServiceMonitor<O> {
+    /// Build a service monitor; `factory(instance)` constructs the
+    /// per-instance safety monitor on that instance's first decision event.
+    #[must_use]
+    pub fn new(factory: impl FnMut(InstanceId) -> SafetyMonitor<O> + Send + 'static) -> Self {
+        ServiceMonitor {
+            factory: Box::new(factory),
+            monitors: BTreeMap::new(),
+        }
+    }
+
+    /// Ingest one service-level decision event; returns the alerts this
+    /// event raised within its instance.
+    pub fn observe(
+        &mut self,
+        instance: InstanceId,
+        process: ProcessId,
+        decision: &O,
+    ) -> Vec<SafetyAlert> {
+        let monitor = self
+            .monitors
+            .entry(instance)
+            .or_insert_with(|| (self.factory)(instance));
+        monitor.observe(process, decision)
+    }
+
+    /// True iff no instance has raised a violation.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.monitors.values().all(SafetyMonitor::clean)
+    }
+
+    /// Total alerts across all instances.
+    #[must_use]
+    pub fn violation_count(&self) -> usize {
+        self.monitors.values().map(|m| m.alerts().len()).sum()
+    }
+
+    /// All `(instance, alert)` pairs, ordered by instance id then event.
+    #[must_use]
+    pub fn alerts(&self) -> Vec<(InstanceId, SafetyAlert)> {
+        self.monitors
+            .iter()
+            .flat_map(|(id, m)| m.alerts().iter().map(move |a| (*id, a.clone())))
+            .collect()
+    }
+
+    /// Number of instances that have produced at least one decision.
+    #[must_use]
+    pub fn instances_seen(&self) -> usize {
+        self.monitors.len()
+    }
+
+    /// Per-instance view, for post-run inspection.
+    #[must_use]
+    pub fn instance(&self, id: InstanceId) -> Option<&SafetyMonitor<O>> {
+        self.monitors.get(&id)
+    }
+}
+
 /// ε-agreement predicate for `Vec<f64>` decisions: flags pairs whose
 /// coordinatewise distance exceeds `eps` (or whose dimensions differ).
 pub fn epsilon_agreement(eps: f64) -> impl FnMut(&Vec<f64>, &Vec<f64>) -> Option<String> {
@@ -306,6 +387,50 @@ mod tests {
         let alerts = m.observe(7, &1);
         assert_eq!(alerts.len(), 1);
         assert_eq!(alerts[0].kind, AlertKind::Validity { process: 7 });
+    }
+
+    #[test]
+    fn service_monitor_demuxes_per_instance() {
+        let mut sm = ServiceMonitor::new(|_inst| {
+            SafetyMonitor::agreement_only(3, |a: &i64, b: &i64| {
+                (a != b).then(|| format!("{a} != {b}"))
+            })
+        });
+        // Different instances legitimately decide different values: no alert.
+        assert!(sm.observe(1, 0, &10).is_empty());
+        assert!(sm.observe(2, 0, &20).is_empty());
+        assert!(sm.observe(1, 1, &10).is_empty());
+        assert!(sm.clean());
+        assert_eq!(sm.instances_seen(), 2);
+        assert_eq!(sm.instance(1).unwrap().decided_count(), 2);
+
+        // A conflict *within* instance 2 fires exactly there.
+        let alerts = sm.observe(2, 1, &21);
+        assert_eq!(alerts.len(), 1);
+        assert!(!sm.clean());
+        assert_eq!(sm.violation_count(), 1);
+        let tagged = sm.alerts();
+        assert_eq!(tagged.len(), 1);
+        assert_eq!(tagged[0].0, 2, "alert is tagged with the instance id");
+        assert!(sm.instance(1).unwrap().clean());
+    }
+
+    #[test]
+    fn service_monitor_factory_receives_instance_id() {
+        // Per-instance validity: instance k only accepts decision == k.
+        let mut sm = ServiceMonitor::new(|inst| {
+            SafetyMonitor::new(
+                2,
+                |_: &i64, _: &i64| None,
+                move |p, v: &i64| {
+                    (*v != inst as i64).then(|| format!("process {p}: {v} != instance {inst}"))
+                },
+            )
+        });
+        assert!(sm.observe(5, 0, &5).is_empty());
+        let alerts = sm.observe(6, 0, &5);
+        assert_eq!(alerts.len(), 1);
+        assert_eq!(alerts[0].kind, AlertKind::Validity { process: 0 });
     }
 
     #[test]

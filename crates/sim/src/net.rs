@@ -25,6 +25,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::asynch::AsyncProtocol;
 use crate::config::ProcessId;
+use crate::error::{ErrorLog, ProtocolError};
 
 /// Fault parameters for one directed link, applied per message.
 ///
@@ -334,6 +335,9 @@ pub struct ReliableLink<P: AsyncProtocol> {
     clock: u64,
     base_rto: u64,
     max_rto: u64,
+    /// Degradation log: malformed traffic discarded at the receive boundary
+    /// and outbound sends to nonexistent peers. Never panics the link.
+    errors: ErrorLog,
 }
 
 impl<P: AsyncProtocol> ReliableLink<P> {
@@ -352,6 +356,7 @@ impl<P: AsyncProtocol> ReliableLink<P> {
             clock: 0,
             base_rto,
             max_rto: max_rto.max(base_rto),
+            errors: ErrorLog::new(),
         }
     }
 
@@ -373,22 +378,37 @@ impl<P: AsyncProtocol> ReliableLink<P> {
         self.unacked.len()
     }
 
+    /// Degradation events this link has absorbed (malformed inbound traffic,
+    /// outbound sends addressed to nonexistent peers).
+    #[must_use]
+    pub fn errors(&self) -> &ErrorLog {
+        &self.errors
+    }
+
     fn stamp(&mut self, sends: Vec<(ProcessId, P::Msg)>) -> Vec<(ProcessId, LinkMsg<P::Msg>)> {
-        sends
-            .into_iter()
-            .map(|(dst, payload)| {
-                let seq = self.next_seq[dst];
-                self.next_seq[dst] += 1;
-                self.unacked.push(Unacked {
-                    dst,
-                    seq,
-                    payload: payload.clone(),
-                    retry_at: self.clock + self.base_rto,
-                    attempts: 0,
+        let mut out = Vec::with_capacity(sends.len());
+        for (dst, payload) in sends {
+            // Degrade, don't panic: an inner protocol addressing a ghost
+            // peer loses that one send and the link records why.
+            if dst >= self.next_seq.len() {
+                self.errors.record(ProtocolError::Transport {
+                    peer: Some(dst),
+                    reason: format!("send to nonexistent process {dst}"),
                 });
-                (dst, LinkMsg::Data { seq, payload })
-            })
-            .collect()
+                continue;
+            }
+            let seq = self.next_seq[dst];
+            self.next_seq[dst] += 1;
+            self.unacked.push(Unacked {
+                dst,
+                seq,
+                payload: payload.clone(),
+                retry_at: self.clock + self.base_rto,
+                attempts: 0,
+            });
+            out.push((dst, LinkMsg::Data { seq, payload }));
+        }
+        out
     }
 
     fn due_retransmissions(&mut self) -> Vec<(ProcessId, LinkMsg<P::Msg>)> {
@@ -424,6 +444,20 @@ impl<P: AsyncProtocol> AsyncProtocol for ReliableLink<P> {
 
     fn on_message(&mut self, from: ProcessId, msg: Self::Msg) -> Vec<(ProcessId, Self::Msg)> {
         self.clock += 1;
+        // Receive boundary (degrade, don't panic): a frame claiming a ghost
+        // sender is discarded and recorded; only that frame is lost — the
+        // link, its retransmission state, and the inner protocol all keep
+        // running untouched.
+        if from >= self.delivered.len() {
+            self.errors.record(ProtocolError::MalformedPayload {
+                from,
+                reason: format!(
+                    "link frame from out-of-range process {from} (n = {})",
+                    self.delivered.len()
+                ),
+            });
+            return self.due_retransmissions();
+        }
         let mut out = Vec::new();
         match msg {
             LinkMsg::Ack { seq } => {
@@ -434,7 +468,7 @@ impl<P: AsyncProtocol> AsyncProtocol for ReliableLink<P> {
                 // sender's retransmission loop terminates even when the
                 // first ack was itself lost.
                 out.push((from, LinkMsg::Ack { seq }));
-                if from < self.delivered.len() && !self.delivered[from].contains(&seq) {
+                if !self.delivered[from].contains(&seq) {
                     self.delivered[from].push(seq);
                     let sends = self.inner.on_message(from, payload);
                     out.extend(self.stamp(sends));
@@ -479,8 +513,13 @@ impl<A> ReliableLinkAdversary<A> {
     }
 
     fn stamp<M>(&mut self, sends: Vec<(ProcessId, M)>) -> Vec<(ProcessId, LinkMsg<M>)> {
+        // Ghost destinations are dropped rather than panicking: even a
+        // Byzantine strategy addressing nonexistent peers must not crash
+        // the harness hosting it.
+        let n = self.next_seq.len();
         sends
             .into_iter()
+            .filter(|(dst, _)| *dst < n)
             .map(|(dst, payload)| {
                 let seq = self.next_seq[dst];
                 self.next_seq[dst] += 1;
@@ -668,6 +707,53 @@ mod tests {
                 "no retransmissions after full ack"
             );
         }
+    }
+
+    #[test]
+    fn ghost_sender_and_ghost_destination_degrade_without_panic() {
+        let inner = Broadcast {
+            n: 2,
+            me: 0,
+            got: vec![None; 2],
+        };
+        let mut link = ReliableLink::with_defaults(inner, 2);
+        // Inbound frame claiming an out-of-range sender: discarded, recorded,
+        // never acked, never delivered to the inner protocol.
+        let out = link.on_message(9, LinkMsg::Data { seq: 0, payload: 5 });
+        assert!(
+            !out.iter().any(|(_, m)| matches!(m, LinkMsg::Ack { .. })),
+            "ghost-sender data must not be acked"
+        );
+        assert!(link.inner().got.iter().all(Option::is_none));
+        assert_eq!(link.errors().total(), 1);
+        assert!(matches!(
+            link.errors().errors()[0],
+            ProtocolError::MalformedPayload { from: 9, .. }
+        ));
+        // An inner protocol addressing a ghost peer loses that send only.
+        struct GhostSender;
+        impl AsyncProtocol for GhostSender {
+            type Msg = u32;
+            type Output = u32;
+            fn on_start(&mut self) -> Vec<(ProcessId, u32)> {
+                vec![(7, 1), (0, 2)]
+            }
+            fn on_message(&mut self, _f: ProcessId, _m: u32) -> Vec<(ProcessId, u32)> {
+                Vec::new()
+            }
+            fn output(&self) -> Option<u32> {
+                None
+            }
+        }
+        let mut link = ReliableLink::with_defaults(GhostSender, 2);
+        let sends = link.on_start();
+        assert_eq!(sends.len(), 1, "only the in-range send survives");
+        assert_eq!(sends[0].0, 0);
+        assert_eq!(link.errors().total(), 1);
+        assert!(matches!(
+            link.errors().errors()[0],
+            ProtocolError::Transport { peer: Some(7), .. }
+        ));
     }
 
     #[test]

@@ -19,6 +19,7 @@ use parking_lot::Mutex;
 
 use crate::asynch::{AsyncAdversary, AsyncProtocol};
 use crate::config::{ProcessId, SystemConfig};
+use crate::error::{ErrorLog, ProtocolError};
 use crate::monitor::SafetyMonitor;
 use crate::net::{NetStats, NetworkFaults};
 use crate::trace::ExecutionTrace;
@@ -46,6 +47,9 @@ pub struct ThreadedOutcome<O> {
     pub trace: ExecutionTrace,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
+    /// Degradation events absorbed across all node threads (e.g. sends
+    /// addressed to nonexistent peers) — the degrade-don't-panic record.
+    pub errors: ErrorLog,
 }
 
 /// Run the protocol with one OS thread per process until every honest
@@ -92,6 +96,7 @@ where
     let shutdown = Arc::new(AtomicBool::new(false));
     let sent = Arc::new(AtomicU64::new(0));
     let delivered = Arc::new(AtomicU64::new(0));
+    let errors: Arc<Mutex<ErrorLog>> = Arc::new(Mutex::new(ErrorLog::new()));
 
     let start = Instant::now();
     let mut handles = Vec::with_capacity(n);
@@ -103,9 +108,19 @@ where
         let shutdown = Arc::clone(&shutdown);
         let sent = Arc::clone(&sent);
         let delivered = Arc::clone(&delivered);
+        let errors = Arc::clone(&errors);
         handles.push(thread::spawn(move || {
             let route = |sends: Vec<(ProcessId, P::Msg)>| {
                 for (dst, msg) in sends {
+                    // Degrade, don't panic: a ghost destination loses that
+                    // one send and the run records why.
+                    if dst >= txs.len() {
+                        errors.lock().record(ProtocolError::Transport {
+                            peer: Some(dst),
+                            reason: format!("process {id} sent to nonexistent process {dst}"),
+                        });
+                        continue;
+                    }
                     sent.fetch_add(1, Ordering::Relaxed);
                     // A receiver may already have shut down; that's fine.
                     let _ = txs[dst].send((id, msg));
@@ -180,12 +195,14 @@ where
         rounds: 0,
         messages_delivered: delivered.load(Ordering::Relaxed),
     };
+    let errors = errors.lock().clone();
     ThreadedOutcome {
         decisions,
         all_decided,
         undecided,
         trace,
         elapsed: start.elapsed(),
+        errors,
     }
 }
 
@@ -251,6 +268,7 @@ where
     let sent = Arc::new(AtomicU64::new(0));
     let delivered = Arc::new(AtomicU64::new(0));
     let faults = Arc::new(Mutex::new(faults));
+    let errors: Arc<Mutex<ErrorLog>> = Arc::new(Mutex::new(ErrorLog::new()));
 
     let start = Instant::now();
     let mut handles = Vec::with_capacity(n);
@@ -263,6 +281,7 @@ where
         let sent = Arc::clone(&sent);
         let delivered = Arc::clone(&delivered);
         let faults = Arc::clone(&faults);
+        let errors = Arc::clone(&errors);
         handles.push(thread::spawn(move || {
             // Delayed copies waiting for their delivery instant.
             let mut outbox: Vec<(Instant, ProcessId, P::Msg)> = Vec::new();
@@ -270,6 +289,15 @@ where
                                outbox: &mut Vec<(Instant, ProcessId, P::Msg)>| {
                 let now_ms = start.elapsed().as_millis() as u64;
                 for (dst, msg) in sends {
+                    // Degrade, don't panic: ghost destinations are dropped
+                    // and recorded before they can index the channel mesh.
+                    if dst >= txs.len() {
+                        errors.lock().record(ProtocolError::Transport {
+                            peer: Some(dst),
+                            reason: format!("process {id} sent to nonexistent process {dst}"),
+                        });
+                        continue;
+                    }
                     sent.fetch_add(1, Ordering::Relaxed);
                     let delays = faults.lock().route(id, dst, now_ms);
                     for delay in delays {
@@ -408,12 +436,14 @@ where
         messages_delivered: delivered.load(Ordering::Relaxed),
     };
     let net = faults.lock().stats;
+    let errors = errors.lock().clone();
     let outcome = ThreadedOutcome {
         decisions,
         all_decided,
         undecided,
         trace,
         elapsed: start.elapsed(),
+        errors,
     };
     (outcome, net)
 }
@@ -553,6 +583,35 @@ mod tests {
         assert!(out.undecided.is_empty());
         assert_eq!(out.trace.messages_sent, 16, "4 broadcasts of 4, no echoes");
         assert!(out.trace.messages_delivered <= out.trace.messages_sent);
+    }
+
+    #[test]
+    fn ghost_destination_is_recorded_not_panicked() {
+        // A protocol addressing a nonexistent peer must degrade (that send
+        // is lost, the event is recorded) instead of crashing its thread.
+        struct GhostCast;
+        impl AsyncProtocol for GhostCast {
+            type Msg = i64;
+            type Output = i64;
+            fn on_start(&mut self) -> Vec<(ProcessId, i64)> {
+                vec![(99, 1)]
+            }
+            fn on_message(&mut self, _from: ProcessId, _msg: i64) -> Vec<(ProcessId, i64)> {
+                Vec::new()
+            }
+            fn output(&self) -> Option<i64> {
+                Some(0)
+            }
+        }
+        let config = SystemConfig::new(2, 0);
+        let nodes = vec![ThreadedNode::Honest(GhostCast), ThreadedNode::Honest(GhostCast)];
+        let out = run_threaded(&config, nodes, Duration::from_secs(5));
+        assert!(out.all_decided);
+        assert_eq!(out.errors.total(), 2, "one ghost send per node");
+        assert!(matches!(
+            out.errors.errors()[0],
+            crate::error::ProtocolError::Transport { peer: Some(99), .. }
+        ));
     }
 
     #[test]

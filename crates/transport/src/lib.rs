@@ -1,0 +1,41 @@
+#![warn(missing_docs)]
+
+//! # rbvc-transport
+//!
+//! Point-to-point transports and the multi-instance consensus service for
+//! relaxed Byzantine vector consensus — the layer that takes the protocol
+//! state machines of `rbvc-core` off the simulator and onto real sockets.
+//!
+//! * [`wire`] — the binary frame codec (`instance | round | sender | typed
+//!   payload`) with strict decode validation: malformed or Byzantine bytes
+//!   are rejected at the frame boundary as
+//!   [`rbvc_sim::error::ProtocolError`], never a panic.
+//! * [`transport`] — the [`transport::Transport`] trait (queued sends,
+//!   per-peer batched flush, authenticated receive) and the in-process mesh
+//!   that adapts the simulator's fault-injected network behind it.
+//! * [`tcp`] — the real-socket implementation over `std::net` TCP:
+//!   length-prefixed framing, per-peer connection management, dial retry
+//!   with exponential backoff.
+//! * [`lockstep`] — the round synchronizer that runs any
+//!   [`rbvc_sim::sync::SyncProtocol`] over an asynchronous substrate with
+//!   deterministic (sender-ordered) round delivery.
+//! * [`service`] — [`service::ConsensusService`]: many concurrent SyncBvc /
+//!   VerifiedAveraging instances multiplexed over one socket mesh, demuxed
+//!   by instance id, with per-poll outbound batching.
+//!
+//! Both transports carry identical encoded bytes and both protocol drivers
+//! deliver deterministically, so the same seed decides identically whether
+//! frames cross a channel or a socket — the property the integration tests
+//! pin down.
+
+pub mod lockstep;
+pub mod service;
+pub mod tcp;
+pub mod transport;
+pub mod wire;
+
+pub use lockstep::{Lockstep, RoundBatch};
+pub use service::{ConsensusService, DecisionEvent, InstanceProto};
+pub use tcp::{tcp_mesh_loopback, TcpEndpoint};
+pub use transport::{in_proc_mesh, in_proc_mesh_with_faults, InProcEndpoint, Transport};
+pub use wire::{decode_frame, encode_frame, Frame, Payload};

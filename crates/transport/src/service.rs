@@ -1,0 +1,478 @@
+//! Multi-instance consensus service: many concurrent SyncBvc /
+//! VerifiedAveraging instances multiplexed over one transport mesh.
+//!
+//! One [`ConsensusService`] per process owns one [`Transport`] endpoint and
+//! any number of consensus instances, each identified by a service-wide
+//! [`InstanceId`]. Outbound protocol messages are encoded into
+//! [`crate::wire`] frames tagged with their instance id and queued on the
+//! transport; [`ConsensusService::poll`] drains the socket, decodes,
+//! demultiplexes by instance id, dispatches, and flushes everything the
+//! dispatch produced as one batch per peer.
+//!
+//! ## Receive-boundary policy (degrade, don't panic)
+//!
+//! Every inbound frame passes four gates before touching protocol state,
+//! each recording a [`ProtocolError`] and discarding the frame on failure:
+//!
+//! 1. **decode** — malformed bytes die in [`crate::wire::decode_frame`];
+//! 2. **sender authentication** — the frame's claimed sender must equal the
+//!    transport-authenticated link peer (no spoofing across links);
+//! 3. **instance lookup** — frames for unknown instance ids are dropped
+//!    (instances are registered before `start`);
+//! 4. **kind check** — the payload variant must match the instance's
+//!    protocol.
+//!
+//! Whatever survives is handed to state machines that run their own
+//! receive-boundary validation on top.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use rbvc_core::verified_avg::VerifiedAveraging;
+use rbvc_core::SyncBvc;
+use rbvc_linalg::VecD;
+use rbvc_sim::asynch::AsyncProtocol;
+use rbvc_sim::config::ProcessId;
+use rbvc_sim::error::{ErrorLog, ProtocolError};
+pub use rbvc_sim::monitor::InstanceId;
+
+use crate::lockstep::{Lockstep, RoundBatch};
+use crate::transport::Transport;
+use crate::wire::{decode_frame, encode_frame, Frame, Payload};
+
+/// One consensus instance as the service runs it.
+pub enum InstanceProto {
+    /// A synchronous broadcast-then-decide instance under the lockstep
+    /// synchronizer.
+    Bvc(Lockstep<SyncBvc>),
+    /// An asynchronous Verified-Averaging instance.
+    Va(VerifiedAveraging),
+}
+
+/// A decision surfaced by [`ConsensusService::poll`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct DecisionEvent {
+    /// Which instance decided.
+    pub instance: InstanceId,
+    /// The local process that decided (always this service's id).
+    pub process: ProcessId,
+    /// The decided vector.
+    pub value: VecD,
+}
+
+struct Slot {
+    proto: InstanceProto,
+    decided: bool,
+}
+
+/// The per-process service multiplexing consensus instances over one
+/// transport endpoint.
+pub struct ConsensusService<T: Transport> {
+    transport: T,
+    instances: BTreeMap<InstanceId, Slot>,
+    undecided: usize,
+    errors: ErrorLog,
+    started: bool,
+}
+
+impl<T: Transport> ConsensusService<T> {
+    /// Wrap a transport endpoint into an (initially empty) service.
+    #[must_use]
+    pub fn new(transport: T) -> Self {
+        ConsensusService {
+            transport,
+            instances: BTreeMap::new(),
+            undecided: 0,
+            errors: ErrorLog::new(),
+            started: false,
+        }
+    }
+
+    /// Register one instance under `id`.
+    ///
+    /// # Errors
+    /// [`ProtocolError::InvalidSpec`] if `id` is already taken or the
+    /// service already started.
+    pub fn add_instance(&mut self, id: InstanceId, proto: InstanceProto) -> Result<(), ProtocolError> {
+        if self.started {
+            return Err(ProtocolError::InvalidSpec {
+                reason: "instances must be registered before start()".into(),
+            });
+        }
+        if self.instances.contains_key(&id) {
+            return Err(ProtocolError::InvalidSpec {
+                reason: format!("duplicate instance id {id}"),
+            });
+        }
+        self.instances.insert(id, Slot { proto, decided: false });
+        self.undecided += 1;
+        Ok(())
+    }
+
+    /// Kick off every registered instance (their `on_start` sends), flushed
+    /// as one batch per peer.
+    ///
+    /// # Errors
+    /// Propagates transport-level send/flush failures (also recorded).
+    pub fn start(&mut self) -> Result<(), ProtocolError> {
+        self.started = true;
+        let mut first_err = None;
+        let ids: Vec<InstanceId> = self.instances.keys().copied().collect();
+        for id in ids {
+            let sends = match &mut self.instances.get_mut(&id).expect("registered").proto {
+                InstanceProto::Bvc(p) => Self::encode_bvc(id, self.transport.local_id(), p.on_start()),
+                InstanceProto::Va(p) => Self::encode_va(id, self.transport.local_id(), p.on_start()),
+            };
+            if let Err(e) = self.route(sends) {
+                first_err.get_or_insert(e);
+            }
+        }
+        if let Err(e) = self.transport.flush() {
+            first_err.get_or_insert(e);
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    fn encode_bvc(
+        instance: InstanceId,
+        sender: ProcessId,
+        sends: Vec<(ProcessId, RoundBatch<<SyncBvc as rbvc_sim::sync::SyncProtocol>::Msg>)>,
+    ) -> Vec<(ProcessId, Vec<u8>)> {
+        sends
+            .into_iter()
+            .map(|(dst, batch)| {
+                let frame = Frame {
+                    instance,
+                    sender,
+                    round: u32::try_from(batch.round).expect("round fits u32"),
+                    payload: Payload::Eig(batch.msgs),
+                };
+                (dst, encode_frame(&frame))
+            })
+            .collect()
+    }
+
+    fn encode_va(
+        instance: InstanceId,
+        sender: ProcessId,
+        sends: Vec<(ProcessId, <VerifiedAveraging as AsyncProtocol>::Msg)>,
+    ) -> Vec<(ProcessId, Vec<u8>)> {
+        sends
+            .into_iter()
+            .map(|(dst, msg)| {
+                let frame = Frame {
+                    instance,
+                    sender,
+                    round: u32::try_from(msg.0 .1).expect("round fits u32"),
+                    payload: Payload::Va(msg),
+                };
+                (dst, encode_frame(&frame))
+            })
+            .collect()
+    }
+
+    /// Queue encoded frames on the transport; failures are recorded and the
+    /// remaining frames still go out.
+    fn route(&mut self, frames: Vec<(ProcessId, Vec<u8>)>) -> Result<(), ProtocolError> {
+        let mut first_err = None;
+        for (dst, bytes) in frames {
+            if let Err(e) = self.transport.send(dst, bytes) {
+                first_err.get_or_insert(e);
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    /// Dispatch one authenticated, decoded frame to its instance. Returns
+    /// the outbound frames it produced.
+    fn dispatch(&mut self, frame: Frame) -> Vec<(ProcessId, Vec<u8>)> {
+        let local = self.transport.local_id();
+        let Some(slot) = self.instances.get_mut(&frame.instance) else {
+            self.errors.record(ProtocolError::MalformedPayload {
+                from: frame.sender,
+                reason: format!("frame for unknown instance {}", frame.instance),
+            });
+            return Vec::new();
+        };
+        match (&mut slot.proto, frame.payload) {
+            (InstanceProto::Bvc(p), Payload::Eig(msgs)) => Self::encode_bvc(
+                frame.instance,
+                local,
+                p.on_message(
+                    frame.sender,
+                    RoundBatch { round: frame.round as usize, msgs },
+                ),
+            ),
+            (InstanceProto::Va(p), Payload::Va(msg)) => {
+                Self::encode_va(frame.instance, local, p.on_message(frame.sender, msg))
+            }
+            (_, _) => {
+                self.errors.record(ProtocolError::MalformedPayload {
+                    from: frame.sender,
+                    reason: format!(
+                        "payload kind does not match the protocol of instance {}",
+                        frame.instance
+                    ),
+                });
+                Vec::new()
+            }
+        }
+    }
+
+    /// One service step: receive (waiting up to `timeout` for the first
+    /// frame), decode, authenticate, demultiplex, dispatch, tick, and flush
+    /// everything produced as one batch per peer. Returns the decisions
+    /// newly reached during this poll.
+    pub fn poll(&mut self, timeout: Duration) -> Vec<DecisionEvent> {
+        let inbound = self.transport.recv_timeout(timeout);
+        let mut outbound: Vec<(ProcessId, Vec<u8>)> = Vec::new();
+        for (link_peer, bytes) in inbound {
+            let frame = match decode_frame(&bytes, link_peer) {
+                Ok(f) => f,
+                Err(e) => {
+                    self.errors.record(e);
+                    continue;
+                }
+            };
+            if frame.sender != link_peer {
+                self.errors.record(ProtocolError::MalformedPayload {
+                    from: link_peer,
+                    reason: format!(
+                        "spoofed sender: header claims {} on the link from {}",
+                        frame.sender, link_peer
+                    ),
+                });
+                continue;
+            }
+            outbound.extend(self.dispatch(frame));
+        }
+        // Drive timers (lockstep round timeouts) once per poll.
+        let local = self.transport.local_id();
+        let ids: Vec<InstanceId> = self.instances.keys().copied().collect();
+        for id in ids {
+            let slot = self.instances.get_mut(&id).expect("registered");
+            if slot.decided {
+                continue;
+            }
+            let sends = match &mut slot.proto {
+                InstanceProto::Bvc(p) => Self::encode_bvc(id, local, p.on_tick()),
+                InstanceProto::Va(p) => Self::encode_va(id, local, p.on_tick()),
+            };
+            outbound.extend(sends);
+        }
+        if self.route(outbound).is_err() || self.transport.flush().is_err() {
+            // Already recorded by the transport; the poll loop continues on
+            // the surviving links.
+        }
+        self.collect_decisions()
+    }
+
+    /// Surface newly decided instances as events (each instance at most once).
+    fn collect_decisions(&mut self) -> Vec<DecisionEvent> {
+        let local = self.transport.local_id();
+        let mut events = Vec::new();
+        for (id, slot) in &mut self.instances {
+            if slot.decided {
+                continue;
+            }
+            let value = match &slot.proto {
+                InstanceProto::Bvc(p) => p.output(),
+                InstanceProto::Va(p) => p.output(),
+            };
+            if let Some(value) = value {
+                slot.decided = true;
+                self.undecided -= 1;
+                events.push(DecisionEvent { instance: *id, process: local, value });
+            }
+        }
+        events
+    }
+
+    /// Poll until every instance decided or `max_polls` elapse; returns all
+    /// decision events in arrival order.
+    pub fn run_until_decided(
+        &mut self,
+        poll_timeout: Duration,
+        max_polls: usize,
+    ) -> Vec<DecisionEvent> {
+        let mut events = Vec::new();
+        for _ in 0..max_polls {
+            if self.undecided == 0 {
+                break;
+            }
+            events.extend(self.poll(poll_timeout));
+        }
+        events
+    }
+
+    /// True iff every registered instance has decided.
+    #[must_use]
+    pub fn all_decided(&self) -> bool {
+        self.undecided == 0
+    }
+
+    /// Decision of one instance, if reached.
+    #[must_use]
+    pub fn decision(&self, id: InstanceId) -> Option<VecD> {
+        match &self.instances.get(&id)?.proto {
+            InstanceProto::Bvc(p) => p.output(),
+            InstanceProto::Va(p) => p.output(),
+        }
+    }
+
+    /// Service-level degradation events (decode failures, spoofed senders,
+    /// unknown instances, kind mismatches).
+    #[must_use]
+    pub fn errors(&self) -> &ErrorLog {
+        &self.errors
+    }
+
+    /// The transport endpoint (byte counters, transport error log).
+    #[must_use]
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::in_proc_mesh;
+    use rbvc_core::verified_avg::DeltaMode;
+    use rbvc_core::DecisionRule;
+    use rbvc_linalg::Tol;
+
+    fn bvc_instance(id: ProcessId, n: usize, f: usize, input: &[f64]) -> InstanceProto {
+        let d = input.len();
+        InstanceProto::Bvc(Lockstep::new(
+            SyncBvc::new(
+                id,
+                n,
+                f,
+                d,
+                VecD::from_slice(input),
+                DecisionRule::MinDeltaPoint(rbvc_linalg::Norm::L2),
+                Tol::default(),
+            ),
+            n,
+            f + 1,
+        ))
+    }
+
+    fn va_instance(id: ProcessId, n: usize, input: &[f64]) -> InstanceProto {
+        InstanceProto::Va(VerifiedAveraging::new(
+            id,
+            n,
+            0,
+            VecD::from_slice(input),
+            DeltaMode::MinDelta(rbvc_linalg::Norm::L2),
+            8,
+            Tol::default(),
+        ))
+    }
+
+    /// Two instances (one of each protocol) over a 4-endpoint in-process
+    /// mesh, all driven from one thread by round-robin polling.
+    #[test]
+    fn multiplexes_bvc_and_va_over_one_mesh() {
+        let n = 4;
+        let inputs = [[0.0, 0.0], [1.0, 0.0], [0.0, 1.0], [1.0, 1.0]];
+        let mut services: Vec<ConsensusService<_>> = in_proc_mesh(n)
+            .into_iter()
+            .map(ConsensusService::new)
+            .collect();
+        for (i, svc) in services.iter_mut().enumerate() {
+            svc.add_instance(10, bvc_instance(i, n, 1, &inputs[i])).unwrap();
+            svc.add_instance(20, va_instance(i, n, &inputs[i])).unwrap();
+            svc.start().unwrap();
+        }
+        let mut spins = 0;
+        while services.iter().any(|s| !s.all_decided()) {
+            for svc in &mut services {
+                let _ = svc.poll(Duration::from_millis(1));
+            }
+            spins += 1;
+            assert!(spins < 10_000, "service mesh failed to converge");
+        }
+        // Every process decided both instances identically across the mesh.
+        for inst in [10u64, 20] {
+            let v0 = services[0].decision(inst).expect("decided");
+            for svc in &services[1..] {
+                assert_eq!(svc.decision(inst), Some(v0.clone()), "instance {inst}");
+            }
+        }
+        for svc in &services {
+            assert!(svc.errors().is_empty());
+        }
+    }
+
+    #[test]
+    fn duplicate_instance_ids_and_late_registration_are_rejected() {
+        let mut svc = ConsensusService::new(in_proc_mesh(1).pop().unwrap());
+        svc.add_instance(1, va_instance(0, 1, &[0.0])).unwrap();
+        assert!(matches!(
+            svc.add_instance(1, va_instance(0, 1, &[0.0])),
+            Err(ProtocolError::InvalidSpec { .. })
+        ));
+        svc.start().unwrap();
+        assert!(matches!(
+            svc.add_instance(2, va_instance(0, 1, &[0.0])),
+            Err(ProtocolError::InvalidSpec { .. })
+        ));
+    }
+
+    #[test]
+    fn byzantine_frames_are_rejected_at_every_gate() {
+        let n = 2;
+        let mut mesh = in_proc_mesh(n);
+        let ep1 = mesh.pop().unwrap();
+        let mut raw = mesh.pop().unwrap(); // endpoint 0, used raw
+        let mut svc = ConsensusService::new(ep1);
+        svc.add_instance(5, va_instance(1, n, &[0.0])).unwrap();
+        svc.start().unwrap();
+
+        use crate::transport::Transport as _;
+        // Gate 1: undecodable bytes.
+        raw.send(1, vec![0xde, 0xad]).unwrap();
+        // Gate 2: spoofed sender (claims process 1 on the link from 0).
+        let spoof = Frame {
+            instance: 5,
+            sender: 1,
+            round: 0,
+            payload: Payload::Va((
+                (0, 0),
+                rbvc_sim::bracha::BrachaMsg::Init(rbvc_core::verified_avg::RoundState {
+                    value: VecD::from_slice(&[1.0]),
+                    witness: vec![],
+                }),
+            )),
+        };
+        raw.send(1, encode_frame(&spoof)).unwrap();
+        // Gate 3: unknown instance id.
+        let unknown = Frame { instance: 99, ..spoof.clone() };
+        raw.send(1, encode_frame(&Frame { sender: 0, ..unknown })).unwrap();
+        // Gate 4: payload kind mismatch (EIG frame for a VA instance).
+        let mismatch = Frame {
+            instance: 5,
+            sender: 0,
+            round: 0,
+            payload: Payload::Eig(vec![]),
+        };
+        raw.send(1, encode_frame(&mismatch)).unwrap();
+        raw.flush().unwrap();
+
+        for _ in 0..20 {
+            let _ = svc.poll(Duration::from_millis(5));
+            if svc.errors().total() >= 4 {
+                break;
+            }
+        }
+        assert_eq!(svc.errors().total(), 4, "all four gates must fire: {:?}", svc.errors().errors());
+    }
+}

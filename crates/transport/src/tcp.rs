@@ -1,0 +1,491 @@
+//! Real-socket transport: length-prefixed binary framing over `std::net`
+//! TCP, with per-peer connection management and dial retry.
+//!
+//! Topology: every ordered pair gets a *directed* connection — endpoint `i`
+//! dials endpoint `j`'s listener and uses that stream exclusively for
+//! `i → j` frames, announcing itself first with a HELLO record. The accept
+//! side authenticates the link peer from the HELLO once, then tags every
+//! frame read off that stream with it; a frame can spoof its *header*, but
+//! not the link it arrived on, and the service layer cross-checks the two.
+//!
+//! Stream format (all little-endian):
+//!
+//! ```text
+//! HELLO:  "RBH" VERSION  peer-id u32
+//! frame:  len u32  (1 ≤ len ≤ MAX_FRAME_LEN)  then len bytes
+//! ```
+//!
+//! Degrade-don't-panic at every socket boundary: a bad HELLO, an oversized
+//! or zero length prefix, or a mid-stream read error poisons *that one
+//! connection* — it is closed, the event is recorded in the endpoint's
+//! [`ErrorLog`], and every other link keeps flowing. A length-prefix
+//! violation in particular MUST kill the stream: after it the byte stream
+//! has no recoverable frame boundary.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use rbvc_sim::config::ProcessId;
+use rbvc_sim::error::{ErrorLog, ProtocolError};
+
+use crate::transport::Transport;
+
+/// HELLO magic (3 bytes) followed by the wire version byte.
+pub const HELLO_MAGIC: [u8; 3] = *b"RBH";
+/// Largest frame the framing layer accepts (16 MiB).
+pub const MAX_FRAME_LEN: usize = 16 << 20;
+/// Dial retry budget.
+pub const DIAL_ATTEMPTS: u32 = 10;
+/// First-retry backoff; doubles per attempt, capped at [`DIAL_BACKOFF_CAP`].
+pub const DIAL_BACKOFF_BASE: Duration = Duration::from_millis(1);
+/// Backoff ceiling.
+pub const DIAL_BACKOFF_CAP: Duration = Duration::from_millis(64);
+
+/// Events flowing from the reader threads to the endpoint.
+enum RxEvent {
+    Frame(ProcessId, Vec<u8>),
+    /// The connection from `peer` died (EOF, IO error, framing violation).
+    /// `None` peer: the failure happened before HELLO authentication.
+    LinkDown(Option<ProcessId>, String),
+}
+
+/// Dial `addr` with exponential backoff: attempt, sleep 1ms, 2ms, … (capped)
+/// between failures, up to [`DIAL_ATTEMPTS`] attempts.
+///
+/// # Errors
+/// [`ProtocolError::Transport`] once the retry budget is exhausted.
+pub fn dial_with_backoff(
+    addr: SocketAddr,
+    peer: ProcessId,
+) -> Result<TcpStream, ProtocolError> {
+    let mut backoff = DIAL_BACKOFF_BASE;
+    let mut last_err = String::new();
+    for attempt in 0..DIAL_ATTEMPTS {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                last_err = e.to_string();
+                if attempt + 1 < DIAL_ATTEMPTS {
+                    thread::sleep(backoff);
+                    backoff = (backoff * 2).min(DIAL_BACKOFF_CAP);
+                }
+            }
+        }
+    }
+    Err(ProtocolError::Transport {
+        peer: Some(peer),
+        reason: format!("dial {addr} failed after {DIAL_ATTEMPTS} attempts: {last_err}"),
+    })
+}
+
+/// Read one length-prefixed frame. `Ok(None)` on clean EOF at a frame
+/// boundary; `Err` on truncation, IO failure, or a length-prefix violation.
+fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, String> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(format!("length-prefix read failed: {e}")),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_FRAME_LEN {
+        // An out-of-range length means the stream is desynchronized or the
+        // peer is hostile; there is no frame boundary to resynchronize on.
+        return Err(format!("length prefix {len} outside 1..={MAX_FRAME_LEN}"));
+    }
+    let mut buf = vec![0u8; len];
+    stream
+        .read_exact(&mut buf)
+        .map_err(|e| format!("truncated frame body ({len} bytes expected): {e}"))?;
+    Ok(Some(buf))
+}
+
+/// One process's endpoint of a TCP mesh.
+pub struct TcpEndpoint {
+    id: ProcessId,
+    n: usize,
+    /// Outbound streams, indexed by destination (`None`: self or a link
+    /// that degraded permanently).
+    writers: Vec<Option<TcpStream>>,
+    /// Per-peer outbound batches: frames queued since the last flush,
+    /// already length-prefixed, concatenated for a single write.
+    outbox: Vec<Vec<u8>>,
+    rx: Receiver<RxEvent>,
+    /// Kept so reader threads spawned later (none today) could clone it;
+    /// also serves the self-link.
+    self_tx: Sender<RxEvent>,
+    bytes_sent: u64,
+    bytes_received: Arc<AtomicU64>,
+    errors: Arc<Mutex<ErrorLog>>,
+}
+
+/// Spawn a reader thread that authenticates the HELLO and then pumps frames
+/// into `tx` until the stream dies.
+fn spawn_reader(
+    mut stream: TcpStream,
+    n: usize,
+    tx: Sender<RxEvent>,
+    bytes_received: Arc<AtomicU64>,
+) {
+    thread::spawn(move || {
+        let mut hello = [0u8; 8];
+        if let Err(e) = stream.read_exact(&mut hello) {
+            let _ = tx.send(RxEvent::LinkDown(None, format!("HELLO read failed: {e}")));
+            return;
+        }
+        if hello[..3] != HELLO_MAGIC || hello[3] != crate::wire::VERSION {
+            let _ = tx.send(RxEvent::LinkDown(None, "bad HELLO magic/version".into()));
+            return;
+        }
+        let peer = u32::from_le_bytes([hello[4], hello[5], hello[6], hello[7]]) as usize;
+        if peer >= n {
+            let _ = tx.send(RxEvent::LinkDown(
+                None,
+                format!("HELLO claims ghost peer {peer} (n = {n})"),
+            ));
+            return;
+        }
+        bytes_received.fetch_add(8, Ordering::Relaxed);
+        loop {
+            match read_frame(&mut stream) {
+                Ok(Some(frame)) => {
+                    bytes_received.fetch_add(4 + frame.len() as u64, Ordering::Relaxed);
+                    if tx.send(RxEvent::Frame(peer, frame)).is_err() {
+                        return; // endpoint gone
+                    }
+                }
+                Ok(None) => return, // clean EOF
+                Err(reason) => {
+                    let _ = tx.send(RxEvent::LinkDown(Some(peer), reason));
+                    return;
+                }
+            }
+        }
+    });
+}
+
+impl TcpEndpoint {
+    /// Stand up endpoint `id` of an `addrs.len()`-process mesh: starts
+    /// accepting on `listener` (which peers dial) and dials every other
+    /// peer's listener with retry + backoff.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Transport`] if a peer cannot be dialed within the
+    /// retry budget or the HELLO cannot be written.
+    pub fn connect(
+        id: ProcessId,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+    ) -> Result<Self, ProtocolError> {
+        let n = addrs.len();
+        assert!(id < n, "endpoint id must index addrs");
+        let (tx, rx) = channel::unbounded();
+        let bytes_received = Arc::new(AtomicU64::new(0));
+        let errors = Arc::new(Mutex::new(ErrorLog::new()));
+
+        // Accept thread: hand each inbound stream to its own reader. It
+        // exits once n-1 peers connected (the complete-mesh contract).
+        {
+            let tx = tx.clone();
+            let bytes_received = Arc::clone(&bytes_received);
+            let errors = Arc::clone(&errors);
+            thread::spawn(move || {
+                for _ in 0..n.saturating_sub(1) {
+                    match listener.accept() {
+                        Ok((stream, _)) => {
+                            spawn_reader(stream, n, tx.clone(), Arc::clone(&bytes_received));
+                        }
+                        Err(e) => errors.lock().record(ProtocolError::Transport {
+                            peer: None,
+                            reason: format!("accept failed: {e}"),
+                        }),
+                    }
+                }
+            });
+        }
+
+        // Dial every peer for the outbound direction and announce ourselves.
+        let mut writers: Vec<Option<TcpStream>> = Vec::with_capacity(n);
+        let mut bytes_sent = 0u64;
+        for (dst, addr) in addrs.iter().enumerate() {
+            if dst == id {
+                writers.push(None);
+                continue;
+            }
+            let stream = dial_with_backoff(*addr, dst)?;
+            stream.set_nodelay(true).ok();
+            let mut hello = Vec::with_capacity(8);
+            hello.extend_from_slice(&HELLO_MAGIC);
+            hello.push(crate::wire::VERSION);
+            hello.extend_from_slice(&(id as u32).to_le_bytes());
+            let mut stream = stream;
+            stream
+                .write_all(&hello)
+                .map_err(|e| ProtocolError::Transport {
+                    peer: Some(dst),
+                    reason: format!("HELLO write failed: {e}"),
+                })?;
+            bytes_sent += hello.len() as u64;
+            writers.push(Some(stream));
+        }
+
+        Ok(TcpEndpoint {
+            id,
+            n,
+            writers,
+            outbox: vec![Vec::new(); n],
+            rx,
+            self_tx: tx,
+            bytes_sent,
+            bytes_received,
+            errors,
+        })
+    }
+}
+
+impl Transport for TcpEndpoint {
+    fn local_id(&self) -> ProcessId {
+        self.id
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn send(&mut self, dst: ProcessId, frame: Vec<u8>) -> Result<(), ProtocolError> {
+        if dst >= self.n {
+            let e = ProtocolError::Transport {
+                peer: Some(dst),
+                reason: format!("ghost destination {dst} in a {}-process mesh", self.n),
+            };
+            self.errors.lock().record(e.clone());
+            return Err(e);
+        }
+        if dst == self.id {
+            // Self-link: deliver through the local queue, skip the wire.
+            let _ = self.self_tx.send(RxEvent::Frame(self.id, frame));
+            return Ok(());
+        }
+        if self.writers[dst].is_none() {
+            let e = ProtocolError::Transport {
+                peer: Some(dst),
+                reason: "link permanently degraded".into(),
+            };
+            self.errors.lock().record(e.clone());
+            return Err(e);
+        }
+        let batch = &mut self.outbox[dst];
+        batch.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        batch.extend_from_slice(&frame);
+        Ok(())
+    }
+
+    fn flush(&mut self) -> Result<(), ProtocolError> {
+        let mut first_err = None;
+        for dst in 0..self.n {
+            if self.outbox[dst].is_empty() {
+                continue;
+            }
+            let Some(stream) = self.writers[dst].as_mut() else {
+                self.outbox[dst].clear();
+                continue;
+            };
+            let batch = std::mem::take(&mut self.outbox[dst]);
+            match stream.write_all(&batch) {
+                Ok(()) => self.bytes_sent += batch.len() as u64,
+                Err(e) => {
+                    // This link is gone; degrade it and keep flushing the
+                    // rest of the mesh.
+                    let err = ProtocolError::Transport {
+                        peer: Some(dst),
+                        reason: format!("batched write failed: {e}"),
+                    };
+                    self.errors.lock().record(err.clone());
+                    self.writers[dst] = None;
+                    first_err.get_or_insert(err);
+                }
+            }
+        }
+        match first_err {
+            None => Ok(()),
+            Some(e) => Err(e),
+        }
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Vec<(ProcessId, Vec<u8>)> {
+        let mut out = Vec::new();
+        let mut absorb = |ev: RxEvent, errors: &Arc<Mutex<ErrorLog>>| match ev {
+            RxEvent::Frame(peer, bytes) => out.push((peer, bytes)),
+            RxEvent::LinkDown(peer, reason) => {
+                errors.lock().record(ProtocolError::Transport { peer, reason });
+            }
+        };
+        // Wait for the first event, then drain whatever else is ready.
+        match self.rx.recv_timeout(timeout) {
+            Ok(ev) => absorb(ev, &self.errors),
+            Err(_) => return out,
+        }
+        while let Ok(ev) = self.rx.try_recv() {
+            absorb(ev, &self.errors);
+        }
+        out
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.bytes_received.load(Ordering::Relaxed)
+    }
+
+    fn errors(&self) -> ErrorLog {
+        self.errors.lock().clone()
+    }
+}
+
+/// Stand up a complete loopback mesh of `n` endpoints in this process:
+/// binds `n` ephemeral listeners on 127.0.0.1, then connects every ordered
+/// pair. Endpoint `i` of the result is process `i`.
+///
+/// # Errors
+/// [`ProtocolError::Transport`] if binding or any dial fails.
+pub fn tcp_mesh_loopback(n: usize) -> Result<Vec<TcpEndpoint>, ProtocolError> {
+    assert!(n > 0, "mesh needs at least one endpoint");
+    let mut listeners = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let l = TcpListener::bind(("127.0.0.1", 0)).map_err(|e| ProtocolError::Transport {
+            peer: None,
+            reason: format!("bind failed: {e}"),
+        })?;
+        addrs.push(l.local_addr().map_err(|e| ProtocolError::Transport {
+            peer: None,
+            reason: format!("local_addr failed: {e}"),
+        })?);
+        listeners.push(l);
+    }
+    // Connect endpoints concurrently: every dial blocks until the target
+    // listener accepts, and all listeners are already bound, so the joins
+    // cannot deadlock.
+    let handles: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(id, listener)| {
+            let addrs = addrs.clone();
+            thread::spawn(move || TcpEndpoint::connect(id, listener, &addrs))
+        })
+        .collect();
+    let mut endpoints = Vec::with_capacity(n);
+    for h in handles {
+        endpoints.push(h.join().map_err(|_| ProtocolError::Transport {
+            peer: None,
+            reason: "endpoint construction thread panicked".into(),
+        })??);
+    }
+    Ok(endpoints)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loopback_mesh_moves_frames_both_ways() {
+        let mut mesh = tcp_mesh_loopback(3).expect("mesh");
+        mesh[0].send(1, vec![1, 2, 3]).unwrap();
+        mesh[1].send(0, vec![4, 5]).unwrap();
+        mesh[2].send(2, vec![9]).unwrap(); // self-link
+        for e in &mut mesh {
+            e.flush().unwrap();
+        }
+        let recv_one = |e: &mut TcpEndpoint| -> (ProcessId, Vec<u8>) {
+            for _ in 0..100 {
+                let mut got = e.recv_timeout(Duration::from_millis(50));
+                if !got.is_empty() {
+                    return got.swap_remove(0);
+                }
+            }
+            panic!("no frame arrived");
+        };
+        assert_eq!(recv_one(&mut mesh[1]), (0, vec![1, 2, 3]));
+        assert_eq!(recv_one(&mut mesh[0]), (1, vec![4, 5]));
+        assert_eq!(recv_one(&mut mesh[2]), (2, vec![9]));
+        assert!(mesh[0].bytes_sent() > 0);
+        assert!(mesh[1].bytes_received() > 0);
+    }
+
+    #[test]
+    fn batching_concatenates_frames_per_peer() {
+        let mut mesh = tcp_mesh_loopback(2).expect("mesh");
+        for k in 0..5u8 {
+            mesh[0].send(1, vec![k; 3]).unwrap();
+        }
+        let before = mesh[0].bytes_sent();
+        mesh[0].flush().unwrap();
+        // 5 frames × (4-byte prefix + 3 bytes payload) in one batch.
+        assert_eq!(mesh[0].bytes_sent() - before, 5 * 7);
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.extend(mesh[1].recv_timeout(Duration::from_millis(50)));
+            if got.len() == 5 {
+                break;
+            }
+        }
+        let frames: Vec<Vec<u8>> = got.into_iter().map(|(_, b)| b).collect();
+        assert_eq!(frames, (0..5u8).map(|k| vec![k; 3]).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn oversized_length_prefix_poisons_only_that_link() {
+        let mut mesh = tcp_mesh_loopback(3).expect("mesh");
+        // Byte-level attack: write a hostile length prefix directly into
+        // endpoint 1's listener-side stream from endpoint 0.
+        let poison = u32::MAX.to_le_bytes();
+        mesh[0].writers[1].as_mut().unwrap().write_all(&poison).unwrap();
+        mesh[0].writers[1].as_mut().unwrap().flush().unwrap();
+        // Link 0→1 dies (recorded, not panicked); link 2→1 still works.
+        let mut saw_linkdown = false;
+        for _ in 0..100 {
+            let _ = mesh[1].recv_timeout(Duration::from_millis(20));
+            if mesh[1].errors().total() > 0 {
+                saw_linkdown = true;
+                break;
+            }
+        }
+        assert!(saw_linkdown, "framing violation must be recorded");
+        mesh[2].send(1, vec![7]).unwrap();
+        mesh[2].flush().unwrap();
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.extend(mesh[1].recv_timeout(Duration::from_millis(50)));
+            if !got.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(got, vec![(2, vec![7])]);
+    }
+
+    #[test]
+    fn dial_backoff_survives_a_late_listener() {
+        // Reserve an address, drop the listener, restart it after a delay:
+        // the dialer's retry/backoff must bridge the gap.
+        let probe = TcpListener::bind(("127.0.0.1", 0)).unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        let accepter = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            let l = TcpListener::bind(addr).expect("rebind");
+            l.accept().map(|_| ()).ok();
+        });
+        let dialed = dial_with_backoff(addr, 0);
+        accepter.join().unwrap();
+        assert!(dialed.is_ok(), "backoff must ride out the listener gap");
+    }
+}

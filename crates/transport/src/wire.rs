@@ -1,0 +1,449 @@
+//! Binary wire codec for service frames.
+//!
+//! One [`Frame`] carries one protocol message of one consensus instance:
+//!
+//! ```text
+//! magic "RB" | version u8 | kind u8 | instance u64 | sender u32 | round u32 | payload …
+//! ```
+//!
+//! all integers little-endian, `f64` components as IEEE-754 bit patterns
+//! (bit-exact round-trip, NaN included — *structural* validity is decided
+//! here, *semantic* validity — finiteness, dimension agreement — stays with
+//! the protocol receive boundaries that already enforce it).
+//!
+//! ## The frame boundary is a trust boundary
+//!
+//! Bytes arriving from a socket are Byzantine until proven otherwise.
+//! [`decode_frame`] therefore follows the degrade-don't-panic contract of
+//! `rbvc_sim::error`:
+//!
+//! * every read is bounds-checked — truncated frames are rejected, never
+//!   indexed past;
+//! * every length field is validated against both a hard cap and the bytes
+//!   actually remaining *before* any allocation, so a forged count cannot
+//!   allocate gigabytes or loop for long;
+//! * trailing bytes after a well-formed payload are rejected (a frame is
+//!   exactly one message);
+//! * any violation returns [`ProtocolError::MalformedPayload`] naming the
+//!   link peer the bytes came from. No input byte sequence panics.
+
+use rbvc_core::verified_avg::{RoundState, VaMsg};
+use rbvc_linalg::VecD;
+use rbvc_sim::bracha::BrachaMsg;
+use rbvc_sim::config::ProcessId;
+use rbvc_sim::eig::{EigMsg, ParallelEigMsg};
+use rbvc_sim::error::ProtocolError;
+
+/// Frame magic: the two bytes every frame starts with.
+pub const MAGIC: [u8; 2] = *b"RB";
+/// Wire format version this codec speaks.
+pub const VERSION: u8 = 1;
+
+/// Hard cap on a vector dimension.
+pub const MAX_DIM: usize = 1 << 12;
+/// Hard cap on an EIG label length (labels hold ≤ f+1 distinct ids).
+pub const MAX_LABEL: usize = 64;
+/// Hard cap on relay items in one EIG instance message.
+pub const MAX_EIG_ITEMS: usize = 1 << 16;
+/// Hard cap on EIG instances (senders) in one parallel batch.
+pub const MAX_EIG_INSTANCES: usize = 1 << 12;
+/// Hard cap on protocol messages inside one lockstep round batch.
+pub const MAX_BATCH_MSGS: usize = 1 << 12;
+/// Hard cap on witness entries in a Verified-Averaging round state.
+pub const MAX_WITNESS: usize = 1 << 12;
+/// Hard cap on any process id on the wire (far above any real `n`).
+pub const MAX_PID: usize = 1 << 20;
+/// Hard cap on a round number on the wire.
+pub const MAX_ROUND: u32 = 1 << 20;
+
+/// Typed payload of one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// One lockstep round batch of a [`rbvc_core::SyncBvc`] instance: the
+    /// parallel-EIG messages this sender addressed to the recipient in the
+    /// round named by the frame header.
+    Eig(Vec<ParallelEigMsg<VecD>>),
+    /// One Bracha message of a [`rbvc_core::VerifiedAveraging`] instance
+    /// (the frame-header round mirrors the broadcast tag's round).
+    Va(VaMsg),
+}
+
+/// One decoded service frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    /// Consensus instance this message belongs to.
+    pub instance: u64,
+    /// Claimed protocol-level sender (the service cross-checks it against
+    /// the transport-level link peer).
+    pub sender: ProcessId,
+    /// Protocol round (lockstep round for [`Payload::Eig`], broadcast-tag
+    /// round for [`Payload::Va`]).
+    pub round: u32,
+    /// The protocol message.
+    pub payload: Payload,
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_usize(out: &mut Vec<u8>, v: usize) {
+    // Local data only ever holds counts far below u32::MAX; a violation is
+    // a harness bug, not remote input, so a panic is in-contract.
+    put_u32(out, u32::try_from(v).expect("count exceeds wire format range"));
+}
+
+fn put_vecd(out: &mut Vec<u8>, v: &VecD) {
+    put_usize(out, v.dim());
+    for &x in v.as_slice() {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+}
+
+fn put_eig_msg(out: &mut Vec<u8>, msg: &EigMsg<VecD>) {
+    put_usize(out, msg.len());
+    for (label, value) in msg {
+        put_usize(out, label.len());
+        for &pid in label {
+            put_usize(out, pid);
+        }
+        put_vecd(out, value);
+    }
+}
+
+fn put_round_state(out: &mut Vec<u8>, state: &RoundState) {
+    put_vecd(out, &state.value);
+    put_usize(out, state.witness.len());
+    for (pid, v) in &state.witness {
+        put_usize(out, *pid);
+        put_vecd(out, v);
+    }
+}
+
+/// Encode a frame into its wire bytes (infallible: local data is trusted).
+#[must_use]
+pub fn encode_frame(frame: &Frame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(64);
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(match frame.payload {
+        Payload::Eig(_) => 1,
+        Payload::Va(_) => 2,
+    });
+    out.extend_from_slice(&frame.instance.to_le_bytes());
+    put_usize(&mut out, frame.sender);
+    put_u32(&mut out, frame.round);
+    match &frame.payload {
+        Payload::Eig(batch) => {
+            put_usize(&mut out, batch.len());
+            for parallel in batch {
+                put_usize(&mut out, parallel.len());
+                for (origin, msg) in parallel {
+                    put_usize(&mut out, *origin);
+                    put_eig_msg(&mut out, msg);
+                }
+            }
+        }
+        Payload::Va((tag, bmsg)) => {
+            put_usize(&mut out, tag.0);
+            put_usize(&mut out, tag.1);
+            let (kind, state) = match bmsg {
+                BrachaMsg::Init(s) => (0u8, s),
+                BrachaMsg::Echo(s) => (1, s),
+                BrachaMsg::Ready(s) => (2, s),
+            };
+            out.push(kind);
+            put_round_state(&mut out, state);
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+/// Checked reader over untrusted bytes. Every accessor returns `Err`
+/// instead of reading past the end.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    from: ProcessId,
+}
+
+impl<'a> Reader<'a> {
+    fn err(&self, reason: impl Into<String>) -> ProtocolError {
+        ProtocolError::MalformedPayload {
+            from: self.from,
+            reason: reason.into(),
+        }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], ProtocolError> {
+        if self.remaining() < len {
+            return Err(self.err(format!(
+                "truncated frame: wanted {len} more bytes, have {}",
+                self.remaining()
+            )));
+        }
+        let s = &self.buf[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtocolError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtocolError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtocolError> {
+        let b = self.take(8)?;
+        Ok(u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtocolError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Read a length field and validate it against a hard `cap` *and*
+    /// against the bytes remaining (each element occupies at least
+    /// `min_elem` bytes) — the allocation-bomb guard.
+    fn len_capped(
+        &mut self,
+        cap: usize,
+        min_elem: usize,
+        what: &str,
+    ) -> Result<usize, ProtocolError> {
+        let len = self.u32()? as usize;
+        if len > cap {
+            return Err(self.err(format!("oversized {what} length {len} (cap {cap})")));
+        }
+        if len.saturating_mul(min_elem) > self.remaining() {
+            return Err(self.err(format!(
+                "forged {what} length {len}: would need {} bytes, {} remain",
+                len * min_elem,
+                self.remaining()
+            )));
+        }
+        Ok(len)
+    }
+
+    fn pid(&mut self) -> Result<ProcessId, ProtocolError> {
+        let id = self.u32()? as usize;
+        if id >= MAX_PID {
+            return Err(self.err(format!("process id {id} beyond wire cap {MAX_PID}")));
+        }
+        Ok(id)
+    }
+
+    fn vecd(&mut self) -> Result<VecD, ProtocolError> {
+        let dim = self.len_capped(MAX_DIM, 8, "vector")?;
+        let mut xs = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            xs.push(self.f64()?);
+        }
+        Ok(VecD::from_slice(&xs))
+    }
+
+    fn eig_msg(&mut self) -> Result<EigMsg<VecD>, ProtocolError> {
+        let items = self.len_capped(MAX_EIG_ITEMS, 8, "EIG item list")?;
+        let mut msg = Vec::with_capacity(items);
+        for _ in 0..items {
+            let llen = self.len_capped(MAX_LABEL, 4, "EIG label")?;
+            let mut label = Vec::with_capacity(llen);
+            for _ in 0..llen {
+                label.push(self.pid()?);
+            }
+            msg.push((label, self.vecd()?));
+        }
+        Ok(msg)
+    }
+
+    fn round_state(&mut self) -> Result<RoundState, ProtocolError> {
+        let value = self.vecd()?;
+        let wlen = self.len_capped(MAX_WITNESS, 8, "witness set")?;
+        let mut witness = Vec::with_capacity(wlen);
+        for _ in 0..wlen {
+            let pid = self.pid()?;
+            witness.push((pid, self.vecd()?));
+        }
+        Ok(RoundState { value, witness })
+    }
+}
+
+/// Decode one frame received from link peer `from`.
+///
+/// # Errors
+/// [`ProtocolError::MalformedPayload`] on any structural violation; no byte
+/// sequence panics.
+pub fn decode_frame(bytes: &[u8], from: ProcessId) -> Result<Frame, ProtocolError> {
+    let mut r = Reader { buf: bytes, pos: 0, from };
+    if r.take(2)? != MAGIC {
+        return Err(r.err("bad magic"));
+    }
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(r.err(format!("unsupported wire version {version}")));
+    }
+    let kind = r.u8()?;
+    let instance = r.u64()?;
+    let sender = r.pid()?;
+    let round = r.u32()?;
+    if round > MAX_ROUND {
+        return Err(r.err(format!("round {round} beyond wire cap {MAX_ROUND}")));
+    }
+    let payload = match kind {
+        1 => {
+            let batch_len = r.len_capped(MAX_BATCH_MSGS, 4, "round batch")?;
+            let mut batch = Vec::with_capacity(batch_len);
+            for _ in 0..batch_len {
+                let instances = r.len_capped(MAX_EIG_INSTANCES, 8, "parallel EIG batch")?;
+                let mut parallel: ParallelEigMsg<VecD> = Vec::with_capacity(instances);
+                for _ in 0..instances {
+                    let origin = r.pid()?;
+                    parallel.push((origin, r.eig_msg()?));
+                }
+                batch.push(parallel);
+            }
+            Payload::Eig(batch)
+        }
+        2 => {
+            let origin = r.pid()?;
+            let tag_round = r.u32()?;
+            if tag_round > MAX_ROUND {
+                return Err(r.err(format!("broadcast-tag round {tag_round} beyond cap")));
+            }
+            let bkind = r.u8()?;
+            let state = r.round_state()?;
+            let bmsg = match bkind {
+                0 => BrachaMsg::Init(state),
+                1 => BrachaMsg::Echo(state),
+                2 => BrachaMsg::Ready(state),
+                k => return Err(r.err(format!("unknown Bracha message kind {k}"))),
+            };
+            Payload::Va(((origin, tag_round as usize), bmsg))
+        }
+        k => return Err(r.err(format!("unknown payload kind {k}"))),
+    };
+    if r.remaining() != 0 {
+        return Err(r.err(format!(
+            "{} trailing bytes after a complete frame",
+            r.remaining()
+        )));
+    }
+    Ok(Frame {
+        instance,
+        sender,
+        round,
+        payload,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn eig_frame() -> Frame {
+        Frame {
+            instance: 42,
+            sender: 3,
+            round: 1,
+            payload: Payload::Eig(vec![
+                vec![(0, vec![(vec![0, 1], VecD::from_slice(&[1.5, -2.5]))])],
+                vec![(1, vec![])],
+            ]),
+        }
+    }
+
+    fn va_frame() -> Frame {
+        Frame {
+            instance: u64::MAX,
+            sender: 0,
+            round: 2,
+            payload: Payload::Va((
+                (5, 2),
+                BrachaMsg::Echo(RoundState {
+                    value: VecD::from_slice(&[0.25]),
+                    witness: vec![(1, VecD::from_slice(&[1.0])), (2, VecD::from_slice(&[2.0]))],
+                }),
+            )),
+        }
+    }
+
+    #[test]
+    fn round_trips_bit_exactly() {
+        for frame in [eig_frame(), va_frame()] {
+            let bytes = encode_frame(&frame);
+            let back = decode_frame(&bytes, 9).expect("well-formed frame decodes");
+            assert_eq!(back, frame);
+        }
+        // NaN payloads survive the codec bit-exactly (semantic rejection is
+        // the protocol layer's job, structural integrity is ours).
+        let frame = Frame {
+            instance: 0,
+            sender: 1,
+            round: 0,
+            payload: Payload::Va((
+                (1, 0),
+                BrachaMsg::Init(RoundState {
+                    value: VecD::from_slice(&[f64::NAN]),
+                    witness: vec![],
+                }),
+            )),
+        };
+        let bytes = encode_frame(&frame);
+        let back = decode_frame(&bytes, 1).expect("NaN is structurally fine");
+        match back.payload {
+            Payload::Va((_, BrachaMsg::Init(s))) => assert!(s.value.as_slice()[0].is_nan()),
+            other => panic!("wrong payload: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_is_rejected() {
+        let bytes = encode_frame(&va_frame());
+        for cut in 0..bytes.len() {
+            let e = decode_frame(&bytes[..cut], 7).expect_err("truncation must fail");
+            assert!(matches!(e, ProtocolError::MalformedPayload { from: 7, .. }));
+        }
+    }
+
+    #[test]
+    fn forged_length_cannot_allocate() {
+        // A frame claiming a vector of u32::MAX components but carrying no
+        // bytes must be rejected by the remaining-bytes guard.
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.push(VERSION);
+        bytes.push(2); // Va
+        bytes.extend_from_slice(&0u64.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // sender
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // round
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // origin
+        bytes.extend_from_slice(&0u32.to_le_bytes()); // tag round
+        bytes.push(0); // Init
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // forged dim
+        let e = decode_frame(&bytes, 0).expect_err("forged length must fail");
+        let msg = e.to_string();
+        assert!(msg.contains("vector"), "unexpected error: {msg}");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let mut bytes = encode_frame(&eig_frame());
+        bytes.push(0xFF);
+        assert!(decode_frame(&bytes, 0).is_err());
+    }
+}

@@ -1,0 +1,172 @@
+//! Wire-codec integration tests: round-trip properties over random vectors
+//! and dimensions, rejection of truncated frames and forged length fields,
+//! and a Byzantine-bytes fuzz pass proving the decoder never panics.
+
+use proptest::prelude::*;
+use rbvc_core::verified_avg::RoundState;
+use rbvc_linalg::VecD;
+use rbvc_sim::bracha::BrachaMsg;
+use rbvc_sim::error::ProtocolError;
+use rbvc_transport::wire::{decode_frame, encode_frame, Frame, Payload, MAGIC, VERSION};
+
+/// Build a Verified-Averaging frame from raw generator output.
+fn va_frame(instance: u64, sender: usize, dim: usize, raw: &[f64], witnesses: usize) -> Frame {
+    let vec_at = |k: usize| {
+        VecD::from_slice(
+            &raw[(k * dim) % raw.len()..]
+                .iter()
+                .chain(raw.iter().cycle())
+                .take(dim)
+                .copied()
+                .collect::<Vec<_>>(),
+        )
+    };
+    let witness = (0..witnesses).map(|k| (k, vec_at(k + 1))).collect();
+    Frame {
+        instance,
+        sender,
+        round: (sender % 7) as u32,
+        payload: Payload::Va((
+            (sender, sender % 7),
+            BrachaMsg::Ready(RoundState {
+                value: vec_at(0),
+                witness,
+            }),
+        )),
+    }
+}
+
+/// Build a parallel-EIG frame from raw generator output.
+fn eig_frame(instance: u64, sender: usize, dim: usize, raw: &[f64], labels: usize) -> Frame {
+    let vec_at = |k: usize| {
+        VecD::from_slice(
+            &raw
+                .iter()
+                .cycle()
+                .skip(k * dim)
+                .take(dim)
+                .copied()
+                .collect::<Vec<_>>(),
+        )
+    };
+    let parallel = (0..labels.max(1))
+        .map(|origin| {
+            let items = (0..labels)
+                .map(|k| ((0..=k).collect::<Vec<usize>>(), vec_at(origin + k)))
+                .collect();
+            (origin, items)
+        })
+        .collect();
+    Frame {
+        instance,
+        sender,
+        round: (labels % 4) as u32,
+        payload: Payload::Eig(vec![parallel]),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode → decode is the identity for well-formed frames of either
+    /// payload kind, across random dimensions, instance ids, and values.
+    #[test]
+    fn round_trip_is_identity(
+        raw in prop::collection::vec(-1e9f64..1e9, 24),
+        dim in 1usize..8,
+        instance in 0u64..u64::MAX,
+        sender in 0usize..16,
+        shape in 0usize..5,
+    ) {
+        let frames = [
+            va_frame(instance, sender, dim, &raw, shape),
+            eig_frame(instance, sender, dim, &raw, shape),
+        ];
+        for frame in frames {
+            let bytes = encode_frame(&frame);
+            let back = decode_frame(&bytes, sender);
+            prop_assert_eq!(back.as_ref().ok(), Some(&frame));
+        }
+    }
+
+    /// Every strict prefix of a valid frame is rejected as malformed —
+    /// never accepted, never a panic.
+    #[test]
+    fn truncation_never_decodes(
+        raw in prop::collection::vec(-1e3f64..1e3, 12),
+        dim in 1usize..6,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let frame = va_frame(7, 3, dim, &raw, 2);
+        let bytes = encode_frame(&frame);
+        let cut = ((bytes.len() as f64) * cut_frac) as usize;
+        if cut < bytes.len() {
+            let e = decode_frame(&bytes[..cut], 3);
+            prop_assert!(matches!(e, Err(ProtocolError::MalformedPayload { .. })));
+        }
+    }
+
+    /// Arbitrary byte soup: the decoder returns Ok or MalformedPayload and
+    /// never panics, even when the bytes start with a valid header.
+    #[test]
+    fn byzantine_bytes_never_panic(
+        soup in prop::collection::vec(0u64..256, 64),
+        keep in 1usize..64,
+        with_header in 0u64..2,
+    ) {
+        let mut bytes: Vec<u8> = soup.iter().take(keep).map(|b| *b as u8).collect();
+        if with_header == 1 {
+            // Graft a plausible header so decoding reaches the payload
+            // parsers instead of dying on the magic check.
+            let mut framed = Vec::new();
+            framed.extend_from_slice(&MAGIC);
+            framed.push(VERSION);
+            framed.extend_from_slice(&bytes);
+            bytes = framed;
+        }
+        let _ = decode_frame(&bytes, 0); // must not panic
+    }
+
+    /// Bit-flip fuzz: corrupting any single byte of a valid frame either
+    /// still decodes (the flip hit a value bit) or fails cleanly.
+    #[test]
+    fn single_byte_corruption_fails_cleanly(
+        raw in prop::collection::vec(-1e3f64..1e3, 12),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u64..256,
+    ) {
+        let frame = eig_frame(3, 1, 3, &raw, 3);
+        let mut bytes = encode_frame(&frame);
+        let pos = ((bytes.len() as f64) * pos_frac) as usize % bytes.len();
+        bytes[pos] ^= flip as u8;
+        let _ = decode_frame(&bytes, 1); // must not panic
+    }
+}
+
+/// A length field far larger than the buffer must die on the
+/// remaining-bytes guard (no allocation, no panic) — the classic
+/// length-prefix attack, at the codec layer.
+#[test]
+fn oversized_length_field_is_rejected_without_allocation() {
+    let frame = va_frame(1, 0, 2, &[1.0, 2.0, 3.0], 1);
+    let bytes = encode_frame(&frame);
+    // The vector-dimension field of the VA round state sits right after the
+    // fixed header (2 magic + 1 ver + 1 kind + 8 instance + 4 sender +
+    // 4 round + 4 origin + 4 tag round + 1 bracha kind = 29 bytes).
+    let mut forged = bytes.clone();
+    forged[29..33].copy_from_slice(&u32::MAX.to_le_bytes());
+    let e = decode_frame(&forged, 0).expect_err("forged dimension must fail");
+    assert!(
+        e.to_string().contains("vector") || e.to_string().contains("oversized"),
+        "unexpected rejection: {e}"
+    );
+}
+
+/// Frames must be *exactly* one message: appended garbage is rejected.
+#[test]
+fn trailing_bytes_are_rejected() {
+    let frame = va_frame(1, 0, 2, &[1.0, 2.0, 3.0], 0);
+    let mut bytes = encode_frame(&frame);
+    bytes.extend_from_slice(&[0, 0, 0]);
+    assert!(decode_frame(&bytes, 0).is_err());
+}
