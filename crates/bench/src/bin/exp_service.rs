@@ -2,7 +2,7 @@
 //! hundreds of concurrent SyncBvc / Verified-Averaging instances through
 //! `rbvc-transport`, with online per-instance safety monitoring.
 //!
-//! Usage: `exp_service [--smoke] [instances] [seed]`
+//! Usage: `exp_service [--smoke] [--trace FILE] [--window N] [instances] [seed]`
 //!
 //! The default profile is a 7-node mesh (SyncBvc at `f = 2`) under 210
 //! concurrent instances; `--smoke` shrinks to a 4-node, 12-instance mesh
@@ -11,11 +11,23 @@
 //! profile, print the table, and write `BENCH_service.json`. Exits nonzero
 //! on any safety violation, undecided instance, transport/service error,
 //! or identity mismatch.
+//!
+//! `--trace FILE` records the load run as a JSONL trace through
+//! `rbvc-obs`: every structured protocol event, followed by a dump of the
+//! metrics registry and the hot-kernel timing cells. Feed the file to
+//! `exp_obs` for the per-run report. Tracing observes the run without
+//! changing decisions (same seed, same values).
+
+use std::sync::Arc;
 
 use rbvc_bench::experiments::service::{
-    cross_transport_identity, run_service, ServiceConfig, ServiceOutcome, TransportKind,
+    cross_transport_identity, run_service_with_obs, ServiceConfig, ServiceOutcome, TransportKind,
 };
 use rbvc_bench::report::{fnum, print_table};
+use rbvc_obs::{
+    kernel_snapshot, reset_kernel_timers, set_kernel_timing, JsonlRecorder, Obs, Recorder,
+    Registry,
+};
 use serde_json::json;
 
 fn row(out: &ServiceOutcome) -> Vec<String> {
@@ -41,19 +53,47 @@ fn row(out: &ServiceOutcome) -> Vec<String> {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let smoke = args.iter().any(|a| a == "--smoke");
-    let positional: Vec<&String> = args.iter().skip(1).filter(|a| *a != "--smoke").collect();
+    let trace_path = args
+        .iter()
+        .position(|a| a == "--trace")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let window_override: Option<usize> = args
+        .iter()
+        .position(|a| a == "--window")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|a| a.parse().ok());
+    let mut skip_next = false;
+    let positional: Vec<&String> = args
+        .iter()
+        .skip(1)
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--trace" || *a == "--window" {
+                skip_next = true;
+                return false;
+            }
+            *a != "--smoke"
+        })
+        .collect();
     let instances: usize = positional
         .first()
         .and_then(|a| a.parse().ok())
         .unwrap_or(if smoke { 12 } else { 210 });
     let seed: u64 = positional.get(1).and_then(|a| a.parse().ok()).unwrap_or(2016);
-    let cfg = if smoke {
+    let mut cfg = if smoke {
         let mut c = ServiceConfig::smoke(seed);
         c.instances = instances;
         c
     } else {
         ServiceConfig::load(instances, seed)
     };
+    if let Some(w) = window_override {
+        cfg.window = w;
+    }
     println!(
         "E17 — service load generator: {}-node loopback TCP mesh, {} concurrent \
          instances (every 3rd SyncBvc at f = {}, rest Verified Averaging at \
@@ -77,8 +117,29 @@ fn main() {
         if identical { "==" } else { "!=" }
     );
 
-    // The load profile itself, over real sockets.
-    let out = run_service(&cfg, TransportKind::Tcp);
+    // The load profile itself, over real sockets — traced when asked.
+    // The registry and kernel timers are reset first so the dump reflects
+    // this run alone, not the identity check above.
+    let recorder = trace_path.as_ref().map(|p| {
+        Arc::new(JsonlRecorder::create(p).expect("create trace file"))
+    });
+    let obs = recorder.as_ref().map(|r| {
+        Registry::global().reset();
+        reset_kernel_timers();
+        set_kernel_timing(true);
+        Obs::new(Arc::clone(r) as Arc<dyn Recorder>)
+    });
+    let out = run_service_with_obs(&cfg, TransportKind::Tcp, obs);
+    if let Some(rec) = &recorder {
+        for line in Registry::global().to_jsonl_lines() {
+            rec.write_raw(&line);
+        }
+        for k in kernel_snapshot() {
+            rec.write_raw(&k.to_json_line());
+        }
+        rec.flush();
+        println!("wrote trace to {}", trace_path.as_deref().unwrap_or("?"));
+    }
     print_table(
         "E17 (service load generator)",
         &[
@@ -104,6 +165,7 @@ fn main() {
         "f_bvc": cfg.f_bvc,
         "dimension": cfg.d,
         "va_rounds": cfg.va_rounds,
+        "window": cfg.window,
         "instances": out.instances,
         "bvc_instances": out.bvc_instances,
         "va_instances": out.instances - out.bvc_instances,

@@ -18,6 +18,7 @@ use std::time::{Duration, Instant};
 use rbvc_core::verified_avg::{DeltaMode, VerifiedAveraging};
 use rbvc_core::{DecisionRule, SyncBvc};
 use rbvc_linalg::{Norm, Tol, VecD};
+use rbvc_obs::Obs;
 use rbvc_sim::monitor::{box_validity, epsilon_agreement, SafetyMonitor, ServiceMonitor};
 use rbvc_transport::service::{ConsensusService, InstanceProto};
 use rbvc_transport::transport::{in_proc_mesh, Transport};
@@ -65,6 +66,13 @@ pub struct ServiceConfig {
     pub poll_timeout: Duration,
     /// Poll budget per node before the run is declared stuck.
     pub max_polls: usize,
+    /// Closed-loop submission window: how many launched instances each node
+    /// keeps in flight. All instances are registered upfront (so inbound
+    /// frames always find their slot), but a node launches the next one only
+    /// when one of its in-flight instances decides locally. This is what
+    /// gives per-instance submit→decide latencies their spread — launching
+    /// everything at once makes every latency equal the wall time.
+    pub window: usize,
 }
 
 impl ServiceConfig {
@@ -81,6 +89,7 @@ impl ServiceConfig {
             seed,
             poll_timeout: Duration::from_millis(1),
             max_polls: 600_000,
+            window: 96,
         }
     }
 
@@ -96,6 +105,7 @@ impl ServiceConfig {
             seed,
             poll_timeout: Duration::from_millis(1),
             max_polls: 200_000,
+            window: 4,
         }
     }
 
@@ -139,11 +149,12 @@ pub struct ServiceOutcome {
     pub wall_secs: f64,
     /// Fully decided instances per second of wall clock.
     pub decided_per_sec: f64,
-    /// Median decision latency (start → last node's decision), ms.
+    /// Median per-node submit→decide latency (launch of the instance on
+    /// that node to the poll that surfaced its decision), ms.
     pub p50_ms: f64,
-    /// 99th-percentile decision latency, ms.
+    /// 99th-percentile per-node submit→decide latency, ms.
     pub p99_ms: f64,
-    /// Worst decision latency, ms.
+    /// Worst per-node submit→decide latency, ms.
     pub max_ms: f64,
     /// Bytes put on the wire, summed over all endpoints.
     pub bytes_sent: u64,
@@ -198,15 +209,20 @@ struct Event {
     instance: u64,
     process: usize,
     value: Vec<f64>,
+    /// Per-node submit→decide latency, measured by the service itself.
     latency: Duration,
+    /// Arrival time relative to mesh start (wall-clock accounting).
+    at: Duration,
 }
 
 /// Run one full mesh: spawn `n` service threads over the given endpoints,
-/// monitor decisions online, and aggregate.
+/// monitor decisions online, and aggregate. When `obs` is given, every
+/// service (and the coordinator's safety monitor) traces through it.
 fn run_mesh<T: Transport + 'static>(
     cfg: &ServiceConfig,
     transport: TransportKind,
     endpoints: Vec<T>,
+    obs: Option<Obs>,
 ) -> ServiceOutcome {
     let all_inputs: Vec<Vec<VecD>> = (0..cfg.instances).map(|k| cfg.inputs_for(k)).collect();
     let (tx, rx) = mpsc::channel::<Event>();
@@ -224,23 +240,41 @@ fn run_mesh<T: Transport + 'static>(
             let cfg = cfg.clone();
             let all_inputs = all_inputs.clone();
             let done = Arc::clone(&done);
+            let obs = obs.clone();
             thread::spawn(move || {
                 let mut svc = ConsensusService::new(ep);
+                if let Some(obs) = obs {
+                    svc.set_obs(obs);
+                }
                 for (k, inputs) in all_inputs.iter().enumerate() {
                     svc.add_instance(k as u64 + 1, build_instance(&cfg, k, id, inputs[id].clone()))
                         .expect("unique instance ids");
                 }
-                svc.start().expect("service start");
+                // Closed-loop submission: keep `window` instances in flight,
+                // launching the next one whenever one decides locally.
+                svc.start_deferred();
+                let window = cfg.window.clamp(1, cfg.instances.max(1));
+                let mut next = 0usize;
+                while next < window.min(cfg.instances) {
+                    svc.launch(next as u64 + 1).expect("launch");
+                    next += 1;
+                }
+                svc.flush().expect("flush initial window");
                 for _ in 0..cfg.max_polls {
                     if svc.all_decided() {
                         break;
                     }
                     for ev in svc.poll(cfg.poll_timeout) {
+                        if next < cfg.instances {
+                            svc.launch(next as u64 + 1).expect("launch");
+                            next += 1;
+                        }
                         let _ = tx.send(Event {
                             instance: ev.instance,
                             process: ev.process,
                             value: ev.value.as_slice().to_vec(),
-                            latency: start.elapsed(),
+                            latency: ev.latency,
+                            at: start.elapsed(),
                         });
                     }
                 }
@@ -275,19 +309,23 @@ fn run_mesh<T: Transport + 'static>(
         let slack = max_edge(&cfg_mon.inputs_for(inst as usize - 1));
         SafetyMonitor::new(cfg_mon.n, epsilon_agreement(1e-9), box_validity(&inputs, slack))
     });
+    if let Some(obs) = &obs {
+        monitor = monitor.with_obs(obs.clone());
+    }
 
-    // (instance → nodes decided so far, latest latency); an instance counts
-    // as fully decided once all n nodes reported it.
+    // (instance → nodes decided so far, latest arrival); an instance counts
+    // as fully decided once all n nodes reported it. Latencies are the
+    // per-node submit→decide measurements carried by the events themselves.
     let mut progress: BTreeMap<u64, (usize, Duration)> = BTreeMap::new();
     let mut latencies: Vec<f64> = Vec::new();
     let mut last_decision_at = Duration::ZERO;
     while let Ok(ev) = rx.recv() {
         monitor.observe(ev.instance, ev.process, &ev.value);
+        latencies.push(ev.latency.as_secs_f64() * 1e3);
         let entry = progress.entry(ev.instance).or_insert((0, Duration::ZERO));
         entry.0 += 1;
-        entry.1 = entry.1.max(ev.latency);
+        entry.1 = entry.1.max(ev.at);
         if entry.0 == cfg.n {
-            latencies.push(entry.1.as_secs_f64() * 1e3);
             last_decision_at = last_decision_at.max(entry.1);
         }
     }
@@ -339,12 +377,28 @@ pub fn percentile(sorted: &[f64], p: f64) -> f64 {
 /// a node thread panicking.
 #[must_use]
 pub fn run_service(cfg: &ServiceConfig, kind: TransportKind) -> ServiceOutcome {
+    run_service_with_obs(cfg, kind, None)
+}
+
+/// Like [`run_service`], but with an optional structured-event sink: every
+/// node's service (gate rejections, per-instance protocol events, decides
+/// with latencies) and the coordinator's safety monitor trace through it.
+/// Tracing never changes decisions — only observes them.
+///
+/// # Panics
+/// Same conditions as [`run_service`].
+#[must_use]
+pub fn run_service_with_obs(
+    cfg: &ServiceConfig,
+    kind: TransportKind,
+    obs: Option<Obs>,
+) -> ServiceOutcome {
     match kind {
         TransportKind::Tcp => {
             let eps = tcp_mesh_loopback(cfg.n).expect("loopback TCP mesh");
-            run_mesh(cfg, kind, eps)
+            run_mesh(cfg, kind, eps, obs)
         }
-        TransportKind::InProc => run_mesh(cfg, kind, in_proc_mesh(cfg.n)),
+        TransportKind::InProc => run_mesh(cfg, kind, in_proc_mesh(cfg.n), obs),
     }
 }
 

@@ -30,6 +30,7 @@ use crate::error::ProtocolError;
 use rbvc_geometry::minmax::{delta_star, MinMaxOptions};
 use rbvc_geometry::gamma_point;
 use rbvc_linalg::{Norm, Tol, VecD};
+use rbvc_obs::{Event, EventKind, Obs};
 use rbvc_sim::asynch::{AsyncAdversary, AsyncProtocol};
 use rbvc_sim::bracha::{BrachaInstance, BrachaMsg};
 use rbvc_sim::config::ProcessId;
@@ -88,6 +89,11 @@ pub struct VerifiedAveraging {
     /// Most recent combining failure; the node stays undecided instead of
     /// panicking the whole run, and clears this if a later attempt succeeds.
     last_error: Option<ProtocolError>,
+
+    /// Structured-event sink (no-op by default); the node tag is baked in.
+    obs: Obs,
+    /// Instance tag stamped on every emitted event (multi-instance services).
+    obs_instance: Option<u64>,
 }
 
 impl VerifiedAveraging {
@@ -122,7 +128,36 @@ impl VerifiedAveraging {
             decided: None,
             round0_delta: None,
             last_error: None,
+            obs: Obs::noop(),
+            obs_instance: None,
         }
+    }
+
+    /// Attach a structured-event sink; events carry this process's id as
+    /// the node tag and `instance` (if given) as the instance tag. The
+    /// protocol emits [`EventKind::RoundStart`]/[`EventKind::RoundEnd`] as
+    /// it progresses, [`EventKind::BroadcastAccept`] on reliable-broadcast
+    /// delivery, [`EventKind::WitnessCommit`] when a state verifies,
+    /// [`EventKind::GateReject`] at every receive-boundary rejection, and
+    /// [`EventKind::Decide`] on decision. Tracing never changes behaviour.
+    pub fn set_obs(&mut self, obs: Obs, instance: Option<u64>) {
+        self.obs = obs.with_node(u32::try_from(self.id).unwrap_or(u32::MAX));
+        self.obs_instance = instance;
+    }
+
+    /// Emit one event through the sink, stamping round and instance tags.
+    /// `detail` runs only when a real recorder is attached.
+    fn emit_event(&self, kind: EventKind, round: Option<usize>, detail: impl FnOnce() -> String) {
+        self.obs.emit(|| {
+            let mut ev = Event::new(kind).detail(detail());
+            if let Some(r) = round {
+                ev = ev.round(u32::try_from(r).unwrap_or(u32::MAX));
+            }
+            if let Some(i) = self.obs_instance {
+                ev = ev.instance(i);
+            }
+            ev
+        });
     }
 
     /// The δ this process's round-0 combining step needed (`Some(0.0)` for
@@ -154,6 +189,9 @@ impl VerifiedAveraging {
         out: &mut Vec<(ProcessId, VaMsg)>,
     ) {
         let tag = (self.id, round);
+        self.emit_event(EventKind::RoundStart, Some(round), || {
+            format!("broadcasting state for round {round}")
+        });
         let actions = self.instance(tag).start(state);
         for m in actions.broadcast {
             for dst in 0..self.n {
@@ -303,11 +341,17 @@ impl VerifiedAveraging {
                             .entry(t.1)
                             .or_default()
                             .push((t.0, s.value.clone()));
+                        self.emit_event(EventKind::WitnessCommit, Some(t.1), || {
+                            format!("origin={}", t.0)
+                        });
                         progressed = true;
                     }
                     Some(false) => {
                         self.pending.swap_remove(i);
                         self.rejected.push(t);
+                        self.emit_event(EventKind::GateReject, Some(t.1), || {
+                            format!("gate=verify origin={}", t.0)
+                        });
                         progressed = true;
                     }
                     None => {
@@ -363,8 +407,15 @@ impl VerifiedAveraging {
         } else {
             Self::combine_average(&values)
         };
+        let verified_count = values.len();
+        self.emit_event(EventKind::RoundEnd, Some(t), || {
+            format!("verified={verified_count}")
+        });
         self.my_round = t + 1;
         if self.my_round >= self.total_rounds {
+            self.emit_event(EventKind::Decide, Some(t), || {
+                format!("after {} rounds", self.total_rounds)
+            });
             self.decided = Some(next_value);
         } else {
             self.broadcast_state(
@@ -403,6 +454,9 @@ impl AsyncProtocol for VerifiedAveraging {
         // Bound rounds to keep a Byzantine flood from allocating unboundedly;
         // reject ghost senders and ghost origins outright.
         if from >= self.n || tag.1 > self.total_rounds || tag.0 >= self.n {
+            self.emit_event(EventKind::GateReject, Some(tag.1), || {
+                format!("gate=bounds from={from} origin={}", tag.0)
+            });
             return Vec::new();
         }
         // Receive-boundary payload validation before the broadcast substrate
@@ -410,7 +464,10 @@ impl AsyncProtocol for VerifiedAveraging {
         let payload = match &bmsg {
             BrachaMsg::Init(s) | BrachaMsg::Echo(s) | BrachaMsg::Ready(s) => s,
         };
-        if self.payload_ok(payload).is_err() {
+        if let Err(reason) = self.payload_ok(payload) {
+            self.emit_event(EventKind::GateReject, Some(tag.1), || {
+                format!("gate=payload from={from} reason={reason}")
+            });
             return Vec::new();
         }
         let mut out = Vec::new();
@@ -421,6 +478,9 @@ impl AsyncProtocol for VerifiedAveraging {
             }
         }
         if let Some(state) = actions.delivered {
+            self.emit_event(EventKind::BroadcastAccept, Some(tag.1), || {
+                format!("origin={}", tag.0)
+            });
             self.handle_delivery(tag, state, &mut out);
         }
         out

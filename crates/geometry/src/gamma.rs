@@ -16,6 +16,7 @@
 //! L2 solver lives in [`crate::minmax`].
 
 use rbvc_linalg::{Norm, Tol, VecD};
+use rbvc_obs::{time_kernel, Kernel};
 
 use crate::combinatorics::combinations;
 use crate::hull::ConvexHull;
@@ -69,22 +70,22 @@ pub fn gamma_delta_point(
             "gamma_delta_point is LP-exact only for L1/LInf fattening"
         );
     }
-    let n = points.len();
-    let d = points[0].dim();
-    let subsets = gamma_subsets(n, f);
+    time_kernel(Kernel::GammaOracle, || {
+        let n = points.len();
+        let d = points[0].dim();
+        let subsets = gamma_subsets(n, f);
 
-    let mut lp = LpBuilder::new();
-    let x = lp.free_vars(d);
-    for subset in &subsets {
-        add_fattened_membership_rows(&mut lp, &x, points, subset, delta, norm);
-    }
-    lp.minimize(vec![]);
-    match lp.solve(tol) {
-        LpOutcome::Optimal { x: sol, .. } => {
-            Some(VecD((0..d).map(|i| sol[i]).collect()))
+        let mut lp = LpBuilder::new();
+        let x = lp.free_vars(d);
+        for subset in &subsets {
+            add_fattened_membership_rows(&mut lp, &x, points, subset, delta, norm);
         }
-        _ => None,
-    }
+        lp.minimize(vec![]);
+        match lp.solve(tol) {
+            LpOutcome::Optimal { x: sol, .. } => Some(VecD((0..d).map(|i| sol[i]).collect())),
+            _ => None,
+        }
+    })
 }
 
 /// The smallest `δ` for which `Γ_(δ,p)(S)` is nonempty, **exactly**, for

@@ -19,7 +19,26 @@
 //! tableau with Bland's rule — slow but provably terminating — is the right
 //! engineering choice; see DESIGN.md §6 for the tolerance policy.
 
+use std::sync::OnceLock;
+
 use rbvc_linalg::{Tol, VecD};
+use rbvc_obs::{time_kernel, Counter, Kernel, Registry};
+
+/// Global counter for phase-1 infeasibility exits, replacing the old
+/// `RBVC_LP_DEBUG` stderr diagnostics: inspect it through the metrics
+/// registry (or an `exp_obs` report) instead of scraping stderr.
+fn phase1_infeasible_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| Registry::global().counter("lp.phase1_infeasible"))
+}
+
+/// Global counter for simplex runs that exhausted the iteration cap
+/// (numerically stalled pivoting) — same replacement rationale as
+/// [`phase1_infeasible_counter`].
+fn iteration_cap_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| Registry::global().counter("lp.iteration_cap"))
+}
 
 /// Outcome of an LP solve.
 #[derive(Debug, Clone, PartialEq)]
@@ -150,6 +169,10 @@ impl LpBuilder {
     /// Solve. Returns the outcome with `x` indexed by [`VarId`] order.
     #[must_use]
     pub fn solve(&self, tol: Tol) -> LpOutcome {
+        time_kernel(Kernel::LpSolve, || self.solve_inner(tol))
+    }
+
+    fn solve_inner(&self, tol: Tol) -> LpOutcome {
         // Assemble standard form with slacks appended after builder columns.
         let n_slacks = self
             .rows
@@ -266,12 +289,7 @@ fn simplex_standard_form(a: &[Vec<f64>], b: &[f64], c: &[f64], tol: Tol) -> StdO
     // Phase-1 optimum is -obj[rhs]; infeasible if positive.
     let phase1_value = -obj[n_total];
     if phase1_value > eps * (m as f64).max(1.0) {
-        if std::env::var_os("RBVC_LP_DEBUG").is_some() {
-            eprintln!(
-                "lp: phase1 value {phase1_value:e} above threshold {:e} (m={m}, n={n})",
-                eps * (m as f64).max(1.0)
-            );
-        }
+        phase1_infeasible_counter().inc();
         return StdOutcome::Infeasible;
     }
 
@@ -440,9 +458,7 @@ fn run_simplex(
     // "optimal" with whatever certificate the caller checks (phase 1 will
     // see a positive objective and report infeasible; callers that panic on
     // that surface the instance for investigation).
-    if std::env::var_os("RBVC_LP_DEBUG").is_some() {
-        eprintln!("lp: iteration cap {max_iters} exhausted (phase1={phase1})");
-    }
+    iteration_cap_counter().inc();
     true
 }
 

@@ -21,6 +21,7 @@
 use rayon::prelude::*;
 use rbvc_linalg::affine::IsometricProjection;
 use rbvc_linalg::{Norm, Tol, VecD};
+use rbvc_obs::{time_kernel, Kernel};
 
 use crate::gamma::{gamma_point, min_delta_polyhedral, subset_hulls};
 use crate::hull::ConvexHull;
@@ -124,7 +125,7 @@ pub fn delta_star(
 ) -> DeltaStar {
     assert!(!points.is_empty(), "delta_star: empty input multiset");
     assert!(f < points.len(), "delta_star requires f < n");
-    match norm {
+    time_kernel(Kernel::PsiOracle, || match norm {
         Norm::L1 | Norm::LInf => {
             let (delta, witness) = min_delta_polyhedral(points, f, norm, tol);
             DeltaStar {
@@ -139,7 +140,7 @@ pub fn delta_star(
             // approximate distance probes (documented approximate path).
             delta_star_general_p(points, f, norm, tol, opts)
         }
-    }
+    })
 }
 
 /// δ*₂ with closed-form fast paths (see module docs).

@@ -10,6 +10,7 @@
 //! membership test.
 
 use rbvc_linalg::{Mat, Tol, VecD};
+use rbvc_obs::{time_kernel, Kernel};
 
 /// Maximum outer iterations: Wolfe terminates finitely in exact arithmetic;
 /// the cap is a float-robustness safety net only.
@@ -36,6 +37,12 @@ pub fn nearest_point_with_weights(
     q: &VecD,
     tol: Tol,
 ) -> (VecD, Vec<f64>) {
+    time_kernel(Kernel::WolfeNearest, || {
+        nearest_point_with_weights_inner(points, q, tol)
+    })
+}
+
+fn nearest_point_with_weights_inner(points: &[VecD], q: &VecD, tol: Tol) -> (VecD, Vec<f64>) {
     assert!(!points.is_empty(), "nearest_point: empty generator set");
     let d = q.dim();
     assert!(

@@ -1,0 +1,41 @@
+//! `rbvc-obs` — the observability layer of the relaxed-BVC workspace.
+//!
+//! Three independent facilities, all designed so that the protocol engines
+//! stay allocation-free when observation is off:
+//!
+//! * **Structured events** ([`Event`], [`EventKind`]) emitted through a
+//!   cheap [`Recorder`] behind an [`Obs`] handle. The no-op recorder costs
+//!   one relaxed atomic-free boolean check per emission site and never
+//!   constructs the event (emission takes a closure). Recorders: no-op,
+//!   in-memory ring buffer ([`RingRecorder`]), and newline-delimited JSON
+//!   sink ([`JsonlRecorder`]).
+//! * **Metrics** ([`Registry`], [`Counter`], [`Gauge`], [`Histogram`]) —
+//!   lock-free handles over atomics, log2-bucket histograms with exact
+//!   merge, and the legacy [`ExecutionTrace`] counters (re-exported into
+//!   `rbvc_sim::trace` for compatibility).
+//! * **Kernel timing** ([`Kernel`], [`time_kernel`]) — process-wide
+//!   monotonic spans around the hot geometry kernels (simplex LP, Wolfe
+//!   nearest point, Γ and Ψ oracles), off by default.
+//!
+//! [`report`] parses a JSONL trace back into a per-run summary (rounds,
+//! messages by kind, gate-rejection table, decide-latency percentiles,
+//! kernel breakdown); the `exp_obs` binary in `rbvc-bench` is its CLI.
+
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod metrics;
+pub mod recorder;
+pub mod report;
+pub mod timing;
+
+pub use event::{Event, EventKind};
+pub use metrics::{
+    Counter, ExecutionTrace, Gauge, HistSnapshot, Histogram, MetricValue, Registry,
+};
+pub use recorder::{JsonlRecorder, NoopRecorder, Obs, Recorder, RingRecorder};
+pub use report::{detail_field, render_report, TraceSummary};
+pub use timing::{
+    kernel_snapshot, kernel_timing_enabled, reset_kernel_timers, set_kernel_timing, time_kernel,
+    Kernel, KernelStat,
+};

@@ -1,0 +1,289 @@
+//! Event recorders and the [`Obs`] emission handle.
+//!
+//! Engines hold an [`Obs`] (cheap to clone, `Send + Sync`) and call
+//! [`Obs::emit`] with a *closure* that builds the event. When the attached
+//! recorder is disabled — the default no-op — the closure never runs, so
+//! instrumented hot paths pay one boolean load and no allocation.
+
+use std::collections::VecDeque;
+use std::fs::File;
+use std::io::{BufWriter, Write as _};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::event::Event;
+
+/// A sink for structured events. Implementations must be thread-safe:
+/// engines emit concurrently from every node thread.
+pub trait Recorder: Send + Sync {
+    /// Fast-path check: when `false`, emission sites skip event
+    /// construction entirely.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record one event (already timestamped).
+    fn record(&self, event: Event);
+
+    /// Flush buffered output (JSONL sink); no-op elsewhere.
+    fn flush(&self) {}
+}
+
+/// The default recorder: drops everything, reports itself disabled.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: Event) {}
+}
+
+/// Cloneable emission handle: a shared recorder plus the trace epoch
+/// (event times are microseconds since this instant) and an optional
+/// default node tag applied to events that did not set one.
+#[derive(Clone)]
+pub struct Obs {
+    recorder: Arc<dyn Recorder>,
+    epoch: Instant,
+    node: Option<u32>,
+}
+
+impl Obs {
+    /// Handle over the given recorder; the epoch is `now`.
+    #[must_use]
+    pub fn new(recorder: Arc<dyn Recorder>) -> Obs {
+        Obs {
+            recorder,
+            epoch: Instant::now(),
+            node: None,
+        }
+    }
+
+    /// The disabled handle (no-op recorder). This is `Default` too.
+    #[must_use]
+    pub fn noop() -> Obs {
+        Obs::new(Arc::new(NoopRecorder))
+    }
+
+    /// A clone of this handle that stamps `node` on every event emitted
+    /// through it that has no node tag of its own. The epoch is shared, so
+    /// per-node handles produce one coherent timeline.
+    #[must_use]
+    pub fn with_node(&self, node: u32) -> Obs {
+        Obs {
+            recorder: Arc::clone(&self.recorder),
+            epoch: self.epoch,
+            node: Some(node),
+        }
+    }
+
+    /// Whether emission sites should bother constructing events.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.recorder.enabled()
+    }
+
+    /// Microseconds since the trace epoch.
+    #[must_use]
+    pub fn now_us(&self) -> u64 {
+        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+    }
+
+    /// Emit the event built by `build` — *iff* the recorder is enabled.
+    /// The closure only runs on the enabled path, so call sites may
+    /// allocate freely inside it.
+    pub fn emit<F: FnOnce() -> Event>(&self, build: F) {
+        if !self.recorder.enabled() {
+            return;
+        }
+        let mut event = build();
+        event.time_us = self.now_us();
+        if event.node.is_none() {
+            event.node = self.node;
+        }
+        self.recorder.record(event);
+    }
+
+    /// Flush the underlying recorder.
+    pub fn flush(&self) {
+        self.recorder.flush();
+    }
+
+    /// The underlying recorder (for sinks with extra surface, e.g.
+    /// [`JsonlRecorder::write_raw`] via a kept `Arc`).
+    #[must_use]
+    pub fn recorder(&self) -> &Arc<dyn Recorder> {
+        &self.recorder
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Obs {
+        Obs::noop()
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.enabled())
+            .field("node", &self.node)
+            .finish()
+    }
+}
+
+struct RingInner {
+    buf: VecDeque<Event>,
+    dropped: u64,
+}
+
+/// Bounded in-memory recorder: keeps the most recent `capacity` events,
+/// counting (not silently discarding) overflow.
+pub struct RingRecorder {
+    capacity: usize,
+    inner: Mutex<RingInner>,
+}
+
+impl RingRecorder {
+    /// Ring holding at most `capacity` events (capacity 0 is clamped to 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> RingRecorder {
+        RingRecorder {
+            capacity: capacity.max(1),
+            inner: Mutex::new(RingInner {
+                buf: VecDeque::new(),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Copy of the buffered events, oldest first.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<Event> {
+        let inner = self.inner.lock().expect("ring recorder poisoned");
+        inner.buf.iter().cloned().collect()
+    }
+
+    /// Events evicted because the ring was full.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.inner.lock().expect("ring recorder poisoned").dropped
+    }
+
+    /// Events currently buffered.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("ring recorder poisoned").buf.len()
+    }
+
+    /// True iff no events are buffered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Recorder for RingRecorder {
+    fn record(&self, event: Event) {
+        let mut inner = self.inner.lock().expect("ring recorder poisoned");
+        if inner.buf.len() == self.capacity {
+            inner.buf.pop_front();
+            inner.dropped += 1;
+        }
+        inner.buf.push_back(event);
+    }
+}
+
+/// Newline-delimited-JSON file sink: one event per line, plus raw lines
+/// for metric/kernel dumps appended by the harness.
+pub struct JsonlRecorder {
+    writer: Mutex<BufWriter<File>>,
+}
+
+impl JsonlRecorder {
+    /// Create (truncate) `path` as the trace file.
+    ///
+    /// # Errors
+    /// Propagates file-creation failure.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlRecorder> {
+        Ok(JsonlRecorder {
+            writer: Mutex::new(BufWriter::new(File::create(path)?)),
+        })
+    }
+
+    /// Append one pre-rendered JSONL line (metric and kernel records).
+    /// Write failures are swallowed: tracing must never fail the run.
+    pub fn write_raw(&self, line: &str) {
+        let mut w = self.writer.lock().expect("jsonl recorder poisoned");
+        let _ = writeln!(w, "{line}");
+    }
+}
+
+impl Recorder for JsonlRecorder {
+    fn record(&self, event: Event) {
+        self.write_raw(&event.to_json_line());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl recorder poisoned").flush();
+    }
+}
+
+impl Drop for JsonlRecorder {
+    fn drop(&mut self) {
+        self.flush();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    #[test]
+    fn noop_obs_never_builds_the_event() {
+        let obs = Obs::noop();
+        assert!(!obs.enabled());
+        obs.emit(|| unreachable!("no-op recorder must not construct events"));
+    }
+
+    #[test]
+    fn ring_keeps_most_recent_and_counts_drops() {
+        let ring = Arc::new(RingRecorder::new(2));
+        let obs = Obs::new(Arc::clone(&ring) as Arc<dyn Recorder>);
+        for i in 0..5u64 {
+            obs.emit(|| Event::new(EventKind::Decide).instance(i));
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 2);
+        assert_eq!(ring.dropped(), 3);
+        assert_eq!(events[0].instance, Some(3));
+        assert_eq!(events[1].instance, Some(4));
+    }
+
+    #[test]
+    fn with_node_tags_untagged_events_only() {
+        let ring = Arc::new(RingRecorder::new(8));
+        let obs = Obs::new(Arc::clone(&ring) as Arc<dyn Recorder>).with_node(7);
+        obs.emit(|| Event::new(EventKind::Decide));
+        obs.emit(|| Event::new(EventKind::Decide).node(2));
+        let events = ring.snapshot();
+        assert_eq!(events[0].node, Some(7));
+        assert_eq!(events[1].node, Some(2));
+    }
+
+    #[test]
+    fn timestamps_are_monotone_nondecreasing() {
+        let ring = Arc::new(RingRecorder::new(8));
+        let obs = Obs::new(Arc::clone(&ring) as Arc<dyn Recorder>);
+        for _ in 0..3 {
+            obs.emit(|| Event::new(EventKind::RoundStart));
+        }
+        let t: Vec<u64> = ring.snapshot().iter().map(|e| e.time_us).collect();
+        assert!(t.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

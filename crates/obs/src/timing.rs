@@ -1,0 +1,230 @@
+//! Monotonic timing spans around the hot geometry kernels.
+//!
+//! The kernels (simplex LP, Wolfe nearest-point, the Γ and Ψ oracles) are
+//! pure functions called from deep inside protocol state machines, so
+//! threading a registry through them would pollute every signature.
+//! Instead, this module keeps one process-wide set of atomic
+//! (calls, nanoseconds) cells, gated by a single `AtomicBool` that
+//! defaults to off: an untimed call costs one relaxed load.
+//!
+//! Recorded spans are *inclusive* — a Ψ oracle that calls the LP solver
+//! internally is charged for the LP time too, and the LP cell is charged
+//! in parallel. The per-kernel rows therefore do not sum to wall time;
+//! they answer "how much wall time has this kernel on its stack".
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Instant;
+
+use serde::Value;
+
+/// The instrumented kernels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Kernel {
+    /// Dense two-phase simplex solves (`LpProblem::solve`).
+    LpSolve,
+    /// Wolfe nearest-point-in-hull iterations.
+    WolfeNearest,
+    /// Γ oracle: safe-point / Γ-membership computations.
+    GammaOracle,
+    /// Ψ oracle: the δ* min-max optimization.
+    PsiOracle,
+}
+
+impl Kernel {
+    /// Every kernel, in report order.
+    pub const ALL: [Kernel; 4] = [
+        Kernel::LpSolve,
+        Kernel::WolfeNearest,
+        Kernel::GammaOracle,
+        Kernel::PsiOracle,
+    ];
+
+    /// Stable wire name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Kernel::LpSolve => "lp_solve",
+            Kernel::WolfeNearest => "wolfe_nearest",
+            Kernel::GammaOracle => "gamma_oracle",
+            Kernel::PsiOracle => "psi_oracle",
+        }
+    }
+
+    /// Inverse of [`Kernel::as_str`].
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Kernel> {
+        Kernel::ALL.iter().copied().find(|k| k.as_str() == s)
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Kernel::LpSolve => 0,
+            Kernel::WolfeNearest => 1,
+            Kernel::GammaOracle => 2,
+            Kernel::PsiOracle => 3,
+        }
+    }
+}
+
+impl std::fmt::Display for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static CALLS: [AtomicU64; 4] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+static NANOS: [AtomicU64; 4] = [
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+    AtomicU64::new(0),
+];
+
+/// Turn kernel timing on or off process-wide.
+pub fn set_kernel_timing(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether kernel spans are currently being recorded.
+#[must_use]
+pub fn kernel_timing_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Zero every kernel cell (timing stays in its current on/off state).
+pub fn reset_kernel_timers() {
+    for i in 0..4 {
+        CALLS[i].store(0, Ordering::Relaxed);
+        NANOS[i].store(0, Ordering::Relaxed);
+    }
+}
+
+/// Run `f`, charging its wall time to `kernel` when timing is on.
+pub fn time_kernel<T>(kernel: Kernel, f: impl FnOnce() -> T) -> T {
+    if !ENABLED.load(Ordering::Relaxed) {
+        return f();
+    }
+    let start = Instant::now();
+    let result = f();
+    let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+    let i = kernel.index();
+    CALLS[i].fetch_add(1, Ordering::Relaxed);
+    NANOS[i].fetch_add(nanos, Ordering::Relaxed);
+    result
+}
+
+/// One kernel's accumulated cells.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelStat {
+    /// Which kernel.
+    pub kernel: Kernel,
+    /// Timed invocations.
+    pub calls: u64,
+    /// Total inclusive nanoseconds.
+    pub nanos: u64,
+}
+
+impl KernelStat {
+    /// Mean microseconds per call (NaN when never called).
+    #[must_use]
+    pub fn mean_us(&self) -> f64 {
+        if self.calls == 0 {
+            f64::NAN
+        } else {
+            self.nanos as f64 / self.calls as f64 / 1e3
+        }
+    }
+
+    /// Render as one JSONL record line: `{"t":"kernel",...}`.
+    #[must_use]
+    pub fn to_json_line(&self) -> String {
+        let doc = Value::Object(vec![
+            ("t".into(), Value::Str("kernel".into())),
+            ("name".into(), Value::Str(self.kernel.as_str().into())),
+            ("calls".into(), Value::UInt(self.calls)),
+            ("nanos".into(), Value::UInt(self.nanos)),
+        ]);
+        let mut out = String::new();
+        doc.render(&mut out);
+        out
+    }
+
+    /// Parse a `{"t":"kernel",...}` record; `None` for other lines.
+    #[must_use]
+    pub fn from_value(v: &Value) -> Option<KernelStat> {
+        if v.get("t")?.as_str()? != "kernel" {
+            return None;
+        }
+        Some(KernelStat {
+            kernel: Kernel::parse(v.get("name")?.as_str()?)?,
+            calls: v.get("calls")?.as_u64()?,
+            nanos: v.get("nanos")?.as_u64()?,
+        })
+    }
+}
+
+/// Read every kernel's cells, in [`Kernel::ALL`] order.
+#[must_use]
+pub fn kernel_snapshot() -> Vec<KernelStat> {
+    Kernel::ALL
+        .iter()
+        .map(|&kernel| {
+            let i = kernel.index();
+            KernelStat {
+                kernel,
+                calls: CALLS[i].load(Ordering::Relaxed),
+                nanos: NANOS[i].load(Ordering::Relaxed),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The cells are process-wide, so this single test exercises the whole
+    // on/off/reset lifecycle to stay self-contained under parallel test
+    // threads (other tests in this crate never enable timing).
+    #[test]
+    fn spans_accumulate_only_while_enabled() {
+        reset_kernel_timers();
+        let r = time_kernel(Kernel::LpSolve, || 7);
+        assert_eq!(r, 7);
+        assert_eq!(kernel_snapshot()[0].calls, 0, "off by default");
+
+        set_kernel_timing(true);
+        time_kernel(Kernel::LpSolve, || std::thread::sleep(std::time::Duration::from_micros(50)));
+        time_kernel(Kernel::PsiOracle, || ());
+        set_kernel_timing(false);
+
+        let snap = kernel_snapshot();
+        let lp = snap.iter().find(|s| s.kernel == Kernel::LpSolve).unwrap();
+        let psi = snap.iter().find(|s| s.kernel == Kernel::PsiOracle).unwrap();
+        assert_eq!(lp.calls, 1);
+        assert!(lp.nanos >= 50_000, "span covers the sleep");
+        assert_eq!(psi.calls, 1);
+        assert!(lp.mean_us() >= 50.0);
+
+        let line = lp.to_json_line();
+        let v = serde_json::from_str(&line).expect("parses");
+        assert_eq!(KernelStat::from_value(&v), Some(*lp));
+
+        reset_kernel_timers();
+        assert!(kernel_snapshot().iter().all(|s| s.calls == 0 && s.nanos == 0));
+    }
+
+    #[test]
+    fn kernel_names_round_trip() {
+        for k in Kernel::ALL {
+            assert_eq!(Kernel::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(Kernel::parse("bogus"), None);
+    }
+}

@@ -9,6 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rbvc_obs::{Event, EventKind, Obs};
 
 use crate::config::{ProcessId, SystemConfig};
 use crate::monitor::SafetyMonitor;
@@ -277,6 +278,9 @@ pub struct AsyncEngine<P: AsyncProtocol> {
     nodes: Vec<AsyncNode<P>>,
     /// Hard fairness backstop applied on top of the scheduler.
     age_cap: u64,
+    /// Structured-event sink; defaults to the no-op recorder, in which case
+    /// the engine does no extra per-step work.
+    obs: Obs,
 }
 
 impl<P: AsyncProtocol> AsyncEngine<P> {
@@ -299,6 +303,35 @@ impl<P: AsyncProtocol> AsyncEngine<P> {
             config,
             nodes,
             age_cap: 10_000,
+            obs: Obs::noop(),
+        }
+    }
+
+    /// Attach a structured-event sink. Each honest node's first decision is
+    /// then traced as an [`EventKind::Decide`] event tagged with the node id
+    /// and the scheduler step it appeared at. Tracing never perturbs the
+    /// delivery schedule or any RNG stream.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// Emit one [`EventKind::Decide`] per honest node whose output appeared
+    /// since the last call; `seen` carries the per-node latch.
+    fn emit_fresh_decides(&self, seen: &mut [bool], step: u64) {
+        for (id, node) in self.nodes.iter().enumerate() {
+            if seen[id] {
+                continue;
+            }
+            if let AsyncNode::Honest(p) = node {
+                if p.output().is_some() {
+                    seen[id] = true;
+                    self.obs.emit(|| {
+                        Event::new(EventKind::Decide)
+                            .node(u32::try_from(id).unwrap_or(u32::MAX))
+                            .detail(format!("step={step}"))
+                    });
+                }
+            }
         }
     }
 
@@ -335,6 +368,10 @@ impl<P: AsyncProtocol> AsyncEngine<P> {
             }
         }
 
+        let mut decided_seen = vec![false; n];
+        if self.obs.enabled() {
+            self.emit_fresh_decides(&mut decided_seen, now);
+        }
         let mut all_decided = self.all_honest_decided();
         while !pending.is_empty() && now < max_steps && !all_decided {
             // Fairness backstop: force-deliver anything over the age cap.
@@ -371,6 +408,9 @@ impl<P: AsyncProtocol> AsyncEngine<P> {
                     born: now,
                     available_from: now,
                 });
+            }
+            if self.obs.enabled() {
+                self.emit_fresh_decides(&mut decided_seen, now);
             }
             all_decided = self.all_honest_decided();
         }
@@ -503,9 +543,9 @@ impl<P: AsyncProtocol> AsyncEngine<P> {
                 route_send(&mut pending, &mut trace, faults, env.dst, dst, msg, now);
             }
 
-            // Online safety check: feed fresh decisions to the monitor the
-            // step they appear.
-            if let Some(mon) = monitor.as_deref_mut() {
+            // Online safety check + decide tracing: handle fresh decisions
+            // the step they appear.
+            if monitor.is_some() || self.obs.enabled() {
                 for (id, node) in self.nodes.iter().enumerate() {
                     if reported[id] {
                         continue;
@@ -513,7 +553,14 @@ impl<P: AsyncProtocol> AsyncEngine<P> {
                     if let AsyncNode::Honest(p) = node {
                         if let Some(out) = p.output() {
                             reported[id] = true;
-                            mon.observe(id, &out);
+                            self.obs.emit(|| {
+                                Event::new(EventKind::Decide)
+                                    .node(u32::try_from(id).unwrap_or(u32::MAX))
+                                    .detail(format!("step={now}"))
+                            });
+                            if let Some(mon) = monitor.as_deref_mut() {
+                                mon.observe(id, &out);
+                            }
                         }
                     }
                 }

@@ -19,6 +19,9 @@
 //! convex-hull or range containment check against the honest inputs.
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use rbvc_obs::{Event, EventKind, Obs};
 
 use crate::config::ProcessId;
 
@@ -73,7 +76,15 @@ pub struct SafetyMonitor<O> {
     validity: Box<dyn FnMut(ProcessId, &O) -> Option<String>>,
     alerts: Vec<SafetyAlert>,
     events: u64,
+    obs: Obs,
+    obs_instance: Option<InstanceId>,
+    /// Renders the offending decision into violation events; set by
+    /// [`SafetyMonitor::with_obs`] (which is where the `Debug` bound
+    /// lives, so monitors over non-`Debug` decisions still compile).
+    format_value: Option<ValueFormatter<O>>,
 }
+
+type ValueFormatter<O> = Arc<dyn Fn(&O) -> String + Send + Sync>;
 
 impl<O: Clone + PartialEq> SafetyMonitor<O> {
     /// Build a monitor for `n` processes with the given predicates.
@@ -89,7 +100,58 @@ impl<O: Clone + PartialEq> SafetyMonitor<O> {
             validity: Box::new(validity),
             alerts: Vec::new(),
             events: 0,
+            obs: Obs::noop(),
+            obs_instance: None,
+            format_value: None,
         }
+    }
+
+    /// Emit every alert as a structured [`EventKind::Violation`] event:
+    /// the offending node(s), the instance (when attached via a service),
+    /// the decided value, and the predicate's detail.
+    fn emit_alerts(&self, decision: &O, alerts: &[SafetyAlert]) {
+        for alert in alerts {
+            self.obs.emit(|| {
+                let (kind, nodes) = match alert.kind {
+                    AlertKind::Agreement { a, b } => ("agreement", format!("{a},{b}")),
+                    AlertKind::Validity { process } => ("validity", process.to_string()),
+                    AlertKind::DuplicateDecision { process } => ("duplicate", process.to_string()),
+                };
+                let node = match alert.kind {
+                    AlertKind::Agreement { b, .. } => b,
+                    AlertKind::Validity { process } | AlertKind::DuplicateDecision { process } => {
+                        process
+                    }
+                };
+                let value = self
+                    .format_value
+                    .as_ref()
+                    .map_or_else(|| "?".to_string(), |f| f(decision));
+                let mut ev = Event::new(EventKind::Violation)
+                    .node(u32::try_from(node).unwrap_or(u32::MAX))
+                    .detail(format!(
+                        "kind={kind} nodes={nodes} value={value} :: {}",
+                        alert.detail
+                    ));
+                if let Some(inst) = self.obs_instance {
+                    ev = ev.instance(inst);
+                }
+                ev
+            });
+        }
+    }
+
+    /// Attach pre-built observability plumbing (see
+    /// [`SafetyMonitor::with_obs`] for the public entry point).
+    fn attach_obs(
+        &mut self,
+        obs: Obs,
+        instance: Option<InstanceId>,
+        format_value: ValueFormatter<O>,
+    ) {
+        self.obs = obs;
+        self.obs_instance = instance;
+        self.format_value = Some(format_value);
     }
 
     /// Monitor that only checks agreement (validity vacuously true).
@@ -117,6 +179,7 @@ impl<O: Clone + PartialEq> SafetyMonitor<O> {
                     self.decisions.len()
                 ),
             });
+            self.emit_alerts(decision, &new_alerts);
             self.alerts.extend(new_alerts.iter().cloned());
             return new_alerts;
         }
@@ -164,6 +227,7 @@ impl<O: Clone + PartialEq> SafetyMonitor<O> {
         }
 
         self.decisions[process] = Some(decision.clone());
+        self.emit_alerts(decision, &new_alerts);
         self.alerts.extend(new_alerts.iter().cloned());
         new_alerts
     }
@@ -187,6 +251,19 @@ impl<O: Clone + PartialEq> SafetyMonitor<O> {
     }
 }
 
+impl<O: Clone + PartialEq + std::fmt::Debug> SafetyMonitor<O> {
+    /// Emit every future alert as a structured [`EventKind::Violation`]
+    /// event through `obs`, carrying the offending node(s), the decided
+    /// value (`Debug`-rendered), and the predicate detail. `instance`
+    /// tags the events when this monitor watches one instance of a
+    /// multi-instance service.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs, instance: Option<InstanceId>) -> Self {
+        self.attach_obs(obs, instance, Arc::new(|v: &O| format!("{v:?}")));
+        self
+    }
+}
+
 /// Safety monitoring for a *multi-instance* consensus service: decision
 /// events are tagged with an [`InstanceId`] and demultiplexed into one
 /// [`SafetyMonitor`] per instance, created on first observation by the
@@ -201,6 +278,9 @@ pub struct ServiceMonitor<O> {
     #[allow(clippy::type_complexity)]
     factory: Box<dyn FnMut(InstanceId) -> SafetyMonitor<O> + Send>,
     monitors: BTreeMap<InstanceId, SafetyMonitor<O>>,
+    /// When set, every per-instance monitor created from here on emits
+    /// violation events tagged with its instance id.
+    obs: Option<(Obs, ValueFormatter<O>)>,
 }
 
 impl<O: Clone + PartialEq> ServiceMonitor<O> {
@@ -211,6 +291,7 @@ impl<O: Clone + PartialEq> ServiceMonitor<O> {
         ServiceMonitor {
             factory: Box::new(factory),
             monitors: BTreeMap::new(),
+            obs: None,
         }
     }
 
@@ -222,10 +303,13 @@ impl<O: Clone + PartialEq> ServiceMonitor<O> {
         process: ProcessId,
         decision: &O,
     ) -> Vec<SafetyAlert> {
-        let monitor = self
-            .monitors
-            .entry(instance)
-            .or_insert_with(|| (self.factory)(instance));
+        let monitor = self.monitors.entry(instance).or_insert_with(|| {
+            let mut m = (self.factory)(instance);
+            if let Some((obs, fmt)) = &self.obs {
+                m.attach_obs(obs.clone(), Some(instance), Arc::clone(fmt));
+            }
+            m
+        });
         monitor.observe(process, decision)
     }
 
@@ -260,6 +344,17 @@ impl<O: Clone + PartialEq> ServiceMonitor<O> {
     #[must_use]
     pub fn instance(&self, id: InstanceId) -> Option<&SafetyMonitor<O>> {
         self.monitors.get(&id)
+    }
+}
+
+impl<O: Clone + PartialEq + std::fmt::Debug> ServiceMonitor<O> {
+    /// Emit violations of every (subsequently created) per-instance
+    /// monitor as structured events through `obs`, tagged with the
+    /// offending instance id.
+    #[must_use]
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = Some((obs, Arc::new(|v: &O| format!("{v:?}"))));
+        self
     }
 }
 
@@ -346,13 +441,18 @@ mod tests {
 
     /// The negative test required by the chaos-layer acceptance criteria:
     /// the monitor must *fire*, at the exact event, when conflicting
-    /// decisions are injected.
+    /// decisions are injected — and emit each alert as a structured
+    /// violation event carrying the offending nodes and values.
     #[test]
     fn fires_immediately_on_conflicting_decisions() {
+        let ring = Arc::new(rbvc_obs::RingRecorder::new(16));
+        let obs = Obs::new(Arc::clone(&ring) as Arc<dyn rbvc_obs::Recorder>);
         let mut m = SafetyMonitor::agreement_only(4, |a: &i64, b: &i64| {
             (a != b).then(|| format!("{a} != {b}"))
-        });
+        })
+        .with_obs(obs, Some(42));
         assert!(m.observe(0, &1).is_empty(), "first decision cannot conflict");
+        assert!(ring.is_empty(), "clean decisions emit nothing");
         let alerts = m.observe(3, &2);
         assert_eq!(alerts.len(), 1, "conflict must be flagged at once");
         assert_eq!(alerts[0].kind, AlertKind::Agreement { a: 0, b: 3 });
@@ -361,6 +461,40 @@ mod tests {
         // A third decision conflicting with both raises two pairwise alerts.
         let alerts = m.observe(1, &9);
         assert_eq!(alerts.len(), 2);
+
+        // Every alert doubled as a structured Violation event with the
+        // offending instance, nodes, and value.
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 3, "one event per alert");
+        assert!(events.iter().all(|e| e.kind == EventKind::Violation));
+        assert!(events.iter().all(|e| e.instance == Some(42)));
+        let first = events[0].detail.as_deref().unwrap();
+        assert!(first.contains("kind=agreement"), "{first}");
+        assert!(first.contains("nodes=0,3"), "{first}");
+        assert!(first.contains("value=2"), "{first}");
+        assert_eq!(events[0].node, Some(3), "tagged with the later decider");
+        assert_eq!(events[2].node, Some(1));
+    }
+
+    /// Violations observed through a [`ServiceMonitor`] carry the
+    /// instance id of the per-instance monitor that raised them.
+    #[test]
+    fn service_monitor_violations_emit_tagged_events() {
+        let ring = Arc::new(rbvc_obs::RingRecorder::new(16));
+        let obs = Obs::new(Arc::clone(&ring) as Arc<dyn rbvc_obs::Recorder>);
+        let mut sm = ServiceMonitor::new(|_inst| {
+            SafetyMonitor::agreement_only(3, |a: &i64, b: &i64| {
+                (a != b).then(|| format!("{a} != {b}"))
+            })
+        })
+        .with_obs(obs);
+        assert!(sm.observe(7, 0, &10).is_empty());
+        assert!(sm.observe(7, 1, &11).len() == 1, "conflict inside instance 7");
+        let events = ring.snapshot();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].kind, EventKind::Violation);
+        assert_eq!(events[0].instance, Some(7));
+        assert_eq!(sm.violation_count(), 1);
     }
 
     #[test]

@@ -22,6 +22,7 @@ use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rbvc_obs::{Event, EventKind, Obs};
 
 use crate::asynch::AsyncProtocol;
 use crate::config::ProcessId;
@@ -159,7 +160,12 @@ pub struct NetworkFaults {
     default: LinkFault,
     per_link: BTreeMap<(ProcessId, ProcessId), LinkFault>,
     partitions: Vec<Partition>,
+    /// Per-partition observability state: `(saw_active, heal_emitted)` —
+    /// a heal event fires once, on the first routed message at or after
+    /// `heal` of a partition that actually severed traffic.
+    partition_obs: Vec<(bool, bool)>,
     rng: StdRng,
+    obs: Obs,
     /// Counters, updated by every [`NetworkFaults::route`] call.
     pub stats: NetStats,
 }
@@ -181,9 +187,18 @@ impl NetworkFaults {
             default,
             per_link: BTreeMap::new(),
             partitions: Vec::new(),
+            partition_obs: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
+            obs: Obs::noop(),
             stats: NetStats::default(),
         }
+    }
+
+    /// Emit [`EventKind::PartitionHeal`] (and, transitively, nothing else:
+    /// routing decisions are pure) through `obs`. Tracing never perturbs
+    /// the seeded RNG stream, so traced and untraced runs stay identical.
+    pub fn set_obs(&mut self, obs: Obs) {
+        self.obs = obs;
     }
 
     /// Override the fault model of the directed link `src → dst`.
@@ -205,6 +220,7 @@ impl NetworkFaults {
             "partition must have a nonempty [start, heal) window"
         );
         self.partitions.push(partition);
+        self.partition_obs.push((false, false));
         self
     }
 
@@ -223,10 +239,27 @@ impl NetworkFaults {
     pub fn route(&mut self, src: ProcessId, dst: ProcessId, now: u64) -> Vec<u64> {
         self.stats.offered += 1;
 
+        // Partition-heal tracking: the first message routed at or after a
+        // partition's heal time — when that partition actually severed
+        // something — announces the heal.
+        for (i, p) in self.partitions.iter().enumerate() {
+            let (saw_active, heal_emitted) = &mut self.partition_obs[i];
+            if now >= p.heal && *saw_active && !*heal_emitted {
+                *heal_emitted = true;
+                self.obs.emit(|| {
+                    Event::new(EventKind::PartitionHeal).detail(format!(
+                        "side_a={:?} start={} heal={} mode={:?} now={now}",
+                        p.side_a, p.start, p.heal, p.mode
+                    ))
+                });
+            }
+        }
+
         // Partitions first: a severed link never sees the per-link faults.
         let mut base_delay = 0u64;
-        for p in &self.partitions {
+        for (i, p) in self.partitions.iter().enumerate() {
             if p.severs(src, dst, now) {
+                self.partition_obs[i].0 = true;
                 match p.mode {
                     PartitionMode::Drop => {
                         self.stats.partition_dropped += 1;
@@ -338,6 +371,8 @@ pub struct ReliableLink<P: AsyncProtocol> {
     /// Degradation log: malformed traffic discarded at the receive boundary
     /// and outbound sends to nonexistent peers. Never panics the link.
     errors: ErrorLog,
+    obs: Obs,
+    obs_node: Option<u32>,
 }
 
 impl<P: AsyncProtocol> ReliableLink<P> {
@@ -357,7 +392,17 @@ impl<P: AsyncProtocol> ReliableLink<P> {
             base_rto,
             max_rto: max_rto.max(base_rto),
             errors: ErrorLog::new(),
+            obs: Obs::noop(),
+            obs_node: None,
         }
+    }
+
+    /// Emit one [`EventKind::Retransmit`] per re-sent frame through `obs`,
+    /// tagged with `node` (the process this link belongs to — the link
+    /// itself has no identity on the wire).
+    pub fn set_obs(&mut self, obs: Obs, node: ProcessId) {
+        self.obs = obs;
+        self.obs_node = Some(u32::try_from(node).unwrap_or(u32::MAX));
     }
 
     /// Wrap with defaults tuned for the async engine (RTO 8 events,
@@ -415,11 +460,23 @@ impl<P: AsyncProtocol> ReliableLink<P> {
         let clock = self.clock;
         let (base_rto, max_rto) = (self.base_rto, self.max_rto);
         let mut out = Vec::new();
+        let obs = &self.obs;
+        let obs_node = self.obs_node;
         for u in &mut self.unacked {
             if u.retry_at <= clock {
                 u.attempts += 1;
                 let rto = (base_rto << u.attempts.min(16)).min(max_rto);
                 u.retry_at = clock + rto;
+                obs.emit(|| {
+                    let mut ev = Event::new(EventKind::Retransmit).detail(format!(
+                        "dst={} seq={} attempt={} next_rto={rto}",
+                        u.dst, u.seq, u.attempts
+                    ));
+                    if let Some(node) = obs_node {
+                        ev = ev.node(node);
+                    }
+                    ev
+                });
                 out.push((
                     u.dst,
                     LinkMsg::Data {

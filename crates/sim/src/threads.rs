@@ -16,6 +16,7 @@ use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
+use rbvc_obs::{Event, EventKind, Obs};
 
 use crate::asynch::{AsyncAdversary, AsyncProtocol};
 use crate::config::{ProcessId, SystemConfig};
@@ -67,6 +68,27 @@ where
     P::Msg: Send + 'static,
     P::Output: Send + Clone + 'static,
 {
+    run_threaded_with_obs(config, nodes, timeout, Obs::noop())
+}
+
+/// [`run_threaded`] with a structured-event sink: each honest thread emits
+/// one [`EventKind::Decide`] event (tagged with its process id) the moment
+/// its decision is recorded. The recorder must be thread-safe — every node
+/// thread writes into it concurrently.
+///
+/// # Panics
+/// Panics on node-count or fault-placement mismatch with `config`.
+pub fn run_threaded_with_obs<P>(
+    config: &SystemConfig,
+    nodes: Vec<ThreadedNode<P>>,
+    timeout: Duration,
+    obs: Obs,
+) -> ThreadedOutcome<P::Output>
+where
+    P: AsyncProtocol + Send + 'static,
+    P::Msg: Send + 'static,
+    P::Output: Send + Clone + 'static,
+{
     let n = config.n;
     assert_eq!(nodes.len(), n, "one node per process required");
     for (i, node) in nodes.iter().enumerate() {
@@ -109,6 +131,7 @@ where
         let sent = Arc::clone(&sent);
         let delivered = Arc::clone(&delivered);
         let errors = Arc::clone(&errors);
+        let obs = obs.with_node(u32::try_from(id).unwrap_or(u32::MAX));
         handles.push(thread::spawn(move || {
             let route = |sends: Vec<(ProcessId, P::Msg)>| {
                 for (dst, msg) in sends {
@@ -144,6 +167,10 @@ where
                                         decisions.lock()[id] = Some(out);
                                         decided_count.fetch_add(1, Ordering::SeqCst);
                                         recorded = true;
+                                        obs.emit(|| {
+                                            Event::new(EventKind::Decide)
+                                                .detail("runtime=threads")
+                                        });
                                     }
                                 }
                             }
@@ -159,6 +186,9 @@ where
                                     decisions.lock()[id] = Some(out);
                                     decided_count.fetch_add(1, Ordering::SeqCst);
                                     recorded = true;
+                                    obs.emit(|| {
+                                        Event::new(EventKind::Decide).detail("runtime=threads")
+                                    });
                                 }
                             }
                         }
@@ -232,13 +262,37 @@ pub fn run_threaded_chaos<P>(
     nodes: Vec<ThreadedNode<P>>,
     timeout: Duration,
     faults: NetworkFaults,
-    mut monitor: Option<&mut SafetyMonitor<P::Output>>,
+    monitor: Option<&mut SafetyMonitor<P::Output>>,
 ) -> (ThreadedOutcome<P::Output>, NetStats)
 where
     P: AsyncProtocol + Send + 'static,
     P::Msg: Send + 'static,
     P::Output: Send + Clone + PartialEq + 'static,
 {
+    run_threaded_chaos_with_obs(config, nodes, timeout, faults, monitor, Obs::noop())
+}
+
+/// [`run_threaded_chaos`] with a structured-event sink: each honest thread
+/// emits one [`EventKind::Decide`] event as its decision is recorded, and
+/// the shared fault layer's partition-heal events flow through the same
+/// recorder. The recorder must be thread-safe.
+///
+/// # Panics
+/// Panics on node-count or fault-placement mismatch with `config`.
+pub fn run_threaded_chaos_with_obs<P>(
+    config: &SystemConfig,
+    nodes: Vec<ThreadedNode<P>>,
+    timeout: Duration,
+    mut faults: NetworkFaults,
+    mut monitor: Option<&mut SafetyMonitor<P::Output>>,
+    obs: Obs,
+) -> (ThreadedOutcome<P::Output>, NetStats)
+where
+    P: AsyncProtocol + Send + 'static,
+    P::Msg: Send + 'static,
+    P::Output: Send + Clone + PartialEq + 'static,
+{
+    faults.set_obs(obs.clone());
     let n = config.n;
     assert_eq!(nodes.len(), n, "one node per process required");
     for (i, node) in nodes.iter().enumerate() {
@@ -282,6 +336,7 @@ where
         let delivered = Arc::clone(&delivered);
         let faults = Arc::clone(&faults);
         let errors = Arc::clone(&errors);
+        let obs = obs.with_node(u32::try_from(id).unwrap_or(u32::MAX));
         handles.push(thread::spawn(move || {
             // Delayed copies waiting for their delivery instant.
             let mut outbox: Vec<(Instant, ProcessId, P::Msg)> = Vec::new();
@@ -361,6 +416,10 @@ where
                                         decisions.lock()[id] = Some(out);
                                         decided_count.fetch_add(1, Ordering::SeqCst);
                                         recorded = true;
+                                        obs.emit(|| {
+                                            Event::new(EventKind::Decide)
+                                                .detail("runtime=threads_chaos")
+                                        });
                                     }
                                 }
                             }
@@ -377,6 +436,10 @@ where
                                     decisions.lock()[id] = Some(out);
                                     decided_count.fetch_add(1, Ordering::SeqCst);
                                     recorded = true;
+                                    obs.emit(|| {
+                                        Event::new(EventKind::Decide)
+                                            .detail("runtime=threads_chaos")
+                                    });
                                 }
                             }
                         }
@@ -656,5 +719,93 @@ mod tests {
             assert_eq!(*d, Some(6));
         }
         assert!(monitor.clean(), "{:?}", monitor.alerts());
+    }
+
+    #[test]
+    fn threaded_run_traces_one_decide_per_honest_node() {
+        use rbvc_obs::RingRecorder;
+
+        let n = 8;
+        let config = SystemConfig::new(n, 0);
+        let nodes = (0..n)
+            .map(|i| {
+                ThreadedNode::Honest(QuorumSum {
+                    n,
+                    quorum: n,
+                    input: i as i64,
+                    seen: Vec::new(),
+                    decided: None,
+                })
+            })
+            .collect();
+        let ring = Arc::new(RingRecorder::new(64));
+        let obs = Obs::new(Arc::clone(&ring) as Arc<dyn rbvc_obs::Recorder>);
+        let out = run_threaded_with_obs(&config, nodes, Duration::from_secs(10), obs);
+        assert!(out.all_decided);
+        let events = ring.snapshot();
+        let decides: Vec<_> = events
+            .iter()
+            .filter(|e| e.kind == EventKind::Decide)
+            .collect();
+        assert_eq!(decides.len(), n, "exactly one decide event per node");
+        let mut nodes_seen: Vec<u32> = decides.iter().filter_map(|e| e.node).collect();
+        nodes_seen.sort_unstable();
+        assert_eq!(
+            nodes_seen,
+            (0..n as u32).collect::<Vec<_>>(),
+            "every node tag present exactly once"
+        );
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_recorder_survives_concurrent_node_threads() {
+        // The thread-safety contract of the ring buffer under the threaded
+        // runtime's concurrency model: many OS threads hammering one shared
+        // recorder must lose nothing and tear nothing. Every (node, seq)
+        // pair is encoded in the event detail and must come back exactly
+        // once with a self-consistent node tag.
+        use rbvc_obs::RingRecorder;
+        use std::collections::HashSet;
+
+        let threads = 8usize;
+        let per_thread = 500usize;
+        let ring = Arc::new(RingRecorder::new(threads * per_thread));
+        let obs = Obs::new(Arc::clone(&ring) as Arc<dyn rbvc_obs::Recorder>);
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let obs = obs.with_node(t as u32);
+                thread::spawn(move || {
+                    for seq in 0..per_thread {
+                        obs.emit(|| {
+                            Event::new(EventKind::RoundStart).detail(format!("node={t} seq={seq}"))
+                        });
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("emitter thread panicked");
+        }
+        let events = ring.snapshot();
+        assert_eq!(events.len(), threads * per_thread, "no event lost");
+        assert_eq!(ring.dropped(), 0);
+        let mut seen: HashSet<(u32, usize)> = HashSet::new();
+        for e in &events {
+            let detail = e.detail.as_deref().expect("detail present");
+            let node: u32 = detail
+                .split_whitespace()
+                .find_map(|f| f.strip_prefix("node="))
+                .and_then(|v| v.parse().ok())
+                .expect("node field intact");
+            let seq: usize = detail
+                .split_whitespace()
+                .find_map(|f| f.strip_prefix("seq="))
+                .and_then(|v| v.parse().ok())
+                .expect("seq field intact");
+            assert_eq!(e.node, Some(node), "node tag torn from detail");
+            assert!(seen.insert((node, seq)), "duplicate event ({node},{seq})");
+        }
+        assert_eq!(seen.len(), threads * per_thread);
     }
 }

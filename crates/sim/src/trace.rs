@@ -1,73 +1,27 @@
 //! Execution statistics collected by the engines.
+//!
+//! The counters now live in `rbvc-obs` ([`rbvc_obs::ExecutionTrace`])
+//! alongside the richer metrics registry; this module re-exports them so
+//! engine code and downstream callers keep their `crate::trace::…` paths.
 
-use serde::{Deserialize, Serialize};
-
-/// Message/round counters for one execution.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
-pub struct ExecutionTrace {
-    /// Total point-to-point messages sent.
-    pub messages_sent: u64,
-    /// Rounds executed (synchronous) or scheduler steps (asynchronous).
-    pub rounds: u64,
-    /// Messages delivered (asynchronous engine; equals sent for lockstep).
-    pub messages_delivered: u64,
-}
-
-impl ExecutionTrace {
-    /// Count one sent message.
-    pub fn record_message(&mut self) {
-        self.messages_sent += 1;
-    }
-
-    /// Count one delivered message.
-    pub fn record_delivery(&mut self) {
-        self.messages_delivered += 1;
-    }
-
-    /// Count one round / scheduler step.
-    pub fn record_round(&mut self) {
-        self.rounds += 1;
-    }
-
-    /// Merge another trace into this one (for multi-phase protocols).
-    pub fn absorb(&mut self, other: &ExecutionTrace) {
-        self.messages_sent += other.messages_sent;
-        self.rounds += other.rounds;
-        self.messages_delivered += other.messages_delivered;
-    }
-}
+pub use rbvc_obs::ExecutionTrace;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
+    /// The re-export keeps the original API surface.
     #[test]
-    fn counters_accumulate() {
+    fn reexported_trace_counts_and_absorbs() {
         let mut t = ExecutionTrace::default();
-        t.record_message();
         t.record_message();
         t.record_round();
         t.record_delivery();
-        assert_eq!(t.messages_sent, 2);
-        assert_eq!(t.rounds, 1);
-        assert_eq!(t.messages_delivered, 1);
-    }
-
-    #[test]
-    fn absorb_sums_fields() {
-        let mut a = ExecutionTrace {
-            messages_sent: 3,
-            rounds: 1,
-            messages_delivered: 2,
-        };
-        let b = ExecutionTrace {
-            messages_sent: 10,
-            rounds: 4,
-            messages_delivered: 9,
-        };
-        a.absorb(&b);
-        assert_eq!(a.messages_sent, 13);
-        assert_eq!(a.rounds, 5);
-        assert_eq!(a.messages_delivered, 11);
+        let mut sum = ExecutionTrace::default();
+        sum.absorb(&t);
+        sum.absorb(&t);
+        assert_eq!(sum.messages_sent, 2);
+        assert_eq!(sum.rounds, 2);
+        assert_eq!(sum.messages_delivered, 2);
     }
 }

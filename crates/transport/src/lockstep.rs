@@ -26,6 +26,7 @@
 
 use std::collections::BTreeMap;
 
+use rbvc_obs::{Event, EventKind, Obs};
 use rbvc_sim::asynch::AsyncProtocol;
 use rbvc_sim::config::ProcessId;
 use rbvc_sim::error::{ErrorLog, ProtocolError};
@@ -61,6 +62,10 @@ pub struct Lockstep<P: SyncProtocol> {
     inbox: BTreeMap<usize, BTreeMap<ProcessId, Vec<P::Msg>>>,
     done: bool,
     errors: ErrorLog,
+    /// Structured-event sink (no-op by default).
+    obs: Obs,
+    /// Instance tag stamped on every emitted event.
+    obs_instance: Option<u64>,
 }
 
 impl<P: SyncProtocol> Lockstep<P> {
@@ -79,7 +84,33 @@ impl<P: SyncProtocol> Lockstep<P> {
             inbox: BTreeMap::new(),
             done: false,
             errors: ErrorLog::new(),
+            obs: Obs::noop(),
+            obs_instance: None,
         }
+    }
+
+    /// Attach a structured-event sink; `instance` (if given) tags every
+    /// event. The synchronizer emits [`EventKind::RoundStart`] when it
+    /// starts emitting a round, [`EventKind::RoundEnd`] when a round's
+    /// inbox is delivered (detail says whether the barrier was complete or
+    /// timed out partial), and [`EventKind::GateReject`] for every
+    /// receive-boundary rejection. Tracing never changes behaviour.
+    pub fn set_obs(&mut self, obs: Obs, instance: Option<u64>) {
+        self.obs = obs;
+        self.obs_instance = instance;
+    }
+
+    /// Emit one event, stamping the round and instance tags.
+    fn emit_event(&self, kind: EventKind, round: usize, detail: impl FnOnce() -> String) {
+        self.obs.emit(|| {
+            let mut ev = Event::new(kind)
+                .round(u32::try_from(round).unwrap_or(u32::MAX))
+                .detail(detail());
+            if let Some(i) = self.obs_instance {
+                ev = ev.instance(i);
+            }
+            ev
+        });
     }
 
     /// Override the idle-tick budget before a partial-inbox force-advance.
@@ -106,6 +137,9 @@ impl<P: SyncProtocol> Lockstep<P> {
     /// including empty ones (and one to ourselves — self-delivery is how
     /// the inner protocol hears its own broadcast).
     fn emit(&mut self, round: usize) -> Vec<(ProcessId, RoundBatch<P::Msg>)> {
+        self.emit_event(EventKind::RoundStart, round, || {
+            format!("emitting batches for round {round}")
+        });
         let mut per_dst: Vec<Vec<P::Msg>> = (0..self.n).map(|_| Vec::new()).collect();
         for (dst, msg) in self.inner.round_messages(round) {
             if dst >= self.n {
@@ -139,6 +173,15 @@ impl<P: SyncProtocol> Lockstep<P> {
             // BTreeMap iteration replays the inbox in sender order — the
             // deterministic delivery that keeps decisions transport-independent.
             let senders = self.inbox.remove(&self.round).unwrap_or_default();
+            {
+                let (round, have, n) = (self.round, senders.len(), self.n);
+                self.emit_event(EventKind::RoundEnd, round, || {
+                    format!(
+                        "senders={have}/{n}{}",
+                        if have < n { " (partial, timed out)" } else { "" }
+                    )
+                });
+            }
             let inbox: Vec<(ProcessId, P::Msg)> = senders
                 .into_iter()
                 .flat_map(|(from, msgs)| msgs.into_iter().map(move |m| (from, m)))
@@ -169,6 +212,9 @@ impl<P: SyncProtocol> AsyncProtocol for Lockstep<P> {
             return Vec::new();
         }
         if from >= self.n || msg.round >= self.max_rounds {
+            self.emit_event(EventKind::GateReject, msg.round, || {
+                format!("gate=batch_bounds from={from}")
+            });
             self.errors.record(ProtocolError::MalformedPayload {
                 from,
                 reason: format!(
@@ -181,6 +227,9 @@ impl<P: SyncProtocol> AsyncProtocol for Lockstep<P> {
         if msg.round < self.round {
             // A straggler for a round already delivered (e.g. after a
             // timeout advance): too late to matter, not an error.
+            self.emit_event(EventKind::GateReject, msg.round, || {
+                format!("gate=stale from={from}")
+            });
             return Vec::new();
         }
         // First batch per (round, sender) wins; equivocators cannot rewrite.

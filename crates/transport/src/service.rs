@@ -26,11 +26,12 @@
 //! receive-boundary validation on top.
 
 use std::collections::BTreeMap;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use rbvc_core::verified_avg::VerifiedAveraging;
 use rbvc_core::SyncBvc;
 use rbvc_linalg::VecD;
+use rbvc_obs::{Event, EventKind, Obs, Registry};
 use rbvc_sim::asynch::AsyncProtocol;
 use rbvc_sim::config::ProcessId;
 use rbvc_sim::error::{ErrorLog, ProtocolError};
@@ -58,12 +59,25 @@ pub struct DecisionEvent {
     pub process: ProcessId,
     /// The decided vector.
     pub value: VecD,
+    /// Submit→decide time: from this instance's [`ConsensusService::launch`]
+    /// (or [`ConsensusService::start`]) to the poll that surfaced the
+    /// decision, on the local monotonic clock.
+    pub latency: Duration,
 }
 
 struct Slot {
     proto: InstanceProto,
     decided: bool,
+    /// Whether this instance's `on_start` sends have gone out. Un-launched
+    /// instances still receive and buffer frames (so a peer may start first)
+    /// but are not ticked and cannot surface a decision.
+    launched: bool,
+    /// Monotonic launch timestamp; the submit side of the latency metric.
+    submitted_at: Option<Instant>,
 }
+
+/// Names of the four receive gates, indexed as [`ConsensusService::gate_rejections`].
+pub const GATE_NAMES: [&str; 4] = ["decode", "auth", "instance", "kind"];
 
 /// The per-process service multiplexing consensus instances over one
 /// transport endpoint.
@@ -73,19 +87,69 @@ pub struct ConsensusService<T: Transport> {
     undecided: usize,
     errors: ErrorLog,
     started: bool,
+    /// Per-gate rejection counts, indexed as [`GATE_NAMES`].
+    gate_rejections: [u64; 4],
+    /// Structured-event sink (no-op by default), node tag baked in.
+    obs: Obs,
 }
 
 impl<T: Transport> ConsensusService<T> {
     /// Wrap a transport endpoint into an (initially empty) service.
     #[must_use]
     pub fn new(transport: T) -> Self {
+        let node = u32::try_from(transport.local_id()).unwrap_or(u32::MAX);
         ConsensusService {
             transport,
             instances: BTreeMap::new(),
             undecided: 0,
             errors: ErrorLog::new(),
             started: false,
+            gate_rejections: [0; 4],
+            obs: Obs::noop().with_node(node),
         }
+    }
+
+    /// Attach a structured-event sink; the service emits
+    /// [`EventKind::GateReject`] at each of the four receive gates and
+    /// [`EventKind::Decide`] (with a `latency_us=` detail) per decided
+    /// instance, and propagates the sink to every registered instance —
+    /// lockstep round events and Verified-Averaging protocol events flow
+    /// through it tagged with their instance id. Attach *before*
+    /// registering instances so all of them are covered.
+    pub fn set_obs(&mut self, obs: Obs) {
+        let node = u32::try_from(self.transport.local_id()).unwrap_or(u32::MAX);
+        self.obs = obs.with_node(node);
+        let ids: Vec<InstanceId> = self.instances.keys().copied().collect();
+        for id in ids {
+            self.attach_instance_obs(id);
+        }
+    }
+
+    fn attach_instance_obs(&mut self, id: InstanceId) {
+        let obs = self.obs.clone();
+        if let Some(slot) = self.instances.get_mut(&id) {
+            match &mut slot.proto {
+                InstanceProto::Bvc(p) => p.set_obs(obs, Some(id)),
+                InstanceProto::Va(p) => p.set_obs(obs, Some(id)),
+            }
+        }
+    }
+
+    /// Per-gate rejection counts (decode, sender auth, instance lookup,
+    /// payload kind), in [`GATE_NAMES`] order.
+    #[must_use]
+    pub fn gate_rejections(&self) -> [u64; 4] {
+        self.gate_rejections
+    }
+
+    /// Record one rejection at gate `gate` (index into [`GATE_NAMES`]) and
+    /// trace it.
+    fn gate_reject(&mut self, gate: usize, from: ProcessId, err: ProtocolError) {
+        self.gate_rejections[gate] += 1;
+        self.obs.emit(|| {
+            Event::new(EventKind::GateReject).detail(format!("gate={} from={from}", GATE_NAMES[gate]))
+        });
+        self.errors.record(err);
     }
 
     /// Register one instance under `id`.
@@ -104,8 +168,17 @@ impl<T: Transport> ConsensusService<T> {
                 reason: format!("duplicate instance id {id}"),
             });
         }
-        self.instances.insert(id, Slot { proto, decided: false });
+        self.instances.insert(
+            id,
+            Slot {
+                proto,
+                decided: false,
+                launched: false,
+                submitted_at: None,
+            },
+        );
         self.undecided += 1;
+        self.attach_instance_obs(id);
         Ok(())
     }
 
@@ -119,11 +192,7 @@ impl<T: Transport> ConsensusService<T> {
         let mut first_err = None;
         let ids: Vec<InstanceId> = self.instances.keys().copied().collect();
         for id in ids {
-            let sends = match &mut self.instances.get_mut(&id).expect("registered").proto {
-                InstanceProto::Bvc(p) => Self::encode_bvc(id, self.transport.local_id(), p.on_start()),
-                InstanceProto::Va(p) => Self::encode_va(id, self.transport.local_id(), p.on_start()),
-            };
-            if let Err(e) = self.route(sends) {
+            if let Err(e) = self.launch_inner(id, false) {
                 first_err.get_or_insert(e);
             }
         }
@@ -134,6 +203,68 @@ impl<T: Transport> ConsensusService<T> {
             None => Ok(()),
             Some(e) => Err(e),
         }
+    }
+
+    /// Open the service for traffic *without* launching any instance:
+    /// registered instances buffer inbound frames (a peer may legitimately
+    /// start first) but send nothing and cannot decide until
+    /// [`ConsensusService::launch`] releases them individually. This is the
+    /// closed-loop submission mode: keeping a bounded window of launched
+    /// instances in flight yields meaningful per-instance submit→decide
+    /// latencies instead of every instance marching in lockstep.
+    pub fn start_deferred(&mut self) {
+        self.started = true;
+    }
+
+    /// Launch one registered instance: queue its `on_start` sends and stamp
+    /// its submission time. The sends ride the next flush — the upcoming
+    /// [`ConsensusService::poll`] in the steady state, or an explicit
+    /// [`ConsensusService::flush`] — so a burst of launches batches into
+    /// one write per peer instead of one per launch.
+    ///
+    /// # Errors
+    /// [`ProtocolError::InvalidSpec`] if the service has not started, `id`
+    /// is unknown, or the instance already launched; transport errors are
+    /// propagated (and recorded) like in [`ConsensusService::start`].
+    pub fn launch(&mut self, id: InstanceId) -> Result<(), ProtocolError> {
+        if !self.started {
+            return Err(ProtocolError::InvalidSpec {
+                reason: "launch() requires start() or start_deferred() first".into(),
+            });
+        }
+        self.launch_inner(id, true)
+    }
+
+    /// Push everything queued on the transport out now (a poll does this
+    /// anyway; use after a launch burst outside the poll loop).
+    ///
+    /// # Errors
+    /// Propagates transport-level flush failures.
+    pub fn flush(&mut self) -> Result<(), ProtocolError> {
+        self.transport.flush()
+    }
+
+    /// Shared launch path; `check` enforces the single-launch contract (the
+    /// bulk `start()` path iterates fresh ids and skips the check).
+    fn launch_inner(&mut self, id: InstanceId, check: bool) -> Result<(), ProtocolError> {
+        let local = self.transport.local_id();
+        let Some(slot) = self.instances.get_mut(&id) else {
+            return Err(ProtocolError::InvalidSpec {
+                reason: format!("launch of unknown instance {id}"),
+            });
+        };
+        if check && slot.launched {
+            return Err(ProtocolError::InvalidSpec {
+                reason: format!("instance {id} already launched"),
+            });
+        }
+        slot.launched = true;
+        slot.submitted_at = Some(Instant::now());
+        let sends = match &mut slot.proto {
+            InstanceProto::Bvc(p) => Self::encode_bvc(id, local, p.on_start()),
+            InstanceProto::Va(p) => Self::encode_va(id, local, p.on_start()),
+        };
+        self.route(sends)
     }
 
     fn encode_bvc(
@@ -193,33 +324,44 @@ impl<T: Transport> ConsensusService<T> {
     /// the outbound frames it produced.
     fn dispatch(&mut self, frame: Frame) -> Vec<(ProcessId, Vec<u8>)> {
         let local = self.transport.local_id();
-        let Some(slot) = self.instances.get_mut(&frame.instance) else {
-            self.errors.record(ProtocolError::MalformedPayload {
-                from: frame.sender,
-                reason: format!("frame for unknown instance {}", frame.instance),
-            });
-            return Vec::new();
-        };
-        match (&mut slot.proto, frame.payload) {
-            (InstanceProto::Bvc(p), Payload::Eig(msgs)) => Self::encode_bvc(
-                frame.instance,
-                local,
-                p.on_message(
-                    frame.sender,
-                    RoundBatch { round: frame.round as usize, msgs },
-                ),
-            ),
-            (InstanceProto::Va(p), Payload::Va(msg)) => {
-                Self::encode_va(frame.instance, local, p.on_message(frame.sender, msg))
-            }
-            (_, _) => {
-                self.errors.record(ProtocolError::MalformedPayload {
+        if !self.instances.contains_key(&frame.instance) {
+            self.gate_reject(
+                2,
+                frame.sender,
+                ProtocolError::MalformedPayload {
                     from: frame.sender,
-                    reason: format!(
-                        "payload kind does not match the protocol of instance {}",
-                        frame.instance
-                    ),
-                });
+                    reason: format!("frame for unknown instance {}", frame.instance),
+                },
+            );
+            return Vec::new();
+        }
+        let slot = self.instances.get_mut(&frame.instance).expect("checked above");
+        let sender = frame.sender;
+        let instance = frame.instance;
+        let sends = match (&mut slot.proto, frame.payload) {
+            (InstanceProto::Bvc(p), Payload::Eig(msgs)) => Some(Self::encode_bvc(
+                instance,
+                local,
+                p.on_message(sender, RoundBatch { round: frame.round as usize, msgs }),
+            )),
+            (InstanceProto::Va(p), Payload::Va(msg)) => {
+                Some(Self::encode_va(instance, local, p.on_message(sender, msg)))
+            }
+            (_, _) => None,
+        };
+        match sends {
+            Some(sends) => sends,
+            None => {
+                self.gate_reject(
+                    3,
+                    sender,
+                    ProtocolError::MalformedPayload {
+                        from: sender,
+                        reason: format!(
+                            "payload kind does not match the protocol of instance {instance}"
+                        ),
+                    },
+                );
                 Vec::new()
             }
         }
@@ -236,18 +378,22 @@ impl<T: Transport> ConsensusService<T> {
             let frame = match decode_frame(&bytes, link_peer) {
                 Ok(f) => f,
                 Err(e) => {
-                    self.errors.record(e);
+                    self.gate_reject(0, link_peer, e);
                     continue;
                 }
             };
             if frame.sender != link_peer {
-                self.errors.record(ProtocolError::MalformedPayload {
-                    from: link_peer,
-                    reason: format!(
-                        "spoofed sender: header claims {} on the link from {}",
-                        frame.sender, link_peer
-                    ),
-                });
+                self.gate_reject(
+                    1,
+                    link_peer,
+                    ProtocolError::MalformedPayload {
+                        from: link_peer,
+                        reason: format!(
+                            "spoofed sender: header claims {} on the link from {}",
+                            frame.sender, link_peer
+                        ),
+                    },
+                );
                 continue;
             }
             outbound.extend(self.dispatch(frame));
@@ -257,7 +403,7 @@ impl<T: Transport> ConsensusService<T> {
         let ids: Vec<InstanceId> = self.instances.keys().copied().collect();
         for id in ids {
             let slot = self.instances.get_mut(&id).expect("registered");
-            if slot.decided {
+            if slot.decided || !slot.launched {
                 continue;
             }
             let sends = match &mut slot.proto {
@@ -273,12 +419,15 @@ impl<T: Transport> ConsensusService<T> {
         self.collect_decisions()
     }
 
-    /// Surface newly decided instances as events (each instance at most once).
+    /// Surface newly decided instances as events (each instance at most
+    /// once). Un-launched instances are skipped even if their state machine
+    /// already holds an output — the latency clock starts at launch, so a
+    /// decision is only *surfaced* once the instance was submitted.
     fn collect_decisions(&mut self) -> Vec<DecisionEvent> {
         let local = self.transport.local_id();
         let mut events = Vec::new();
         for (id, slot) in &mut self.instances {
-            if slot.decided {
+            if slot.decided || !slot.launched {
                 continue;
             }
             let value = match &slot.proto {
@@ -288,7 +437,18 @@ impl<T: Transport> ConsensusService<T> {
             if let Some(value) = value {
                 slot.decided = true;
                 self.undecided -= 1;
-                events.push(DecisionEvent { instance: *id, process: local, value });
+                let latency = slot.submitted_at.map(|t| t.elapsed()).unwrap_or_default();
+                let latency_us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
+                Registry::global()
+                    .histogram("service.decide.latency_us")
+                    .record(latency_us);
+                let instance = *id;
+                self.obs.emit(|| {
+                    Event::new(EventKind::Decide)
+                        .instance(instance)
+                        .detail(format!("latency_us={latency_us}"))
+                });
+                events.push(DecisionEvent { instance, process: local, value, latency });
             }
         }
         events

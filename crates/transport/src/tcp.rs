@@ -25,16 +25,24 @@
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::Duration;
 
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
+use rbvc_obs::{Counter, Gauge, Registry};
 use rbvc_sim::config::ProcessId;
 use rbvc_sim::error::{ErrorLog, ProtocolError};
 
 use crate::transport::Transport;
+
+/// Global counter of dial attempts that failed and were retried; inspect it
+/// through the metrics registry (`tcp.dial.retries`).
+fn dial_retry_counter() -> &'static Counter {
+    static C: OnceLock<Counter> = OnceLock::new();
+    C.get_or_init(|| Registry::global().counter("tcp.dial.retries"))
+}
 
 /// HELLO magic (3 bytes) followed by the wire version byte.
 pub const HELLO_MAGIC: [u8; 3] = *b"RBH";
@@ -70,6 +78,7 @@ pub fn dial_with_backoff(
         match TcpStream::connect(addr) {
             Ok(s) => return Ok(s),
             Err(e) => {
+                dial_retry_counter().inc();
                 last_err = e.to_string();
                 if attempt + 1 < DIAL_ATTEMPTS {
                     thread::sleep(backoff);
@@ -123,12 +132,20 @@ pub struct TcpEndpoint {
     bytes_sent: u64,
     bytes_received: Arc<AtomicU64>,
     errors: Arc<Mutex<ErrorLog>>,
+    /// Per-destination outbound counters (`tcp.link.tx_frames{src,dst}` /
+    /// `tcp.link.tx_bytes{src,dst}` in the global metrics registry).
+    tx_frames: Vec<Counter>,
+    tx_bytes: Vec<Counter>,
+    /// High-water mark of any single per-destination outbox, in bytes
+    /// (`tcp.outbox.max_bytes{src}`).
+    outbox_depth: Gauge,
 }
 
 /// Spawn a reader thread that authenticates the HELLO and then pumps frames
 /// into `tx` until the stream dies.
 fn spawn_reader(
     mut stream: TcpStream,
+    local: ProcessId,
     n: usize,
     tx: Sender<RxEvent>,
     bytes_received: Arc<AtomicU64>,
@@ -152,10 +169,16 @@ fn spawn_reader(
             return;
         }
         bytes_received.fetch_add(8, Ordering::Relaxed);
+        let (src, dst) = (peer.to_string(), local.to_string());
+        let labels = [("src", src.as_str()), ("dst", dst.as_str())];
+        let rx_frames = Registry::global().counter_with("tcp.link.rx_frames", &labels);
+        let rx_bytes = Registry::global().counter_with("tcp.link.rx_bytes", &labels);
         loop {
             match read_frame(&mut stream) {
                 Ok(Some(frame)) => {
                     bytes_received.fetch_add(4 + frame.len() as u64, Ordering::Relaxed);
+                    rx_frames.inc();
+                    rx_bytes.add(4 + frame.len() as u64);
                     if tx.send(RxEvent::Frame(peer, frame)).is_err() {
                         return; // endpoint gone
                     }
@@ -199,7 +222,7 @@ impl TcpEndpoint {
                 for _ in 0..n.saturating_sub(1) {
                     match listener.accept() {
                         Ok((stream, _)) => {
-                            spawn_reader(stream, n, tx.clone(), Arc::clone(&bytes_received));
+                            spawn_reader(stream, id, n, tx.clone(), Arc::clone(&bytes_received));
                         }
                         Err(e) => errors.lock().record(ProtocolError::Transport {
                             peer: None,
@@ -235,6 +258,19 @@ impl TcpEndpoint {
             writers.push(Some(stream));
         }
 
+        let src = id.to_string();
+        let (tx_frames, tx_bytes) = (0..n)
+            .map(|dst| {
+                let dst = dst.to_string();
+                let labels = [("src", src.as_str()), ("dst", dst.as_str())];
+                (
+                    Registry::global().counter_with("tcp.link.tx_frames", &labels),
+                    Registry::global().counter_with("tcp.link.tx_bytes", &labels),
+                )
+            })
+            .unzip();
+        let outbox_depth =
+            Registry::global().gauge_with("tcp.outbox.max_bytes", &[("src", src.as_str())]);
         Ok(TcpEndpoint {
             id,
             n,
@@ -245,6 +281,9 @@ impl TcpEndpoint {
             bytes_sent,
             bytes_received,
             errors,
+            tx_frames,
+            tx_bytes,
+            outbox_depth,
         })
     }
 }
@@ -283,6 +322,9 @@ impl Transport for TcpEndpoint {
         let batch = &mut self.outbox[dst];
         batch.extend_from_slice(&(frame.len() as u32).to_le_bytes());
         batch.extend_from_slice(&frame);
+        self.tx_frames[dst].inc();
+        self.outbox_depth
+            .record_max(i64::try_from(batch.len()).unwrap_or(i64::MAX));
         Ok(())
     }
 
@@ -298,7 +340,10 @@ impl Transport for TcpEndpoint {
             };
             let batch = std::mem::take(&mut self.outbox[dst]);
             match stream.write_all(&batch) {
-                Ok(()) => self.bytes_sent += batch.len() as u64,
+                Ok(()) => {
+                    self.bytes_sent += batch.len() as u64;
+                    self.tx_bytes[dst].add(batch.len() as u64);
+                }
                 Err(e) => {
                     // This link is gone; degrade it and keep flushing the
                     // rest of the mesh.

@@ -8,8 +8,10 @@
 //! serde's default encoding — structs as objects, newtype structs
 //! transparently, enums externally tagged — so the JSON shape matches what
 //! the real crate would have produced for these types. `Deserialize` is
-//! accepted (types derive it) but is a no-op: nothing in the workspace
-//! parses JSON back in.
+//! accepted (types derive it) but is a no-op: the only reader is the
+//! `serde_json` stub's `from_str`, which parses into a [`Value`] tree
+//! inspected through the accessors below (`get`, `as_str`, `as_u64`, …)
+//! rather than into typed structs.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -141,6 +143,75 @@ impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
 }
 
 impl Value {
+    /// Object field lookup (first match; objects preserve insertion
+    /// order and the workspace never emits duplicate keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a bool.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `u64` (non-negative integers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(u) => Some(*u),
+            Value::Int(i) => u64::try_from(*i).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `i64`.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) => i64::try_from(*u).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric payload as `f64` (integers widen losslessly up to 2^53).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(f) => Some(*f),
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            _ => None,
+        }
+    }
+
+    /// The element list, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The field list, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(fields) => Some(fields),
+            _ => None,
+        }
+    }
+
     /// Compact single-line JSON rendering.
     pub fn render(&self, out: &mut String) {
         self.render_indented(out, usize::MAX, 0);

@@ -1,29 +1,300 @@
 //! Offline stand-in for the `serde_json` crate.
 //!
-//! Serialization-only: renders the serde stub's [`Value`] tree as JSON
-//! text. Provides `to_value`, `to_string`, `to_string_pretty`, and a
-//! `json!` macro covering object/array/literal composition with embedded
-//! Rust expressions — the surface `exp_json` and the experiment records
-//! use. There is no parser; nothing in the workspace reads JSON back.
+//! Renders the serde stub's [`Value`] tree as JSON text (`to_value`,
+//! `to_string`, `to_string_pretty`, and a `json!` macro covering
+//! object/array/literal composition with embedded Rust expressions), and
+//! parses JSON text back into a [`Value`] tree with [`from_str`] — the
+//! surface the experiment records and the `rbvc-obs` trace analyzer use.
+//! Unlike real serde_json there is no typed deserialization; readers walk
+//! the [`Value`] tree through its accessors (`get`, `as_str`, `as_u64`).
 
 use std::fmt;
 
 pub use serde::Value;
 use serde::Serialize;
 
-/// Serialization error. The stub renderer is total (non-finite floats
-/// become `null`), so this is never actually produced — it exists so call
-/// sites written against real serde_json's fallible API compile unchanged.
+/// Serialization or parse error. The stub renderer is total (non-finite
+/// floats become `null`), so only [`from_str`] actually produces errors:
+/// the byte offset and a short message for the first malformed construct.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error {
+    detail: Option<(usize, String)>,
+}
+
+impl Error {
+    fn parse(pos: usize, msg: impl Into<String>) -> Error {
+        Error {
+            detail: Some((pos, msg.into())),
+        }
+    }
+}
 
 impl fmt::Display for Error {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str("JSON serialization error")
+        match &self.detail {
+            Some((pos, msg)) => write!(f, "JSON parse error at byte {pos}: {msg}"),
+            None => f.write_str("JSON serialization error"),
+        }
     }
 }
 
 impl std::error::Error for Error {}
+
+/// Parse one JSON document into a [`Value`] tree.
+///
+/// Full JSON: objects, arrays, strings with escapes (including `\uXXXX`
+/// and surrogate pairs), numbers, booleans, null. Integers that fit are
+/// kept exact (`UInt` when non-negative, `Int` when negative); everything
+/// else becomes `Float`. Trailing whitespace is allowed, trailing content
+/// is an error.
+///
+/// # Errors
+/// Byte offset and message of the first malformed construct.
+pub fn from_str(text: &str) -> Result<Value, Error> {
+    let mut p = Parser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let value = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::parse(p.pos, "trailing content after document"));
+    }
+    Ok(value)
+}
+
+/// Recursion guard: deeper nesting than this is rejected rather than
+/// risking a stack overflow on hostile input.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(self.pos, format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<(), Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error::parse(self.pos, format!("expected '{kw}'")))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Value, Error> {
+        if depth > MAX_DEPTH {
+            return Err(Error::parse(self.pos, "nesting too deep"));
+        }
+        match self.peek() {
+            Some(b'{') => self.object(depth),
+            Some(b'[') => self.array(depth),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.eat_keyword("true").map(|()| Value::Bool(true)),
+            Some(b'f') => self.eat_keyword("false").map(|()| Value::Bool(false)),
+            Some(b'n') => self.eat_keyword("null").map(|()| Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(_) => Err(Error::parse(self.pos, "unexpected character")),
+            None => Err(Error::parse(self.pos, "unexpected end of input")),
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse(self.pos, "expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(Error::parse(self.pos, "unterminated string"));
+            };
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                b'\\' => {
+                    self.pos += 1;
+                    let Some(esc) = self.peek() else {
+                        return Err(Error::parse(self.pos, "unterminated escape"));
+                    };
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: a second \uXXXX must follow.
+                                self.eat(b'\\')?;
+                                self.eat(b'u')?;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(Error::parse(self.pos, "invalid low surrogate"));
+                                }
+                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(cp)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => {
+                                    return Err(Error::parse(self.pos, "invalid unicode escape"))
+                                }
+                            }
+                        }
+                        _ => return Err(Error::parse(self.pos - 1, "unknown escape")),
+                    }
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (input is &str, so byte
+                    // boundaries are valid; find the char at this offset).
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest)
+                        .map_err(|_| Error::parse(self.pos, "invalid utf-8"))?;
+                    let c = s.chars().next().expect("nonempty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, Error> {
+        let start = self.pos;
+        let Some(hex) = self.bytes.get(start..start + 4) else {
+            return Err(Error::parse(start, "truncated unicode escape"));
+        };
+        let s = std::str::from_utf8(hex).map_err(|_| Error::parse(start, "invalid hex"))?;
+        let v = u32::from_str_radix(s, 16).map_err(|_| Error::parse(start, "invalid hex"))?;
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        if self.peek() == Some(b'.') {
+            integral = false;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            integral = false;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::parse(start, "invalid number"))?;
+        if integral {
+            // Prefer Int so parsed documents compare equal to ones built
+            // by the `Serialize` impls (integer literals encode as Int);
+            // UInt is only needed above i64::MAX.
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Value::Int(i));
+            }
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::parse(start, "invalid number"))
+    }
+}
 
 /// Convert any serializable value into a [`Value`] tree.
 pub fn to_value<T: Serialize>(value: T) -> Result<Value, Error> {
@@ -105,5 +376,46 @@ mod tests {
         let doc = json!({ "a": [1, 2] });
         let text = to_string_pretty(&doc).unwrap();
         assert_eq!(text, "{\n  \"a\": [\n    1,\n    2\n  ]\n}");
+    }
+
+    #[test]
+    fn parser_round_trips_rendered_documents() {
+        let doc = json!({
+            "name": "tr\"ace\n",
+            "count": 3,
+            "neg": -17,
+            "pi": 3.5,
+            "flag": true,
+            "none": json!(null),
+            "rows": json!([1, "two", json!([]), json!({})]),
+        });
+        let text = to_string(&doc).unwrap();
+        let back = from_str(&text).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        let v = from_str(r#""a\u0041\n\t\u00e9\ud83d\ude00b""#).unwrap();
+        assert_eq!(v, Value::Str("aA\n\té😀b".to_string()));
+        assert_eq!(from_str("\"héllo\"").unwrap(), Value::Str("héllo".into()));
+    }
+
+    #[test]
+    fn parser_number_taxonomy() {
+        assert_eq!(from_str("0").unwrap(), Value::Int(0));
+        assert_eq!(from_str("18446744073709551615").unwrap(), Value::UInt(u64::MAX));
+        assert_eq!(from_str("-5").unwrap(), Value::Int(-5));
+        assert_eq!(from_str("1.5e3").unwrap(), Value::Float(1500.0));
+        assert_eq!(from_str("  [1, 2]  ").unwrap(), Value::Array(vec![Value::Int(1), Value::Int(2)]));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in ["", "{", "[1,", "tru", "\"abc", "{\"a\" 1}", "1 2", "{\"a\":}", "\"\\q\""] {
+            assert!(from_str(bad).is_err(), "must reject {bad:?}");
+        }
+        let deep = "[".repeat(200) + &"]".repeat(200);
+        assert!(from_str(&deep).is_err(), "depth guard");
     }
 }
