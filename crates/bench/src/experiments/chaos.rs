@@ -161,8 +161,8 @@ fn build_monitor(
         .kappa;
     let slack = kappa * workloads::max_edge(inputs) + 0.05;
     let eps = 0.2;
-    let mut lo = vec![f64::INFINITY; D];
-    let mut hi = vec![f64::NEG_INFINITY; D];
+    let mut lo = [f64::INFINITY; D];
+    let mut hi = [f64::NEG_INFINITY; D];
     for v in &honest {
         for (c, x) in v.as_slice().iter().enumerate() {
             lo[c] = lo[c].min(*x);

@@ -11,6 +11,7 @@
 //! | [`asynchrony`] | E11, E13 | Theorem 15 / Conjecture 4, ε-convergence |
 //! | [`chaos`] | E16 | unreliable-network campaign (robustness, not a paper artifact) |
 //! | [`service`] | E17 | multi-instance service load generation over real sockets (systems artifact) |
+//! | [`recovery`] | E18 | kill/restart crash-recovery campaign with WAL corruption injection (systems artifact) |
 
 pub mod asynchrony;
 pub mod broadcast_ablation;
@@ -18,6 +19,7 @@ pub mod chaos;
 pub mod conjecture_hunt;
 pub mod counterex;
 pub mod lemmas;
+pub mod recovery;
 pub mod service;
 pub mod table1;
 pub mod tverberg;

@@ -172,7 +172,7 @@ pub struct ServiceOutcome {
 /// Build instance slot `k` for process `id`: every 3rd slot is a SyncBvc
 /// under the lockstep synchronizer, the rest are Verified Averaging.
 fn build_instance(cfg: &ServiceConfig, k: usize, id: usize, input: VecD) -> InstanceProto {
-    if k % 3 == 0 {
+    if k.is_multiple_of(3) {
         InstanceProto::Bvc(
             Lockstep::new(
                 SyncBvc::new(

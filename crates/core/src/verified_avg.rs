@@ -167,6 +167,15 @@ impl VerifiedAveraging {
         self.round0_delta
     }
 
+    /// Total witness states this process has verified so far, across all
+    /// rounds — monotone protocol progress, durable-logged by the service
+    /// layer so a recovering node can assert its replayed state reached at
+    /// least the logged mark.
+    #[must_use]
+    pub fn witness_commits(&self) -> u64 {
+        self.verified.values().map(|v| v.len() as u64).sum()
+    }
+
     /// The most recent combining error, if the node is degraded (e.g. Γ(X)
     /// came up empty under `DeltaMode::Zero`). `None` for healthy nodes.
     #[must_use]

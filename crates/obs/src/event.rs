@@ -31,11 +31,18 @@ pub enum EventKind {
     Decide,
     /// A safety monitor observed a violation.
     Violation,
+    /// A record was appended to the write-ahead log.
+    WalAppend,
+    /// A write-ahead log was replayed at startup (detail carries record
+    /// and torn-byte counts).
+    WalReplay,
+    /// A service finished crash recovery and rejoined the mesh.
+    Recovered,
 }
 
 impl EventKind {
     /// Every kind, for table-driven reports.
-    pub const ALL: [EventKind; 9] = [
+    pub const ALL: [EventKind; 12] = [
         EventKind::RoundStart,
         EventKind::RoundEnd,
         EventKind::BroadcastAccept,
@@ -45,6 +52,9 @@ impl EventKind {
         EventKind::PartitionHeal,
         EventKind::Decide,
         EventKind::Violation,
+        EventKind::WalAppend,
+        EventKind::WalReplay,
+        EventKind::Recovered,
     ];
 
     /// Stable wire name of the kind.
@@ -60,6 +70,9 @@ impl EventKind {
             EventKind::PartitionHeal => "partition_heal",
             EventKind::Decide => "decide",
             EventKind::Violation => "violation",
+            EventKind::WalAppend => "wal_append",
+            EventKind::WalReplay => "wal_replay",
+            EventKind::Recovered => "recovered",
         }
     }
 

@@ -1,0 +1,63 @@
+//! CRC-32 (IEEE 802.3, reflected, polynomial `0xEDB88320`) — the checksum
+//! guarding every WAL record. Implemented here because the build environment
+//! vendors its dependencies; the table is computed at compile time.
+
+/// The 256-entry lookup table for the reflected IEEE polynomial.
+const TABLE: [u32; 256] = build_table();
+
+const fn build_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 of `bytes` (init `0xFFFF_FFFF`, final XOR `0xFFFF_FFFF` — the
+/// standard zlib/`cksum -o 3` convention).
+#[must_use]
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The canonical check value of CRC-32/ISO-HDLC.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"a"), 0xE8B7_BE43);
+    }
+
+    #[test]
+    fn single_byte_changes_are_detected() {
+        let base = b"the quick brown fox jumps over the lazy dog".to_vec();
+        let c0 = crc32(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut m = base.clone();
+                m[i] ^= 1 << bit;
+                assert_ne!(crc32(&m), c0, "flip at byte {i} bit {bit} undetected");
+            }
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! The typed records the consensus service writes through its WAL, and
+//! their byte codec.
+//!
+//! The codec is deliberately protocol-agnostic: process ids are plain
+//! `u32`, wire frames are opaque byte blobs, instance specs are whatever
+//! bytes the registrar chose to serialize, and decided vectors are raw
+//! `f64` components. That keeps `rbvc-store` free of protocol crates and
+//! lets the service define what a spec means (see its recovery factory).
+//!
+//! Layout: one tag byte, then the fields little-endian. Variable-length
+//! fields carry a `u32` length prefix. [`decode_record`] is a total
+//! function over arbitrary bytes — it returns `None` on anything
+//! malformed and never panics, the same receive-boundary contract as
+//! `rbvc_transport::wire`.
+
+/// One entry in the service's write-ahead log.
+///
+/// The service appends a record *before* the step it describes takes
+/// effect externally (WAL-before-wire), so replaying the log in order
+/// re-derives exactly the state the process crashed with.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// An instance was registered under `instance` with an opaque,
+    /// caller-serialized construction spec (the recovery factory turns it
+    /// back into a protocol state machine).
+    Registered {
+        /// Service-wide instance id.
+        instance: u64,
+        /// Opaque spec bytes, meaningful to the registrar's factory.
+        spec: Vec<u8>,
+    },
+    /// An instance was launched (its `on_start` sends were generated).
+    Launched {
+        /// Which instance.
+        instance: u64,
+    },
+    /// An inbound wire frame passed every receive gate and was accepted
+    /// into protocol state. `from` is the transport-authenticated link
+    /// peer. Replaying these through the rebuilt state machines
+    /// regenerates the exact post-crash state (the protocols are
+    /// deterministic functions of their inbound sequence).
+    Inbound {
+        /// Transport-authenticated sender.
+        from: u32,
+        /// The encoded wire frame, verbatim.
+        bytes: Vec<u8>,
+    },
+    /// An outbound wire frame was handed to the transport. Logged before
+    /// the transmit, so after a crash the log's `Sent` sequence is a
+    /// superset of what actually hit the wire; recovery re-sends them
+    /// (receivers deduplicate) and checks regenerated sends against this
+    /// sequence to detect divergence (accidental equivocation).
+    Sent {
+        /// Destination process.
+        dst: u32,
+        /// The encoded wire frame, verbatim.
+        bytes: Vec<u8>,
+    },
+    /// A Verified-Averaging instance accepted witness commitments; `count`
+    /// is the running total, recorded so recovery can assert the replayed
+    /// state machine reached at least the logged progress.
+    WitnessCommit {
+        /// Which instance.
+        instance: u64,
+        /// Cumulative verified witness count at the time of the append.
+        count: u64,
+    },
+    /// An instance decided `value`. Synced to disk before the decision is
+    /// surfaced, and pinned on recovery: a recovered node must never
+    /// surface a different vector for this instance.
+    Decided {
+        /// Which instance.
+        instance: u64,
+        /// The decided vector's components.
+        value: Vec<f64>,
+    },
+    /// Marker written as the first record of a compacted log: `retained`
+    /// records follow, `dropped` were folded away (decided instances keep
+    /// only their pinned `Decided` record).
+    Compacted {
+        /// Records preserved by the compaction.
+        retained: u64,
+        /// Records dropped by the compaction.
+        dropped: u64,
+    },
+}
+
+const TAG_REGISTERED: u8 = 1;
+const TAG_LAUNCHED: u8 = 2;
+const TAG_INBOUND: u8 = 3;
+const TAG_SENT: u8 = 4;
+const TAG_WITNESS: u8 = 5;
+const TAG_DECIDED: u8 = 6;
+const TAG_COMPACTED: u8 = 7;
+
+/// Sanity cap on variable-length fields inside a record, matching the wire
+/// codec's allocation guard (a record payload is itself capped by
+/// [`crate::wal::MAX_RECORD_LEN`]).
+const MAX_FIELD_LEN: usize = 16 * 1024 * 1024;
+
+fn put_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    out.extend_from_slice(&(u32::try_from(b.len()).expect("field fits u32")).to_le_bytes());
+    out.extend_from_slice(b);
+}
+
+/// Encode one record into the payload bytes a [`crate::Wal`] append takes.
+#[must_use]
+pub fn encode_record(r: &WalRecord) -> Vec<u8> {
+    let mut out = Vec::with_capacity(16);
+    match r {
+        WalRecord::Registered { instance, spec } => {
+            out.push(TAG_REGISTERED);
+            out.extend_from_slice(&instance.to_le_bytes());
+            put_bytes(&mut out, spec);
+        }
+        WalRecord::Launched { instance } => {
+            out.push(TAG_LAUNCHED);
+            out.extend_from_slice(&instance.to_le_bytes());
+        }
+        WalRecord::Inbound { from, bytes } => {
+            out.push(TAG_INBOUND);
+            out.extend_from_slice(&from.to_le_bytes());
+            put_bytes(&mut out, bytes);
+        }
+        WalRecord::Sent { dst, bytes } => {
+            out.push(TAG_SENT);
+            out.extend_from_slice(&dst.to_le_bytes());
+            put_bytes(&mut out, bytes);
+        }
+        WalRecord::WitnessCommit { instance, count } => {
+            out.push(TAG_WITNESS);
+            out.extend_from_slice(&instance.to_le_bytes());
+            out.extend_from_slice(&count.to_le_bytes());
+        }
+        WalRecord::Decided { instance, value } => {
+            out.push(TAG_DECIDED);
+            out.extend_from_slice(&instance.to_le_bytes());
+            out.extend_from_slice(
+                &(u32::try_from(value.len()).expect("dimension fits u32")).to_le_bytes(),
+            );
+            for x in value {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
+        }
+        WalRecord::Compacted { retained, dropped } => {
+            out.push(TAG_COMPACTED);
+            out.extend_from_slice(&retained.to_le_bytes());
+            out.extend_from_slice(&dropped.to_le_bytes());
+        }
+    }
+    out
+}
+
+/// Bounds-checked cursor over a record payload; every read is total.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.buf.len() {
+            return None;
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Some(s)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    fn f64(&mut self) -> Option<f64> {
+        Some(f64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// Length-prefixed byte field; the prefix is validated against both the
+    /// global cap and the bytes actually present, so a hostile length can
+    /// neither over-allocate nor over-read.
+    fn bytes(&mut self) -> Option<Vec<u8>> {
+        let len = self.u32()? as usize;
+        if len > MAX_FIELD_LEN {
+            return None;
+        }
+        Some(self.take(len)?.to_vec())
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Decode one record payload. Total over arbitrary bytes: `None` on an
+/// unknown tag, short buffer, oversized field, or trailing garbage —
+/// never a panic, never a partial record.
+#[must_use]
+pub fn decode_record(payload: &[u8]) -> Option<WalRecord> {
+    let mut r = Reader { buf: payload, pos: 0 };
+    let rec = match r.u8()? {
+        TAG_REGISTERED => WalRecord::Registered { instance: r.u64()?, spec: r.bytes()? },
+        TAG_LAUNCHED => WalRecord::Launched { instance: r.u64()? },
+        TAG_INBOUND => WalRecord::Inbound { from: r.u32()?, bytes: r.bytes()? },
+        TAG_SENT => WalRecord::Sent { dst: r.u32()?, bytes: r.bytes()? },
+        TAG_WITNESS => WalRecord::WitnessCommit { instance: r.u64()?, count: r.u64()? },
+        TAG_DECIDED => {
+            let instance = r.u64()?;
+            let d = r.u32()? as usize;
+            if d > MAX_FIELD_LEN / 8 {
+                return None;
+            }
+            // Cap the pre-allocation by what the buffer can actually hold.
+            let mut value = Vec::with_capacity(d.min(r.buf.len().saturating_sub(r.pos) / 8));
+            for _ in 0..d {
+                value.push(r.f64()?);
+            }
+            WalRecord::Decided { instance, value }
+        }
+        TAG_COMPACTED => WalRecord::Compacted { retained: r.u64()?, dropped: r.u64()? },
+        _ => return None,
+    };
+    if !r.done() {
+        return None; // trailing garbage — reject the whole record
+    }
+    Some(rec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<WalRecord> {
+        vec![
+            WalRecord::Registered { instance: 7, spec: vec![1, 2, 3] },
+            WalRecord::Registered { instance: 0, spec: vec![] },
+            WalRecord::Launched { instance: u64::MAX },
+            WalRecord::Inbound { from: 3, bytes: vec![0xde, 0xad, 0xbe, 0xef] },
+            WalRecord::Sent { dst: 0, bytes: vec![] },
+            WalRecord::WitnessCommit { instance: 42, count: 19 },
+            WalRecord::Decided { instance: 9, value: vec![0.25, -1.5, f64::MAX] },
+            WalRecord::Decided { instance: 9, value: vec![] },
+            WalRecord::Compacted { retained: 5, dropped: 1000 },
+        ]
+    }
+
+    #[test]
+    fn round_trips() {
+        for r in samples() {
+            let bytes = encode_record(&r);
+            assert_eq!(decode_record(&bytes), Some(r));
+        }
+    }
+
+    #[test]
+    fn truncations_and_trailing_bytes_are_rejected() {
+        for r in samples() {
+            let bytes = encode_record(&r);
+            for cut in 0..bytes.len() {
+                assert_eq!(decode_record(&bytes[..cut]), None, "prefix of {r:?}");
+            }
+            let mut extended = bytes.clone();
+            extended.push(0);
+            assert_eq!(decode_record(&extended), None, "trailing byte after {r:?}");
+        }
+    }
+
+    #[test]
+    fn hostile_lengths_do_not_allocate_or_panic() {
+        // Registered with a 4 GiB-ish spec length and no body.
+        let mut b = vec![1u8];
+        b.extend_from_slice(&7u64.to_le_bytes());
+        b.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_record(&b), None);
+        // Decided claiming a huge dimension.
+        let mut b = vec![6u8];
+        b.extend_from_slice(&7u64.to_le_bytes());
+        b.extend_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(decode_record(&b), None);
+        // Unknown tag.
+        assert_eq!(decode_record(&[0x99, 0, 0]), None);
+        assert_eq!(decode_record(&[]), None);
+    }
+}

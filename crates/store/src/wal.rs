@@ -1,0 +1,472 @@
+//! The append-only, checksummed write-ahead log.
+//!
+//! On-disk layout:
+//!
+//! ```text
+//! [magic 8B]  ([len u32 LE][crc32 u32 LE][payload len bytes])*
+//! ```
+//!
+//! `crc32` covers the payload only. [`Wal::open`] replays the file and
+//! recovers the **longest valid prefix**: scanning stops at the first
+//! record whose frame is short (torn tail from a crash mid-append), whose
+//! length field is zero or over [`MAX_RECORD_LEN`], or whose checksum
+//! fails (bit rot / injected corruption) — and the file is truncated right
+//! there, so subsequent appends extend a log that is valid end to end.
+//! Nothing in the replay path panics on hostile bytes.
+//!
+//! Durability is explicit: [`Wal::append`] buffers in the OS page cache;
+//! [`Wal::sync`] fdatasyncs and advances [`Wal::synced_len`], the
+//! high-water mark below which records are guaranteed crash-durable. The
+//! service group-commits (one sync per poll) and forces a sync before
+//! surfacing any decision.
+//!
+//! [`Wal::compact`] atomically replaces the log (temp file + rename), so a
+//! crash mid-compaction leaves either the complete old log or the complete
+//! new one.
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use rbvc_obs::Registry;
+
+use crate::crc32::crc32;
+
+/// File magic: identifies a relaxed-BVC WAL, version 1.
+pub const WAL_MAGIC: [u8; 8] = *b"RBVCWAL1";
+
+/// Hard cap on one record's payload, mirroring the wire codec's frame cap:
+/// a length field above this is corruption, not a record.
+pub const MAX_RECORD_LEN: usize = 16 * 1024 * 1024;
+
+/// Per-record frame overhead: length prefix + checksum.
+const FRAME_OVERHEAD: u64 = 8;
+
+/// Durability-layer failure. I/O errors surface verbatim; `BadMagic` means
+/// the file exists but is not a WAL (refusing to truncate someone else's
+/// data is the conservative choice).
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file's first 8 bytes are not [`WAL_MAGIC`].
+    BadMagic {
+        /// Path of the offending file.
+        path: PathBuf,
+    },
+    /// An append exceeded [`MAX_RECORD_LEN`].
+    RecordTooLarge {
+        /// The rejected payload's size.
+        len: usize,
+    },
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "wal i/o error: {e}"),
+            StoreError::BadMagic { path } => {
+                write!(f, "{} is not a WAL (bad magic)", path.display())
+            }
+            StoreError::RecordTooLarge { len } => {
+                write!(f, "record of {len} bytes exceeds the {MAX_RECORD_LEN}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> StoreError {
+        StoreError::Io(e)
+    }
+}
+
+/// What [`Wal::open`] found on disk.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayReport {
+    /// Valid record payloads, in append order.
+    pub records: Vec<Vec<u8>>,
+    /// Bytes discarded past the longest valid prefix (0 on a clean file).
+    pub torn_bytes: u64,
+    /// File length after truncation to the valid prefix (header included).
+    pub valid_len: u64,
+    /// True if the file did not exist (or was empty) and the header was
+    /// freshly written.
+    pub created: bool,
+}
+
+/// An open write-ahead log. See the module docs for format and contract.
+#[derive(Debug)]
+pub struct Wal {
+    file: File,
+    path: PathBuf,
+    /// Current file length (header + appended frames).
+    len: u64,
+    /// Length up to which the file is known fdatasync-durable.
+    synced_len: u64,
+    /// Records currently in the log (replayed + appended since open).
+    records: u64,
+}
+
+impl Wal {
+    /// Open (creating if missing) the WAL at `path`, replay it, and
+    /// truncate to the longest valid prefix.
+    ///
+    /// # Errors
+    /// I/O failures, or [`StoreError::BadMagic`] if the file exists with a
+    /// foreign header (corrupt-beyond-recognition files are *not* silently
+    /// clobbered).
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<(Wal, ReplayReport), StoreError> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(&path)?;
+        let mut raw = Vec::new();
+        file.read_to_end(&mut raw)?;
+
+        if raw.is_empty() {
+            file.write_all(&WAL_MAGIC)?;
+            file.sync_data()?;
+            let len = WAL_MAGIC.len() as u64;
+            let wal = Wal { file, path, len, synced_len: len, records: 0 };
+            let report = ReplayReport {
+                records: Vec::new(),
+                torn_bytes: 0,
+                valid_len: len,
+                created: true,
+            };
+            return Ok((wal, report));
+        }
+        // A file shorter than the magic can only be a crash during creation
+        // of an empty WAL; anything else with 8+ bytes must match exactly.
+        if raw.len() >= WAL_MAGIC.len() && raw[..WAL_MAGIC.len()] != WAL_MAGIC {
+            return Err(StoreError::BadMagic { path });
+        }
+        if raw.len() < WAL_MAGIC.len() {
+            file.set_len(0)?;
+            file.seek(SeekFrom::Start(0))?;
+            file.write_all(&WAL_MAGIC)?;
+            file.sync_data()?;
+            let len = WAL_MAGIC.len() as u64;
+            let torn = raw.len() as u64;
+            let wal = Wal { file, path, len, synced_len: len, records: 0 };
+            let report = ReplayReport {
+                records: Vec::new(),
+                torn_bytes: torn,
+                valid_len: len,
+                created: true,
+            };
+            return Ok((wal, report));
+        }
+
+        let t0 = Instant::now();
+        let (records, valid_len) = scan(&raw);
+        let torn_bytes = raw.len() as u64 - valid_len;
+        if torn_bytes > 0 {
+            file.set_len(valid_len)?;
+            file.sync_data()?;
+            Registry::global().counter("wal.torn_bytes").add(torn_bytes);
+        }
+        file.seek(SeekFrom::Start(valid_len))?;
+        let reg = Registry::global();
+        reg.counter("wal.replay.records").add(records.len() as u64);
+        reg.histogram("wal.replay_us")
+            .record(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+        let n = records.len() as u64;
+        let wal = Wal {
+            file,
+            path,
+            len: valid_len,
+            synced_len: valid_len,
+            records: n,
+        };
+        Ok((wal, ReplayReport { records, torn_bytes, valid_len, created: false }))
+    }
+
+    /// Append one record payload (buffered; durable only after
+    /// [`Wal::sync`]).
+    ///
+    /// # Errors
+    /// [`StoreError::RecordTooLarge`] above the cap, or the write failure.
+    pub fn append(&mut self, payload: &[u8]) -> Result<(), StoreError> {
+        if payload.len() > MAX_RECORD_LEN {
+            return Err(StoreError::RecordTooLarge { len: payload.len() });
+        }
+        let mut frame = Vec::with_capacity(payload.len() + FRAME_OVERHEAD as usize);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(payload).to_le_bytes());
+        frame.extend_from_slice(payload);
+        self.file.write_all(&frame)?;
+        self.len += frame.len() as u64;
+        self.records += 1;
+        Registry::global().counter("wal.append.records").inc();
+        Ok(())
+    }
+
+    /// Force everything appended so far onto stable storage (fdatasync).
+    /// No-op when nothing is pending.
+    ///
+    /// # Errors
+    /// The sync failure; `synced_len` then still reports the old mark.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        if self.synced_len == self.len {
+            return Ok(());
+        }
+        let t0 = Instant::now();
+        self.file.sync_data()?;
+        self.synced_len = self.len;
+        let reg = Registry::global();
+        reg.counter("wal.fsync").inc();
+        reg.histogram("wal.fsync_us")
+            .record(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+        Ok(())
+    }
+
+    /// Current file length, header included.
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when the log holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+
+    /// Length up to which the file is known durable (a torn tail past this
+    /// mark is the crash case recovery truncates away).
+    #[must_use]
+    pub fn synced_len(&self) -> u64 {
+        self.synced_len
+    }
+
+    /// Records in the log (replayed at open + appended since).
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// The log's path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Replace the log's contents with `records`, atomically: the new log
+    /// is written to a sibling temp file, synced, and renamed over the
+    /// old one. The result is synced end to end.
+    ///
+    /// # Errors
+    /// Record-size or I/O failures; the original log is untouched unless
+    /// the rename succeeded.
+    pub fn compact<I>(&mut self, records: I) -> Result<(), StoreError>
+    where
+        I: IntoIterator,
+        I::Item: AsRef<[u8]>,
+    {
+        let tmp_path = self.path.with_extension("wal.tmp");
+        let mut tmp = OpenOptions::new()
+            .write(true)
+            .create(true)
+            .truncate(true)
+            .open(&tmp_path)?;
+        tmp.write_all(&WAL_MAGIC)?;
+        let mut len = WAL_MAGIC.len() as u64;
+        let mut n = 0u64;
+        for payload in records {
+            let payload = payload.as_ref();
+            if payload.len() > MAX_RECORD_LEN {
+                return Err(StoreError::RecordTooLarge { len: payload.len() });
+            }
+            tmp.write_all(&(payload.len() as u32).to_le_bytes())?;
+            tmp.write_all(&crc32(payload).to_le_bytes())?;
+            tmp.write_all(payload)?;
+            len += FRAME_OVERHEAD + payload.len() as u64;
+            n += 1;
+        }
+        tmp.sync_data()?;
+        std::fs::rename(&tmp_path, &self.path)?;
+        self.file = OpenOptions::new().read(true).write(true).open(&self.path)?;
+        self.file.seek(SeekFrom::End(0))?;
+        self.len = len;
+        self.synced_len = len;
+        self.records = n;
+        Registry::global().counter("wal.compactions").inc();
+        Ok(())
+    }
+}
+
+/// Scan `raw` (which starts with a valid magic) and return the valid
+/// record payloads plus the byte offset of the longest valid prefix.
+/// Total over arbitrary bytes.
+fn scan(raw: &[u8]) -> (Vec<Vec<u8>>, u64) {
+    let mut records = Vec::new();
+    let mut pos = WAL_MAGIC.len();
+    // A failed `get` means the file is torn inside a frame header.
+    while let Some(header) = raw.get(pos..pos + FRAME_OVERHEAD as usize) {
+        let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+        let want = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+        if len > MAX_RECORD_LEN {
+            break; // corrupt length field
+        }
+        let body_start = pos + FRAME_OVERHEAD as usize;
+        let Some(payload) = raw.get(body_start..body_start + len) else {
+            break; // torn inside the payload
+        };
+        if crc32(payload) != want {
+            break; // checksum mismatch
+        }
+        records.push(payload.to_vec());
+        pos = body_start + len;
+    }
+    (records, pos as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "rbvc-wal-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mk tmp dir");
+        dir
+    }
+
+    #[test]
+    fn append_sync_reopen_round_trips() {
+        let dir = tmp_dir("roundtrip");
+        let path = dir.join("a.wal");
+        {
+            let (mut wal, report) = Wal::open(&path).unwrap();
+            assert!(report.created);
+            wal.append(b"alpha").unwrap();
+            wal.append(b"").unwrap();
+            wal.append(&[0u8; 300]).unwrap();
+            assert!(wal.synced_len() < wal.len());
+            wal.sync().unwrap();
+            assert_eq!(wal.synced_len(), wal.len());
+            assert_eq!(wal.records(), 3);
+        }
+        let (wal, report) = Wal::open(&path).unwrap();
+        assert!(!report.created);
+        assert_eq!(report.torn_bytes, 0);
+        assert_eq!(report.records, vec![b"alpha".to_vec(), Vec::new(), vec![0u8; 300]]);
+        assert_eq!(wal.records(), 3);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_to_longest_valid_prefix() {
+        let dir = tmp_dir("torn");
+        let path = dir.join("a.wal");
+        let keep_len;
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(b"keep me").unwrap();
+            keep_len = wal.len();
+            wal.append(b"torn record").unwrap();
+            wal.sync().unwrap();
+        }
+        // Crash mid-append: chop the last frame anywhere inside it.
+        let full = std::fs::read(&path).unwrap();
+        for cut in keep_len..full.len() as u64 {
+            std::fs::write(&path, &full[..cut as usize]).unwrap();
+            let (wal, report) = Wal::open(&path).unwrap();
+            assert_eq!(report.records, vec![b"keep me".to_vec()], "cut at {cut}");
+            assert_eq!(report.torn_bytes, cut - keep_len);
+            assert_eq!(report.valid_len, keep_len);
+            assert_eq!(wal.len(), keep_len);
+            assert_eq!(std::fs::metadata(&path).unwrap().len(), keep_len);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn appends_extend_a_truncated_log_cleanly() {
+        let dir = tmp_dir("extend");
+        let path = dir.join("a.wal");
+        {
+            let (mut wal, _) = Wal::open(&path).unwrap();
+            wal.append(b"one").unwrap();
+            wal.append(b"two").unwrap();
+            wal.sync().unwrap();
+        }
+        // Corrupt the second record's checksum region, then append anew.
+        let mut raw = std::fs::read(&path).unwrap();
+        let last = raw.len() - 1;
+        raw[last] ^= 0xFF;
+        std::fs::write(&path, &raw).unwrap();
+        {
+            let (mut wal, report) = Wal::open(&path).unwrap();
+            assert_eq!(report.records, vec![b"one".to_vec()]);
+            wal.append(b"three").unwrap();
+            wal.sync().unwrap();
+        }
+        let (_, report) = Wal::open(&path).unwrap();
+        assert_eq!(report.records, vec![b"one".to_vec(), b"three".to_vec()]);
+        assert_eq!(report.torn_bytes, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn foreign_file_is_refused_not_clobbered() {
+        let dir = tmp_dir("foreign");
+        let path = dir.join("notes.txt");
+        std::fs::write(&path, b"precious user data, definitely not a WAL").unwrap();
+        let err = Wal::open(&path).expect_err("must refuse");
+        assert!(matches!(err, StoreError::BadMagic { .. }), "{err}");
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"precious user data, definitely not a WAL".to_vec(),
+            "refusal must not modify the file"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn oversized_appends_are_rejected() {
+        let dir = tmp_dir("cap");
+        let (mut wal, _) = Wal::open(dir.join("a.wal")).unwrap();
+        let err = wal.append(&vec![0u8; MAX_RECORD_LEN + 1]).expect_err("over cap");
+        assert!(matches!(err, StoreError::RecordTooLarge { .. }));
+        assert_eq!(wal.records(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_replaces_contents_atomically() {
+        let dir = tmp_dir("compact");
+        let path = dir.join("a.wal");
+        let (mut wal, _) = Wal::open(&path).unwrap();
+        for i in 0..10u8 {
+            wal.append(&[i; 64]).unwrap();
+        }
+        wal.sync().unwrap();
+        wal.compact([b"survivor".to_vec(), b"pinned".to_vec()]).unwrap();
+        assert_eq!(wal.records(), 2);
+        assert_eq!(wal.synced_len(), wal.len());
+        // The log keeps accepting appends after compaction...
+        wal.append(b"post").unwrap();
+        wal.sync().unwrap();
+        drop(wal);
+        // ...and a reopen sees compacted + appended records, nothing else.
+        let (_, report) = Wal::open(&path).unwrap();
+        assert_eq!(
+            report.records,
+            vec![b"survivor".to_vec(), b"pinned".to_vec(), b"post".to_vec()]
+        );
+        assert!(!dir.join("a.wal.tmp").exists(), "temp file must not linger");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

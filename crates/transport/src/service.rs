@@ -24,6 +24,24 @@
 //!
 //! Whatever survives is handed to state machines that run their own
 //! receive-boundary validation on top.
+//!
+//! ## Durability and crash recovery
+//!
+//! A service with a [`Wal`] attached writes through at every state-changing
+//! point — instance registration (with an opaque recovery spec), launches,
+//! authenticated inbound frames, outbound protocol frames, witness-commit
+//! progress, and decisions — with a group-commit fsync per poll that always
+//! lands *before* the poll's transport flush (WAL-before-wire), and a forced
+//! fsync before a decision is surfaced. A restarted process rebuilds the
+//! exact pre-crash protocol state with [`ConsensusService::recover`]: the
+//! factory re-creates each instance from its logged spec, the logged inbound
+//! sequence is replayed through the deterministic state machines, the
+//! regenerated outbound frames are checked FIFO against the logged ones
+//! (any mismatch counts as a replay divergence), logged decisions are
+//! *pinned* so the recovered node can never surface a different value
+//! (amnesia-freedom), and the full outbound history is re-sent so peers can
+//! fill any gap — receivers deduplicate. The same history replays to any
+//! peer the transport reports through [`Transport::take_reconnects`].
 
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -35,6 +53,7 @@ use rbvc_obs::{Event, EventKind, Obs, Registry};
 use rbvc_sim::asynch::AsyncProtocol;
 use rbvc_sim::config::ProcessId;
 use rbvc_sim::error::{ErrorLog, ProtocolError};
+use rbvc_store::{decode_record, encode_record, ReplayReport, Wal, WalRecord};
 pub use rbvc_sim::monitor::InstanceId;
 
 use crate::lockstep::{Lockstep, RoundBatch};
@@ -68,6 +87,11 @@ pub struct DecisionEvent {
 struct Slot {
     proto: InstanceProto,
     decided: bool,
+    /// Decision recovered from the WAL, pinned: [`ConsensusService::decision`]
+    /// returns this over whatever the replayed state machine holds, so a
+    /// recovered node can never surface a value that differs from the one it
+    /// already surfaced before the crash.
+    pinned: Option<VecD>,
     /// Whether this instance's `on_start` sends have gone out. Un-launched
     /// instances still receive and buffer frames (so a peer may start first)
     /// but are not ticked and cannot surface a decision.
@@ -91,6 +115,23 @@ pub struct ConsensusService<T: Transport> {
     gate_rejections: [u64; 4],
     /// Structured-event sink (no-op by default), node tag baked in.
     obs: Obs,
+    /// Write-ahead log; `None` runs the service non-durable (no write-through,
+    /// no reconnect history).
+    wal: Option<Wal>,
+    /// Full outbound frame history `(dst, bytes)`, kept only while durable:
+    /// replayed to peers the transport reports as reconnected, and rebuilt
+    /// from the WAL on recovery.
+    history: Vec<(ProcessId, Vec<u8>)>,
+    /// Last witness-commit count logged per VA instance (write-through is
+    /// change-driven, not per-poll).
+    witness_logged: BTreeMap<InstanceId, u64>,
+    /// Decisions replayed out of the WAL (surfaced before the crash; they do
+    /// not reappear in [`ConsensusService::poll`] results).
+    recovered: Vec<DecisionEvent>,
+    /// Replay anomalies: regenerated sends that failed the FIFO match against
+    /// the logged ones, undecodable WAL records, or records referencing
+    /// unknown instances. Zero on a faithful recovery.
+    replay_divergence: u64,
 }
 
 impl<T: Transport> ConsensusService<T> {
@@ -106,6 +147,54 @@ impl<T: Transport> ConsensusService<T> {
             started: false,
             gate_rejections: [0; 4],
             obs: Obs::noop().with_node(node),
+            wal: None,
+            history: Vec::new(),
+            witness_logged: BTreeMap::new(),
+            recovered: Vec::new(),
+            replay_divergence: 0,
+        }
+    }
+
+    /// Attach a write-ahead log: every state-changing point from here on is
+    /// logged before it takes effect. Attach before registering instances so
+    /// their specs are durable; to resume from an existing log use
+    /// [`ConsensusService::recover`] instead.
+    pub fn attach_wal(&mut self, wal: Wal) {
+        self.wal = Some(wal);
+    }
+
+    /// True iff a WAL is attached.
+    #[must_use]
+    pub fn durable(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    /// Append one record to the WAL (no-op when non-durable); an append
+    /// failure degrades — it is recorded, the service keeps running on the
+    /// in-memory state.
+    fn wal_append(&mut self, rec: &WalRecord) {
+        if let Some(w) = self.wal.as_mut() {
+            if let Err(e) = w.append(&encode_record(rec)) {
+                self.errors.record(ProtocolError::Transport {
+                    peer: None,
+                    reason: format!("wal append failed: {e}"),
+                });
+            } else {
+                self.obs.emit(|| Event::new(EventKind::WalAppend));
+            }
+        }
+    }
+
+    /// Group-commit: fsync everything appended since the last sync. Called
+    /// once per poll *before* the transport flush (WAL-before-wire).
+    fn wal_sync(&mut self) {
+        if let Some(w) = self.wal.as_mut() {
+            if let Err(e) = w.sync() {
+                self.errors.record(ProtocolError::Transport {
+                    peer: None,
+                    reason: format!("wal sync failed: {e}"),
+                });
+            }
         }
     }
 
@@ -173,12 +262,37 @@ impl<T: Transport> ConsensusService<T> {
             Slot {
                 proto,
                 decided: false,
+                pinned: None,
                 launched: false,
                 submitted_at: None,
             },
         );
         self.undecided += 1;
         self.attach_instance_obs(id);
+        Ok(())
+    }
+
+    /// Register one instance durably: `spec` is an opaque blob the caller's
+    /// recovery factory can rebuild the instance from (constructor
+    /// parameters, typically) — the service logs it verbatim and never
+    /// interprets it.
+    ///
+    /// # Errors
+    /// Like [`ConsensusService::add_instance`]; also [`ProtocolError::InvalidSpec`]
+    /// if no WAL is attached.
+    pub fn add_instance_durable(
+        &mut self,
+        id: InstanceId,
+        proto: InstanceProto,
+        spec: Vec<u8>,
+    ) -> Result<(), ProtocolError> {
+        if self.wal.is_none() {
+            return Err(ProtocolError::InvalidSpec {
+                reason: "add_instance_durable requires an attached WAL".into(),
+            });
+        }
+        self.add_instance(id, proto)?;
+        self.wal_append(&WalRecord::Registered { instance: id, spec });
         Ok(())
     }
 
@@ -196,6 +310,7 @@ impl<T: Transport> ConsensusService<T> {
                 first_err.get_or_insert(e);
             }
         }
+        self.wal_sync();
         if let Err(e) = self.transport.flush() {
             first_err.get_or_insert(e);
         }
@@ -241,6 +356,7 @@ impl<T: Transport> ConsensusService<T> {
     /// # Errors
     /// Propagates transport-level flush failures.
     pub fn flush(&mut self) -> Result<(), ProtocolError> {
+        self.wal_sync();
         self.transport.flush()
     }
 
@@ -264,6 +380,7 @@ impl<T: Transport> ConsensusService<T> {
             InstanceProto::Bvc(p) => Self::encode_bvc(id, local, p.on_start()),
             InstanceProto::Va(p) => Self::encode_va(id, local, p.on_start()),
         };
+        self.wal_append(&WalRecord::Launched { instance: id });
         self.route(sends)
     }
 
@@ -305,11 +422,20 @@ impl<T: Transport> ConsensusService<T> {
             .collect()
     }
 
-    /// Queue encoded frames on the transport; failures are recorded and the
+    /// Queue encoded frames on the transport, logging each as a `Sent`
+    /// record first when durable (the group-commit sync lands before the
+    /// flush that puts them on the wire); failures are recorded and the
     /// remaining frames still go out.
     fn route(&mut self, frames: Vec<(ProcessId, Vec<u8>)>) -> Result<(), ProtocolError> {
         let mut first_err = None;
         for (dst, bytes) in frames {
+            if self.wal.is_some() {
+                self.wal_append(&WalRecord::Sent {
+                    dst: u32::try_from(dst).unwrap_or(u32::MAX),
+                    bytes: bytes.clone(),
+                });
+                self.history.push((dst, bytes.clone()));
+            }
             if let Err(e) = self.transport.send(dst, bytes) {
                 first_err.get_or_insert(e);
             }
@@ -372,6 +498,21 @@ impl<T: Transport> ConsensusService<T> {
     /// everything produced as one batch per peer. Returns the decisions
     /// newly reached during this poll.
     pub fn poll(&mut self, timeout: Duration) -> Vec<DecisionEvent> {
+        // A peer whose outbound link was re-established (it restarted, or
+        // the link died and was redialed) gets the full outbound history
+        // replayed: whatever fell into the gap is covered, receivers dedup.
+        let rejoined = self.transport.take_reconnects();
+        for peer in rejoined {
+            let frames: Vec<(ProcessId, Vec<u8>)> = self
+                .history
+                .iter()
+                .filter(|(dst, _)| *dst == peer)
+                .cloned()
+                .collect();
+            for (dst, bytes) in frames {
+                let _ = self.transport.send(dst, bytes);
+            }
+        }
         let inbound = self.transport.recv_timeout(timeout);
         let mut outbound: Vec<(ProcessId, Vec<u8>)> = Vec::new();
         for (link_peer, bytes) in inbound {
@@ -396,6 +537,15 @@ impl<T: Transport> ConsensusService<T> {
                 );
                 continue;
             }
+            // Log the authenticated frame *before* it mutates protocol
+            // state: replay re-runs the remaining gates and the dispatch
+            // deterministically.
+            if self.wal.is_some() {
+                self.wal_append(&WalRecord::Inbound {
+                    from: u32::try_from(link_peer).unwrap_or(u32::MAX),
+                    bytes: bytes.clone(),
+                });
+            }
             outbound.extend(self.dispatch(frame));
         }
         // Drive timers (lockstep round timeouts) once per poll.
@@ -412,7 +562,28 @@ impl<T: Transport> ConsensusService<T> {
             };
             outbound.extend(sends);
         }
-        if self.route(outbound).is_err() || self.transport.flush().is_err() {
+        let routed = self.route(outbound);
+        // Witness-commit progress (change-driven): lets recovery cross-check
+        // how far each VA instance had committed.
+        if self.wal.is_some() {
+            let mut commits: Vec<(InstanceId, u64)> = Vec::new();
+            for (id, slot) in &self.instances {
+                if let InstanceProto::Va(p) = &slot.proto {
+                    let count = p.witness_commits();
+                    if self.witness_logged.get(id).copied().unwrap_or(0) != count {
+                        commits.push((*id, count));
+                    }
+                }
+            }
+            for (instance, count) in commits {
+                self.wal_append(&WalRecord::WitnessCommit { instance, count });
+                self.witness_logged.insert(instance, count);
+            }
+        }
+        // Group-commit before the wire flush: nothing reaches a peer unless
+        // the records that produced it are durable.
+        self.wal_sync();
+        if routed.is_err() || self.transport.flush().is_err() {
             // Already recorded by the transport; the poll loop continues on
             // the surviving links.
         }
@@ -437,6 +608,21 @@ impl<T: Transport> ConsensusService<T> {
             if let Some(value) = value {
                 slot.decided = true;
                 self.undecided -= 1;
+                // Decisions are the one point with a *forced* fsync: a
+                // surfaced decision must survive any crash, or a restart
+                // could surface a different one.
+                if let Some(w) = self.wal.as_mut() {
+                    let rec = WalRecord::Decided {
+                        instance: *id,
+                        value: value.as_slice().to_vec(),
+                    };
+                    if w.append(&encode_record(&rec)).and_then(|()| w.sync()).is_err() {
+                        self.errors.record(ProtocolError::Transport {
+                            peer: None,
+                            reason: format!("wal decide write-through failed for instance {id}"),
+                        });
+                    }
+                }
                 let latency = slot.submitted_at.map(|t| t.elapsed()).unwrap_or_default();
                 let latency_us = u64::try_from(latency.as_micros()).unwrap_or(u64::MAX);
                 Registry::global()
@@ -477,13 +663,190 @@ impl<T: Transport> ConsensusService<T> {
         self.undecided == 0
     }
 
-    /// Decision of one instance, if reached.
+    /// Decision of one instance, if reached. A decision pinned by recovery
+    /// wins over the replayed state machine's output: the pre-crash surfaced
+    /// value is the only one this process may ever report.
     #[must_use]
     pub fn decision(&self, id: InstanceId) -> Option<VecD> {
-        match &self.instances.get(&id)?.proto {
+        let slot = self.instances.get(&id)?;
+        if let Some(pinned) = &slot.pinned {
+            return Some(pinned.clone());
+        }
+        match &slot.proto {
             InstanceProto::Bvc(p) => p.output(),
             InstanceProto::Va(p) => p.output(),
         }
+    }
+
+    /// Rebuild a service from its write-ahead log after a crash.
+    ///
+    /// `factory` re-creates each instance from the opaque spec logged at
+    /// [`ConsensusService::add_instance_durable`]. Replay walks the log in
+    /// order: launches and authenticated inbound frames re-run through the
+    /// deterministic state machines; every regenerated outbound frame is
+    /// FIFO-matched against the logged `Sent` records (mismatches count as
+    /// divergences — see [`ConsensusService::replay_divergences`]); logged
+    /// decisions are pinned so the recovered node can never surface a
+    /// different value. The node then rejoins by re-sending its full
+    /// outbound history — peers deduplicate, and frames lost in the crash
+    /// window are covered.
+    ///
+    /// # Errors
+    /// Propagates the first `factory` failure (an unrecoverable spec means
+    /// the log does not describe a service this binary can rebuild).
+    pub fn recover(
+        transport: T,
+        wal: Wal,
+        report: &ReplayReport,
+        mut factory: impl FnMut(InstanceId, &[u8]) -> Result<InstanceProto, ProtocolError>,
+    ) -> Result<Self, ProtocolError> {
+        let t0 = Instant::now();
+        let mut svc = Self::new(transport);
+        svc.wal = Some(wal);
+        let local = svc.transport.local_id();
+        // Regenerated outbound history, FIFO-matched against logged Sent
+        // records as they stream by.
+        let mut regenerated: Vec<(ProcessId, Vec<u8>)> = Vec::new();
+        let mut match_cursor = 0usize;
+        for raw in &report.records {
+            let Some(rec) = decode_record(raw) else {
+                svc.replay_divergence += 1;
+                continue;
+            };
+            match rec {
+                WalRecord::Registered { instance, spec } => {
+                    let proto = factory(instance, &spec)?;
+                    if svc.add_instance(instance, proto).is_err() {
+                        svc.replay_divergence += 1;
+                    }
+                }
+                WalRecord::Launched { instance } => {
+                    svc.started = true;
+                    let Some(slot) = svc.instances.get_mut(&instance) else {
+                        svc.replay_divergence += 1;
+                        continue;
+                    };
+                    slot.launched = true;
+                    slot.submitted_at = Some(Instant::now());
+                    let sends = match &mut slot.proto {
+                        InstanceProto::Bvc(p) => Self::encode_bvc(instance, local, p.on_start()),
+                        InstanceProto::Va(p) => Self::encode_va(instance, local, p.on_start()),
+                    };
+                    regenerated.extend(sends);
+                }
+                WalRecord::Inbound { from, bytes } => {
+                    let from = from as ProcessId;
+                    match decode_frame(&bytes, from) {
+                        Ok(frame) if frame.sender == from => {
+                            let sends = svc.dispatch(frame);
+                            regenerated.extend(sends);
+                        }
+                        // Gate rejections re-occur deterministically and are
+                        // re-counted through the normal gate counters.
+                        Ok(frame) => {
+                            svc.gate_reject(
+                                1,
+                                from,
+                                ProtocolError::MalformedPayload {
+                                    from,
+                                    reason: format!(
+                                        "replayed spoofed sender {} on link {from}",
+                                        frame.sender
+                                    ),
+                                },
+                            );
+                        }
+                        Err(e) => svc.gate_reject(0, from, e),
+                    }
+                }
+                WalRecord::Sent { dst, bytes } => {
+                    let dst = dst as ProcessId;
+                    if match_cursor < regenerated.len() && regenerated[match_cursor] == (dst, bytes)
+                    {
+                        match_cursor += 1;
+                    } else {
+                        svc.replay_divergence += 1;
+                    }
+                }
+                WalRecord::WitnessCommit { instance, count } => {
+                    svc.witness_logged.insert(instance, count);
+                }
+                WalRecord::Decided { instance, value } => {
+                    let value = VecD::from_slice(&value);
+                    let Some(slot) = svc.instances.get_mut(&instance) else {
+                        svc.replay_divergence += 1;
+                        continue;
+                    };
+                    if !slot.decided {
+                        slot.decided = true;
+                        svc.undecided -= 1;
+                    }
+                    slot.pinned = Some(value.clone());
+                    svc.recovered.push(DecisionEvent {
+                        instance,
+                        process: local,
+                        value,
+                        latency: Duration::ZERO,
+                    });
+                }
+                WalRecord::Compacted { .. } => {}
+            }
+        }
+        // A replayed state machine that now disagrees with its own pinned
+        // decision is the amnesia signature — the pin wins, but flag it.
+        for slot in svc.instances.values() {
+            if let (Some(pinned), Some(out)) = (
+                &slot.pinned,
+                match &slot.proto {
+                    InstanceProto::Bvc(p) => p.output(),
+                    InstanceProto::Va(p) => p.output(),
+                },
+            ) {
+                if *pinned != out {
+                    svc.replay_divergence += 1;
+                }
+            }
+        }
+        svc.history = regenerated.clone();
+        // Rejoin: put the full regenerated history back on the wire so any
+        // frame lost in the crash window reaches its peer (receivers dedup).
+        for (dst, bytes) in regenerated {
+            let _ = svc.transport.send(dst, bytes);
+        }
+        let _ = svc.transport.flush();
+        let recover_us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+        Registry::global().histogram("service.recover_us").record(recover_us);
+        Registry::global()
+            .counter("service.replay.divergences")
+            .add(svc.replay_divergence);
+        let (records, torn) = (report.records.len(), report.torn_bytes);
+        svc.obs.emit(|| {
+            Event::new(EventKind::WalReplay)
+                .detail(format!("records={records} torn_bytes={torn}"))
+        });
+        let (instances, decisions, divergences) =
+            (svc.instances.len(), svc.recovered.len(), svc.replay_divergence);
+        svc.obs.emit(|| {
+            Event::new(EventKind::Recovered).detail(format!(
+                "instances={instances} decisions={decisions} divergences={divergences} recover_us={recover_us}"
+            ))
+        });
+        Ok(svc)
+    }
+
+    /// Decisions replayed out of the WAL: surfaced before the crash, pinned
+    /// by recovery, and excluded from future [`ConsensusService::poll`]
+    /// results (their latency is reported as zero).
+    #[must_use]
+    pub fn recovered_decisions(&self) -> &[DecisionEvent] {
+        &self.recovered
+    }
+
+    /// Replay anomalies counted during [`ConsensusService::recover`]: zero
+    /// means the log replayed to exactly the pre-crash state.
+    #[must_use]
+    pub fn replay_divergences(&self) -> u64 {
+        self.replay_divergence
     }
 
     /// Service-level degradation events (decode failures, spoofed senders,
@@ -570,6 +933,142 @@ mod tests {
         for svc in &services {
             assert!(svc.errors().is_empty());
         }
+    }
+
+    fn tmp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("rbvc-svc-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mk tmp dir");
+        dir
+    }
+
+    /// Opaque recovery spec for the VA test instances: the input vector as
+    /// LE f64 bytes (the factory closes over everything else).
+    fn va_spec(input: &[f64]) -> Vec<u8> {
+        input.iter().flat_map(|x| x.to_le_bytes()).collect()
+    }
+
+    fn va_from_spec(id: ProcessId, n: usize, spec: &[u8]) -> InstanceProto {
+        let input: Vec<f64> = spec
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+            .collect();
+        va_instance(id, n, &input)
+    }
+
+    /// Run one VA instance (id 7) over a fresh in-process mesh; node 0 logs
+    /// to `wal` when given. Returns every node's decision.
+    fn run_va_mesh(n: usize, inputs: &[Vec<f64>], wal: Option<rbvc_store::Wal>) -> Vec<VecD> {
+        let mut services: Vec<ConsensusService<_>> = in_proc_mesh(n)
+            .into_iter()
+            .map(ConsensusService::new)
+            .collect();
+        let mut wal = wal;
+        for (i, svc) in services.iter_mut().enumerate() {
+            let proto = va_instance(i, n, &inputs[i]);
+            if i == 0 && wal.is_some() {
+                svc.attach_wal(wal.take().expect("checked"));
+                svc.add_instance_durable(7, proto, va_spec(&inputs[i])).unwrap();
+            } else {
+                svc.add_instance(7, proto).unwrap();
+            }
+            svc.start().unwrap();
+        }
+        let mut spins = 0;
+        while services.iter().any(|s| !s.all_decided()) {
+            for svc in &mut services {
+                let _ = svc.poll(Duration::from_millis(1));
+            }
+            spins += 1;
+            assert!(spins < 10_000, "mesh failed to converge");
+        }
+        services.iter().map(|s| s.decision(7).expect("decided")).collect()
+    }
+
+    /// Durability is transparent (a logged run decides exactly what an
+    /// unlogged one does), and recovery replays the log back to the same
+    /// pinned decision with zero divergences.
+    #[test]
+    fn durable_run_recovers_to_identical_pinned_decisions() {
+        let n = 3;
+        let dir = tmp_dir("recover");
+        let path = dir.join("node0.wal");
+        let inputs: Vec<Vec<f64>> =
+            vec![vec![0.0, 0.0], vec![3.0, 0.0], vec![0.0, 3.0]];
+
+        let baseline = run_va_mesh(n, &inputs, None);
+        let (wal, report) = rbvc_store::Wal::open(&path).unwrap();
+        assert!(report.created);
+        let durable = run_va_mesh(n, &inputs, Some(wal));
+        assert_eq!(baseline, durable, "write-through must not perturb decisions");
+
+        let (wal, report) = rbvc_store::Wal::open(&path).unwrap();
+        assert!(!report.records.is_empty(), "the run must have logged");
+        assert_eq!(report.torn_bytes, 0, "clean shutdown leaves no torn tail");
+        let transport = in_proc_mesh(n).remove(0);
+        let svc = ConsensusService::recover(transport, wal, &report, |_, spec| {
+            Ok(va_from_spec(0, n, spec))
+        })
+        .expect("recover");
+        assert_eq!(svc.replay_divergences(), 0);
+        assert_eq!(svc.recovered_decisions().len(), 1);
+        assert_eq!(svc.recovered_decisions()[0].instance, 7);
+        assert_eq!(svc.decision(7), Some(durable[0].clone()), "pinned decision");
+        assert!(svc.all_decided());
+    }
+
+    /// ISSUE 5 satellite (negative test): a node restarted *without* its WAL
+    /// is amnesiac — it re-runs from a fresh state and can surface a second,
+    /// different decision for an instance it already decided. The
+    /// [`rbvc_sim::monitor::ServiceMonitor`] must flag that as a
+    /// `DuplicateDecision` and emit a structured `Violation` event.
+    #[test]
+    fn amnesiac_restart_redecides_and_is_flagged() {
+        use rbvc_obs::{Recorder, RingRecorder};
+        use rbvc_sim::monitor::{
+            epsilon_agreement, AlertKind, SafetyMonitor, ServiceMonitor,
+        };
+        use std::sync::Arc;
+
+        let n = 3;
+        let ring = Arc::new(RingRecorder::new(64));
+        let obs = Obs::new(Arc::clone(&ring) as Arc<dyn Recorder>);
+        let mut monitor: ServiceMonitor<Vec<f64>> =
+            ServiceMonitor::new(move |_| {
+                SafetyMonitor::agreement_only(n, epsilon_agreement(1e-9))
+            })
+            .with_obs(obs);
+
+        let inputs: Vec<Vec<f64>> = vec![vec![0.0, 0.0], vec![4.0, 0.0], vec![0.0, 4.0]];
+        let first = run_va_mesh(n, &inputs, None);
+        for (p, d) in first.iter().enumerate() {
+            monitor.observe(7, p, &d.as_slice().to_vec());
+        }
+        assert!(monitor.clean(), "the first run is violation-free");
+
+        // "Restart" node 0 with no log: its pre-crash input and protocol
+        // state are gone, so it rejoins with whatever it has now and the
+        // mesh converges somewhere else.
+        let amnesiac_inputs: Vec<Vec<f64>> =
+            vec![vec![9.0, 9.0], vec![4.0, 0.0], vec![0.0, 4.0]];
+        let second = run_va_mesh(n, &amnesiac_inputs, None);
+        assert_ne!(first[0], second[0], "the amnesiac run must diverge");
+        monitor.observe(7, 0, &second[0].as_slice().to_vec());
+
+        assert!(!monitor.clean(), "re-deciding differently must be flagged");
+        assert!(
+            monitor
+                .alerts()
+                .iter()
+                .any(|(inst, a)| *inst == 7
+                    && matches!(a.kind, AlertKind::DuplicateDecision { process: 0 })),
+            "expected a DuplicateDecision for process 0: {:?}",
+            monitor.alerts()
+        );
+        assert!(
+            ring.snapshot().iter().any(|e| e.kind == EventKind::Violation),
+            "a structured Violation event must have been emitted"
+        );
     }
 
     #[test]

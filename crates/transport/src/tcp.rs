@@ -21,10 +21,27 @@
 //! [`ErrorLog`], and every other link keeps flowing. A length-prefix
 //! violation in particular MUST kill the stream: after it the byte stream
 //! has no recoverable frame boundary.
+//!
+//! ## Reconnection (crash-recovery support)
+//!
+//! Links are not permanent. The accept loop runs for the endpoint's whole
+//! lifetime, so a restarted peer can dial back in; each inbound link
+//! carries a per-peer *generation* — a fresh authenticated HELLO from a
+//! peer supersedes that peer's previous inbound link (the stale reader
+//! winds down, its queued frames are discarded) and proactively tears down
+//! our outbound stream to that peer, since a peer that re-dialed has
+//! restarted and the old stream is dead or deaf (write-failure detection
+//! alone is lazy). Outbound links that died — by write failure, peer EOF,
+//! or that teardown — are re-dialed lazily on subsequent flushes with
+//! exponential backoff, reset on success. Every successful redial is
+//! reported through [`Transport::take_reconnects`] so the service layer
+//! can replay its outbound history to the returned peer; frames queued or
+//! in flight while the link was down are recovered by that replay, and
+//! receivers deduplicate.
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::thread;
 use std::time::Duration;
@@ -54,11 +71,23 @@ pub const DIAL_ATTEMPTS: u32 = 10;
 pub const DIAL_BACKOFF_BASE: Duration = Duration::from_millis(1);
 /// Backoff ceiling.
 pub const DIAL_BACKOFF_CAP: Duration = Duration::from_millis(64);
+/// Cap on the lazy-redial skip counter: a down peer is re-dialed at most
+/// every `REDIAL_SKIP_CAP` flushes once backoff saturates.
+pub const REDIAL_SKIP_CAP: u32 = 64;
 
-/// Events flowing from the reader threads to the endpoint.
+/// Events flowing from the reader threads to the endpoint. Frame and
+/// link-lifecycle events are tagged with the inbound link *generation*
+/// they were observed on, so the endpoint can discard anything from a
+/// link that a newer HELLO has since superseded.
 enum RxEvent {
-    Frame(ProcessId, Vec<u8>),
-    /// The connection from `peer` died (EOF, IO error, framing violation).
+    Frame(ProcessId, u64, Vec<u8>),
+    /// A fresh authenticated HELLO from `peer` superseded generation-1 or
+    /// later (only reconnects are announced; the first link is silent).
+    PeerUp(ProcessId, u64),
+    /// The link from `peer` hit clean EOF — the peer closed or crashed.
+    /// Not an error: recorded only as a teardown trigger.
+    PeerDown(ProcessId, u64),
+    /// The connection from `peer` died (IO error, framing violation).
     /// `None` peer: the failure happened before HELLO authentication.
     LinkDown(Option<ProcessId>, String),
 }
@@ -119,16 +148,38 @@ fn read_frame(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, String> {
 pub struct TcpEndpoint {
     id: ProcessId,
     n: usize,
-    /// Outbound streams, indexed by destination (`None`: self or a link
-    /// that degraded permanently).
+    /// Every peer's listener address (what this endpoint dials/redials).
+    addrs: Vec<SocketAddr>,
+    /// This endpoint's own listener address (for the shutdown wakeup).
+    listen_addr: SocketAddr,
+    /// Outbound streams, indexed by destination (`None`: self, or a link
+    /// currently down and awaiting lazy redial).
     writers: Vec<Option<TcpStream>>,
     /// Per-peer outbound batches: frames queued since the last flush,
     /// already length-prefixed, concatenated for a single write.
     outbox: Vec<Vec<u8>>,
     rx: Receiver<RxEvent>,
-    /// Kept so reader threads spawned later (none today) could clone it;
-    /// also serves the self-link.
+    /// Clone source for reader threads; also serves the self-link.
     self_tx: Sender<RxEvent>,
+    /// Current inbound link generation per peer; a reader that no longer
+    /// matches its peer's slot has been superseded by a newer HELLO.
+    generations: Arc<Vec<AtomicU64>>,
+    /// Tells the accept loop to exit (checked after each accept; the
+    /// endpoint's `Drop` wakes the loop with a self-dial).
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<thread::JoinHandle<()>>,
+    /// Consecutive failed redials per peer, driving the skip backoff.
+    redial_failures: Vec<u32>,
+    /// Flushes to skip before the next redial attempt per peer.
+    redial_skip: Vec<u32>,
+    /// Peers re-established since the last [`Transport::take_reconnects`].
+    pending_reconnects: Vec<ProcessId>,
+    /// Set per peer by a successful redial, cleared by the first `PeerUp`
+    /// from that peer: our fresh outbound dial registers at the peer as a
+    /// reconnect, and its `PeerUp` echo must not tear down the very writer
+    /// the redial just built — without this, two live endpoints redialing
+    /// each other feed an endless teardown/redial storm.
+    fresh_writer: Vec<bool>,
     bytes_sent: u64,
     bytes_received: Arc<AtomicU64>,
     errors: Arc<Mutex<ErrorLog>>,
@@ -141,14 +192,16 @@ pub struct TcpEndpoint {
     outbox_depth: Gauge,
 }
 
-/// Spawn a reader thread that authenticates the HELLO and then pumps frames
-/// into `tx` until the stream dies.
+/// Spawn a reader thread that authenticates the HELLO, claims the next
+/// inbound generation for its peer, and pumps frames into `tx` until the
+/// stream dies or a newer link supersedes it.
 fn spawn_reader(
     mut stream: TcpStream,
     local: ProcessId,
     n: usize,
     tx: Sender<RxEvent>,
     bytes_received: Arc<AtomicU64>,
+    generations: Arc<Vec<AtomicU64>>,
 ) {
     thread::spawn(move || {
         let mut hello = [0u8; 8];
@@ -168,6 +221,12 @@ fn spawn_reader(
             ));
             return;
         }
+        // Claim this link's generation; any older reader for the same peer
+        // is now stale and will wind down.
+        let gen = generations[peer].fetch_add(1, Ordering::SeqCst) + 1;
+        if gen > 1 {
+            let _ = tx.send(RxEvent::PeerUp(peer, gen));
+        }
         bytes_received.fetch_add(8, Ordering::Relaxed);
         let (src, dst) = (peer.to_string(), local.to_string());
         let labels = [("src", src.as_str()), ("dst", dst.as_str())];
@@ -176,14 +235,20 @@ fn spawn_reader(
         loop {
             match read_frame(&mut stream) {
                 Ok(Some(frame)) => {
+                    if generations[peer].load(Ordering::SeqCst) != gen {
+                        return; // superseded by a newer HELLO
+                    }
                     bytes_received.fetch_add(4 + frame.len() as u64, Ordering::Relaxed);
                     rx_frames.inc();
                     rx_bytes.add(4 + frame.len() as u64);
-                    if tx.send(RxEvent::Frame(peer, frame)).is_err() {
+                    if tx.send(RxEvent::Frame(peer, gen, frame)).is_err() {
                         return; // endpoint gone
                     }
                 }
-                Ok(None) => return, // clean EOF
+                Ok(None) => {
+                    let _ = tx.send(RxEvent::PeerDown(peer, gen));
+                    return; // clean EOF
+                }
                 Err(reason) => {
                     let _ = tx.send(RxEvent::LinkDown(Some(peer), reason));
                     return;
@@ -191,6 +256,15 @@ fn spawn_reader(
             }
         }
     });
+}
+
+/// The 8-byte HELLO this endpoint announces itself with.
+fn hello_bytes(id: ProcessId) -> [u8; 8] {
+    let mut hello = [0u8; 8];
+    hello[..3].copy_from_slice(&HELLO_MAGIC);
+    hello[3] = crate::wire::VERSION;
+    hello[4..].copy_from_slice(&(id as u32).to_le_bytes());
+    hello
 }
 
 impl TcpEndpoint {
@@ -211,27 +285,51 @@ impl TcpEndpoint {
         let (tx, rx) = channel::unbounded();
         let bytes_received = Arc::new(AtomicU64::new(0));
         let errors = Arc::new(Mutex::new(ErrorLog::new()));
+        let generations: Arc<Vec<AtomicU64>> =
+            Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let listen_addr = listener.local_addr().unwrap_or(addrs[id]);
 
-        // Accept thread: hand each inbound stream to its own reader. It
-        // exits once n-1 peers connected (the complete-mesh contract).
-        {
+        // Accept loop: hand each inbound stream to its own reader, for the
+        // endpoint's whole lifetime — a restarted peer re-dials in at any
+        // point and its fresh HELLO supersedes the stale link. `Drop`
+        // wakes the blocking accept with a self-dial after setting the
+        // shutdown flag.
+        let accept_handle = {
             let tx = tx.clone();
             let bytes_received = Arc::clone(&bytes_received);
             let errors = Arc::clone(&errors);
-            thread::spawn(move || {
-                for _ in 0..n.saturating_sub(1) {
-                    match listener.accept() {
-                        Ok((stream, _)) => {
-                            spawn_reader(stream, id, n, tx.clone(), Arc::clone(&bytes_received));
+            let generations = Arc::clone(&generations);
+            let shutdown = Arc::clone(&shutdown);
+            thread::spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if shutdown.load(Ordering::SeqCst) {
+                            return;
                         }
-                        Err(e) => errors.lock().record(ProtocolError::Transport {
+                        spawn_reader(
+                            stream,
+                            id,
+                            n,
+                            tx.clone(),
+                            Arc::clone(&bytes_received),
+                            Arc::clone(&generations),
+                        );
+                    }
+                    Err(e) => {
+                        if shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        errors.lock().record(ProtocolError::Transport {
                             peer: None,
                             reason: format!("accept failed: {e}"),
-                        }),
+                        });
+                        // Avoid a hot error loop on a sick listener.
+                        thread::sleep(Duration::from_millis(1));
                     }
                 }
-            });
-        }
+            })
+        };
 
         // Dial every peer for the outbound direction and announce ourselves.
         let mut writers: Vec<Option<TcpStream>> = Vec::with_capacity(n);
@@ -241,20 +339,15 @@ impl TcpEndpoint {
                 writers.push(None);
                 continue;
             }
-            let stream = dial_with_backoff(*addr, dst)?;
+            let mut stream = dial_with_backoff(*addr, dst)?;
             stream.set_nodelay(true).ok();
-            let mut hello = Vec::with_capacity(8);
-            hello.extend_from_slice(&HELLO_MAGIC);
-            hello.push(crate::wire::VERSION);
-            hello.extend_from_slice(&(id as u32).to_le_bytes());
-            let mut stream = stream;
             stream
-                .write_all(&hello)
+                .write_all(&hello_bytes(id))
                 .map_err(|e| ProtocolError::Transport {
                     peer: Some(dst),
                     reason: format!("HELLO write failed: {e}"),
                 })?;
-            bytes_sent += hello.len() as u64;
+            bytes_sent += 8;
             writers.push(Some(stream));
         }
 
@@ -274,10 +367,19 @@ impl TcpEndpoint {
         Ok(TcpEndpoint {
             id,
             n,
+            addrs: addrs.to_vec(),
+            listen_addr,
             writers,
             outbox: vec![Vec::new(); n],
             rx,
             self_tx: tx,
+            generations,
+            shutdown,
+            accept_handle: Some(accept_handle),
+            redial_failures: vec![0; n],
+            redial_skip: vec![0; n],
+            pending_reconnects: Vec::new(),
+            fresh_writer: vec![false; n],
             bytes_sent,
             bytes_received,
             errors,
@@ -285,6 +387,116 @@ impl TcpEndpoint {
             tx_bytes,
             outbox_depth,
         })
+    }
+
+    /// Tear down the outbound link to `dst` and arm an immediate redial on
+    /// the next flush.
+    fn mark_peer_down(&mut self, dst: ProcessId) {
+        self.writers[dst] = None;
+        self.redial_failures[dst] = 0;
+        self.redial_skip[dst] = 0;
+        self.fresh_writer[dst] = false;
+    }
+
+    /// Lazily re-dial every down peer whose backoff allows an attempt; a
+    /// success restores the writer and queues the peer for
+    /// [`Transport::take_reconnects`].
+    fn try_redials(&mut self) {
+        for dst in 0..self.n {
+            if dst == self.id || self.writers[dst].is_some() {
+                continue;
+            }
+            if self.redial_skip[dst] > 0 {
+                self.redial_skip[dst] -= 1;
+                continue;
+            }
+            let attempt = TcpStream::connect(self.addrs[dst]).and_then(|mut stream| {
+                stream.set_nodelay(true).ok();
+                stream.write_all(&hello_bytes(self.id)).map(|()| stream)
+            });
+            match attempt {
+                Ok(stream) => {
+                    self.bytes_sent += 8;
+                    self.writers[dst] = Some(stream);
+                    self.redial_failures[dst] = 0;
+                    self.redial_skip[dst] = 0;
+                    self.fresh_writer[dst] = true;
+                    self.pending_reconnects.push(dst);
+                    let (src, dst_s) = (self.id.to_string(), dst.to_string());
+                    Registry::global()
+                        .counter_with(
+                            "tcp.link.reconnects",
+                            &[("src", src.as_str()), ("dst", dst_s.as_str())],
+                        )
+                        .inc();
+                }
+                Err(_) => {
+                    dial_retry_counter().inc();
+                    self.redial_failures[dst] = self.redial_failures[dst].saturating_add(1);
+                    self.redial_skip[dst] =
+                        (1u32 << self.redial_failures[dst].min(6)).min(REDIAL_SKIP_CAP);
+                }
+            }
+        }
+    }
+
+    /// Fold one reader event into endpoint state; delivers accepted frames
+    /// into `out`.
+    fn absorb(&mut self, ev: RxEvent, out: &mut Vec<(ProcessId, Vec<u8>)>) {
+        match ev {
+            RxEvent::Frame(peer, gen, bytes) => {
+                // A stale-generation frame arrived before its link was
+                // superseded; the restarted peer replays everything that
+                // matters, so dropping it here is safe and keeps one
+                // logical inbound stream per peer.
+                if gen == self.generations[peer].load(Ordering::SeqCst) {
+                    out.push((peer, bytes));
+                }
+            }
+            RxEvent::PeerUp(peer, gen) => {
+                if gen == self.generations[peer].load(Ordering::SeqCst) {
+                    if std::mem::take(&mut self.fresh_writer[peer]) {
+                        // This PeerUp is the echo of our own redial — the
+                        // peer registered our fresh dial as a reconnect and
+                        // proactively re-dialed back. Our writer already
+                        // postdates its teardown; keep it, or the two live
+                        // endpoints chase each other in a redial storm.
+                    } else {
+                        // The peer re-dialed us first: it restarted, so the
+                        // outbound stream we still hold predates its crash
+                        // and is dead or deaf. Tear it down now rather than
+                        // waiting for a write failure, and let the next
+                        // flush redial.
+                        self.mark_peer_down(peer);
+                    }
+                }
+            }
+            RxEvent::PeerDown(peer, gen) => {
+                if gen == self.generations[peer].load(Ordering::SeqCst) {
+                    self.mark_peer_down(peer);
+                }
+            }
+            RxEvent::LinkDown(peer, reason) => {
+                self.errors.lock().record(ProtocolError::Transport { peer, reason });
+            }
+        }
+    }
+}
+
+impl Drop for TcpEndpoint {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the accept loop so it observes the flag and releases the
+        // listener (the campaign rebinds the same address on restart).
+        let woke =
+            TcpStream::connect_timeout(&self.listen_addr, Duration::from_millis(500)).is_ok();
+        if let Some(handle) = self.accept_handle.take() {
+            if woke {
+                let _ = handle.join();
+            }
+            // If the wakeup dial failed the listener is already dead and
+            // the loop exits on its own accept error; don't risk a hang.
+        }
     }
 }
 
@@ -308,13 +520,14 @@ impl Transport for TcpEndpoint {
         }
         if dst == self.id {
             // Self-link: deliver through the local queue, skip the wire.
-            let _ = self.self_tx.send(RxEvent::Frame(self.id, frame));
+            // Generation 0 matches the never-bumped self slot.
+            let _ = self.self_tx.send(RxEvent::Frame(self.id, 0, frame));
             return Ok(());
         }
         if self.writers[dst].is_none() {
             let e = ProtocolError::Transport {
                 peer: Some(dst),
-                reason: "link permanently degraded".into(),
+                reason: "link down awaiting redial".into(),
             };
             self.errors.lock().record(e.clone());
             return Err(e);
@@ -329,30 +542,35 @@ impl Transport for TcpEndpoint {
     }
 
     fn flush(&mut self) -> Result<(), ProtocolError> {
+        self.try_redials();
         let mut first_err = None;
         for dst in 0..self.n {
             if self.outbox[dst].is_empty() {
                 continue;
             }
-            let Some(stream) = self.writers[dst].as_mut() else {
+            if self.writers[dst].is_none() {
+                // Link down: drop the batch — once the redial lands, the
+                // service replays its history to this peer, which covers
+                // everything discarded here.
                 self.outbox[dst].clear();
                 continue;
-            };
+            }
             let batch = std::mem::take(&mut self.outbox[dst]);
+            let stream = self.writers[dst].as_mut().expect("checked above");
             match stream.write_all(&batch) {
                 Ok(()) => {
                     self.bytes_sent += batch.len() as u64;
                     self.tx_bytes[dst].add(batch.len() as u64);
                 }
                 Err(e) => {
-                    // This link is gone; degrade it and keep flushing the
-                    // rest of the mesh.
+                    // This link is gone; degrade it, arm the lazy redial,
+                    // and keep flushing the rest of the mesh.
                     let err = ProtocolError::Transport {
                         peer: Some(dst),
                         reason: format!("batched write failed: {e}"),
                     };
                     self.errors.lock().record(err.clone());
-                    self.writers[dst] = None;
+                    self.mark_peer_down(dst);
                     first_err.get_or_insert(err);
                 }
             }
@@ -365,21 +583,22 @@ impl Transport for TcpEndpoint {
 
     fn recv_timeout(&mut self, timeout: Duration) -> Vec<(ProcessId, Vec<u8>)> {
         let mut out = Vec::new();
-        let mut absorb = |ev: RxEvent, errors: &Arc<Mutex<ErrorLog>>| match ev {
-            RxEvent::Frame(peer, bytes) => out.push((peer, bytes)),
-            RxEvent::LinkDown(peer, reason) => {
-                errors.lock().record(ProtocolError::Transport { peer, reason });
-            }
-        };
         // Wait for the first event, then drain whatever else is ready.
         match self.rx.recv_timeout(timeout) {
-            Ok(ev) => absorb(ev, &self.errors),
+            Ok(ev) => self.absorb(ev, &mut out),
             Err(_) => return out,
         }
         while let Ok(ev) = self.rx.try_recv() {
-            absorb(ev, &self.errors);
+            self.absorb(ev, &mut out);
         }
         out
+    }
+
+    fn take_reconnects(&mut self) -> Vec<ProcessId> {
+        let mut peers = std::mem::take(&mut self.pending_reconnects);
+        peers.sort_unstable();
+        peers.dedup();
+        peers
     }
 
     fn bytes_sent(&self) -> u64 {

@@ -61,6 +61,15 @@ pub trait Transport: Send {
     /// draining everything immediately available.
     fn recv_timeout(&mut self, timeout: Duration) -> Vec<(ProcessId, Vec<u8>)>;
 
+    /// Peers whose outbound link was re-established since the last call
+    /// (a TCP redial after a peer restart or write failure). The service
+    /// layer replays its outbound history to the returned peers so frames
+    /// lost in the gap are recovered (receivers deduplicate). Default:
+    /// none — the in-process mesh never loses a link.
+    fn take_reconnects(&mut self) -> Vec<ProcessId> {
+        Vec::new()
+    }
+
     /// Bytes put on the wire by this endpoint (length prefixes included;
     /// self-delivery excluded).
     fn bytes_sent(&self) -> u64;

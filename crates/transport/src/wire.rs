@@ -163,6 +163,21 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     out
 }
 
+/// Cheap header peek: `(instance, sender, round)` of an encoded frame
+/// without decoding (or validating) the payload. `None` if the bytes are
+/// too short or fail the magic/version check. The recovery path uses this
+/// to classify logged frames by instance without paying a full decode.
+#[must_use]
+pub fn peek_header(bytes: &[u8]) -> Option<(u64, u32, u32)> {
+    if bytes.len() < 20 || bytes[..2] != MAGIC || bytes[2] != VERSION {
+        return None;
+    }
+    let instance = u64::from_le_bytes(bytes[4..12].try_into().ok()?);
+    let sender = u32::from_le_bytes(bytes[12..16].try_into().ok()?);
+    let round = u32::from_le_bytes(bytes[16..20].try_into().ok()?);
+    Some((instance, sender, round))
+}
+
 // ---------------------------------------------------------------------------
 // Decoding
 // ---------------------------------------------------------------------------
@@ -445,5 +460,18 @@ mod tests {
         let mut bytes = encode_frame(&eig_frame());
         bytes.push(0xFF);
         assert!(decode_frame(&bytes, 0).is_err());
+    }
+
+    #[test]
+    fn peek_header_agrees_with_decode() {
+        for frame in [eig_frame(), va_frame()] {
+            let bytes = encode_frame(&frame);
+            let (instance, sender, round) = peek_header(&bytes).expect("peekable");
+            assert_eq!(instance, frame.instance);
+            assert_eq!(sender as usize, frame.sender);
+            assert_eq!(round, frame.round);
+        }
+        assert_eq!(peek_header(b"RB"), None);
+        assert_eq!(peek_header(&[0u8; 32]), None);
     }
 }

@@ -1,0 +1,178 @@
+//! TCP reconnection integration (ISSUE 5 satellite): a peer that drops and
+//! re-dials must be re-accepted on its existing link slot — the fresh
+//! authenticated HELLO supersedes the stale link, the survivors tear down
+//! their dead outbound streams, lazily redial, and report the peer through
+//! `take_reconnects()` so the service layer can replay history. No
+//! half-dead links linger.
+
+use std::net::TcpListener;
+use std::thread;
+use std::time::Duration;
+
+use rbvc_transport::tcp::TcpEndpoint;
+use rbvc_transport::transport::Transport;
+
+const N: usize = 3;
+const VICTIM: usize = 2;
+
+/// Stand up a 3-endpoint loopback mesh on known (stable) addresses so the
+/// victim can rebind the same address after its "crash".
+fn stable_mesh() -> (Vec<TcpEndpoint>, Vec<std::net::SocketAddr>) {
+    let listeners: Vec<TcpListener> = (0..N)
+        .map(|_| TcpListener::bind(("127.0.0.1", 0)).expect("bind"))
+        .collect();
+    let addrs: Vec<_> = listeners.iter().map(|l| l.local_addr().expect("addr")).collect();
+    let handles: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(id, listener)| {
+            let addrs = addrs.clone();
+            thread::spawn(move || TcpEndpoint::connect(id, listener, &addrs))
+        })
+        .collect();
+    let mesh: Vec<TcpEndpoint> = handles
+        .into_iter()
+        .map(|h| h.join().expect("no panic").expect("connect"))
+        .collect();
+    (mesh, addrs)
+}
+
+/// Pump `ep` until `pred` holds: every received frame is accumulated into
+/// `got` (never discarded — the pred inspects it), and each spin flushes to
+/// drive the lazy redial machinery.
+fn pump_until<F>(
+    ep: &mut TcpEndpoint,
+    spins: usize,
+    got: &mut Vec<(usize, Vec<u8>)>,
+    mut pred: F,
+) -> bool
+where
+    F: FnMut(&mut TcpEndpoint, &[(usize, Vec<u8>)]) -> bool,
+{
+    for _ in 0..spins {
+        if pred(ep, got) {
+            return true;
+        }
+        got.extend(ep.recv_timeout(Duration::from_millis(10)));
+        let _ = ep.flush();
+    }
+    pred(ep, got)
+}
+
+/// Wait until `ep` has heard the exact frame `(from, bytes)`.
+fn wait_for_frame(ep: &mut TcpEndpoint, from: usize, bytes: &[u8], spins: usize) -> bool {
+    let mut got = Vec::new();
+    pump_until(ep, spins, &mut got, |_, got| {
+        got.iter().any(|(p, b)| *p == from && b == bytes)
+    })
+}
+
+#[test]
+fn restarted_peer_is_reaccepted_and_reported() {
+    let (mut mesh, addrs) = stable_mesh();
+
+    // Sanity: pre-crash traffic flows survivor -> victim.
+    mesh[0].send(VICTIM, vec![1]).unwrap();
+    mesh[0].flush().unwrap();
+    assert!(
+        wait_for_frame(&mut mesh[VICTIM], 0, &[1], 200),
+        "pre-crash frame never arrived"
+    );
+
+    // Crash the victim: its endpoint drops — sockets close, listener is
+    // released — and restart it on the same address.
+    let victim = mesh.remove(VICTIM);
+    drop(victim);
+    let listener = TcpListener::bind(addrs[VICTIM]).expect("rebind same addr");
+    let mut restarted =
+        TcpEndpoint::connect(VICTIM, listener, &addrs).expect("restart connect");
+
+    // Each survivor must re-establish its outbound link (either the
+    // victim's fresh inbound HELLO tears the stale writer down, or a write
+    // failure does) and report the victim via take_reconnects.
+    for (i, survivor) in mesh.iter_mut().enumerate() {
+        let mut reconnected = Vec::new();
+        let mut got = Vec::new();
+        let ok = pump_until(survivor, 400, &mut got, |ep, _| {
+            reconnected.extend(ep.take_reconnects());
+            reconnected.contains(&VICTIM)
+        });
+        assert!(ok, "survivor {i} never reported the restarted peer: {reconnected:?}");
+    }
+
+    // Post-restart traffic flows both directions, authenticated under the
+    // victim's (unchanged) process id.
+    mesh[0].send(VICTIM, vec![42]).unwrap();
+    mesh[0].flush().unwrap();
+    assert!(
+        wait_for_frame(&mut restarted, 0, &[42], 200),
+        "restarted endpoint never heard the survivor"
+    );
+    restarted.send(0, vec![7, 7]).unwrap();
+    restarted.flush().unwrap();
+    assert!(
+        wait_for_frame(&mut mesh[0], VICTIM, &[7, 7], 200),
+        "survivor never heard the restarted endpoint"
+    );
+}
+
+#[test]
+fn fresh_hello_supersedes_the_stale_link() {
+    // Drive the HELLO path directly: a raw second connection announcing an
+    // existing peer id must take over that peer's link slot — frames on
+    // the new stream are delivered, authenticated as that peer.
+    let (mut mesh, addrs) = stable_mesh();
+
+    // Warm up: make every inbound link at endpoint 0 carry a frame, so its
+    // readers have all authenticated (claimed generation 1) before the
+    // imposter dials in — otherwise the imposter HELLO could race the
+    // initial ones and lose the generation coin flip.
+    mesh[1].send(0, vec![101]).unwrap();
+    mesh[1].flush().unwrap();
+    mesh[2].send(0, vec![102]).unwrap();
+    mesh[2].flush().unwrap();
+    let mut got = Vec::new();
+    assert!(
+        pump_until(&mut mesh[0], 200, &mut got, |_, got| {
+            got.iter().any(|(p, _)| *p == 1) && got.iter().any(|(p, _)| *p == 2)
+        }),
+        "warmup frames never arrived: {got:?}"
+    );
+
+    use std::io::Write as _;
+    let mut imposter = std::net::TcpStream::connect(addrs[0]).expect("dial endpoint 0");
+    let mut hello = Vec::new();
+    hello.extend_from_slice(b"RBH");
+    hello.push(rbvc_transport::wire::VERSION);
+    hello.extend_from_slice(&(1u32).to_le_bytes()); // claims peer 1
+    imposter.write_all(&hello).unwrap();
+    // One frame on the new stream: length prefix + payload.
+    imposter.write_all(&3u32.to_le_bytes()).unwrap();
+    imposter.write_all(&[9, 9, 9]).unwrap();
+    imposter.flush().unwrap();
+
+    assert!(
+        wait_for_frame(&mut mesh[0], 1, &[9, 9, 9], 200),
+        "frame on the superseding link never arrived"
+    );
+
+    // The takeover also tore down endpoint 0's outbound writer to peer 1
+    // (the re-HELLO means "peer 1 restarted"), so the next flushes redial
+    // — peer 1's listener is still up, and the fresh link must carry
+    // traffic end to end.
+    let mut reconnected = Vec::new();
+    let mut got = Vec::new();
+    assert!(
+        pump_until(&mut mesh[0], 400, &mut got, |ep, _| {
+            reconnected.extend(ep.take_reconnects());
+            reconnected.contains(&1usize)
+        }),
+        "no redial after the stale-link teardown: {reconnected:?}"
+    );
+    mesh[0].send(1, vec![5]).unwrap();
+    mesh[0].flush().unwrap();
+    assert!(
+        wait_for_frame(&mut mesh[1], 0, &[5], 200),
+        "re-dialed link did not carry traffic"
+    );
+}
