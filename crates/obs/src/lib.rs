@@ -20,14 +20,25 @@
 //! [`report`] parses a JSONL trace back into a per-run summary (rounds,
 //! messages by kind, gate-rejection table, decide-latency percentiles,
 //! kernel breakdown); the `exp_obs` binary in `rbvc-bench` is its CLI.
+//!
+//! On top of those, the tracing layer: [`clock`] pins every timestamp to
+//! one process-wide monotonic epoch (wall-anchored once, in the trace
+//! header), [`trace`] assembles merged per-node JSONL into each decided
+//! instance's message DAG and attributes the submit→decide critical path
+//! into named phases ([`Phase`]), and [`serve`] exposes any [`Registry`]
+//! as a live Prometheus-text `/metrics` endpoint ([`MetricsServer`]); the
+//! `exp_trace` binary in `rbvc-bench` is the assembler's CLI.
 
 #![warn(missing_docs)]
 
+pub mod clock;
 pub mod event;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
+pub mod serve;
 pub mod timing;
+pub mod trace;
 
 pub use event::{Event, EventKind};
 pub use metrics::{
@@ -35,7 +46,9 @@ pub use metrics::{
 };
 pub use recorder::{JsonlRecorder, NoopRecorder, Obs, Recorder, RingRecorder};
 pub use report::{detail_field, render_report, TraceSummary};
+pub use serve::{prometheus_text, scrape_once, MetricsServer};
 pub use timing::{
-    kernel_snapshot, kernel_timing_enabled, reset_kernel_timers, set_kernel_timing, time_kernel,
-    Kernel, KernelStat,
+    kernel_snapshot, kernel_timing_enabled, reset_kernel_timers, set_kernel_timing,
+    take_thread_kernel_nanos, time_kernel, Kernel, KernelStat,
 };
+pub use trace::{assemble, render_attribution, Attribution, ChainAttribution, LinkClock, Phase};

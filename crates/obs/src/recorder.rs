@@ -10,8 +10,8 @@ use std::fs::File;
 use std::io::{BufWriter, Write as _};
 use std::path::Path;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
 
+use crate::clock;
 use crate::event::Event;
 
 /// A sink for structured events. Implementations must be thread-safe:
@@ -42,23 +42,22 @@ impl Recorder for NoopRecorder {
     fn record(&self, _event: Event) {}
 }
 
-/// Cloneable emission handle: a shared recorder plus the trace epoch
-/// (event times are microseconds since this instant) and an optional
-/// default node tag applied to events that did not set one.
+/// Cloneable emission handle: a shared recorder plus an optional default
+/// node tag applied to events that did not set one. Timestamps come from
+/// the process-wide monotonic clock ([`crate::clock`]), so every handle —
+/// and every thread — stamps onto one coherent timeline.
 #[derive(Clone)]
 pub struct Obs {
     recorder: Arc<dyn Recorder>,
-    epoch: Instant,
     node: Option<u32>,
 }
 
 impl Obs {
-    /// Handle over the given recorder; the epoch is `now`.
+    /// Handle over the given recorder.
     #[must_use]
     pub fn new(recorder: Arc<dyn Recorder>) -> Obs {
         Obs {
             recorder,
-            epoch: Instant::now(),
             node: None,
         }
     }
@@ -70,13 +69,11 @@ impl Obs {
     }
 
     /// A clone of this handle that stamps `node` on every event emitted
-    /// through it that has no node tag of its own. The epoch is shared, so
-    /// per-node handles produce one coherent timeline.
+    /// through it that has no node tag of its own.
     #[must_use]
     pub fn with_node(&self, node: u32) -> Obs {
         Obs {
             recorder: Arc::clone(&self.recorder),
-            epoch: self.epoch,
             node: Some(node),
         }
     }
@@ -87,10 +84,10 @@ impl Obs {
         self.recorder.enabled()
     }
 
-    /// Microseconds since the trace epoch.
+    /// Microseconds since the process-wide monotonic epoch.
     #[must_use]
     pub fn now_us(&self) -> u64 {
-        u64::try_from(self.epoch.elapsed().as_micros()).unwrap_or(u64::MAX)
+        clock::now_us()
     }
 
     /// Emit the event built by `build` — *iff* the recorder is enabled.
@@ -205,14 +202,22 @@ pub struct JsonlRecorder {
 }
 
 impl JsonlRecorder {
-    /// Create (truncate) `path` as the trace file.
+    /// Create (truncate) `path` as the trace file. The first line is the
+    /// trace header: it names the clock (`mono_us`, microseconds since the
+    /// process-wide monotonic epoch) and anchors that epoch on the wall
+    /// clock once, so no event ever carries a non-monotonic timestamp.
     ///
     /// # Errors
     /// Propagates file-creation failure.
     pub fn create(path: impl AsRef<Path>) -> std::io::Result<JsonlRecorder> {
-        Ok(JsonlRecorder {
+        let rec = JsonlRecorder {
             writer: Mutex::new(BufWriter::new(File::create(path)?)),
-        })
+        };
+        rec.write_raw(&format!(
+            "{{\"t\":\"trace_header\",\"clock\":\"mono_us\",\"wall_epoch_unix_us\":{}}}",
+            clock::wall_epoch_unix_us()
+        ));
+        Ok(rec)
     }
 
     /// Append one pre-rendered JSONL line (metric and kernel records).

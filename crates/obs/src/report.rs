@@ -1,11 +1,13 @@
 //! Post-hoc trace analysis: parse a JSONL trace back into a per-run
 //! summary.
 //!
-//! A trace file is newline-delimited JSON with four record shapes, all
-//! self-describing via their `t` field: `event` (see [`crate::Event`]),
-//! `counter`/`gauge` (registry dumps), `hist` (histogram snapshots), and
-//! `kernel` (timing cells). Blank lines are skipped; unknown record types
-//! are counted but tolerated, so traces stay forward-compatible.
+//! A trace file is newline-delimited JSON with five record shapes, all
+//! self-describing via their `t` field: `trace_header` (first line: clock
+//! name plus the wall-clock anchor of the monotonic epoch), `event` (see
+//! [`crate::Event`]), `counter`/`gauge` (registry dumps), `hist`
+//! (histogram snapshots), and `kernel` (timing cells). Blank lines are
+//! skipped; unknown record types are counted but tolerated, so traces
+//! stay forward-compatible.
 
 use std::collections::BTreeMap;
 
@@ -43,8 +45,15 @@ pub struct TraceSummary {
     pub histograms: BTreeMap<String, HistSnapshot>,
     /// Kernel timing cells.
     pub kernels: Vec<KernelStat>,
-    /// Largest event timestamp (µs since trace epoch).
+    /// Largest event timestamp (µs since the process monotonic epoch).
     pub wall_us: u64,
+    /// Smallest event timestamp, when any event was seen. The monotonic
+    /// epoch is process start, not run start, so run duration is
+    /// [`TraceSummary::span_us`], not `wall_us`.
+    pub first_event_us: Option<u64>,
+    /// Wall-clock anchor (µs since the Unix epoch) of the monotonic epoch,
+    /// from the trace header.
+    pub wall_epoch_unix_us: Option<u64>,
     /// Lines that parsed as JSON but matched no known record shape.
     pub unknown_records: u64,
 }
@@ -65,6 +74,9 @@ impl TraceSummary {
                 .map_err(|e| format!("line {}: {e}", lineno + 1))?;
             if let Some(ev) = Event::from_value(&value) {
                 s.absorb_event(ev);
+            } else if value.get("t").and_then(serde::Value::as_str) == Some("trace_header") {
+                s.wall_epoch_unix_us =
+                    value.get("wall_epoch_unix_us").and_then(serde::Value::as_u64);
             } else if let Some((name, hist)) = HistSnapshot::from_value(&value) {
                 s.histograms.insert(name, hist);
             } else if let Some(k) = KernelStat::from_value(&value) {
@@ -81,6 +93,10 @@ impl TraceSummary {
     fn absorb_event(&mut self, ev: Event) {
         *self.by_kind.entry(ev.kind).or_insert(0) += 1;
         self.wall_us = self.wall_us.max(ev.time_us);
+        self.first_event_us = Some(match self.first_event_us {
+            Some(first) => first.min(ev.time_us),
+            None => ev.time_us,
+        });
         match ev.kind {
             EventKind::GateReject => {
                 let gate = ev
@@ -108,6 +124,13 @@ impl TraceSummary {
             _ => {}
         }
         self.events.push(ev);
+    }
+
+    /// First-to-last event span in µs (run duration under the process-wide
+    /// monotonic clock, whose zero predates the run).
+    #[must_use]
+    pub fn span_us(&self) -> u64 {
+        self.wall_us.saturating_sub(self.first_event_us.unwrap_or(self.wall_us))
     }
 
     /// Count of events of `kind`.
@@ -150,7 +173,7 @@ fn scalar_from_value(v: &serde::Value) -> Option<(String, i128)> {
 pub fn render_report(s: &TraceSummary) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "trace: {} events, wall {:.3} s", s.events.len(), s.wall_us as f64 / 1e6);
+    let _ = writeln!(out, "trace: {} events, wall {:.3} s", s.events.len(), s.span_us() as f64 / 1e6);
 
     let _ = writeln!(out, "\nevents by kind:");
     for kind in EventKind::ALL {
@@ -284,7 +307,9 @@ mod tests {
         assert_eq!(s.decide_latency_us.get(&1), Some(&2500), "slowest node wins");
         assert_eq!(s.scalars.get("x.count"), Some(&4));
         assert_eq!(s.histograms["service.decide.latency_us"].count, 1);
-        assert_eq!(s.unknown_records, 1);
+        assert_eq!(s.unknown_records, 1, "trace_header is a known record");
+        assert!(s.wall_epoch_unix_us.is_some(), "header anchors the epoch");
+        assert!(s.span_us() <= s.wall_us);
         let report = render_report(&s);
         assert!(report.contains("gate_reject"));
         assert!(report.contains("auth"));

@@ -11,7 +11,14 @@
 //! internally is charged for the LP time too, and the LP cell is charged
 //! in parallel. The per-kernel rows therefore do not sum to wall time;
 //! they answer "how much wall time has this kernel on its stack".
+//!
+//! Alongside the process-wide cells there is one *thread-local* wall-time
+//! accumulator for tracing: it charges only outermost kernel spans (no
+//! nesting double-count), so draining it between service polls yields
+//! exactly "how long this thread was inside kernel code since the last
+//! drain" — the per-poll `kernel_us` attribution the trace assembler uses.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
@@ -105,18 +112,46 @@ pub fn reset_kernel_timers() {
     }
 }
 
+thread_local! {
+    /// Outermost-span nanoseconds on this thread since the last drain.
+    static TL_NANOS: Cell<u64> = const { Cell::new(0) };
+    /// Current kernel-span nesting depth on this thread.
+    static TL_DEPTH: Cell<u32> = const { Cell::new(0) };
+}
+
 /// Run `f`, charging its wall time to `kernel` when timing is on.
 pub fn time_kernel<T>(kernel: Kernel, f: impl FnOnce() -> T) -> T {
     if !ENABLED.load(Ordering::Relaxed) {
         return f();
     }
+    let depth = TL_DEPTH.with(|d| {
+        let depth = d.get();
+        d.set(depth + 1);
+        depth
+    });
     let start = Instant::now();
     let result = f();
     let nanos = u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX);
     let i = kernel.index();
     CALLS[i].fetch_add(1, Ordering::Relaxed);
     NANOS[i].fetch_add(nanos, Ordering::Relaxed);
+    TL_DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+    if depth == 0 {
+        // Only outermost spans feed the thread-local wall accumulator:
+        // nested oracle→LP time is already inside the outer span.
+        TL_NANOS.with(|n| n.set(n.get().saturating_add(nanos)));
+    }
     result
+}
+
+/// Drain this thread's kernel wall-time accumulator: nanoseconds spent in
+/// outermost kernel spans on the calling thread since the previous drain
+/// (or thread start). Unlike the process-wide cells this never mixes
+/// threads, so a single-threaded service poll loop can attribute kernel
+/// time poll by poll even when many node threads share the process.
+#[must_use]
+pub fn take_thread_kernel_nanos() -> u64 {
+    TL_NANOS.with(|n| n.replace(0))
 }
 
 /// One kernel's accumulated cells.
@@ -215,6 +250,31 @@ mod tests {
         let line = lp.to_json_line();
         let v = serde_json::from_str(&line).expect("parses");
         assert_eq!(KernelStat::from_value(&v), Some(*lp));
+
+        // Thread-local drain: outermost spans only, per thread, reset on
+        // take. Runs on its own thread so this test's earlier spans don't
+        // pollute the accumulator.
+        set_kernel_timing(true);
+        std::thread::spawn(|| {
+            let _ = take_thread_kernel_nanos();
+            time_kernel(Kernel::PsiOracle, || {
+                time_kernel(Kernel::LpSolve, || {
+                    std::thread::sleep(std::time::Duration::from_micros(200));
+                })
+            });
+            let drained = take_thread_kernel_nanos();
+            assert!(drained >= 200_000, "outer span covers the sleep: {drained}");
+            // Generous upper bound: a double-counted nest would at least
+            // double the sleep; scheduling jitter stays well below 100x.
+            assert!(
+                drained < 2 * 200_000 * 100,
+                "nested span must not double-count: {drained}"
+            );
+            assert_eq!(take_thread_kernel_nanos(), 0, "drain resets");
+        })
+        .join()
+        .expect("no panic");
+        set_kernel_timing(false);
 
         reset_kernel_timers();
         assert!(kernel_snapshot().iter().all(|s| s.calls == 0 && s.nanos == 0));

@@ -1,0 +1,861 @@
+//! Cross-node trace assembly: message-DAG reconstruction and
+//! submit→decide critical-path attribution.
+//!
+//! Input is a merged JSONL trace (every node's spans share the file; in
+//! multi-process deployments, concatenate the per-process files) parsed by
+//! [`crate::TraceSummary`]. Three span kinds carry the causal structure:
+//!
+//! - [`EventKind::FrameTx`] / [`EventKind::FrameRx`] pair up across nodes
+//!   by `(sender, receiver, seq)` — links are FIFO, so the `n`th send on a
+//!   directed link is the `n`th receive. Both carry the frame identity
+//!   `(instance, round)` so pairing is cross-checked, never guessed.
+//! - [`EventKind::PollEnd`] covers each poll iteration's active processing
+//!   with its fsync and kernel wall time, letting local time decompose.
+//!
+//! For every decided `(instance, node)` the assembler walks **backward**
+//! from the Decide span: the last dispatched frame of that instance before
+//! the current point is its causal enabler (per-link FIFO plus the
+//! protocols' receive-driven sends make this the frame whose arrival
+//! unblocked progress); the walk hops to that frame's sender and repeats
+//! until it reaches the deciding node's own Submit. Segment boundaries
+//! partition `[submit, decide]` *exactly*, so phase totals always sum to
+//! the critical-path length — the 10 % acceptance check against the
+//! independently measured decide latency validates the spans, not the
+//! arithmetic.
+//!
+//! Cross-node clock alignment uses the HELLO timestamp exchange: each
+//! directed link's observed send→receive skew `a = rx_clock − tx_clock`
+//! combines with the reverse direction's `b` as `offset = (a − b) / 2`,
+//! `uncertainty = (a + b) / 2` (the classic one-way-delay bound: offset is
+//! exact iff the link is symmetric). Offsets accumulate along the walk so
+//! every boundary is mapped into the deciding node's timeline.
+
+use std::collections::HashMap;
+
+use serde::Value;
+
+use crate::event::EventKind;
+use crate::metrics::{HistSnapshot, Histogram};
+use crate::report::{detail_field, TraceSummary};
+
+/// A named critical-path phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Phase {
+    /// Client queueing: submit happened, but the instance's causal chain
+    /// had not started (peers had not launched it / windowing backlog).
+    Queue,
+    /// Poll latency: a frame sat between transport arrival and service
+    /// dispatch, waiting for the service thread to come around.
+    Poll,
+    /// On-wire: sender's `route` to receiver's transport arrival.
+    Wire,
+    /// Barrier wait: local time not covered by any active poll span —
+    /// the service was blocked in its receive wait for more round input
+    /// (the lockstep round barrier) while this instance could not advance.
+    Barrier,
+    /// Kernel compute: geometry-kernel wall time (LP / Wolfe / oracles)
+    /// occupying the service thread on the path.
+    Kernel,
+    /// Fsync: WAL group-commit `sync_data` wall time on the path.
+    Fsync,
+    /// Dispatch: residual active-poll processing — decode, protocol state
+    /// machines, re-encode — not attributed to kernels or fsync.
+    Dispatch,
+}
+
+/// Number of phases (length of [`Phase::ALL`]).
+pub const PHASES: usize = 7;
+
+impl Phase {
+    /// Every phase, in report order.
+    pub const ALL: [Phase; PHASES] = [
+        Phase::Queue,
+        Phase::Poll,
+        Phase::Wire,
+        Phase::Barrier,
+        Phase::Kernel,
+        Phase::Fsync,
+        Phase::Dispatch,
+    ];
+
+    /// Stable report/JSON name.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Phase::Queue => "queue",
+            Phase::Poll => "poll",
+            Phase::Wire => "wire",
+            Phase::Barrier => "barrier",
+            Phase::Kernel => "kernel",
+            Phase::Fsync => "fsync",
+            Phase::Dispatch => "dispatch",
+        }
+    }
+
+    fn index(self) -> usize {
+        Phase::ALL.iter().position(|&p| p == self).expect("phase in ALL")
+    }
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Clock relation of one undirected link, from the HELLO exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkClock {
+    /// Lower node id of the pair.
+    pub a: u32,
+    /// Higher node id of the pair.
+    pub b: u32,
+    /// Estimated `b`-clock minus `a`-clock, µs (exact iff symmetric link).
+    pub offset_us: i64,
+    /// One-way-delay bound on the offset error, µs.
+    pub uncertainty_us: i64,
+}
+
+/// One reconstructed submit→decide critical path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChainAttribution {
+    /// Consensus instance id.
+    pub instance: u64,
+    /// The deciding node whose submit→decide interval this partitions.
+    pub node: u32,
+    /// `decide − submit` on the trace clock, µs. Phase µs sum to this.
+    pub total_us: u64,
+    /// The service's own measured decide latency (`latency_us=` detail).
+    pub measured_us: u64,
+    /// Per-phase µs, indexed like [`Phase::ALL`].
+    pub phases: [u64; PHASES],
+    /// Cross-node hops on the path (frame tx→rx edges walked).
+    pub hops: u32,
+    /// False iff a hop's tx span was missing (walk fell back to queue).
+    pub complete: bool,
+}
+
+/// Assembled attribution over a whole trace.
+#[derive(Debug, Clone, Default)]
+pub struct Attribution {
+    /// One entry per decided `(instance, node)` with a Submit span.
+    pub chains: Vec<ChainAttribution>,
+    /// Decided `(instance, node)` pairs lacking a Submit span (e.g. runs
+    /// recovered from a WAL), skipped rather than misattributed.
+    pub incomplete_chains: u64,
+    /// Receive spans whose send half is missing — must be zero on a
+    /// healthy trace (link resets break per-link ordinals).
+    pub unpaired_rx: u64,
+    /// Send spans missing their receive half *mid-stream* (a later seq on
+    /// the same link was received) — must be zero on a healthy trace.
+    pub unpaired_tx_mid: u64,
+    /// Trailing sends never received: frames still in flight (written to
+    /// the socket, unread) when the run shut down. Expected nonzero; this
+    /// is the `bytes_on_wire` sent/received gap, in frames.
+    pub in_flight_tx: u64,
+    /// Paired spans disagreeing on `(instance, round)` frame identity.
+    pub identity_mismatches: u64,
+    /// Hops where clock mapping would have moved time forward (offset
+    /// error exceeded the true wire delay); clamped to zero-length wire.
+    pub clock_clamps: u64,
+    /// Total frame-send spans seen.
+    pub tx_spans: u64,
+    /// Total frame-receive spans seen.
+    pub rx_spans: u64,
+    /// Per-phase histograms over chains (sample = that chain's phase µs).
+    pub phase_hist: Vec<HistSnapshot>,
+    /// Per-phase total µs over all chains.
+    pub phase_total_us: [u64; PHASES],
+    /// Per-link clock offsets measured from the HELLO exchange.
+    pub links: Vec<LinkClock>,
+}
+
+impl Attribution {
+    /// The phase holding the most critical-path time.
+    #[must_use]
+    pub fn dominant_phase(&self) -> Phase {
+        let mut best = Phase::Queue;
+        for p in Phase::ALL {
+            if self.phase_total_us[p.index()] > self.phase_total_us[best.index()] {
+                best = p;
+            }
+        }
+        best
+    }
+
+    /// Total critical-path µs over all chains (Σ chain totals).
+    #[must_use]
+    pub fn total_us(&self) -> u64 {
+        self.phase_total_us.iter().sum()
+    }
+
+    /// Share of critical-path time in `phase`, in `[0, 1]` (0 when empty).
+    #[must_use]
+    pub fn phase_share(&self, phase: Phase) -> f64 {
+        let total = self.total_us();
+        if total == 0 {
+            0.0
+        } else {
+            self.phase_total_us[phase.index()] as f64 / total as f64
+        }
+    }
+
+    /// Largest per-chain relative error between the reconstructed phase
+    /// sum and the service's measured decide latency (0 when no chains).
+    #[must_use]
+    pub fn max_rel_err(&self) -> f64 {
+        self.chains
+            .iter()
+            .filter(|c| c.measured_us > 0)
+            .map(|c| {
+                (c.total_us as f64 - c.measured_us as f64).abs() / c.measured_us as f64
+            })
+            .fold(0.0, f64::max)
+    }
+
+    /// Render as a JSON object for embedding into bench result files.
+    #[must_use]
+    pub fn to_json(&self) -> Value {
+        let phases: Vec<(String, Value)> = Phase::ALL
+            .iter()
+            .map(|&p| {
+                let h = &self.phase_hist[p.index()];
+                let body = Value::Object(vec![
+                    ("total_us".into(), Value::UInt(self.phase_total_us[p.index()])),
+                    (
+                        "share".into(),
+                        Value::Float((self.phase_share(p) * 1e4).round() / 1e4),
+                    ),
+                    ("p50_us".into(), Value::Float(h.percentile(50.0))),
+                    ("p99_us".into(), Value::Float(h.percentile(99.0))),
+                ]);
+                (p.as_str().to_string(), body)
+            })
+            .collect();
+        Value::Object(vec![
+            ("chains".into(), Value::UInt(self.chains.len() as u64)),
+            ("incomplete_chains".into(), Value::UInt(self.incomplete_chains)),
+            ("unpaired_rx".into(), Value::UInt(self.unpaired_rx)),
+            ("unpaired_tx_mid".into(), Value::UInt(self.unpaired_tx_mid)),
+            ("in_flight_tx".into(), Value::UInt(self.in_flight_tx)),
+            ("identity_mismatches".into(), Value::UInt(self.identity_mismatches)),
+            (
+                "dominant_phase".into(),
+                Value::Str(self.dominant_phase().as_str().into()),
+            ),
+            (
+                "max_rel_err_pct".into(),
+                Value::Float((self.max_rel_err() * 1e4).round() / 1e2),
+            ),
+            ("phases".into(), Value::Object(phases)),
+        ])
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct RxRef {
+    time: u64, // dispatch (span end)
+    wait: u64, // dispatch − transport arrival
+    peer: u32,
+    seq: u64,
+    round: Option<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct TxRef {
+    time: u64,
+    instance: u64,
+    round: Option<u32>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct PollRef {
+    end: u64,
+    dur: u64,
+    fsync_us: u64,
+    kernel_us: u64,
+}
+
+/// Parse `name{src=S,dst=D}` metric keys back into the directed pair.
+fn parse_link_key(key: &str, base: &str) -> Option<(u32, u32)> {
+    let rest = key.strip_prefix(base)?.strip_prefix('{')?.strip_suffix('}')?;
+    let (mut src, mut dst) = (None, None);
+    for tok in rest.split(',') {
+        let (k, v) = tok.split_once('=')?;
+        match k {
+            "src" => src = v.parse().ok(),
+            "dst" => dst = v.parse().ok(),
+            _ => {}
+        }
+    }
+    Some((src?, dst?))
+}
+
+/// Directed per-link skew readings `rx_clock − tx_clock` from the trace's
+/// gauge dump, keyed by `(src, dst)`.
+fn link_skews(s: &TraceSummary) -> HashMap<(u32, u32), i64> {
+    let mut skews = HashMap::new();
+    for (key, &v) in &s.scalars {
+        if let Some(link) = parse_link_key(key, "tcp.link.hello_skew_us") {
+            skews.insert(link, i64::try_from(v).unwrap_or(0));
+        }
+    }
+    skews
+}
+
+/// Offset converting `from`-clock into `to`-clock, µs, from the two
+/// directed skews; 0 when either direction was not measured (single
+/// process, or in-proc transports that share a clock).
+fn offset_into(skews: &HashMap<(u32, u32), i64>, from: u32, to: u32) -> i64 {
+    match (skews.get(&(from, to)), skews.get(&(to, from))) {
+        (Some(&a), Some(&b)) => (a - b) / 2,
+        _ => 0,
+    }
+}
+
+/// Assemble the message DAG and attribute every decided instance's
+/// critical path. Pure function of the parsed trace.
+#[must_use]
+pub fn assemble(s: &TraceSummary) -> Attribution {
+    let mut out = Attribution {
+        phase_hist: vec![HistSnapshot::default(); PHASES],
+        ..Attribution::default()
+    };
+
+    // --- Index the spans -------------------------------------------------
+    let mut rx_by: HashMap<(u32, u64), Vec<RxRef>> = HashMap::new();
+    let mut tx_index: HashMap<(u32, u32, u64), TxRef> = HashMap::new();
+    let mut rx_link_seqs: HashMap<(u32, u32), Vec<u64>> = HashMap::new();
+    let mut tx_link_seqs: HashMap<(u32, u32), Vec<u64>> = HashMap::new();
+    let mut polls: HashMap<u32, Vec<PollRef>> = HashMap::new();
+    let mut submits: HashMap<(u32, u64), u64> = HashMap::new();
+    let mut decides: Vec<(u32, u64, u64, u64)> = Vec::new(); // node, inst, t, measured
+
+    for ev in &s.events {
+        match ev.kind {
+            EventKind::FrameTx => {
+                let (Some(node), Some(peer), Some(seq), Some(inst)) =
+                    (ev.node, ev.peer, ev.seq, ev.instance)
+                else {
+                    continue;
+                };
+                out.tx_spans += 1;
+                tx_index.insert(
+                    (node, peer, seq),
+                    TxRef { time: ev.time_us, instance: inst, round: ev.round },
+                );
+                tx_link_seqs.entry((node, peer)).or_default().push(seq);
+            }
+            EventKind::FrameRx => {
+                let (Some(node), Some(peer), Some(seq), Some(inst)) =
+                    (ev.node, ev.peer, ev.seq, ev.instance)
+                else {
+                    continue;
+                };
+                out.rx_spans += 1;
+                rx_by.entry((node, inst)).or_default().push(RxRef {
+                    time: ev.time_us,
+                    wait: ev.dur_us.unwrap_or(0),
+                    peer,
+                    seq,
+                    round: ev.round,
+                });
+                rx_link_seqs.entry((peer, node)).or_default().push(seq);
+            }
+            EventKind::PollEnd => {
+                let Some(node) = ev.node else { continue };
+                let d = ev.detail.as_deref().unwrap_or("");
+                polls.entry(node).or_default().push(PollRef {
+                    end: ev.time_us,
+                    dur: ev.dur_us.unwrap_or(0),
+                    fsync_us: detail_field(d, "fsync_us")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0),
+                    kernel_us: detail_field(d, "kernel_us")
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or(0),
+                });
+            }
+            EventKind::Submit => {
+                if let (Some(node), Some(inst)) = (ev.node, ev.instance) {
+                    submits.entry((node, inst)).or_insert(ev.time_us);
+                }
+            }
+            EventKind::Decide => {
+                // Service decides carry latency_us; engine-level decide
+                // events (no latency) are not chain roots.
+                if let (Some(node), Some(inst), Some(us)) = (
+                    ev.node,
+                    ev.instance,
+                    ev.detail
+                        .as_deref()
+                        .and_then(|d| detail_field(d, "latency_us"))
+                        .and_then(|v| v.parse::<u64>().ok()),
+                ) {
+                    decides.push((node, inst, ev.time_us, us));
+                }
+            }
+            _ => {}
+        }
+    }
+    for list in rx_by.values_mut() {
+        list.sort_unstable_by_key(|r| r.time);
+    }
+    for list in polls.values_mut() {
+        list.sort_unstable_by_key(|p| p.end);
+    }
+
+    // --- Pairing audit ---------------------------------------------------
+    for (link, rx_seqs) in &rx_link_seqs {
+        for &seq in rx_seqs {
+            if !tx_index.contains_key(&(link.0, link.1, seq)) {
+                out.unpaired_rx += 1;
+            }
+        }
+    }
+    for (link, tx_seqs) in &tx_link_seqs {
+        let rx: std::collections::HashSet<u64> = rx_link_seqs
+            .get(link)
+            .map(|v| v.iter().copied().collect())
+            .unwrap_or_default();
+        let max_rx = rx.iter().copied().max();
+        for &seq in tx_seqs {
+            if rx.contains(&seq) {
+                continue;
+            }
+            match max_rx {
+                Some(m) if seq <= m => out.unpaired_tx_mid += 1,
+                _ => out.in_flight_tx += 1,
+            }
+        }
+    }
+    for ((node, inst), rxs) in &rx_by {
+        for r in rxs {
+            if let Some(tx) = tx_index.get(&(r.peer, *node, r.seq)) {
+                if tx.instance != *inst || tx.round != r.round {
+                    out.identity_mismatches += 1;
+                }
+            }
+        }
+    }
+
+    // --- Critical-path walks ---------------------------------------------
+    let skews = link_skews(s);
+    for &(node, inst, t_dec, measured) in &decides {
+        let Some(&t_sub) = submits.get(&(node, inst)) else {
+            out.incomplete_chains += 1;
+            continue;
+        };
+        let chain = walk_chain(
+            node, inst, t_sub, t_dec, measured, &rx_by, &tx_index, &polls, &skews, &mut out,
+        );
+        for p in Phase::ALL {
+            out.phase_total_us[p.index()] += chain.phases[p.index()];
+        }
+        out.chains.push(chain);
+    }
+    out.chains.sort_unstable_by_key(|c| (c.instance, c.node));
+
+    // Per-phase per-chain histograms.
+    let hists: Vec<Histogram> = (0..PHASES).map(|_| Histogram::default()).collect();
+    for c in &out.chains {
+        for p in Phase::ALL {
+            hists[p.index()].record(c.phases[p.index()]);
+        }
+    }
+    out.phase_hist = hists.iter().map(Histogram::snapshot).collect();
+
+    // Per-pair clock table.
+    let mut pairs: Vec<(u32, u32)> = skews
+        .keys()
+        .map(|&(a, b)| (a.min(b), a.max(b)))
+        .filter(|(a, b)| a != b)
+        .collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    for (a, b) in pairs {
+        if let (Some(&ab), Some(&ba)) = (skews.get(&(a, b)), skews.get(&(b, a))) {
+            out.links.push(LinkClock {
+                a,
+                b,
+                offset_us: (ab - ba) / 2,
+                uncertainty_us: (ab + ba) / 2,
+            });
+        }
+    }
+    out
+}
+
+/// Walk one chain backward from its decide, charging phase time. All
+/// boundaries are mapped into the deciding node's timeline via the
+/// per-link clock offsets; charges partition `[t_sub, t_dec]` exactly.
+#[allow(clippy::too_many_arguments)]
+fn walk_chain(
+    node: u32,
+    inst: u64,
+    t_sub: u64,
+    t_dec: u64,
+    measured: u64,
+    rx_by: &HashMap<(u32, u64), Vec<RxRef>>,
+    tx_index: &HashMap<(u32, u32, u64), TxRef>,
+    polls: &HashMap<u32, Vec<PollRef>>,
+    skews: &HashMap<(u32, u32), i64>,
+    out: &mut Attribution,
+) -> ChainAttribution {
+    let floor = i128::from(t_sub);
+    let mut phases = [0u64; PHASES];
+    let charge = |ph: &mut [u64; PHASES], p: Phase, lo: i128, hi: i128| {
+        let lo = lo.max(floor);
+        if hi > lo {
+            ph[p.index()] += u64::try_from(hi - lo).unwrap_or(0);
+        }
+    };
+
+    let mut nd = node;
+    let mut shift = 0i128; // maps nd-clock into the deciding node's clock
+    let mut cur = i128::from(t_dec);
+    let mut hops = 0u32;
+    let mut complete = true;
+    const MAX_HOPS: u32 = 100_000;
+
+    while cur > floor && hops < MAX_HOPS {
+        // Causal enabler: last dispatched frame of this instance at or
+        // before the current point on this node.
+        let rx = rx_by.get(&(nd, inst)).and_then(|list| {
+            let local_cur = cur - shift;
+            let n = list.partition_point(|r| i128::from(r.time) <= local_cur);
+            (n > 0).then(|| list[n - 1])
+        });
+        let Some(rx) = rx else { break };
+
+        // Local segment (dispatch, cur]: kernel / fsync / dispatch /
+        // barrier via the covering poll spans (in nd's own clock).
+        let t_disp = i128::from(rx.time) + shift;
+        let parts = decompose_local(polls.get(&nd).map(Vec::as_slice), rx.time, cur - shift);
+        charge_parts(&mut phases, parts, t_disp, cur, floor);
+        cur = t_disp;
+        if cur <= floor {
+            break;
+        }
+
+        // Poll wait: transport arrival → dispatch.
+        let t_arr = t_disp - i128::from(rx.wait);
+        charge(&mut phases, Phase::Poll, t_arr, cur);
+        cur = cur.min(t_arr).max(floor);
+        if cur <= floor {
+            break;
+        }
+
+        // Hop to the sender over the wire.
+        let Some(tx) = tx_index.get(&(rx.peer, nd, rx.seq)) else {
+            // Unpaired receive (already audited); the remainder of the
+            // path cannot be followed.
+            complete = false;
+            break;
+        };
+        let hop_shift = shift + i128::from(offset_into(skews, rx.peer, nd));
+        let mut t_tx = i128::from(tx.time) + hop_shift;
+        if t_tx > cur {
+            out.clock_clamps += 1;
+            t_tx = cur;
+        }
+        charge(&mut phases, Phase::Wire, t_tx, cur);
+        cur = t_tx;
+        nd = rx.peer;
+        shift = hop_shift;
+        hops += 1;
+    }
+    // Whatever precedes the chain (or survives an early break) is client
+    // queueing: submitted here, not yet enabled by the mesh.
+    charge(&mut phases, Phase::Queue, floor, cur);
+
+    ChainAttribution {
+        instance: inst,
+        node,
+        total_us: t_dec.saturating_sub(t_sub),
+        measured_us: measured,
+        phases,
+        hops,
+        complete,
+    }
+}
+
+/// Local-segment decomposition over `(lo, hi]` in one node's own clock:
+/// `(kernel, fsync, dispatch, barrier)` µs, summing exactly to `hi − lo`.
+fn decompose_local(polls: Option<&[PollRef]>, lo: u64, hi: i128) -> (u64, u64, u64, u64) {
+    let seg = u64::try_from(hi - i128::from(lo)).unwrap_or(0);
+    if seg == 0 {
+        return (0, 0, 0, 0);
+    }
+    let (mut kernel, mut fsync, mut covered) = (0u64, 0u64, 0u64);
+    if let Some(polls) = polls {
+        // Poll spans are sequential on the service thread; scan those
+        // overlapping the window (first span ending after `lo` onward).
+        let start = polls.partition_point(|p| i128::from(p.end) <= i128::from(lo));
+        for p in &polls[start..] {
+            let p_lo = p.end.saturating_sub(p.dur);
+            if i128::from(p_lo) >= hi {
+                break;
+            }
+            let ov_lo = i128::from(p_lo).max(i128::from(lo));
+            let ov_hi = i128::from(p.end).min(hi);
+            if ov_hi <= ov_lo {
+                continue;
+            }
+            let ov = u64::try_from(ov_hi - ov_lo).unwrap_or(0);
+            covered += ov;
+            // Partially-overlapping polls charge kernel/fsync pro rata.
+            kernel += (p.kernel_us.min(p.dur) * ov).checked_div(p.dur).unwrap_or(0);
+            fsync += (p.fsync_us.min(p.dur) * ov).checked_div(p.dur).unwrap_or(0);
+        }
+    }
+    covered = covered.min(seg);
+    let active = kernel + fsync;
+    if active > covered {
+        // Defensive rescale; kernel+fsync are measured inside the poll,
+        // so this only triggers on malformed detail fields.
+        kernel = kernel * covered / active;
+        fsync = covered - kernel;
+    }
+    let dispatch = covered - kernel - fsync;
+    let barrier = seg - covered;
+    (kernel, fsync, dispatch, barrier)
+}
+
+/// Charge a decomposed local segment, truncating at the chain floor while
+/// keeping the charges summing exactly to the truncated window.
+fn charge_parts(
+    phases: &mut [u64; PHASES],
+    parts: (u64, u64, u64, u64),
+    lo: i128,
+    hi: i128,
+    floor: i128,
+) {
+    let (kernel, fsync, dispatch, _barrier) = parts;
+    let full = u64::try_from(hi - lo).unwrap_or(0);
+    let window = u64::try_from(hi - lo.max(floor)).unwrap_or(0);
+    if window == 0 {
+        return;
+    }
+    let scale = |v: u64| (v * window).checked_div(full).unwrap_or(0);
+    let (k, f, d) = (scale(kernel), scale(fsync), scale(dispatch));
+    phases[Phase::Kernel.index()] += k;
+    phases[Phase::Fsync.index()] += f;
+    phases[Phase::Dispatch.index()] += d;
+    // Rounding remainder lands in barrier so the partition stays exact.
+    phases[Phase::Barrier.index()] += window - k - f - d;
+}
+
+/// Render the attribution as a human-readable report.
+#[must_use]
+pub fn render_attribution(a: &Attribution) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "critical-path attribution: {} chains (decided instance x node), {} hops total",
+        a.chains.len(),
+        a.chains.iter().map(|c| u64::from(c.hops)).sum::<u64>()
+    );
+    let _ = writeln!(
+        out,
+        "span pairing: {} tx / {} rx, {} unpaired rx, {} unpaired mid-stream tx, {} in flight at shutdown, {} identity mismatches",
+        a.tx_spans, a.rx_spans, a.unpaired_rx, a.unpaired_tx_mid, a.in_flight_tx, a.identity_mismatches
+    );
+    if a.incomplete_chains > 0 {
+        let _ = writeln!(out, "incomplete chains (no submit span): {}", a.incomplete_chains);
+    }
+    let _ = writeln!(
+        out,
+        "\n  {:<10} {:>12} {:>8} {:>12} {:>12}",
+        "phase", "total ms", "share", "p50 ms/chain", "p99 ms/chain"
+    );
+    for p in Phase::ALL {
+        let h = &a.phase_hist[p.index()];
+        let _ = writeln!(
+            out,
+            "  {:<10} {:>12.3} {:>7.1}% {:>12.3} {:>12.3}",
+            p.as_str(),
+            a.phase_total_us[p.index()] as f64 / 1e3,
+            a.phase_share(p) * 100.0,
+            h.percentile(50.0) / 1e3,
+            h.percentile(99.0) / 1e3,
+        );
+    }
+    let dom = a.dominant_phase();
+    let _ = writeln!(
+        out,
+        "\ndominant phase: {} ({:.1}% of critical-path time)",
+        dom.as_str(),
+        a.phase_share(dom) * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "attribution vs measured decide latency: max relative error {:.2}%",
+        a.max_rel_err() * 100.0
+    );
+    if !a.links.is_empty() {
+        let _ = writeln!(out, "\nlink clocks (offset of higher node vs lower, us):");
+        for l in &a.links {
+            let _ = writeln!(
+                out,
+                "  {} <-> {}: {:+} +/- {}",
+                l.a, l.b, l.offset_us, l.uncertainty_us
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Event;
+
+    fn line(mut ev: Event, t: u64) -> String {
+        ev.time_us = t;
+        ev.to_json_line()
+    }
+
+    /// Hand-built two-node trace with a known critical path:
+    ///
+    /// ```text
+    /// node0 submit@1000 ... tx(seq0)@1100 ~~wire~~> node1 arr@1250
+    /// node1 dispatch@1300 (barrier to 1400) tx(seq0)@1400 ~~> node0 arr@1480
+    /// node0 dispatch@1500, poll[1510,1600] (kernel 30, fsync 10), decide@1600
+    /// ```
+    #[test]
+    fn two_node_chain_partitions_exactly() {
+        let lines = [
+            line(Event::new(EventKind::Submit).node(0).instance(7), 1_000),
+            line(
+                Event::new(EventKind::FrameTx).node(0).instance(7).round(0).peer(1).seq(0),
+                1_100,
+            ),
+            line(
+                Event::new(EventKind::FrameRx)
+                    .node(1)
+                    .instance(7)
+                    .round(0)
+                    .peer(0)
+                    .seq(0)
+                    .dur(50),
+                1_300,
+            ),
+            line(
+                Event::new(EventKind::FrameTx).node(1).instance(7).round(1).peer(0).seq(0),
+                1_400,
+            ),
+            line(
+                Event::new(EventKind::FrameRx)
+                    .node(0)
+                    .instance(7)
+                    .round(1)
+                    .peer(1)
+                    .seq(0)
+                    .dur(20),
+                1_500,
+            ),
+            line(
+                Event::new(EventKind::PollEnd)
+                    .node(0)
+                    .dur(90)
+                    .detail("rx=1 tx=0 fsync_us=10 kernel_us=30"),
+                1_600,
+            ),
+            line(
+                Event::new(EventKind::Decide).node(0).instance(7).detail("latency_us=600"),
+                1_600,
+            ),
+            // A trailing send nobody read: in flight at shutdown, not an error.
+            line(
+                Event::new(EventKind::FrameTx).node(0).instance(8).round(0).peer(1).seq(1),
+                1_650,
+            ),
+        ];
+
+        let s = TraceSummary::parse(&lines.join("\n")).expect("parses");
+        let a = assemble(&s);
+
+        assert_eq!(a.unpaired_rx, 0);
+        assert_eq!(a.unpaired_tx_mid, 0);
+        assert_eq!(a.in_flight_tx, 1);
+        assert_eq!(a.identity_mismatches, 0);
+        assert_eq!(a.chains.len(), 1);
+
+        let c = &a.chains[0];
+        assert_eq!((c.instance, c.node), (7, 0));
+        assert_eq!(c.total_us, 600);
+        assert_eq!(c.measured_us, 600);
+        assert_eq!(c.hops, 2);
+        assert!(c.complete);
+        assert_eq!(
+            c.phases.iter().sum::<u64>(),
+            c.total_us,
+            "phases partition submit->decide exactly"
+        );
+        let get = |p: Phase| c.phases[Phase::ALL.iter().position(|&q| q == p).unwrap()];
+        // decide@1600 <- dispatch@1500: poll [1510,1600] overlaps 90 of
+        // the 100us window: kernel 30, fsync 10, dispatch 50, barrier 10.
+        assert_eq!(get(Phase::Kernel), 30);
+        assert_eq!(get(Phase::Fsync), 10);
+        assert_eq!(get(Phase::Dispatch), 50);
+        // + node1's uncovered 100us window (1300..1400).
+        assert_eq!(get(Phase::Barrier), 10 + 100);
+        // waits: 20us (node0) + 50us (node1).
+        assert_eq!(get(Phase::Poll), 70);
+        // wire: 1400->1480 and 1100->1250.
+        assert_eq!(get(Phase::Wire), 80 + 150);
+        // before the first tx: 1000..1100.
+        assert_eq!(get(Phase::Queue), 100);
+
+        assert_eq!(a.max_rel_err(), 0.0);
+        let report = render_attribution(&a);
+        assert!(report.contains("dominant phase: wire"));
+    }
+
+    #[test]
+    fn link_offsets_combine_both_directions() {
+        let mut skews = HashMap::new();
+        skews.insert((0u32, 1u32), 130i64); // 0->1 observed skew
+        skews.insert((1u32, 0u32), -70i64); // 1->0 observed skew
+        // offset of clock(1) - clock(0) = (130 - (-70))/2 = 100; delay 30.
+        assert_eq!(offset_into(&skews, 0, 1), 100);
+        assert_eq!(offset_into(&skews, 1, 0), -100);
+        assert_eq!(offset_into(&skews, 0, 2), 0, "unmeasured link maps as aligned");
+    }
+
+    #[test]
+    fn mid_stream_gaps_are_flagged_as_unpaired() {
+        let mut lines = Vec::new();
+        // tx seq 0 and 2 received, seq 1 lost mid-stream; seq 3 in flight.
+        for seq in 0..4u64 {
+            lines.push(line(
+                Event::new(EventKind::FrameTx).node(0).instance(1).round(0).peer(1).seq(seq),
+                1_000 + seq,
+            ));
+        }
+        for seq in [0u64, 2] {
+            lines.push(line(
+                Event::new(EventKind::FrameRx)
+                    .node(1)
+                    .instance(1)
+                    .round(0)
+                    .peer(0)
+                    .seq(seq)
+                    .dur(1),
+                2_000 + seq,
+            ));
+        }
+        // An rx with no tx at all (foreign link).
+        lines.push(line(
+            Event::new(EventKind::FrameRx).node(0).instance(1).round(0).peer(2).seq(9).dur(1),
+            3_000,
+        ));
+        let s = TraceSummary::parse(&lines.join("\n")).expect("parses");
+        let a = assemble(&s);
+        assert_eq!(a.unpaired_tx_mid, 1);
+        assert_eq!(a.in_flight_tx, 1);
+        assert_eq!(a.unpaired_rx, 1);
+    }
+}

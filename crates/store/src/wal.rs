@@ -109,6 +109,9 @@ pub struct Wal {
     synced_len: u64,
     /// Records currently in the log (replayed + appended since open).
     records: u64,
+    /// Records appended since the last sync — the group-commit batch size
+    /// (`wal.group_commit.records` histogram on each sync).
+    pending_records: u64,
 }
 
 impl Wal {
@@ -134,7 +137,7 @@ impl Wal {
             file.write_all(&WAL_MAGIC)?;
             file.sync_data()?;
             let len = WAL_MAGIC.len() as u64;
-            let wal = Wal { file, path, len, synced_len: len, records: 0 };
+            let wal = Wal { file, path, len, synced_len: len, records: 0, pending_records: 0 };
             let report = ReplayReport {
                 records: Vec::new(),
                 torn_bytes: 0,
@@ -155,7 +158,7 @@ impl Wal {
             file.sync_data()?;
             let len = WAL_MAGIC.len() as u64;
             let torn = raw.len() as u64;
-            let wal = Wal { file, path, len, synced_len: len, records: 0 };
+            let wal = Wal { file, path, len, synced_len: len, records: 0, pending_records: 0 };
             let report = ReplayReport {
                 records: Vec::new(),
                 torn_bytes: torn,
@@ -185,6 +188,7 @@ impl Wal {
             len: valid_len,
             synced_len: valid_len,
             records: n,
+            pending_records: 0,
         };
         Ok((wal, ReplayReport { records, torn_bytes, valid_len, created: false }))
     }
@@ -205,6 +209,7 @@ impl Wal {
         self.file.write_all(&frame)?;
         self.len += frame.len() as u64;
         self.records += 1;
+        self.pending_records += 1;
         Registry::global().counter("wal.append.records").inc();
         Ok(())
     }
@@ -225,6 +230,9 @@ impl Wal {
         reg.counter("wal.fsync").inc();
         reg.histogram("wal.fsync_us")
             .record(u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX));
+        // Group-commit batch size: how many appends each fsync amortizes.
+        reg.histogram("wal.group_commit.records")
+            .record(std::mem::take(&mut self.pending_records));
         Ok(())
     }
 
@@ -298,6 +306,7 @@ impl Wal {
         self.len = len;
         self.synced_len = len;
         self.records = n;
+        self.pending_records = 0;
         Registry::global().counter("wal.compactions").inc();
         Ok(())
     }

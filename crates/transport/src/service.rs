@@ -132,6 +132,16 @@ pub struct ConsensusService<T: Transport> {
     /// the logged ones, undecodable WAL records, or records referencing
     /// unknown instances. Zero on a faithful recovery.
     replay_divergence: u64,
+    /// Per-destination outbound frame counters: every frame [`Self::route`]
+    /// queues for `dst` gets the next sequence number on that directed link.
+    /// Links are FIFO, so the receiver's matching per-source counter assigns
+    /// the same number to the same frame — the pairing key that lets the
+    /// trace assembler join a `FrameTx` span to its `FrameRx` across nodes
+    /// without widening the wire format. (History replay after a reconnect
+    /// bypasses `route` and so keeps the counters aligned on both sides.)
+    tx_seq: Vec<u64>,
+    /// Per-source inbound frame counters; see `tx_seq`.
+    rx_seq: Vec<u64>,
 }
 
 impl<T: Transport> ConsensusService<T> {
@@ -139,6 +149,7 @@ impl<T: Transport> ConsensusService<T> {
     #[must_use]
     pub fn new(transport: T) -> Self {
         let node = u32::try_from(transport.local_id()).unwrap_or(u32::MAX);
+        let n = transport.n();
         ConsensusService {
             transport,
             instances: BTreeMap::new(),
@@ -152,6 +163,8 @@ impl<T: Transport> ConsensusService<T> {
             witness_logged: BTreeMap::new(),
             recovered: Vec::new(),
             replay_divergence: 0,
+            tx_seq: vec![0; n],
+            rx_seq: vec![0; n],
         }
     }
 
@@ -376,6 +389,10 @@ impl<T: Transport> ConsensusService<T> {
         }
         slot.launched = true;
         slot.submitted_at = Some(Instant::now());
+        // The trace-side submit marker: same instant (to within the emit
+        // call) as `submitted_at`, so the assembler's critical-path total
+        // is directly comparable to the measured decide latency.
+        self.obs.emit(|| Event::new(EventKind::Submit).instance(id));
         let sends = match &mut slot.proto {
             InstanceProto::Bvc(p) => Self::encode_bvc(id, local, p.on_start()),
             InstanceProto::Va(p) => Self::encode_va(id, local, p.on_start()),
@@ -425,10 +442,30 @@ impl<T: Transport> ConsensusService<T> {
     /// Queue encoded frames on the transport, logging each as a `Sent`
     /// record first when durable (the group-commit sync lands before the
     /// flush that puts them on the wire); failures are recorded and the
-    /// remaining frames still go out.
+    /// remaining frames still go out. Every frame takes the next sequence
+    /// number on its directed link and, when tracing, emits a `FrameTx`
+    /// span carrying the frame identity `(instance, round, dst, seq)`.
     fn route(&mut self, frames: Vec<(ProcessId, Vec<u8>)>) -> Result<(), ProtocolError> {
         let mut first_err = None;
         for (dst, bytes) in frames {
+            if let Some(seq_slot) = self.tx_seq.get_mut(dst) {
+                let seq = *seq_slot;
+                *seq_slot += 1;
+                if self.obs.enabled() {
+                    if let Some((instance, _, round)) = crate::wire::peek_header(&bytes) {
+                        let kind = if bytes[3] == 1 { "eig" } else { "va" };
+                        let len = bytes.len();
+                        self.obs.emit(|| {
+                            Event::new(EventKind::FrameTx)
+                                .instance(instance)
+                                .round(round)
+                                .peer(u32::try_from(dst).unwrap_or(u32::MAX))
+                                .seq(seq)
+                                .detail(format!("kind={kind} bytes={len}"))
+                        });
+                    }
+                }
+            }
             if self.wal.is_some() {
                 self.wal_append(&WalRecord::Sent {
                     dst: u32::try_from(dst).unwrap_or(u32::MAX),
@@ -513,9 +550,37 @@ impl<T: Transport> ConsensusService<T> {
                 let _ = self.transport.send(dst, bytes);
             }
         }
-        let inbound = self.transport.recv_timeout(timeout);
+        let inbound = self.transport.recv_timeout_stamped(timeout);
+        // The poll's busy span starts once the receive wait is over —
+        // blocking on an empty socket is idle time, not poll work.
+        let t_active = Instant::now();
+        let n_rx = inbound.len();
         let mut outbound: Vec<(ProcessId, Vec<u8>)> = Vec::new();
-        for (link_peer, bytes) in inbound {
+        for (link_peer, arrived_us, bytes) in inbound {
+            // Count the frame on its directed link *before* any gate can
+            // reject it, mirroring the sender's unconditional `tx_seq`
+            // bump — rejections must not desynchronize the pairing.
+            let seq = match self.rx_seq.get_mut(link_peer) {
+                Some(s) => {
+                    let seq = *s;
+                    *s += 1;
+                    seq
+                }
+                None => u64::MAX,
+            };
+            if self.obs.enabled() {
+                if let Some((instance, _, round)) = crate::wire::peek_header(&bytes) {
+                    let waited = rbvc_obs::clock::now_us().saturating_sub(arrived_us);
+                    self.obs.emit(|| {
+                        Event::new(EventKind::FrameRx)
+                            .instance(instance)
+                            .round(round)
+                            .peer(u32::try_from(link_peer).unwrap_or(u32::MAX))
+                            .seq(seq)
+                            .dur(waited)
+                    });
+                }
+            }
             let frame = match decode_frame(&bytes, link_peer) {
                 Ok(f) => f,
                 Err(e) => {
@@ -562,6 +627,7 @@ impl<T: Transport> ConsensusService<T> {
             };
             outbound.extend(sends);
         }
+        let n_tx = outbound.len();
         let routed = self.route(outbound);
         // Witness-commit progress (change-driven): lets recovery cross-check
         // how far each VA instance had committed.
@@ -582,12 +648,29 @@ impl<T: Transport> ConsensusService<T> {
         }
         // Group-commit before the wire flush: nothing reaches a peer unless
         // the records that produced it are durable.
+        let t_sync = Instant::now();
         self.wal_sync();
+        let fsync_us = u64::try_from(t_sync.elapsed().as_micros()).unwrap_or(u64::MAX);
         if routed.is_err() || self.transport.flush().is_err() {
             // Already recorded by the transport; the poll loop continues on
             // the surviving links.
         }
-        self.collect_decisions()
+        let decisions = self.collect_decisions();
+        // Close the poll span. `kernel_us` is whatever the hot geometry
+        // kernels accumulated on *this* thread since the last drain (the
+        // dispatches and ticks above); `fsync_us` is this poll's group
+        // commit. Idle polls (no traffic, no decisions) stay silent so a
+        // trace is dominated by signal, not by the poll loop spinning.
+        if self.obs.enabled() && (n_rx > 0 || n_tx > 0 || !decisions.is_empty()) {
+            let kernel_us = rbvc_obs::take_thread_kernel_nanos() / 1_000;
+            let dur = u64::try_from(t_active.elapsed().as_micros()).unwrap_or(u64::MAX);
+            self.obs.emit(|| {
+                Event::new(EventKind::PollEnd).dur(dur).detail(format!(
+                    "rx={n_rx} tx={n_tx} fsync_us={fsync_us} kernel_us={kernel_us}"
+                ))
+            });
+        }
+        decisions
     }
 
     /// Surface newly decided instances as events (each instance at most

@@ -11,9 +11,17 @@
 //! Stream format (all little-endian):
 //!
 //! ```text
-//! HELLO:  "RBH" VERSION  peer-id u32
+//! HELLO:  "RBH" HELLO_VERSION  peer-id u32  t_tx u64
 //! frame:  len u32  (1 ≤ len ≤ MAX_FRAME_LEN)  then len bytes
 //! ```
+//!
+//! `t_tx` is the dialer's monotonic send timestamp (µs on the
+//! `rbvc_obs::clock` timeline). The accept side stamps its own receive
+//! time and publishes the raw skew `t_rx − t_tx` as the gauge
+//! `tcp.link.hello_skew_us{src,dst}`; with both directions of a pair
+//! measured, the trace assembler solves per-link clock offset and
+//! uncertainty (see `rbvc_obs::trace`). Protocol *frames* are untouched —
+//! the timestamp exchange piggybacks entirely on the handshake.
 //!
 //! Degrade-don't-panic at every socket boundary: a bad HELLO, an oversized
 //! or zero length prefix, or a mid-stream read error poisons *that one
@@ -61,8 +69,14 @@ fn dial_retry_counter() -> &'static Counter {
     C.get_or_init(|| Registry::global().counter("tcp.dial.retries"))
 }
 
-/// HELLO magic (3 bytes) followed by the wire version byte.
+/// HELLO magic (3 bytes) followed by the handshake version byte.
 pub const HELLO_MAGIC: [u8; 3] = *b"RBH";
+/// Handshake version: 2 added the trailing send-timestamp u64 (v1 was the
+/// 8-byte form without it). Versioned separately from [`crate::wire`]
+/// because the handshake can evolve without touching the frame codec.
+pub const HELLO_VERSION: u8 = 2;
+/// Total HELLO size on the wire: magic + version + peer u32 + t_tx u64.
+pub const HELLO_LEN: u64 = 16;
 /// Largest frame the framing layer accepts (16 MiB).
 pub const MAX_FRAME_LEN: usize = 16 << 20;
 /// Dial retry budget.
@@ -80,7 +94,11 @@ pub const REDIAL_SKIP_CAP: u32 = 64;
 /// they were observed on, so the endpoint can discard anything from a
 /// link that a newer HELLO has since superseded.
 enum RxEvent {
-    Frame(ProcessId, u64, Vec<u8>),
+    /// A frame from `peer` on link generation `gen`, stamped with its
+    /// arrival time (µs on the `rbvc_obs::clock` timeline) in the reader
+    /// thread — the service layer uses the stamp to separate on-wire time
+    /// from time spent queued behind a busy poll loop.
+    Frame(ProcessId, u64, u64, Vec<u8>),
     /// A fresh authenticated HELLO from `peer` superseded generation-1 or
     /// later (only reconnects are announced; the first link is silent).
     PeerUp(ProcessId, u64),
@@ -204,12 +222,13 @@ fn spawn_reader(
     generations: Arc<Vec<AtomicU64>>,
 ) {
     thread::spawn(move || {
-        let mut hello = [0u8; 8];
+        let mut hello = [0u8; 16];
         if let Err(e) = stream.read_exact(&mut hello) {
             let _ = tx.send(RxEvent::LinkDown(None, format!("HELLO read failed: {e}")));
             return;
         }
-        if hello[..3] != HELLO_MAGIC || hello[3] != crate::wire::VERSION {
+        let t_rx = rbvc_obs::clock::now_us();
+        if hello[..3] != HELLO_MAGIC || hello[3] != HELLO_VERSION {
             let _ = tx.send(RxEvent::LinkDown(None, "bad HELLO magic/version".into()));
             return;
         }
@@ -221,15 +240,23 @@ fn spawn_reader(
             ));
             return;
         }
+        let t_tx = u64::from_le_bytes(hello[8..16].try_into().expect("8 bytes"));
         // Claim this link's generation; any older reader for the same peer
         // is now stale and will wind down.
         let gen = generations[peer].fetch_add(1, Ordering::SeqCst) + 1;
         if gen > 1 {
             let _ = tx.send(RxEvent::PeerUp(peer, gen));
         }
-        bytes_received.fetch_add(8, Ordering::Relaxed);
+        bytes_received.fetch_add(HELLO_LEN, Ordering::Relaxed);
         let (src, dst) = (peer.to_string(), local.to_string());
         let labels = [("src", src.as_str()), ("dst", dst.as_str())];
+        // Raw directed skew: receive clock minus send clock. Within one
+        // process all endpoints share a clock, so this is pure one-way
+        // delay; across processes the trace assembler combines the two
+        // directions into an offset ± uncertainty per link.
+        Registry::global()
+            .gauge_with("tcp.link.hello_skew_us", &labels)
+            .set(t_rx as i64 - t_tx as i64);
         let rx_frames = Registry::global().counter_with("tcp.link.rx_frames", &labels);
         let rx_bytes = Registry::global().counter_with("tcp.link.rx_bytes", &labels);
         loop {
@@ -238,10 +265,11 @@ fn spawn_reader(
                     if generations[peer].load(Ordering::SeqCst) != gen {
                         return; // superseded by a newer HELLO
                     }
+                    let arrived_us = rbvc_obs::clock::now_us();
                     bytes_received.fetch_add(4 + frame.len() as u64, Ordering::Relaxed);
                     rx_frames.inc();
                     rx_bytes.add(4 + frame.len() as u64);
-                    if tx.send(RxEvent::Frame(peer, gen, frame)).is_err() {
+                    if tx.send(RxEvent::Frame(peer, gen, arrived_us, frame)).is_err() {
                         return; // endpoint gone
                     }
                 }
@@ -258,12 +286,14 @@ fn spawn_reader(
     });
 }
 
-/// The 8-byte HELLO this endpoint announces itself with.
-fn hello_bytes(id: ProcessId) -> [u8; 8] {
-    let mut hello = [0u8; 8];
+/// The 16-byte HELLO this endpoint announces itself with, stamped with
+/// the monotonic send time just before the write.
+fn hello_bytes(id: ProcessId) -> [u8; 16] {
+    let mut hello = [0u8; 16];
     hello[..3].copy_from_slice(&HELLO_MAGIC);
-    hello[3] = crate::wire::VERSION;
-    hello[4..].copy_from_slice(&(id as u32).to_le_bytes());
+    hello[3] = HELLO_VERSION;
+    hello[4..8].copy_from_slice(&(id as u32).to_le_bytes());
+    hello[8..].copy_from_slice(&rbvc_obs::clock::now_us().to_le_bytes());
     hello
 }
 
@@ -347,7 +377,7 @@ impl TcpEndpoint {
                     peer: Some(dst),
                     reason: format!("HELLO write failed: {e}"),
                 })?;
-            bytes_sent += 8;
+            bytes_sent += HELLO_LEN;
             writers.push(Some(stream));
         }
 
@@ -416,7 +446,7 @@ impl TcpEndpoint {
             });
             match attempt {
                 Ok(stream) => {
-                    self.bytes_sent += 8;
+                    self.bytes_sent += HELLO_LEN;
                     self.writers[dst] = Some(stream);
                     self.redial_failures[dst] = 0;
                     self.redial_skip[dst] = 0;
@@ -441,16 +471,16 @@ impl TcpEndpoint {
     }
 
     /// Fold one reader event into endpoint state; delivers accepted frames
-    /// into `out`.
-    fn absorb(&mut self, ev: RxEvent, out: &mut Vec<(ProcessId, Vec<u8>)>) {
+    /// (with their reader-thread arrival stamps) into `out`.
+    fn absorb(&mut self, ev: RxEvent, out: &mut Vec<(ProcessId, u64, Vec<u8>)>) {
         match ev {
-            RxEvent::Frame(peer, gen, bytes) => {
+            RxEvent::Frame(peer, gen, arrived_us, bytes) => {
                 // A stale-generation frame arrived before its link was
                 // superseded; the restarted peer replays everything that
                 // matters, so dropping it here is safe and keeps one
                 // logical inbound stream per peer.
                 if gen == self.generations[peer].load(Ordering::SeqCst) {
-                    out.push((peer, bytes));
+                    out.push((peer, arrived_us, bytes));
                 }
             }
             RxEvent::PeerUp(peer, gen) => {
@@ -520,8 +550,11 @@ impl Transport for TcpEndpoint {
         }
         if dst == self.id {
             // Self-link: deliver through the local queue, skip the wire.
-            // Generation 0 matches the never-bumped self slot.
-            let _ = self.self_tx.send(RxEvent::Frame(self.id, 0, frame));
+            // Generation 0 matches the never-bumped self slot; the arrival
+            // stamp is the send time (zero on-wire latency).
+            let _ = self
+                .self_tx
+                .send(RxEvent::Frame(self.id, 0, rbvc_obs::clock::now_us(), frame));
             return Ok(());
         }
         if self.writers[dst].is_none() {
@@ -582,6 +615,13 @@ impl Transport for TcpEndpoint {
     }
 
     fn recv_timeout(&mut self, timeout: Duration) -> Vec<(ProcessId, Vec<u8>)> {
+        self.recv_timeout_stamped(timeout)
+            .into_iter()
+            .map(|(peer, _, bytes)| (peer, bytes))
+            .collect()
+    }
+
+    fn recv_timeout_stamped(&mut self, timeout: Duration) -> Vec<(ProcessId, u64, Vec<u8>)> {
         let mut out = Vec::new();
         // Wait for the first event, then drain whatever else is ready.
         match self.rx.recv_timeout(timeout) {

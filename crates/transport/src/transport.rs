@@ -61,6 +61,18 @@ pub trait Transport: Send {
     /// draining everything immediately available.
     fn recv_timeout(&mut self, timeout: Duration) -> Vec<(ProcessId, Vec<u8>)>;
 
+    /// Like [`Transport::recv_timeout`], but each frame carries its arrival
+    /// timestamp (µs on the `rbvc_obs::clock` timeline) so the tracing layer
+    /// can split on-wire latency from time queued behind a busy poll loop.
+    /// The default stamps at return — correct ordering, zero queueing
+    /// visibility; the TCP endpoint overrides it with per-frame stamps
+    /// taken in its reader threads.
+    fn recv_timeout_stamped(&mut self, timeout: Duration) -> Vec<(ProcessId, u64, Vec<u8>)> {
+        let frames = self.recv_timeout(timeout);
+        let now = rbvc_obs::clock::now_us();
+        frames.into_iter().map(|(peer, bytes)| (peer, now, bytes)).collect()
+    }
+
     /// Peers whose outbound link was re-established since the last call
     /// (a TCP redial after a peer restart or write failure). The service
     /// layer replays its outbound history to the returned peers so frames

@@ -143,8 +143,9 @@ fn fresh_hello_supersedes_the_stale_link() {
     let mut imposter = std::net::TcpStream::connect(addrs[0]).expect("dial endpoint 0");
     let mut hello = Vec::new();
     hello.extend_from_slice(b"RBH");
-    hello.push(rbvc_transport::wire::VERSION);
+    hello.push(rbvc_transport::tcp::HELLO_VERSION);
     hello.extend_from_slice(&(1u32).to_le_bytes()); // claims peer 1
+    hello.extend_from_slice(&rbvc_obs::clock::now_us().to_le_bytes());
     imposter.write_all(&hello).unwrap();
     // One frame on the new stream: length prefix + payload.
     imposter.write_all(&3u32.to_le_bytes()).unwrap();
