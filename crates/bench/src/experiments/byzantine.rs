@@ -1,0 +1,647 @@
+//! E20 — live Byzantine adversaries over real TCP: the paper's universally
+//! quantified "survives f Byzantine nodes" claim, tested end to end through
+//! the wire codec, HELLO authentication, receive gates, and reconnection
+//! machinery instead of only inside the simulator.
+//!
+//! Each seeded run stands up an `n = 7` loopback TCP mesh, samples `f = 2`
+//! malicious nodes, and wraps every endpoint in a
+//! [`ByzantineEndpoint`] — honest nodes under the passthrough policy,
+//! malicious ones under one of the attack registry's mixes (the runs cycle
+//! through all of them). Three phases per run:
+//!
+//! 1. **in-proc baseline** — the `n - f` honest nodes alone over the
+//!    in-process transport: the decision oracle;
+//! 2. **clean TCP reference** — the same honest nodes over TCP with the
+//!    Byzantine slots idle: the honest-path timing reference;
+//! 3. **attack run** — all `n` nodes over TCP, the `f` malicious ones
+//!    actively equivocating / lying / muting / spraying / replaying.
+//!
+//! The baseline and reference run honest nodes *only* because that is the
+//! oracle the attack run must match: every registry mix equivocates or
+//! mutes the adversary's own states (see `rbvc_transport::byzantine`), so
+//! Byzantine-origin states never reach Bracha delivery at honest nodes and
+//! honest progress is a pure function of the honest inputs. An online
+//! [`ServiceMonitor`] checks agreement + box validity over the honest
+//! inputs during both TCP phases, and the campaign asserts the attack-run
+//! decisions are **bit-identical** to the baseline. The honest-path
+//! slowdown (wall clock, p50/p99 submit→decide latency) and the per-gate ×
+//! per-sender rejection attribution land in `BENCH_byzantine.json`.
+
+use std::collections::BTreeMap;
+use std::net::{SocketAddr, TcpListener};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::Rng;
+use rbvc_core::verified_avg::{DeltaMode, VerifiedAveraging};
+use rbvc_linalg::{Norm, Tol, VecD};
+use rbvc_sim::monitor::{box_validity, epsilon_agreement, SafetyMonitor, ServiceMonitor};
+use rbvc_transport::byzantine::{AttackPolicy, AttackRegistry, AttackStats, ByzantineEndpoint};
+use rbvc_transport::service::{ConsensusService, InstanceProto};
+use rbvc_transport::tcp::TcpEndpoint;
+use rbvc_transport::transport::in_proc_mesh;
+
+use crate::experiments::service::percentile;
+use crate::workloads::{max_edge, rng};
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct ByzantineConfig {
+    /// Mesh size (the paper regime `n > 3f` with room to spare: 7 > 6).
+    pub n: usize,
+    /// Byzantine nodes per run.
+    pub f: usize,
+    /// Vector dimension.
+    pub d: usize,
+    /// Concurrent VA instances per run (ids `1..=instances`).
+    pub instances: usize,
+    /// Averaging rounds per VA instance.
+    pub va_rounds: usize,
+    /// Seeded runs (each picks its own Byzantine set and attack mix).
+    pub runs: usize,
+    /// Campaign seed.
+    pub seed: u64,
+    /// Receive-wait per service poll.
+    pub poll_timeout: Duration,
+    /// Sweep budget per mesh phase before the run is declared stuck.
+    pub max_sweeps: usize,
+}
+
+impl ByzantineConfig {
+    /// The full campaign profile: 7 nodes, `f = 2`, two instances.
+    #[must_use]
+    pub fn full(runs: usize, seed: u64) -> Self {
+        ByzantineConfig {
+            n: 7,
+            f: 2,
+            d: 2,
+            instances: 2,
+            va_rounds: 3,
+            runs,
+            seed,
+            poll_timeout: Duration::from_millis(1),
+            max_sweeps: 40_000,
+        }
+    }
+
+    /// CI-sized profile — still 7 nodes and `f = 2` (shrinking the mesh
+    /// would change the Byzantine regime, which is the whole point), but
+    /// one instance, fewer rounds, fewer runs.
+    #[must_use]
+    pub fn smoke(seed: u64) -> Self {
+        ByzantineConfig {
+            n: 7,
+            f: 2,
+            d: 2,
+            instances: 1,
+            va_rounds: 2,
+            runs: default_runs(true),
+            seed,
+            poll_timeout: Duration::from_millis(1),
+            max_sweeps: 40_000,
+        }
+    }
+}
+
+/// Default run counts: 8 for `--smoke` (one run per registry mix, so CI
+/// exercises every attack), 50 for the full campaign (the acceptance
+/// floor).
+#[must_use]
+pub fn default_runs(smoke: bool) -> usize {
+    if smoke {
+        8
+    } else {
+        50
+    }
+}
+
+/// Per-attack aggregation across the campaign's runs.
+#[derive(Debug, Clone)]
+pub struct AttackReport {
+    /// Registry name of the mix.
+    pub attack: String,
+    /// Runs that cycled onto this mix.
+    pub runs: usize,
+    /// Honest wall-clock seconds, summed over this mix's clean references.
+    pub clean_secs: f64,
+    /// Honest wall-clock seconds, summed over this mix's attack runs.
+    pub attack_secs: f64,
+    /// Honest-path slowdown: attack wall over clean wall (1.0 = free).
+    pub slowdown: f64,
+    /// Median honest submit→decide latency, clean reference, ms.
+    pub clean_p50_ms: f64,
+    /// 99th-percentile honest submit→decide latency, clean reference, ms.
+    pub clean_p99_ms: f64,
+    /// Median honest submit→decide latency under attack, ms.
+    pub attack_p50_ms: f64,
+    /// 99th-percentile honest submit→decide latency under attack, ms.
+    pub attack_p99_ms: f64,
+    /// Gate rejections at honest nodes attributed to Byzantine senders,
+    /// `[decode, auth, instance, kind]`.
+    pub gates_from_byz: [u64; 4],
+    /// Gate rejections attributed to honest senders (must stay 0 — honest
+    /// traffic never trips a gate).
+    pub gates_from_honest: [u64; 4],
+    /// What the attackers did (summed endpoint stats).
+    pub stats: AttackStats,
+    /// Stale HELLO replays refused by the transport guard.
+    pub stale_hellos: u64,
+}
+
+/// Campaign outcome.
+#[derive(Debug, Clone)]
+pub struct ByzantineOutcome {
+    /// Runs executed.
+    pub runs: usize,
+    /// Byzantine nodes per run.
+    pub f: usize,
+    /// Runs whose three phases all converged.
+    pub converged_runs: usize,
+    /// Runs whose attack-run honest decisions matched the in-proc baseline
+    /// bit for bit (and the clean TCP reference too).
+    pub identical_runs: usize,
+    /// Online safety-monitor violations across every phase (must be 0).
+    pub monitor_violations: usize,
+    /// Gate rejections attributed to honest senders across the campaign
+    /// (must be 0).
+    pub honest_attributed_rejections: u64,
+    /// Per-attack aggregation, in registry order.
+    pub reports: Vec<AttackReport>,
+    /// Campaign wall clock, seconds.
+    pub wall_secs: f64,
+}
+
+impl ByzantineOutcome {
+    /// The campaign's pass verdict: everything converged, every honest
+    /// decision matched the oracle, no monitor violation, and every gate
+    /// rejection attributed to an attacker.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.converged_runs == self.runs
+            && self.identical_runs == self.runs
+            && self.monitor_violations == 0
+            && self.honest_attributed_rejections == 0
+    }
+}
+
+/// One run's raw facts.
+struct RunFacts {
+    attack: &'static str,
+    converged: bool,
+    identical: bool,
+    violations: usize,
+    clean_secs: f64,
+    attack_secs: f64,
+    clean_latencies: Vec<f64>,
+    attack_latencies: Vec<f64>,
+    gates_from_byz: [u64; 4],
+    gates_from_honest: [u64; 4],
+    stats: AttackStats,
+    stale_hellos: u64,
+}
+
+fn va_instance(
+    cfg: &ByzantineConfig,
+    id: usize,
+    input: &VecD,
+) -> InstanceProto {
+    InstanceProto::Va(VerifiedAveraging::new(
+        id,
+        cfg.n,
+        cfg.f,
+        input.clone(),
+        DeltaMode::MinDelta(Norm::L2),
+        cfg.va_rounds,
+        Tol::default(),
+    ))
+}
+
+/// Stand up a TCP mesh on pre-bound loopback addresses, returning the
+/// addresses so the attack registry's raw-socket attacks know where the
+/// listeners live.
+fn stable_tcp_mesh(n: usize) -> (Vec<TcpEndpoint>, Vec<SocketAddr>) {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback"))
+        .collect();
+    let addrs: Vec<SocketAddr> =
+        listeners.iter().map(|l| l.local_addr().expect("local addr")).collect();
+    let handles: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(id, listener)| {
+            let addrs = addrs.clone();
+            thread::spawn(move || TcpEndpoint::connect(id, listener, &addrs))
+        })
+        .collect();
+    let mesh = handles
+        .into_iter()
+        .map(|h| h.join().expect("no panic").expect("tcp connect"))
+        .collect();
+    (mesh, addrs)
+}
+
+/// The honest-only in-process baseline: the decision oracle. Byzantine
+/// slots exist as endpoints (so sends to them don't error) but run no
+/// service and stay silent.
+fn baseline_decisions(
+    cfg: &ByzantineConfig,
+    inputs: &[Vec<VecD>],
+    byz: &[usize],
+) -> Option<Vec<BTreeMap<u64, VecD>>> {
+    let mut endpoints = in_proc_mesh(cfg.n);
+    let mut idle = Vec::new();
+    let mut services: Vec<(usize, ConsensusService<_>)> = Vec::new();
+    for i in (0..cfg.n).rev() {
+        let ep = endpoints.pop().expect("mesh endpoint");
+        if byz.contains(&i) {
+            idle.push(ep);
+        } else {
+            let mut svc = ConsensusService::new(ep);
+            for (j, per_node) in inputs.iter().enumerate() {
+                svc.add_instance(j as u64 + 1, va_instance(cfg, i, &per_node[i]))
+                    .expect("unique instance ids");
+            }
+            svc.start().expect("start baseline service");
+            services.push((i, svc));
+        }
+    }
+    services.sort_by_key(|(i, _)| *i);
+    for _ in 0..cfg.max_sweeps {
+        if services.iter().all(|(_, s)| s.all_decided()) {
+            let mut out = vec![BTreeMap::new(); cfg.n];
+            for (i, svc) in &services {
+                out[*i] = (1..=cfg.instances as u64)
+                    .filter_map(|k| svc.decision(k).map(|v| (k, v)))
+                    .collect();
+            }
+            drop(idle);
+            return Some(out);
+        }
+        for (_, svc) in &mut services {
+            let _ = svc.poll(cfg.poll_timeout);
+        }
+    }
+    None
+}
+
+/// One TCP mesh phase. `attack`: `Some(mix)` starts the Byzantine nodes'
+/// services behind attacking endpoints; `None` is the clean reference —
+/// the Byzantine slots stay idle so the honest trajectory matches the
+/// baseline exactly.
+struct MeshRun {
+    converged: bool,
+    wall_secs: f64,
+    latencies_ms: Vec<f64>,
+    decisions: Vec<BTreeMap<u64, VecD>>,
+    gates_by_sender: Vec<[u64; 4]>,
+    stats: AttackStats,
+}
+
+fn run_tcp_mesh(
+    cfg: &ByzantineConfig,
+    inputs: &[Vec<VecD>],
+    byz: &[usize],
+    attack: Option<&str>,
+    run_seed: u64,
+    monitor: &mut ServiceMonitor<Vec<f64>>,
+) -> MeshRun {
+    let (endpoints, addrs) = stable_tcp_mesh(cfg.n);
+    let mut active = vec![false; cfg.n];
+    let mut services: Vec<ConsensusService<ByzantineEndpoint<TcpEndpoint>>> = endpoints
+        .into_iter()
+        .enumerate()
+        .map(|(i, ep)| {
+            let is_byz = byz.contains(&i);
+            let policy = match (is_byz, attack) {
+                (true, Some(mix)) => AttackRegistry::policy(
+                    mix,
+                    run_seed ^ (i as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                ),
+                _ => AttackPolicy::honest(),
+            };
+            let wrapped = ByzantineEndpoint::new(ep, policy).with_wire_targets(&addrs);
+            let mut svc = ConsensusService::new(wrapped);
+            for (j, per_node) in inputs.iter().enumerate() {
+                svc.add_instance(j as u64 + 1, va_instance(cfg, i, &per_node[i]))
+                    .expect("unique instance ids");
+            }
+            active[i] = !is_byz || attack.is_some();
+            svc
+        })
+        .collect();
+    for (i, svc) in services.iter_mut().enumerate() {
+        if active[i] {
+            svc.start().expect("start service");
+        }
+    }
+
+    // Single-thread round-robin sweep: deterministic scheduling, and the
+    // Byzantine services get polled (driving their injections) without a
+    // thread ever spinning on a node that may never decide. Termination is
+    // *honest* convergence only.
+    let start = Instant::now();
+    let mut latencies_ms = Vec::new();
+    let mut sweeps = 0usize;
+    let converged = loop {
+        let mut honest_done = true;
+        for i in 0..cfg.n {
+            if !active[i] {
+                continue;
+            }
+            let is_byz = byz.contains(&i);
+            for ev in services[i].poll(cfg.poll_timeout) {
+                if !is_byz {
+                    monitor.observe(ev.instance, i, &ev.value.as_slice().to_vec());
+                    latencies_ms.push(ev.latency.as_secs_f64() * 1e3);
+                }
+            }
+            if !is_byz {
+                honest_done &= services[i].all_decided();
+            }
+        }
+        if honest_done {
+            break true;
+        }
+        sweeps += 1;
+        if sweeps >= cfg.max_sweeps {
+            break false;
+        }
+    };
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let mut gates_by_sender = vec![[0u64; 4]; cfg.n];
+    let mut decisions = vec![BTreeMap::new(); cfg.n];
+    let mut stats = AttackStats::default();
+    for (i, svc) in services.iter().enumerate() {
+        if byz.contains(&i) {
+            stats += svc.transport().stats();
+            continue;
+        }
+        for (sender, per_gate) in svc.gate_rejections_by_sender().iter().enumerate() {
+            for g in 0..4 {
+                gates_by_sender[sender][g] += per_gate[g];
+            }
+        }
+        decisions[i] = (1..=cfg.instances as u64)
+            .filter_map(|k| svc.decision(k).map(|v| (k, v)))
+            .collect();
+    }
+    latencies_ms.sort_by(f64::total_cmp);
+    MeshRun {
+        converged,
+        wall_secs,
+        latencies_ms,
+        decisions,
+        gates_by_sender,
+        stats,
+    }
+}
+
+/// One seeded run: baseline, clean reference, attack — then the verdicts.
+fn one_run(cfg: &ByzantineConfig, run: usize) -> RunFacts {
+    let run_seed = cfg.seed.wrapping_add(run as u64 * 7919);
+    let mut rand = rng(run_seed);
+    let attack = AttackRegistry::NAMES[run % AttackRegistry::NAMES.len()];
+
+    // Per-instance, per-node seeded inputs.
+    let inputs: Vec<Vec<VecD>> = (0..cfg.instances)
+        .map(|_| {
+            (0..cfg.n)
+                .map(|_| {
+                    VecD::from_slice(
+                        &(0..cfg.d).map(|_| rand.gen_range(-8.0..8.0)).collect::<Vec<f64>>(),
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    // Sample the f Byzantine nodes.
+    let mut byz: Vec<usize> = Vec::new();
+    while byz.len() < cfg.f {
+        let c = rand.gen_range(0..cfg.n);
+        if !byz.contains(&c) {
+            byz.push(c);
+        }
+    }
+    byz.sort_unstable();
+
+    // Safety envelope over the *honest* inputs: agreement plus box
+    // validity with the paper's δ* ≤ max-pairwise-distance slack.
+    let honest_inputs: Vec<Vec<VecD>> = inputs
+        .iter()
+        .map(|per_node| {
+            (0..cfg.n).filter(|i| !byz.contains(i)).map(|i| per_node[i].clone()).collect()
+        })
+        .collect();
+    let mk_monitor = || {
+        let honest_inputs = honest_inputs.clone();
+        let n = cfg.n;
+        ServiceMonitor::new(move |inst| {
+            let points = &honest_inputs[inst as usize - 1];
+            let flat: Vec<Vec<f64>> = points.iter().map(|v| v.as_slice().to_vec()).collect();
+            SafetyMonitor::new(n, epsilon_agreement(1e-9), box_validity(&flat, max_edge(points)))
+        })
+    };
+
+    let stale_before =
+        rbvc_obs::Registry::global().counter("tcp.hello.stale_rejected_total").get();
+
+    let baseline = baseline_decisions(cfg, &inputs, &byz);
+    let mut clean_monitor = mk_monitor();
+    let clean = run_tcp_mesh(cfg, &inputs, &byz, None, run_seed, &mut clean_monitor);
+    let mut attack_monitor = mk_monitor();
+    let attacked = run_tcp_mesh(cfg, &inputs, &byz, Some(attack), run_seed, &mut attack_monitor);
+
+    let stale_hellos = rbvc_obs::Registry::global()
+        .counter("tcp.hello.stale_rejected_total")
+        .get()
+        .saturating_sub(stale_before);
+
+    let converged = baseline.is_some() && clean.converged && attacked.converged;
+    let identical = match &baseline {
+        Some(oracle) => {
+            converged && clean.decisions == *oracle && attacked.decisions == *oracle
+        }
+        None => false,
+    };
+
+    let mut gates_from_byz = [0u64; 4];
+    let mut gates_from_honest = [0u64; 4];
+    for (sender, per_gate) in attacked.gates_by_sender.iter().enumerate() {
+        let bucket = if byz.contains(&sender) {
+            &mut gates_from_byz
+        } else {
+            &mut gates_from_honest
+        };
+        for g in 0..4 {
+            bucket[g] += per_gate[g];
+        }
+    }
+    // The clean reference must not reject anything at all.
+    for per_gate in &clean.gates_by_sender {
+        for g in 0..4 {
+            gates_from_honest[g] += per_gate[g];
+        }
+    }
+
+    RunFacts {
+        attack,
+        converged,
+        identical,
+        violations: clean_monitor.violation_count() + attack_monitor.violation_count(),
+        clean_secs: clean.wall_secs,
+        attack_secs: attacked.wall_secs,
+        clean_latencies: clean.latencies_ms,
+        attack_latencies: attacked.latencies_ms,
+        gates_from_byz,
+        gates_from_honest,
+        stats: attacked.stats,
+        stale_hellos,
+    }
+}
+
+/// Run the campaign and publish the per-attack honest-path slowdown into
+/// the global metrics registry
+/// (`exp.byzantine.slowdown_permille{attack=...}` plus per-attack gate
+/// rejection counters) so a live `/metrics` endpoint can surface it.
+#[must_use]
+pub fn run_campaign(cfg: &ByzantineConfig) -> ByzantineOutcome {
+    struct Accum {
+        runs: usize,
+        clean_secs: f64,
+        attack_secs: f64,
+        clean_lat: Vec<f64>,
+        attack_lat: Vec<f64>,
+        gates_from_byz: [u64; 4],
+        gates_from_honest: [u64; 4],
+        stats: AttackStats,
+        stale_hellos: u64,
+    }
+    let started = Instant::now();
+    let mut by_attack: BTreeMap<&'static str, Accum> = BTreeMap::new();
+    let mut converged_runs = 0;
+    let mut identical_runs = 0;
+    let mut monitor_violations = 0;
+    let mut honest_attributed: u64 = 0;
+
+    for run in 0..cfg.runs {
+        let facts = one_run(cfg, run);
+        if facts.converged {
+            converged_runs += 1;
+        }
+        if facts.identical {
+            identical_runs += 1;
+        }
+        monitor_violations += facts.violations;
+        honest_attributed += facts.gates_from_honest.iter().sum::<u64>();
+        if !facts.converged || !facts.identical || facts.violations > 0 {
+            eprintln!(
+                "E20 run {run} [{}]: converged={} identical={} violations={}",
+                facts.attack, facts.converged, facts.identical, facts.violations
+            );
+        }
+        let acc = by_attack.entry(facts.attack).or_insert_with(|| Accum {
+            runs: 0,
+            clean_secs: 0.0,
+            attack_secs: 0.0,
+            clean_lat: Vec::new(),
+            attack_lat: Vec::new(),
+            gates_from_byz: [0; 4],
+            gates_from_honest: [0; 4],
+            stats: AttackStats::default(),
+            stale_hellos: 0,
+        });
+        acc.runs += 1;
+        acc.clean_secs += facts.clean_secs;
+        acc.attack_secs += facts.attack_secs;
+        acc.clean_lat.extend(facts.clean_latencies);
+        acc.attack_lat.extend(facts.attack_latencies);
+        for g in 0..4 {
+            acc.gates_from_byz[g] += facts.gates_from_byz[g];
+            acc.gates_from_honest[g] += facts.gates_from_honest[g];
+        }
+        acc.stats += facts.stats;
+        acc.stale_hellos += facts.stale_hellos;
+    }
+
+    let mut reports = Vec::new();
+    for name in AttackRegistry::NAMES {
+        let Some(mut acc) = by_attack.remove(name) else {
+            continue;
+        };
+        acc.clean_lat.sort_by(f64::total_cmp);
+        acc.attack_lat.sort_by(f64::total_cmp);
+        let slowdown = if acc.clean_secs > 0.0 { acc.attack_secs / acc.clean_secs } else { f64::NAN };
+        let report = AttackReport {
+            attack: name.to_string(),
+            runs: acc.runs,
+            clean_secs: acc.clean_secs,
+            attack_secs: acc.attack_secs,
+            slowdown,
+            clean_p50_ms: percentile(&acc.clean_lat, 50.0),
+            clean_p99_ms: percentile(&acc.clean_lat, 99.0),
+            attack_p50_ms: percentile(&acc.attack_lat, 50.0),
+            attack_p99_ms: percentile(&acc.attack_lat, 99.0),
+            gates_from_byz: acc.gates_from_byz,
+            gates_from_honest: acc.gates_from_honest,
+            stats: acc.stats,
+            stale_hellos: acc.stale_hellos,
+        };
+        publish_metrics(&report);
+        reports.push(report);
+    }
+
+    ByzantineOutcome {
+        runs: cfg.runs,
+        f: cfg.f,
+        converged_runs,
+        identical_runs,
+        monitor_violations,
+        honest_attributed_rejections: honest_attributed,
+        reports,
+        wall_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+/// Publish one attack's aggregates into the global registry for the live
+/// `/metrics` endpoint (`exp_service --metrics` plumbing, reused by
+/// `exp_byzantine`).
+fn publish_metrics(report: &AttackReport) {
+    let reg = rbvc_obs::Registry::global();
+    let labels = [("attack", report.attack.as_str())];
+    if report.slowdown.is_finite() {
+        reg.gauge_with("exp.byzantine.slowdown_permille", &labels)
+            .set((report.slowdown * 1000.0) as i64);
+    }
+    reg.gauge_with("exp.byzantine.attack_p99_us", &labels)
+        .set((report.attack_p99_ms * 1000.0) as i64);
+    reg.counter_with("exp.byzantine.gate_rejects", &[("attack", report.attack.as_str()), ("origin", "byzantine")])
+        .add(report.gates_from_byz.iter().sum());
+    reg.counter_with("exp.byzantine.gate_rejects", &[("attack", report.attack.as_str()), ("origin", "honest")])
+        .add(report.gates_from_honest.iter().sum());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A two-run micro-campaign (equivocate + lying-witness) through the
+    /// full three-phase machinery: zero violations, bit-identical honest
+    /// decisions, and every rejection attributed to an attacker.
+    #[test]
+    fn micro_campaign_is_clean_and_attributes_rejections() {
+        let mut cfg = ByzantineConfig::smoke(42);
+        cfg.runs = 2;
+        let out = run_campaign(&cfg);
+        assert_eq!(out.converged_runs, 2, "both runs must converge");
+        assert_eq!(out.identical_runs, 2, "honest decisions must match the oracle");
+        assert_eq!(out.monitor_violations, 0);
+        assert_eq!(out.honest_attributed_rejections, 0);
+        assert!(out.clean());
+        assert_eq!(out.reports.len(), 2);
+        for r in &out.reports {
+            assert!(r.stats.frames_mutated + r.stats.frames_dropped > 0, "{} attacked", r.attack);
+        }
+    }
+}

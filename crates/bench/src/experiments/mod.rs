@@ -12,9 +12,11 @@
 //! | [`chaos`] | E16 | unreliable-network campaign (robustness, not a paper artifact) |
 //! | [`service`] | E17 | multi-instance service load generation over real sockets (systems artifact) |
 //! | [`recovery`] | E18 | kill/restart crash-recovery campaign with WAL corruption injection (systems artifact) |
+//! | [`byzantine`] | E20 | live Byzantine adversaries over real TCP (robustness, systems artifact) |
 
 pub mod asynchrony;
 pub mod broadcast_ablation;
+pub mod byzantine;
 pub mod chaos;
 pub mod conjecture_hunt;
 pub mod counterex;

@@ -12,6 +12,13 @@
 //!   generator, optionally also mutating what an honest node would have
 //!   sent. Randomized behaviour explores corner cases the structured
 //!   strategies miss; safety must hold for every seed.
+//!
+//! These adversaries live *inside* the simulator, above message encoding.
+//! Their wire-level counterparts — the same taxonomy applied to encoded
+//! bytes on real TCP sockets (per-recipient equivocation, lying witnesses,
+//! crafted near-valid frames, handshake replays) — are the
+//! `rbvc-transport` crate's `byzantine` attack registry, driven by the E20
+//! `exp_byzantine` campaign.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

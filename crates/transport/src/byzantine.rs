@@ -1,0 +1,844 @@
+//! Live Byzantine adversaries on the real wire.
+//!
+//! [`ByzantineEndpoint`] wraps any [`Transport`] (in practice a
+//! [`crate::tcp::TcpEndpoint`]) and implements the trait by delegating to
+//! it — while mutating, dropping, and injecting traffic according to a
+//! seeded [`AttackPolicy`]. The sim-layer adversaries (the equivocation /
+//! crash / mute closures of `rbvc_sim` and the fuzz sprays of its chaos
+//! campaign) are ported here into a composable **attack registry** of wire
+//! attacks that cross the real codec, HELLO authentication, receive gates,
+//! and reconnection machinery:
+//!
+//! * **per-recipient equivocation** — the node's own broadcast `Init`
+//!   states get a different (still well-formed, still finite) vector per
+//!   destination in the same round;
+//! * **lying witnesses** — relayed `Echo`/`Ready` votes for *other*
+//!   processes' states are re-encoded with mutated vector values that
+//!   still decode;
+//! * **selective mutism** — per-peer / per-round silence over relayed
+//!   traffic, plus full suppression of the node's own states;
+//! * **garbage / gate sprays** — crafted near-valid payloads from the
+//!   [`PayloadCrafter`] target the codec's guards, and forged headers
+//!   target each of the service's four receive gates;
+//! * **stale HELLO replays** and **re-dial storms** — raw socket
+//!   connections against the peers' listeners replay old handshakes and
+//!   churn link generations mid-run.
+//!
+//! ## Why every attack policy equivocates or mutes its own states
+//!
+//! Honest-node determinism (the E20 bit-identity oracle) rests on the
+//! Byzantine nodes' own broadcast states never reaching Bracha delivery at
+//! any honest node: with `n = 7, f = 2` the reliable broadcast needs
+//! `⌈(n+f+1)/2⌉ = 5` matching echoes, so a state sent *identically* to
+//! even a subset of honest peers could be delivered by some honest nodes
+//! and not others, making the verified-set order (and hence the decision
+//! timing, though not its value) run-dependent. [`OwnOrigin`] therefore
+//! has no passthrough variant: an active adversary either equivocates
+//! (every destination sees a *different* value — at most one echo vote per
+//! value, delivery impossible) or stays mute. Honest nodes then advance on
+//! exactly the `n - f` honest states, and their decisions are a pure
+//! function of the honest inputs — comparable bit-for-bit against a clean
+//! honest-only baseline.
+//!
+//! Degrade-don't-panic: the wrapper never unwraps socket results — a
+//! failed injection or refused raw dial is just an attack that missed.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use rbvc_core::verified_avg::RoundState;
+use rbvc_linalg::VecD;
+use rbvc_sim::bracha::BrachaMsg;
+use rbvc_sim::config::ProcessId;
+use rbvc_sim::error::{ErrorLog, ProtocolError};
+
+use crate::tcp::hello_with_timestamp;
+use crate::transport::Transport;
+use crate::wire::{decode_frame, encode_frame, Frame, Payload};
+
+/// Splitmix64: a tiny, dependency-free, seedable PRNG. The transport crate
+/// deliberately has no `rand` dependency; attack decisions only need cheap
+/// deterministic noise, not statistical quality.
+#[derive(Clone, Debug)]
+struct AttackRng(u64);
+
+impl AttackRng {
+    fn new(seed: u64) -> Self {
+        AttackRng(seed ^ 0x9e37_79b9_7f4a_7c15)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform-ish draw in `0..bound` (`0` when `bound == 0`).
+    fn below(&mut self, bound: usize) -> usize {
+        if bound == 0 {
+            return 0;
+        }
+        (self.next_u64() % bound as u64) as usize
+    }
+}
+
+/// Crafts near-valid wire payloads that target [`crate::wire::decode_frame`]'s
+/// guards: each generator starts from a *valid* encoded frame and then
+/// violates exactly one structural invariant, so the bytes exercise the
+/// deepest rejection path instead of dying at the magic check. Seeded and
+/// deterministic — the fuzz corpus in `tests/wire_codec.rs` and the E20
+/// garbage sprays share these generators.
+#[derive(Clone, Debug)]
+pub struct PayloadCrafter {
+    rng: AttackRng,
+    sender: ProcessId,
+    counter: u64,
+}
+
+impl PayloadCrafter {
+    /// A crafter whose frames claim protocol sender `sender`.
+    #[must_use]
+    pub fn new(seed: u64, sender: ProcessId) -> Self {
+        PayloadCrafter {
+            rng: AttackRng::new(seed.wrapping_mul(0xc0ff_ee11)),
+            sender,
+            counter: 0,
+        }
+    }
+
+    /// A small, fully valid VA `Init` frame — the base every malformed
+    /// variant is derived from. Round-trips through the codec.
+    #[must_use]
+    pub fn valid_base(&mut self) -> Vec<u8> {
+        let dim = 1 + self.rng.below(3);
+        let xs: Vec<f64> = (0..dim)
+            .map(|_| (self.rng.next_u64() % 2_000) as f64 / 10.0 - 100.0)
+            .collect();
+        encode_frame(&Frame {
+            instance: self.rng.next_u64() % 8,
+            sender: self.sender,
+            round: (self.rng.next_u64() % 4) as u32,
+            payload: Payload::Va((
+                (self.sender, 0),
+                BrachaMsg::Init(RoundState {
+                    value: VecD::from_slice(&xs),
+                    witness: vec![],
+                }),
+            )),
+        })
+    }
+
+    /// A valid frame cut at a random interior byte — every strict prefix
+    /// must be rejected as truncated.
+    #[must_use]
+    pub fn truncated(&mut self) -> Vec<u8> {
+        let base = self.valid_base();
+        let cut = 1 + self.rng.below(base.len() - 1);
+        base[..cut].to_vec()
+    }
+
+    /// A valid frame whose vector-dimension length field is forged to a
+    /// huge count the remaining bytes cannot possibly back — must be
+    /// rejected by the allocation guard *before* any allocation.
+    #[must_use]
+    pub fn oversized_length(&mut self) -> Vec<u8> {
+        let mut base = self.valid_base();
+        // Va layout: 20-byte header, origin u32, tag-round u32, bkind u8,
+        // then the vector dim u32 at offset 29.
+        let forged = u32::MAX - self.rng.below(1 << 16) as u32;
+        base[29..33].copy_from_slice(&forged.to_le_bytes());
+        base
+    }
+
+    /// A well-formed 20-byte header followed by random garbage where the
+    /// payload should be.
+    #[must_use]
+    pub fn header_then_garbage(&mut self) -> Vec<u8> {
+        let mut base = self.valid_base();
+        base.truncate(20);
+        let tail = 1 + self.rng.below(48);
+        for _ in 0..tail {
+            base.push((self.rng.next_u64() & 0xFF) as u8);
+        }
+        base
+    }
+
+    /// A valid frame with its magic bytes corrupted.
+    #[must_use]
+    pub fn bad_magic(&mut self) -> Vec<u8> {
+        let mut base = self.valid_base();
+        base[0] ^= 0xFF;
+        base
+    }
+
+    /// A valid frame with trailing garbage appended — a frame is exactly
+    /// one message, so this must be rejected.
+    #[must_use]
+    pub fn trailing_garbage(&mut self) -> Vec<u8> {
+        let mut base = self.valid_base();
+        let tail = 1 + self.rng.below(16);
+        for _ in 0..tail {
+            base.push((self.rng.next_u64() & 0xFF) as u8);
+        }
+        base
+    }
+
+    /// The next payload of the rotating corpus (cycles through every
+    /// malformed variant; never returns a fully valid frame).
+    #[must_use]
+    pub fn next_crafted(&mut self) -> Vec<u8> {
+        self.counter += 1;
+        match self.counter % 5 {
+            0 => self.truncated(),
+            1 => self.oversized_length(),
+            2 => self.header_then_garbage(),
+            3 => self.bad_magic(),
+            _ => self.trailing_garbage(),
+        }
+    }
+}
+
+/// How an active adversary treats frames whose broadcast origin is itself.
+///
+/// Deliberately has **no passthrough variant**: see the module docs — a
+/// Byzantine node's own states must never be Bracha-delivered at honest
+/// nodes, or honest progress stops being a pure function of honest inputs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OwnOrigin {
+    /// Send a *different* (still decodable, still finite) value to every
+    /// destination — classic equivocation. No value can collect more than
+    /// one echo vote, so delivery thresholds are unreachable.
+    Equivocate,
+    /// Send nothing of its own — a crash/mute hybrid.
+    Mute,
+}
+
+/// Per-peer / per-round silence pattern applied to *relayed* traffic.
+#[derive(Clone, Copy, Debug)]
+pub struct MuteSpec {
+    /// Drop a frame to `dst` in round `r` when `(dst + r) % modulus == phase`.
+    pub modulus: usize,
+    /// Phase of the silence stripe.
+    pub phase: usize,
+}
+
+impl MuteSpec {
+    fn drops(&self, dst: ProcessId, round: u32) -> bool {
+        let m = self.modulus.max(1);
+        (dst + round as usize) % m == self.phase % m
+    }
+}
+
+/// One seeded, composable wire-attack mix. Build named mixes through
+/// [`AttackRegistry::policy`], or the honest wrapper through
+/// [`AttackPolicy::honest`].
+#[derive(Clone, Debug)]
+pub struct AttackPolicy {
+    /// Registry name of this mix (`"honest"` for the passthrough wrapper).
+    pub name: &'static str,
+    /// Seed for every randomized decision this policy makes.
+    pub seed: u64,
+    /// `false`: the endpoint is a pure passthrough (honest node wrapped for
+    /// type uniformity); every other knob is ignored.
+    pub active: bool,
+    /// Treatment of the node's own broadcast states (mandatory when active).
+    pub own_origin: OwnOrigin,
+    /// Mutate relayed `Echo`/`Ready` votes for other processes' states.
+    pub lying_witness: bool,
+    /// Silence stripe over relayed traffic (`None`: relay everything).
+    pub mute_relays: Option<MuteSpec>,
+    /// Crafted near-valid payloads injected per flush (decode-gate sprays).
+    pub garbage_per_flush: usize,
+    /// Forged-header frames injected per flush, cycling the auth /
+    /// instance / kind gates.
+    pub gate_spray_per_flush: usize,
+    /// Instance ids the kind-gate spray claims (must be registered at the
+    /// victims as VA instances for the spray to reach the kind gate).
+    pub spray_instances: Vec<u64>,
+    /// Fire a stale HELLO replay against every peer listener each time the
+    /// flush counter hits a multiple of this (`0`: off).
+    pub hello_replay_every: u64,
+    /// Fire a fresh-HELLO connect-then-drop storm (generation churn against
+    /// the reconnection machinery) on this flush stride (`0`: off).
+    pub redial_storm_every: u64,
+}
+
+impl AttackPolicy {
+    /// The passthrough policy: wraps an honest node so a mixed mesh can be
+    /// one uniform endpoint type. [`ByzantineEndpoint::send`] takes an
+    /// early exit under it — no decode, no re-encode, no overhead beyond
+    /// one branch.
+    #[must_use]
+    pub fn honest() -> Self {
+        AttackPolicy {
+            name: "honest",
+            seed: 0,
+            active: false,
+            own_origin: OwnOrigin::Equivocate,
+            lying_witness: false,
+            mute_relays: None,
+            garbage_per_flush: 0,
+            gate_spray_per_flush: 0,
+            spray_instances: Vec::new(),
+            hello_replay_every: 0,
+            redial_storm_every: 0,
+        }
+    }
+
+    fn is_passthrough(&self) -> bool {
+        !self.active
+    }
+}
+
+/// The attack registry: named, seeded, composable wire-attack mixes —
+/// the sim-layer adversaries ported to the real wire.
+pub struct AttackRegistry;
+
+impl AttackRegistry {
+    /// Every registered attack mix, in campaign cycling order.
+    pub const NAMES: [&'static str; 8] = [
+        "equivocate",
+        "lying-witness",
+        "mute",
+        "garbage",
+        "gate-spray",
+        "hello-replay",
+        "redial-storm",
+        "combined",
+    ];
+
+    /// Build the named attack mix with the given seed.
+    ///
+    /// Every mix keeps the own-origin invariant (equivocate or mute — see
+    /// the module docs); the name selects which *additional* misbehaviour
+    /// rides along.
+    ///
+    /// # Panics
+    /// On a name not in [`AttackRegistry::NAMES`] — a harness bug, not
+    /// remote input.
+    #[must_use]
+    pub fn policy(name: &str, seed: u64) -> AttackPolicy {
+        let canonical = Self::NAMES
+            .iter()
+            .find(|&&n| n == name)
+            .unwrap_or_else(|| panic!("unknown attack {name:?} (registry: {:?})", Self::NAMES));
+        let mut p = AttackPolicy {
+            name: canonical,
+            seed,
+            active: true,
+            own_origin: OwnOrigin::Equivocate,
+            lying_witness: false,
+            mute_relays: None,
+            garbage_per_flush: 0,
+            gate_spray_per_flush: 0,
+            spray_instances: vec![1],
+            hello_replay_every: 0,
+            redial_storm_every: 0,
+        };
+        match *canonical {
+            "equivocate" => {}
+            "lying-witness" => p.lying_witness = true,
+            "mute" => {
+                p.own_origin = OwnOrigin::Mute;
+                p.mute_relays = Some(MuteSpec {
+                    modulus: 3,
+                    phase: (seed % 3) as usize,
+                });
+            }
+            "garbage" => p.garbage_per_flush = 2,
+            "gate-spray" => p.gate_spray_per_flush = 3,
+            "hello-replay" => p.hello_replay_every = 8,
+            "redial-storm" => p.redial_storm_every = 16,
+            "combined" => {
+                p.lying_witness = true;
+                p.mute_relays = Some(MuteSpec {
+                    modulus: 4,
+                    phase: (seed % 4) as usize,
+                });
+                p.garbage_per_flush = 1;
+                p.gate_spray_per_flush = 2;
+                p.hello_replay_every = 16;
+                p.redial_storm_every = 32;
+            }
+            _ => unreachable!("matched against NAMES"),
+        }
+        p
+    }
+}
+
+/// Everything a [`ByzantineEndpoint`] did to the traffic, for attribution
+/// in the E20 report.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AttackStats {
+    /// Outbound protocol frames re-encoded with mutated vector values
+    /// (equivocation + lying witnesses).
+    pub frames_mutated: u64,
+    /// Outbound protocol frames silently dropped (mutism).
+    pub frames_dropped: u64,
+    /// Crafted near-valid payloads injected at flush time.
+    pub garbage_injected: u64,
+    /// Forged-header frames injected against the receive gates.
+    pub gate_sprays: u64,
+    /// Stale HELLO replays fired against peer listeners.
+    pub hello_replays: u64,
+    /// Fresh-HELLO connect-then-drop storms fired.
+    pub redial_storms: u64,
+}
+
+impl std::ops::AddAssign for AttackStats {
+    fn add_assign(&mut self, rhs: AttackStats) {
+        self.frames_mutated += rhs.frames_mutated;
+        self.frames_dropped += rhs.frames_dropped;
+        self.garbage_injected += rhs.garbage_injected;
+        self.gate_sprays += rhs.gate_sprays;
+        self.hello_replays += rhs.hello_replays;
+        self.redial_storms += rhs.redial_storms;
+    }
+}
+
+/// A [`Transport`] that delegates to an inner endpoint while attacking the
+/// traffic per an [`AttackPolicy`]. Wrap honest nodes with
+/// [`AttackPolicy::honest`] for a uniform endpoint type; wrap malicious
+/// ones with a registry mix. The self-link is never touched — a node,
+/// however Byzantine, hears its own genuine state.
+pub struct ByzantineEndpoint<T: Transport> {
+    inner: T,
+    policy: AttackPolicy,
+    rng: AttackRng,
+    crafter: PayloadCrafter,
+    stats: AttackStats,
+    flushes: u64,
+    /// Peer listener addresses for the raw-socket attacks (HELLO replays,
+    /// redial storms). Empty: those attacks are skipped.
+    wire_addrs: Vec<SocketAddr>,
+    /// Per-destination equivocation offset scale, derived from the seed —
+    /// strictly positive, so every mutated value differs from the original
+    /// and from every other destination's copy.
+    eps: f64,
+}
+
+impl<T: Transport> ByzantineEndpoint<T> {
+    /// Wrap `inner` under `policy`.
+    #[must_use]
+    pub fn new(inner: T, policy: AttackPolicy) -> Self {
+        let local = inner.local_id();
+        let seed = policy.seed;
+        ByzantineEndpoint {
+            inner,
+            rng: AttackRng::new(seed),
+            crafter: PayloadCrafter::new(seed ^ 0x5eed_cafe, local),
+            stats: AttackStats::default(),
+            flushes: 0,
+            wire_addrs: Vec::new(),
+            eps: 0.25 + (seed % 16) as f64 / 32.0,
+            policy,
+        }
+    }
+
+    /// Provide the mesh's listener addresses, enabling the raw-socket
+    /// attacks (stale HELLO replays and redial storms).
+    #[must_use]
+    pub fn with_wire_targets(mut self, addrs: &[SocketAddr]) -> Self {
+        self.wire_addrs = addrs.to_vec();
+        self
+    }
+
+    /// What this endpoint has done to the traffic so far.
+    #[must_use]
+    pub fn stats(&self) -> AttackStats {
+        self.stats
+    }
+
+    /// The policy this endpoint runs under.
+    #[must_use]
+    pub fn policy(&self) -> &AttackPolicy {
+        &self.policy
+    }
+
+    /// The wrapped transport.
+    #[must_use]
+    pub fn inner(&self) -> &T {
+        &self.inner
+    }
+
+    /// Mutate / drop one outbound protocol frame per the policy. `None`
+    /// means the frame is silenced; undecodable bytes (not a service
+    /// frame) pass through untouched.
+    fn mutate_outbound(&mut self, dst: ProcessId, bytes: Vec<u8>) -> Option<Vec<u8>> {
+        let local = self.inner.local_id();
+        let Ok(mut frame) = decode_frame(&bytes, local) else {
+            return Some(bytes);
+        };
+        if let Some(spec) = self.policy.mute_relays {
+            if spec.drops(dst, frame.round) {
+                self.stats.frames_dropped += 1;
+                return None;
+            }
+        }
+        let mut mutated = false;
+        if let Payload::Va((tag, msg)) = &mut frame.payload {
+            if tag.0 == local {
+                match self.policy.own_origin {
+                    OwnOrigin::Mute => {
+                        self.stats.frames_dropped += 1;
+                        return None;
+                    }
+                    OwnOrigin::Equivocate => {
+                        // Only the node's own Init seeds echo votes for a
+                        // new value; equivocating it per destination caps
+                        // every forged value at one echo — undeliverable.
+                        // (Its own Echo/Ready for the honest copy carry at
+                        // most this node's single vote and are harmless,
+                        // but shifting them too keeps the story uniform.)
+                        let state = match msg {
+                            BrachaMsg::Init(s) | BrachaMsg::Echo(s) | BrachaMsg::Ready(s) => s,
+                        };
+                        state.value = shifted(&state.value, self.eps * (dst as f64 + 1.0));
+                        mutated = true;
+                    }
+                }
+            } else if self.policy.lying_witness {
+                if let BrachaMsg::Echo(s) | BrachaMsg::Ready(s) = msg {
+                    // A lying relay vote: still decodable, still finite,
+                    // just wrong — it can never join the honest quorum for
+                    // the true value, and at ≤ f liars per destination it
+                    // can never reach the f+1 amplification threshold.
+                    s.value = shifted(&s.value, self.eps * 0.5 * (dst as f64 + 2.0));
+                    mutated = true;
+                }
+            }
+        }
+        if mutated {
+            self.stats.frames_mutated += 1;
+            Some(encode_frame(&frame))
+        } else {
+            Some(bytes)
+        }
+    }
+
+    /// A peer other than this node, seeded-uniformly.
+    fn pick_peer(&mut self) -> ProcessId {
+        let n = self.inner.n();
+        let local = self.inner.local_id();
+        let dst = self.rng.below(n);
+        if dst == local {
+            (dst + 1) % n
+        } else {
+            dst
+        }
+    }
+
+    /// Inject crafted near-valid payloads (decode-gate pressure).
+    fn inject_garbage(&mut self) {
+        if self.inner.n() < 2 {
+            return;
+        }
+        for _ in 0..self.policy.garbage_per_flush {
+            let dst = self.pick_peer();
+            let payload = self.crafter.next_crafted();
+            if self.inner.send(dst, payload).is_ok() {
+                self.stats.garbage_injected += 1;
+            }
+        }
+    }
+
+    /// Inject forged-header frames cycling the auth / instance / kind gates.
+    fn inject_gate_sprays(&mut self) {
+        let n = self.inner.n();
+        let local = self.inner.local_id();
+        if n < 2 {
+            return;
+        }
+        let spray_instance = self.policy.spray_instances.first().copied().unwrap_or(1);
+        let tiny = Payload::Va((
+            (local, 0),
+            BrachaMsg::Init(RoundState {
+                value: VecD::from_slice(&[0.0]),
+                witness: vec![],
+            }),
+        ));
+        for k in 0..self.policy.gate_spray_per_flush {
+            let dst = self.pick_peer();
+            let frame = match k % 3 {
+                // Auth gate: the header claims a sender that is not this
+                // link's authenticated peer.
+                0 => Frame {
+                    instance: spray_instance,
+                    sender: (local + 1) % n,
+                    round: 0,
+                    payload: tiny.clone(),
+                },
+                // Instance gate: a well-formed frame for an instance id the
+                // victim never registered.
+                1 => Frame {
+                    instance: u64::MAX - 7,
+                    sender: local,
+                    round: 0,
+                    payload: tiny.clone(),
+                },
+                // Kind gate: an EIG payload addressed to a registered VA
+                // instance.
+                _ => Frame {
+                    instance: spray_instance,
+                    sender: local,
+                    round: 0,
+                    payload: Payload::Eig(vec![]),
+                },
+            };
+            if self.inner.send(dst, encode_frame(&frame)).is_ok() {
+                self.stats.gate_sprays += 1;
+            }
+        }
+    }
+
+    /// Raw-socket attacks against the peers' listeners: stale HELLO
+    /// replays (timestamp 1 predates every legitimate handshake — the
+    /// replay guard must refuse it without touching the live link) and
+    /// fresh-HELLO connect-then-drop storms (generation churn the
+    /// reconnection machinery must absorb). Only this node's *own* id is
+    /// ever announced — impersonating honest peers is out of the threat
+    /// model the HELLO can express (no cryptographic identity), and the
+    /// campaign documents that limitation instead of pretending otherwise.
+    fn raw_wire_attacks(&mut self) {
+        if self.wire_addrs.is_empty() {
+            return;
+        }
+        let local = self.inner.local_id();
+        // Strides count from the *first* flush (a short run still fires at
+        // least once), then repeat every `every` flushes.
+        let replay = self.policy.hello_replay_every > 0
+            && (self.flushes - 1).is_multiple_of(self.policy.hello_replay_every);
+        let storm = self.policy.redial_storm_every > 0
+            && (self.flushes - 1).is_multiple_of(self.policy.redial_storm_every);
+        if !replay && !storm {
+            return;
+        }
+        for (peer, addr) in self.wire_addrs.iter().enumerate() {
+            if peer == local {
+                continue;
+            }
+            if replay {
+                if let Ok(mut s) = TcpStream::connect_timeout(addr, Duration::from_millis(50)) {
+                    let _ = s.write_all(&hello_with_timestamp(local, 1));
+                    self.stats.hello_replays += 1;
+                }
+            }
+            if storm {
+                if let Ok(mut s) = TcpStream::connect_timeout(addr, Duration::from_millis(50)) {
+                    let stamp = rbvc_obs::clock::now_us().max(1);
+                    let _ = s.write_all(&hello_with_timestamp(local, stamp));
+                    self.stats.redial_storms += 1;
+                    // Dropped here: the fresh HELLO supersedes our own live
+                    // inbound link at the peer and the immediate EOF tears
+                    // it down again — pure generation churn.
+                }
+            }
+        }
+    }
+}
+
+/// `v` with `delta` added to every component (values stay finite for any
+/// finite input — the mutation must survive the receiver's decode and
+/// payload gates to reach the protocol layer, where verification starves
+/// it instead).
+fn shifted(v: &VecD, delta: f64) -> VecD {
+    let xs: Vec<f64> = v.as_slice().iter().map(|x| x + delta).collect();
+    VecD::from_slice(&xs)
+}
+
+impl<T: Transport> Transport for ByzantineEndpoint<T> {
+    fn local_id(&self) -> ProcessId {
+        self.inner.local_id()
+    }
+
+    fn n(&self) -> usize {
+        self.inner.n()
+    }
+
+    fn send(&mut self, dst: ProcessId, frame: Vec<u8>) -> Result<(), ProtocolError> {
+        if self.policy.is_passthrough() || dst == self.inner.local_id() {
+            // Honest wrapper, or the self-link: untouched.
+            return self.inner.send(dst, frame);
+        }
+        match self.mutate_outbound(dst, frame) {
+            Some(bytes) => self.inner.send(dst, bytes),
+            // Silenced by the policy — not an error the attacker reports.
+            None => Ok(()),
+        }
+    }
+
+    fn flush(&mut self) -> Result<(), ProtocolError> {
+        if !self.policy.is_passthrough() {
+            self.flushes += 1;
+            self.inject_garbage();
+            self.inject_gate_sprays();
+            self.raw_wire_attacks();
+        }
+        self.inner.flush()
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Vec<(ProcessId, Vec<u8>)> {
+        self.inner.recv_timeout(timeout)
+    }
+
+    fn recv_timeout_stamped(&mut self, timeout: Duration) -> Vec<(ProcessId, u64, Vec<u8>)> {
+        self.inner.recv_timeout_stamped(timeout)
+    }
+
+    fn take_reconnects(&mut self) -> Vec<ProcessId> {
+        self.inner.take_reconnects()
+    }
+
+    fn bytes_sent(&self) -> u64 {
+        self.inner.bytes_sent()
+    }
+
+    fn bytes_received(&self) -> u64 {
+        self.inner.bytes_received()
+    }
+
+    fn errors(&self) -> ErrorLog {
+        self.inner.errors()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::in_proc_mesh;
+
+    fn va_init_frame(origin: ProcessId, xs: &[f64]) -> Vec<u8> {
+        encode_frame(&Frame {
+            instance: 1,
+            sender: origin,
+            round: 0,
+            payload: Payload::Va((
+                (origin, 0),
+                BrachaMsg::Init(RoundState {
+                    value: VecD::from_slice(xs),
+                    witness: vec![],
+                }),
+            )),
+        })
+    }
+
+    fn decoded_value(bytes: &[u8]) -> VecD {
+        match decode_frame(bytes, 0).expect("mutant must decode").payload {
+            Payload::Va((_, BrachaMsg::Init(s) | BrachaMsg::Echo(s) | BrachaMsg::Ready(s))) => {
+                s.value
+            }
+            other => panic!("unexpected payload {other:?}"),
+        }
+    }
+
+    #[test]
+    fn equivocation_sends_distinct_decodable_values_per_destination() {
+        let mut mesh = in_proc_mesh(4);
+        let honest: Vec<_> = mesh.drain(1..).collect();
+        let mut byz =
+            ByzantineEndpoint::new(mesh.pop().unwrap(), AttackRegistry::policy("equivocate", 7));
+        let original = [1.0, 2.0];
+        for dst in 1..4 {
+            byz.send(dst, va_init_frame(0, &original)).unwrap();
+        }
+        byz.flush().unwrap();
+        let mut seen = Vec::new();
+        for mut ep in honest {
+            let got = ep.recv_timeout(Duration::from_millis(100));
+            assert_eq!(got.len(), 1);
+            let v = decoded_value(&got[0].1);
+            assert!(v.as_slice().iter().all(|x| x.is_finite()));
+            assert_ne!(v.as_slice(), original, "every copy must differ from the original");
+            seen.push(v);
+        }
+        for i in 0..seen.len() {
+            for j in i + 1..seen.len() {
+                assert_ne!(seen[i], seen[j], "destinations {i} and {j} got the same copy");
+            }
+        }
+        assert_eq!(byz.stats().frames_mutated, 3);
+    }
+
+    #[test]
+    fn mute_drops_all_own_origin_frames() {
+        let mut mesh = in_proc_mesh(3);
+        let mut other = mesh.remove(1);
+        let mut byz = ByzantineEndpoint::new(mesh.remove(0), AttackRegistry::policy("mute", 3));
+        byz.send(1, va_init_frame(0, &[5.0])).unwrap();
+        byz.flush().unwrap();
+        assert!(other.recv_timeout(Duration::from_millis(30)).is_empty());
+        assert!(byz.stats().frames_dropped >= 1);
+    }
+
+    #[test]
+    fn honest_wrapper_is_a_bitwise_passthrough() {
+        let mut mesh = in_proc_mesh(2);
+        let mut rx = mesh.remove(1);
+        let mut honest = ByzantineEndpoint::new(mesh.remove(0), AttackPolicy::honest());
+        let frame = va_init_frame(0, &[3.25, -1.5]);
+        honest.send(1, frame.clone()).unwrap();
+        honest.flush().unwrap();
+        let got = rx.recv_timeout(Duration::from_millis(100));
+        assert_eq!(got, vec![(0, frame)]);
+        assert_eq!(honest.stats(), AttackStats::default());
+    }
+
+    #[test]
+    fn crafted_corpus_is_rejected_by_the_codec() {
+        let mut c = PayloadCrafter::new(99, 2);
+        assert!(decode_frame(&c.valid_base(), 2).is_ok());
+        for _ in 0..32 {
+            assert!(decode_frame(&c.truncated(), 2).is_err());
+            assert!(decode_frame(&c.oversized_length(), 2).is_err());
+            assert!(decode_frame(&c.bad_magic(), 2).is_err());
+            assert!(decode_frame(&c.trailing_garbage(), 2).is_err());
+            // header_then_garbage may by luck decode; it must only not panic.
+            let _ = decode_frame(&c.header_then_garbage(), 2);
+        }
+    }
+
+    #[test]
+    fn registry_builds_every_named_mix_and_keeps_the_own_origin_invariant() {
+        for name in AttackRegistry::NAMES {
+            let p = AttackRegistry::policy(name, 11);
+            assert_eq!(p.name, name);
+            assert!(p.active, "registry mixes are active adversaries");
+            assert!(
+                matches!(p.own_origin, OwnOrigin::Equivocate | OwnOrigin::Mute),
+                "{name} must equivocate or mute its own states"
+            );
+        }
+        let combined = AttackRegistry::policy("combined", 5);
+        assert!(combined.lying_witness && combined.garbage_per_flush > 0);
+        assert!(combined.hello_replay_every > 0 && combined.redial_storm_every > 0);
+    }
+
+    #[test]
+    fn gate_sprays_are_well_formed_frames_with_forged_headers() {
+        let mut mesh = in_proc_mesh(2);
+        let mut rx = mesh.remove(1);
+        let mut byz =
+            ByzantineEndpoint::new(mesh.remove(0), AttackRegistry::policy("gate-spray", 1));
+        byz.flush().unwrap();
+        let got = rx.recv_timeout(Duration::from_millis(100));
+        assert_eq!(got.len() as u64, byz.stats().gate_sprays);
+        assert!(got.len() >= 3);
+        let mut hit_auth = false;
+        let mut hit_instance = false;
+        let mut hit_kind = false;
+        for (_, bytes) in &got {
+            let f = decode_frame(bytes, 0).expect("sprays decode; the gates reject them");
+            if f.sender != 0 {
+                hit_auth = true;
+            } else if f.instance == u64::MAX - 7 {
+                hit_instance = true;
+            } else if matches!(f.payload, Payload::Eig(_)) {
+                hit_kind = true;
+            }
+        }
+        assert!(hit_auth && hit_instance && hit_kind, "all three gates targeted");
+    }
+}

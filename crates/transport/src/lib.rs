@@ -22,18 +22,25 @@
 //! * [`service`] — [`service::ConsensusService`]: many concurrent SyncBvc /
 //!   VerifiedAveraging instances multiplexed over one socket mesh, demuxed
 //!   by instance id, with per-poll outbound batching.
+//! * [`byzantine`] — [`byzantine::ByzantineEndpoint`]: a [`transport::Transport`]
+//!   wrapper that runs live adversaries over the real wire (per-recipient
+//!   equivocation, lying witnesses, mutism, codec/gate sprays, HELLO
+//!   replays, redial storms) from a seeded attack registry — the E20
+//!   campaign's weapon rack.
 //!
 //! Both transports carry identical encoded bytes and both protocol drivers
 //! deliver deterministically, so the same seed decides identically whether
 //! frames cross a channel or a socket — the property the integration tests
 //! pin down.
 
+pub mod byzantine;
 pub mod lockstep;
 pub mod service;
 pub mod tcp;
 pub mod transport;
 pub mod wire;
 
+pub use byzantine::{AttackPolicy, AttackRegistry, AttackStats, ByzantineEndpoint, PayloadCrafter};
 pub use lockstep::{Lockstep, RoundBatch};
 pub use service::{ConsensusService, DecisionEvent, InstanceProto};
 pub use tcp::{tcp_mesh_loopback, TcpEndpoint};

@@ -113,6 +113,12 @@ pub struct ConsensusService<T: Transport> {
     started: bool,
     /// Per-gate rejection counts, indexed as [`GATE_NAMES`].
     gate_rejections: [u64; 4],
+    /// Per-sender rejection counts: `[sender][gate]`, gates indexed as
+    /// [`GATE_NAMES`]. The sender is the transport-authenticated link peer
+    /// for the decode/auth gates and the (by then link-verified) frame
+    /// sender for the instance/kind gates — what lets an adversarial
+    /// campaign attribute every rejection to the node that caused it.
+    gate_rejections_by_sender: Vec<[u64; 4]>,
     /// Structured-event sink (no-op by default), node tag baked in.
     obs: Obs,
     /// Write-ahead log; `None` runs the service non-durable (no write-through,
@@ -157,6 +163,7 @@ impl<T: Transport> ConsensusService<T> {
             errors: ErrorLog::new(),
             started: false,
             gate_rejections: [0; 4],
+            gate_rejections_by_sender: vec![[0; 4]; n],
             obs: Obs::noop().with_node(node),
             wal: None,
             history: Vec::new(),
@@ -244,10 +251,29 @@ impl<T: Transport> ConsensusService<T> {
         self.gate_rejections
     }
 
-    /// Record one rejection at gate `gate` (index into [`GATE_NAMES`]) and
-    /// trace it.
+    /// Per-sender rejection counts, `[sender][gate]` with gates in
+    /// [`GATE_NAMES`] order. See the field docs for what "sender" means at
+    /// each gate.
+    #[must_use]
+    pub fn gate_rejections_by_sender(&self) -> &[[u64; 4]] {
+        &self.gate_rejections_by_sender
+    }
+
+    /// Record one rejection at gate `gate` (index into [`GATE_NAMES`]),
+    /// attribute it to `from` (metrics label + per-sender table + the
+    /// `from=` field of the [`EventKind::GateReject`] detail), and trace it.
     fn gate_reject(&mut self, gate: usize, from: ProcessId, err: ProtocolError) {
         self.gate_rejections[gate] += 1;
+        if let Some(per_sender) = self.gate_rejections_by_sender.get_mut(from) {
+            per_sender[gate] += 1;
+        }
+        let sender = from.to_string();
+        Registry::global()
+            .counter_with(
+                "service.gate.reject",
+                &[("gate", GATE_NAMES[gate]), ("sender", sender.as_str())],
+            )
+            .inc();
         self.obs.emit(|| {
             Event::new(EventKind::GateReject).detail(format!("gate={} from={from}", GATE_NAMES[gate]))
         });
@@ -1216,5 +1242,10 @@ mod tests {
             }
         }
         assert_eq!(svc.errors().total(), 4, "all four gates must fire: {:?}", svc.errors().errors());
+        assert_eq!(svc.gate_rejections(), [1, 1, 1, 1]);
+        // Every rejection is attributed to the node that caused it: all
+        // four frames arrived on the link from process 0.
+        assert_eq!(svc.gate_rejections_by_sender()[0], [1, 1, 1, 1]);
+        assert_eq!(svc.gate_rejections_by_sender()[1], [0, 0, 0, 0]);
     }
 }

@@ -23,6 +23,16 @@
 //! uncertainty (see `rbvc_obs::trace`). Protocol *frames* are untouched —
 //! the timestamp exchange piggybacks entirely on the handshake.
 //!
+//! The timestamp doubles as a **replay guard**: the accept side remembers
+//! the highest `t_tx` it has accepted per peer and refuses any HELLO at or
+//! below that mark (`tcp.hello.stale_rejected{src,dst}`), *before* the
+//! handshake can claim a link generation — a replayed old handshake can
+//! therefore never supersede, tear down, or redial over the live link.
+//! The guard orders handshakes on the dialer's per-process monotonic
+//! clock, so it covers replays within one process lifetime (the attack
+//! E20 mounts); across a genuine process restart the timeline restarts
+//! and the generation counter carries the reconnect as before.
+//!
 //! Degrade-don't-panic at every socket boundary: a bad HELLO, an oversized
 //! or zero length prefix, or a mid-stream read error poisons *that one
 //! connection* — it is closed, the event is recorded in the endpoint's
@@ -220,6 +230,7 @@ fn spawn_reader(
     tx: Sender<RxEvent>,
     bytes_received: Arc<AtomicU64>,
     generations: Arc<Vec<AtomicU64>>,
+    hello_stamps: Arc<Vec<AtomicU64>>,
 ) {
     thread::spawn(move || {
         let mut hello = [0u8; 16];
@@ -241,6 +252,34 @@ fn spawn_reader(
             return;
         }
         let t_tx = u64::from_le_bytes(hello[8..16].try_into().expect("8 bytes"));
+        let (src, dst) = (peer.to_string(), local.to_string());
+        let labels = [("src", src.as_str()), ("dst", dst.as_str())];
+        // Replay guard: every legitimate HELLO carries a strictly
+        // increasing monotonic timestamp (stamped at dial time, clamped
+        // away from the 0 = never-seen sentinel), so a HELLO at or below
+        // the highest accepted stamp for this peer is a replay of an old
+        // handshake. Refuse it *before* claiming a generation — the live
+        // link must not be superseded, torn down, or redialed over a
+        // replayed record. `fetch_max` keeps the check race-free against
+        // concurrent fresh dials. Limitation (documented in the module
+        // docs): the timestamp is per-OS-process monotonic, so the guard
+        // orders handshakes within one process lifetime; a cross-process
+        // restart starts a new timeline and relies on the generation
+        // counter as before.
+        let prev = hello_stamps[peer].fetch_max(t_tx, Ordering::SeqCst);
+        if prev >= t_tx {
+            Registry::global()
+                .counter_with("tcp.hello.stale_rejected", &labels)
+                .inc();
+            Registry::global().counter("tcp.hello.stale_rejected_total").inc();
+            let _ = tx.send(RxEvent::LinkDown(
+                Some(peer),
+                format!(
+                    "stale HELLO replay claiming peer {peer}: t_tx {t_tx} <= last accepted {prev}"
+                ),
+            ));
+            return;
+        }
         // Claim this link's generation; any older reader for the same peer
         // is now stale and will wind down.
         let gen = generations[peer].fetch_add(1, Ordering::SeqCst) + 1;
@@ -248,8 +287,6 @@ fn spawn_reader(
             let _ = tx.send(RxEvent::PeerUp(peer, gen));
         }
         bytes_received.fetch_add(HELLO_LEN, Ordering::Relaxed);
-        let (src, dst) = (peer.to_string(), local.to_string());
-        let labels = [("src", src.as_str()), ("dst", dst.as_str())];
         // Raw directed skew: receive clock minus send clock. Within one
         // process all endpoints share a clock, so this is pure one-way
         // delay; across processes the trace assembler combines the two
@@ -286,15 +323,25 @@ fn spawn_reader(
     });
 }
 
-/// The 16-byte HELLO this endpoint announces itself with, stamped with
-/// the monotonic send time just before the write.
-fn hello_bytes(id: ProcessId) -> [u8; 16] {
+/// The 16-byte HELLO record announcing `id` with an explicit send
+/// timestamp. Exposed for tests and the Byzantine attack registry, which
+/// forge handshakes against the replay guard; legitimate endpoints stamp
+/// through [`hello_bytes`].
+#[must_use]
+pub fn hello_with_timestamp(id: ProcessId, t_tx: u64) -> [u8; 16] {
     let mut hello = [0u8; 16];
     hello[..3].copy_from_slice(&HELLO_MAGIC);
     hello[3] = HELLO_VERSION;
     hello[4..8].copy_from_slice(&(id as u32).to_le_bytes());
-    hello[8..].copy_from_slice(&rbvc_obs::clock::now_us().to_le_bytes());
+    hello[8..].copy_from_slice(&t_tx.to_le_bytes());
     hello
+}
+
+/// The HELLO this endpoint announces itself with, stamped with the
+/// monotonic send time just before the write — clamped to ≥ 1 so a stamp
+/// can never collide with the replay guard's 0 = never-seen sentinel.
+fn hello_bytes(id: ProcessId) -> [u8; 16] {
+    hello_with_timestamp(id, rbvc_obs::clock::now_us().max(1))
 }
 
 impl TcpEndpoint {
@@ -317,6 +364,10 @@ impl TcpEndpoint {
         let errors = Arc::new(Mutex::new(ErrorLog::new()));
         let generations: Arc<Vec<AtomicU64>> =
             Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        // Highest HELLO timestamp accepted per peer (0 = never seen) — the
+        // replay guard's state, owned by the accept loop's readers.
+        let hello_stamps: Arc<Vec<AtomicU64>> =
+            Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
         let shutdown = Arc::new(AtomicBool::new(false));
         let listen_addr = listener.local_addr().unwrap_or(addrs[id]);
 
@@ -330,6 +381,7 @@ impl TcpEndpoint {
             let bytes_received = Arc::clone(&bytes_received);
             let errors = Arc::clone(&errors);
             let generations = Arc::clone(&generations);
+            let hello_stamps = Arc::clone(&hello_stamps);
             let shutdown = Arc::clone(&shutdown);
             thread::spawn(move || loop {
                 match listener.accept() {
@@ -344,6 +396,7 @@ impl TcpEndpoint {
                             tx.clone(),
                             Arc::clone(&bytes_received),
                             Arc::clone(&generations),
+                            Arc::clone(&hello_stamps),
                         );
                     }
                     Err(e) => {
@@ -774,6 +827,18 @@ mod tests {
             }
         }
         assert_eq!(got, vec![(2, vec![7])]);
+    }
+
+    #[test]
+    fn hello_stamp_never_collides_with_the_never_seen_sentinel() {
+        // The replay guard treats stamp 0 as "no HELLO accepted yet"; a
+        // legitimate handshake must therefore never carry 0, even if the
+        // monotonic clock reads 0 on its first call.
+        let hello = hello_bytes(3);
+        let t_tx = u64::from_le_bytes(hello[8..16].try_into().unwrap());
+        assert!(t_tx >= 1);
+        assert_eq!(hello_with_timestamp(3, t_tx), hello);
+        assert_eq!(hello_with_timestamp(5, 1)[4..8], 5u32.to_le_bytes());
     }
 
     #[test]

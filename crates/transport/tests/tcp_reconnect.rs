@@ -117,6 +117,88 @@ fn restarted_peer_is_reaccepted_and_reported() {
 }
 
 #[test]
+fn stale_hello_replay_is_refused_without_breaking_the_fresh_link() {
+    // ISSUE 7 satellite: the malicious counterpart of the takeover test
+    // below. After a legitimate reconnect, re-sending the *same* HELLO
+    // bytes (a captured old handshake) must be refused by the replay
+    // guard — recorded, counted, and without tearing down the fresh link.
+    let (mut mesh, addrs) = stable_mesh();
+
+    // Warm up the genuine 1→0 link.
+    mesh[1].send(0, vec![1]).unwrap();
+    mesh[1].flush().unwrap();
+    assert!(wait_for_frame(&mut mesh[0], 1, &[1], 200), "warmup frame never arrived");
+
+    use std::io::Write as _;
+    // Legitimate "reconnect": a fresh dial claiming peer 1 with a current
+    // monotonic timestamp supersedes the warmup link.
+    let hello = rbvc_transport::tcp::hello_with_timestamp(
+        1,
+        rbvc_obs::clock::now_us().max(1),
+    );
+    let mut fresh = std::net::TcpStream::connect(addrs[0]).expect("dial endpoint 0");
+    fresh.write_all(&hello).unwrap();
+    fresh.write_all(&4u32.to_le_bytes()).unwrap();
+    fresh.write_all(&[2, 2, 2, 2]).unwrap();
+    fresh.flush().unwrap();
+    assert!(
+        wait_for_frame(&mut mesh[0], 1, &[2, 2, 2, 2], 200),
+        "superseding link never delivered"
+    );
+    // Absorb the teardown + redial the legitimate takeover triggers.
+    let mut reconnected = Vec::new();
+    let mut got = Vec::new();
+    assert!(
+        pump_until(&mut mesh[0], 400, &mut got, |ep, _| {
+            reconnected.extend(ep.take_reconnects());
+            reconnected.contains(&1usize)
+        }),
+        "no redial after the takeover: {reconnected:?}"
+    );
+    let errors_before = mesh[0].errors().total();
+
+    // The attack: replay the captured HELLO — same peer id, same (now
+    // stale) timestamp — on a new connection, with a frame behind it.
+    // Writes are best-effort: the guard may refuse and close the stream
+    // before the attacker finishes writing (EPIPE is the guard *working*).
+    let mut replay = std::net::TcpStream::connect(addrs[0]).expect("dial endpoint 0");
+    let _ = replay.write_all(&hello);
+    let _ = replay.write_all(&3u32.to_le_bytes());
+    let _ = replay.write_all(&[6, 6, 6]);
+    let _ = replay.flush();
+
+    // The refusal is recorded (degrade-don't-panic), names the replay, and
+    // nothing from the refused stream is ever delivered.
+    let mut got = Vec::new();
+    assert!(
+        pump_until(&mut mesh[0], 400, &mut got, |ep, _| {
+            ep.errors().total() > errors_before
+        }),
+        "the stale replay was never recorded"
+    );
+    let log = format!("{:?}", mesh[0].errors().errors());
+    assert!(log.contains("stale HELLO"), "refusal must name the replay: {log}");
+    assert!(
+        got.iter().all(|(_, b)| b != &vec![6, 6, 6]),
+        "a frame from the refused stream was delivered: {got:?}"
+    );
+
+    // And the fresh link is untouched: no teardown/redial was triggered,
+    // and the superseding stream still carries frames as peer 1.
+    assert!(
+        mesh[0].take_reconnects().is_empty(),
+        "the replay must not tear down the fresh link"
+    );
+    fresh.write_all(&2u32.to_le_bytes()).unwrap();
+    fresh.write_all(&[9, 9]).unwrap();
+    fresh.flush().unwrap();
+    assert!(
+        wait_for_frame(&mut mesh[0], 1, &[9, 9], 200),
+        "fresh link must survive the replay"
+    );
+}
+
+#[test]
 fn fresh_hello_supersedes_the_stale_link() {
     // Drive the HELLO path directly: a raw second connection announcing an
     // existing peer id must take over that peer's link slot — frames on

@@ -170,3 +170,39 @@ fn trailing_bytes_are_rejected() {
     bytes.extend_from_slice(&[0, 0, 0]);
     assert!(decode_frame(&bytes, 0).is_err());
 }
+
+/// The attack registry's near-valid payload crafter (ISSUE 7 satellite):
+/// every generated variant — truncated frames, oversized length fields,
+/// valid header + garbage, corrupted magic, trailing bytes — must be
+/// handled without a panic, the specifically-malformed ones must be
+/// *rejected*, and no variant may trick the decoder into an unbounded
+/// allocation (the corpus itself stays tiny; a successful allocation bomb
+/// would need the decoder to trust a forged count, which the error text
+/// pins down below).
+#[test]
+fn crafted_near_valid_corpus_never_panics_and_is_rejected() {
+    use rbvc_transport::PayloadCrafter;
+    for seed in 0..24u64 {
+        let mut c = PayloadCrafter::new(seed, 3);
+        // The base every variant derives from is genuinely valid.
+        assert!(decode_frame(&c.valid_base(), 3).is_ok());
+        for _ in 0..32 {
+            let p = c.next_crafted();
+            assert!(p.len() < 1 << 12, "crafted payloads stay small ({} bytes)", p.len());
+            let _ = decode_frame(&p, 3); // must not panic
+        }
+        for _ in 0..16 {
+            assert!(decode_frame(&c.truncated(), 3).is_err());
+            assert!(decode_frame(&c.bad_magic(), 3).is_err());
+            assert!(decode_frame(&c.trailing_garbage(), 3).is_err());
+            // The forged length field must die on a *guard* (cap or
+            // remaining-bytes check), before any allocation happens.
+            let e = decode_frame(&c.oversized_length(), 3).expect_err("forged length");
+            let msg = e.to_string();
+            assert!(
+                msg.contains("oversized") || msg.contains("forged"),
+                "forged length must hit the allocation guard, got: {msg}"
+            );
+        }
+    }
+}
