@@ -115,6 +115,8 @@ fn main() {
                 format!("{}", r.gates_from_byz.iter().sum::<u64>()),
                 format!("{}", r.gates_from_honest.iter().sum::<u64>()),
                 r.stale_hellos.to_string(),
+                fnum(r.client_attack_p50_ms),
+                format!("{}", r.client_rejects + r.client_redirects),
             ]
         })
         .collect();
@@ -131,6 +133,8 @@ fn main() {
             "rej (byz)",
             "rej (honest)",
             "stale HELLO",
+            "cli p50 ms",
+            "cli rej+redir",
         ],
         &rows,
     );
@@ -161,6 +165,8 @@ fn main() {
         "identical_runs": out.identical_runs,
         "monitor_violations": out.monitor_violations,
         "honest_attributed_rejections": out.honest_attributed_rejections,
+        "client_honest_rejections": out.client_honest_rejections,
+        "client_reply_errors": out.client_reply_errors,
         "wall_secs": out.wall_secs,
         "attacks": out.reports.iter().map(|r| json!({
             "attack": r.attack.clone(),
@@ -192,6 +198,15 @@ fn main() {
                 "gate_sprays": r.stats.gate_sprays,
                 "hello_replays": r.stats.hello_replays,
                 "redial_storms": r.stats.redial_storms,
+                "client_sprays": r.stats.client_sprays,
+            }),
+            "client_plane": json!({
+                "latency_ms": json!({
+                    "clean": json!({ "p50": r.client_clean_p50_ms, "p99": r.client_clean_p99_ms }),
+                    "attack": json!({ "p50": r.client_attack_p50_ms, "p99": r.client_attack_p99_ms }),
+                }),
+                "port_rejects": r.client_rejects,
+                "table_redirects": r.client_redirects,
             }),
             "stale_hellos_refused": r.stale_hellos,
         })).collect::<Vec<_>>(),
@@ -232,6 +247,20 @@ fn main() {
         eprintln!(
             "FAIL: {} gate rejection(s) attributed to honest senders",
             out.honest_attributed_rejections
+        );
+        failed = true;
+    }
+    if out.client_honest_rejections > 0 {
+        eprintln!(
+            "FAIL: {} client-port rejection(s) during clean references (honest traffic)",
+            out.client_honest_rejections
+        );
+        failed = true;
+    }
+    if out.client_reply_errors > 0 {
+        eprintln!(
+            "FAIL: {} honest-client repl(ies) were wrong or timed out",
+            out.client_reply_errors
         );
         failed = true;
     }

@@ -33,13 +33,17 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use rand::Rng;
+use rbvc_client::ClientHandle;
 use rbvc_core::verified_avg::{DeltaMode, VerifiedAveraging};
 use rbvc_linalg::{Norm, Tol, VecD};
 use rbvc_sim::monitor::{box_validity, epsilon_agreement, SafetyMonitor, ServiceMonitor};
 use rbvc_transport::byzantine::{AttackPolicy, AttackRegistry, AttackStats, ByzantineEndpoint};
-use rbvc_transport::service::{ConsensusService, InstanceProto};
+use rbvc_transport::service::{
+    ClientConfig, ConsensusService, InstanceProto, CLIENT_INSTANCE_BASE,
+};
 use rbvc_transport::tcp::TcpEndpoint;
 use rbvc_transport::transport::in_proc_mesh;
+use rbvc_transport::ClientPort;
 
 use crate::experiments::service::percentile;
 use crate::workloads::{max_edge, rng};
@@ -65,6 +69,11 @@ pub struct ByzantineConfig {
     pub poll_timeout: Duration,
     /// Sweep budget per mesh phase before the run is declared stuck.
     pub max_sweeps: usize,
+    /// Honest-client submits per TCP phase (session owned by an honest
+    /// node, driven through a real `ClientPort` while the attack's
+    /// "client-spray" volleys hammer the same ports). `0` disables the
+    /// client plane entirely.
+    pub client_requests: usize,
 }
 
 impl ByzantineConfig {
@@ -81,6 +90,7 @@ impl ByzantineConfig {
             seed,
             poll_timeout: Duration::from_millis(1),
             max_sweeps: 40_000,
+            client_requests: 3,
         }
     }
 
@@ -99,17 +109,18 @@ impl ByzantineConfig {
             seed,
             poll_timeout: Duration::from_millis(1),
             max_sweeps: 40_000,
+            client_requests: 2,
         }
     }
 }
 
-/// Default run counts: 8 for `--smoke` (one run per registry mix, so CI
-/// exercises every attack), 50 for the full campaign (the acceptance
-/// floor).
+/// Default run counts: 9 for `--smoke` (one run per registry mix, so CI
+/// exercises every attack including the client-spray), 50 for the full
+/// campaign (the acceptance floor).
 #[must_use]
 pub fn default_runs(smoke: bool) -> usize {
     if smoke {
-        8
+        AttackRegistry::NAMES.len()
     } else {
         50
     }
@@ -146,6 +157,21 @@ pub struct AttackReport {
     pub stats: AttackStats,
     /// Stale HELLO replays refused by the transport guard.
     pub stale_hellos: u64,
+    /// Median honest-client submit→reply latency, clean reference, ms.
+    pub client_clean_p50_ms: f64,
+    /// 99th-percentile honest-client latency, clean reference, ms.
+    pub client_clean_p99_ms: f64,
+    /// Median honest-client submit→reply latency under attack, ms.
+    pub client_attack_p50_ms: f64,
+    /// 99th-percentile honest-client latency under attack, ms.
+    pub client_attack_p99_ms: f64,
+    /// Client-port frame rejections during the attack runs (crafted spray
+    /// frames counted at the port before they can touch the client table).
+    pub client_rejects: u64,
+    /// Client-table redirects during the attack runs (the sprays' valid
+    /// probe submits carry foreign sessions, so they draw `Redirect`
+    /// instead of admission).
+    pub client_redirects: u64,
 }
 
 /// Campaign outcome.
@@ -165,6 +191,13 @@ pub struct ByzantineOutcome {
     /// Gate rejections attributed to honest senders across the campaign
     /// (must be 0).
     pub honest_attributed_rejections: u64,
+    /// Client-port rejections during the *clean* references (must be 0 —
+    /// the honest client never sends a malformed frame, so any clean-phase
+    /// reject would be a misattribution).
+    pub client_honest_rejections: u64,
+    /// Honest-client replies whose decision strayed from the submitted
+    /// value by more than the agreement tolerance (must be 0).
+    pub client_reply_errors: u64,
     /// Per-attack aggregation, in registry order.
     pub reports: Vec<AttackReport>,
     /// Campaign wall clock, seconds.
@@ -173,14 +206,17 @@ pub struct ByzantineOutcome {
 
 impl ByzantineOutcome {
     /// The campaign's pass verdict: everything converged, every honest
-    /// decision matched the oracle, no monitor violation, and every gate
-    /// rejection attributed to an attacker.
+    /// decision matched the oracle, no monitor violation, every gate
+    /// rejection attributed to an attacker, and the client plane clean —
+    /// no clean-phase port reject, no wrong reply to the honest client.
     #[must_use]
     pub fn clean(&self) -> bool {
         self.converged_runs == self.runs
             && self.identical_runs == self.runs
             && self.monitor_violations == 0
             && self.honest_attributed_rejections == 0
+            && self.client_honest_rejections == 0
+            && self.client_reply_errors == 0
     }
 }
 
@@ -198,6 +234,12 @@ struct RunFacts {
     gates_from_honest: [u64; 4],
     stats: AttackStats,
     stale_hellos: u64,
+    clean_client_latencies: Vec<f64>,
+    attack_client_latencies: Vec<f64>,
+    client_rejects_clean: u64,
+    client_rejects_attack: u64,
+    client_redirects_attack: u64,
+    client_reply_errors: u64,
 }
 
 fn va_instance(
@@ -295,6 +337,10 @@ struct MeshRun {
     decisions: Vec<BTreeMap<u64, VecD>>,
     gates_by_sender: Vec<[u64; 4]>,
     stats: AttackStats,
+    client_latencies_ms: Vec<f64>,
+    client_rejects: u64,
+    client_redirects: u64,
+    client_reply_errors: u64,
 }
 
 fn run_tcp_mesh(
@@ -305,7 +351,20 @@ fn run_tcp_mesh(
     run_seed: u64,
     monitor: &mut ServiceMonitor<Vec<f64>>,
 ) -> MeshRun {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+
     let (endpoints, addrs) = stable_tcp_mesh(cfg.n);
+    // One client port per node: the external submit plane. The attack
+    // registry's "client-spray" mix targets these addresses, and an honest
+    // client drives real submits through them during both TCP phases.
+    let mut ports: Vec<ClientPort> = (0..cfg.n)
+        .map(|_| {
+            ClientPort::bind("127.0.0.1:0".parse().expect("loopback addr"))
+                .expect("bind client port")
+        })
+        .collect();
+    let client_addrs: Vec<SocketAddr> = ports.iter().map(|p| p.local_addr()).collect();
     let mut active = vec![false; cfg.n];
     let mut services: Vec<ConsensusService<ByzantineEndpoint<TcpEndpoint>>> = endpoints
         .into_iter()
@@ -319,8 +378,17 @@ fn run_tcp_mesh(
                 ),
                 _ => AttackPolicy::honest(),
             };
-            let wrapped = ByzantineEndpoint::new(ep, policy).with_wire_targets(&addrs);
+            let wrapped = ByzantineEndpoint::new(ep, policy)
+                .with_wire_targets(&addrs)
+                .with_client_targets(&client_addrs);
             let mut svc = ConsensusService::new(wrapped);
+            // Client instances must tolerate the run's f (in the clean
+            // reference the Byzantine slots are idle, i.e. crashed).
+            svc.enable_client(ClientConfig {
+                f: cfg.f,
+                rounds: cfg.va_rounds,
+                ..ClientConfig::default()
+            });
             for (j, per_node) in inputs.iter().enumerate() {
                 svc.add_instance(j as u64 + 1, va_instance(cfg, i, &per_node[i]))
                     .expect("unique instance ids");
@@ -335,10 +403,50 @@ fn run_tcp_mesh(
         }
     }
 
+    // The honest client: a session owned by an honest node, submitted
+    // through the real client port while the mesh (and, in the attack
+    // phase, the sprays) run. Latency is measured where it matters — at
+    // the client — and every reply is checked against the submitted value.
+    let client_done = Arc::new(AtomicBool::new(cfg.client_requests == 0));
+    let client_thread = (cfg.client_requests > 0).then(|| {
+        let owner = (0..cfg.n).find(|i| !byz.contains(i)).expect("an honest node exists");
+        let addrs = client_addrs.clone();
+        let done = Arc::clone(&client_done);
+        let (requests, d) = (cfg.client_requests, cfg.d);
+        thread::spawn(move || {
+            let mut handle = ClientHandle::new(owner as u64, addrs);
+            let mut latencies = Vec::with_capacity(requests);
+            let mut errors = 0u64;
+            for k in 0..requests {
+                let value = VecD::from_slice(
+                    &(0..d).map(|j| (k * d + j) as f64 / 4.0 - 1.0).collect::<Vec<f64>>(),
+                );
+                let t0 = Instant::now();
+                match handle.submit(&value) {
+                    Ok(reply) => {
+                        latencies.push(t0.elapsed().as_secs_f64() * 1e3);
+                        let off = reply
+                            .as_slice()
+                            .iter()
+                            .zip(value.as_slice())
+                            .map(|(a, b)| (a - b).abs())
+                            .fold(0.0, f64::max);
+                        if off > 1e-6 {
+                            errors += 1;
+                        }
+                    }
+                    Err(_) => errors += 1,
+                }
+            }
+            done.store(true, Ordering::SeqCst);
+            (latencies, errors)
+        })
+    });
+
     // Single-thread round-robin sweep: deterministic scheduling, and the
     // Byzantine services get polled (driving their injections) without a
     // thread ever spinning on a node that may never decide. Termination is
-    // *honest* convergence only.
+    // *honest* convergence only — protocol instances plus the client's.
     let start = Instant::now();
     let mut latencies_ms = Vec::new();
     let mut sweeps = 0usize;
@@ -350,16 +458,20 @@ fn run_tcp_mesh(
             }
             let is_byz = byz.contains(&i);
             for ev in services[i].poll(cfg.poll_timeout) {
-                if !is_byz {
+                // Client instances have their own oracle (the reply check
+                // at the client); the per-instance safety envelope indexes
+                // the campaign's seeded inputs.
+                if !is_byz && ev.instance < CLIENT_INSTANCE_BASE {
                     monitor.observe(ev.instance, i, &ev.value.as_slice().to_vec());
                     latencies_ms.push(ev.latency.as_secs_f64() * 1e3);
                 }
             }
             if !is_byz {
+                ports[i].pump(&mut services[i]);
                 honest_done &= services[i].all_decided();
             }
         }
-        if honest_done {
+        if honest_done && client_done.load(Ordering::SeqCst) {
             break true;
         }
         sweeps += 1;
@@ -368,15 +480,25 @@ fn run_tcp_mesh(
         }
     };
     let wall_secs = start.elapsed().as_secs_f64();
+    let (mut client_latencies_ms, mut client_reply_errors) = (Vec::new(), 0u64);
+    if let Some(h) = client_thread {
+        let (lat, errors) = h.join().expect("client thread");
+        client_latencies_ms = lat;
+        client_reply_errors = errors;
+    }
 
     let mut gates_by_sender = vec![[0u64; 4]; cfg.n];
     let mut decisions = vec![BTreeMap::new(); cfg.n];
     let mut stats = AttackStats::default();
+    let mut client_rejects = 0u64;
+    let mut client_redirects = 0u64;
     for (i, svc) in services.iter().enumerate() {
         if byz.contains(&i) {
             stats += svc.transport().stats();
             continue;
         }
+        client_rejects += ports[i].rejects();
+        client_redirects += svc.client_stats().redirects;
         for (sender, per_gate) in svc.gate_rejections_by_sender().iter().enumerate() {
             for g in 0..4 {
                 gates_by_sender[sender][g] += per_gate[g];
@@ -387,6 +509,7 @@ fn run_tcp_mesh(
             .collect();
     }
     latencies_ms.sort_by(f64::total_cmp);
+    client_latencies_ms.sort_by(f64::total_cmp);
     MeshRun {
         converged,
         wall_secs,
@@ -394,6 +517,10 @@ fn run_tcp_mesh(
         decisions,
         gates_by_sender,
         stats,
+        client_latencies_ms,
+        client_rejects,
+        client_redirects,
+        client_reply_errors,
     }
 }
 
@@ -498,6 +625,12 @@ fn one_run(cfg: &ByzantineConfig, run: usize) -> RunFacts {
         gates_from_honest,
         stats: attacked.stats,
         stale_hellos,
+        clean_client_latencies: clean.client_latencies_ms,
+        attack_client_latencies: attacked.client_latencies_ms,
+        client_rejects_clean: clean.client_rejects,
+        client_rejects_attack: attacked.client_rejects,
+        client_redirects_attack: attacked.client_redirects,
+        client_reply_errors: clean.client_reply_errors + attacked.client_reply_errors,
     }
 }
 
@@ -517,6 +650,10 @@ pub fn run_campaign(cfg: &ByzantineConfig) -> ByzantineOutcome {
         gates_from_honest: [u64; 4],
         stats: AttackStats,
         stale_hellos: u64,
+        clean_client_lat: Vec<f64>,
+        attack_client_lat: Vec<f64>,
+        client_rejects: u64,
+        client_redirects: u64,
     }
     let started = Instant::now();
     let mut by_attack: BTreeMap<&'static str, Accum> = BTreeMap::new();
@@ -524,6 +661,8 @@ pub fn run_campaign(cfg: &ByzantineConfig) -> ByzantineOutcome {
     let mut identical_runs = 0;
     let mut monitor_violations = 0;
     let mut honest_attributed: u64 = 0;
+    let mut client_honest_rejections: u64 = 0;
+    let mut client_reply_errors: u64 = 0;
 
     for run in 0..cfg.runs {
         let facts = one_run(cfg, run);
@@ -535,6 +674,8 @@ pub fn run_campaign(cfg: &ByzantineConfig) -> ByzantineOutcome {
         }
         monitor_violations += facts.violations;
         honest_attributed += facts.gates_from_honest.iter().sum::<u64>();
+        client_honest_rejections += facts.client_rejects_clean;
+        client_reply_errors += facts.client_reply_errors;
         if !facts.converged || !facts.identical || facts.violations > 0 {
             eprintln!(
                 "E20 run {run} [{}]: converged={} identical={} violations={}",
@@ -551,6 +692,10 @@ pub fn run_campaign(cfg: &ByzantineConfig) -> ByzantineOutcome {
             gates_from_honest: [0; 4],
             stats: AttackStats::default(),
             stale_hellos: 0,
+            clean_client_lat: Vec::new(),
+            attack_client_lat: Vec::new(),
+            client_rejects: 0,
+            client_redirects: 0,
         });
         acc.runs += 1;
         acc.clean_secs += facts.clean_secs;
@@ -563,6 +708,10 @@ pub fn run_campaign(cfg: &ByzantineConfig) -> ByzantineOutcome {
         }
         acc.stats += facts.stats;
         acc.stale_hellos += facts.stale_hellos;
+        acc.clean_client_lat.extend(facts.clean_client_latencies);
+        acc.attack_client_lat.extend(facts.attack_client_latencies);
+        acc.client_rejects += facts.client_rejects_attack;
+        acc.client_redirects += facts.client_redirects_attack;
     }
 
     let mut reports = Vec::new();
@@ -572,6 +721,8 @@ pub fn run_campaign(cfg: &ByzantineConfig) -> ByzantineOutcome {
         };
         acc.clean_lat.sort_by(f64::total_cmp);
         acc.attack_lat.sort_by(f64::total_cmp);
+        acc.clean_client_lat.sort_by(f64::total_cmp);
+        acc.attack_client_lat.sort_by(f64::total_cmp);
         let slowdown = if acc.clean_secs > 0.0 { acc.attack_secs / acc.clean_secs } else { f64::NAN };
         let report = AttackReport {
             attack: name.to_string(),
@@ -587,6 +738,12 @@ pub fn run_campaign(cfg: &ByzantineConfig) -> ByzantineOutcome {
             gates_from_honest: acc.gates_from_honest,
             stats: acc.stats,
             stale_hellos: acc.stale_hellos,
+            client_clean_p50_ms: percentile(&acc.clean_client_lat, 50.0),
+            client_clean_p99_ms: percentile(&acc.clean_client_lat, 99.0),
+            client_attack_p50_ms: percentile(&acc.attack_client_lat, 50.0),
+            client_attack_p99_ms: percentile(&acc.attack_client_lat, 99.0),
+            client_rejects: acc.client_rejects,
+            client_redirects: acc.client_redirects,
         };
         publish_metrics(&report);
         reports.push(report);
@@ -599,6 +756,8 @@ pub fn run_campaign(cfg: &ByzantineConfig) -> ByzantineOutcome {
         identical_runs,
         monitor_violations,
         honest_attributed_rejections: honest_attributed,
+        client_honest_rejections,
+        client_reply_errors,
         reports,
         wall_secs: started.elapsed().as_secs_f64(),
     }
@@ -620,6 +779,8 @@ fn publish_metrics(report: &AttackReport) {
         .add(report.gates_from_byz.iter().sum());
     reg.counter_with("exp.byzantine.gate_rejects", &[("attack", report.attack.as_str()), ("origin", "honest")])
         .add(report.gates_from_honest.iter().sum());
+    reg.counter_with("exp.byzantine.client_rejects", &labels).add(report.client_rejects);
+    reg.counter_with("exp.byzantine.client_redirects", &labels).add(report.client_redirects);
 }
 
 #[cfg(test)]
@@ -642,6 +803,38 @@ mod tests {
         assert_eq!(out.reports.len(), 2);
         for r in &out.reports {
             assert!(r.stats.frames_mutated + r.stats.frames_dropped > 0, "{} attacked", r.attack);
+            // The honest client was served in both phases of both runs.
+            assert!(r.client_clean_p50_ms > 0.0 && r.client_attack_p50_ms > 0.0);
         }
+    }
+
+    /// The client-spray mix alone: crafted client frames hammer the live
+    /// ports, yet the run converges bit-identically, the honest client is
+    /// still served (correct replies, finite latency), and the sprays are
+    /// accounted — rejected at the port or redirected by the table, never
+    /// admitted.
+    #[test]
+    fn client_spray_run_is_survived_and_every_spray_accounted() {
+        let cfg = ByzantineConfig::smoke(77);
+        let idx = AttackRegistry::NAMES
+            .iter()
+            .position(|m| *m == "client-spray")
+            .expect("client-spray is registered");
+        let facts = one_run(&cfg, idx);
+        assert_eq!(facts.attack, "client-spray");
+        assert!(facts.converged, "run must converge under client sprays");
+        assert!(facts.identical, "honest decisions must match the oracle");
+        assert_eq!(facts.violations, 0);
+        assert_eq!(facts.client_reply_errors, 0, "honest client got wrong replies");
+        assert_eq!(facts.client_rejects_clean, 0, "clean phase must not reject");
+        assert!(facts.stats.client_sprays > 0, "the mix actually sprayed");
+        assert!(
+            facts.client_rejects_attack + facts.client_redirects_attack > 0,
+            "sprays must surface as port rejects or table redirects"
+        );
+        assert!(
+            !facts.attack_client_latencies.is_empty(),
+            "honest client must be served while the ports are sprayed"
+        );
     }
 }

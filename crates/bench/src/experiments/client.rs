@@ -1,0 +1,519 @@
+//! E21 — open-loop client saturation: external sessions drive the client
+//! front-end (`rbvc-client` → `ClientPort` → client table → consensus) on
+//! a 7-node loopback TCP mesh with Poisson arrivals, sweeping the offered
+//! rate until the service saturates.
+//!
+//! Each rate step stands up a fresh mesh (one [`ConsensusService`] +
+//! [`ClientPort`] per node, driven by its own poll+pump thread) and `S`
+//! worker sessions whose owners spread across the nodes. Workers are
+//! **open-loop**: arrival times are drawn from an exponential
+//! inter-arrival schedule fixed up front, and a submit fires at its
+//! scheduled instant whether or not earlier requests have decided — the
+//! load does not slow down when the service does, which is what makes the
+//! saturation point visible. Each worker tracks its in-flight requests,
+//! measures submit→reply latency at the client, and checks every reply
+//! against the submitted value (`‖reply − value‖∞ ≤ 1e-6`: all honest
+//! inputs of a client instance are the client's value, so the decision is
+//! the value itself).
+//!
+//! The sweep reports offered vs decided rate and p50/p99 latency per step,
+//! and detects the **saturation point**: the first offered rate where
+//! goodput (decided/submitted) drops below 0.9 or p99 latency leaves the
+//! knee (> 5× the first step's p99). An online [`ServiceMonitor`]
+//! (ε-agreement across all `n` nodes per client instance) watches every
+//! decision, and after the open-loop phase each worker replays its last
+//! answered request — the reply must come back bit-identical from the
+//! dedup cache without a new consensus instance.
+
+use std::collections::BTreeMap;
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use rand::Rng;
+use rbvc_client::{ClientHandle, RetryPolicy};
+use rbvc_linalg::VecD;
+use rbvc_sim::monitor::{epsilon_agreement, SafetyMonitor, ServiceMonitor};
+use rbvc_transport::service::{ClientConfig, ClientStats, ConsensusService};
+use rbvc_transport::{tcp_mesh_loopback, ClientPort, TcpEndpoint};
+
+use crate::experiments::service::percentile;
+use crate::workloads::rng;
+
+/// Sweep configuration.
+#[derive(Debug, Clone)]
+pub struct ClientExpConfig {
+    /// Mesh size (7-node TCP, the systems profile used across E17–E20).
+    pub n: usize,
+    /// Vector dimension of submitted values.
+    pub d: usize,
+    /// Fault tolerance each client instance is configured with (the mesh
+    /// is all-honest, so `f = 0` waits for all `n` states — the
+    /// delivery-order-independent regime).
+    pub f: usize,
+    /// Bracha round budget per client instance.
+    pub rounds: usize,
+    /// Worker sessions; session `s` is owned by node `s % n`, so owners
+    /// spread across the mesh.
+    pub sessions: usize,
+    /// Open-loop arrivals per session per rate step.
+    pub requests_per_session: usize,
+    /// Offered total rates to sweep, requests/second across all sessions.
+    pub rates: Vec<f64>,
+    /// Per-owner admission bound (further admissions queue, then shed).
+    pub max_inflight: usize,
+    /// Admission queue bound; beyond it requests are shed with `Busy`.
+    pub queue_cap: usize,
+    /// Workload seed.
+    pub seed: u64,
+    /// Receive-wait per service poll.
+    pub poll_timeout: Duration,
+    /// How long each step waits for in-flight replies after the last
+    /// scheduled arrival (shed requests never resolve; they count against
+    /// goodput instead of stalling the sweep).
+    pub drain_timeout: Duration,
+}
+
+impl ClientExpConfig {
+    /// The full sweep: rates from well under capacity to well over it, so
+    /// the saturation point falls inside the sweep.
+    #[must_use]
+    pub fn full(seed: u64) -> Self {
+        ClientExpConfig {
+            n: 7,
+            d: 2,
+            f: 0,
+            rounds: 2,
+            sessions: 6,
+            requests_per_session: 25,
+            rates: vec![25.0, 50.0, 100.0, 200.0, 400.0, 800.0, 1600.0],
+            // An envelope smaller than one session's workload: at burst
+            // rates a single owner sees more arrivals than it will hold,
+            // so the sweep's top end genuinely sheds.
+            max_inflight: 8,
+            queue_cap: 8,
+            seed,
+            poll_timeout: Duration::from_millis(1),
+            drain_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// CI-sized profile: still a 7-node TCP mesh (the acceptance regime),
+    /// but fewer sessions, fewer arrivals, and a two-point sweep.
+    #[must_use]
+    pub fn smoke(seed: u64) -> Self {
+        ClientExpConfig {
+            n: 7,
+            d: 2,
+            f: 0,
+            rounds: 2,
+            sessions: 3,
+            requests_per_session: 6,
+            rates: vec![40.0, 400.0],
+            max_inflight: 4,
+            queue_cap: 4,
+            seed,
+            poll_timeout: Duration::from_millis(1),
+            drain_timeout: Duration::from_secs(3),
+        }
+    }
+}
+
+/// One rate step's aggregated measurements.
+#[derive(Debug, Clone)]
+pub struct RateStep {
+    /// Target offered rate, requests/second across all sessions.
+    pub offered_rate: f64,
+    /// Rate actually offered (arrivals / open-loop wall time).
+    pub achieved_offered: f64,
+    /// Requests submitted (scheduled arrivals that got onto a socket).
+    pub submitted: usize,
+    /// Requests answered with a decision.
+    pub decided: usize,
+    /// Goodput ratio: decided / submitted.
+    pub goodput: f64,
+    /// Decided requests per second of step wall clock.
+    pub decided_per_sec: f64,
+    /// Median submit→reply latency at the client, ms.
+    pub p50_ms: f64,
+    /// 99th-percentile submit→reply latency, ms.
+    pub p99_ms: f64,
+    /// Worst submit→reply latency, ms.
+    pub max_ms: f64,
+    /// Step wall clock (open loop + drain), seconds.
+    pub wall_secs: f64,
+    /// Requests shed with `Busy` (summed service counters).
+    pub shed: u64,
+    /// Dedup cache hits (the post-run idempotence replays land here).
+    pub dedup_hits: u64,
+    /// Redirects answered by non-owning nodes.
+    pub redirects: u64,
+    /// Replies whose decision strayed from the submitted value (must be 0).
+    pub reply_errors: u64,
+    /// Idempotence replays whose cached reply was not bit-identical
+    /// (must be 0).
+    pub dedup_mismatches: u64,
+    /// Consensus instances actually run, summed over owners — dedup means
+    /// this never exceeds `decided` requests admitted.
+    pub instances: usize,
+}
+
+/// Sweep outcome.
+#[derive(Debug, Clone)]
+pub struct ClientOutcome {
+    /// Per-rate measurements, in sweep order.
+    pub steps: Vec<RateStep>,
+    /// First offered rate where goodput < 0.9 or p99 latency exceeded 5×
+    /// the first step's p99 — `None` if the sweep never saturated.
+    pub saturation_rate: Option<f64>,
+    /// Online safety-monitor violations across the sweep (must be 0).
+    pub monitor_violations: usize,
+    /// Campaign wall clock, seconds.
+    pub wall_secs: f64,
+}
+
+impl ClientOutcome {
+    /// Pass verdict: every step decided something, no monitor violation,
+    /// no wrong reply, no dedup mismatch.
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.monitor_violations == 0
+            && !self.steps.is_empty()
+            && self.steps.iter().all(|s| {
+                s.decided > 0 && s.reply_errors == 0 && s.dedup_mismatches == 0
+            })
+    }
+}
+
+/// What one worker session brings back from its thread.
+struct WorkerReport {
+    submitted: usize,
+    decided: usize,
+    latencies_ms: Vec<f64>,
+    reply_errors: u64,
+    dedup_mismatches: u64,
+    /// Wall clock of the arrival schedule alone (start to last submit),
+    /// *excluding* the drain — the denominator of the offered rate.
+    open_loop_secs: f64,
+}
+
+/// The deterministic value session `s` submits as its `k`-th request.
+fn workload_value(cfg: &ClientExpConfig, session: u64, k: usize) -> VecD {
+    let mut r = rng(
+        cfg.seed
+            .wrapping_mul(0x9e37_79b9)
+            .wrapping_add(session << 20)
+            .wrapping_add(k as u64),
+    );
+    VecD::from_slice(&(0..cfg.d).map(|_| r.gen_range(-8.0..8.0)).collect::<Vec<f64>>())
+}
+
+/// One open-loop worker session: submit on the Poisson schedule, harvest
+/// replies as they arrive, drain, then replay the last answered request
+/// and demand the identical bytes.
+fn run_worker(
+    cfg: &ClientExpConfig,
+    session: u64,
+    rate_per_session: f64,
+    addrs: Vec<SocketAddr>,
+) -> WorkerReport {
+    let mut handle = ClientHandle::new(session, addrs).with_policy(RetryPolicy {
+        attempt_timeout: Duration::from_secs(2),
+        max_attempts: 4,
+        backoff: Duration::from_millis(2),
+        max_backoff: Duration::from_millis(50),
+    });
+    let mut schedule_rng = rng(cfg.seed ^ (session.wrapping_mul(0x517c_c1b7_2722_0a95)));
+    let mut exp_draw = move || {
+        let u: f64 = schedule_rng.gen_range(0.0..1.0);
+        Duration::from_secs_f64(-(1.0 - u).ln() / rate_per_session)
+    };
+
+    let start = Instant::now();
+    let mut next_arrival = start + exp_draw();
+    // reqno → (submit instant, value); resolved entries move into replies.
+    let mut pending: BTreeMap<u64, (Instant, VecD)> = BTreeMap::new();
+    let mut replies: BTreeMap<u64, VecD> = BTreeMap::new();
+    let mut latencies_ms = Vec::new();
+    let mut submitted = 0usize;
+    let mut reply_errors = 0u64;
+
+    let harvest = |handle: &mut ClientHandle,
+                       pending: &mut BTreeMap<u64, (Instant, VecD)>,
+                       replies: &mut BTreeMap<u64, VecD>,
+                       latencies_ms: &mut Vec<f64>,
+                       reply_errors: &mut u64| {
+        for (reqno, decision) in handle.take_replies() {
+            let Some((at, value)) = pending.remove(&reqno) else {
+                continue; // duplicate reply for an already-resolved request
+            };
+            latencies_ms.push(at.elapsed().as_secs_f64() * 1e3);
+            let off = decision
+                .as_slice()
+                .iter()
+                .zip(value.as_slice())
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            if off > 1e-6 {
+                *reply_errors += 1;
+            }
+            replies.insert(reqno, decision);
+        }
+    };
+
+    for k in 0..cfg.requests_per_session {
+        // Open loop: sleep *to the schedule*, not to the service. A late
+        // arrival fires immediately (the schedule does not stretch).
+        let now = Instant::now();
+        if next_arrival > now {
+            thread::sleep(next_arrival - now);
+        }
+        next_arrival += exp_draw();
+        let value = workload_value(cfg, session, k);
+        if let Ok(reqno) = handle.submit_nowait(&value) {
+            pending.insert(reqno, (Instant::now(), value));
+            submitted += 1;
+        }
+        harvest(&mut handle, &mut pending, &mut replies, &mut latencies_ms, &mut reply_errors);
+    }
+    let open_loop_secs = start.elapsed().as_secs_f64();
+
+    // Drain: in-flight requests may still decide; shed ones never will.
+    let deadline = Instant::now() + cfg.drain_timeout;
+    while !pending.is_empty() && Instant::now() < deadline {
+        harvest(&mut handle, &mut pending, &mut replies, &mut latencies_ms, &mut reply_errors);
+        thread::sleep(Duration::from_millis(1));
+    }
+
+    // Idempotence replay: the highest answered reqno, retried blocking,
+    // must return the cached decision bit for bit.
+    let mut dedup_mismatches = 0u64;
+    if let Some((&reqno, first)) = replies.iter().next_back() {
+        let first = first.clone();
+        match handle.submit_as(reqno, &workload_value(cfg, session, reqno as usize - 1)) {
+            Ok(again) if again.as_slice() == first.as_slice() => {}
+            _ => dedup_mismatches += 1,
+        }
+    }
+
+    WorkerReport {
+        submitted,
+        decided: replies.len(),
+        latencies_ms,
+        reply_errors,
+        dedup_mismatches,
+        open_loop_secs,
+    }
+}
+
+/// One rate step: fresh mesh, `sessions` open-loop workers, online
+/// agreement monitoring of every client-instance decision.
+fn run_step(cfg: &ClientExpConfig, rate: f64) -> (RateStep, usize) {
+    let endpoints = tcp_mesh_loopback(cfg.n).expect("loopback TCP mesh");
+    let mut ports = Vec::with_capacity(cfg.n);
+    let mut addrs = Vec::with_capacity(cfg.n);
+    for _ in 0..cfg.n {
+        let port = ClientPort::bind("127.0.0.1:0".parse().expect("loopback addr"))
+            .expect("bind client port");
+        addrs.push(port.local_addr());
+        ports.push(port);
+    }
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let (ev_tx, ev_rx) = mpsc::channel::<(u64, usize, Vec<f64>)>();
+    type Node = (ConsensusService<TcpEndpoint>, ClientPort);
+    let nodes: Vec<thread::JoinHandle<Node>> = endpoints
+        .into_iter()
+        .zip(ports)
+        .enumerate()
+        .map(|(id, (ep, mut port))| {
+            let stop = Arc::clone(&stop);
+            let ev_tx = ev_tx.clone();
+            let cfg = cfg.clone();
+            thread::spawn(move || {
+                let mut svc = ConsensusService::new(ep);
+                svc.enable_client(ClientConfig {
+                    f: cfg.f,
+                    rounds: cfg.rounds,
+                    max_inflight: cfg.max_inflight,
+                    queue_cap: cfg.queue_cap,
+                });
+                svc.start_deferred();
+                while !stop.load(Ordering::Relaxed) {
+                    for ev in svc.poll(cfg.poll_timeout) {
+                        let _ = ev_tx.send((ev.instance, id, ev.value.as_slice().to_vec()));
+                    }
+                    port.pump(&mut svc);
+                }
+                (svc, port)
+            })
+        })
+        .collect();
+    drop(ev_tx);
+
+    let n = cfg.n;
+    let mut monitor: ServiceMonitor<Vec<f64>> = ServiceMonitor::new(move |_inst| {
+        SafetyMonitor::agreement_only(n, epsilon_agreement(1e-9))
+    });
+
+    let step_start = Instant::now();
+    let rate_per_session = rate / cfg.sessions as f64;
+    let workers: Vec<thread::JoinHandle<WorkerReport>> = (0..cfg.sessions)
+        .map(|s| {
+            let cfg = cfg.clone();
+            let addrs = addrs.clone();
+            thread::spawn(move || run_worker(&cfg, s as u64, rate_per_session, addrs))
+        })
+        .collect();
+
+    let mut reports = Vec::with_capacity(cfg.sessions);
+    for w in workers {
+        reports.push(w.join().expect("worker thread"));
+    }
+    // The arrival window is the slowest worker's schedule (workers run
+    // concurrently); the drain is deliberately excluded.
+    let open_loop_secs = reports.iter().map(|r| r.open_loop_secs).fold(0.0, f64::max);
+    stop.store(true, Ordering::Relaxed);
+    let mut stats = ClientStats::default();
+    let mut instances = 0usize;
+    for h in nodes {
+        let (svc, _port) = h.join().expect("node thread");
+        let s = svc.client_stats();
+        stats.shed += s.shed;
+        stats.dedup_hits += s.dedup_hits;
+        stats.redirects += s.redirects;
+        instances += svc.instance_count();
+    }
+    while let Ok((instance, process, value)) = ev_rx.recv() {
+        monitor.observe(instance, process, &value);
+    }
+
+    let submitted: usize = reports.iter().map(|r| r.submitted).sum();
+    let decided: usize = reports.iter().map(|r| r.decided).sum();
+    let mut latencies_ms: Vec<f64> =
+        reports.iter().flat_map(|r| r.latencies_ms.iter().copied()).collect();
+    latencies_ms.sort_by(f64::total_cmp);
+    let wall_secs = step_start.elapsed().as_secs_f64();
+    let step = RateStep {
+        offered_rate: rate,
+        achieved_offered: if open_loop_secs > 0.0 {
+            submitted as f64 / open_loop_secs
+        } else {
+            0.0
+        },
+        submitted,
+        decided,
+        goodput: if submitted > 0 { decided as f64 / submitted as f64 } else { 0.0 },
+        decided_per_sec: if wall_secs > 0.0 { decided as f64 / wall_secs } else { 0.0 },
+        p50_ms: percentile(&latencies_ms, 50.0),
+        p99_ms: percentile(&latencies_ms, 99.0),
+        max_ms: latencies_ms.last().copied().unwrap_or(f64::NAN),
+        wall_secs,
+        shed: stats.shed,
+        dedup_hits: stats.dedup_hits,
+        redirects: stats.redirects,
+        reply_errors: reports.iter().map(|r| r.reply_errors).sum(),
+        dedup_mismatches: reports.iter().map(|r| r.dedup_mismatches).sum(),
+        // Every node runs every client instance; per-owner count is the
+        // mesh-wide total over n.
+        instances: instances / cfg.n,
+    };
+    (step, monitor.violation_count())
+}
+
+/// Run the sweep and publish per-step gauges
+/// (`exp.client.decided_per_sec{rate=...}`, `exp.client.p99_us{rate=...}`)
+/// plus the detected saturation rate into the global registry for the live
+/// `/metrics` endpoint.
+#[must_use]
+pub fn run_sweep(cfg: &ClientExpConfig) -> ClientOutcome {
+    let started = Instant::now();
+    let mut steps = Vec::with_capacity(cfg.rates.len());
+    let mut monitor_violations = 0usize;
+    for &rate in &cfg.rates {
+        let (step, violations) = run_step(cfg, rate);
+        monitor_violations += violations;
+        publish_step(&step);
+        steps.push(step);
+    }
+
+    let knee = steps.first().map_or(f64::INFINITY, |s| s.p99_ms * 5.0);
+    let saturation_rate = steps
+        .iter()
+        .find(|s| s.goodput < 0.9 || s.p99_ms > knee)
+        .map(|s| s.offered_rate);
+    if let Some(rate) = saturation_rate {
+        rbvc_obs::Registry::global()
+            .gauge("exp.client.saturation_offered_per_sec")
+            .set(rate as i64);
+    }
+    ClientOutcome {
+        steps,
+        saturation_rate,
+        monitor_violations,
+        wall_secs: started.elapsed().as_secs_f64(),
+    }
+}
+
+fn publish_step(step: &RateStep) {
+    let reg = rbvc_obs::Registry::global();
+    let rate = format!("{:.0}", step.offered_rate);
+    let labels = [("rate", rate.as_str())];
+    reg.gauge_with("exp.client.decided_per_sec", &labels)
+        .set(step.decided_per_sec as i64);
+    if step.p99_ms.is_finite() {
+        reg.gauge_with("exp.client.p99_us", &labels).set((step.p99_ms * 1000.0) as i64);
+    }
+    reg.gauge_with("exp.client.goodput_permille", &labels)
+        .set((step.goodput * 1000.0) as i64);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A single low-rate step end to end: everything offered decides,
+    /// replies match the submitted values, the idempotence replays hit the
+    /// dedup cache, and the monitor stays silent.
+    #[test]
+    fn low_rate_step_decides_everything_cleanly() {
+        let mut cfg = ClientExpConfig::smoke(5);
+        cfg.sessions = 2;
+        cfg.requests_per_session = 3;
+        cfg.rates = vec![30.0];
+        let out = run_sweep(&cfg);
+        assert_eq!(out.steps.len(), 1);
+        let s = &out.steps[0];
+        assert_eq!(s.submitted, 6, "open loop offered everything");
+        assert_eq!(s.decided, 6, "under capacity nothing is shed: {s:?}");
+        assert_eq!(s.reply_errors, 0);
+        assert_eq!(s.dedup_mismatches, 0);
+        assert!(s.dedup_hits >= 2, "one idempotence replay per session: {s:?}");
+        assert_eq!(s.instances, 6, "one instance per unique request, none for replays");
+        assert_eq!(out.monitor_violations, 0);
+        assert!(out.clean(), "{out:?}");
+        assert!(out.saturation_rate.is_none(), "a single clean step never saturates");
+    }
+
+    /// Overload saturates: a tiny admission envelope under a hot open loop
+    /// must shed, and the sweep must detect the saturation point.
+    #[test]
+    fn overload_is_shed_and_detected_as_saturation() {
+        let mut cfg = ClientExpConfig::smoke(9);
+        cfg.sessions = 2;
+        cfg.requests_per_session = 30;
+        cfg.max_inflight = 1;
+        cfg.queue_cap = 0;
+        cfg.drain_timeout = Duration::from_secs(2);
+        cfg.rates = vec![40.0, 2500.0];
+        let out = run_sweep(&cfg);
+        assert_eq!(out.monitor_violations, 0, "overload must never break safety");
+        let hot = &out.steps[1];
+        assert!(hot.shed > 0, "a zero-queue node under a hot open loop sheds: {hot:?}");
+        assert!(hot.goodput < 0.9, "shed requests show up as lost goodput: {hot:?}");
+        assert_eq!(out.saturation_rate, Some(2500.0), "saturation point detected");
+        assert_eq!(hot.reply_errors, 0, "every reply that did arrive is correct");
+    }
+}

@@ -13,11 +13,13 @@
 //! | [`service`] | E17 | multi-instance service load generation over real sockets (systems artifact) |
 //! | [`recovery`] | E18 | kill/restart crash-recovery campaign with WAL corruption injection (systems artifact) |
 //! | [`byzantine`] | E20 | live Byzantine adversaries over real TCP (robustness, systems artifact) |
+//! | [`client`] | E21 | open-loop client saturation sweep through the external front-end (systems artifact) |
 
 pub mod asynchrony;
 pub mod broadcast_ablation;
 pub mod byzantine;
 pub mod chaos;
+pub mod client;
 pub mod conjecture_hunt;
 pub mod counterex;
 pub mod lemmas;

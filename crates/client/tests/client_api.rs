@@ -1,0 +1,168 @@
+//! End-to-end client tests over real TCP (ISSUE 8): submit → decision,
+//! redirect-following, retry idempotence across two different nodes, and
+//! `Busy` backpressure.
+
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use rbvc_client::{ClientError, ClientHandle, RetryPolicy};
+use rbvc_linalg::VecD;
+use rbvc_transport::{
+    tcp_mesh_loopback, ClientConfig, ClientPort, ConsensusService, TcpEndpoint,
+};
+
+type NodeResult = (ConsensusService<TcpEndpoint>, ClientPort);
+
+/// Stand up an `n`-node TCP mesh with a client port per node, each driven
+/// by its own poll+pump thread until `stop` is raised. Returns the client
+/// port addresses (indexed by node id) and the join handles, which yield
+/// each node's service and port for post-run inspection.
+fn spawn_mesh(
+    n: usize,
+    cfg: ClientConfig,
+    stop: &Arc<AtomicBool>,
+) -> (Vec<SocketAddr>, Vec<thread::JoinHandle<NodeResult>>) {
+    let endpoints = tcp_mesh_loopback(n).expect("tcp mesh");
+    let mut ports = Vec::with_capacity(n);
+    let mut addrs = Vec::with_capacity(n);
+    for _ in 0..n {
+        let port = ClientPort::bind("127.0.0.1:0".parse().expect("addr")).expect("bind");
+        addrs.push(port.local_addr());
+        ports.push(port);
+    }
+    let handles = endpoints
+        .into_iter()
+        .zip(ports)
+        .map(|(ep, mut port)| {
+            let stop = Arc::clone(stop);
+            thread::spawn(move || {
+                let mut svc = ConsensusService::new(ep);
+                svc.enable_client(cfg);
+                svc.start_deferred();
+                while !stop.load(Ordering::Relaxed) {
+                    let _ = svc.poll(Duration::from_millis(1));
+                    port.pump(&mut svc);
+                }
+                (svc, port)
+            })
+        })
+        .collect();
+    (addrs, handles)
+}
+
+/// One submit round-trips to a decision that is the submitted point (all
+/// honest inputs are identical), and a retry of the same `(session, reqno)`
+/// sent to a *different* node follows the redirect and comes back
+/// bit-identical, with exactly one consensus instance mesh-wide.
+#[test]
+fn submit_decides_and_cross_node_retry_is_bit_identical() {
+    let n = 3;
+    let stop = Arc::new(AtomicBool::new(false));
+    let (addrs, handles) = spawn_mesh(n, ClientConfig::default(), &stop);
+
+    let session = 5; // owner = 5 % 3 = node 2
+    let owner = 2;
+    let value = VecD::from_slice(&[1.25, -0.5, 3.0]);
+    let mut client = ClientHandle::new(session, addrs);
+    let first = client.submit(&value).expect("first submit decides");
+    for (a, b) in first.as_slice().iter().zip(value.as_slice()) {
+        assert!((a - b).abs() < 1e-6, "decision {first:?} vs submitted {value:?}");
+    }
+
+    // Retry the SAME request against a non-owning node: it redirects, the
+    // owner answers from its reply cache, and the bytes are identical.
+    client.set_target((owner + 1) % n);
+    let retried = client.submit_as(1, &value).expect("retry answered");
+    assert_eq!(first.as_slice(), retried.as_slice(), "cached reply must be bit-identical");
+    assert!(client.stats().redirects_followed >= 1, "{:?}", client.stats());
+
+    stop.store(true, Ordering::Relaxed);
+    let results: Vec<NodeResult> = handles.into_iter().map(|h| h.join().expect("node")).collect();
+    // Exactly one instance ran, everywhere; the retry was a dedup hit.
+    for (svc, port) in &results {
+        assert_eq!(svc.instance_count(), 1);
+        assert_eq!(port.rejects(), 0);
+    }
+    assert!(
+        results[owner].0.client_stats().dedup_hits >= 1,
+        "owner stats: {:?}",
+        results[owner].0.client_stats()
+    );
+    let non_owner = (owner + 1) % n;
+    assert!(results[non_owner].0.client_stats().redirects >= 1);
+}
+
+/// With zero admission capacity every submit is shed with `Busy`: the
+/// handle backs off, retries, and surfaces `Exhausted` — and the service
+/// counts every shed request.
+#[test]
+fn zero_capacity_node_sheds_with_busy() {
+    let stop = Arc::new(AtomicBool::new(false));
+    let cfg = ClientConfig { max_inflight: 0, queue_cap: 0, ..ClientConfig::default() };
+    let (addrs, handles) = spawn_mesh(1, cfg, &stop);
+
+    let mut client = ClientHandle::new(0, addrs).with_policy(RetryPolicy {
+        attempt_timeout: Duration::from_millis(500),
+        max_attempts: 3,
+        backoff: Duration::from_millis(1),
+        max_backoff: Duration::from_millis(5),
+    });
+    let err = client.submit(&VecD::from_slice(&[1.0])).expect_err("must shed");
+    assert_eq!(err, ClientError::Exhausted { attempts: 3 });
+    assert!(client.stats().busy_backoffs >= 1, "{:?}", client.stats());
+
+    stop.store(true, Ordering::Relaxed);
+    let (svc, _port) = handles.into_iter().next().expect("one node").join().expect("node");
+    assert!(svc.client_stats().shed >= 3, "{:?}", svc.client_stats());
+    assert_eq!(svc.instance_count(), 0);
+}
+
+/// Garbage on the client port — truncated frames, forged lengths, a valid
+/// header followed by junk — never panics the node and never reaches the
+/// client table; an honest submit on a fresh connection still succeeds.
+#[test]
+fn port_survives_garbage_and_still_serves_honest_clients() {
+    use std::io::Write as _;
+    use std::net::TcpStream;
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let (addrs, handles) = spawn_mesh(1, ClientConfig::default(), &stop);
+
+    // A length prefix promising 16 MiB, then nothing; a zero length; raw
+    // junk; and a valid-looking prefix with garbage body.
+    let attacks: Vec<Vec<u8>> = vec![
+        (1u32 << 24).to_le_bytes().to_vec(),
+        0u32.to_le_bytes().to_vec(),
+        vec![0xFF; 37],
+        {
+            let mut b = 12u32.to_le_bytes().to_vec();
+            b.extend_from_slice(b"RC\x01\x09garbage!");
+            b
+        },
+    ];
+    for bytes in &attacks {
+        let mut s = TcpStream::connect(addrs[0]).expect("dial");
+        s.write_all(bytes).expect("write");
+        // Give the reader a moment to ingest before the connection drops.
+        thread::sleep(Duration::from_millis(20));
+    }
+
+    let mut client = ClientHandle::new(0, addrs);
+    let v = VecD::from_slice(&[7.0, -2.0]);
+    let decision = client.submit(&v).expect("honest client unaffected");
+    for (a, b) in decision.as_slice().iter().zip(v.as_slice()) {
+        assert!((a - b).abs() < 1e-6);
+    }
+
+    stop.store(true, Ordering::Relaxed);
+    let (svc, port) = handles.into_iter().next().expect("one node").join().expect("node");
+    // The decodable-but-wrong frame was counted; the framing violations
+    // poisoned their connections. Nothing reached the client table except
+    // the honest submit.
+    assert!(port.rejects() >= 1, "crafted frame must be counted");
+    assert_eq!(svc.instance_count(), 1);
+    assert_eq!(svc.client_stats().admitted, 1);
+}

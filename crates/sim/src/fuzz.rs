@@ -27,6 +27,77 @@ use crate::asynch::{AsyncAdversary, AsyncProtocol};
 use crate::config::ProcessId;
 use crate::sync::{SyncAdversary, SyncProtocol};
 
+/// Seeded, codec-agnostic byte-level mutator for wire fuzz corpora.
+///
+/// The structured adversaries above operate on decoded protocol messages;
+/// this one operates on *encoded bytes* and is shared by the transport
+/// crate's codec tests — both the inter-node frame codec and the client
+/// front-end codec (`rbvc-transport::client`) derive their malformed
+/// corpora from a valid base frame plus exactly one of these mutations:
+/// an interior truncation, a forged little-endian length/count field, a
+/// garbage tail, or a single flipped byte. Keeping the mutation taxonomy
+/// here (below the codecs) guarantees both codecs are fuzzed with the
+/// same attack shapes.
+pub struct ByteMutator {
+    rng: StdRng,
+}
+
+impl ByteMutator {
+    /// A deterministic mutator for the given seed.
+    #[must_use]
+    pub fn new(seed: u64) -> Self {
+        ByteMutator {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// A strict prefix of `base`, cut at a random interior byte (empty
+    /// input stays empty).
+    #[must_use]
+    pub fn truncate(&mut self, base: &[u8]) -> Vec<u8> {
+        if base.len() <= 1 {
+            return Vec::new();
+        }
+        let cut = 1 + self.rng.gen_range(0..base.len() - 1);
+        base[..cut].to_vec()
+    }
+
+    /// `base` with the 4 bytes at `offset` overwritten by a huge
+    /// little-endian count the remaining bytes cannot back — the classic
+    /// allocation-bomb forgery. Returns `base` unchanged when the field
+    /// does not fit.
+    #[must_use]
+    pub fn forge_len_u32(&mut self, base: &[u8], offset: usize) -> Vec<u8> {
+        let mut out = base.to_vec();
+        if offset + 4 <= out.len() {
+            let forged = u32::MAX - self.rng.gen_range(0..1u32 << 16);
+            out[offset..offset + 4].copy_from_slice(&forged.to_le_bytes());
+        }
+        out
+    }
+
+    /// `base` with 1–48 random bytes appended (frames are exactly one
+    /// message, so codecs must reject the tail).
+    #[must_use]
+    pub fn append_garbage(&mut self, base: &[u8]) -> Vec<u8> {
+        let mut out = base.to_vec();
+        let tail = 1 + self.rng.gen_range(0..48);
+        out.extend((0..tail).map(|_| self.rng.gen_range(0..=255u8)));
+        out
+    }
+
+    /// `base` with a single random byte XOR-flipped (never a no-op flip).
+    #[must_use]
+    pub fn flip_byte(&mut self, base: &[u8]) -> Vec<u8> {
+        let mut out = base.to_vec();
+        if !out.is_empty() {
+            let pos = self.rng.gen_range(0..out.len());
+            out[pos] ^= self.rng.gen_range(1..=255u8);
+        }
+        out
+    }
+}
+
 /// Honest until `crash_round`, silent afterwards (still receives).
 pub struct CrashAdversary<P: SyncProtocol> {
     inner: P,

@@ -83,6 +83,21 @@ pub enum WalRecord {
         /// Records dropped by the compaction.
         dropped: u64,
     },
+    /// A client request completed: the decision for `(session, reqno)` was
+    /// cached in the client table (and is about to be sent to the client).
+    /// Synced before the reply leaves the process, so a restarted node
+    /// answers a duplicate retry with the identical pre-crash reply —
+    /// client-table dedup survives the crash.
+    ClientReply {
+        /// The consensus instance that served the request.
+        instance: u64,
+        /// Client session.
+        session: u64,
+        /// The session's request number this reply answers.
+        reqno: u64,
+        /// The decided vector's components, verbatim.
+        value: Vec<f64>,
+    },
 }
 
 const TAG_REGISTERED: u8 = 1;
@@ -92,6 +107,7 @@ const TAG_SENT: u8 = 4;
 const TAG_WITNESS: u8 = 5;
 const TAG_DECIDED: u8 = 6;
 const TAG_COMPACTED: u8 = 7;
+const TAG_CLIENT_REPLY: u8 = 8;
 
 /// Sanity cap on variable-length fields inside a record, matching the wire
 /// codec's allocation guard (a record payload is itself capped by
@@ -146,6 +162,18 @@ pub fn encode_record(r: &WalRecord) -> Vec<u8> {
             out.push(TAG_COMPACTED);
             out.extend_from_slice(&retained.to_le_bytes());
             out.extend_from_slice(&dropped.to_le_bytes());
+        }
+        WalRecord::ClientReply { instance, session, reqno, value } => {
+            out.push(TAG_CLIENT_REPLY);
+            out.extend_from_slice(&instance.to_le_bytes());
+            out.extend_from_slice(&session.to_le_bytes());
+            out.extend_from_slice(&reqno.to_le_bytes());
+            out.extend_from_slice(
+                &(u32::try_from(value.len()).expect("dimension fits u32")).to_le_bytes(),
+            );
+            for x in value {
+                out.extend_from_slice(&x.to_le_bytes());
+            }
         }
     }
     out
@@ -226,6 +254,20 @@ pub fn decode_record(payload: &[u8]) -> Option<WalRecord> {
             WalRecord::Decided { instance, value }
         }
         TAG_COMPACTED => WalRecord::Compacted { retained: r.u64()?, dropped: r.u64()? },
+        TAG_CLIENT_REPLY => {
+            let instance = r.u64()?;
+            let session = r.u64()?;
+            let reqno = r.u64()?;
+            let d = r.u32()? as usize;
+            if d > MAX_FIELD_LEN / 8 {
+                return None;
+            }
+            let mut value = Vec::with_capacity(d.min(r.buf.len().saturating_sub(r.pos) / 8));
+            for _ in 0..d {
+                value.push(r.f64()?);
+            }
+            WalRecord::ClientReply { instance, session, reqno, value }
+        }
         _ => return None,
     };
     if !r.done() {
@@ -249,6 +291,13 @@ mod tests {
             WalRecord::Decided { instance: 9, value: vec![0.25, -1.5, f64::MAX] },
             WalRecord::Decided { instance: 9, value: vec![] },
             WalRecord::Compacted { retained: 5, dropped: 1000 },
+            WalRecord::ClientReply {
+                instance: 1 << 44,
+                session: 12,
+                reqno: 3,
+                value: vec![1.5, -0.25],
+            },
+            WalRecord::ClientReply { instance: 0, session: 0, reqno: 0, value: vec![] },
         ]
     }
 

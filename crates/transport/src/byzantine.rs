@@ -199,6 +199,71 @@ impl PayloadCrafter {
             _ => self.trailing_garbage(),
         }
     }
+
+    /// A fully valid *client-protocol* `Submit` frame (magic `"RC"`) for
+    /// `session` — the base of the client-port corpus, and the redirect
+    /// probe when `session` is owned by some other node.
+    #[must_use]
+    pub fn client_valid_submit(&mut self, session: u64) -> Vec<u8> {
+        let dim = 1 + self.rng.below(3);
+        let xs: Vec<f64> = (0..dim)
+            .map(|_| (self.rng.next_u64() % 1_000) as f64 / 10.0 - 50.0)
+            .collect();
+        crate::client::encode_client_frame(&crate::client::ClientFrame::Submit {
+            session,
+            reqno: 1 + self.rng.next_u64() % 8,
+            value: VecD::from_slice(&xs),
+        })
+    }
+
+    /// A valid client frame cut at a random interior byte.
+    #[must_use]
+    pub fn client_truncated(&mut self) -> Vec<u8> {
+        let session = self.rng.next_u64();
+        let base = self.client_valid_submit(session);
+        let cut = 1 + self.rng.below(base.len() - 1);
+        base[..cut].to_vec()
+    }
+
+    /// A valid client `Submit` whose vector-dimension field is forged to a
+    /// count the remaining bytes cannot back — the client codec's
+    /// allocation guard must reject it before any allocation.
+    #[must_use]
+    pub fn client_forged_length(&mut self) -> Vec<u8> {
+        let session = self.rng.next_u64();
+        let mut base = self.client_valid_submit(session);
+        // Submit layout: "RC" ver kind (4 bytes), session u64, reqno u64,
+        // then the vector dim u32 at offset 20.
+        let forged = u32::MAX - self.rng.below(1 << 12) as u32;
+        base[20..24].copy_from_slice(&forged.to_le_bytes());
+        base
+    }
+
+    /// A well-formed client header (`"RC"`, version, kind) followed by
+    /// random garbage where the body should be.
+    #[must_use]
+    pub fn client_header_then_garbage(&mut self) -> Vec<u8> {
+        let session = self.rng.next_u64();
+        let mut base = self.client_valid_submit(session);
+        base.truncate(4);
+        let tail = 1 + self.rng.below(40);
+        for _ in 0..tail {
+            base.push((self.rng.next_u64() & 0xFF) as u8);
+        }
+        base
+    }
+
+    /// The next client-port payload of the rotating corpus (cycles the
+    /// malformed client variants; never returns a valid frame).
+    #[must_use]
+    pub fn next_client_crafted(&mut self) -> Vec<u8> {
+        self.counter += 1;
+        match self.counter % 3 {
+            0 => self.client_truncated(),
+            1 => self.client_forged_length(),
+            _ => self.client_header_then_garbage(),
+        }
+    }
 }
 
 /// How an active adversary treats frames whose broadcast origin is itself.
@@ -264,6 +329,14 @@ pub struct AttackPolicy {
     /// Fire a fresh-HELLO connect-then-drop storm (generation churn against
     /// the reconnection machinery) on this flush stride (`0`: off).
     pub redial_storm_every: u64,
+    /// Crafted client-protocol frames sprayed at the peers' *client ports*
+    /// per flush (`0`: off; requires
+    /// [`ByzantineEndpoint::with_client_targets`]). The volley cycles
+    /// truncated / forged-length / header-then-garbage client frames plus
+    /// one valid `Submit` for a session the victim does not own — so every
+    /// spray is either rejected at the client codec boundary or answered
+    /// with a `Redirect`, and no consensus instance ever spawns from it.
+    pub client_spray_per_flush: usize,
 }
 
 impl AttackPolicy {
@@ -285,6 +358,7 @@ impl AttackPolicy {
             spray_instances: Vec::new(),
             hello_replay_every: 0,
             redial_storm_every: 0,
+            client_spray_per_flush: 0,
         }
     }
 
@@ -299,7 +373,7 @@ pub struct AttackRegistry;
 
 impl AttackRegistry {
     /// Every registered attack mix, in campaign cycling order.
-    pub const NAMES: [&'static str; 8] = [
+    pub const NAMES: [&'static str; 9] = [
         "equivocate",
         "lying-witness",
         "mute",
@@ -307,6 +381,7 @@ impl AttackRegistry {
         "gate-spray",
         "hello-replay",
         "redial-storm",
+        "client-spray",
         "combined",
     ];
 
@@ -337,6 +412,7 @@ impl AttackRegistry {
             spray_instances: vec![1],
             hello_replay_every: 0,
             redial_storm_every: 0,
+            client_spray_per_flush: 0,
         };
         match *canonical {
             "equivocate" => {}
@@ -352,6 +428,7 @@ impl AttackRegistry {
             "gate-spray" => p.gate_spray_per_flush = 3,
             "hello-replay" => p.hello_replay_every = 8,
             "redial-storm" => p.redial_storm_every = 16,
+            "client-spray" => p.client_spray_per_flush = 2,
             "combined" => {
                 p.lying_witness = true;
                 p.mute_relays = Some(MuteSpec {
@@ -362,6 +439,7 @@ impl AttackRegistry {
                 p.gate_spray_per_flush = 2;
                 p.hello_replay_every = 16;
                 p.redial_storm_every = 32;
+                p.client_spray_per_flush = 1;
             }
             _ => unreachable!("matched against NAMES"),
         }
@@ -386,6 +464,8 @@ pub struct AttackStats {
     pub hello_replays: u64,
     /// Fresh-HELLO connect-then-drop storms fired.
     pub redial_storms: u64,
+    /// Crafted client-protocol frames sprayed at peer client ports.
+    pub client_sprays: u64,
 }
 
 impl std::ops::AddAssign for AttackStats {
@@ -396,6 +476,7 @@ impl std::ops::AddAssign for AttackStats {
         self.gate_sprays += rhs.gate_sprays;
         self.hello_replays += rhs.hello_replays;
         self.redial_storms += rhs.redial_storms;
+        self.client_sprays += rhs.client_sprays;
     }
 }
 
@@ -414,6 +495,9 @@ pub struct ByzantineEndpoint<T: Transport> {
     /// Peer listener addresses for the raw-socket attacks (HELLO replays,
     /// redial storms). Empty: those attacks are skipped.
     wire_addrs: Vec<SocketAddr>,
+    /// Peer *client-port* addresses (indexed by node id) for the
+    /// client-frame sprays. Empty: that attack is skipped.
+    client_addrs: Vec<SocketAddr>,
     /// Per-destination equivocation offset scale, derived from the seed —
     /// strictly positive, so every mutated value differs from the original
     /// and from every other destination's copy.
@@ -433,6 +517,7 @@ impl<T: Transport> ByzantineEndpoint<T> {
             stats: AttackStats::default(),
             flushes: 0,
             wire_addrs: Vec::new(),
+            client_addrs: Vec::new(),
             eps: 0.25 + (seed % 16) as f64 / 32.0,
             policy,
         }
@@ -443,6 +528,14 @@ impl<T: Transport> ByzantineEndpoint<T> {
     #[must_use]
     pub fn with_wire_targets(mut self, addrs: &[SocketAddr]) -> Self {
         self.wire_addrs = addrs.to_vec();
+        self
+    }
+
+    /// Provide the mesh's client-port addresses (indexed by node id),
+    /// enabling the client-frame sprays.
+    #[must_use]
+    pub fn with_client_targets(mut self, addrs: &[SocketAddr]) -> Self {
+        self.client_addrs = addrs.to_vec();
         self
     }
 
@@ -594,6 +687,47 @@ impl<T: Transport> ByzantineEndpoint<T> {
         }
     }
 
+    /// Spray crafted client-protocol frames at the peers' client ports:
+    /// each volley dials one victim and writes the rotating malformed
+    /// corpus (truncated / forged-length / header-then-garbage) plus one
+    /// *valid* `Submit` for a session the victim does not own. Everything
+    /// lands at the client codec boundary (counted `client.port.reject`)
+    /// or comes back as a `Redirect` — no instance can spawn, so honest
+    /// decisions stay a pure function of honest inputs. The malformed
+    /// frames are length-prefixed honestly (the violation is inside the
+    /// frame, not the framing) so they reach the decoder instead of just
+    /// poisoning the connection.
+    fn inject_client_sprays(&mut self) {
+        if self.client_addrs.is_empty() || self.policy.client_spray_per_flush == 0 {
+            return;
+        }
+        let n = self.client_addrs.len();
+        let local = self.inner.local_id();
+        for _ in 0..self.policy.client_spray_per_flush {
+            let victim = {
+                let v = self.rng.below(n);
+                if v == local { (v + 1) % n } else { v }
+            };
+            let Some(addr) = self.client_addrs.get(victim).copied() else { continue };
+            let Ok(mut s) = TcpStream::connect_timeout(&addr, Duration::from_millis(50)) else {
+                continue;
+            };
+            // A session owned by someone other than the victim: the valid
+            // probe must draw a Redirect, never an admission.
+            let foreign_session = ((victim + 1) % n) as u64;
+            let mut frames = vec![self.crafter.client_valid_submit(foreign_session)];
+            frames.push(self.crafter.next_client_crafted());
+            for frame in frames {
+                let mut buf = (u32::try_from(frame.len()).unwrap_or(u32::MAX)).to_le_bytes().to_vec();
+                buf.extend_from_slice(&frame);
+                if s.write_all(&buf).is_err() {
+                    break;
+                }
+            }
+            self.stats.client_sprays += 1;
+        }
+    }
+
     /// Raw-socket attacks against the peers' listeners: stale HELLO
     /// replays (timestamp 1 predates every legitimate handshake — the
     /// replay guard must refuse it without touching the live link) and
@@ -675,6 +809,7 @@ impl<T: Transport> Transport for ByzantineEndpoint<T> {
             self.flushes += 1;
             self.inject_garbage();
             self.inject_gate_sprays();
+            self.inject_client_sprays();
             self.raw_wire_attacks();
         }
         self.inner.flush()
@@ -797,6 +932,24 @@ mod tests {
             assert!(decode_frame(&c.trailing_garbage(), 2).is_err());
             // header_then_garbage may by luck decode; it must only not panic.
             let _ = decode_frame(&c.header_then_garbage(), 2);
+        }
+    }
+
+    #[test]
+    fn crafted_client_corpus_never_panics_and_never_admits() {
+        use crate::client::{decode_client_frame, ClientFrame};
+        let mut c = PayloadCrafter::new(4, 1);
+        // The base is a valid Submit — the redirect probe.
+        match decode_client_frame(&c.client_valid_submit(9)) {
+            Ok(ClientFrame::Submit { session, .. }) => assert_eq!(session, 9),
+            other => panic!("base must be a valid Submit, got {other:?}"),
+        }
+        for _ in 0..64 {
+            assert!(decode_client_frame(&c.client_truncated()).is_err());
+            assert!(decode_client_frame(&c.client_forged_length()).is_err());
+            // May by luck decode; it must only never panic.
+            let _ = decode_client_frame(&c.client_header_then_garbage());
+            let _ = decode_client_frame(&c.next_client_crafted());
         }
     }
 

@@ -1,0 +1,522 @@
+//! The external-client port: wire codec and TCP front-end for client
+//! requests (ISSUE 8).
+//!
+//! Clients are not mesh peers: they dial a node's *client port* — a
+//! separate listener from the node-to-node mesh — and speak their own
+//! length-prefixed protocol:
+//!
+//! ```text
+//! frame:  len u32 (1 ≤ len ≤ MAX_CLIENT_FRAME_LEN), then len bytes of
+//!
+//! magic "RC" | version u8 | kind u8 | body …
+//!   kind 1 Submit:   session u64 | reqno u64 | dim u32 | f64 …
+//!   kind 2 Reply:    session u64 | reqno u64 | dim u32 | f64 …
+//!   kind 3 Redirect: node u32
+//!   kind 4 Busy:     (empty body)
+//! ```
+//!
+//! all little-endian, `f64` components as IEEE-754 bit patterns. Like the
+//! node-to-node codec in [`crate::wire`], [`decode_client_frame`] is a
+//! **total function over untrusted bytes**: every read is bounds-checked,
+//! every length field is validated against a hard cap and the bytes
+//! actually present before any allocation, trailing bytes are rejected,
+//! and no input byte sequence panics. A frame that fails to decode is
+//! counted (`client.port.reject`) and dropped — it never reaches the
+//! client table.
+//!
+//! [`ClientPort`] owns the listener: an accept thread hands each inbound
+//! connection to a reader thread that pumps length-prefixed frames into a
+//! queue; [`ClientPort::pump`] drains that queue into the service's client
+//! table ([`ConsensusService::client_submit`]) and writes the responses —
+//! cached replies, redirects, busy signals, and the replies of freshly
+//! decided instances — back to the connections that asked. A framing
+//! violation (oversized or zero length prefix, mid-frame EOF) poisons only
+//! that one connection.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use crossbeam::channel::{self, Receiver, Sender};
+use parking_lot::Mutex;
+use rbvc_linalg::VecD;
+use rbvc_obs::Registry;
+
+use crate::service::{ClientAdmission, ConsensusService};
+use crate::transport::Transport;
+use crate::wire::MAX_DIM;
+
+/// Client frame magic: distinct from the node-to-node `"RB"`.
+pub const CLIENT_MAGIC: [u8; 2] = *b"RC";
+/// Client wire format version.
+pub const CLIENT_VERSION: u8 = 1;
+/// Largest client frame the framing layer accepts (1 MiB — a max-dimension
+/// vector is ~32 KiB, so this is generous without inviting memory bombs).
+pub const MAX_CLIENT_FRAME_LEN: usize = 1 << 20;
+
+/// One message of the client protocol.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientFrame {
+    /// Client → node: run consensus on `value` for `(session, reqno)`.
+    Submit {
+        /// Client session (the dedup/routing key; owner = `session % n`).
+        session: u64,
+        /// The session's monotonic request number.
+        reqno: u64,
+        /// The vector to submit.
+        value: VecD,
+    },
+    /// Node → client: the decision for `(session, reqno)`. Retries of an
+    /// answered request return the identical cached bytes.
+    Reply {
+        /// Echoed session.
+        session: u64,
+        /// Echoed request number.
+        reqno: u64,
+        /// The decided vector.
+        decision: VecD,
+    },
+    /// Node → client: this node does not own the session; dial `node`.
+    Redirect {
+        /// The owning node's process id.
+        node: u32,
+    },
+    /// Node → client: admission queue full — back off and retry.
+    Busy,
+}
+
+/// Encode a client frame (infallible: local data is trusted).
+#[must_use]
+pub fn encode_client_frame(frame: &ClientFrame) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32);
+    out.extend_from_slice(&CLIENT_MAGIC);
+    out.push(CLIENT_VERSION);
+    let put_vecd = |out: &mut Vec<u8>, v: &VecD| {
+        out.extend_from_slice(
+            &(u32::try_from(v.dim()).expect("dimension fits u32")).to_le_bytes(),
+        );
+        for &x in v.as_slice() {
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+    };
+    match frame {
+        ClientFrame::Submit { session, reqno, value } => {
+            out.push(1);
+            out.extend_from_slice(&session.to_le_bytes());
+            out.extend_from_slice(&reqno.to_le_bytes());
+            put_vecd(&mut out, value);
+        }
+        ClientFrame::Reply { session, reqno, decision } => {
+            out.push(2);
+            out.extend_from_slice(&session.to_le_bytes());
+            out.extend_from_slice(&reqno.to_le_bytes());
+            put_vecd(&mut out, decision);
+        }
+        ClientFrame::Redirect { node } => {
+            out.push(3);
+            out.extend_from_slice(&node.to_le_bytes());
+        }
+        ClientFrame::Busy => out.push(4),
+    }
+    out
+}
+
+/// Bounds-checked cursor over untrusted client bytes; every read is total.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], String> {
+        let end = self.pos.checked_add(n).ok_or("length overflow")?;
+        if end > self.buf.len() {
+            return Err(format!(
+                "truncated client frame: wanted {n} more bytes, have {}",
+                self.buf.len() - self.pos
+            ));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// Dimension-prefixed vector with the same allocation-bomb guard as the
+    /// node-to-node codec: the claimed dimension is validated against both
+    /// the hard cap and the bytes actually remaining before any allocation.
+    fn vecd(&mut self) -> Result<VecD, String> {
+        let dim = self.u32()? as usize;
+        if dim > MAX_DIM {
+            return Err(format!("oversized client vector dimension {dim} (cap {MAX_DIM})"));
+        }
+        if dim.saturating_mul(8) > self.buf.len() - self.pos {
+            return Err(format!(
+                "forged client vector dimension {dim}: would need {} bytes, {} remain",
+                dim * 8,
+                self.buf.len() - self.pos
+            ));
+        }
+        let mut xs = Vec::with_capacity(dim);
+        for _ in 0..dim {
+            xs.push(f64::from_bits(self.u64()?));
+        }
+        Ok(VecD::from_slice(&xs))
+    }
+}
+
+/// Decode one client frame.
+///
+/// # Errors
+/// A human-readable reason on any structural violation — truncation, bad
+/// magic/version, unknown kind, forged length, trailing bytes. Total over
+/// arbitrary bytes; no input panics.
+pub fn decode_client_frame(bytes: &[u8]) -> Result<ClientFrame, String> {
+    let mut r = Reader { buf: bytes, pos: 0 };
+    if r.take(2)? != CLIENT_MAGIC {
+        return Err("bad client magic".into());
+    }
+    let version = r.u8()?;
+    if version != CLIENT_VERSION {
+        return Err(format!("unsupported client wire version {version}"));
+    }
+    let frame = match r.u8()? {
+        1 => {
+            let session = r.u64()?;
+            let reqno = r.u64()?;
+            let value = r.vecd()?;
+            if value.dim() == 0 {
+                return Err("empty client vector".into());
+            }
+            ClientFrame::Submit { session, reqno, value }
+        }
+        2 => ClientFrame::Reply { session: r.u64()?, reqno: r.u64()?, decision: r.vecd()? },
+        3 => ClientFrame::Redirect { node: r.u32()? },
+        4 => ClientFrame::Busy,
+        k => return Err(format!("unknown client frame kind {k}")),
+    };
+    if r.pos != bytes.len() {
+        return Err(format!(
+            "{} trailing bytes after a complete client frame",
+            bytes.len() - r.pos
+        ));
+    }
+    Ok(frame)
+}
+
+/// Write one length-prefixed client frame to a stream.
+///
+/// # Errors
+/// Propagates the IO error (the caller degrades that one connection).
+pub fn write_client_frame(stream: &mut TcpStream, frame: &ClientFrame) -> std::io::Result<()> {
+    let bytes = encode_client_frame(frame);
+    let mut buf = Vec::with_capacity(4 + bytes.len());
+    buf.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    buf.extend_from_slice(&bytes);
+    stream.write_all(&buf)
+}
+
+/// Read one length-prefixed client frame's raw bytes. `Ok(None)` on clean
+/// EOF at a frame boundary; `Err` on truncation, IO failure, or a
+/// length-prefix violation (after which the stream has no recoverable
+/// frame boundary and must be closed).
+///
+/// # Errors
+/// A human-readable reason; the connection is unusable afterwards.
+pub fn read_client_frame_bytes(stream: &mut TcpStream) -> Result<Option<Vec<u8>>, String> {
+    let mut len_buf = [0u8; 4];
+    match stream.read_exact(&mut len_buf) {
+        Ok(()) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => return Ok(None),
+        Err(e) => return Err(format!("client length-prefix read failed: {e}")),
+    }
+    let len = u32::from_le_bytes(len_buf) as usize;
+    if len == 0 || len > MAX_CLIENT_FRAME_LEN {
+        return Err(format!("client length prefix {len} outside 1..={MAX_CLIENT_FRAME_LEN}"));
+    }
+    let mut buf = vec![0u8; len];
+    stream
+        .read_exact(&mut buf)
+        .map_err(|e| format!("truncated client frame body ({len} bytes expected): {e}"))?;
+    Ok(Some(buf))
+}
+
+/// One node's client-facing TCP listener plus the connection registry the
+/// pump answers through.
+pub struct ClientPort {
+    listen_addr: SocketAddr,
+    /// Raw frames from the reader threads, tagged with their connection id.
+    rx: Receiver<(u64, Vec<u8>)>,
+    /// Writer half of every live connection, for replies.
+    writers: Arc<Mutex<HashMap<u64, TcpStream>>>,
+    /// Which connection last submitted for each session — where that
+    /// session's replies go. A client that reconnects re-submits (retries
+    /// are idempotent), refreshing the mapping.
+    session_conns: HashMap<u64, u64>,
+    /// Undecodable client frames dropped at the codec boundary.
+    rejects: u64,
+    shutdown: Arc<AtomicBool>,
+    accept_handle: Option<thread::JoinHandle<()>>,
+}
+
+impl ClientPort {
+    /// Bind the client port on `addr` (use port 0 for an ephemeral port)
+    /// and start accepting connections.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn bind(addr: SocketAddr) -> std::io::Result<ClientPort> {
+        let listener = TcpListener::bind(addr)?;
+        let listen_addr = listener.local_addr()?;
+        let (tx, rx) = channel::unbounded::<(u64, Vec<u8>)>();
+        let writers: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_handle = {
+            let writers = Arc::clone(&writers);
+            let shutdown = Arc::clone(&shutdown);
+            let conn_ids = AtomicU64::new(0);
+            thread::spawn(move || loop {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        let conn = conn_ids.fetch_add(1, Ordering::Relaxed);
+                        if let Ok(writer) = stream.try_clone() {
+                            writers.lock().insert(conn, writer);
+                        }
+                        spawn_conn_reader(stream, conn, tx.clone(), Arc::clone(&writers));
+                    }
+                    Err(_) => {
+                        if shutdown.load(Ordering::SeqCst) {
+                            return;
+                        }
+                        thread::sleep(Duration::from_millis(1));
+                    }
+                }
+            })
+        };
+        Ok(ClientPort {
+            listen_addr,
+            rx,
+            writers,
+            session_conns: HashMap::new(),
+            rejects: 0,
+            shutdown,
+            accept_handle: Some(accept_handle),
+        })
+    }
+
+    /// The address clients dial.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.listen_addr
+    }
+
+    /// Undecodable client frames dropped so far (also on the metrics
+    /// registry as `client.port.reject`).
+    #[must_use]
+    pub fn rejects(&self) -> u64 {
+        self.rejects
+    }
+
+    /// Write `frame` to connection `conn`; a dead connection is dropped
+    /// (the client's retry/failover path covers it).
+    fn respond(&mut self, conn: u64, frame: &ClientFrame) {
+        let mut writers = self.writers.lock();
+        let dead = match writers.get_mut(&conn) {
+            Some(stream) => write_client_frame(stream, frame).is_err(),
+            None => false,
+        };
+        if dead {
+            writers.remove(&conn);
+        }
+    }
+
+    /// Drain every queued client frame into the service and answer what can
+    /// be answered now: decode (undecodable frames are counted and dropped
+    /// — they never reach the client table), feed submits through
+    /// [`ConsensusService::client_submit`], send back cached replies /
+    /// redirects / busy signals, and deliver the replies of instances that
+    /// decided since the last pump. Call once per poll-loop iteration.
+    /// Returns the number of submits admitted as new consensus instances.
+    pub fn pump<T: Transport>(&mut self, svc: &mut ConsensusService<T>) -> usize {
+        let mut admitted = 0;
+        while let Ok((conn, bytes)) = self.rx.try_recv() {
+            let frame = match decode_client_frame(&bytes) {
+                Ok(f) => f,
+                Err(_) => {
+                    self.rejects += 1;
+                    Registry::global().counter("client.port.reject").inc();
+                    continue;
+                }
+            };
+            let ClientFrame::Submit { session, reqno, value } = frame else {
+                // Only clients originate on this port, and clients only
+                // submit; anything else is a protocol violation.
+                self.rejects += 1;
+                Registry::global().counter("client.port.reject").inc();
+                continue;
+            };
+            self.session_conns.insert(session, conn);
+            match svc.client_submit(session, reqno, value) {
+                ClientAdmission::Reply { reqno, decision } => {
+                    self.respond(conn, &ClientFrame::Reply { session, reqno, decision });
+                }
+                ClientAdmission::Redirect(node) => {
+                    self.respond(
+                        conn,
+                        &ClientFrame::Redirect { node: u32::try_from(node).unwrap_or(u32::MAX) },
+                    );
+                }
+                ClientAdmission::Busy => self.respond(conn, &ClientFrame::Busy),
+                ClientAdmission::Admitted => admitted += 1,
+                ClientAdmission::Queued | ClientAdmission::Stale | ClientAdmission::Rejected => {}
+            }
+        }
+        for (session, reqno, decision) in svc.take_client_replies() {
+            if let Some(conn) = self.session_conns.get(&session).copied() {
+                self.respond(conn, &ClientFrame::Reply { session, reqno, decision });
+            }
+        }
+        admitted
+    }
+}
+
+/// Reader thread for one client connection: pump length-prefixed frames
+/// into the port's queue until EOF, a framing violation, or shutdown. Any
+/// violation poisons only this connection.
+fn spawn_conn_reader(
+    mut stream: TcpStream,
+    conn: u64,
+    tx: Sender<(u64, Vec<u8>)>,
+    writers: Arc<Mutex<HashMap<u64, TcpStream>>>,
+) {
+    thread::spawn(move || {
+        loop {
+            match read_client_frame_bytes(&mut stream) {
+                Ok(Some(bytes)) => {
+                    if tx.send((conn, bytes)).is_err() {
+                        break; // port gone
+                    }
+                }
+                Ok(None) => break, // clean EOF
+                Err(_) => {
+                    Registry::global().counter("client.port.conn_poisoned").inc();
+                    break;
+                }
+            }
+        }
+        writers.lock().remove(&conn);
+    });
+}
+
+impl Drop for ClientPort {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept so it observes the flag.
+        let woke =
+            TcpStream::connect_timeout(&self.listen_addr, Duration::from_millis(500)).is_ok();
+        if let Some(handle) = self.accept_handle.take() {
+            if woke {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn samples() -> Vec<ClientFrame> {
+        vec![
+            ClientFrame::Submit {
+                session: 7,
+                reqno: 1,
+                value: VecD::from_slice(&[1.5, -2.25]),
+            },
+            ClientFrame::Reply {
+                session: u64::MAX,
+                reqno: 0,
+                decision: VecD::from_slice(&[0.0]),
+            },
+            ClientFrame::Redirect { node: 3 },
+            ClientFrame::Busy,
+        ]
+    }
+
+    #[test]
+    fn client_frames_round_trip_bit_exactly() {
+        for f in samples() {
+            let bytes = encode_client_frame(&f);
+            assert_eq!(decode_client_frame(&bytes), Ok(f));
+        }
+        // NaN survives bit-exactly (structural validity only; semantic
+        // checks live at the admission boundary).
+        let f = ClientFrame::Reply {
+            session: 0,
+            reqno: 0,
+            decision: VecD::from_slice(&[f64::NAN]),
+        };
+        match decode_client_frame(&encode_client_frame(&f)).expect("decodes") {
+            ClientFrame::Reply { decision, .. } => {
+                assert!(decision.as_slice()[0].is_nan());
+            }
+            other => panic!("wrong frame {other:?}"),
+        }
+    }
+
+    #[test]
+    fn every_truncation_and_trailing_byte_is_rejected() {
+        for f in samples() {
+            let bytes = encode_client_frame(&f);
+            for cut in 0..bytes.len() {
+                assert!(decode_client_frame(&bytes[..cut]).is_err(), "cut {cut} of {f:?}");
+            }
+            let mut extended = bytes;
+            extended.push(0xEE);
+            assert!(decode_client_frame(&extended).is_err(), "trailing byte after {f:?}");
+        }
+    }
+
+    #[test]
+    fn forged_dimension_and_empty_submit_are_rejected() {
+        // Submit claiming a ~4-billion-component vector with no bytes.
+        let mut b = Vec::new();
+        b.extend_from_slice(&CLIENT_MAGIC);
+        b.push(CLIENT_VERSION);
+        b.push(1);
+        b.extend_from_slice(&0u64.to_le_bytes());
+        b.extend_from_slice(&0u64.to_le_bytes());
+        b.extend_from_slice(&u32::MAX.to_le_bytes());
+        let e = decode_client_frame(&b).expect_err("forged dim");
+        assert!(e.contains("dimension"), "unexpected: {e}");
+        // A zero-dimension submit carries nothing to decide on.
+        let empty = ClientFrame::Submit {
+            session: 1,
+            reqno: 1,
+            value: VecD::from_slice(&[]),
+        };
+        assert!(decode_client_frame(&encode_client_frame(&empty)).is_err());
+        // Unknown kind and bad magic.
+        assert!(decode_client_frame(&[b'R', b'C', CLIENT_VERSION, 9]).is_err());
+        assert!(decode_client_frame(&[b'X', b'C', CLIENT_VERSION, 4]).is_err());
+        assert!(decode_client_frame(&[]).is_err());
+    }
+}

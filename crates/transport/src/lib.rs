@@ -34,6 +34,7 @@
 //! pin down.
 
 pub mod byzantine;
+pub mod client;
 pub mod lockstep;
 pub mod service;
 pub mod tcp;
@@ -41,8 +42,15 @@ pub mod transport;
 pub mod wire;
 
 pub use byzantine::{AttackPolicy, AttackRegistry, AttackStats, ByzantineEndpoint, PayloadCrafter};
+pub use client::{
+    decode_client_frame, encode_client_frame, read_client_frame_bytes, write_client_frame,
+    ClientFrame, ClientPort,
+};
 pub use lockstep::{Lockstep, RoundBatch};
-pub use service::{ConsensusService, DecisionEvent, InstanceProto};
+pub use service::{
+    client_instance_owner, ClientAdmission, ClientConfig, ClientStats, ConsensusService,
+    DecisionEvent, InstanceProto, CLIENT_INSTANCE_BASE,
+};
 pub use tcp::{tcp_mesh_loopback, TcpEndpoint};
 pub use transport::{in_proc_mesh, in_proc_mesh_with_faults, InProcEndpoint, Transport};
 pub use wire::{decode_frame, encode_frame, Frame, Payload};

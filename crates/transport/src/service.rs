@@ -43,10 +43,10 @@
 //! fill any gap — receivers deduplicate. The same history replays to any
 //! peer the transport reports through [`Transport::take_reconnects`].
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, VecDeque};
 use std::time::{Duration, Instant};
 
-use rbvc_core::verified_avg::VerifiedAveraging;
+use rbvc_core::verified_avg::{DeltaMode, VerifiedAveraging};
 use rbvc_core::SyncBvc;
 use rbvc_linalg::VecD;
 use rbvc_obs::{Event, EventKind, Obs, Registry};
@@ -58,7 +58,7 @@ pub use rbvc_sim::monitor::InstanceId;
 
 use crate::lockstep::{Lockstep, RoundBatch};
 use crate::transport::Transport;
-use crate::wire::{decode_frame, encode_frame, Frame, Payload};
+use crate::wire::{decode_frame, encode_frame, ClientLaunch, Frame, Payload, MAX_DIM};
 
 /// One consensus instance as the service runs it.
 pub enum InstanceProto {
@@ -102,6 +102,197 @@ struct Slot {
 
 /// Names of the four receive gates, indexed as [`ConsensusService::gate_rejections`].
 pub const GATE_NAMES: [&str; 4] = ["decode", "auth", "instance", "kind"];
+
+/// Base of the client-request instance-id space: ids are
+/// `CLIENT_INSTANCE_BASE | (owner << 24) | seq` with the owning process in
+/// bits 24..44 and a per-owner sequence number in bits 0..24, so the owner
+/// of any client instance is recoverable from the id alone (the auth check
+/// on [`crate::wire::Payload::Launch`] frames) and owners can mint ids
+/// concurrently without coordination. Disjoint from the small static ids
+/// benchmarks and tests register directly.
+pub const CLIENT_INSTANCE_BASE: u64 = 1 << 44;
+
+/// The owning process encoded in a client instance id, or `None` if `id`
+/// is not in the client instance-id space.
+#[must_use]
+pub fn client_instance_owner(id: InstanceId) -> Option<ProcessId> {
+    if id >> 44 == 1 {
+        Some(usize::try_from((id >> 24) & 0xF_FFFF).expect("20 bits fit usize"))
+    } else {
+        None
+    }
+}
+
+/// Frames for a client instance that arrive before its `Launch` are parked
+/// here (per service), bounded; overflow is shed and counted.
+const CLIENT_STASH_CAP: usize = 1024;
+
+/// Parameters of the client front-end (the consensus instances client
+/// requests are run through, and the admission bounds).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClientConfig {
+    /// Fault tolerance each client instance is configured with. The
+    /// benchmark meshes are crash-free, so `f = 0` (wait for all) gives the
+    /// tightest agreement; adversarial campaigns run `f > 0`.
+    pub f: usize,
+    /// Bracha round budget per client instance.
+    pub rounds: usize,
+    /// Client instances this node will run concurrently as owner; further
+    /// admissions queue.
+    pub max_inflight: usize,
+    /// Bound of the admission queue; beyond it clients get `Busy` and the
+    /// request is shed.
+    pub queue_cap: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig { f: 0, rounds: 8, max_inflight: 64, queue_cap: 256 }
+    }
+}
+
+/// Outcome of [`ConsensusService::client_submit`] — what the client port
+/// sends back (or doesn't) for one `Submit`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientAdmission {
+    /// The request was already decided: the identical cached decision, no
+    /// new instance.
+    Reply {
+        /// The request number the cached decision answers.
+        reqno: u64,
+        /// The cached decision, bit-identical on every retry.
+        decision: VecD,
+    },
+    /// This node does not own the session; the client should dial `0`'s
+    /// client port.
+    Redirect(ProcessId),
+    /// In-flight and queue are both full; the request was shed.
+    Busy,
+    /// Admitted: a consensus instance was launched for this request.
+    Admitted,
+    /// Admitted into the bounded queue; it launches when an in-flight slot
+    /// frees up.
+    Queued,
+    /// A request number at or below one already seen (an in-flight retry,
+    /// or a regression); silently dropped — the original's reply stands.
+    Stale,
+    /// Structurally unacceptable (empty / oversized / non-finite vector, or
+    /// the client front-end is not enabled); dropped and counted.
+    Rejected,
+}
+
+/// Snapshot of the client front-end counters, for tests and campaigns.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClientStats {
+    /// Distinct sessions in the client table.
+    pub sessions: u64,
+    /// Retries answered from the reply cache without a new instance.
+    pub dedup_hits: u64,
+    /// Submits for sessions this node does not own.
+    pub redirects: u64,
+    /// Requests shed with `Busy` (in-flight and queue both full).
+    pub shed: u64,
+    /// Early client-instance frames dropped because the stash was full.
+    pub stash_shed: u64,
+    /// Requests admitted as new consensus instances.
+    pub admitted: u64,
+    /// Structurally unacceptable submits dropped at admission.
+    pub rejected: u64,
+    /// Client instances currently in flight on this owner.
+    pub pending: u64,
+    /// Requests waiting in the admission queue.
+    pub queued: u64,
+}
+
+/// One session's row in the client table (Viewstamped-Replication style):
+/// the highest request number seen and the cached last reply.
+#[derive(Default)]
+struct SessionRow {
+    last_reqno: Option<u64>,
+    last_reply: Option<(u64, VecD)>,
+}
+
+/// The service-side client front-end state. Always present (the struct is
+/// small); `enabled` gates the admission API, while the node-to-node side
+/// — `Launch` handling and the early-frame stash — is always live so every
+/// node participates in client instances whether or not it fronts clients.
+struct ClientState {
+    enabled: bool,
+    cfg: ClientConfig,
+    table: BTreeMap<u64, SessionRow>,
+    /// In-flight client instances this node owns: instance → (session, reqno).
+    pending: BTreeMap<InstanceId, (u64, u64)>,
+    /// Bounded admission queue of (session, reqno, value).
+    queue: VecDeque<(u64, u64, VecD)>,
+    /// Next per-owner sequence number for minting instance ids.
+    next_seq: u64,
+    /// Client-instance frames that arrived before their `Launch`.
+    stash: VecDeque<Frame>,
+    /// Replies ready for the client port: (session, reqno, decision).
+    replies_out: Vec<(u64, u64, VecD)>,
+    dedup_hits: u64,
+    redirects: u64,
+    shed: u64,
+    stash_shed: u64,
+    admitted: u64,
+    rejected: u64,
+}
+
+impl ClientState {
+    fn new() -> Self {
+        ClientState {
+            enabled: false,
+            cfg: ClientConfig::default(),
+            table: BTreeMap::new(),
+            pending: BTreeMap::new(),
+            queue: VecDeque::new(),
+            next_seq: 0,
+            stash: VecDeque::new(),
+            replies_out: Vec::new(),
+            dedup_hits: 0,
+            redirects: 0,
+            shed: 0,
+            stash_shed: 0,
+            admitted: 0,
+            rejected: 0,
+        }
+    }
+}
+
+/// Magic prefix of the recovery spec the service logs for its own client
+/// instances, so [`ConsensusService::recover`] can rebuild them (and the
+/// client table) internally before consulting the caller's factory.
+const CLIENT_SPEC_MAGIC: [u8; 4] = *b"RBCS";
+
+fn encode_client_spec(session: u64, reqno: u64, f: usize, rounds: usize, value: &VecD) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + value.dim() * 8);
+    out.extend_from_slice(&CLIENT_SPEC_MAGIC);
+    out.extend_from_slice(&session.to_le_bytes());
+    out.extend_from_slice(&reqno.to_le_bytes());
+    out.extend_from_slice(&u32::try_from(f).unwrap_or(u32::MAX).to_le_bytes());
+    out.extend_from_slice(&u32::try_from(rounds).unwrap_or(u32::MAX).to_le_bytes());
+    out.extend_from_slice(&u32::try_from(value.dim()).unwrap_or(u32::MAX).to_le_bytes());
+    for &x in value.as_slice() {
+        out.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    out
+}
+
+fn decode_client_spec(spec: &[u8]) -> Option<(u64, u64, usize, usize, VecD)> {
+    if spec.len() < 32 || spec[..4] != CLIENT_SPEC_MAGIC {
+        return None;
+    }
+    let u64_at = |i: usize| u64::from_le_bytes(spec[i..i + 8].try_into().expect("8 bytes"));
+    let u32_at = |i: usize| u32::from_le_bytes(spec[i..i + 4].try_into().expect("4 bytes"));
+    let (session, reqno) = (u64_at(4), u64_at(12));
+    let (f, rounds) = (u32_at(20) as usize, u32_at(24) as usize);
+    let dim = u32_at(28) as usize;
+    if dim == 0 || dim > MAX_DIM || spec.len() != 32 + dim * 8 {
+        return None;
+    }
+    let xs: Vec<f64> = (0..dim).map(|i| f64::from_bits(u64_at(32 + i * 8))).collect();
+    Some((session, reqno, f, rounds, VecD::from_slice(&xs)))
+}
 
 /// The per-process service multiplexing consensus instances over one
 /// transport endpoint.
@@ -148,6 +339,8 @@ pub struct ConsensusService<T: Transport> {
     tx_seq: Vec<u64>,
     /// Per-source inbound frame counters; see `tx_seq`.
     rx_seq: Vec<u64>,
+    /// Client front-end: session table, admission bounds, reply cache.
+    client: ClientState,
 }
 
 impl<T: Transport> ConsensusService<T> {
@@ -172,6 +365,7 @@ impl<T: Transport> ConsensusService<T> {
             replay_divergence: 0,
             tx_seq: vec![0; n],
             rx_seq: vec![0; n],
+            client: ClientState::new(),
         }
     }
 
@@ -513,7 +707,22 @@ impl<T: Transport> ConsensusService<T> {
     /// the outbound frames it produced.
     fn dispatch(&mut self, frame: Frame) -> Vec<(ProcessId, Vec<u8>)> {
         let local = self.transport.local_id();
+        if let Payload::Launch(launch) = &frame.payload {
+            let launch = launch.clone();
+            return self.dispatch_launch(frame.instance, frame.sender, launch);
+        }
         if !self.instances.contains_key(&frame.instance) {
+            // A frame for a client instance may legitimately beat its
+            // `Launch` here (different links race); park it, bounded.
+            if client_instance_owner(frame.instance).is_some() {
+                if self.client.stash.len() < CLIENT_STASH_CAP {
+                    self.client.stash.push_back(frame);
+                } else {
+                    self.client.stash_shed += 1;
+                    Registry::global().counter("service.client.stash_shed").inc();
+                }
+                return Vec::new();
+            }
             self.gate_reject(
                 2,
                 frame.sender,
@@ -682,6 +891,7 @@ impl<T: Transport> ConsensusService<T> {
             // the surviving links.
         }
         let decisions = self.collect_decisions();
+        self.finish_client_decisions(&decisions);
         // Close the poll span. `kernel_us` is whatever the hot geometry
         // kernels accumulated on *this* thread since the last drain (the
         // dispatches and ticks above); `fsync_us` is this poll's group
@@ -787,6 +997,338 @@ impl<T: Transport> ConsensusService<T> {
         }
     }
 
+    /// Enable the client front-end with `cfg`: this node will accept
+    /// [`ConsensusService::client_submit`] calls (from a
+    /// [`crate::client::ClientPort`] pump, typically) for the sessions it
+    /// owns. The node-to-node side of client instances — `Launch` handling
+    /// and the early-frame stash — is live on every node regardless; this
+    /// only opens the admission API. Also pre-registers the client metrics
+    /// so the live `/metrics` endpoint exports them from the first scrape.
+    pub fn enable_client(&mut self, cfg: ClientConfig) {
+        self.client.enabled = true;
+        self.client.cfg = cfg;
+        let reg = Registry::global();
+        reg.gauge("client.sessions").set(self.client.table.len() as i64);
+        reg.counter("client.dedup_hits").add(self.client.dedup_hits);
+        reg.counter("client.redirects").add(self.client.redirects);
+        reg.counter("service.client.shed").add(0);
+    }
+
+    /// Which process owns client session `session` (sessions are sharded
+    /// `session % n`).
+    #[must_use]
+    pub fn session_owner(&self, session: u64) -> ProcessId {
+        usize::try_from(session % self.transport.n() as u64).expect("owner fits usize")
+    }
+
+    /// Snapshot of the client front-end counters.
+    #[must_use]
+    pub fn client_stats(&self) -> ClientStats {
+        ClientStats {
+            sessions: self.client.table.len() as u64,
+            dedup_hits: self.client.dedup_hits,
+            redirects: self.client.redirects,
+            shed: self.client.shed,
+            stash_shed: self.client.stash_shed,
+            admitted: self.client.admitted,
+            rejected: self.client.rejected,
+            pending: self.client.pending.len() as u64,
+            queued: self.client.queue.len() as u64,
+        }
+    }
+
+    /// Number of registered instances (static and client-launched).
+    #[must_use]
+    pub fn instance_count(&self) -> usize {
+        self.instances.len()
+    }
+
+    /// Take the client replies that became ready since the last call:
+    /// `(session, reqno, decision)`, each already WAL-durable when the
+    /// service is durable. The client port delivers them to whichever
+    /// connection last submitted for the session.
+    pub fn take_client_replies(&mut self) -> Vec<(u64, u64, VecD)> {
+        std::mem::take(&mut self.client.replies_out)
+    }
+
+    /// Admit one client request `(session, reqno, value)` into the table —
+    /// the VR-style boundary that makes retries idempotent:
+    ///
+    /// * not the owner → [`ClientAdmission::Redirect`];
+    /// * `reqno` equals the cached reply's → the identical cached decision,
+    ///   no new instance ([`ClientAdmission::Reply`], a dedup hit);
+    /// * `reqno` at or below the highest seen (an in-flight retry) →
+    ///   [`ClientAdmission::Stale`], silently dropped — the in-flight
+    ///   instance's reply answers it;
+    /// * a fresh `reqno` → launched now ([`ClientAdmission::Admitted`]),
+    ///   queued ([`ClientAdmission::Queued`]), or shed with
+    ///   [`ClientAdmission::Busy`] when both bounds are full.
+    pub fn client_submit(&mut self, session: u64, reqno: u64, value: VecD) -> ClientAdmission {
+        if !self.client.enabled || !self.started {
+            self.client.rejected += 1;
+            return ClientAdmission::Rejected;
+        }
+        let owner = self.session_owner(session);
+        if owner != self.transport.local_id() {
+            self.client.redirects += 1;
+            Registry::global().counter("client.redirects").inc();
+            return ClientAdmission::Redirect(owner);
+        }
+        if value.dim() == 0
+            || value.dim() > MAX_DIM
+            || value.as_slice().iter().any(|x| !x.is_finite())
+        {
+            self.client.rejected += 1;
+            Registry::global().counter("service.client.reject").inc();
+            return ClientAdmission::Rejected;
+        }
+        let row = self.client.table.entry(session).or_default();
+        if let Some((cached_reqno, decision)) = &row.last_reply {
+            if *cached_reqno == reqno {
+                let decision = decision.clone();
+                self.client.dedup_hits += 1;
+                Registry::global().counter("client.dedup_hits").inc();
+                return ClientAdmission::Reply { reqno, decision };
+            }
+        }
+        if row.last_reqno.is_some_and(|last| reqno <= last) {
+            return ClientAdmission::Stale;
+        }
+        // A shed request leaves the table untouched so its retry is
+        // re-considered (not stale-dropped) once load drains.
+        let can_admit = self.client.pending.len() < self.client.cfg.max_inflight;
+        let can_queue = self.client.queue.len() < self.client.cfg.queue_cap;
+        if !can_admit && !can_queue {
+            self.client.shed += 1;
+            Registry::global().counter("service.client.shed").inc();
+            return ClientAdmission::Busy;
+        }
+        self.client.table.entry(session).or_default().last_reqno = Some(reqno);
+        Registry::global().gauge("client.sessions").set(self.client.table.len() as i64);
+        if can_admit {
+            let _ = self.admit_client_request(session, reqno, value);
+            ClientAdmission::Admitted
+        } else {
+            self.client.queue.push_back((session, reqno, value));
+            ClientAdmission::Queued
+        }
+    }
+
+    /// The `Launch` frames the owner fans out for one client instance, in
+    /// deterministic peer order (also regenerated verbatim on recovery so
+    /// the FIFO `Sent` match holds).
+    fn launch_frames(&self, instance: InstanceId, launch: &ClientLaunch) -> Vec<(ProcessId, Vec<u8>)> {
+        let local = self.transport.local_id();
+        (0..self.transport.n())
+            .filter(|&dst| dst != local)
+            .map(|dst| {
+                let frame = Frame {
+                    instance,
+                    sender: local,
+                    round: 0,
+                    payload: Payload::Launch(launch.clone()),
+                };
+                (dst, encode_frame(&frame))
+            })
+            .collect()
+    }
+
+    /// Insert a dynamically created client instance (bypasses the
+    /// before-`start()` registration gate static instances go through).
+    fn insert_client_slot(&mut self, id: InstanceId, proto: InstanceProto) {
+        self.instances.insert(
+            id,
+            Slot { proto, decided: false, pinned: None, launched: false, submitted_at: None },
+        );
+        self.undecided += 1;
+        self.attach_instance_obs(id);
+    }
+
+    /// Owner side of one admitted request: mint the instance id, register
+    /// (durably, with a self-describing spec), fan the `Launch` out to every
+    /// peer *first* — per-link FIFO means each peer registers the instance
+    /// before this node's protocol frames arrive — then launch locally.
+    fn admit_client_request(
+        &mut self,
+        session: u64,
+        reqno: u64,
+        value: VecD,
+    ) -> Result<(), ProtocolError> {
+        let local = self.transport.local_id();
+        let n = self.transport.n();
+        let ClientConfig { f, rounds, .. } = self.client.cfg;
+        let seq = self.client.next_seq;
+        self.client.next_seq += 1;
+        let instance =
+            CLIENT_INSTANCE_BASE | ((local as u64) << 24) | (seq & 0xFF_FFFF);
+        let proto = InstanceProto::Va(VerifiedAveraging::new(
+            local,
+            n,
+            f,
+            value.clone(),
+            DeltaMode::MinDelta(rbvc_linalg::Norm::L2),
+            rounds,
+            rbvc_linalg::Tol::default(),
+        ));
+        self.insert_client_slot(instance, proto);
+        if self.wal.is_some() {
+            self.wal_append(&WalRecord::Registered {
+                instance,
+                spec: encode_client_spec(session, reqno, f, rounds, &value),
+            });
+        }
+        let launch = ClientLaunch {
+            session,
+            reqno,
+            f: u32::try_from(f).unwrap_or(u32::MAX),
+            rounds: u32::try_from(rounds).unwrap_or(u32::MAX),
+            value,
+        };
+        let frames = self.launch_frames(instance, &launch);
+        let routed = self.route(frames);
+        self.client.pending.insert(instance, (session, reqno));
+        self.client.admitted += 1;
+        self.launch_inner(instance, true)?;
+        routed
+    }
+
+    /// Peer side of a `Launch` frame: authenticate it against the owner
+    /// encoded in the instance id, stand the instance up with the client's
+    /// value as the local input (all honest inputs identical, so the
+    /// decision is the client's point up to agreement tolerance), and drain
+    /// any frames that raced ahead of the launch.
+    fn dispatch_launch(
+        &mut self,
+        instance: InstanceId,
+        sender: ProcessId,
+        launch: ClientLaunch,
+    ) -> Vec<(ProcessId, Vec<u8>)> {
+        let local = self.transport.local_id();
+        let n = self.transport.n();
+        let Some(owner) = client_instance_owner(instance) else {
+            self.gate_reject(
+                3,
+                sender,
+                ProtocolError::MalformedPayload {
+                    from: sender,
+                    reason: format!("launch for non-client instance {instance}"),
+                },
+            );
+            return Vec::new();
+        };
+        if owner != sender || self.session_owner(launch.session) != sender {
+            self.gate_reject(
+                1,
+                sender,
+                ProtocolError::MalformedPayload {
+                    from: sender,
+                    reason: format!(
+                        "launch of instance {instance} (owner {owner}, session {}) from non-owner {sender}",
+                        launch.session
+                    ),
+                },
+            );
+            return Vec::new();
+        }
+        let f = launch.f as usize;
+        if n <= 3 * f
+            || launch.rounds == 0
+            || launch.value.as_slice().iter().any(|x| !x.is_finite())
+        {
+            self.gate_reject(
+                3,
+                sender,
+                ProtocolError::MalformedPayload {
+                    from: sender,
+                    reason: format!("degenerate launch parameters for instance {instance}"),
+                },
+            );
+            return Vec::new();
+        }
+        if self.instances.contains_key(&instance) {
+            // Duplicate launch (reconnect history replay): idempotent.
+            return Vec::new();
+        }
+        let proto = InstanceProto::Va(VerifiedAveraging::new(
+            local,
+            n,
+            f,
+            launch.value,
+            DeltaMode::MinDelta(rbvc_linalg::Norm::L2),
+            launch.rounds as usize,
+            rbvc_linalg::Tol::default(),
+        ));
+        self.insert_client_slot(instance, proto);
+        self.started = true;
+        let slot = self.instances.get_mut(&instance).expect("just inserted");
+        slot.launched = true;
+        slot.submitted_at = Some(Instant::now());
+        self.obs.emit(|| Event::new(EventKind::Submit).instance(instance));
+        let mut sends = {
+            let slot = self.instances.get_mut(&instance).expect("just inserted");
+            match &mut slot.proto {
+                InstanceProto::Va(p) => Self::encode_va(instance, local, p.on_start()),
+                InstanceProto::Bvc(_) => unreachable!("client instances are VA"),
+            }
+        };
+        // Frames that beat the launch here replay through the normal
+        // dispatch now that the instance exists.
+        let stashed: Vec<Frame> = {
+            let mut kept = VecDeque::new();
+            let mut matched = Vec::new();
+            while let Some(frame) = self.client.stash.pop_front() {
+                if frame.instance == instance {
+                    matched.push(frame);
+                } else {
+                    kept.push_back(frame);
+                }
+            }
+            self.client.stash = kept;
+            matched
+        };
+        for frame in stashed {
+            sends.extend(self.dispatch(frame));
+        }
+        sends
+    }
+
+    /// Complete the client bookkeeping for this poll's decisions: cache the
+    /// reply in the session row, make it WAL-durable *before* it can leave
+    /// the process, hand it to the client port, and backfill freed
+    /// in-flight slots from the admission queue.
+    fn finish_client_decisions(&mut self, decisions: &[DecisionEvent]) {
+        let mut appended = false;
+        for d in decisions {
+            let Some((session, reqno)) = self.client.pending.remove(&d.instance) else {
+                continue;
+            };
+            let row = self.client.table.entry(session).or_default();
+            row.last_reply = Some((reqno, d.value.clone()));
+            if row.last_reqno.is_none_or(|last| reqno > last) {
+                row.last_reqno = Some(reqno);
+            }
+            self.wal_append(&WalRecord::ClientReply {
+                instance: d.instance,
+                session,
+                reqno,
+                value: d.value.as_slice().to_vec(),
+            });
+            appended = self.wal.is_some();
+            self.client.replies_out.push((session, reqno, d.value.clone()));
+        }
+        if appended {
+            // Dedup must survive a crash that happens after the reply is
+            // out: sync before the port can read `replies_out`.
+            self.wal_sync();
+        }
+        while self.client.pending.len() < self.client.cfg.max_inflight {
+            let Some((session, reqno, value)) = self.client.queue.pop_front() else {
+                break;
+            };
+            let _ = self.admit_client_request(session, reqno, value);
+        }
+    }
+
     /// Rebuild a service from its write-ahead log after a crash.
     ///
     /// `factory` re-creates each instance from the opaque spec logged at
@@ -824,9 +1366,50 @@ impl<T: Transport> ConsensusService<T> {
             };
             match rec {
                 WalRecord::Registered { instance, spec } => {
-                    let proto = factory(instance, &spec)?;
-                    if svc.add_instance(instance, proto).is_err() {
-                        svc.replay_divergence += 1;
+                    // Client instances log a self-describing spec: rebuild
+                    // them (and the client table / pending set) internally;
+                    // everything else goes through the caller's factory.
+                    if let Some((session, reqno, f, rounds, value)) = decode_client_spec(&spec) {
+                        if svc.instances.contains_key(&instance) {
+                            svc.replay_divergence += 1;
+                            continue;
+                        }
+                        let n = svc.transport.n();
+                        let proto = InstanceProto::Va(VerifiedAveraging::new(
+                            local,
+                            n,
+                            f,
+                            value.clone(),
+                            DeltaMode::MinDelta(rbvc_linalg::Norm::L2),
+                            rounds,
+                            rbvc_linalg::Tol::default(),
+                        ));
+                        svc.insert_client_slot(instance, proto);
+                        svc.client.pending.insert(instance, (session, reqno));
+                        let row = svc.client.table.entry(session).or_default();
+                        if row.last_reqno.is_none_or(|last| reqno > last) {
+                            row.last_reqno = Some(reqno);
+                        }
+                        svc.client.next_seq =
+                            svc.client.next_seq.max((instance & 0xFF_FFFF) + 1);
+                        if client_instance_owner(instance) == Some(local) {
+                            // The owner fanned the Launch out right after
+                            // registering; regenerate those sends so the
+                            // FIFO `Sent` match stays aligned.
+                            let launch = ClientLaunch {
+                                session,
+                                reqno,
+                                f: u32::try_from(f).unwrap_or(u32::MAX),
+                                rounds: u32::try_from(rounds).unwrap_or(u32::MAX),
+                                value,
+                            };
+                            regenerated.extend(svc.launch_frames(instance, &launch));
+                        }
+                    } else {
+                        let proto = factory(instance, &spec)?;
+                        if svc.add_instance(instance, proto).is_err() {
+                            svc.replay_divergence += 1;
+                        }
                     }
                 }
                 WalRecord::Launched { instance } => {
@@ -898,9 +1481,47 @@ impl<T: Transport> ConsensusService<T> {
                         latency: Duration::ZERO,
                     });
                 }
+                WalRecord::ClientReply { instance, session, reqno, value } => {
+                    // A reply that was surfaced (or about to be) before the
+                    // crash: rebuild the dedup cache so a retry of the same
+                    // (session, reqno) gets the identical pre-crash bytes.
+                    svc.client.pending.remove(&instance);
+                    let row = svc.client.table.entry(session).or_default();
+                    row.last_reply = Some((reqno, VecD::from_slice(&value)));
+                    if row.last_reqno.is_none_or(|last| reqno > last) {
+                        row.last_reqno = Some(reqno);
+                    }
+                }
                 WalRecord::Compacted { .. } => {}
             }
         }
+        // Client instances that decided before the crash but whose reply
+        // record didn't make it: the pinned decision is durable, so cache
+        // and log the reply now — the retry path answers from here.
+        let unfinished: Vec<(InstanceId, (u64, u64))> = svc
+            .client
+            .pending
+            .iter()
+            .map(|(id, sr)| (*id, *sr))
+            .collect();
+        for (instance, (session, reqno)) in unfinished {
+            let Some(slot) = svc.instances.get(&instance) else { continue };
+            if !slot.decided {
+                continue;
+            }
+            let Some(value) = svc.decision(instance) else { continue };
+            svc.client.pending.remove(&instance);
+            let row = svc.client.table.entry(session).or_default();
+            row.last_reply = Some((reqno, value.clone()));
+            svc.wal_append(&WalRecord::ClientReply {
+                instance,
+                session,
+                reqno,
+                value: value.as_slice().to_vec(),
+            });
+            svc.wal_sync();
+        }
+        Registry::global().gauge("client.sessions").set(svc.client.table.len() as i64);
         // A replayed state machine that now disagrees with its own pinned
         // decision is the amnesia signature — the pin wins, but flag it.
         for slot in svc.instances.values() {
@@ -1193,6 +1814,146 @@ mod tests {
             svc.add_instance(2, va_instance(0, 1, &[0.0])),
             Err(ProtocolError::InvalidSpec { .. })
         ));
+    }
+
+    /// Drive an in-proc mesh of client-enabled services until the owner has
+    /// `want` replies ready (or the spin budget runs out). Returns the
+    /// replies taken from the owner.
+    fn pump_mesh_for_replies(
+        services: &mut [ConsensusService<crate::transport::InProcEndpoint>],
+        owner: usize,
+        want: usize,
+    ) -> Vec<(u64, u64, VecD)> {
+        let mut replies = Vec::new();
+        for _ in 0..10_000 {
+            for svc in services.iter_mut() {
+                let _ = svc.poll(Duration::from_millis(1));
+            }
+            replies.extend(services[owner].take_client_replies());
+            if replies.len() >= want {
+                return replies;
+            }
+        }
+        panic!("mesh produced {} of {want} client replies", replies.len());
+    }
+
+    /// The full client admission contract on one mesh: redirect for a
+    /// foreign session, admit/queue/shed under the configured bounds, stale
+    /// drop for an in-flight retry, and a cached bit-identical reply (plus
+    /// exactly one instance mesh-wide) for a retry after the decision.
+    #[test]
+    fn client_table_admits_dedups_redirects_and_sheds() {
+        let n = 3;
+        let mut services: Vec<ConsensusService<_>> = in_proc_mesh(n)
+            .into_iter()
+            .map(ConsensusService::new)
+            .collect();
+        for svc in &mut services {
+            svc.enable_client(ClientConfig { max_inflight: 1, queue_cap: 1, ..ClientConfig::default() });
+            svc.start_deferred();
+        }
+        // Session 7 is owned by node 1; node 0 redirects.
+        let v = VecD::from_slice(&[2.0, -1.0]);
+        assert_eq!(
+            services[0].client_submit(7, 1, v.clone()),
+            ClientAdmission::Redirect(1)
+        );
+        assert_eq!(services[0].client_stats().redirects, 1);
+        // Owner: first admit, second queues, third sheds (bounds 1+1), and
+        // a retry of an in-flight reqno is stale-dropped.
+        assert_eq!(services[1].client_submit(7, 1, v.clone()), ClientAdmission::Admitted);
+        assert_eq!(services[1].client_submit(7, 1, v.clone()), ClientAdmission::Stale);
+        assert_eq!(services[1].client_submit(7, 2, v.clone()), ClientAdmission::Queued);
+        assert_eq!(services[1].client_submit(7, 3, v.clone()), ClientAdmission::Busy);
+        assert_eq!(services[1].client_stats().shed, 1);
+        // Degenerate values never reach the table.
+        assert_eq!(
+            services[1].client_submit(7, 4, VecD::from_slice(&[f64::NAN])),
+            ClientAdmission::Rejected
+        );
+
+        let replies = pump_mesh_for_replies(&mut services, 1, 2);
+        assert_eq!(replies.len(), 2, "admitted + queued must both decide");
+        assert!(replies.iter().any(|(s, r, _)| (*s, *r) == (7, 1)));
+        assert!(replies.iter().any(|(s, r, _)| (*s, *r) == (7, 2)));
+        // All honest inputs are the client's value, so the decision is it.
+        for (_, _, d) in &replies {
+            for (a, b) in d.as_slice().iter().zip(v.as_slice()) {
+                assert!((a - b).abs() < 1e-6, "decision {d:?} vs submitted {v:?}");
+            }
+        }
+        // A retry of the answered reqno 2 is a dedup hit with the identical
+        // cached decision and no new instance.
+        let before = services[1].instance_count();
+        let reply2 = replies.iter().find(|(_, r, _)| *r == 2).expect("reqno 2").2.clone();
+        match services[1].client_submit(7, 2, v.clone()) {
+            ClientAdmission::Reply { reqno, decision } => {
+                assert_eq!(reqno, 2);
+                assert_eq!(decision.as_slice(), reply2.as_slice(), "bit-identical cache");
+            }
+            other => panic!("expected cached reply, got {other:?}"),
+        }
+        assert_eq!(services[1].client_stats().dedup_hits, 1);
+        assert_eq!(services[1].instance_count(), before);
+        // Every node ran exactly the two client instances.
+        for svc in &services {
+            assert_eq!(svc.instance_count(), 2);
+            assert!(svc.errors().is_empty(), "{:?}", svc.errors().errors());
+        }
+    }
+
+    /// Acceptance: a killed-and-restarted owner answers a duplicate
+    /// `(session, reqno)` retry with the cached pre-crash reply — the
+    /// client table's dedup is WAL-durable.
+    #[test]
+    fn restarted_owner_answers_retry_from_the_wal() {
+        let n = 3;
+        let dir = tmp_dir("client-restart");
+        let path = dir.join("owner.wal");
+        let session = 6; // owned by node 0
+        let v = VecD::from_slice(&[4.0, 1.0, -3.0]);
+
+        let pre_crash = {
+            let mut services: Vec<ConsensusService<_>> = in_proc_mesh(n)
+                .into_iter()
+                .map(ConsensusService::new)
+                .collect();
+            let (wal, report) = rbvc_store::Wal::open(&path).unwrap();
+            assert!(report.created);
+            services[0].attach_wal(wal);
+            for svc in &mut services {
+                svc.enable_client(ClientConfig::default());
+                svc.start_deferred();
+            }
+            assert_eq!(services[0].client_submit(session, 1, v.clone()), ClientAdmission::Admitted);
+            let replies = pump_mesh_for_replies(&mut services, 0, 1);
+            replies[0].2.clone()
+        }; // services dropped here: the "kill"
+
+        let (wal, report) = rbvc_store::Wal::open(&path).unwrap();
+        assert!(!report.records.is_empty());
+        let transport = in_proc_mesh(n).remove(0);
+        let mut svc = ConsensusService::recover(transport, wal, &report, |id, _| {
+            Err(ProtocolError::InvalidSpec {
+                reason: format!("no static instances were registered, got {id}"),
+            })
+        })
+        .expect("recover");
+        assert_eq!(svc.replay_divergences(), 0);
+        svc.enable_client(ClientConfig::default());
+        // The duplicate retry is answered from the recovered cache,
+        // bit-identical to the pre-crash reply, with no new instance.
+        let before = svc.instance_count();
+        match svc.client_submit(session, 1, v) {
+            ClientAdmission::Reply { reqno, decision } => {
+                assert_eq!(reqno, 1);
+                assert_eq!(decision.as_slice(), pre_crash.as_slice());
+            }
+            other => panic!("expected the cached pre-crash reply, got {other:?}"),
+        }
+        assert_eq!(svc.instance_count(), before);
+        assert_eq!(svc.client_stats().dedup_hits, 1);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

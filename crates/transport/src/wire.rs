@@ -66,6 +66,27 @@ pub enum Payload {
     /// One Bracha message of a [`rbvc_core::VerifiedAveraging`] instance
     /// (the frame-header round mirrors the broadcast tag's round).
     Va(VaMsg),
+    /// A client-request launch: the session owner tells every peer to stand
+    /// up the consensus instance named in the frame header for an external
+    /// client's `(session, reqno)` request, with the client's vector as
+    /// every node's input (see `service::ClientConfig`). The frame-header
+    /// round is always 0.
+    Launch(ClientLaunch),
+}
+
+/// Body of a [`Payload::Launch`] frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientLaunch {
+    /// Client session the request belongs to.
+    pub session: u64,
+    /// The session's monotonic request number.
+    pub reqno: u64,
+    /// Fault parameter the spawned Verified-Averaging instance runs with.
+    pub f: u32,
+    /// Averaging rounds the spawned instance runs.
+    pub rounds: u32,
+    /// The client's submitted vector — every node's input to the instance.
+    pub value: VecD,
 }
 
 /// One decoded service frame.
@@ -133,6 +154,7 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
     out.push(match frame.payload {
         Payload::Eig(_) => 1,
         Payload::Va(_) => 2,
+        Payload::Launch(_) => 3,
     });
     out.extend_from_slice(&frame.instance.to_le_bytes());
     put_usize(&mut out, frame.sender);
@@ -158,6 +180,13 @@ pub fn encode_frame(frame: &Frame) -> Vec<u8> {
             };
             out.push(kind);
             put_round_state(&mut out, state);
+        }
+        Payload::Launch(cl) => {
+            out.extend_from_slice(&cl.session.to_le_bytes());
+            out.extend_from_slice(&cl.reqno.to_le_bytes());
+            put_u32(&mut out, cl.f);
+            put_u32(&mut out, cl.rounds);
+            put_vecd(&mut out, &cl.value);
         }
     }
     out
@@ -350,6 +379,23 @@ pub fn decode_frame(bytes: &[u8], from: ProcessId) -> Result<Frame, ProtocolErro
             };
             Payload::Va(((origin, tag_round as usize), bmsg))
         }
+        3 => {
+            let session = r.u64()?;
+            let reqno = r.u64()?;
+            let f = r.u32()?;
+            let rounds = r.u32()?;
+            if f as usize >= MAX_PID {
+                return Err(r.err(format!("launch fault parameter {f} beyond cap")));
+            }
+            if rounds == 0 || rounds > MAX_ROUND {
+                return Err(r.err(format!("launch round count {rounds} outside 1..={MAX_ROUND}")));
+            }
+            let value = r.vecd()?;
+            if value.dim() == 0 {
+                return Err(r.err("launch with an empty client vector"));
+            }
+            Payload::Launch(ClientLaunch { session, reqno, f, rounds, value })
+        }
         k => return Err(r.err(format!("unknown payload kind {k}"))),
     };
     if r.remaining() != 0 {
@@ -395,6 +441,42 @@ mod tests {
                 }),
             )),
         }
+    }
+
+    fn launch_frame() -> Frame {
+        Frame {
+            instance: (1u64 << 44) | (3 << 24) | 9,
+            sender: 3,
+            round: 0,
+            payload: Payload::Launch(ClientLaunch {
+                session: 17,
+                reqno: 4,
+                f: 2,
+                rounds: 3,
+                value: VecD::from_slice(&[0.5, -1.25]),
+            }),
+        }
+    }
+
+    #[test]
+    fn launch_round_trips_and_rejects_degenerate_parameters() {
+        let bytes = encode_frame(&launch_frame());
+        assert_eq!(decode_frame(&bytes, 3).expect("decodes"), launch_frame());
+        for cut in 0..bytes.len() {
+            assert!(decode_frame(&bytes[..cut], 3).is_err(), "truncation at {cut}");
+        }
+        // Zero rounds and an empty vector are structurally invalid: a launch
+        // must describe a runnable instance.
+        let mut zero_rounds = launch_frame();
+        if let Payload::Launch(cl) = &mut zero_rounds.payload {
+            cl.rounds = 0;
+        }
+        assert!(decode_frame(&encode_frame(&zero_rounds), 3).is_err());
+        let mut empty = launch_frame();
+        if let Payload::Launch(cl) = &mut empty.payload {
+            cl.value = VecD::from_slice(&[]);
+        }
+        assert!(decode_frame(&encode_frame(&empty), 3).is_err());
     }
 
     #[test]

@@ -206,3 +206,150 @@ fn crafted_near_valid_corpus_never_panics_and_is_rejected() {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Client front-end codec (ISSUE 8): the external Submit/Reply/Redirect/Busy
+// protocol shares the frame-codec threat model — total decoding, allocation
+// guards, exactly-one-message framing — and is fuzzed with the same
+// mutation taxonomy via `rbvc_sim::fuzz::ByteMutator`.
+// ---------------------------------------------------------------------------
+
+use rbvc_sim::fuzz::ByteMutator;
+use rbvc_transport::{decode_client_frame, encode_client_frame, ClientFrame, PayloadCrafter};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Encode → decode is the identity for every client frame kind,
+    /// including non-finite vector entries (the codec is bit-transparent;
+    /// *admission* rejects NaN, not the wire layer).
+    #[test]
+    fn client_round_trip_is_identity(
+        raw in prop::collection::vec(-1e9f64..1e9, 12),
+        dim in 1usize..8,
+        session in 0u64..u64::MAX,
+        reqno in 0u64..u64::MAX,
+        node in 0u32..64,
+    ) {
+        let v = VecD::from_slice(&raw[..dim]);
+        let frames = [
+            ClientFrame::Submit { session, reqno, value: v.clone() },
+            ClientFrame::Reply { session, reqno, decision: v },
+            ClientFrame::Redirect { node },
+            ClientFrame::Busy,
+        ];
+        for frame in frames {
+            let back = decode_client_frame(&encode_client_frame(&frame));
+            prop_assert_eq!(back.as_ref().ok(), Some(&frame));
+        }
+    }
+
+    /// Every strict prefix of a valid client frame is rejected — never
+    /// accepted, never a panic.
+    #[test]
+    fn client_truncation_never_decodes(
+        raw in prop::collection::vec(-1e3f64..1e3, 6),
+        seed in 0u64..1u64 << 32,
+    ) {
+        let bytes = encode_client_frame(&ClientFrame::Submit {
+            session: seed,
+            reqno: 1,
+            value: VecD::from_slice(&raw),
+        });
+        let mut m = ByteMutator::new(seed);
+        for _ in 0..8 {
+            prop_assert!(decode_client_frame(&m.truncate(&bytes)).is_err());
+        }
+    }
+
+    /// ByteMutator corpus against the client codec: forged dimension
+    /// counts must die on the allocation guard, garbage tails on the
+    /// exactly-one-message rule, and single-byte flips must never panic.
+    #[test]
+    fn client_mutations_fail_cleanly(
+        raw in prop::collection::vec(-1e3f64..1e3, 4),
+        seed in 0u64..1u64 << 32,
+    ) {
+        let bytes = encode_client_frame(&ClientFrame::Submit {
+            session: 9,
+            reqno: 2,
+            value: VecD::from_slice(&raw),
+        });
+        let mut m = ByteMutator::new(seed);
+        // Submit layout: 2 magic + 1 ver + 1 kind + 8 session + 8 reqno
+        // puts the vector-dimension u32 at offset 20.
+        prop_assert!(decode_client_frame(&m.forge_len_u32(&bytes, 20)).is_err());
+        prop_assert!(decode_client_frame(&m.append_garbage(&bytes)).is_err());
+        let _ = decode_client_frame(&m.flip_byte(&bytes)); // must not panic
+    }
+}
+
+/// The attack registry's client-frame crafter (the generators behind the
+/// E20 "client-spray" mix): the valid base decodes, every deliberately
+/// malformed variant is rejected without a panic, and nothing in the
+/// corpus grows beyond the framing cap.
+#[test]
+fn crafted_client_corpus_is_rejected_and_never_panics() {
+    for seed in 0..24u64 {
+        let mut c = PayloadCrafter::new(seed, 3);
+        assert!(matches!(
+            decode_client_frame(&c.client_valid_submit(seed)),
+            Ok(ClientFrame::Submit { session, .. }) if session == seed
+        ));
+        for _ in 0..16 {
+            assert!(decode_client_frame(&c.client_truncated()).is_err());
+            assert!(decode_client_frame(&c.client_forged_length()).is_err());
+            assert!(decode_client_frame(&c.client_header_then_garbage()).is_err());
+            let p = c.next_client_crafted();
+            assert!(p.len() < 1 << 12, "crafted client frames stay small");
+            assert!(decode_client_frame(&p).is_err());
+        }
+    }
+}
+
+/// End-to-end: the full crafted-client corpus sprayed at a live
+/// `ClientPort` never panics the node and never reaches the client table —
+/// zero sessions, zero admissions, zero instances; every decodable-but-
+/// wrong or malformed frame is counted as a reject or poisons only its own
+/// connection.
+#[test]
+fn crafted_client_corpus_never_reaches_the_client_table() {
+    use std::io::Write as _;
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    use rbvc_transport::{in_proc_mesh, ClientConfig, ClientPort, ConsensusService};
+
+    let mut eps = in_proc_mesh(1);
+    let mut svc = ConsensusService::new(eps.remove(0));
+    svc.enable_client(ClientConfig::default());
+    svc.start_deferred();
+    let mut port = ClientPort::bind("127.0.0.1:0".parse().expect("addr")).expect("bind");
+    let addr = port.local_addr();
+
+    let mut c = PayloadCrafter::new(42, 0);
+    let mut m = ByteMutator::new(42);
+    for i in 0..24 {
+        let body = match i % 4 {
+            0 => c.client_truncated(),
+            1 => c.client_forged_length(),
+            2 => c.client_header_then_garbage(),
+            _ => m.append_garbage(&c.client_valid_submit(7)),
+        };
+        let mut s = TcpStream::connect(addr).expect("dial");
+        let mut buf = (body.len() as u32).to_le_bytes().to_vec();
+        buf.extend_from_slice(&body);
+        s.write_all(&buf).expect("write");
+        std::thread::sleep(Duration::from_millis(5));
+        port.pump(&mut svc); // must not panic
+    }
+    // Let the accept/reader threads drain any stragglers, then pump once.
+    std::thread::sleep(Duration::from_millis(50));
+    port.pump(&mut svc);
+
+    let stats = svc.client_stats();
+    assert_eq!(stats.sessions, 0, "no crafted frame may open a session");
+    assert_eq!(stats.admitted, 0);
+    assert_eq!(svc.instance_count(), 0);
+    assert!(port.rejects() >= 1, "malformed frames must be counted");
+}
