@@ -21,7 +21,7 @@
 use std::sync::Arc;
 
 use rbvc_bench::experiments::byzantine::{run_campaign, ByzantineConfig};
-use rbvc_bench::report::{fnum, print_table};
+use rbvc_bench::report::{fnum, print_table, with_envelope};
 use rbvc_obs::{scrape_once, MetricsServer, Registry};
 use serde_json::json;
 
@@ -151,7 +151,6 @@ fn main() {
     );
 
     let doc = json!({
-        "experiment": "E20 Byzantine adversaries on the wire",
         "transport": "tcp-loopback",
         "seed": seed,
         "smoke": smoke,
@@ -215,6 +214,7 @@ fn main() {
             "mid_run_scrape_ok": scrape_ok.load(std::sync::atomic::Ordering::SeqCst),
         })),
     });
+    let doc = with_envelope("E20", "Byzantine adversaries on the wire", doc);
     let rendered = serde_json::to_string_pretty(&doc).expect("valid JSON");
     std::fs::write("BENCH_byzantine.json", &rendered).expect("write BENCH_byzantine.json");
     println!("wrote BENCH_byzantine.json");

@@ -20,7 +20,7 @@
 use std::sync::Arc;
 
 use rbvc_bench::experiments::client::{run_sweep, ClientExpConfig};
-use rbvc_bench::report::{fnum, print_table};
+use rbvc_bench::report::{fnum, print_table, with_envelope};
 use rbvc_obs::{scrape_once, MetricsServer, Registry};
 use serde_json::json;
 
@@ -143,7 +143,6 @@ fn main() {
     }
 
     let doc = json!({
-        "experiment": "E21 open-loop client saturation",
         "transport": "tcp-loopback",
         "seed": seed,
         "smoke": smoke,
@@ -178,6 +177,7 @@ fn main() {
             "mid_run_scrape_ok": scrape_ok.load(std::sync::atomic::Ordering::SeqCst),
         })),
     });
+    let doc = with_envelope("E21", "open-loop client saturation", doc);
     let rendered = serde_json::to_string_pretty(&doc).expect("valid JSON");
     std::fs::write("BENCH_client.json", &rendered).expect("write BENCH_client.json");
     println!("wrote BENCH_client.json");

@@ -15,7 +15,7 @@
 //! diverged on replay, or failed to reproduce the baseline decisions.
 
 use rbvc_bench::experiments::recovery::{default_runs, run_campaign, RecoveryConfig};
-use rbvc_bench::report::{fnum, print_table};
+use rbvc_bench::report::{fnum, print_table, with_envelope};
 use rbvc_obs::Registry;
 use serde_json::json;
 
@@ -82,7 +82,6 @@ fn main() {
     );
 
     let doc = json!({
-        "experiment": "E18 crash-recovery campaign",
         "transport": "tcp-loopback",
         "seed": seed,
         "smoke": smoke,
@@ -108,6 +107,7 @@ fn main() {
         "wall_secs": out.wall_secs,
         "baseline_identical": out.identical_runs == out.runs,
     });
+    let doc = with_envelope("E18", "crash-recovery campaign", doc);
     let rendered = serde_json::to_string_pretty(&doc).expect("valid JSON");
     std::fs::write("BENCH_recovery.json", &rendered).expect("write BENCH_recovery.json");
     println!("wrote BENCH_recovery.json");

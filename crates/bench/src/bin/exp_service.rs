@@ -33,7 +33,7 @@ use std::sync::Arc;
 use rbvc_bench::experiments::service::{
     cross_transport_identity, run_service_with_obs, ServiceConfig, ServiceOutcome, TransportKind,
 };
-use rbvc_bench::report::{fnum, print_table};
+use rbvc_bench::report::{fnum, print_table, with_envelope};
 use rbvc_obs::{
     assemble, kernel_snapshot, render_attribution, reset_kernel_timers, scrape_once,
     set_kernel_timing, JsonlRecorder, MetricsServer, Obs, Recorder, Registry, TraceSummary,
@@ -240,7 +240,6 @@ fn main() {
     );
 
     let doc = json!({
-        "experiment": "E17 service load generator",
         "transport": "tcp-loopback",
         "seed": seed,
         "smoke": smoke,
@@ -270,6 +269,7 @@ fn main() {
             "mid_run_scrape_ok": scrape_ok.load(std::sync::atomic::Ordering::SeqCst),
         })),
     });
+    let doc = with_envelope("E17", "service load generator", doc);
     let rendered = serde_json::to_string_pretty(&doc).expect("valid JSON");
     std::fs::write("BENCH_service.json", &rendered).expect("write BENCH_service.json");
     println!("wrote BENCH_service.json");

@@ -14,6 +14,7 @@
 //! | [`recovery`] | E18 | kill/restart crash-recovery campaign with WAL corruption injection (systems artifact) |
 //! | [`byzantine`] | E20 | live Byzantine adversaries over real TCP (robustness, systems artifact) |
 //! | [`client`] | E21 | open-loop client saturation sweep through the external front-end (systems artifact) |
+//! | [`health`] | E22 | seeded stall-injection campaign for the self-diagnosis subsystem (systems artifact) |
 
 pub mod asynchrony;
 pub mod broadcast_ablation;
@@ -22,6 +23,7 @@ pub mod chaos;
 pub mod client;
 pub mod conjecture_hunt;
 pub mod counterex;
+pub mod health;
 pub mod lemmas;
 pub mod recovery;
 pub mod service;

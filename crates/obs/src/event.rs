@@ -53,11 +53,18 @@ pub enum EventKind {
     /// active processing (after the blocking receive returned); detail
     /// carries `rx= tx= fsync_us= kernel_us=` for phase attribution.
     PollEnd,
+    /// The stall detector diagnosed a stalled instance. `instance`/`round`
+    /// locate the stall; detail carries
+    /// `phase= waiting_on= stalled_us= escalated=` (the blame report).
+    StallDetected,
+    /// A previously stalled instance made progress again; detail carries
+    /// the final `phase= waiting_on= stalled_us=`.
+    StallCleared,
 }
 
 impl EventKind {
     /// Every kind, for table-driven reports.
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 18] = [
         EventKind::RoundStart,
         EventKind::RoundEnd,
         EventKind::BroadcastAccept,
@@ -74,6 +81,8 @@ impl EventKind {
         EventKind::FrameTx,
         EventKind::FrameRx,
         EventKind::PollEnd,
+        EventKind::StallDetected,
+        EventKind::StallCleared,
     ];
 
     /// Stable wire name of the kind.
@@ -96,6 +105,8 @@ impl EventKind {
             EventKind::FrameTx => "frame_tx",
             EventKind::FrameRx => "frame_rx",
             EventKind::PollEnd => "poll_end",
+            EventKind::StallDetected => "stall_detected",
+            EventKind::StallCleared => "stall_cleared",
         }
     }
 

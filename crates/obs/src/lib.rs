@@ -28,11 +28,19 @@
 //! into named phases ([`Phase`]), and [`serve`] exposes any [`Registry`]
 //! as a live Prometheus-text `/metrics` endpoint ([`MetricsServer`]); the
 //! `exp_trace` binary in `rbvc-bench` is the assembler's CLI.
+//!
+//! [`health`] is the self-diagnosis layer: a per-instance stall detector
+//! with phase + peer blame ([`StallDetector`], [`StallReport`]), a
+//! per-link straggler monitor ([`LinkMonitor`], [`LinkHealth`]), the
+//! [`StatusBoard`] behind the live `/status` endpoint, and the always-on
+//! [`FlightRecorder`] black box (teed next to any primary sink via
+//! [`TeeRecorder`]).
 
 #![warn(missing_docs)]
 
 pub mod clock;
 pub mod event;
+pub mod health;
 pub mod metrics;
 pub mod recorder;
 pub mod report;
@@ -41,12 +49,17 @@ pub mod timing;
 pub mod trace;
 
 pub use event::{Event, EventKind};
+pub use health::{
+    arm_panic_hook, progress_token, ClientStatus, FlightRecorder, InstanceProgress,
+    InstanceStatus, LinkHealth, LinkMonitor, LinkPolicy, StallConfig, StallDetector, StallEvent,
+    StallPhase, StallReport, StatusBoard, StatusSnapshot, WalStatus,
+};
 pub use metrics::{
     Counter, ExecutionTrace, Gauge, HistSnapshot, Histogram, MetricValue, Registry,
 };
-pub use recorder::{JsonlRecorder, NoopRecorder, Obs, Recorder, RingRecorder};
+pub use recorder::{JsonlRecorder, NoopRecorder, Obs, Recorder, RingRecorder, TeeRecorder};
 pub use report::{detail_field, render_report, TraceSummary};
-pub use serve::{prometheus_text, scrape_once, MetricsServer};
+pub use serve::{prometheus_text, scrape_once, scrape_path, MetricsServer};
 pub use timing::{
     kernel_snapshot, kernel_timing_enabled, reset_kernel_timers, set_kernel_timing,
     take_thread_kernel_nanos, time_kernel, Kernel, KernelStat,

@@ -195,6 +195,45 @@ impl Recorder for RingRecorder {
     }
 }
 
+/// Fan-out recorder: clones every event to each child sink. The standard
+/// way to keep a run's primary sink (JSONL file, ring) *and* the always-on
+/// [`crate::health::FlightRecorder`] fed from one [`Obs`] handle.
+pub struct TeeRecorder {
+    sinks: Vec<Arc<dyn Recorder>>,
+}
+
+impl TeeRecorder {
+    /// Tee over the given sinks (empty behaves like [`NoopRecorder`]).
+    #[must_use]
+    pub fn new(sinks: Vec<Arc<dyn Recorder>>) -> TeeRecorder {
+        TeeRecorder { sinks }
+    }
+}
+
+impl Recorder for TeeRecorder {
+    fn enabled(&self) -> bool {
+        self.sinks.iter().any(|s| s.enabled())
+    }
+
+    fn record(&self, event: Event) {
+        let enabled: Vec<&Arc<dyn Recorder>> =
+            self.sinks.iter().filter(|s| s.enabled()).collect();
+        let Some((last, rest)) = enabled.split_last() else {
+            return;
+        };
+        for sink in rest {
+            sink.record(event.clone());
+        }
+        last.record(event);
+    }
+
+    fn flush(&self) {
+        for s in &self.sinks {
+            s.flush();
+        }
+    }
+}
+
 /// Newline-delimited-JSON file sink: one event per line, plus raw lines
 /// for metric/kernel dumps appended by the harness.
 pub struct JsonlRecorder {
@@ -279,6 +318,24 @@ mod tests {
         let events = ring.snapshot();
         assert_eq!(events[0].node, Some(7));
         assert_eq!(events[1].node, Some(2));
+    }
+
+    #[test]
+    fn tee_fans_out_to_every_enabled_sink() {
+        let a = Arc::new(RingRecorder::new(8));
+        let b = Arc::new(RingRecorder::new(8));
+        let tee = TeeRecorder::new(vec![
+            Arc::clone(&a) as Arc<dyn Recorder>,
+            Arc::new(NoopRecorder),
+            Arc::clone(&b) as Arc<dyn Recorder>,
+        ]);
+        assert!(tee.enabled());
+        let obs = Obs::new(Arc::new(tee));
+        obs.emit(|| Event::new(EventKind::Decide).instance(1));
+        assert_eq!(a.snapshot().len(), 1);
+        assert_eq!(b.snapshot().len(), 1);
+        assert!(!TeeRecorder::new(vec![Arc::new(NoopRecorder)]).enabled());
+        assert!(!TeeRecorder::new(Vec::new()).enabled());
     }
 
     #[test]

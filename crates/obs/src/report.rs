@@ -1,11 +1,12 @@
 //! Post-hoc trace analysis: parse a JSONL trace back into a per-run
 //! summary.
 //!
-//! A trace file is newline-delimited JSON with five record shapes, all
+//! A trace file is newline-delimited JSON with six record shapes, all
 //! self-describing via their `t` field: `trace_header` (first line: clock
 //! name plus the wall-clock anchor of the monotonic epoch), `event` (see
 //! [`crate::Event`]), `counter`/`gauge` (registry dumps), `hist`
-//! (histogram snapshots), and `kernel` (timing cells). Blank lines are
+//! (histogram snapshots), `kernel` (timing cells), and `flight` (the
+//! reason record of a flight-recorder black-box dump). Blank lines are
 //! skipped; unknown record types are counted but tolerated, so traces
 //! stay forward-compatible.
 
@@ -54,6 +55,12 @@ pub struct TraceSummary {
     /// Wall-clock anchor (µs since the Unix epoch) of the monotonic epoch,
     /// from the trace header.
     pub wall_epoch_unix_us: Option<u64>,
+    /// Why a flight-recorder dump was written (`violation` / `stall` /
+    /// `panic`), when the trace is a black-box file.
+    pub flight_reason: Option<String>,
+    /// Events the flight-recorder ring evicted before the dump, from the
+    /// flight record.
+    pub flight_ring_dropped: Option<u64>,
     /// Lines that parsed as JSON but matched no known record shape.
     pub unknown_records: u64,
 }
@@ -77,6 +84,13 @@ impl TraceSummary {
             } else if value.get("t").and_then(serde::Value::as_str) == Some("trace_header") {
                 s.wall_epoch_unix_us =
                     value.get("wall_epoch_unix_us").and_then(serde::Value::as_u64);
+            } else if value.get("t").and_then(serde::Value::as_str) == Some("flight") {
+                s.flight_reason = value
+                    .get("reason")
+                    .and_then(serde::Value::as_str)
+                    .map(String::from);
+                s.flight_ring_dropped =
+                    value.get("ring_dropped").and_then(serde::Value::as_u64);
             } else if let Some((name, hist)) = HistSnapshot::from_value(&value) {
                 s.histograms.insert(name, hist);
             } else if let Some(k) = KernelStat::from_value(&value) {
@@ -174,6 +188,13 @@ pub fn render_report(s: &TraceSummary) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "trace: {} events, wall {:.3} s", s.events.len(), s.span_us() as f64 / 1e6);
+    if let Some(reason) = &s.flight_reason {
+        let _ = writeln!(
+            out,
+            "flight-recorder dump: reason {reason}, {} ring evictions before dump",
+            s.flight_ring_dropped.unwrap_or(0)
+        );
+    }
 
     let _ = writeln!(out, "\nevents by kind:");
     for kind in EventKind::ALL {

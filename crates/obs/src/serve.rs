@@ -1,5 +1,6 @@
-//! Live metrics exposition: Prometheus text rendering and a tiny blocking
-//! HTTP listener over a [`Registry`].
+//! Live introspection: Prometheus text rendering and a tiny blocking HTTP
+//! listener serving `/metrics` (a [`Registry`]) and `/status` (a
+//! [`StatusBoard`] JSON snapshot) from one socket.
 //!
 //! The renderer maps the registry's `name{k=v,...}` keys onto the
 //! Prometheus text format (version 0.0.4): dots in metric names become
@@ -18,6 +19,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+use crate::health::StatusBoard;
 use crate::metrics::{bucket_high, MetricValue, Registry};
 
 /// Split a registry key back into `(base_name, labels)`.
@@ -117,10 +119,12 @@ pub fn prometheus_text(registry: &Registry) -> String {
     out
 }
 
-/// A live `/metrics` endpoint: blocking HTTP/1.1 listener on its own
-/// thread, serving [`prometheus_text`] of a shared [`Registry`] on every
-/// request. Dropping the server stops the listener (self-dial wake, same
-/// pattern as the TCP transport's reader shutdown).
+/// A live introspection endpoint: blocking HTTP/1.1 listener on its own
+/// thread, routing `/metrics` to [`prometheus_text`] of a shared
+/// [`Registry`] and `/status` to the JSON document of a shared
+/// [`StatusBoard`] (any other path gets a proper `404`, never a dropped
+/// connection). Dropping the server stops the listener (self-dial wake,
+/// same pattern as the TCP transport's reader shutdown).
 pub struct MetricsServer {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
@@ -130,11 +134,25 @@ pub struct MetricsServer {
 
 impl MetricsServer {
     /// Bind `addr` (e.g. `127.0.0.1:9184`, or port 0 for ephemeral) and
-    /// start serving `registry`.
+    /// start serving `registry`. The `/status` path serves an empty board;
+    /// use [`MetricsServer::serve_with_status`] to attach a live one.
     ///
     /// # Errors
     /// Propagates bind failure.
     pub fn serve(addr: impl ToSocketAddrs, registry: Registry) -> std::io::Result<MetricsServer> {
+        MetricsServer::serve_with_status(addr, registry, StatusBoard::new())
+    }
+
+    /// Bind `addr` and serve `registry` under `/metrics` and `status`
+    /// under `/status` from the same listener.
+    ///
+    /// # Errors
+    /// Propagates bind failure.
+    pub fn serve_with_status(
+        addr: impl ToSocketAddrs,
+        registry: Registry,
+        status: StatusBoard,
+    ) -> std::io::Result<MetricsServer> {
         let listener = TcpListener::bind(addr)?;
         let addr = listener.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -153,7 +171,7 @@ impl MetricsServer {
                         // Serve inline: scrape traffic is one client at a
                         // low rate; a slow reader only delays the next
                         // scrape, never the run being observed.
-                        if answer(stream, &registry).is_ok() {
+                        if answer(stream, &registry, &status).is_ok() {
                             scrapes.fetch_add(1, Ordering::SeqCst);
                         }
                     }
@@ -192,8 +210,21 @@ impl Drop for MetricsServer {
     }
 }
 
-/// Read one request (best effort) and answer with the metrics page.
-fn answer(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
+/// Extract the request path from the raw bytes of an HTTP request head
+/// (`GET /path HTTP/1.1...`); query strings are stripped.
+fn request_path(head: &[u8]) -> Option<String> {
+    let text = std::str::from_utf8(head).ok()?;
+    let line = text.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let _method = parts.next()?;
+    let target = parts.next()?;
+    Some(target.split('?').next().unwrap_or(target).to_string())
+}
+
+/// Read one request (best effort), route it, and answer. Unknown paths
+/// get a real `404` response — a scraper probing the wrong path sees an
+/// HTTP error, not a dropped connection.
+fn answer(mut stream: TcpStream, registry: &Registry, status: &StatusBoard) -> std::io::Result<()> {
     let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
     // Drain the request line + headers; tolerate clients that just read.
     let mut buf = [0u8; 1024];
@@ -210,9 +241,22 @@ fn answer(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
             Err(_) => break,
         }
     }
-    let body = prometheus_text(registry);
+    let path = request_path(&seen).unwrap_or_else(|| "/metrics".to_string());
+    let (status_line, content_type, body) = match path.as_str() {
+        "/metrics" | "/" => (
+            "200 OK",
+            "text/plain; version=0.0.4; charset=utf-8",
+            prometheus_text(registry),
+        ),
+        "/status" => ("200 OK", "application/json; charset=utf-8", status.render()),
+        _ => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            format!("no such path: {path}\nknown paths: /metrics /status\n"),
+        ),
+    };
     let head = format!(
-        "HTTP/1.1 200 OK\r\nContent-Type: text/plain; version=0.0.4; charset=utf-8\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        "HTTP/1.1 {status_line}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
         body.len()
     );
     stream.write_all(head.as_bytes())?;
@@ -227,9 +271,21 @@ fn answer(mut stream: TcpStream, registry: &Registry) -> std::io::Result<()> {
 /// # Errors
 /// Connection or read failure, or a non-200 status line.
 pub fn scrape_once(addr: impl ToSocketAddrs) -> std::io::Result<String> {
+    scrape_path(addr, "/metrics")
+}
+
+/// Request `path` from `addr` once over plain HTTP and return the
+/// response body (`/status` for the JSON snapshot, `/metrics` for the
+/// Prometheus page).
+///
+/// # Errors
+/// Connection or read failure, or a non-200 status line.
+pub fn scrape_path(addr: impl ToSocketAddrs, path: &str) -> std::io::Result<String> {
     let mut stream = TcpStream::connect(addr)?;
     let _ = stream.set_read_timeout(Some(Duration::from_secs(5)));
-    stream.write_all(b"GET /metrics HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n")?;
+    stream.write_all(
+        format!("GET {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\n\r\n").as_bytes(),
+    )?;
     let mut response = String::new();
     stream.read_to_string(&mut response)?;
     if !response.starts_with("HTTP/1.1 200") {
@@ -295,5 +351,59 @@ mod tests {
         assert!(body.contains("live_checks 8"));
         assert_eq!(server.scrapes(), 2);
         drop(server); // shuts down cleanly
+    }
+
+    #[test]
+    fn unknown_paths_get_a_404_not_a_dropped_connection() {
+        let server = MetricsServer::serve("127.0.0.1:0", Registry::new()).expect("bind");
+        let err = scrape_path(server.addr(), "/nope").expect_err("404 path");
+        assert!(err.to_string().contains("404"), "{err}");
+        // The listener survives the bad path and keeps serving good ones.
+        assert!(scrape_once(server.addr()).is_ok());
+        // An empty status board still renders a valid document.
+        let body = scrape_path(server.addr(), "/status").expect("status");
+        assert!(body.contains("\"nodes\""));
+    }
+
+    #[test]
+    fn status_and_metrics_share_one_listener_and_scrape_concurrently() {
+        use crate::health::{StatusBoard, StatusSnapshot};
+        let reg = Registry::new();
+        reg.counter("mid.run").add(1);
+        let board = StatusBoard::new();
+        board.publish(0, StatusSnapshot { node: 0, ..StatusSnapshot::default() }.render());
+        let server =
+            MetricsServer::serve_with_status("127.0.0.1:0", reg.clone(), board.clone())
+                .expect("bind");
+        let addr = server.addr();
+        // Hammer both paths from two threads while the "run" (this thread)
+        // keeps mutating the registry and republishing status.
+        let scrapers: Vec<_> = ["/metrics", "/status"]
+            .into_iter()
+            .map(|path| {
+                std::thread::spawn(move || {
+                    for _ in 0..20 {
+                        let body = scrape_path(addr, path).expect("scrape");
+                        if path == "/status" {
+                            assert!(body.contains("\"nodes\""), "status body: {body}");
+                        } else {
+                            assert!(body.contains("mid_run"), "metrics body");
+                        }
+                    }
+                })
+            })
+            .collect();
+        for i in 0..20u32 {
+            reg.counter("mid.run").inc();
+            board.publish(
+                0,
+                StatusSnapshot { node: 0, total_instances: u64::from(i), ..StatusSnapshot::default() }
+                    .render(),
+            );
+        }
+        for t in scrapers {
+            t.join().expect("scraper thread");
+        }
+        assert!(server.scrapes() >= 40);
     }
 }

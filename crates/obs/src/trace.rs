@@ -858,4 +858,53 @@ mod tests {
         assert_eq!(a.in_flight_tx, 1);
         assert_eq!(a.unpaired_rx, 1);
     }
+
+    /// Byzantine mutism: a peer whose frames arrive but whose own trace is
+    /// empty (it never emitted FrameTx spans). The chain walk must degrade
+    /// to a truncated critical path — no panic, `complete = false`, the
+    /// unfollowable remainder charged to queue, and the unpaired receive
+    /// audited — instead of requiring full span pairing.
+    #[test]
+    fn mute_sender_truncates_the_chain_instead_of_panicking() {
+        let lines = [
+            line(Event::new(EventKind::Submit).node(0).instance(7), 1_000),
+            // Frame from the mute node 1: the rx span exists, the tx span
+            // never will.
+            line(
+                Event::new(EventKind::FrameRx)
+                    .node(0)
+                    .instance(7)
+                    .round(0)
+                    .peer(1)
+                    .seq(0)
+                    .dur(20),
+                1_500,
+            ),
+            line(
+                Event::new(EventKind::Decide).node(0).instance(7).detail("latency_us=600"),
+                1_600,
+            ),
+        ];
+        let s = TraceSummary::parse(&lines.join("\n")).expect("parses");
+        let a = assemble(&s);
+
+        assert_eq!(a.unpaired_rx, 1, "the orphan receive is audited");
+        assert_eq!(a.chains.len(), 1, "the decision still gets a chain");
+        let c = &a.chains[0];
+        assert!(!c.complete, "the walk admits it lost the path");
+        assert_eq!(c.hops, 0, "no hop can be taken through a missing tx");
+        assert_eq!(
+            c.phases.iter().sum::<u64>(),
+            c.total_us,
+            "even a truncated path partitions submit->decide exactly"
+        );
+        let get = |p: Phase| c.phases[Phase::ALL.iter().position(|&q| q == p).unwrap()];
+        // dispatch wait 1480->1500 is still attributable; everything the
+        // walk could not follow (1000->1480) degrades to queue.
+        assert_eq!(get(Phase::Poll), 20);
+        assert_eq!(get(Phase::Queue), 480);
+        // The report renders without the full pairing the honest path has.
+        let report = render_attribution(&a);
+        assert!(report.contains("1 unpaired rx"));
+    }
 }

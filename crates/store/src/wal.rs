@@ -112,6 +112,13 @@ pub struct Wal {
     /// Records appended since the last sync — the group-commit batch size
     /// (`wal.group_commit.records` histogram on each sync).
     pending_records: u64,
+    /// Record count as of the last [`Wal::compact`] — the base snapshot.
+    /// `records - snapshot_base` is how many records a recovery must replay
+    /// on top of it (`wal.snapshot_age_records` gauge).
+    snapshot_base: u64,
+    /// Appends since the last [`Wal::compact`] in this process (replayed
+    /// backlog excluded) — this session's churn against the snapshot.
+    appends_since_compaction: u64,
 }
 
 impl Wal {
@@ -137,7 +144,17 @@ impl Wal {
             file.write_all(&WAL_MAGIC)?;
             file.sync_data()?;
             let len = WAL_MAGIC.len() as u64;
-            let wal = Wal { file, path, len, synced_len: len, records: 0, pending_records: 0 };
+            let wal = Wal {
+                file,
+                path,
+                len,
+                synced_len: len,
+                records: 0,
+                pending_records: 0,
+                snapshot_base: 0,
+                appends_since_compaction: 0,
+            };
+            wal.publish_gauges();
             let report = ReplayReport {
                 records: Vec::new(),
                 torn_bytes: 0,
@@ -158,7 +175,17 @@ impl Wal {
             file.sync_data()?;
             let len = WAL_MAGIC.len() as u64;
             let torn = raw.len() as u64;
-            let wal = Wal { file, path, len, synced_len: len, records: 0, pending_records: 0 };
+            let wal = Wal {
+                file,
+                path,
+                len,
+                synced_len: len,
+                records: 0,
+                pending_records: 0,
+                snapshot_base: 0,
+                appends_since_compaction: 0,
+            };
+            wal.publish_gauges();
             let report = ReplayReport {
                 records: Vec::new(),
                 torn_bytes: torn,
@@ -189,7 +216,10 @@ impl Wal {
             synced_len: valid_len,
             records: n,
             pending_records: 0,
+            snapshot_base: 0,
+            appends_since_compaction: 0,
         };
+        wal.publish_gauges();
         Ok((wal, ReplayReport { records, torn_bytes, valid_len, created: false }))
     }
 
@@ -210,7 +240,9 @@ impl Wal {
         self.len += frame.len() as u64;
         self.records += 1;
         self.pending_records += 1;
+        self.appends_since_compaction += 1;
         Registry::global().counter("wal.append.records").inc();
+        self.publish_gauges();
         Ok(())
     }
 
@@ -307,8 +339,39 @@ impl Wal {
         self.synced_len = len;
         self.records = n;
         self.pending_records = 0;
+        self.snapshot_base = n;
+        self.appends_since_compaction = 0;
         Registry::global().counter("wal.compactions").inc();
+        self.publish_gauges();
         Ok(())
+    }
+
+    /// Records appended on top of the base snapshot — what a recovery must
+    /// replay after loading it. Counts the whole log when it was never
+    /// compacted.
+    #[must_use]
+    pub fn snapshot_age_records(&self) -> u64 {
+        self.records.saturating_sub(self.snapshot_base)
+    }
+
+    /// Appends since the last [`Wal::compact`] in this process (0 if never
+    /// compacted and nothing appended; replayed backlog excluded).
+    #[must_use]
+    pub fn records_since_compaction(&self) -> u64 {
+        self.appends_since_compaction
+    }
+
+    /// Export the durability gauges (`wal.size_bytes`,
+    /// `wal.snapshot_age_records`, `wal.records_since_compaction`) so a
+    /// live `/metrics` scrape sees the log's current footprint without
+    /// touching the service.
+    fn publish_gauges(&self) {
+        let reg = Registry::global();
+        reg.gauge("wal.size_bytes").set(i64::try_from(self.len).unwrap_or(i64::MAX));
+        reg.gauge("wal.snapshot_age_records")
+            .set(i64::try_from(self.snapshot_age_records()).unwrap_or(i64::MAX));
+        reg.gauge("wal.records_since_compaction")
+            .set(i64::try_from(self.appends_since_compaction).unwrap_or(i64::MAX));
     }
 }
 

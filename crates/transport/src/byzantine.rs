@@ -838,6 +838,10 @@ impl<T: Transport> Transport for ByzantineEndpoint<T> {
     fn errors(&self) -> ErrorLog {
         self.inner.errors()
     }
+
+    fn link_health(&self) -> Vec<rbvc_obs::LinkHealth> {
+        self.inner.link_health()
+    }
 }
 
 #[cfg(test)]

@@ -127,6 +127,42 @@ impl<P: SyncProtocol> Lockstep<P> {
         &self.inner
     }
 
+    /// The next round awaiting delivery at the barrier.
+    #[must_use]
+    pub fn current_round(&self) -> usize {
+        self.round
+    }
+
+    /// Whether the inner protocol has finished (decided or round cap hit).
+    #[must_use]
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// The senders whose current-round batch has **not** arrived — the
+    /// processes the barrier is waiting on right now (empty once done).
+    /// This is the stall detector's blame set: progress needs n − f
+    /// well-formed batches, and these are the ids still owing one.
+    #[must_use]
+    pub fn waiting_on(&self) -> Vec<ProcessId> {
+        if self.done {
+            return Vec::new();
+        }
+        let have = self.inbox.get(&self.round);
+        (0..self.n)
+            .filter(|p| !have.is_some_and(|m| m.contains_key(p)))
+            .collect()
+    }
+
+    /// How many senders' batches for the current round have arrived.
+    #[must_use]
+    pub fn senders_have(&self) -> usize {
+        if self.done {
+            return self.n;
+        }
+        self.inbox.get(&self.round).map_or(0, BTreeMap::len)
+    }
+
     /// Degradation events survived at this receive boundary.
     #[must_use]
     pub fn errors(&self) -> &ErrorLog {
@@ -336,6 +372,24 @@ mod tests {
         let _ = ls.on_message(0, RoundBatch { round: 0, msgs: vec![0] });
         let _ = ls.on_message(2, RoundBatch { round: 0, msgs: vec![2] });
         assert_eq!(ls.output(), Some(3), "first batch wins: 0 + 1 + 2");
+    }
+
+    #[test]
+    fn barrier_introspection_names_the_missing_senders() {
+        let mut ls = Lockstep::new(SumIds { id: 0, n: 3, sum: None }, 3, 1);
+        let _ = ls.on_start();
+        assert_eq!(ls.current_round(), 0);
+        assert!(!ls.is_done());
+        assert_eq!(ls.waiting_on(), vec![0, 1, 2]);
+        assert_eq!(ls.senders_have(), 0);
+        let _ = ls.on_message(0, RoundBatch { round: 0, msgs: vec![0] });
+        let _ = ls.on_message(2, RoundBatch { round: 0, msgs: vec![2] });
+        assert_eq!(ls.waiting_on(), vec![1], "exactly the silent sender");
+        assert_eq!(ls.senders_have(), 2);
+        let _ = ls.on_message(1, RoundBatch { round: 0, msgs: vec![1] });
+        assert!(ls.is_done());
+        assert!(ls.waiting_on().is_empty(), "done means nobody is owed");
+        assert_eq!(ls.senders_have(), 3);
     }
 
     #[test]

@@ -42,14 +42,34 @@
 //! (amnesia-freedom), and the full outbound history is re-sent so peers can
 //! fill any gap — receivers deduplicate. The same history replays to any
 //! peer the transport reports through [`Transport::take_reconnects`].
+//!
+//! ## Self-diagnosis
+//!
+//! [`ConsensusService::enable_health`] arms the health subsystem: every
+//! poll feeds per-instance progress (lockstep round / barrier occupancy for
+//! BVC, witness commits for VA) and the transport's per-link health into a
+//! [`rbvc_obs::StallDetector`], which raises a blame-attributed
+//! [`rbvc_obs::StallReport`] (barrier / wire / fsync / queue, with the
+//! specific missing senders) when an undecided instance makes no progress
+//! past its deadline. The same tick publishes a node snapshot to an
+//! optional [`rbvc_obs::StatusBoard`] (the `/status` endpoint) and tees the
+//! service's event stream into an always-on [`rbvc_obs::FlightRecorder`]
+//! that dumps its ring on a safety violation, an escalated stall, or a
+//! panic.
 
 use std::collections::{BTreeMap, VecDeque};
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use rbvc_core::verified_avg::{DeltaMode, VerifiedAveraging};
 use rbvc_core::SyncBvc;
 use rbvc_linalg::VecD;
-use rbvc_obs::{Event, EventKind, Obs, Registry};
+use rbvc_obs::{
+    progress_token, ClientStatus, Event, EventKind, FlightRecorder, InstanceProgress,
+    InstanceStatus, Obs, Recorder, Registry, StallConfig, StallDetector, StallEvent, StallReport,
+    StatusBoard, StatusSnapshot, TeeRecorder, WalStatus,
+};
 use rbvc_sim::asynch::AsyncProtocol;
 use rbvc_sim::config::ProcessId;
 use rbvc_sim::error::{ErrorLog, ProtocolError};
@@ -294,6 +314,38 @@ fn decode_client_spec(spec: &[u8]) -> Option<(u64, u64, usize, usize, VecD)> {
     Some((session, reqno, f, rounds, VecD::from_slice(&xs)))
 }
 
+/// Configuration for [`ConsensusService::enable_health`].
+#[derive(Clone, Default)]
+pub struct HealthConfig {
+    /// Stall deadlines (detection + escalation-to-dump).
+    pub stall: StallConfig,
+    /// Where flight-recorder dumps land; `None` runs the detector without
+    /// a flight recorder.
+    pub flight_dir: Option<PathBuf>,
+    /// Flight-recorder ring capacity in events (clamped to a sane minimum
+    /// by the recorder); 0 picks the default.
+    pub flight_capacity: usize,
+    /// Status board the node publishes its `/status` snapshot to; `None`
+    /// skips publishing.
+    pub status: Option<StatusBoard>,
+}
+
+/// Interval between [`StatusBoard`] publishes: `/status` is a human/CI
+/// endpoint, re-rendering the snapshot every poll would be pure overhead.
+const STATUS_PUBLISH_INTERVAL_US: u64 = 20_000;
+
+/// Default flight-recorder ring capacity (events) when the config says 0.
+const FLIGHT_CAPACITY_DEFAULT: usize = 4096;
+
+/// Live health state behind [`ConsensusService::enable_health`].
+struct HealthState {
+    detector: StallDetector,
+    flight: Option<Arc<FlightRecorder>>,
+    board: Option<StatusBoard>,
+    /// Last status publish (µs, shared monotonic clock) — rate limiter.
+    last_publish_us: u64,
+}
+
 /// The per-process service multiplexing consensus instances over one
 /// transport endpoint.
 pub struct ConsensusService<T: Transport> {
@@ -341,6 +393,12 @@ pub struct ConsensusService<T: Transport> {
     rx_seq: Vec<u64>,
     /// Client front-end: session table, admission bounds, reply cache.
     client: ClientState,
+    /// Health subsystem (stall detector, status publisher, flight
+    /// recorder); `None` until [`ConsensusService::enable_health`].
+    health: Option<HealthState>,
+    /// Artificial delay added to every group-commit sync — fault injection
+    /// for the health campaign's slow-fsync class. Zero in real runs.
+    fsync_throttle: Duration,
 }
 
 impl<T: Transport> ConsensusService<T> {
@@ -366,6 +424,8 @@ impl<T: Transport> ConsensusService<T> {
             tx_seq: vec![0; n],
             rx_seq: vec![0; n],
             client: ClientState::new(),
+            health: None,
+            fsync_throttle: Duration::ZERO,
         }
     }
 
@@ -402,6 +462,12 @@ impl<T: Transport> ConsensusService<T> {
     /// Group-commit: fsync everything appended since the last sync. Called
     /// once per poll *before* the transport flush (WAL-before-wire).
     fn wal_sync(&mut self) {
+        // Fault injection: a throttled "device" is slow whether or not a WAL
+        // is attached — the measured fsync time in `poll` includes the sleep,
+        // which is what the stall detector's fsync classifier watches.
+        if !self.fsync_throttle.is_zero() {
+            std::thread::sleep(self.fsync_throttle);
+        }
         if let Some(w) = self.wal.as_mut() {
             if let Err(e) = w.sync() {
                 self.errors.record(ProtocolError::Transport {
@@ -892,6 +958,9 @@ impl<T: Transport> ConsensusService<T> {
         }
         let decisions = self.collect_decisions();
         self.finish_client_decisions(&decisions);
+        // Health turn — unconditional: stalls are exactly the polls where
+        // nothing else happens.
+        self.health_tick(fsync_us);
         // Close the poll span. `kernel_us` is whatever the hot geometry
         // kernels accumulated on *this* thread since the last drain (the
         // dispatches and ticks above); `fsync_us` is this poll's group
@@ -1012,6 +1081,236 @@ impl<T: Transport> ConsensusService<T> {
         reg.counter("client.dedup_hits").add(self.client.dedup_hits);
         reg.counter("client.redirects").add(self.client.redirects);
         reg.counter("service.client.shed").add(0);
+    }
+
+    /// Arm the health subsystem: from here on every poll feeds instance
+    /// progress and link health into a stall detector, publishes a node
+    /// snapshot to the configured [`StatusBoard`] (if any), and — when a
+    /// flight directory is configured — tees the service's event stream
+    /// into an always-on [`FlightRecorder`] that dumps on a violation, an
+    /// escalated stall, or a panic. Call *after* [`ConsensusService::set_obs`]
+    /// so the tee wraps the real sink; zero behavior change for services
+    /// that never call this.
+    pub fn enable_health(&mut self, cfg: HealthConfig) {
+        let node = u32::try_from(self.transport.local_id()).unwrap_or(u32::MAX);
+        let detector = StallDetector::new(node, cfg.stall, Registry::global().clone());
+        let flight = cfg.flight_dir.map(|dir| {
+            let cap = if cfg.flight_capacity == 0 {
+                FLIGHT_CAPACITY_DEFAULT
+            } else {
+                cfg.flight_capacity
+            };
+            Arc::new(FlightRecorder::new(node, dir, cap, Registry::global().clone()))
+        });
+        if let Some(f) = &flight {
+            rbvc_obs::arm_panic_hook(f);
+            let sinks: Vec<Arc<dyn Recorder>> = vec![self.obs.recorder().clone(), f.clone()];
+            self.set_obs(Obs::new(Arc::new(TeeRecorder::new(sinks))));
+        }
+        self.health = Some(HealthState {
+            detector,
+            flight,
+            board: cfg.status,
+            last_publish_us: 0,
+        });
+    }
+
+    /// Inject an artificial delay into every group-commit sync — the
+    /// health campaign's slow-fsync fault. Zero (the default) disables it.
+    pub fn set_fsync_throttle(&mut self, throttle: Duration) {
+        self.fsync_throttle = throttle;
+    }
+
+    /// Every stall the detector ever raised (bounded history), in
+    /// detection order. Empty without [`ConsensusService::enable_health`].
+    #[must_use]
+    pub fn health_reports(&self) -> Vec<StallReport> {
+        self.health.as_ref().map(|h| h.detector.reports().to_vec()).unwrap_or_default()
+    }
+
+    /// Stalls currently active (detected, not yet cleared).
+    #[must_use]
+    pub fn active_stalls(&self) -> Vec<StallReport> {
+        self.health.as_ref().map(|h| h.detector.active()).unwrap_or_default()
+    }
+
+    /// Total stalls ever raised — the clean-run false-positive check.
+    #[must_use]
+    pub fn stalls_raised(&self) -> u64 {
+        self.health.as_ref().map_or(0, |h| h.detector.raised_total())
+    }
+
+    /// The armed flight recorder, if health was enabled with a flight
+    /// directory.
+    #[must_use]
+    pub fn flight_recorder(&self) -> Option<&Arc<FlightRecorder>> {
+        self.health.as_ref().and_then(|h| h.flight.as_ref())
+    }
+
+    /// Per-instance progress as the stall detector sees it: lockstep
+    /// round plus barrier occupancy for BVC (with the concrete missing
+    /// senders), witness commits for VA (no barrier, so no named senders).
+    fn health_progress(&self) -> Vec<InstanceProgress> {
+        self.instances
+            .iter()
+            .map(|(id, slot)| {
+                let decided = slot.decided || slot.pinned.is_some();
+                let (round, token, waiting_on) = match &slot.proto {
+                    InstanceProto::Bvc(p) => {
+                        let round = u32::try_from(p.current_round()).unwrap_or(u32::MAX);
+                        let waiting: Vec<u32> = p
+                            .waiting_on()
+                            .iter()
+                            .map(|&q| u32::try_from(q).unwrap_or(u32::MAX))
+                            .collect();
+                        (round, progress_token(round, p.senders_have(), 0), waiting)
+                    }
+                    InstanceProto::Va(p) => {
+                        (0, progress_token(0, 0, p.witness_commits()), Vec::new())
+                    }
+                };
+                InstanceProgress {
+                    instance: *id,
+                    round,
+                    launched: slot.launched,
+                    decided,
+                    progress_token: token,
+                    waiting_on,
+                }
+            })
+            .collect()
+    }
+
+    /// One health turn, run at the end of every poll: feed the detector,
+    /// surface stall events into the trace, dump the flight ring on
+    /// escalation, and (rate-limited) publish the `/status` snapshot.
+    fn health_tick(&mut self, fsync_us: u64) {
+        let Some(mut h) = self.health.take() else { return };
+        let now_us = rbvc_obs::clock::now_us();
+        h.detector.note_fsync(now_us, fsync_us);
+        let progress = self.health_progress();
+        let links = self.transport.link_health();
+        for ev in h.detector.observe(now_us, &progress, &links) {
+            match ev {
+                StallEvent::Detected(r) => {
+                    let (instance, round, detail) = (r.instance, r.round, r.detail(false));
+                    self.obs.emit(|| {
+                        Event::new(EventKind::StallDetected)
+                            .instance(instance)
+                            .round(round)
+                            .detail(detail)
+                    });
+                }
+                StallEvent::Escalated(r) => {
+                    let (instance, round, detail) = (r.instance, r.round, r.detail(true));
+                    self.obs.emit(|| {
+                        Event::new(EventKind::StallDetected)
+                            .instance(instance)
+                            .round(round)
+                            .detail(detail)
+                    });
+                    if let Some(f) = &h.flight {
+                        f.dump("stall");
+                    }
+                }
+                StallEvent::Cleared(r) => {
+                    let (instance, round, detail) = (r.instance, r.round, r.detail(false));
+                    self.obs.emit(|| {
+                        Event::new(EventKind::StallCleared)
+                            .instance(instance)
+                            .round(round)
+                            .detail(detail)
+                    });
+                }
+            }
+        }
+        if let Some(board) = &h.board {
+            if h.last_publish_us == 0
+                || now_us.saturating_sub(h.last_publish_us) >= STATUS_PUBLISH_INTERVAL_US
+            {
+                h.last_publish_us = now_us;
+                let snap = self.status_snapshot(&h.detector, links, now_us);
+                board.publish(snap.node, snap.render());
+            }
+        }
+        self.health = Some(h);
+    }
+
+    /// Cap on per-instance rows in a `/status` snapshot; undecided
+    /// instances take priority, counts always cover the full set.
+    const STATUS_INSTANCE_CAP: usize = 32;
+
+    /// Build this node's `/status` snapshot.
+    fn status_snapshot(
+        &self,
+        detector: &StallDetector,
+        links: Vec<rbvc_obs::LinkHealth>,
+        now_us: u64,
+    ) -> StatusSnapshot {
+        let node = u32::try_from(self.transport.local_id()).unwrap_or(u32::MAX);
+        let total_instances = self.instances.len() as u64;
+        let row = |id: InstanceId, slot: &Slot| {
+            let (proto, round, waiting_on) = match &slot.proto {
+                InstanceProto::Bvc(p) => (
+                    "bvc",
+                    u32::try_from(p.current_round()).unwrap_or(u32::MAX),
+                    p.waiting_on()
+                        .iter()
+                        .map(|&q| u32::try_from(q).unwrap_or(u32::MAX))
+                        .collect(),
+                ),
+                InstanceProto::Va(_) => ("va", 0, Vec::new()),
+            };
+            InstanceStatus {
+                id,
+                proto: proto.to_string(),
+                round,
+                launched: slot.launched,
+                decided: slot.decided || slot.pinned.is_some(),
+                waiting_on,
+            }
+        };
+        let decided_instances = self
+            .instances
+            .values()
+            .filter(|s| s.decided || s.pinned.is_some())
+            .count() as u64;
+        let mut instances: Vec<InstanceStatus> = self
+            .instances
+            .iter()
+            .filter(|(_, s)| !(s.decided || s.pinned.is_some()))
+            .take(Self::STATUS_INSTANCE_CAP)
+            .map(|(id, s)| row(*id, s))
+            .collect();
+        for (id, slot) in &self.instances {
+            if instances.len() >= Self::STATUS_INSTANCE_CAP {
+                break;
+            }
+            if slot.decided || slot.pinned.is_some() {
+                instances.push(row(*id, slot));
+            }
+        }
+        let client = self.client.enabled.then_some(ClientStatus {
+            sessions: self.client.table.len() as u64,
+            inflight: self.client.pending.len() as u64,
+            shed: self.client.shed,
+        });
+        let wal = self.wal.as_ref().map(|w| WalStatus {
+            size_bytes: w.len(),
+            records: w.records(),
+            records_since_compaction: w.records_since_compaction(),
+        });
+        StatusSnapshot {
+            node,
+            instances,
+            total_instances,
+            decided_instances,
+            client,
+            wal,
+            links,
+            stalls: detector.active(),
+            updated_us: now_us,
+        }
     }
 
     /// Which process owns client session `session` (sessions are sharded
@@ -1591,6 +1890,13 @@ impl<T: Transport> ConsensusService<T> {
     pub fn transport(&self) -> &T {
         &self.transport
     }
+
+    /// Mutable transport access — the fault-injection surface (severing
+    /// links, dropping writers) for the health campaign. Real callers
+    /// never need this.
+    pub fn transport_mut(&mut self) -> &mut T {
+        &mut self.transport
+    }
 }
 
 #[cfg(test)]
@@ -2008,5 +2314,90 @@ mod tests {
         // four frames arrived on the link from process 0.
         assert_eq!(svc.gate_rejections_by_sender()[0], [1, 1, 1, 1]);
         assert_eq!(svc.gate_rejections_by_sender()[1], [0, 0, 0, 0]);
+    }
+
+    /// A mute node stalls its peers' round-0 barrier: the health subsystem
+    /// must detect the stall before long, blame exactly the mute sender,
+    /// clear the stall when the sender wakes up, and publish a `/status`
+    /// snapshot that names the blocked round while it lasts.
+    #[test]
+    fn live_stall_is_detected_blamed_cleared_and_visible_on_status() {
+        let n = 3;
+        let board = StatusBoard::new();
+        let mut services: Vec<ConsensusService<_>> = in_proc_mesh(n)
+            .into_iter()
+            .map(ConsensusService::new)
+            .collect();
+        for (i, svc) in services.iter_mut().enumerate() {
+            svc.add_instance(7, bvc_instance(i, n, 0, &[i as f64])).unwrap();
+            svc.enable_health(HealthConfig {
+                stall: StallConfig { deadline_us: 15_000, dump_deadline_us: 10_000_000 },
+                status: Some(board.clone()),
+                ..HealthConfig::default()
+            });
+        }
+        // Nodes 0 and 1 start and poll; node 2 stays mute (registered but
+        // never started), so their barrier waits on sender 2 forever.
+        services[0].start().unwrap();
+        services[1].start().unwrap();
+        for _ in 0..40 {
+            for svc in &mut services[..2] {
+                let _ = svc.poll(Duration::from_millis(1));
+            }
+            if services[0].stalls_raised() > 0 && services[1].stalls_raised() > 0 {
+                break;
+            }
+        }
+        for svc in &services[..2] {
+            let active = svc.active_stalls();
+            assert_eq!(active.len(), 1, "one stalled instance expected");
+            assert_eq!(active[0].instance, 7);
+            assert_eq!(active[0].waiting_on, vec![2], "blame must name the mute sender");
+        }
+        let status = board.render();
+        assert!(status.contains("\"waiting_on\":[2]"), "status must show the blame: {status}");
+        // Wake the mute node: the barrier fills, everyone decides, and the
+        // stall clears without lingering as active.
+        services[2].start().unwrap();
+        let mut spins = 0;
+        while services.iter().any(|s| !s.all_decided()) {
+            for svc in &mut services {
+                let _ = svc.poll(Duration::from_millis(1));
+            }
+            spins += 1;
+            assert!(spins < 3000, "mesh failed to decide after the stall cleared");
+        }
+        for svc in &services[..2] {
+            assert!(svc.active_stalls().is_empty(), "stall must clear once decided");
+            let reports = svc.health_reports();
+            assert!(reports.iter().any(|r| r.cleared_at_us.is_some()));
+        }
+    }
+
+    /// A clean fully-polled mesh must never raise a stall (zero false
+    /// positives at the default deadlines).
+    #[test]
+    fn clean_run_raises_no_stalls() {
+        let n = 4;
+        let mut services: Vec<ConsensusService<_>> = in_proc_mesh(n)
+            .into_iter()
+            .map(ConsensusService::new)
+            .collect();
+        for (i, svc) in services.iter_mut().enumerate() {
+            svc.add_instance(3, bvc_instance(i, n, 1, &[i as f64, 1.0])).unwrap();
+            svc.enable_health(HealthConfig::default());
+            svc.start().unwrap();
+        }
+        let mut spins = 0;
+        while services.iter().any(|s| !s.all_decided()) {
+            for svc in &mut services {
+                let _ = svc.poll(Duration::from_millis(1));
+            }
+            spins += 1;
+            assert!(spins < 3000, "clean mesh failed to decide");
+        }
+        for svc in &services {
+            assert_eq!(svc.stalls_raised(), 0, "clean run must not raise stalls");
+        }
     }
 }

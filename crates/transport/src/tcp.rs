@@ -66,7 +66,7 @@ use std::time::Duration;
 
 use crossbeam::channel::{self, Receiver, Sender};
 use parking_lot::Mutex;
-use rbvc_obs::{Counter, Gauge, Registry};
+use rbvc_obs::{Counter, Gauge, LinkHealth, LinkMonitor, Registry};
 use rbvc_sim::config::ProcessId;
 use rbvc_sim::error::{ErrorLog, ProtocolError};
 
@@ -208,6 +208,12 @@ pub struct TcpEndpoint {
     /// the redial just built — without this, two live endpoints redialing
     /// each other feed an endless teardown/redial storm.
     fresh_writer: Vec<bool>,
+    /// Per-peer redial veto, set by [`TcpEndpoint::sever_link`]: a severed
+    /// link stays severed (fault-injection hook for the health campaign).
+    redial_quench: Vec<bool>,
+    /// Per-link EWMA/straggler/flap tracker behind
+    /// [`Transport::link_health`].
+    link_monitor: LinkMonitor,
     bytes_sent: u64,
     bytes_received: Arc<AtomicU64>,
     errors: Arc<Mutex<ErrorLog>>,
@@ -463,6 +469,8 @@ impl TcpEndpoint {
             redial_skip: vec![0; n],
             pending_reconnects: Vec::new(),
             fresh_writer: vec![false; n],
+            redial_quench: vec![false; n],
+            link_monitor: LinkMonitor::new(id as u32, n),
             bytes_sent,
             bytes_received,
             errors,
@@ -479,6 +487,23 @@ impl TcpEndpoint {
         self.redial_failures[dst] = 0;
         self.redial_skip[dst] = 0;
         self.fresh_writer[dst] = false;
+        self.link_monitor.on_peer_down(dst as u32);
+    }
+
+    /// Fault-injection hook (health campaign): cut the outbound stream to
+    /// `dst` — the peer's reader observes EOF and marks the inbound link
+    /// down — and veto every future redial so the link *stays* severed.
+    /// Real traffic never calls this.
+    pub fn sever_link(&mut self, dst: ProcessId) {
+        if dst >= self.n || dst == self.id {
+            return;
+        }
+        if let Some(stream) = self.writers[dst].take() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+        self.outbox[dst].clear();
+        self.redial_quench[dst] = true;
+        self.link_monitor.on_peer_down(dst as u32);
     }
 
     /// Lazily re-dial every down peer whose backoff allows an attempt; a
@@ -486,7 +511,7 @@ impl TcpEndpoint {
     /// [`Transport::take_reconnects`].
     fn try_redials(&mut self) {
         for dst in 0..self.n {
-            if dst == self.id || self.writers[dst].is_some() {
+            if dst == self.id || self.writers[dst].is_some() || self.redial_quench[dst] {
                 continue;
             }
             if self.redial_skip[dst] > 0 {
@@ -504,6 +529,7 @@ impl TcpEndpoint {
                     self.redial_failures[dst] = 0;
                     self.redial_skip[dst] = 0;
                     self.fresh_writer[dst] = true;
+                    self.link_monitor.on_peer_up(dst as u32);
                     self.pending_reconnects.push(dst);
                     let (src, dst_s) = (self.id.to_string(), dst.to_string());
                     Registry::global()
@@ -515,6 +541,8 @@ impl TcpEndpoint {
                 }
                 Err(_) => {
                     dial_retry_counter().inc();
+                    self.link_monitor
+                        .on_dial_failure(dst as u32, rbvc_obs::clock::now_us());
                     self.redial_failures[dst] = self.redial_failures[dst].saturating_add(1);
                     self.redial_skip[dst] =
                         (1u32 << self.redial_failures[dst].min(6)).min(REDIAL_SKIP_CAP);
@@ -533,11 +561,13 @@ impl TcpEndpoint {
                 // matters, so dropping it here is safe and keeps one
                 // logical inbound stream per peer.
                 if gen == self.generations[peer].load(Ordering::SeqCst) {
+                    self.link_monitor.on_frame(peer as u32, arrived_us);
                     out.push((peer, arrived_us, bytes));
                 }
             }
             RxEvent::PeerUp(peer, gen) => {
                 if gen == self.generations[peer].load(Ordering::SeqCst) {
+                    self.link_monitor.on_peer_up(peer as u32);
                     if std::mem::take(&mut self.fresh_writer[peer]) {
                         // This PeerUp is the echo of our own redial — the
                         // peer registered our fresh dial as a reconnect and
@@ -560,6 +590,9 @@ impl TcpEndpoint {
                 }
             }
             RxEvent::LinkDown(peer, reason) => {
+                if let Some(p) = peer {
+                    self.link_monitor.on_peer_down(p as u32);
+                }
                 self.errors.lock().record(ProtocolError::Transport { peer, reason });
             }
         }
@@ -692,6 +725,10 @@ impl Transport for TcpEndpoint {
         peers.sort_unstable();
         peers.dedup();
         peers
+    }
+
+    fn link_health(&self) -> Vec<LinkHealth> {
+        self.link_monitor.snapshot(rbvc_obs::clock::now_us())
     }
 
     fn bytes_sent(&self) -> u64 {

@@ -82,6 +82,16 @@ pub trait Transport: Send {
         Vec::new()
     }
 
+    /// Current health of every inbound link, for the stall detector's
+    /// wire-vs-barrier blame split and the `/status` document. Default:
+    /// empty — the in-process mesh has no links that can sicken, and an
+    /// empty reading makes the health layer fall back to protocol-level
+    /// evidence alone. The TCP endpoint overrides it with its
+    /// [`rbvc_obs::LinkMonitor`] snapshot.
+    fn link_health(&self) -> Vec<rbvc_obs::LinkHealth> {
+        Vec::new()
+    }
+
     /// Bytes put on the wire by this endpoint (length prefixes included;
     /// self-delivery excluded).
     fn bytes_sent(&self) -> u64;
