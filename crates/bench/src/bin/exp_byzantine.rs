@@ -151,7 +151,7 @@ fn main() {
     );
 
     let doc = json!({
-        "transport": "tcp-loopback",
+        "transport": if cfg.auth.is_some() { "tcp-loopback-authenticated" } else { "tcp-loopback" },
         "seed": seed,
         "smoke": smoke,
         "n": cfg.n,
@@ -166,6 +166,7 @@ fn main() {
         "honest_attributed_rejections": out.honest_attributed_rejections,
         "client_honest_rejections": out.client_honest_rejections,
         "client_reply_errors": out.client_reply_errors,
+        "clean_auth_rejects": out.clean_auth_rejects,
         "wall_secs": out.wall_secs,
         "attacks": out.reports.iter().map(|r| json!({
             "attack": r.attack.clone(),
@@ -208,6 +209,7 @@ fn main() {
                 "table_redirects": r.client_redirects,
             }),
             "stale_hellos_refused": r.stale_hellos,
+            "auth_rejects": r.auth_rejects,
         })).collect::<Vec<_>>(),
         "metrics_endpoint": server.as_ref().map(|s| json!({
             "addr": s.addr().to_string(),
@@ -261,6 +263,13 @@ fn main() {
         eprintln!(
             "FAIL: {} honest-client repl(ies) were wrong or timed out",
             out.client_reply_errors
+        );
+        failed = true;
+    }
+    if out.clean_auth_rejects > 0 {
+        eprintln!(
+            "FAIL: {} handshake rejection(s) during clean references (honest links)",
+            out.clean_auth_rejects
         );
         failed = true;
     }

@@ -171,7 +171,7 @@ fn main() {
     );
 
     let doc = json!({
-        "transport": "tcp-loopback",
+        "transport": "tcp-loopback-authenticated",
         "seed": seed,
         "smoke": smoke,
         "n": cfg.n,

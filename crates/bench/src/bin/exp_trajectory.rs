@@ -15,12 +15,13 @@ use rbvc_bench::report::print_table;
 use serde_json::Value;
 
 /// The systems campaign reports, in experiment order.
-const REPORTS: [&str; 5] = [
+const REPORTS: [&str; 6] = [
     "BENCH_service.json",
     "BENCH_recovery.json",
     "BENCH_byzantine.json",
     "BENCH_client.json",
     "BENCH_health.json",
+    "BENCH_identity.json",
 ];
 
 fn get_str(doc: &Value, key: &str) -> String {

@@ -49,7 +49,7 @@ use crate::experiments::service::percentile;
 use crate::workloads::{max_edge, rng};
 
 /// Campaign configuration.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ByzantineConfig {
     /// Mesh size (the paper regime `n > 3f` with room to spare: 7 > 6).
     pub n: usize,
@@ -74,6 +74,38 @@ pub struct ByzantineConfig {
     /// "client-spray" volleys hammer the same ports). `0` disables the
     /// client plane entirely.
     pub client_requests: usize,
+    /// Keyed link identity: `Some(seed)` runs both TCP phases over an
+    /// *authenticated* mesh (pairwise PSKs derived from the seed, keyed
+    /// challenge–response handshakes), and hands each Byzantine endpoint
+    /// its own keyring so the raw wire attacks speak the authenticated
+    /// protocol. `None` is the legacy plaintext HELLO mesh.
+    pub auth: Option<[u8; 32]>,
+    /// The attack mixes this campaign cycles through (`run % len` picks).
+    pub attacks: Vec<&'static str>,
+    /// Shared `/status` board the services publish into (per-link auth
+    /// state rides the snapshot rows); `None` skips publishing.
+    pub status: Option<rbvc_obs::StatusBoard>,
+}
+
+/// The classic E20 cycle: every pre-identity registry mix. The five
+/// identity mixes live in the E23 campaign (`exp_identity`), which needs
+/// an authenticated mesh to mean anything.
+pub const E20_ATTACKS: [&str; 9] = [
+    "equivocate",
+    "lying-witness",
+    "mute",
+    "garbage",
+    "gate-spray",
+    "hello-replay",
+    "redial-storm",
+    "client-spray",
+    "combined",
+];
+
+/// A 32-byte mesh-auth seed derived from a campaign seed.
+#[must_use]
+pub fn mesh_seed(seed: u64) -> [u8; 32] {
+    rbvc_transport::sha256(&seed.to_le_bytes())
 }
 
 impl ByzantineConfig {
@@ -91,6 +123,9 @@ impl ByzantineConfig {
             poll_timeout: Duration::from_millis(1),
             max_sweeps: 40_000,
             client_requests: 3,
+            auth: Some(mesh_seed(seed)),
+            attacks: E20_ATTACKS.to_vec(),
+            status: None,
         }
     }
 
@@ -110,17 +145,20 @@ impl ByzantineConfig {
             poll_timeout: Duration::from_millis(1),
             max_sweeps: 40_000,
             client_requests: 2,
+            auth: Some(mesh_seed(seed)),
+            attacks: E20_ATTACKS.to_vec(),
+            status: None,
         }
     }
 }
 
-/// Default run counts: 9 for `--smoke` (one run per registry mix, so CI
+/// Default run counts: 9 for `--smoke` (one run per classic mix, so CI
 /// exercises every attack including the client-spray), 50 for the full
 /// campaign (the acceptance floor).
 #[must_use]
 pub fn default_runs(smoke: bool) -> usize {
     if smoke {
-        AttackRegistry::NAMES.len()
+        E20_ATTACKS.len()
     } else {
         50
     }
@@ -157,6 +195,9 @@ pub struct AttackReport {
     pub stats: AttackStats,
     /// Stale HELLO replays refused by the transport guard.
     pub stale_hellos: u64,
+    /// Forged / replayed / downgraded handshakes refused by the keyed
+    /// link-identity layer during the attack runs (0 on a plaintext mesh).
+    pub auth_rejects: u64,
     /// Median honest-client submit→reply latency, clean reference, ms.
     pub client_clean_p50_ms: f64,
     /// 99th-percentile honest-client latency, clean reference, ms.
@@ -198,6 +239,10 @@ pub struct ByzantineOutcome {
     /// Honest-client replies whose decision strayed from the submitted
     /// value by more than the agreement tolerance (must be 0).
     pub client_reply_errors: u64,
+    /// Handshake rejections during the *clean* references (must be 0 —
+    /// every clean-phase handshake is genuine, so any reject there would
+    /// mean the auth layer is refusing honest identity).
+    pub clean_auth_rejects: u64,
     /// Per-attack aggregation, in registry order.
     pub reports: Vec<AttackReport>,
     /// Campaign wall clock, seconds.
@@ -217,29 +262,33 @@ impl ByzantineOutcome {
             && self.honest_attributed_rejections == 0
             && self.client_honest_rejections == 0
             && self.client_reply_errors == 0
+            && self.clean_auth_rejects == 0
     }
 }
 
-/// One run's raw facts.
-struct RunFacts {
-    attack: &'static str,
-    converged: bool,
-    identical: bool,
-    violations: usize,
-    clean_secs: f64,
-    attack_secs: f64,
-    clean_latencies: Vec<f64>,
-    attack_latencies: Vec<f64>,
-    gates_from_byz: [u64; 4],
-    gates_from_honest: [u64; 4],
-    stats: AttackStats,
-    stale_hellos: u64,
-    clean_client_latencies: Vec<f64>,
-    attack_client_latencies: Vec<f64>,
-    client_rejects_clean: u64,
-    client_rejects_attack: u64,
-    client_redirects_attack: u64,
-    client_reply_errors: u64,
+/// One run's raw facts (shared with the E23 identity campaign, which
+/// drives the same three-phase machinery over its own mix list).
+pub(crate) struct RunFacts {
+    pub(crate) attack: &'static str,
+    pub(crate) converged: bool,
+    pub(crate) identical: bool,
+    pub(crate) violations: usize,
+    pub(crate) clean_secs: f64,
+    pub(crate) attack_secs: f64,
+    pub(crate) clean_latencies: Vec<f64>,
+    pub(crate) attack_latencies: Vec<f64>,
+    pub(crate) gates_from_byz: [u64; 4],
+    pub(crate) gates_from_honest: [u64; 4],
+    pub(crate) stats: AttackStats,
+    pub(crate) stale_hellos: u64,
+    pub(crate) auth_rejects_clean: u64,
+    pub(crate) auth_rejects_attack: u64,
+    pub(crate) clean_client_latencies: Vec<f64>,
+    pub(crate) attack_client_latencies: Vec<f64>,
+    pub(crate) client_rejects_clean: u64,
+    pub(crate) client_rejects_attack: u64,
+    pub(crate) client_redirects_attack: u64,
+    pub(crate) client_reply_errors: u64,
 }
 
 fn va_instance(
@@ -260,19 +309,24 @@ fn va_instance(
 
 /// Stand up a TCP mesh on pre-bound loopback addresses, returning the
 /// addresses so the attack registry's raw-socket attacks know where the
-/// listeners live.
-fn stable_tcp_mesh(n: usize) -> (Vec<TcpEndpoint>, Vec<SocketAddr>) {
+/// listeners live. `auth: Some(seed)` makes every link run the keyed
+/// challenge–response handshake.
+fn stable_tcp_mesh(n: usize, auth: Option<&[u8; 32]>) -> (Vec<TcpEndpoint>, Vec<SocketAddr>) {
     let listeners: Vec<TcpListener> = (0..n)
         .map(|_| TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback"))
         .collect();
     let addrs: Vec<SocketAddr> =
         listeners.iter().map(|l| l.local_addr().expect("local addr")).collect();
+    let auth = auth.copied();
     let handles: Vec<_> = listeners
         .into_iter()
         .enumerate()
         .map(|(id, listener)| {
             let addrs = addrs.clone();
-            thread::spawn(move || TcpEndpoint::connect(id, listener, &addrs))
+            thread::spawn(move || match auth {
+                Some(seed) => TcpEndpoint::connect_with_auth(id, listener, &addrs, &seed),
+                None => TcpEndpoint::connect(id, listener, &addrs),
+            })
         })
         .collect();
     let mesh = handles
@@ -354,7 +408,7 @@ fn run_tcp_mesh(
     use std::sync::atomic::{AtomicBool, Ordering};
     use std::sync::Arc;
 
-    let (endpoints, addrs) = stable_tcp_mesh(cfg.n);
+    let (endpoints, addrs) = stable_tcp_mesh(cfg.n, cfg.auth.as_ref());
     // One client port per node: the external submit plane. The attack
     // registry's "client-spray" mix targets these addresses, and an honest
     // client drives real submits through them during both TCP phases.
@@ -378,10 +432,37 @@ fn run_tcp_mesh(
                 ),
                 _ => AttackPolicy::honest(),
             };
-            let wrapped = ByzantineEndpoint::new(ep, policy)
+            let mut wrapped = ByzantineEndpoint::new(ep, policy)
                 .with_wire_targets(&addrs)
                 .with_client_targets(&client_addrs);
+            if let (true, Some(seed)) = (is_byz, cfg.auth.as_ref()) {
+                // The compromise model: the attacker knows its own pairwise
+                // keys (it is a mesh member) and nothing else — never the
+                // seed, never a key between two honest nodes.
+                let keyring: Vec<[u8; 32]> = (0..cfg.n)
+                    .map(|p| rbvc_transport::derive_pair_key(seed, i, p))
+                    .collect();
+                wrapped = wrapped.with_identity_keys(keyring);
+            }
             let mut svc = ConsensusService::new(wrapped);
+            if cfg.auth.is_some() {
+                svc.enable_auth();
+            }
+            if let Some(board) = &cfg.status {
+                // Publish `/status` snapshots (per-link auth state) without
+                // arming a flight recorder; the stall deadlines are pushed
+                // far past the sweep budget so detection noise from the
+                // attack phases never lands in the campaign's metrics.
+                svc.enable_health(rbvc_transport::service::HealthConfig {
+                    stall: rbvc_obs::StallConfig {
+                        deadline_us: 60_000_000,
+                        dump_deadline_us: 120_000_000,
+                    },
+                    flight_dir: None,
+                    flight_capacity: 0,
+                    status: Some(board.clone()),
+                });
+            }
             // Client instances must tolerate the run's f (in the clean
             // reference the Byzantine slots are idle, i.e. crashed).
             svc.enable_client(ClientConfig {
@@ -525,10 +606,10 @@ fn run_tcp_mesh(
 }
 
 /// One seeded run: baseline, clean reference, attack — then the verdicts.
-fn one_run(cfg: &ByzantineConfig, run: usize) -> RunFacts {
+pub(crate) fn one_run(cfg: &ByzantineConfig, run: usize) -> RunFacts {
     let run_seed = cfg.seed.wrapping_add(run as u64 * 7919);
     let mut rand = rng(run_seed);
-    let attack = AttackRegistry::NAMES[run % AttackRegistry::NAMES.len()];
+    let attack = cfg.attacks[run % cfg.attacks.len()];
 
     // Per-instance, per-node seeded inputs.
     let inputs: Vec<Vec<VecD>> = (0..cfg.instances)
@@ -571,19 +652,21 @@ fn one_run(cfg: &ByzantineConfig, run: usize) -> RunFacts {
         })
     };
 
-    let stale_before =
-        rbvc_obs::Registry::global().counter("tcp.hello.stale_rejected_total").get();
+    let stale_counter = rbvc_obs::Registry::global().counter("tcp.hello.stale_rejected_total");
+    let auth_counter = rbvc_obs::Registry::global().counter("auth.reject_total");
+    let stale_before = stale_counter.get();
+    let auth_before = auth_counter.get();
 
     let baseline = baseline_decisions(cfg, &inputs, &byz);
     let mut clean_monitor = mk_monitor();
     let clean = run_tcp_mesh(cfg, &inputs, &byz, None, run_seed, &mut clean_monitor);
+    let auth_after_clean = auth_counter.get();
     let mut attack_monitor = mk_monitor();
     let attacked = run_tcp_mesh(cfg, &inputs, &byz, Some(attack), run_seed, &mut attack_monitor);
 
-    let stale_hellos = rbvc_obs::Registry::global()
-        .counter("tcp.hello.stale_rejected_total")
-        .get()
-        .saturating_sub(stale_before);
+    let stale_hellos = stale_counter.get().saturating_sub(stale_before);
+    let auth_rejects_clean = auth_after_clean.saturating_sub(auth_before);
+    let auth_rejects_attack = auth_counter.get().saturating_sub(auth_after_clean);
 
     let converged = baseline.is_some() && clean.converged && attacked.converged;
     let identical = match &baseline {
@@ -625,6 +708,8 @@ fn one_run(cfg: &ByzantineConfig, run: usize) -> RunFacts {
         gates_from_honest,
         stats: attacked.stats,
         stale_hellos,
+        auth_rejects_clean,
+        auth_rejects_attack,
         clean_client_latencies: clean.client_latencies_ms,
         attack_client_latencies: attacked.client_latencies_ms,
         client_rejects_clean: clean.client_rejects,
@@ -650,6 +735,7 @@ pub fn run_campaign(cfg: &ByzantineConfig) -> ByzantineOutcome {
         gates_from_honest: [u64; 4],
         stats: AttackStats,
         stale_hellos: u64,
+        auth_rejects: u64,
         clean_client_lat: Vec<f64>,
         attack_client_lat: Vec<f64>,
         client_rejects: u64,
@@ -663,6 +749,7 @@ pub fn run_campaign(cfg: &ByzantineConfig) -> ByzantineOutcome {
     let mut honest_attributed: u64 = 0;
     let mut client_honest_rejections: u64 = 0;
     let mut client_reply_errors: u64 = 0;
+    let mut clean_auth_rejects: u64 = 0;
 
     for run in 0..cfg.runs {
         let facts = one_run(cfg, run);
@@ -676,6 +763,7 @@ pub fn run_campaign(cfg: &ByzantineConfig) -> ByzantineOutcome {
         honest_attributed += facts.gates_from_honest.iter().sum::<u64>();
         client_honest_rejections += facts.client_rejects_clean;
         client_reply_errors += facts.client_reply_errors;
+        clean_auth_rejects += facts.auth_rejects_clean;
         if !facts.converged || !facts.identical || facts.violations > 0 {
             eprintln!(
                 "E20 run {run} [{}]: converged={} identical={} violations={}",
@@ -692,6 +780,7 @@ pub fn run_campaign(cfg: &ByzantineConfig) -> ByzantineOutcome {
             gates_from_honest: [0; 4],
             stats: AttackStats::default(),
             stale_hellos: 0,
+            auth_rejects: 0,
             clean_client_lat: Vec::new(),
             attack_client_lat: Vec::new(),
             client_rejects: 0,
@@ -708,6 +797,7 @@ pub fn run_campaign(cfg: &ByzantineConfig) -> ByzantineOutcome {
         }
         acc.stats += facts.stats;
         acc.stale_hellos += facts.stale_hellos;
+        acc.auth_rejects += facts.auth_rejects_attack;
         acc.clean_client_lat.extend(facts.clean_client_latencies);
         acc.attack_client_lat.extend(facts.attack_client_latencies);
         acc.client_rejects += facts.client_rejects_attack;
@@ -738,6 +828,7 @@ pub fn run_campaign(cfg: &ByzantineConfig) -> ByzantineOutcome {
             gates_from_honest: acc.gates_from_honest,
             stats: acc.stats,
             stale_hellos: acc.stale_hellos,
+            auth_rejects: acc.auth_rejects,
             client_clean_p50_ms: percentile(&acc.clean_client_lat, 50.0),
             client_clean_p99_ms: percentile(&acc.clean_client_lat, 99.0),
             client_attack_p50_ms: percentile(&acc.attack_client_lat, 50.0),
@@ -758,6 +849,7 @@ pub fn run_campaign(cfg: &ByzantineConfig) -> ByzantineOutcome {
         honest_attributed_rejections: honest_attributed,
         client_honest_rejections,
         client_reply_errors,
+        clean_auth_rejects,
         reports,
         wall_secs: started.elapsed().as_secs_f64(),
     }

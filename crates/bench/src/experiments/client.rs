@@ -37,7 +37,7 @@ use rbvc_client::{ClientHandle, RetryPolicy};
 use rbvc_linalg::VecD;
 use rbvc_sim::monitor::{epsilon_agreement, SafetyMonitor, ServiceMonitor};
 use rbvc_transport::service::{ClientConfig, ClientStats, ConsensusService};
-use rbvc_transport::{tcp_mesh_loopback, ClientPort, TcpEndpoint};
+use rbvc_transport::{tcp_mesh_loopback_authenticated, ClientPort, TcpEndpoint};
 
 use crate::experiments::service::percentile;
 use crate::workloads::rng;
@@ -311,7 +311,11 @@ fn run_worker(
 /// One rate step: fresh mesh, `sessions` open-loop workers, online
 /// agreement monitoring of every client-instance decision.
 fn run_step(cfg: &ClientExpConfig, rate: f64) -> (RateStep, usize) {
-    let endpoints = tcp_mesh_loopback(cfg.n).expect("loopback TCP mesh");
+    // Links are authenticated end-to-end: E21's load numbers include the
+    // keyed-handshake cost, not a plaintext shortcut.
+    let endpoints =
+        tcp_mesh_loopback_authenticated(cfg.n, &crate::experiments::byzantine::mesh_seed(cfg.seed))
+            .expect("loopback TCP mesh");
     let mut ports = Vec::with_capacity(cfg.n);
     let mut addrs = Vec::with_capacity(cfg.n);
     for _ in 0..cfg.n {
@@ -334,6 +338,7 @@ fn run_step(cfg: &ClientExpConfig, rate: f64) -> (RateStep, usize) {
             let cfg = cfg.clone();
             thread::spawn(move || {
                 let mut svc = ConsensusService::new(ep);
+                svc.enable_auth();
                 svc.enable_client(ClientConfig {
                     f: cfg.f,
                     rounds: cfg.rounds,
@@ -498,21 +503,27 @@ mod tests {
     }
 
     /// Overload saturates: a tiny admission envelope under a hot open loop
-    /// must shed, and the sweep must detect the saturation point.
+    /// must shed, and the sweep must detect the saturation point. The clean
+    /// step sits well under the envelope (two in flight, no queue, gaps an
+    /// order of magnitude above decision latency) so latency jitter cannot
+    /// misattribute saturation to it; the hot step's arrivals land faster
+    /// than any decision and must overflow.
     #[test]
     fn overload_is_shed_and_detected_as_saturation() {
         let mut cfg = ClientExpConfig::smoke(9);
         cfg.sessions = 2;
         cfg.requests_per_session = 30;
-        cfg.max_inflight = 1;
+        cfg.max_inflight = 2;
         cfg.queue_cap = 0;
         cfg.drain_timeout = Duration::from_secs(2);
-        cfg.rates = vec![40.0, 2500.0];
+        cfg.rates = vec![25.0, 2500.0];
         let out = run_sweep(&cfg);
         assert_eq!(out.monitor_violations, 0, "overload must never break safety");
         let hot = &out.steps[1];
         assert!(hot.shed > 0, "a zero-queue node under a hot open loop sheds: {hot:?}");
         assert!(hot.goodput < 0.9, "shed requests show up as lost goodput: {hot:?}");
+        let clean = &out.steps[0];
+        assert!(clean.goodput >= 0.9, "the clean step must stay clean: {clean:?}");
         assert_eq!(out.saturation_rate, Some(2500.0), "saturation point detected");
         assert_eq!(hot.reply_errors, 0, "every reply that did arrive is correct");
     }

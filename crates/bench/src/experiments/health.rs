@@ -288,8 +288,10 @@ fn bvc_instance(cfg: &HealthCampaignConfig, node: usize, input: &VecD) -> Instan
     )
 }
 
-/// Stand up a TCP mesh on pre-bound loopback addresses.
-fn stable_tcp_mesh(n: usize) -> (Vec<TcpEndpoint>, Vec<SocketAddr>) {
+/// Stand up an authenticated TCP mesh on pre-bound loopback addresses.
+/// E22 injects faults into *keyed* links so diagnosis is exercised on the
+/// same wire format production meshes run.
+fn stable_tcp_mesh(n: usize, seed: &[u8; 32]) -> (Vec<TcpEndpoint>, Vec<SocketAddr>) {
     let listeners: Vec<TcpListener> = (0..n)
         .map(|_| TcpListener::bind(("127.0.0.1", 0)).expect("bind loopback"))
         .collect();
@@ -300,7 +302,8 @@ fn stable_tcp_mesh(n: usize) -> (Vec<TcpEndpoint>, Vec<SocketAddr>) {
         .enumerate()
         .map(|(id, listener)| {
             let addrs = addrs.clone();
-            thread::spawn(move || TcpEndpoint::connect(id, listener, &addrs))
+            let seed = *seed;
+            thread::spawn(move || TcpEndpoint::connect_with_auth(id, listener, &addrs, &seed))
         })
         .collect();
     let mesh = handles
@@ -354,12 +357,14 @@ fn one_run(cfg: &HealthCampaignConfig, run: usize) -> RunFacts {
         .collect();
     let victim = rand.gen_range(0..cfg.n);
 
-    let (mesh, _addrs) = stable_tcp_mesh(cfg.n);
+    let (mesh, _addrs) =
+        stable_tcp_mesh(cfg.n, &crate::experiments::byzantine::mesh_seed(run_seed));
     let mut services: Vec<ConsensusService<TcpEndpoint>> = mesh
         .into_iter()
         .enumerate()
         .map(|(i, ep)| {
             let mut svc = ConsensusService::new(ep);
+            svc.enable_auth();
             for (j, per_node) in inputs.iter().enumerate() {
                 svc.add_instance(j as u64 + 1, bvc_instance(cfg, i, &per_node[i]))
                     .expect("unique instance ids");

@@ -1,0 +1,242 @@
+//! E23 — the impersonation campaign: the keyed link-identity layer under
+//! live identity attacks, end to end over real TCP.
+//!
+//! E20 established that Byzantine *payloads* cannot corrupt honest
+//! decisions. E23 attacks the layer below: the adversary tries to *become
+//! someone else* — claiming an honest node's id in the handshake, replaying
+//! a captured handshake against a fresh nonce, reflecting the challenge
+//! nonce as a MAC, flipping a bit in an otherwise valid MAC, and
+//! downgrading to the plaintext v2 HELLO while claiming an honest id. The
+//! threat model is deliberately sharp: the attacker holds its *own*
+//! pairwise keys (the keyring a compromised node would really have), never
+//! the mesh seed or any honest-pair key.
+//!
+//! Each seeded run reuses E20's three-phase machinery (in-proc honest
+//! baseline → clean authenticated TCP reference → attack run) with the mix
+//! list widened to the full registry: the five identity mixes plus every
+//! classic mix, the latter now speaking the authenticated protocol (their
+//! raw wire attacks upgrade to captured-response replays and keyed redial
+//! storms when a keyring is present). The campaign passes only if:
+//!
+//! * every run converges and every honest decision is **bit-identical** to
+//!   the honest-only baseline — no forged frame ever reached delivery;
+//! * the online safety monitor never fires;
+//! * zero gate rejections and zero handshake rejections are attributed to
+//!   honest traffic during the clean references;
+//! * every identity mix's forgeries were *refused* — its attack runs
+//!   produced `auth_rejects > 0` (a silent zero would mean the attack never
+//!   exercised the layer);
+//! * the handshake overhead is bounded: standing up the 7-node
+//!   authenticated mesh stays within an absolute budget, measured against
+//!   a plaintext control.
+//!
+//! Results land in `BENCH_identity.json` (picked up by `exp_trajectory`).
+
+use std::time::Instant;
+
+use rbvc_transport::byzantine::AttackRegistry;
+use rbvc_transport::{tcp_mesh_loopback, tcp_mesh_loopback_authenticated};
+
+use crate::experiments::byzantine::{
+    mesh_seed, run_campaign, ByzantineConfig, ByzantineOutcome,
+};
+
+/// The five identity mixes (registry names), in registry order.
+pub const IDENTITY_ATTACKS: [&str; 5] =
+    ["impersonate", "hs-replay", "nonce-reflect", "mac-flip", "downgrade"];
+
+/// Absolute budget for standing up one 7-node authenticated mesh, ms.
+/// Loopback handshakes cost tens of microseconds; the budget is three
+/// orders of magnitude of slack for a loaded CI box, while still catching
+/// a handshake that spins or serializes the whole mesh.
+pub const HANDSHAKE_BUDGET_MS: f64 = 2_000.0;
+
+/// Campaign configuration: E20's three-phase config plus the
+/// handshake-overhead probe.
+#[derive(Clone)]
+pub struct IdentityConfig {
+    /// The underlying three-phase campaign config. `auth` is always
+    /// `Some` here — a plaintext E23 would be vacuous.
+    pub campaign: ByzantineConfig,
+    /// Mesh constructions per arm of the handshake-overhead probe.
+    pub handshake_trials: usize,
+}
+
+impl IdentityConfig {
+    /// Full profile: 7 nodes, `f = 2`, the whole 14-mix registry cycled
+    /// `runs` times (42 by default — three passes over the registry).
+    #[must_use]
+    pub fn full(runs: usize, seed: u64) -> Self {
+        let mut campaign = ByzantineConfig::full(runs, seed);
+        campaign.attacks = AttackRegistry::NAMES.to_vec();
+        campaign.auth = Some(mesh_seed(seed ^ 0xE23));
+        IdentityConfig { campaign, handshake_trials: 5 }
+    }
+
+    /// CI-sized profile: one run per identity mix, smaller instances.
+    #[must_use]
+    pub fn smoke(seed: u64) -> Self {
+        let mut campaign = ByzantineConfig::smoke(seed);
+        campaign.attacks = IDENTITY_ATTACKS.to_vec();
+        campaign.runs = default_runs(true);
+        campaign.auth = Some(mesh_seed(seed ^ 0xE23));
+        IdentityConfig { campaign, handshake_trials: 2 }
+    }
+}
+
+/// Default run counts: one run per identity mix for `--smoke`, 42 for the
+/// full campaign (three passes over the 14-mix registry, clearing the
+/// acceptance floor of 40).
+#[must_use]
+pub fn default_runs(smoke: bool) -> usize {
+    if smoke {
+        IDENTITY_ATTACKS.len()
+    } else {
+        AttackRegistry::NAMES.len() * 3
+    }
+}
+
+/// The handshake-overhead probe: wall clock to stand up an `n`-node
+/// loopback mesh, authenticated vs plaintext, averaged over trials.
+#[derive(Debug, Clone)]
+pub struct HandshakeOverhead {
+    /// Mesh size probed.
+    pub n: usize,
+    /// Trials per arm.
+    pub trials: usize,
+    /// Mean plaintext mesh construction, ms.
+    pub plain_ms: f64,
+    /// Mean authenticated mesh construction, ms.
+    pub auth_ms: f64,
+    /// `auth_ms / plain_ms` (informational — construction wall clock is
+    /// dominated by thread spawn and TCP accept, so the keyed handshake
+    /// typically hides inside the noise).
+    pub ratio: f64,
+}
+
+impl HandshakeOverhead {
+    /// Within the absolute budget?
+    #[must_use]
+    pub fn bounded(&self) -> bool {
+        self.auth_ms.is_finite() && self.auth_ms < HANDSHAKE_BUDGET_MS
+    }
+}
+
+/// Measure mesh-construction wall clock, authenticated vs plaintext.
+/// Arms alternate so a load spike on the host hits both.
+#[must_use]
+pub fn measure_handshake_overhead(n: usize, trials: usize, seed: u64) -> HandshakeOverhead {
+    let auth_seed = mesh_seed(seed ^ 0x4853); // "HS"
+    let mut plain_total = 0.0;
+    let mut auth_total = 0.0;
+    for _ in 0..trials.max(1) {
+        let t0 = Instant::now();
+        drop(tcp_mesh_loopback(n).expect("plaintext mesh"));
+        plain_total += t0.elapsed().as_secs_f64() * 1e3;
+        let t1 = Instant::now();
+        drop(tcp_mesh_loopback_authenticated(n, &auth_seed).expect("authenticated mesh"));
+        auth_total += t1.elapsed().as_secs_f64() * 1e3;
+    }
+    let trials = trials.max(1);
+    let plain_ms = plain_total / trials as f64;
+    let auth_ms = auth_total / trials as f64;
+    let ratio = if plain_ms > 0.0 { auth_ms / plain_ms } else { f64::NAN };
+    HandshakeOverhead { n, trials, plain_ms, auth_ms, ratio }
+}
+
+/// Campaign outcome: the three-phase campaign verdicts plus the
+/// identity-specific gates.
+#[derive(Debug, Clone)]
+pub struct IdentityOutcome {
+    /// The underlying campaign (convergence, bit-identity, monitor,
+    /// attribution, per-mix reports).
+    pub campaign: ByzantineOutcome,
+    /// The handshake-overhead probe.
+    pub overhead: HandshakeOverhead,
+}
+
+impl IdentityOutcome {
+    /// Per-identity-mix `(name, auth_rejects, runs)` rows, registry order,
+    /// only mixes that actually ran.
+    #[must_use]
+    pub fn identity_rows(&self) -> Vec<(&str, u64, usize)> {
+        self.campaign
+            .reports
+            .iter()
+            .filter(|r| IDENTITY_ATTACKS.contains(&r.attack.as_str()))
+            .map(|r| (r.attack.as_str(), r.auth_rejects, r.runs))
+            .collect()
+    }
+
+    /// Identity mixes that ran but whose forgeries were never refused —
+    /// a silent zero means the attack never exercised the auth layer.
+    #[must_use]
+    pub fn silent_identity_mixes(&self) -> Vec<&str> {
+        self.identity_rows()
+            .into_iter()
+            .filter(|&(_, rejects, runs)| runs > 0 && rejects == 0)
+            .map(|(name, _, _)| name)
+            .collect()
+    }
+
+    /// The campaign's pass verdict (see the module docs for the gates).
+    #[must_use]
+    pub fn clean(&self) -> bool {
+        self.campaign.clean()
+            && self.silent_identity_mixes().is_empty()
+            && self.overhead.bounded()
+    }
+}
+
+/// Run the campaign: the three-phase mix cycle, then the
+/// handshake-overhead probe.
+#[must_use]
+pub fn run(cfg: &IdentityConfig) -> IdentityOutcome {
+    assert!(cfg.campaign.auth.is_some(), "E23 requires an authenticated mesh");
+    let campaign = run_campaign(&cfg.campaign);
+    let overhead =
+        measure_handshake_overhead(cfg.campaign.n, cfg.handshake_trials, cfg.campaign.seed);
+    IdentityOutcome { campaign, overhead }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// One run per identity mix, tiny instances: every forgery family is
+    /// refused with rejects attributed, honest decisions stay bit-identical
+    /// to the oracle, and the overhead probe returns sane numbers.
+    #[test]
+    fn micro_identity_campaign_refuses_every_forgery_family() {
+        let mut campaign = ByzantineConfig::full(IDENTITY_ATTACKS.len(), 0xE23_0001);
+        campaign.attacks = IDENTITY_ATTACKS.to_vec();
+        campaign.auth = Some(mesh_seed(0xE23_0001));
+        campaign.instances = 1;
+        campaign.va_rounds = 2;
+        campaign.client_requests = 0;
+        campaign.poll_timeout = Duration::from_millis(1);
+        let cfg = IdentityConfig { campaign, handshake_trials: 1 };
+        let out = run(&cfg);
+        assert!(
+            out.campaign.clean(),
+            "campaign not clean: converged {}/{} identical {}/{} violations {} honest-gates {} clean-auth {}",
+            out.campaign.converged_runs,
+            out.campaign.runs,
+            out.campaign.identical_runs,
+            out.campaign.runs,
+            out.campaign.monitor_violations,
+            out.campaign.honest_attributed_rejections,
+            out.campaign.clean_auth_rejects,
+        );
+        assert_eq!(out.identity_rows().len(), IDENTITY_ATTACKS.len(), "every mix must report");
+        assert!(
+            out.silent_identity_mixes().is_empty(),
+            "identity mixes with zero auth rejects: {:?} (rows: {:?})",
+            out.silent_identity_mixes(),
+            out.identity_rows(),
+        );
+        assert!(out.overhead.auth_ms > 0.0 && out.overhead.plain_ms > 0.0);
+        assert!(out.clean());
+    }
+}

@@ -15,6 +15,7 @@
 //! | [`byzantine`] | E20 | live Byzantine adversaries over real TCP (robustness, systems artifact) |
 //! | [`client`] | E21 | open-loop client saturation sweep through the external front-end (systems artifact) |
 //! | [`health`] | E22 | seeded stall-injection campaign for the self-diagnosis subsystem (systems artifact) |
+//! | [`identity`] | E23 | impersonation campaign against the keyed link-identity layer (robustness, systems artifact) |
 
 pub mod asynchrony;
 pub mod broadcast_ablation;
@@ -24,6 +25,7 @@ pub mod client;
 pub mod conjecture_hunt;
 pub mod counterex;
 pub mod health;
+pub mod identity;
 pub mod lemmas;
 pub mod recovery;
 pub mod service;

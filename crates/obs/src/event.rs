@@ -60,11 +60,19 @@ pub enum EventKind {
     /// A previously stalled instance made progress again; detail carries
     /// the final `phase= waiting_on= stalled_us=`.
     StallCleared,
+    /// A keyed link handshake verified: the inbound link from `peer` is
+    /// now cryptographically authenticated; detail carries the session
+    /// `epoch=`.
+    AuthEstablished,
+    /// A link handshake failed verification. `peer` is the *claimed*
+    /// identity when the record got far enough to claim one; detail
+    /// carries the `reason=` label (`bad-mac`, `downgrade`, …).
+    AuthReject,
 }
 
 impl EventKind {
     /// Every kind, for table-driven reports.
-    pub const ALL: [EventKind; 18] = [
+    pub const ALL: [EventKind; 20] = [
         EventKind::RoundStart,
         EventKind::RoundEnd,
         EventKind::BroadcastAccept,
@@ -83,6 +91,8 @@ impl EventKind {
         EventKind::PollEnd,
         EventKind::StallDetected,
         EventKind::StallCleared,
+        EventKind::AuthEstablished,
+        EventKind::AuthReject,
     ];
 
     /// Stable wire name of the kind.
@@ -107,6 +117,8 @@ impl EventKind {
             EventKind::PollEnd => "poll_end",
             EventKind::StallDetected => "stall_detected",
             EventKind::StallCleared => "stall_cleared",
+            EventKind::AuthEstablished => "auth_established",
+            EventKind::AuthReject => "auth_reject",
         }
     }
 

@@ -487,6 +487,46 @@ impl Default for LinkPolicy {
     }
 }
 
+/// Authentication state of one directed inbound link (see
+/// `rbvc-transport`'s `auth` module for the handshake itself).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkAuthState {
+    /// The mesh runs plaintext HELLOs — identity is claimed, not proved.
+    Off,
+    /// Auth is on but no handshake has completed yet on this link.
+    Pending,
+    /// The live link completed a keyed challenge–response handshake.
+    Authenticated,
+    /// The most recent handshake attempt failed verification and no
+    /// authenticated link is currently live.
+    Failed,
+}
+
+impl LinkAuthState {
+    /// Stable lowercase name (used in `/status` rows and gauge values).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LinkAuthState::Off => "off",
+            LinkAuthState::Pending => "pending",
+            LinkAuthState::Authenticated => "authenticated",
+            LinkAuthState::Failed => "failed",
+        }
+    }
+
+    /// Numeric encoding for the `health.link.auth` gauge:
+    /// off = 0, pending = 1, authenticated = 2, failed = 3.
+    #[must_use]
+    pub fn as_gauge(self) -> i64 {
+        match self {
+            LinkAuthState::Off => 0,
+            LinkAuthState::Pending => 1,
+            LinkAuthState::Authenticated => 2,
+            LinkAuthState::Failed => 3,
+        }
+    }
+}
+
 /// A point-in-time health reading of one directed inbound link.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkHealth {
@@ -509,6 +549,13 @@ pub struct LinkHealth {
     pub straggler: bool,
     /// The link is cycling through dial failures.
     pub flapping: bool,
+    /// Authentication state of the inbound link.
+    pub auth: LinkAuthState,
+    /// Reason label of the most recent handshake rejection attributed to
+    /// this peer (`None` if none ever was). A rejection is remembered even
+    /// while the genuine link stays [`LinkAuthState::Authenticated`] — a
+    /// failed forgery must not hide, but must not mark the live link bad.
+    pub last_auth_reject: Option<String>,
 }
 
 impl LinkHealth {
@@ -531,6 +578,14 @@ impl LinkHealth {
             ("dial_failures".into(), Value::UInt(self.dial_failures)),
             ("straggler".into(), Value::Bool(self.straggler)),
             ("flapping".into(), Value::Bool(self.flapping)),
+            ("auth".into(), Value::Str(self.auth.as_str().into())),
+            (
+                "last_auth_reject".into(),
+                match &self.last_auth_reject {
+                    Some(r) => Value::Str(r.clone()),
+                    None => Value::Str(String::new()),
+                },
+            ),
         ])
     }
 }
@@ -543,6 +598,8 @@ struct LinkState {
     dial_failures: u64,
     burst: f64,
     burst_at_us: u64,
+    auth: LinkAuthState,
+    last_auth_reject: Option<String>,
 }
 
 /// Per-directed-link straggler/flap monitor, embedded in the TCP endpoint:
@@ -580,6 +637,8 @@ impl LinkMonitor {
                         dial_failures: 0,
                         burst: 0.0,
                         burst_at_us: 0,
+                        auth: LinkAuthState::Off,
+                        last_auth_reject: None,
                     },
                 )
             })
@@ -627,6 +686,43 @@ impl LinkMonitor {
     pub fn on_peer_down(&mut self, peer: u32) {
         if let Some(l) = self.links.get_mut(&peer) {
             l.up = false;
+            // Under auth, a downed link has no live authenticated session;
+            // the next handshake decides its fate.
+            if l.auth == LinkAuthState::Authenticated {
+                l.auth = LinkAuthState::Pending;
+            }
+        }
+    }
+
+    /// Declare that every inbound link of this mesh requires an
+    /// authenticated handshake: links start [`LinkAuthState::Pending`]
+    /// instead of [`LinkAuthState::Off`].
+    pub fn set_auth_expected(&mut self) {
+        for l in self.links.values_mut() {
+            l.auth = LinkAuthState::Pending;
+        }
+    }
+
+    /// A keyed handshake from `peer` verified; the inbound link is now
+    /// cryptographically bound to that identity.
+    pub fn on_auth_ok(&mut self, peer: u32) {
+        if let Some(l) = self.links.get_mut(&peer) {
+            l.auth = LinkAuthState::Authenticated;
+            l.up = true;
+        }
+    }
+
+    /// A handshake *claiming* `peer` failed verification for `reason`.
+    /// The reason is always remembered; the state only degrades to
+    /// [`LinkAuthState::Failed`] when no authenticated link is live —
+    /// a forged connection refused at the door must not take the genuine
+    /// session's reputation down with it.
+    pub fn on_auth_reject(&mut self, peer: u32, reason: &str) {
+        if let Some(l) = self.links.get_mut(&peer) {
+            l.last_auth_reject = Some(reason.to_string());
+            if l.auth != LinkAuthState::Authenticated {
+                l.auth = LinkAuthState::Failed;
+            }
         }
     }
 
@@ -668,6 +764,7 @@ impl LinkMonitor {
                     .set(i64::try_from(ewma).unwrap_or(i64::MAX));
                 reg.gauge_with("health.link.straggler", &labels).set(i64::from(straggler));
                 reg.gauge_with("health.link.flapping", &labels).set(i64::from(flapping));
+                reg.gauge_with("health.link.auth", &labels).set(l.auth.as_gauge());
                 LinkHealth {
                     peer: *peer,
                     up: l.up,
@@ -678,6 +775,8 @@ impl LinkMonitor {
                     dial_burst: burst,
                     straggler,
                     flapping,
+                    auth: l.auth,
+                    last_auth_reject: l.last_auth_reject.clone(),
                 }
             })
             .collect()
@@ -1069,6 +1168,8 @@ mod tests {
                 dial_burst: 0.0,
                 straggler: false,
                 flapping: false,
+                auth: LinkAuthState::Off,
+                last_auth_reject: None,
             })
             .collect()
     }
@@ -1217,6 +1318,8 @@ mod tests {
                 dial_burst: 0.0,
                 straggler: false,
                 flapping: false,
+                auth: LinkAuthState::Authenticated,
+                last_auth_reject: Some("bad-mac".into()),
             }],
             stalls: vec![StallReport {
                 node: 3,
@@ -1275,6 +1378,42 @@ mod tests {
         assert_eq!(s.count(EventKind::RoundStart), 5);
         assert_eq!(s.flight_reason.as_deref(), Some("violation"));
         assert_eq!(s.scalars.get("some.counter"), Some(&3));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// ISSUE 10 satellite: handshake outcomes ride the normal event path,
+    /// so an identity-attack black-box dump carries `AuthEstablished` /
+    /// `AuthReject` lines that replay through [`TraceSummary`] like any
+    /// other trace — with the reject reason preserved in the detail.
+    #[test]
+    fn auth_events_survive_a_flight_dump_round_trip() {
+        use crate::report::detail_field;
+        let dir = std::env::temp_dir().join(format!(
+            "rbvc-flight-test-{}-auth",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let reg = Registry::new();
+        reg.counter("auth.reject_total").add(2);
+        let flight = Arc::new(FlightRecorder::new(1, &dir, 64, reg));
+        let obs = Obs::new(Arc::clone(&flight) as Arc<dyn Recorder>).with_node(1);
+        obs.emit(|| Event::new(EventKind::AuthEstablished).peer(2).detail("epoch=1"));
+        obs.emit(|| Event::new(EventKind::AuthReject).peer(4).detail("reason=bad-mac"));
+        obs.emit(|| Event::new(EventKind::AuthReject).detail("reason=downgrade"));
+        let path = flight.dump("identity-attack").expect("dump written");
+        let text = std::fs::read_to_string(path).expect("read dump");
+        let s = TraceSummary::parse(&text).expect("dump parses as a trace");
+        assert_eq!(s.unknown_records, 0, "every record shape is known");
+        assert_eq!(s.count(EventKind::AuthEstablished), 1);
+        assert_eq!(s.count(EventKind::AuthReject), 2);
+        let reasons: Vec<_> = s
+            .events
+            .iter()
+            .filter(|e| e.kind == EventKind::AuthReject)
+            .filter_map(|e| e.detail.as_deref().and_then(|d| detail_field(d, "reason")))
+            .collect();
+        assert_eq!(reasons, vec!["bad-mac", "downgrade"]);
+        assert_eq!(s.scalars.get("auth.reject_total"), Some(&2));
         let _ = std::fs::remove_dir_all(&dir);
     }
 

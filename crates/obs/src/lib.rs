@@ -51,7 +51,8 @@ pub mod trace;
 pub use event::{Event, EventKind};
 pub use health::{
     arm_panic_hook, progress_token, ClientStatus, FlightRecorder, InstanceProgress,
-    InstanceStatus, LinkHealth, LinkMonitor, LinkPolicy, StallConfig, StallDetector, StallEvent,
+    InstanceStatus, LinkAuthState, LinkHealth, LinkMonitor, LinkPolicy, StallConfig, StallDetector,
+    StallEvent,
     StallPhase, StallReport, StatusBoard, StatusSnapshot, WalStatus,
 };
 pub use metrics::{

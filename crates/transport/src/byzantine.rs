@@ -22,7 +22,15 @@
 //!   target each of the service's four receive gates;
 //! * **stale HELLO replays** and **re-dial storms** — raw socket
 //!   connections against the peers' listeners replay old handshakes and
-//!   churn link generations mid-run.
+//!   churn link generations mid-run;
+//! * **identity attacks** (E23) — against an *authenticated* mesh
+//!   ([`crate::auth`]), a compromised member fires honest-node
+//!   impersonations with wrong keys, handshake replays against fresh
+//!   nonces, nonce reflections, MAC bit-flips, and downgrade-to-plaintext
+//!   HELLOs. The attacker holds only its **own** pairwise keys
+//!   ([`ByzantineEndpoint::with_identity_keys`]) — the PSK-compromise
+//!   model is one member's keyring, never the mesh seed — so every forged
+//!   identity claim dies at the responder's MAC check.
 //!
 //! ## Why every attack policy equivocates or mutes its own states
 //!
@@ -43,7 +51,7 @@
 //! Degrade-don't-panic: the wrapper never unwraps socket results — a
 //! failed injection or refused raw dial is just an attack that missed.
 
-use std::io::Write as _;
+use std::io::{Read as _, Write as _};
 use std::net::{SocketAddr, TcpStream};
 use std::time::Duration;
 
@@ -53,6 +61,7 @@ use rbvc_sim::bracha::BrachaMsg;
 use rbvc_sim::config::ProcessId;
 use rbvc_sim::error::{ErrorLog, ProtocolError};
 
+use crate::auth;
 use crate::tcp::hello_with_timestamp;
 use crate::transport::Transport;
 use crate::wire::{decode_frame, encode_frame, Frame, Payload};
@@ -281,6 +290,38 @@ pub enum OwnOrigin {
     Mute,
 }
 
+/// One way to attack the keyed link-identity handshake of an
+/// authenticated mesh. All of them must die at the responder: the first
+/// four fail the MAC check (the attacker lacks the claimed identity's
+/// key, replays a stale response against a fresh nonce, reflects the
+/// nonce, or corrupts its own valid proof), and the last is refused at
+/// the version gate before any MAC is computed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IdentityAttack {
+    /// Claim an *honest* node's identity and complete the handshake with
+    /// the attacker's own pairwise key (the only one it holds), then try
+    /// to push a protocol frame as the impersonated node. Rejected
+    /// `bad-mac`; the frame must never be delivered.
+    Impersonate,
+    /// Replay a previously captured (genuinely valid) handshake response
+    /// against a fresh challenge. The responder's nonce is new, so the
+    /// stale MAC cannot verify — rejected `bad-mac`. The first firing
+    /// captures (a valid handshake as self, then dropped); later firings
+    /// replay the capture.
+    ReplayHandshake,
+    /// Answer the challenge by reflecting the nonce back as the MAC —
+    /// the classic reflection probe. Rejected `bad-mac`.
+    ReflectNonce,
+    /// A fully valid handshake as self with exactly one MAC bit flipped.
+    /// Rejected `bad-mac` — and the attacker's *live* authenticated link
+    /// must stay up: a rejected forgery discredits the forger, not the
+    /// session.
+    MacBitFlip,
+    /// A plaintext v2 HELLO against an auth-required listener — the
+    /// downgrade probe. Rejected `downgrade` before any crypto runs.
+    Downgrade,
+}
+
 /// Per-peer / per-round silence pattern applied to *relayed* traffic.
 #[derive(Clone, Copy, Debug)]
 pub struct MuteSpec {
@@ -337,6 +378,14 @@ pub struct AttackPolicy {
     /// spray is either rejected at the client codec boundary or answered
     /// with a `Redirect`, and no consensus instance ever spawns from it.
     pub client_spray_per_flush: usize,
+    /// Fire the identity attacks against every peer listener on this flush
+    /// stride (`0`: off; requires an authenticated mesh plus
+    /// [`ByzantineEndpoint::with_identity_keys`] and
+    /// [`ByzantineEndpoint::with_wire_targets`]).
+    pub identity_every: u64,
+    /// Which identity attacks the stride cycles through (round-robin
+    /// across firings; empty: none).
+    pub identity_modes: Vec<IdentityAttack>,
 }
 
 impl AttackPolicy {
@@ -359,6 +408,8 @@ impl AttackPolicy {
             hello_replay_every: 0,
             redial_storm_every: 0,
             client_spray_per_flush: 0,
+            identity_every: 0,
+            identity_modes: Vec::new(),
         }
     }
 
@@ -372,8 +423,10 @@ impl AttackPolicy {
 pub struct AttackRegistry;
 
 impl AttackRegistry {
-    /// Every registered attack mix, in campaign cycling order.
-    pub const NAMES: [&'static str; 9] = [
+    /// Every registered attack mix, in campaign cycling order. The last
+    /// five are the E23 identity attacks — meaningful only against an
+    /// authenticated mesh.
+    pub const NAMES: [&'static str; 14] = [
         "equivocate",
         "lying-witness",
         "mute",
@@ -383,6 +436,11 @@ impl AttackRegistry {
         "redial-storm",
         "client-spray",
         "combined",
+        "impersonate",
+        "hs-replay",
+        "nonce-reflect",
+        "mac-flip",
+        "downgrade",
     ];
 
     /// Build the named attack mix with the given seed.
@@ -413,6 +471,8 @@ impl AttackRegistry {
             hello_replay_every: 0,
             redial_storm_every: 0,
             client_spray_per_flush: 0,
+            identity_every: 0,
+            identity_modes: Vec::new(),
         };
         match *canonical {
             "equivocate" => {}
@@ -441,6 +501,26 @@ impl AttackRegistry {
                 p.redial_storm_every = 32;
                 p.client_spray_per_flush = 1;
             }
+            "impersonate" => {
+                p.identity_every = 6;
+                p.identity_modes = vec![IdentityAttack::Impersonate];
+            }
+            "hs-replay" => {
+                p.identity_every = 6;
+                p.identity_modes = vec![IdentityAttack::ReplayHandshake];
+            }
+            "nonce-reflect" => {
+                p.identity_every = 8;
+                p.identity_modes = vec![IdentityAttack::ReflectNonce];
+            }
+            "mac-flip" => {
+                p.identity_every = 8;
+                p.identity_modes = vec![IdentityAttack::MacBitFlip];
+            }
+            "downgrade" => {
+                p.identity_every = 6;
+                p.identity_modes = vec![IdentityAttack::Downgrade];
+            }
             _ => unreachable!("matched against NAMES"),
         }
         p
@@ -466,6 +546,16 @@ pub struct AttackStats {
     pub redial_storms: u64,
     /// Crafted client-protocol frames sprayed at peer client ports.
     pub client_sprays: u64,
+    /// Honest-identity impersonation handshakes fired (wrong key).
+    pub impersonations: u64,
+    /// Captured handshake responses replayed against fresh nonces.
+    pub hs_replays: u64,
+    /// Nonce-reflection handshake responses fired.
+    pub nonce_reflects: u64,
+    /// Valid-as-self handshakes fired with one MAC bit flipped.
+    pub mac_flips: u64,
+    /// Plaintext HELLOs fired at auth-required listeners.
+    pub downgrades: u64,
 }
 
 impl std::ops::AddAssign for AttackStats {
@@ -477,6 +567,11 @@ impl std::ops::AddAssign for AttackStats {
         self.hello_replays += rhs.hello_replays;
         self.redial_storms += rhs.redial_storms;
         self.client_sprays += rhs.client_sprays;
+        self.impersonations += rhs.impersonations;
+        self.hs_replays += rhs.hs_replays;
+        self.nonce_reflects += rhs.nonce_reflects;
+        self.mac_flips += rhs.mac_flips;
+        self.downgrades += rhs.downgrades;
     }
 }
 
@@ -498,6 +593,18 @@ pub struct ByzantineEndpoint<T: Transport> {
     /// Peer *client-port* addresses (indexed by node id) for the
     /// client-frame sprays. Empty: that attack is skipped.
     client_addrs: Vec<SocketAddr>,
+    /// This node's *own* pairwise handshake keys, indexed by peer (the
+    /// PSK-compromise model: one member's keyring, never the mesh seed).
+    /// Empty: the identity attacks and the auth-aware variants of the raw
+    /// wire attacks are skipped.
+    identity_keys: Vec<[u8; 32]>,
+    /// A genuinely valid handshake response captured by the first
+    /// `ReplayHandshake` firing, replayed verbatim by later firings.
+    captured_response: Option<[u8; auth::RESPONSE_LEN]>,
+    /// Round-robin cursor over `policy.identity_modes`.
+    identity_counter: u64,
+    /// Monotone generation counter for the attacker's own handshakes.
+    attack_generation: u64,
     /// Per-destination equivocation offset scale, derived from the seed —
     /// strictly positive, so every mutated value differs from the original
     /// and from every other destination's copy.
@@ -518,6 +625,10 @@ impl<T: Transport> ByzantineEndpoint<T> {
             flushes: 0,
             wire_addrs: Vec::new(),
             client_addrs: Vec::new(),
+            identity_keys: Vec::new(),
+            captured_response: None,
+            identity_counter: 0,
+            attack_generation: 0,
             eps: 0.25 + (seed % 16) as f64 / 32.0,
             policy,
         }
@@ -536,6 +647,19 @@ impl<T: Transport> ByzantineEndpoint<T> {
     #[must_use]
     pub fn with_client_targets(mut self, addrs: &[SocketAddr]) -> Self {
         self.client_addrs = addrs.to_vec();
+        self
+    }
+
+    /// Hand the attacker its *own* pairwise handshake keys, indexed by
+    /// peer id (`keys[local]` is ignored). This is the E23 compromise
+    /// model: a Byzantine member knows every key it legitimately shares,
+    /// and nothing else — in particular never the mesh seed and never a
+    /// key between two honest nodes, which is exactly why impersonation
+    /// must fail. Enables the identity attacks and upgrades the raw wire
+    /// attacks to their authenticated variants.
+    #[must_use]
+    pub fn with_identity_keys(mut self, keys: Vec<[u8; 32]>) -> Self {
+        self.identity_keys = keys;
         self
     }
 
@@ -729,13 +853,16 @@ impl<T: Transport> ByzantineEndpoint<T> {
     }
 
     /// Raw-socket attacks against the peers' listeners: stale HELLO
-    /// replays (timestamp 1 predates every legitimate handshake — the
-    /// replay guard must refuse it without touching the live link) and
-    /// fresh-HELLO connect-then-drop storms (generation churn the
-    /// reconnection machinery must absorb). Only this node's *own* id is
-    /// ever announced — impersonating honest peers is out of the threat
-    /// model the HELLO can express (no cryptographic identity), and the
-    /// campaign documents that limitation instead of pretending otherwise.
+    /// replays (a handshake predating every legitimate one — the replay
+    /// guard must refuse it without touching the live link) and
+    /// connect-then-drop storms (generation churn the reconnection
+    /// machinery must absorb). Only this node's *own* id is ever announced
+    /// here — identity forgery is the separate [`IdentityAttack`] family.
+    /// On a plaintext mesh both attacks speak v2 HELLO; with
+    /// [`ByzantineEndpoint::with_identity_keys`] set they upgrade to their
+    /// authenticated forms (a captured-response replay and a fully valid
+    /// handshake-as-self, respectively), because a plaintext HELLO against
+    /// an auth listener is just the downgrade attack by another name.
     fn raw_wire_attacks(&mut self) {
         if self.wire_addrs.is_empty() {
             return;
@@ -750,18 +877,35 @@ impl<T: Transport> ByzantineEndpoint<T> {
         if !replay && !storm {
             return;
         }
-        for (peer, addr) in self.wire_addrs.iter().enumerate() {
+        let authed = !self.identity_keys.is_empty();
+        for peer in 0..self.wire_addrs.len() {
             if peer == local {
                 continue;
             }
+            let addr = self.wire_addrs[peer];
             if replay {
-                if let Ok(mut s) = TcpStream::connect_timeout(addr, Duration::from_millis(50)) {
+                if authed {
+                    self.fire_replay_handshake(peer, addr);
+                    self.stats.hello_replays += 1;
+                } else if let Ok(mut s) =
+                    TcpStream::connect_timeout(&addr, Duration::from_millis(50))
+                {
                     let _ = s.write_all(&hello_with_timestamp(local, 1));
                     self.stats.hello_replays += 1;
                 }
             }
             if storm {
-                if let Ok(mut s) = TcpStream::connect_timeout(addr, Duration::from_millis(50)) {
+                if authed {
+                    // A valid handshake as self, then an immediate drop:
+                    // the verified session supersedes our live inbound
+                    // link at the peer and the EOF tears it down again —
+                    // the same generation churn, now with proof of
+                    // identity attached.
+                    self.fire_valid_handshake_then_drop(peer, addr);
+                    self.stats.redial_storms += 1;
+                } else if let Ok(mut s) =
+                    TcpStream::connect_timeout(&addr, Duration::from_millis(50))
+                {
                     let stamp = rbvc_obs::clock::now_us().max(1);
                     let _ = s.write_all(&hello_with_timestamp(local, stamp));
                     self.stats.redial_storms += 1;
@@ -769,6 +913,272 @@ impl<T: Transport> ByzantineEndpoint<T> {
                     // inbound link at the peer and the immediate EOF tears
                     // it down again — pure generation churn.
                 }
+            }
+        }
+    }
+
+    /// A v3 (authenticated-mode) HELLO claiming `claimed`.
+    fn auth_hello(claimed: ProcessId, t_tx: u64) -> [u8; 16] {
+        let mut h = [0u8; 16];
+        h[..3].copy_from_slice(b"RBH");
+        h[3] = auth::AUTH_VERSION;
+        h[4..8].copy_from_slice(&(claimed as u32).to_le_bytes());
+        h[8..].copy_from_slice(&t_tx.to_le_bytes());
+        h
+    }
+
+    /// Dial `addr`, announce `claimed`, read the challenge, and answer
+    /// with whatever `craft` produces from the nonce. Returns the bytes
+    /// written, or `None` if any socket step failed (an attack that
+    /// missed). The stream is dropped on return unless handed back via
+    /// the `extra` frame write.
+    fn drive_attack_handshake(
+        claimed: ProcessId,
+        addr: SocketAddr,
+        t_tx: u64,
+        craft: impl FnOnce([u8; 16]) -> [u8; auth::RESPONSE_LEN],
+        extra_frame: Option<&[u8]>,
+    ) -> Option<[u8; auth::RESPONSE_LEN]> {
+        let mut s = TcpStream::connect_timeout(&addr, Duration::from_millis(50)).ok()?;
+        s.set_read_timeout(Some(Duration::from_millis(500))).ok()?;
+        s.write_all(&Self::auth_hello(claimed, t_tx)).ok()?;
+        let mut cbuf = [0u8; auth::CHALLENGE_LEN];
+        s.read_exact(&mut cbuf).ok()?;
+        let nonce = auth::decode_challenge(&cbuf).ok()?;
+        let response = craft(nonce);
+        s.write_all(&response).ok()?;
+        if let Some(frame) = extra_frame {
+            // Best-effort: a rejected handshake closes the connection, so
+            // this write races the responder's teardown — which is the
+            // point. The frame must never surface at the victim either way.
+            let mut buf = (u32::try_from(frame.len()).unwrap_or(u32::MAX))
+                .to_le_bytes()
+                .to_vec();
+            buf.extend_from_slice(frame);
+            let _ = s.write_all(&buf);
+        }
+        Some(response)
+    }
+
+    /// An honest node that is neither this one nor `victim` — the identity
+    /// the impersonation and downgrade probes claim.
+    fn scapegoat(&self, victim: ProcessId) -> ProcessId {
+        let local = self.inner.local_id();
+        (0..self.wire_addrs.len())
+            .find(|&h| h != victim && h != local)
+            .unwrap_or(local)
+    }
+
+    /// Capture-or-replay: the first firing performs a genuinely valid
+    /// handshake as self and keeps the response bytes; later firings
+    /// replay those bytes against a *fresh* challenge, which must die
+    /// `bad-mac` — the nonce moved on.
+    fn fire_replay_handshake(&mut self, victim: ProcessId, addr: SocketAddr) {
+        let local = self.inner.local_id();
+        let Some(key) = self.identity_keys.get(victim).copied() else {
+            return;
+        };
+        self.attack_generation += 1;
+        let generation = self.attack_generation;
+        let t_tx = rbvc_obs::clock::now_us().max(1);
+        if let Some(stale) = self.captured_response {
+            Self::drive_attack_handshake(local, addr, t_tx, |_fresh_nonce| stale, None);
+        } else {
+            self.captured_response = Self::drive_attack_handshake(
+                local,
+                addr,
+                t_tx,
+                |nonce| {
+                    let mac = auth::response_mac(
+                        &key,
+                        &nonce,
+                        local as u32,
+                        victim as u32,
+                        generation,
+                        t_tx,
+                    );
+                    auth::encode_response(&auth::HandshakeResponse {
+                        dialer: local as u32,
+                        generation,
+                        t_tx,
+                        mac,
+                    })
+                },
+                None,
+            );
+        }
+    }
+
+    /// A fully valid handshake as self, immediately dropped — the
+    /// authenticated redial storm.
+    fn fire_valid_handshake_then_drop(&mut self, victim: ProcessId, addr: SocketAddr) {
+        let local = self.inner.local_id();
+        let Some(key) = self.identity_keys.get(victim).copied() else {
+            return;
+        };
+        self.attack_generation += 1;
+        let generation = self.attack_generation;
+        let t_tx = rbvc_obs::clock::now_us().max(1);
+        Self::drive_attack_handshake(
+            local,
+            addr,
+            t_tx,
+            |nonce| {
+                let mac = auth::response_mac(
+                    &key,
+                    &nonce,
+                    local as u32,
+                    victim as u32,
+                    generation,
+                    t_tx,
+                );
+                auth::encode_response(&auth::HandshakeResponse {
+                    dialer: local as u32,
+                    generation,
+                    t_tx,
+                    mac,
+                })
+            },
+            None,
+        );
+    }
+
+    /// Fire the configured identity attacks on their stride: one attack
+    /// per peer per firing, round-robin over `policy.identity_modes`.
+    fn identity_attacks(&mut self) {
+        if self.wire_addrs.is_empty()
+            || self.identity_keys.is_empty()
+            || self.policy.identity_every == 0
+            || self.policy.identity_modes.is_empty()
+            || !(self.flushes - 1).is_multiple_of(self.policy.identity_every)
+        {
+            return;
+        }
+        let local = self.inner.local_id();
+        for victim in 0..self.wire_addrs.len() {
+            if victim == local {
+                continue;
+            }
+            let mode = self.policy.identity_modes
+                [(self.identity_counter as usize) % self.policy.identity_modes.len()];
+            self.identity_counter += 1;
+            let addr = self.wire_addrs[victim];
+            self.fire_identity(mode, victim, addr);
+        }
+    }
+
+    fn fire_identity(&mut self, mode: IdentityAttack, victim: ProcessId, addr: SocketAddr) {
+        let local = self.inner.local_id();
+        let Some(own_key) = self.identity_keys.get(victim).copied() else {
+            return;
+        };
+        self.attack_generation += 1;
+        let generation = self.attack_generation;
+        let t_tx = rbvc_obs::clock::now_us().max(1);
+        match mode {
+            IdentityAttack::Impersonate => {
+                // Claim an honest node; MAC with the only key we hold
+                // (ours). The responder recomputes under the honest pair's
+                // key — bad-mac. The sentinel frame rides behind it and
+                // must never be delivered.
+                let claimed = self.scapegoat(victim);
+                let sentinel = encode_frame(&Frame {
+                    instance: 1,
+                    sender: claimed,
+                    round: 0,
+                    payload: Payload::Va((
+                        (claimed, 0),
+                        BrachaMsg::Init(RoundState {
+                            value: VecD::from_slice(&[13.37]),
+                            witness: vec![],
+                        }),
+                    )),
+                });
+                Self::drive_attack_handshake(
+                    claimed,
+                    addr,
+                    t_tx,
+                    |nonce| {
+                        let mac = auth::response_mac(
+                            &own_key,
+                            &nonce,
+                            claimed as u32,
+                            victim as u32,
+                            generation,
+                            t_tx,
+                        );
+                        auth::encode_response(&auth::HandshakeResponse {
+                            dialer: claimed as u32,
+                            generation,
+                            t_tx,
+                            mac,
+                        })
+                    },
+                    Some(&sentinel),
+                );
+                self.stats.impersonations += 1;
+            }
+            IdentityAttack::ReplayHandshake => {
+                self.fire_replay_handshake(victim, addr);
+                self.stats.hs_replays += 1;
+            }
+            IdentityAttack::ReflectNonce => {
+                // Echo the nonce back as the proof — twice over to fill
+                // the MAC field.
+                Self::drive_attack_handshake(
+                    local,
+                    addr,
+                    t_tx,
+                    |nonce| {
+                        let mut mac = [0u8; 32];
+                        mac[..16].copy_from_slice(&nonce);
+                        mac[16..].copy_from_slice(&nonce);
+                        auth::encode_response(&auth::HandshakeResponse {
+                            dialer: local as u32,
+                            generation,
+                            t_tx,
+                            mac,
+                        })
+                    },
+                    None,
+                );
+                self.stats.nonce_reflects += 1;
+            }
+            IdentityAttack::MacBitFlip => {
+                // Everything genuine except one bit of the proof.
+                Self::drive_attack_handshake(
+                    local,
+                    addr,
+                    t_tx,
+                    |nonce| {
+                        let mut mac = auth::response_mac(
+                            &own_key,
+                            &nonce,
+                            local as u32,
+                            victim as u32,
+                            generation,
+                            t_tx,
+                        );
+                        mac[7] ^= 0x10;
+                        auth::encode_response(&auth::HandshakeResponse {
+                            dialer: local as u32,
+                            generation,
+                            t_tx,
+                            mac,
+                        })
+                    },
+                    None,
+                );
+                self.stats.mac_flips += 1;
+            }
+            IdentityAttack::Downgrade => {
+                // A plaintext v2 HELLO claiming an honest node — refused
+                // at the version gate, attributed to the claimed peer.
+                let claimed = self.scapegoat(victim);
+                if let Ok(mut s) = TcpStream::connect_timeout(&addr, Duration::from_millis(50)) {
+                    let _ = s.write_all(&hello_with_timestamp(claimed, t_tx));
+                }
+                self.stats.downgrades += 1;
             }
         }
     }
@@ -811,6 +1221,7 @@ impl<T: Transport> Transport for ByzantineEndpoint<T> {
             self.inject_gate_sprays();
             self.inject_client_sprays();
             self.raw_wire_attacks();
+            self.identity_attacks();
         }
         self.inner.flush()
     }
@@ -825,6 +1236,10 @@ impl<T: Transport> Transport for ByzantineEndpoint<T> {
 
     fn take_reconnects(&mut self) -> Vec<ProcessId> {
         self.inner.take_reconnects()
+    }
+
+    fn take_auth_events(&mut self) -> Vec<crate::transport::AuthEvent> {
+        self.inner.take_auth_events()
     }
 
     fn bytes_sent(&self) -> u64 {
@@ -971,6 +1386,72 @@ mod tests {
         let combined = AttackRegistry::policy("combined", 5);
         assert!(combined.lying_witness && combined.garbage_per_flush > 0);
         assert!(combined.hello_replay_every > 0 && combined.redial_storm_every > 0);
+    }
+
+    #[test]
+    fn identity_mixes_arm_the_expected_attack() {
+        let expect = [
+            ("impersonate", IdentityAttack::Impersonate),
+            ("hs-replay", IdentityAttack::ReplayHandshake),
+            ("nonce-reflect", IdentityAttack::ReflectNonce),
+            ("mac-flip", IdentityAttack::MacBitFlip),
+            ("downgrade", IdentityAttack::Downgrade),
+        ];
+        for (name, mode) in expect {
+            let p = AttackRegistry::policy(name, 3);
+            assert!(p.identity_every > 0, "{name} must have a firing stride");
+            assert_eq!(p.identity_modes, vec![mode], "{name} arms the wrong attack");
+        }
+    }
+
+    #[test]
+    fn impersonation_against_auth_mesh_is_rejected_and_frameless() {
+        use crate::auth::derive_pair_key;
+        use crate::tcp::tcp_mesh_loopback_authenticated;
+        use crate::transport::AuthEvent;
+
+        let seed = [0x42u8; 32];
+        let mut mesh = tcp_mesh_loopback_authenticated(3, &seed).expect("auth mesh");
+        let addrs: Vec<_> = mesh.iter().map(|e| e.listen_addr()).collect();
+        // Wait for the genuine mesh to finish authenticating before the
+        // attacker starts, so reject events are unambiguous.
+        for _ in 0..200 {
+            if mesh.iter().all(|e| e.auth_handshakes() >= 2) {
+                break;
+            }
+            for e in &mut mesh {
+                let _ = e.recv_timeout(Duration::from_millis(5));
+            }
+        }
+        // Node 0 is compromised: it holds its own keyring only.
+        let keys: Vec<[u8; 32]> = (0..3).map(|p| derive_pair_key(&seed, 0, p)).collect();
+        let victim = mesh.remove(1);
+        let mut byz = ByzantineEndpoint::new(
+            mesh.remove(0),
+            AttackRegistry::policy("impersonate", 9),
+        )
+        .with_wire_targets(&addrs)
+        .with_identity_keys(keys);
+        let mut victim = victim;
+        byz.flush().expect("flush fires the impersonation");
+        assert!(byz.stats().impersonations >= 1);
+        // The victim (node 1) must reject the handshake claiming node 2
+        // as bad-mac, and the sentinel frame must never be delivered.
+        let mut saw_reject = false;
+        for _ in 0..200 {
+            let frames = victim.recv_timeout(Duration::from_millis(10));
+            assert!(
+                frames.iter().all(|(src, _)| *src != 2),
+                "forged frame surfaced as honest node 2"
+            );
+            if victim.take_auth_events().iter().any(|e| {
+                matches!(e, AuthEvent::Rejected { peer: Some(2), reason } if reason == "bad-mac")
+            }) {
+                saw_reject = true;
+                break;
+            }
+        }
+        assert!(saw_reject, "victim never attributed the impersonation as bad-mac");
     }
 
     #[test]

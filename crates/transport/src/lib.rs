@@ -25,14 +25,19 @@
 //! * [`byzantine`] — [`byzantine::ByzantineEndpoint`]: a [`transport::Transport`]
 //!   wrapper that runs live adversaries over the real wire (per-recipient
 //!   equivocation, lying witnesses, mutism, codec/gate sprays, HELLO
-//!   replays, redial storms) from a seeded attack registry — the E20
-//!   campaign's weapon rack.
+//!   replays, redial storms, identity forgeries) from a seeded attack
+//!   registry — the E20/E23 campaigns' weapon rack.
+//! * [`auth`] — from-scratch SHA-256 / HMAC-SHA-256 (offline build, no
+//!   crypto crates), pairwise key derivation from a mesh seed, and the
+//!   challenge–response handshake codec that makes link identity
+//!   forgery-proof.
 //!
 //! Both transports carry identical encoded bytes and both protocol drivers
 //! deliver deterministically, so the same seed decides identically whether
 //! frames cross a channel or a socket — the property the integration tests
 //! pin down.
 
+pub mod auth;
 pub mod byzantine;
 pub mod client;
 pub mod lockstep;
@@ -41,6 +46,7 @@ pub mod tcp;
 pub mod transport;
 pub mod wire;
 
+pub use auth::{derive_pair_key, hmac_sha256, sha256, MeshAuth, Sha256};
 pub use byzantine::{AttackPolicy, AttackRegistry, AttackStats, ByzantineEndpoint, PayloadCrafter};
 pub use client::{
     decode_client_frame, encode_client_frame, read_client_frame_bytes, write_client_frame,
@@ -51,6 +57,6 @@ pub use service::{
     client_instance_owner, ClientAdmission, ClientConfig, ClientStats, ConsensusService,
     DecisionEvent, InstanceProto, CLIENT_INSTANCE_BASE,
 };
-pub use tcp::{tcp_mesh_loopback, TcpEndpoint};
-pub use transport::{in_proc_mesh, in_proc_mesh_with_faults, InProcEndpoint, Transport};
+pub use tcp::{tcp_mesh_loopback, tcp_mesh_loopback_authenticated, TcpEndpoint};
+pub use transport::{in_proc_mesh, in_proc_mesh_with_faults, AuthEvent, InProcEndpoint, Transport};
 pub use wire::{decode_frame, encode_frame, Frame, Payload};

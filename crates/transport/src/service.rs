@@ -77,7 +77,7 @@ use rbvc_store::{decode_record, encode_record, ReplayReport, Wal, WalRecord};
 pub use rbvc_sim::monitor::InstanceId;
 
 use crate::lockstep::{Lockstep, RoundBatch};
-use crate::transport::Transport;
+use crate::transport::{AuthEvent, Transport};
 use crate::wire::{decode_frame, encode_frame, ClientLaunch, Frame, Payload, MAX_DIM};
 
 /// One consensus instance as the service runs it.
@@ -441,6 +441,44 @@ impl<T: Transport> ConsensusService<T> {
     #[must_use]
     pub fn durable(&self) -> bool {
         self.wal.is_some()
+    }
+
+    /// Declare that this service's transport runs keyed link identity:
+    /// pre-registers the `auth.*` aggregate counters so a `/metrics`
+    /// scrape shows explicit zeros before the first handshake outcome,
+    /// rather than absent series. The per-event drain into the flight
+    /// recorder ([`EventKind::AuthEstablished`] / [`EventKind::AuthReject`])
+    /// is always on — a plaintext transport simply never produces any.
+    pub fn enable_auth(&mut self) {
+        let reg = Registry::global();
+        reg.counter("auth.reject_total").add(0);
+        reg.counter("auth.established_total").add(0);
+    }
+
+    /// Drain the transport's handshake outcomes into the observability
+    /// stream, where the flight recorder and trace assembler see them.
+    fn drain_auth_events(&mut self) {
+        for ev in self.transport.take_auth_events() {
+            match ev {
+                AuthEvent::Established { peer, epoch } => {
+                    self.obs.emit(|| {
+                        Event::new(EventKind::AuthEstablished)
+                            .peer(u32::try_from(peer).unwrap_or(u32::MAX))
+                            .detail(format!("epoch={epoch}"))
+                    });
+                }
+                AuthEvent::Rejected { peer, reason } => {
+                    self.obs.emit(|| {
+                        let e = Event::new(EventKind::AuthReject)
+                            .detail(format!("reason={reason}"));
+                        match peer {
+                            Some(p) => e.peer(u32::try_from(p).unwrap_or(u32::MAX)),
+                            None => e,
+                        }
+                    });
+                }
+            }
+        }
     }
 
     /// Append one record to the WAL (no-op when non-durable); an append
@@ -852,6 +890,7 @@ impl<T: Transport> ConsensusService<T> {
             }
         }
         let inbound = self.transport.recv_timeout_stamped(timeout);
+        self.drain_auth_events();
         // The poll's busy span starts once the receive wait is over —
         // blocking on an empty socket is idle time, not poll work.
         let t_active = Instant::now();

@@ -28,10 +28,36 @@
 //! below that mark (`tcp.hello.stale_rejected{src,dst}`), *before* the
 //! handshake can claim a link generation — a replayed old handshake can
 //! therefore never supersede, tear down, or redial over the live link.
-//! The guard orders handshakes on the dialer's per-process monotonic
-//! clock, so it covers replays within one process lifetime (the attack
-//! E20 mounts); across a genuine process restart the timeline restarts
-//! and the generation counter carries the reconnect as before.
+//! In plaintext mode the guard orders handshakes on the dialer's
+//! per-process monotonic clock, so it covers replays within one process
+//! lifetime (the attack E20 mounts); across a genuine process restart the
+//! timeline restarts and the generation counter carries the reconnect.
+//!
+//! ## Authenticated mode (keyed link identity)
+//!
+//! A mesh built with [`TcpEndpoint::connect_with_auth`] replaces the
+//! one-shot plaintext HELLO with the [`crate::auth`] challenge–response
+//! handshake (HELLO version 3): the responder sends a fresh random nonce
+//! and the dialer answers with an HMAC-SHA-256 over
+//! `nonce ‖ dialer ‖ responder ‖ generation ‖ t_tx` under the pair's
+//! pre-shared key. A link goes live only after the MAC verifies, so a
+//! peer's identity is *proved*, not claimed — impersonation, handshake
+//! replay (the nonce is fresh), nonce reflection, MAC tampering, and
+//! downgrade-to-plaintext all die at the accept boundary, each attributed
+//! with a reason label (`auth.reject{peer,reason}` /
+//! `auth.reject_total`). Successful handshakes count in
+//! `auth.established{peer}` / `auth.established_total`, and both outcomes
+//! surface as [`crate::transport::AuthEvent`]s via
+//! [`Transport::take_auth_events`].
+//!
+//! Under auth the replay guard binds to the **authenticated session
+//! epoch** instead of the per-process timestamp timeline: every verified
+//! handshake bumps the peer's epoch and *resets* the timestamp floor, so
+//! a genuinely restarted node — whose monotonic clock restarted near
+//! zero — supersedes its own stale state the moment its fresh handshake
+//! verifies. The plaintext ordering check is unnecessary there because a
+//! replayed handshake can never verify against a fresh nonce. This closes
+//! the plaintext guard's documented per-process limitation.
 //!
 //! Degrade-don't-panic at every socket boundary: a bad HELLO, an oversized
 //! or zero length prefix, or a mid-stream read error poisons *that one
@@ -70,7 +96,8 @@ use rbvc_obs::{Counter, Gauge, LinkHealth, LinkMonitor, Registry};
 use rbvc_sim::config::ProcessId;
 use rbvc_sim::error::{ErrorLog, ProtocolError};
 
-use crate::transport::Transport;
+use crate::auth::{self, MeshAuth};
+use crate::transport::{AuthEvent, Transport};
 
 /// Global counter of dial attempts that failed and were retried; inspect it
 /// through the metrics registry (`tcp.dial.retries`).
@@ -118,6 +145,15 @@ enum RxEvent {
     /// The connection from `peer` died (IO error, framing violation).
     /// `None` peer: the failure happened before HELLO authentication.
     LinkDown(Option<ProcessId>, String),
+    /// A keyed handshake claiming `peer` verified; the inbound link
+    /// entered authenticated session `epoch` (auth mode only).
+    AuthOk(ProcessId, u64),
+    /// A handshake failed verification and the connection was refused
+    /// (auth mode only). The claimed peer, when parseable, and the
+    /// stable reason label. Unlike [`RxEvent::LinkDown`] this must *not*
+    /// tear down or discredit the live link — a forged connection refused
+    /// at the door is not a failure of the genuine session.
+    AuthReject(Option<ProcessId>, String),
 }
 
 /// Dial `addr` with exponential backoff: attempt, sleep 1ms, 2ms, … (capped)
@@ -214,7 +250,16 @@ pub struct TcpEndpoint {
     /// Per-link EWMA/straggler/flap tracker behind
     /// [`Transport::link_health`].
     link_monitor: LinkMonitor,
-    bytes_sent: u64,
+    /// `Some` = authenticated mode: this node's pairwise key share, used
+    /// by the dialer side of every (re)dial.
+    auth: Option<Arc<MeshAuth>>,
+    /// Link-identity verdicts since the last [`Transport::take_auth_events`].
+    pending_auth_events: Vec<AuthEvent>,
+    /// Responder-side verified-handshake count (shared with readers).
+    auth_established: Arc<AtomicU64>,
+    /// Shared with reader threads: responder-side challenge writes count
+    /// toward the endpoint's outbound bytes.
+    bytes_sent: Arc<AtomicU64>,
     bytes_received: Arc<AtomicU64>,
     errors: Arc<Mutex<ErrorLog>>,
     /// Per-destination outbound counters (`tcp.link.tx_frames{src,dst}` /
@@ -226,75 +271,246 @@ pub struct TcpEndpoint {
     outbox_depth: Gauge,
 }
 
-/// Spawn a reader thread that authenticates the HELLO, claims the next
-/// inbound generation for its peer, and pumps frames into `tx` until the
-/// stream dies or a newer link supersedes it.
-fn spawn_reader(
-    mut stream: TcpStream,
+/// Per-peer replay-guard state.
+///
+/// Plaintext mode uses only `max_t_tx` — the highest HELLO timestamp
+/// accepted from the peer (0 = never seen), refusing anything at or below
+/// it. Auth mode binds the guard to the **authenticated session epoch**
+/// instead: every verified handshake bumps `epoch` and *resets* the
+/// timestamp floor to that session's stamp, so a restarted node (whose
+/// monotonic timeline restarted near zero) supersedes its own stale state
+/// the moment its handshake verifies — replays can never claim an epoch
+/// because they cannot answer a fresh nonce.
+struct ReplayGuard {
+    /// Authenticated sessions accepted so far (auth mode; 0 in plaintext).
+    epoch: u64,
+    /// Highest handshake timestamp accepted (floor of the plaintext
+    /// ordering check; informational under auth).
+    max_t_tx: u64,
+}
+
+/// Shared state a reader thread needs, cloned per accepted connection.
+#[derive(Clone)]
+struct ReaderShared {
     local: ProcessId,
     n: usize,
     tx: Sender<RxEvent>,
     bytes_received: Arc<AtomicU64>,
+    /// Shared with the endpoint: the responder side of an authenticated
+    /// handshake writes the challenge from the reader thread.
+    bytes_sent: Arc<AtomicU64>,
     generations: Arc<Vec<AtomicU64>>,
-    hello_stamps: Arc<Vec<AtomicU64>>,
-) {
+    guards: Arc<Vec<Mutex<ReplayGuard>>>,
+    /// `Some` = authenticated mode: this node's pairwise key share.
+    auth: Option<Arc<MeshAuth>>,
+    /// Responder-side verified-handshake count (tests assert on it
+    /// without reaching into the process-global registry).
+    auth_established: Arc<AtomicU64>,
+}
+
+/// Refuse a handshake: count it (`auth.reject{peer,reason,dst}` +
+/// `auth.reject_total`) and report it to the endpoint. Deliberately *not*
+/// a `LinkDown` — a forged connection refused at the door must not tear
+/// down or discredit the genuine live link.
+fn reject_handshake(shared: &ReaderShared, peer: Option<ProcessId>, reason: &str) {
+    let peer_s = peer.map_or_else(|| "?".to_string(), |p| p.to_string());
+    let dst = shared.local.to_string();
+    Registry::global()
+        .counter_with(
+            "auth.reject",
+            &[("peer", peer_s.as_str()), ("reason", reason), ("dst", dst.as_str())],
+        )
+        .inc();
+    Registry::global().counter("auth.reject_total").inc();
+    let _ = shared.tx.send(RxEvent::AuthReject(peer, reason.to_string()));
+}
+
+/// Responder side of the keyed challenge–response handshake, after the v3
+/// HELLO has been read and structurally validated. Returns the session
+/// epoch and the dialer's `t_tx` on success; on failure the rejection has
+/// already been counted and reported.
+fn respond_handshake(
+    stream: &mut TcpStream,
+    shared: &ReaderShared,
+    a: &MeshAuth,
+    peer: ProcessId,
+) -> Option<(u64, u64)> {
+    let nonce = auth::fresh_nonce();
+    if stream.write_all(&auth::encode_challenge(&nonce)).is_err() {
+        reject_handshake(shared, Some(peer), "challenge-write");
+        return None;
+    }
+    shared.bytes_sent.fetch_add(auth::CHALLENGE_LEN as u64, Ordering::Relaxed);
+    let mut resp = [0u8; auth::RESPONSE_LEN];
+    if stream.read_exact(&mut resp).is_err() {
+        reject_handshake(shared, Some(peer), "truncated-response");
+        return None;
+    }
+    shared
+        .bytes_received
+        .fetch_add(auth::RESPONSE_LEN as u64, Ordering::Relaxed);
+    let Ok(r) = auth::decode_response(&resp) else {
+        reject_handshake(shared, Some(peer), "bad-response");
+        return None;
+    };
+    if r.dialer as usize != peer {
+        reject_handshake(shared, Some(peer), "peer-mismatch");
+        return None;
+    }
+    let expected = auth::response_mac(
+        a.key(peer),
+        &nonce,
+        peer as u32,
+        shared.local as u32,
+        r.generation,
+        r.t_tx,
+    );
+    if !auth::mac_eq(&expected, &r.mac) {
+        reject_handshake(shared, Some(peer), "bad-mac");
+        return None;
+    }
+    // Verified: open the next authenticated session epoch and reset the
+    // timestamp floor to this session's stamp (see [`ReplayGuard`]).
+    let epoch = {
+        let mut g = shared.guards[peer].lock();
+        g.epoch += 1;
+        g.max_t_tx = r.t_tx;
+        g.epoch
+    };
+    shared.auth_established.fetch_add(1, Ordering::Relaxed);
+    let (peer_s, dst) = (peer.to_string(), shared.local.to_string());
+    Registry::global()
+        .counter_with(
+            "auth.established",
+            &[("peer", peer_s.as_str()), ("dst", dst.as_str())],
+        )
+        .inc();
+    Registry::global().counter("auth.established_total").inc();
+    let _ = shared.tx.send(RxEvent::AuthOk(peer, epoch));
+    Some((epoch, r.t_tx))
+}
+
+/// Spawn a reader thread that authenticates the handshake (plaintext
+/// replay-guarded HELLO, or keyed challenge–response in auth mode),
+/// claims the next inbound generation for its peer, and pumps frames into
+/// `shared.tx` until the stream dies or a newer link supersedes it.
+fn spawn_reader(mut stream: TcpStream, shared: ReaderShared) {
     thread::spawn(move || {
+        // A connection that stalls mid-handshake must not pin this thread
+        // (or, in auth mode, hold a half-open claim) forever.
+        let _ = stream.set_read_timeout(Some(auth::HANDSHAKE_TIMEOUT));
         let mut hello = [0u8; 16];
         if let Err(e) = stream.read_exact(&mut hello) {
-            let _ = tx.send(RxEvent::LinkDown(None, format!("HELLO read failed: {e}")));
+            let _ = shared
+                .tx
+                .send(RxEvent::LinkDown(None, format!("HELLO read failed: {e}")));
             return;
         }
         let t_rx = rbvc_obs::clock::now_us();
-        if hello[..3] != HELLO_MAGIC || hello[3] != HELLO_VERSION {
-            let _ = tx.send(RxEvent::LinkDown(None, "bad HELLO magic/version".into()));
-            return;
-        }
+        let version = hello[3];
+        // v2 and v3 share the prefix layout, so the claimed peer parses
+        // either way — rejections get attributed whenever possible.
         let peer = u32::from_le_bytes([hello[4], hello[5], hello[6], hello[7]]) as usize;
-        if peer >= n {
-            let _ = tx.send(RxEvent::LinkDown(
-                None,
-                format!("HELLO claims ghost peer {peer} (n = {n})"),
-            ));
-            return;
-        }
         let t_tx = u64::from_le_bytes(hello[8..16].try_into().expect("8 bytes"));
-        let (src, dst) = (peer.to_string(), local.to_string());
-        let labels = [("src", src.as_str()), ("dst", dst.as_str())];
-        // Replay guard: every legitimate HELLO carries a strictly
-        // increasing monotonic timestamp (stamped at dial time, clamped
-        // away from the 0 = never-seen sentinel), so a HELLO at or below
-        // the highest accepted stamp for this peer is a replay of an old
-        // handshake. Refuse it *before* claiming a generation — the live
-        // link must not be superseded, torn down, or redialed over a
-        // replayed record. `fetch_max` keeps the check race-free against
-        // concurrent fresh dials. Limitation (documented in the module
-        // docs): the timestamp is per-OS-process monotonic, so the guard
-        // orders handshakes within one process lifetime; a cross-process
-        // restart starts a new timeline and relies on the generation
-        // counter as before.
-        let prev = hello_stamps[peer].fetch_max(t_tx, Ordering::SeqCst);
-        if prev >= t_tx {
-            Registry::global()
-                .counter_with("tcp.hello.stale_rejected", &labels)
-                .inc();
-            Registry::global().counter("tcp.hello.stale_rejected_total").inc();
-            let _ = tx.send(RxEvent::LinkDown(
-                Some(peer),
-                format!(
-                    "stale HELLO replay claiming peer {peer}: t_tx {t_tx} <= last accepted {prev}"
-                ),
-            ));
-            return;
+        match &shared.auth {
+            None => {
+                if hello[..3] != HELLO_MAGIC || version != HELLO_VERSION {
+                    let _ = shared
+                        .tx
+                        .send(RxEvent::LinkDown(None, "bad HELLO magic/version".into()));
+                    return;
+                }
+                if peer >= shared.n {
+                    let _ = shared.tx.send(RxEvent::LinkDown(
+                        None,
+                        format!("HELLO claims ghost peer {peer} (n = {})", shared.n),
+                    ));
+                    return;
+                }
+                // Replay guard, plaintext flavor: every legitimate HELLO
+                // carries a strictly increasing monotonic timestamp
+                // (stamped at dial time, clamped away from the 0 =
+                // never-seen sentinel), so a HELLO at or below the highest
+                // accepted stamp for this peer is a replay of an old
+                // handshake. Refuse it *before* claiming a generation —
+                // the live link must not be superseded, torn down, or
+                // redialed over a replayed record. Limitation (documented
+                // in the module docs): the timestamp is per-OS-process
+                // monotonic; the authenticated mode is what removes it.
+                let stale = {
+                    let mut g = shared.guards[peer].lock();
+                    if g.max_t_tx >= t_tx {
+                        Some(g.max_t_tx)
+                    } else {
+                        g.max_t_tx = t_tx;
+                        None
+                    }
+                };
+                if let Some(prev) = stale {
+                    let (src, dst) = (peer.to_string(), shared.local.to_string());
+                    let labels = [("src", src.as_str()), ("dst", dst.as_str())];
+                    Registry::global()
+                        .counter_with("tcp.hello.stale_rejected", &labels)
+                        .inc();
+                    Registry::global().counter("tcp.hello.stale_rejected_total").inc();
+                    let _ = shared.tx.send(RxEvent::LinkDown(
+                        Some(peer),
+                        format!(
+                            "stale HELLO replay claiming peer {peer}: \
+                             t_tx {t_tx} <= last accepted {prev}"
+                        ),
+                    ));
+                    return;
+                }
+            }
+            Some(a) => {
+                if hello[..3] != HELLO_MAGIC {
+                    reject_handshake(&shared, None, "bad-magic");
+                    return;
+                }
+                let claimed = if peer < shared.n { Some(peer) } else { None };
+                if version == HELLO_VERSION {
+                    // A plaintext HELLO against an authenticated mesh is a
+                    // downgrade attempt, never a legitimate peer.
+                    reject_handshake(&shared, claimed, "downgrade");
+                    return;
+                }
+                if version != auth::AUTH_VERSION {
+                    reject_handshake(&shared, claimed, "bad-version");
+                    return;
+                }
+                if peer >= shared.n {
+                    reject_handshake(&shared, None, "ghost-peer");
+                    return;
+                }
+                if peer == shared.local {
+                    // A node never dials itself over the wire (the
+                    // self-link is process-internal).
+                    reject_handshake(&shared, Some(peer), "self");
+                    return;
+                }
+                if respond_handshake(&mut stream, &shared, a, peer).is_none() {
+                    return;
+                }
+                Registry::global()
+                    .histogram("auth.handshake_us")
+                    .record(rbvc_obs::clock::now_us().saturating_sub(t_rx));
+            }
         }
-        // Claim this link's generation; any older reader for the same peer
+        // The stream is authenticated (by replay-guarded HELLO or by MAC):
+        // claim this link's generation; any older reader for the same peer
         // is now stale and will wind down.
-        let gen = generations[peer].fetch_add(1, Ordering::SeqCst) + 1;
+        let _ = stream.set_read_timeout(None);
+        let (src, dst) = (peer.to_string(), shared.local.to_string());
+        let labels = [("src", src.as_str()), ("dst", dst.as_str())];
+        let gen = shared.generations[peer].fetch_add(1, Ordering::SeqCst) + 1;
         if gen > 1 {
-            let _ = tx.send(RxEvent::PeerUp(peer, gen));
+            let _ = shared.tx.send(RxEvent::PeerUp(peer, gen));
         }
-        bytes_received.fetch_add(HELLO_LEN, Ordering::Relaxed);
-        // Raw directed skew: receive clock minus send clock. Within one
-        // process all endpoints share a clock, so this is pure one-way
+        shared.bytes_received.fetch_add(HELLO_LEN, Ordering::Relaxed);
+        // Raw directed skew: receive clock minus send clock, both from the
+        // HELLO leg (the stamp predates the challenge round-trip). Within
+        // one process all endpoints share a clock, so this is pure one-way
         // delay; across processes the trace assembler combines the two
         // directions into an offset ± uncertainty per link.
         Registry::global()
@@ -305,23 +521,29 @@ fn spawn_reader(
         loop {
             match read_frame(&mut stream) {
                 Ok(Some(frame)) => {
-                    if generations[peer].load(Ordering::SeqCst) != gen {
+                    if shared.generations[peer].load(Ordering::SeqCst) != gen {
                         return; // superseded by a newer HELLO
                     }
                     let arrived_us = rbvc_obs::clock::now_us();
-                    bytes_received.fetch_add(4 + frame.len() as u64, Ordering::Relaxed);
+                    shared
+                        .bytes_received
+                        .fetch_add(4 + frame.len() as u64, Ordering::Relaxed);
                     rx_frames.inc();
                     rx_bytes.add(4 + frame.len() as u64);
-                    if tx.send(RxEvent::Frame(peer, gen, arrived_us, frame)).is_err() {
+                    if shared
+                        .tx
+                        .send(RxEvent::Frame(peer, gen, arrived_us, frame))
+                        .is_err()
+                    {
                         return; // endpoint gone
                     }
                 }
                 Ok(None) => {
-                    let _ = tx.send(RxEvent::PeerDown(peer, gen));
+                    let _ = shared.tx.send(RxEvent::PeerDown(peer, gen));
                     return; // clean EOF
                 }
                 Err(reason) => {
-                    let _ = tx.send(RxEvent::LinkDown(Some(peer), reason));
+                    let _ = shared.tx.send(RxEvent::LinkDown(Some(peer), reason));
                     return;
                 }
             }
@@ -351,9 +573,10 @@ fn hello_bytes(id: ProcessId) -> [u8; 16] {
 }
 
 impl TcpEndpoint {
-    /// Stand up endpoint `id` of an `addrs.len()`-process mesh: starts
-    /// accepting on `listener` (which peers dial) and dials every other
-    /// peer's listener with retry + backoff.
+    /// Stand up endpoint `id` of an `addrs.len()`-process mesh with
+    /// plaintext HELLO link identity: starts accepting on `listener`
+    /// (which peers dial) and dials every other peer's listener with
+    /// retry + backoff.
     ///
     /// # Errors
     /// [`ProtocolError::Transport`] if a peer cannot be dialed within the
@@ -363,17 +586,50 @@ impl TcpEndpoint {
         listener: TcpListener,
         addrs: &[SocketAddr],
     ) -> Result<Self, ProtocolError> {
+        Self::connect_inner(id, listener, addrs, None)
+    }
+
+    /// Stand up endpoint `id` of an authenticated mesh: link identity is
+    /// proved by the [`crate::auth`] keyed challenge–response handshake,
+    /// with this node's pairwise keys derived from the shared mesh
+    /// `seed` (which is not retained). All endpoints of the mesh must be
+    /// constructed **concurrently** — the dialer blocks on the responder's
+    /// challenge, which requires the responder's accept loop to be live.
+    ///
+    /// # Errors
+    /// [`ProtocolError::Transport`] if a peer cannot be dialed within the
+    /// retry budget or its handshake fails.
+    pub fn connect_with_auth(
+        id: ProcessId,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+        seed: &[u8; 32],
+    ) -> Result<Self, ProtocolError> {
+        let auth = Arc::new(MeshAuth::derive(seed, id, addrs.len()));
+        Self::connect_inner(id, listener, addrs, Some(auth))
+    }
+
+    fn connect_inner(
+        id: ProcessId,
+        listener: TcpListener,
+        addrs: &[SocketAddr],
+        auth: Option<Arc<MeshAuth>>,
+    ) -> Result<Self, ProtocolError> {
         let n = addrs.len();
         assert!(id < n, "endpoint id must index addrs");
         let (tx, rx) = channel::unbounded();
         let bytes_received = Arc::new(AtomicU64::new(0));
+        let bytes_sent = Arc::new(AtomicU64::new(0));
         let errors = Arc::new(Mutex::new(ErrorLog::new()));
         let generations: Arc<Vec<AtomicU64>> =
             Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
-        // Highest HELLO timestamp accepted per peer (0 = never seen) — the
-        // replay guard's state, owned by the accept loop's readers.
-        let hello_stamps: Arc<Vec<AtomicU64>> =
-            Arc::new((0..n).map(|_| AtomicU64::new(0)).collect());
+        // Per-peer replay-guard state, owned by the accept loop's readers.
+        let guards: Arc<Vec<Mutex<ReplayGuard>>> = Arc::new(
+            (0..n)
+                .map(|_| Mutex::new(ReplayGuard { epoch: 0, max_t_tx: 0 }))
+                .collect(),
+        );
+        let auth_established = Arc::new(AtomicU64::new(0));
         let shutdown = Arc::new(AtomicBool::new(false));
         let listen_addr = listener.local_addr().unwrap_or(addrs[id]);
 
@@ -383,11 +639,18 @@ impl TcpEndpoint {
         // wakes the blocking accept with a self-dial after setting the
         // shutdown flag.
         let accept_handle = {
-            let tx = tx.clone();
-            let bytes_received = Arc::clone(&bytes_received);
+            let shared = ReaderShared {
+                local: id,
+                n,
+                tx: tx.clone(),
+                bytes_received: Arc::clone(&bytes_received),
+                bytes_sent: Arc::clone(&bytes_sent),
+                generations: Arc::clone(&generations),
+                guards,
+                auth: auth.clone(),
+                auth_established: Arc::clone(&auth_established),
+            };
             let errors = Arc::clone(&errors);
-            let generations = Arc::clone(&generations);
-            let hello_stamps = Arc::clone(&hello_stamps);
             let shutdown = Arc::clone(&shutdown);
             thread::spawn(move || loop {
                 match listener.accept() {
@@ -395,15 +658,7 @@ impl TcpEndpoint {
                         if shutdown.load(Ordering::SeqCst) {
                             return;
                         }
-                        spawn_reader(
-                            stream,
-                            id,
-                            n,
-                            tx.clone(),
-                            Arc::clone(&bytes_received),
-                            Arc::clone(&generations),
-                            Arc::clone(&hello_stamps),
-                        );
+                        spawn_reader(stream, shared.clone());
                     }
                     Err(e) => {
                         if shutdown.load(Ordering::SeqCst) {
@@ -420,9 +675,9 @@ impl TcpEndpoint {
             })
         };
 
-        // Dial every peer for the outbound direction and announce ourselves.
+        // Dial every peer for the outbound direction and announce (or in
+        // auth mode, prove) ourselves.
         let mut writers: Vec<Option<TcpStream>> = Vec::with_capacity(n);
-        let mut bytes_sent = 0u64;
         for (dst, addr) in addrs.iter().enumerate() {
             if dst == id {
                 writers.push(None);
@@ -430,13 +685,32 @@ impl TcpEndpoint {
             }
             let mut stream = dial_with_backoff(*addr, dst)?;
             stream.set_nodelay(true).ok();
-            stream
-                .write_all(&hello_bytes(id))
-                .map_err(|e| ProtocolError::Transport {
-                    peer: Some(dst),
-                    reason: format!("HELLO write failed: {e}"),
-                })?;
-            bytes_sent += HELLO_LEN;
+            match &auth {
+                Some(a) => {
+                    auth::dial_handshake(
+                        &mut stream,
+                        id,
+                        dst,
+                        a.key(dst),
+                        a.next_generation(),
+                        rbvc_obs::clock::now_us().max(1),
+                    )
+                    .map_err(|reason| ProtocolError::Transport {
+                        peer: Some(dst),
+                        reason: format!("handshake with {dst} failed: {reason}"),
+                    })?;
+                    bytes_sent.fetch_add(auth::DIAL_HANDSHAKE_TX_LEN, Ordering::Relaxed);
+                }
+                None => {
+                    stream
+                        .write_all(&hello_bytes(id))
+                        .map_err(|e| ProtocolError::Transport {
+                            peer: Some(dst),
+                            reason: format!("HELLO write failed: {e}"),
+                        })?;
+                    bytes_sent.fetch_add(HELLO_LEN, Ordering::Relaxed);
+                }
+            }
             writers.push(Some(stream));
         }
 
@@ -453,6 +727,12 @@ impl TcpEndpoint {
             .unzip();
         let outbox_depth =
             Registry::global().gauge_with("tcp.outbox.max_bytes", &[("src", src.as_str())]);
+        let mut link_monitor = LinkMonitor::new(id as u32, n);
+        if auth.is_some() {
+            // Inbound links start Pending: identity is only believed once
+            // a handshake from that peer verifies.
+            link_monitor.set_auth_expected();
+        }
         Ok(TcpEndpoint {
             id,
             n,
@@ -470,7 +750,10 @@ impl TcpEndpoint {
             pending_reconnects: Vec::new(),
             fresh_writer: vec![false; n],
             redial_quench: vec![false; n],
-            link_monitor: LinkMonitor::new(id as u32, n),
+            link_monitor,
+            auth,
+            pending_auth_events: Vec::new(),
+            auth_established,
             bytes_sent,
             bytes_received,
             errors,
@@ -478,6 +761,27 @@ impl TcpEndpoint {
             tx_bytes,
             outbox_depth,
         })
+    }
+
+    /// Responder-side count of verified inbound handshakes (0 on a
+    /// plaintext mesh). Test/diagnostic accessor — campaign assertions use
+    /// it without touching the process-global registry.
+    #[must_use]
+    pub fn auth_handshakes(&self) -> u64 {
+        self.auth_established.load(Ordering::Relaxed)
+    }
+
+    /// Whether this endpoint requires keyed handshakes on its links.
+    #[must_use]
+    pub fn auth_enabled(&self) -> bool {
+        self.auth.is_some()
+    }
+
+    /// Address this endpoint's accept loop is bound to. Attack harnesses
+    /// dial it raw to exercise the handshake path from outside the mesh.
+    #[must_use]
+    pub fn listen_addr(&self) -> SocketAddr {
+        self.listen_addr
     }
 
     /// Tear down the outbound link to `dst` and arm an immediate redial on
@@ -518,13 +822,32 @@ impl TcpEndpoint {
                 self.redial_skip[dst] -= 1;
                 continue;
             }
-            let attempt = TcpStream::connect(self.addrs[dst]).and_then(|mut stream| {
-                stream.set_nodelay(true).ok();
-                stream.write_all(&hello_bytes(self.id)).map(|()| stream)
-            });
+            let attempt = TcpStream::connect(self.addrs[dst])
+                .map_err(|e| e.to_string())
+                .and_then(|mut stream| {
+                    stream.set_nodelay(true).ok();
+                    // Re-dials re-authenticate: every fresh connection of
+                    // an auth mesh proves identity again with a fresh
+                    // generation and a fresh nonce from the responder.
+                    match &self.auth {
+                        Some(a) => auth::dial_handshake(
+                            &mut stream,
+                            self.id,
+                            dst,
+                            a.key(dst),
+                            a.next_generation(),
+                            rbvc_obs::clock::now_us().max(1),
+                        )
+                        .map(|()| (stream, auth::DIAL_HANDSHAKE_TX_LEN)),
+                        None => stream
+                            .write_all(&hello_bytes(self.id))
+                            .map_err(|e| e.to_string())
+                            .map(|()| (stream, HELLO_LEN)),
+                    }
+                });
             match attempt {
-                Ok(stream) => {
-                    self.bytes_sent += HELLO_LEN;
+                Ok((stream, tx_len)) => {
+                    self.bytes_sent.fetch_add(tx_len, Ordering::Relaxed);
                     self.writers[dst] = Some(stream);
                     self.redial_failures[dst] = 0;
                     self.redial_skip[dst] = 0;
@@ -582,6 +905,13 @@ impl TcpEndpoint {
                         // flush redial.
                         self.mark_peer_down(peer);
                     }
+                    if self.auth.is_some() {
+                        // A PeerUp under auth is only ever announced by an
+                        // inbound link whose handshake verified; the
+                        // outbound teardown above must not mask that the
+                        // inbound side is authenticated and live.
+                        self.link_monitor.on_auth_ok(peer as u32);
+                    }
                 }
             }
             RxEvent::PeerDown(peer, gen) => {
@@ -594,6 +924,23 @@ impl TcpEndpoint {
                     self.link_monitor.on_peer_down(p as u32);
                 }
                 self.errors.lock().record(ProtocolError::Transport { peer, reason });
+            }
+            RxEvent::AuthOk(peer, epoch) => {
+                self.link_monitor.on_auth_ok(peer as u32);
+                self.pending_auth_events.push(AuthEvent::Established { peer, epoch });
+            }
+            RxEvent::AuthReject(peer, reason) => {
+                // Recorded and attributed, but deliberately *not* a peer
+                // teardown: a forged connection refused at the door must
+                // not mark the genuine live link down.
+                if let Some(p) = peer {
+                    self.link_monitor.on_auth_reject(p as u32, &reason);
+                }
+                self.errors.lock().record(ProtocolError::Transport {
+                    peer,
+                    reason: format!("handshake rejected: {reason}"),
+                });
+                self.pending_auth_events.push(AuthEvent::Rejected { peer, reason });
             }
         }
     }
@@ -678,7 +1025,7 @@ impl Transport for TcpEndpoint {
             let stream = self.writers[dst].as_mut().expect("checked above");
             match stream.write_all(&batch) {
                 Ok(()) => {
-                    self.bytes_sent += batch.len() as u64;
+                    self.bytes_sent.fetch_add(batch.len() as u64, Ordering::Relaxed);
                     self.tx_bytes[dst].add(batch.len() as u64);
                 }
                 Err(e) => {
@@ -727,12 +1074,16 @@ impl Transport for TcpEndpoint {
         peers
     }
 
+    fn take_auth_events(&mut self) -> Vec<AuthEvent> {
+        std::mem::take(&mut self.pending_auth_events)
+    }
+
     fn link_health(&self) -> Vec<LinkHealth> {
         self.link_monitor.snapshot(rbvc_obs::clock::now_us())
     }
 
     fn bytes_sent(&self) -> u64 {
-        self.bytes_sent
+        self.bytes_sent.load(Ordering::Relaxed)
     }
 
     fn bytes_received(&self) -> u64 {
@@ -751,6 +1102,26 @@ impl Transport for TcpEndpoint {
 /// # Errors
 /// [`ProtocolError::Transport`] if binding or any dial fails.
 pub fn tcp_mesh_loopback(n: usize) -> Result<Vec<TcpEndpoint>, ProtocolError> {
+    tcp_mesh_loopback_inner(n, None)
+}
+
+/// [`tcp_mesh_loopback`], but every link requires the keyed
+/// challenge–response handshake with pairwise keys derived from `seed`.
+///
+/// # Errors
+/// [`ProtocolError::Transport`] if binding, any dial, or any handshake
+/// fails.
+pub fn tcp_mesh_loopback_authenticated(
+    n: usize,
+    seed: &[u8; 32],
+) -> Result<Vec<TcpEndpoint>, ProtocolError> {
+    tcp_mesh_loopback_inner(n, Some(*seed))
+}
+
+fn tcp_mesh_loopback_inner(
+    n: usize,
+    seed: Option<[u8; 32]>,
+) -> Result<Vec<TcpEndpoint>, ProtocolError> {
     assert!(n > 0, "mesh needs at least one endpoint");
     let mut listeners = Vec::with_capacity(n);
     let mut addrs = Vec::with_capacity(n);
@@ -766,14 +1137,18 @@ pub fn tcp_mesh_loopback(n: usize) -> Result<Vec<TcpEndpoint>, ProtocolError> {
         listeners.push(l);
     }
     // Connect endpoints concurrently: every dial blocks until the target
-    // listener accepts, and all listeners are already bound, so the joins
-    // cannot deadlock.
+    // listener accepts (and in auth mode until its challenge arrives), and
+    // all listeners are already bound with their accept loops started
+    // first thing in `connect`, so the joins cannot deadlock.
     let handles: Vec<_> = listeners
         .into_iter()
         .enumerate()
         .map(|(id, listener)| {
             let addrs = addrs.clone();
-            thread::spawn(move || TcpEndpoint::connect(id, listener, &addrs))
+            thread::spawn(move || match seed {
+                Some(s) => TcpEndpoint::connect_with_auth(id, listener, &addrs, &s),
+                None => TcpEndpoint::connect(id, listener, &addrs),
+            })
         })
         .collect();
     let mut endpoints = Vec::with_capacity(n);
@@ -876,6 +1251,130 @@ mod tests {
         assert!(t_tx >= 1);
         assert_eq!(hello_with_timestamp(3, t_tx), hello);
         assert_eq!(hello_with_timestamp(5, 1)[4..8], 5u32.to_le_bytes());
+    }
+
+    /// Pump `e` until `pred` holds or ~2 s elapse; returns whether it held.
+    fn pump_until(e: &mut TcpEndpoint, mut pred: impl FnMut(&mut TcpEndpoint) -> bool) -> bool {
+        for _ in 0..100 {
+            let _ = e.recv_timeout(Duration::from_millis(20));
+            if pred(e) {
+                return true;
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn authenticated_mesh_moves_frames_and_proves_identity() {
+        let seed = [0x42u8; 32];
+        let mut mesh = tcp_mesh_loopback_authenticated(3, &seed).expect("auth mesh");
+        // Every endpoint verifies a handshake from each of its 2 peers
+        // (the dialer returns after *writing* its response; the responder
+        // verifies asynchronously, so wait rather than assert instantly).
+        for (i, ep) in mesh.iter_mut().enumerate() {
+            assert!(ep.auth_enabled());
+            assert!(
+                pump_until(ep, |e| e.auth_handshakes() == 2),
+                "endpoint {i} never verified both inbound handshakes"
+            );
+        }
+        mesh[0].send(1, vec![1, 2, 3]).unwrap();
+        mesh[1].send(0, vec![4, 5]).unwrap();
+        for e in &mut mesh {
+            e.flush().unwrap();
+        }
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.extend(mesh[1].recv_timeout(Duration::from_millis(50)));
+            if !got.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(got, vec![(0, vec![1, 2, 3])]);
+        // Authenticated links surface as such in link health, and the
+        // verdicts drain as Established auth events.
+        let evs = mesh[1].take_auth_events();
+        assert!(
+            evs.iter()
+                .any(|e| matches!(e, AuthEvent::Established { peer: 0, epoch: 1 })),
+            "expected an Established event for peer 0, got {evs:?}"
+        );
+        for l in mesh[1].link_health() {
+            assert_eq!(l.auth, rbvc_obs::LinkAuthState::Authenticated, "peer {}", l.peer);
+        }
+    }
+
+    #[test]
+    fn forged_mac_is_rejected_and_never_delivers_frames() {
+        let seed = [7u8; 32];
+        let mut mesh = tcp_mesh_loopback_authenticated(2, &seed).expect("auth mesh");
+        let victim_addr = mesh[1].listen_addr;
+        // Impersonate honest node 0 toward node 1 *without* key_01: run a
+        // structurally perfect handshake under the wrong key, then try to
+        // push a sentinel frame through.
+        let wrong_key = [0xEEu8; 32];
+        let mut s = TcpStream::connect(victim_addr).expect("dial");
+        crate::auth::dial_handshake(&mut s, 0, 1, &wrong_key, 1, 999_999).expect("wire IO");
+        let sentinel = vec![0xAB; 8];
+        let mut forged = (sentinel.len() as u32).to_le_bytes().to_vec();
+        forged.extend_from_slice(&sentinel);
+        let _ = s.write_all(&forged);
+        let rejected = pump_until(&mut mesh[1], |e| {
+            e.errors().total() > 0
+        });
+        assert!(rejected, "forged handshake must be recorded as rejected");
+        let evs = mesh[1].take_auth_events();
+        assert!(
+            evs.iter().any(|e| matches!(
+                e,
+                AuthEvent::Rejected { peer: Some(0), reason } if reason == "bad-mac"
+            )),
+            "expected a bad-mac rejection attributed to claimed peer 0, got {evs:?}"
+        );
+        // The genuine live link from 0 keeps its authenticated standing —
+        // only the reject reason is remembered.
+        let health = mesh[1].link_health();
+        let l0 = health.iter().find(|l| l.peer == 0).expect("peer 0 row");
+        assert_eq!(l0.auth, rbvc_obs::LinkAuthState::Authenticated);
+        assert_eq!(l0.last_auth_reject.as_deref(), Some("bad-mac"));
+        // And the sentinel frame never surfaces.
+        let mut frames = Vec::new();
+        for _ in 0..10 {
+            frames.extend(mesh[1].recv_timeout(Duration::from_millis(10)));
+        }
+        assert!(
+            !frames.iter().any(|(_, b)| *b == sentinel),
+            "forged frame must not be delivered"
+        );
+        // The real link still works.
+        mesh[0].send(1, vec![9]).unwrap();
+        mesh[0].flush().unwrap();
+        let mut got = Vec::new();
+        for _ in 0..100 {
+            got.extend(mesh[1].recv_timeout(Duration::from_millis(50)));
+            if !got.is_empty() {
+                break;
+            }
+        }
+        assert_eq!(got, vec![(0, vec![9])]);
+    }
+
+    #[test]
+    fn plaintext_hello_is_a_downgrade_attempt_on_an_auth_mesh() {
+        let seed = [9u8; 32];
+        let mut mesh = tcp_mesh_loopback_authenticated(2, &seed).expect("auth mesh");
+        let victim_addr = mesh[1].listen_addr;
+        let mut s = TcpStream::connect(victim_addr).expect("dial");
+        s.write_all(&hello_with_timestamp(0, 123_456)).expect("write v2 hello");
+        assert!(pump_until(&mut mesh[1], |e| e.errors().total() > 0));
+        let evs = mesh[1].take_auth_events();
+        assert!(
+            evs.iter().any(|e| matches!(
+                e,
+                AuthEvent::Rejected { peer: Some(0), reason } if reason == "downgrade"
+            )),
+            "expected a downgrade rejection, got {evs:?}"
+        );
     }
 
     #[test]

@@ -19,6 +19,31 @@ use rbvc_sim::config::ProcessId;
 use rbvc_sim::error::{ErrorLog, ProtocolError};
 use rbvc_sim::net::NetworkFaults;
 
+/// A link-identity verdict surfaced by an authenticating transport: each
+/// completed or refused handshake becomes one event, drained by the
+/// service layer through [`Transport::take_auth_events`] and re-emitted as
+/// structured `auth_established` / `auth_reject` observability events (so
+/// identity attacks land in the flight recorder).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuthEvent {
+    /// A keyed challenge–response handshake from `peer` verified; the
+    /// inbound link entered authenticated session `epoch`.
+    Established {
+        /// The proven peer identity.
+        peer: ProcessId,
+        /// Monotonic per-peer session epoch the replay guard binds to.
+        epoch: u64,
+    },
+    /// A handshake failed verification and the connection was refused.
+    Rejected {
+        /// The *claimed* identity, when the record got far enough to claim
+        /// one (`None`: rejected before any id could be parsed).
+        peer: Option<ProcessId>,
+        /// Stable reason label (`bad-mac`, `downgrade`, `ghost-peer`, …).
+        reason: String,
+    },
+}
+
 /// Point-to-point frame delivery over a complete mesh of `n` endpoints.
 ///
 /// Contract shared by all implementations:
@@ -89,6 +114,14 @@ pub trait Transport: Send {
     /// evidence alone. The TCP endpoint overrides it with its
     /// [`rbvc_obs::LinkMonitor`] snapshot.
     fn link_health(&self) -> Vec<rbvc_obs::LinkHealth> {
+        Vec::new()
+    }
+
+    /// Drain the link-identity verdicts (handshakes established/refused)
+    /// observed since the last call. Default: none — only authenticating
+    /// transports produce them. The service layer re-emits each as a
+    /// structured observability event.
+    fn take_auth_events(&mut self) -> Vec<AuthEvent> {
         Vec::new()
     }
 

@@ -15,6 +15,29 @@ use rbvc_transport::transport::Transport;
 const N: usize = 3;
 const VICTIM: usize = 2;
 
+/// [`stable_mesh`], but authenticated: every link requires the keyed
+/// challenge–response handshake under pairwise keys derived from `seed`.
+fn stable_auth_mesh(seed: &[u8; 32]) -> (Vec<TcpEndpoint>, Vec<std::net::SocketAddr>) {
+    let listeners: Vec<TcpListener> = (0..N)
+        .map(|_| TcpListener::bind(("127.0.0.1", 0)).expect("bind"))
+        .collect();
+    let addrs: Vec<_> = listeners.iter().map(|l| l.local_addr().expect("addr")).collect();
+    let handles: Vec<_> = listeners
+        .into_iter()
+        .enumerate()
+        .map(|(id, listener)| {
+            let addrs = addrs.clone();
+            let seed = *seed;
+            thread::spawn(move || TcpEndpoint::connect_with_auth(id, listener, &addrs, &seed))
+        })
+        .collect();
+    let mesh: Vec<TcpEndpoint> = handles
+        .into_iter()
+        .map(|h| h.join().expect("no panic").expect("connect"))
+        .collect();
+    (mesh, addrs)
+}
+
 /// Stand up a 3-endpoint loopback mesh on known (stable) addresses so the
 /// victim can rebind the same address after its "crash".
 fn stable_mesh() -> (Vec<TcpEndpoint>, Vec<std::net::SocketAddr>) {
@@ -196,6 +219,120 @@ fn stale_hello_replay_is_refused_without_breaking_the_fresh_link() {
         wait_for_frame(&mut mesh[0], 1, &[9, 9], 200),
         "fresh link must survive the replay"
     );
+}
+
+#[test]
+fn restarted_timeline_supersedes_under_auth() {
+    // ISSUE 10 satellite (replay-guard scope fix): under plaintext HELLOs
+    // the replay guard orders handshakes on the dialer's per-OS-process
+    // monotonic clock, so a *genuinely restarted* node — whose clock
+    // restarted near zero — would be refused as "stale" by a guard that
+    // still remembers its pre-restart timestamps. Under auth the guard
+    // binds to the authenticated session epoch instead: a verified
+    // handshake with an arbitrarily small timestamp must supersede,
+    // because only the real key holder can answer a fresh nonce.
+    let seed = [0x5Au8; 32];
+    let (mut mesh, addrs) = stable_auth_mesh(&seed);
+
+    // Warm up the genuine 1→0 link; endpoint 0 has accepted a handshake
+    // from peer 1 stamped with the current (large) monotonic time.
+    mesh[1].send(0, vec![1]).unwrap();
+    mesh[1].flush().unwrap();
+    assert!(wait_for_frame(&mut mesh[0], 1, &[1], 200), "warmup frame never arrived");
+    assert!(rbvc_obs::clock::now_us() > 1, "clock must be past the simulated restart stamp");
+
+    // Simulated restart of node 1 with a restarted timeline: a raw dial
+    // claiming peer 1 under the *correct* pairwise key, handshake
+    // generation back at 1 and t_tx = 1 — far below every stamp endpoint 0
+    // has accepted from peer 1. The plaintext guard would refuse this
+    // exact shape (see `stale_hello_replay_is_refused_...`); the epoch
+    // guard must accept it.
+    let key = rbvc_transport::derive_pair_key(&seed, 1, 0);
+    let mut restarted = std::net::TcpStream::connect(addrs[0]).expect("dial endpoint 0");
+    rbvc_transport::auth::dial_handshake(&mut restarted, 1, 0, &key, 1, 1)
+        .expect("restarted-timeline handshake must complete");
+    use std::io::Write as _;
+    restarted.write_all(&3u32.to_le_bytes()).unwrap();
+    restarted.write_all(&[8, 8, 8]).unwrap();
+    restarted.flush().unwrap();
+    assert!(
+        wait_for_frame(&mut mesh[0], 1, &[8, 8, 8], 200),
+        "the restarted node's verified handshake must supersede despite its tiny t_tx"
+    );
+    // The supersession opened a new authenticated session epoch.
+    let evs = mesh[0].take_auth_events();
+    assert!(
+        evs.iter().any(|e| matches!(
+            e,
+            rbvc_transport::AuthEvent::Established { peer: 1, epoch: 2 }
+        )),
+        "expected session epoch 2 for the restarted peer, got {evs:?}"
+    );
+}
+
+#[test]
+fn redial_storm_under_auth_reauthenticates() {
+    // ISSUE 10 satellite: survivors' re-dials after a peer restart must
+    // run the full keyed handshake again — a fresh generation against a
+    // fresh nonce — not resume on stale credentials.
+    let seed = [0xC3u8; 32];
+    let (mut mesh, addrs) = stable_auth_mesh(&seed);
+
+    mesh[0].send(VICTIM, vec![1]).unwrap();
+    mesh[0].flush().unwrap();
+    assert!(
+        wait_for_frame(&mut mesh[VICTIM], 0, &[1], 200),
+        "pre-crash frame never arrived"
+    );
+
+    // Crash + restart the victim on the same address, same keys.
+    let victim = mesh.remove(VICTIM);
+    drop(victim);
+    let listener = TcpListener::bind(addrs[VICTIM]).expect("rebind same addr");
+    let mut restarted = TcpEndpoint::connect_with_auth(VICTIM, listener, &addrs, &seed)
+        .expect("restart connect");
+
+    // Every survivor re-dials (re-authenticating) and reports the victim.
+    for (i, survivor) in mesh.iter_mut().enumerate() {
+        let mut reconnected = Vec::new();
+        let mut got = Vec::new();
+        let ok = pump_until(survivor, 400, &mut got, |ep, _| {
+            reconnected.extend(ep.take_reconnects());
+            reconnected.contains(&VICTIM)
+        });
+        assert!(ok, "survivor {i} never reported the restarted peer: {reconnected:?}");
+    }
+    // The restarted victim verified one inbound handshake per survivor's
+    // redial (at least — teardown echoes can add more).
+    let mut got = Vec::new();
+    assert!(
+        pump_until(&mut restarted, 400, &mut got, |ep, _| {
+            ep.auth_handshakes() >= (N - 1) as u64
+        }),
+        "restarted node never verified the survivors' re-dials: {}",
+        restarted.auth_handshakes()
+    );
+
+    // Authenticated traffic flows both ways, and the survivors' inbound
+    // links from the victim are authenticated again.
+    mesh[0].send(VICTIM, vec![42]).unwrap();
+    mesh[0].flush().unwrap();
+    assert!(
+        wait_for_frame(&mut restarted, 0, &[42], 200),
+        "restarted endpoint never heard the survivor"
+    );
+    restarted.send(0, vec![7, 7]).unwrap();
+    restarted.flush().unwrap();
+    assert!(
+        wait_for_frame(&mut mesh[0], VICTIM, &[7, 7], 200),
+        "survivor never heard the restarted endpoint"
+    );
+    let health = mesh[0].link_health();
+    let lv = health
+        .iter()
+        .find(|l| l.peer == VICTIM as u32)
+        .expect("victim row");
+    assert_eq!(lv.auth, rbvc_obs::LinkAuthState::Authenticated);
 }
 
 #[test]
